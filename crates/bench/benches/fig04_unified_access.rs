@@ -1,0 +1,54 @@
+//! Fig 4 — the unified table concept: every stage serves both point and
+//! scan access through one interface.
+//!
+//! Claim regenerated: point queries are fast in *all three* stages (hash
+//! index in L2, sorted dictionary + inverted index in main, small scan in
+//! L1), and column scans get *faster* as records age toward the main.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hana_bench::{staged_sales, Stage};
+use hana_txn::Snapshot;
+use hana_workload::sales::fact_cols;
+use hana_common::Value;
+
+const ROWS: i64 = 20_000;
+
+fn bench_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_point_query");
+    g.sample_size(30);
+    for stage in [Stage::L1, Stage::L2, Stage::Main] {
+        let st = staged_sales(ROWS, stage, 7);
+        let snap = Snapshot::at(st.db.txn_manager().now());
+        let mut k = 0i64;
+        g.bench_function(BenchmarkId::from_parameter(format!("{stage:?}")), |b| {
+            b.iter(|| {
+                k = (k + 7919) % ROWS;
+                let read = st.table.read_at(snap);
+                let rows = read.point(fact_cols::ORDER_ID, &Value::Int(k)).unwrap();
+                assert_eq!(rows.len(), 1);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_column_scan");
+    g.sample_size(20);
+    for stage in [Stage::L1, Stage::L2, Stage::Main] {
+        let st = staged_sales(ROWS, stage, 7);
+        let snap = Snapshot::at(st.db.txn_manager().now());
+        g.bench_function(BenchmarkId::from_parameter(format!("{stage:?}")), |b| {
+            b.iter(|| {
+                let read = st.table.read_at(snap);
+                let (count, sum) = read.aggregate_numeric(fact_cols::AMOUNT).unwrap();
+                assert_eq!(count, ROWS as u64);
+                std::hint::black_box(sum);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_point, bench_scan);
+criterion_main!(benches);

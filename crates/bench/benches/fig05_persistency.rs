@@ -1,0 +1,114 @@
+//! Fig 5 — the persistency mechanisms.
+//!
+//! Claims regenerated: (a) REDO logging costs a bounded per-record overhead
+//! on the write path (logging happens once, at first entry); (b) savepoint
+//! cost scales with table size; (c) recovery replays the log tail — its
+//! cost scales with the records since the last savepoint, and a savepoint
+//! resets it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hana_core::Database;
+use hana_common::TableConfig;
+use hana_txn::IsolationLevel;
+use hana_workload::{DataGen, SalesSchema};
+
+fn bench_insert_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_insert_commit");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100));
+    for durable in [false, true] {
+        g.bench_function(
+            BenchmarkId::from_parameter(if durable { "durable_logged" } else { "in_memory" }),
+            |b| {
+                let dir = tempfile::tempdir().unwrap();
+                let db = if durable {
+                    Database::open(dir.path()).unwrap()
+                } else {
+                    Database::in_memory()
+                };
+                let table = db
+                    .create_table(SalesSchema::fact(), TableConfig::default())
+                    .unwrap();
+                let mut gen = DataGen::new(7);
+                let mut id = 0i64;
+                b.iter(|| {
+                    let mut txn = db.begin(IsolationLevel::Transaction);
+                    for _ in 0..100 {
+                        table
+                            .insert(&txn, SalesSchema::fact_row(&mut gen, id, 1_000, 200))
+                            .unwrap();
+                        id += 1;
+                    }
+                    db.commit(&mut txn).unwrap();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_savepoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_savepoint");
+    g.sample_size(10);
+    for rows in [5_000i64, 20_000] {
+        g.bench_function(BenchmarkId::from_parameter(rows), |b| {
+            let dir = tempfile::tempdir().unwrap();
+            let db = Database::open(dir.path()).unwrap();
+            let table = db
+                .create_table(SalesSchema::fact(), TableConfig::default())
+                .unwrap();
+            let mut gen = DataGen::new(7);
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            let batch: Vec<_> = (0..rows)
+                .map(|i| SalesSchema::fact_row(&mut gen, i, 1_000, 200))
+                .collect();
+            table.bulk_load(&txn, batch).unwrap();
+            db.commit(&mut txn).unwrap();
+            table.force_full_merge().unwrap();
+            b.iter(|| {
+                db.savepoint().unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_recovery_vs_log_tail");
+    g.sample_size(10);
+    for tail_records in [1_000i64, 8_000] {
+        g.bench_function(BenchmarkId::from_parameter(tail_records), |b| {
+            let dir = tempfile::tempdir().unwrap();
+            {
+                let db = Database::open(dir.path()).unwrap();
+                let table = db
+                    .create_table(SalesSchema::fact(), TableConfig::default())
+                    .unwrap();
+                let mut gen = DataGen::new(7);
+                // Base data under a savepoint, then a pure log tail.
+                let mut txn = db.begin(IsolationLevel::Transaction);
+                let batch: Vec<_> = (0..5_000)
+                    .map(|i| SalesSchema::fact_row(&mut gen, i, 1_000, 200))
+                    .collect();
+                table.bulk_load(&txn, batch).unwrap();
+                db.commit(&mut txn).unwrap();
+                db.savepoint().unwrap();
+                let mut txn = db.begin(IsolationLevel::Transaction);
+                for i in 0..tail_records {
+                    table
+                        .insert(&txn, SalesSchema::fact_row(&mut gen, 5_000 + i, 1_000, 200))
+                        .unwrap();
+                }
+                db.commit(&mut txn).unwrap();
+            }
+            b.iter(|| {
+                let db = Database::open(dir.path()).unwrap();
+                std::hint::black_box(db.tables().len());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert_commit, bench_savepoint, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Fig 6 — the L1→L2 merge is incremental and cheap.
+//!
+//! Claims regenerated: (a) merge cost scales with the *batch* being moved,
+//! not with the size of the receiving L2-delta ("the transition of records
+//! does not have any impact in terms of reorganizing the data of the target
+//! structure"); (b) the move itself is fast (row→column pivot + dictionary
+//! lookups only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hana_bench::{fill_l1, fill_l2, staged_sales, Stage};
+
+fn bench_merge_vs_batch_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_merge_cost_vs_batch");
+    g.sample_size(10);
+    for batch in [1_000i64, 4_000, 16_000] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(BenchmarkId::from_parameter(batch), |b| {
+            b.iter_batched(
+                || {
+                    let st = staged_sales(0, Stage::L2, 7);
+                    fill_l1(&st, 0, batch, 11);
+                    st
+                },
+                |st| {
+                    let moved = st.table.drain_l1().unwrap();
+                    assert_eq!(moved as i64, batch);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_vs_l2_size(c: &mut Criterion) {
+    // Fixed batch of 2k rows merged into L2-deltas of very different sizes:
+    // the cost must stay (nearly) flat.
+    let mut g = c.benchmark_group("fig06_merge_cost_vs_l2_size");
+    g.sample_size(10);
+    for l2_rows in [0i64, 20_000, 100_000] {
+        g.bench_function(BenchmarkId::from_parameter(l2_rows), |b| {
+            b.iter_batched(
+                || {
+                    let st = staged_sales(0, Stage::L2, 7);
+                    if l2_rows > 0 {
+                        fill_l2(&st, 0, l2_rows, 13);
+                    }
+                    fill_l1(&st, l2_rows, 2_000, 17);
+                    st
+                },
+                |st| {
+                    let moved = st.table.drain_l1().unwrap();
+                    assert_eq!(moved, 2_000);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_concurrent_reads_during_merge(c: &mut Criterion) {
+    // Readers keep answering point queries while L1 merges churn — measure
+    // reader latency with and without a concurrent merge loop.
+    use hana_txn::Snapshot;
+    use hana_common::Value;
+    use hana_workload::sales::fact_cols;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let mut g = c.benchmark_group("fig06_reader_latency");
+    g.sample_size(20);
+    for merging in [false, true] {
+        let st = staged_sales(50_000, Stage::Main, 7);
+        let stop = Arc::new(AtomicBool::new(false));
+        let churn = merging.then(|| {
+            let table = Arc::clone(&st.table);
+            let db = Arc::clone(&st.db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut id = 50_000i64;
+                let mut gen = hana_workload::DataGen::new(23);
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = db.begin(hana_txn::IsolationLevel::Transaction);
+                    for _ in 0..500 {
+                        table
+                            .insert(
+                                &txn,
+                                hana_workload::SalesSchema::fact_row(&mut gen, id, 1_000, 200),
+                            )
+                            .unwrap();
+                        id += 1;
+                    }
+                    db.commit(&mut txn).unwrap();
+                    table.drain_l1().unwrap();
+                }
+            })
+        });
+        let snap = Snapshot::at(st.db.txn_manager().now());
+        let mut k = 0i64;
+        g.bench_function(
+            BenchmarkId::from_parameter(if merging { "with_merges" } else { "quiescent" }),
+            |b| {
+                b.iter(|| {
+                    k = (k + 7919) % 50_000;
+                    let read = st.table.read_at(snap);
+                    let rows = read.point(fact_cols::ORDER_ID, &Value::Int(k)).unwrap();
+                    assert_eq!(rows.len(), 1);
+                })
+            },
+        );
+        stop.store(true, Ordering::Relaxed);
+        if let Some(h) = churn {
+            h.join().unwrap();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_vs_batch_size,
+    bench_merge_vs_l2_size,
+    bench_concurrent_reads_during_merge
+);
+criterion_main!(benches);

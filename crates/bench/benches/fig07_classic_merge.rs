@@ -1,0 +1,81 @@
+//! Fig 7 — the classic delta-to-main merge.
+//!
+//! Claims regenerated: (a) merge cost grows with the size of the old main
+//! (the whole structure is rebuilt); (b) the dictionary fast paths (delta ⊆
+//! main, delta > main) cut the dictionary phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hana_bench::{fill_l2, staged_sales, Stage};
+use hana_dict::{merge_dicts, SortedDict, UnsortedDict};
+use hana_common::Value;
+use hana_merge::MergeDecision;
+
+fn bench_merge_cost_vs_main_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_merge_cost_vs_main_size");
+    g.sample_size(10);
+    for main_rows in [10_000i64, 40_000, 160_000] {
+        g.bench_function(BenchmarkId::from_parameter(main_rows), |b| {
+            b.iter_batched(
+                || {
+                    let st = staged_sales(main_rows, Stage::Main, 7);
+                    fill_l2(&st, main_rows, 5_000, 13);
+                    st
+                },
+                |st| {
+                    st.table.merge_delta_as(MergeDecision::Classic).unwrap();
+                    assert_eq!(st.table.stage_stats().main_rows as i64, main_rows + 5_000);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The dictionary-phase fast paths in isolation (pure hana-dict).
+fn bench_dictionary_fast_paths(c: &mut Criterion) {
+    const MAIN: i64 = 200_000;
+    const DELTA: i64 = 5_000;
+    // Main holds the even integers; odd values force the general path.
+    let main = SortedDict::from_values((0..MAIN).map(|i| Value::Int(i * 2)).collect());
+
+    // Subset: delta values all exist in the main dictionary.
+    let subset = {
+        let mut d = UnsortedDict::new();
+        for i in 0..DELTA {
+            d.get_or_insert(&Value::Int((i * 17 % MAIN) * 2));
+        }
+        d
+    };
+    // Append: all delta values above the main maximum (timestamps).
+    let append = {
+        let mut d = UnsortedDict::new();
+        for i in 0..DELTA {
+            d.get_or_insert(&Value::Int(MAIN * 2 + i));
+        }
+        d
+    };
+    // General: interleaved odd values forcing the full two-way merge.
+    let general = {
+        let mut d = UnsortedDict::new();
+        for i in 0..DELTA {
+            d.get_or_insert(&Value::Int(i * 2 + 1));
+        }
+        d
+    };
+
+    let mut g = c.benchmark_group("fig07_dictionary_paths");
+    g.sample_size(20);
+    for (name, delta) in [("subset", &subset), ("append", &append), ("general", &general)] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let m = merge_dicts(&main, delta);
+                std::hint::black_box(m.dict.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge_cost_vs_main_size, bench_dictionary_fast_paths);
+criterion_main!(benches);

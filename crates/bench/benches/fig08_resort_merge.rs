@@ -1,0 +1,65 @@
+//! Fig 8 — the re-sorting merge trades merge cost for compression.
+//!
+//! Claims regenerated: the re-sorting merge costs more than the classic
+//! merge (it additionally sorts and permutes every column), and the
+//! resulting main is smaller and scans faster on the sorted columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hana_bench::{fill_l2, staged_sales, Stage};
+use hana_merge::MergeDecision;
+use hana_txn::Snapshot;
+use hana_workload::sales::fact_cols;
+
+const ROWS: i64 = 60_000;
+
+fn bench_merge_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_merge_cost");
+    g.sample_size(10);
+    for (name, decision) in [
+        ("classic", MergeDecision::Classic),
+        ("resorting", MergeDecision::ReSorting),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    let st = staged_sales(0, Stage::L2, 7);
+                    fill_l2(&st, 0, ROWS, 13);
+                    st
+                },
+                |st| {
+                    st.table.merge_delta_as(decision).unwrap();
+                    assert_eq!(st.table.stage_stats().main_rows as i64, ROWS);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_after_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_group_scan_after_merge");
+    g.sample_size(20);
+    for (name, decision) in [
+        ("classic", MergeDecision::Classic),
+        ("resorting", MergeDecision::ReSorting),
+    ] {
+        let st = staged_sales(0, Stage::L2, 7);
+        fill_l2(&st, 0, ROWS, 13);
+        st.table.merge_delta_as(decision).unwrap();
+        let snap = Snapshot::at(st.db.txn_manager().now());
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let read = st.table.read_at(snap);
+                let groups = read
+                    .group_aggregate(fact_cols::CITY, fact_cols::AMOUNT)
+                    .unwrap();
+                std::hint::black_box(groups.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge_cost, bench_scan_after_merge);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig 9 — the partial merge cuts merge cost by leaving the passive main
+//! untouched.
+//!
+//! Claim regenerated: with a fixed delta, the full (classic) merge cost
+//! grows with total main size, while the partial merge cost stays flat —
+//! "reduce the cost of the L2-to-(active-)main merge" / "delay a full merge
+//! to situations with low processing load".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hana_bench::{fill_l2, staged_sales, Stage};
+use hana_merge::MergeDecision;
+
+const DELTA: i64 = 5_000;
+
+fn bench_partial_vs_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_merge_cost");
+    g.sample_size(10);
+    for main_rows in [20_000i64, 80_000, 240_000] {
+        for (name, decision) in [
+            ("full", MergeDecision::Classic),
+            ("partial", MergeDecision::Partial),
+        ] {
+            g.bench_function(
+                BenchmarkId::new(name, main_rows),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            let st = staged_sales(main_rows, Stage::Main, 7);
+                            fill_l2(&st, main_rows, DELTA, 13);
+                            st
+                        },
+                        |st| {
+                            st.table.merge_delta_as(decision).unwrap();
+                            assert_eq!(
+                                st.table.stage_stats().main_rows as i64,
+                                main_rows + DELTA
+                            );
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partial_vs_full);
+criterion_main!(benches);

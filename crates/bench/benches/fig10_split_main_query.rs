@@ -1,0 +1,83 @@
+//! Fig 10 — query execution over passive + active mains.
+//!
+//! Claim regenerated: point and range queries on a two-part (passive +
+//! active) main pay only a bounded overhead versus a consolidated
+//! single-part main — the price of delaying the full merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hana_bench::{fill_l2, staged_sales, Stage, StagedTable};
+use hana_common::Value;
+use hana_merge::MergeDecision;
+use hana_txn::Snapshot;
+use hana_workload::sales::fact_cols;
+use std::ops::Bound;
+
+const MAIN_ROWS: i64 = 80_000;
+const ACTIVE_ROWS: i64 = 20_000;
+
+fn setup(split: bool) -> StagedTable {
+    let st = staged_sales(MAIN_ROWS, Stage::Main, 7);
+    fill_l2(&st, MAIN_ROWS, ACTIVE_ROWS, 13);
+    let decision = if split {
+        MergeDecision::Partial
+    } else {
+        MergeDecision::Classic
+    };
+    st.table.merge_delta_as(decision).unwrap();
+    let stats = st.table.stage_stats();
+    assert_eq!(stats.main_parts, if split { 2 } else { 1 });
+    st
+}
+
+fn bench_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_point");
+    g.sample_size(30);
+    for split in [false, true] {
+        let st = setup(split);
+        let snap = Snapshot::at(st.db.txn_manager().now());
+        let mut k = 0i64;
+        g.bench_function(
+            BenchmarkId::from_parameter(if split { "passive_active" } else { "single_main" }),
+            |b| {
+                b.iter(|| {
+                    k = (k + 7919) % (MAIN_ROWS + ACTIVE_ROWS);
+                    let read = st.table.read_at(snap);
+                    let rows = read.point(fact_cols::ORDER_ID, &Value::Int(k)).unwrap();
+                    assert_eq!(rows.len(), 1);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    // The paper's own example: a range between C% and L% over the city
+    // column, resolved in both dictionaries and scanned as split ranges.
+    let mut g = c.benchmark_group("fig10_range_c_to_l");
+    g.sample_size(20);
+    for split in [false, true] {
+        let st = setup(split);
+        let snap = Snapshot::at(st.db.txn_manager().now());
+        g.bench_function(
+            BenchmarkId::from_parameter(if split { "passive_active" } else { "single_main" }),
+            |b| {
+                b.iter(|| {
+                    let read = st.table.read_at(snap);
+                    let rows = read
+                        .range(
+                            fact_cols::CITY,
+                            Bound::Included(&Value::str("C")),
+                            Bound::Excluded(&Value::str("M")),
+                        )
+                        .unwrap();
+                    std::hint::black_box(rows.len());
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_point, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Fig 11 — the lifecycle characteristics matrix.
+//!
+//! Claims regenerated per storage format: the L1-delta has the highest
+//! write rate, the main the highest scan rate and smallest footprint (the
+//! footprint axis is printed by the `repro` binary). Here: single-row write
+//! cost per entry path and scan cost per stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hana_bench::{staged_sales, Stage, CUSTOMERS, PRODUCTS};
+use hana_txn::{IsolationLevel, Snapshot};
+use hana_workload::{DataGen, SalesSchema};
+use hana_workload::sales::fact_cols;
+
+fn bench_write_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_write_path");
+    g.sample_size(15);
+
+    // L1 insert path (regular OLTP write).
+    {
+        let st = staged_sales(0, Stage::L1, 7);
+        let mut gen = DataGen::new(9);
+        let mut id = 1_000_000i64;
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::from_parameter("l1_insert"), |b| {
+            b.iter(|| {
+                let mut txn = st.db.begin(IsolationLevel::Transaction);
+                st.table
+                    .insert(&txn, SalesSchema::fact_row(&mut gen, id, CUSTOMERS, PRODUCTS))
+                    .unwrap();
+                id += 1;
+                st.db.commit(&mut txn).unwrap();
+            })
+        });
+    }
+
+    // L2 bulk path (per row, batches of 1000).
+    {
+        let st = staged_sales(0, Stage::L2, 7);
+        let mut gen = DataGen::new(9);
+        let mut id = 1_000_000i64;
+        g.throughput(Throughput::Elements(1_000));
+        g.bench_function(BenchmarkId::from_parameter("l2_bulk_1000"), |b| {
+            b.iter(|| {
+                let batch: Vec<_> = (0..1_000)
+                    .map(|k| SalesSchema::fact_row(&mut gen, id + k, CUSTOMERS, PRODUCTS))
+                    .collect();
+                id += 1_000;
+                let mut txn = st.db.begin(IsolationLevel::Transaction);
+                st.table.bulk_load(&txn, batch).unwrap();
+                st.db.commit(&mut txn).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_update_per_stage(c: &mut Criterion) {
+    // Updating a record whose current version sits in each stage.
+    let mut g = c.benchmark_group("fig11_update_of_resident_row");
+    g.sample_size(20);
+    for stage in [Stage::L1, Stage::L2, Stage::Main] {
+        let st = staged_sales(10_000, stage, 7);
+        let mut k = 0i64;
+        g.bench_function(BenchmarkId::from_parameter(format!("{stage:?}")), |b| {
+            b.iter(|| {
+                k = (k + 7919) % 10_000;
+                let mut txn = st.db.begin(IsolationLevel::Transaction);
+                st.table
+                    .update_where(
+                        &txn,
+                        hana_common::ColumnId(fact_cols::ORDER_ID as u16),
+                        &hana_common::Value::Int(k),
+                        &[(hana_common::ColumnId(fact_cols::STATUS as u16), hana_common::Value::Int(1))],
+                    )
+                    .unwrap();
+                st.db.commit(&mut txn).unwrap();
+            })
+        });
+        // Keep the L1 from growing unboundedly in the L1 case.
+        st.table.drain_l1().unwrap();
+    }
+    g.finish();
+}
+
+fn bench_group_scan_per_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_group_scan");
+    g.sample_size(15);
+    for stage in [Stage::L1, Stage::L2, Stage::Main] {
+        let st = staged_sales(20_000, stage, 7);
+        let snap = Snapshot::at(st.db.txn_manager().now());
+        g.bench_function(BenchmarkId::from_parameter(format!("{stage:?}")), |b| {
+            b.iter(|| {
+                let read = st.table.read_at(snap);
+                let groups = read
+                    .group_aggregate(fact_cols::CITY, fact_cols::AMOUNT)
+                    .unwrap();
+                std::hint::black_box(groups.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_write_paths,
+    bench_update_per_stage,
+    bench_group_scan_per_stage
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! M2 — the title claim, OLAP + HTAP side: the same column representation
+//! that serves OLTP answers analytics with column-store speed.
+//!
+//! Shape expected: the unified table beats the row store on the aggregation
+//! query set (columnar kernels over dictionary codes vs. full-row scans),
+//! and sustains both workloads concurrently in the mixed run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hana_common::TableConfig;
+use hana_core::Database;
+use hana_txn::{Snapshot, TxnManager};
+use hana_workload::olap::ALL_QUERIES;
+use hana_workload::sales::load_row_baseline;
+use hana_workload::{MixedWorkload, OlapRunner, SalesDataset};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ORDERS: i64 = 50_000;
+
+fn bench_olap_queries(c: &mut Criterion) {
+    let db = Database::in_memory();
+    let ds = SalesDataset::load(&db, TableConfig::default(), ORDERS, 1_000, 200, 7).unwrap();
+    ds.settle().unwrap();
+    let mgr = TxnManager::new();
+    let row = load_row_baseline(Arc::clone(&mgr), ORDERS, 1_000, 200, 7).unwrap();
+
+    let mut g = c.benchmark_group("myth_olap");
+    g.sample_size(15);
+    for &q in ALL_QUERIES {
+        let snap_u = Snapshot::at(db.txn_manager().now());
+        g.bench_function(BenchmarkId::new("unified", format!("{q:?}")), |b| {
+            b.iter(|| {
+                let rs = OlapRunner::new(snap_u).run_unified(&ds.sales, q).unwrap();
+                std::hint::black_box(rs.len());
+            })
+        });
+        let snap_r = Snapshot::at(mgr.now());
+        g.bench_function(BenchmarkId::new("row_store", format!("{q:?}")), |b| {
+            b.iter(|| {
+                let rs = OlapRunner::new(snap_r).run_row_baseline(&row, q);
+                std::hint::black_box(rs.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixed_htap(c: &mut Criterion) {
+    // Throughput of the mixed run itself (OLTP ops committed in a fixed
+    // window while OLAP readers and the merge daemon run concurrently).
+    let mut g = c.benchmark_group("myth_htap_mixed");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("unified_2w_2r"), |b| {
+        b.iter_batched(
+            || {
+                let cfg = TableConfig {
+                    l1_max_rows: 256,
+                    l2_max_rows: 1_000_000,
+                    ..TableConfig::default()
+                };
+                let db = Database::in_memory();
+                let ds = SalesDataset::load(&db, cfg, 10_000, 1_000, 200, 7).unwrap();
+                ds.settle().unwrap();
+                db.start_merge_daemon(Duration::from_millis(1));
+                (db, ds)
+            },
+            |(db, ds)| {
+                let report = MixedWorkload {
+                    writers: 2,
+                    readers: 2,
+                    duration: Duration::from_millis(100),
+                    skew: 0.9,
+                }
+                .run(&db, &ds)
+                .unwrap();
+                db.stop_merge_daemon();
+                std::hint::black_box((report.oltp_ops, report.olap_queries));
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_olap_queries, bench_mixed_htap);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Diagnostic hunt for the double-visibility race.
+use hana_common::{ColumnDef, ColumnId, DataType, Schema, TableConfig, Value};
+use hana_core::Database;
+use hana_txn::IsolationLevel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    for round in 0..200 {
+        if !run_once() {
+            eprintln!("!!! race reproduced in round {round}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("no race in 200 rounds");
+}
+
+fn run_once() -> bool {
+    const ACCOUNTS: i64 = 64;
+    let db = Database::in_memory();
+    let cfg = TableConfig { l1_max_rows: 32, l2_max_rows: 128, ..TableConfig::default() };
+    let schema = Schema::new("ledger", vec![
+        ColumnDef::new("id", DataType::Int).unique(),
+        ColumnDef::new("balance", DataType::Int).not_null(),
+    ]).unwrap();
+    let table = db.create_table(schema, cfg).unwrap();
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    for i in 0..ACCOUNTS {
+        table.insert(&txn, vec![Value::Int(i), Value::Int(1000)]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    db.start_merge_daemon(Duration::from_millis(1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicBool::new(true));
+    std::thread::scope(|scope| {
+        for w in 0..4u64 {
+            let db = Arc::clone(&db); let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut seed = w.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                let mut next = || { seed ^= seed<<13; seed ^= seed>>7; seed ^= seed<<17; seed };
+                while !stop.load(Ordering::Relaxed) {
+                    let from = (next() % ACCOUNTS as u64) as i64;
+                    let to = (next() % ACCOUNTS as u64) as i64;
+                    if from == to { continue; }
+                    let amount = (next() % 50) as i64;
+                    let mut txn = db.begin(IsolationLevel::Transaction);
+                    let res = (|| -> hana_common::Result<()> {
+                        let read = table.read(&txn);
+                        let f = read.point(0, &Value::Int(from))?;
+                        let t = read.point(0, &Value::Int(to))?;
+                        let fb = f[0][1].as_int().unwrap();
+                        let tb = t[0][1].as_int().unwrap();
+                        table.update_where(&txn, ColumnId(0), &Value::Int(from), &[(ColumnId(1), Value::Int(fb-amount))])?;
+                        table.update_where(&txn, ColumnId(0), &Value::Int(to), &[(ColumnId(1), Value::Int(tb+amount))])?;
+                        Ok(())
+                    })();
+                    match res { Ok(()) => { db.commit(&mut txn).unwrap(); } Err(_) => { let _ = db.abort(&mut txn); } }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let db = Arc::clone(&db); let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop); let ok = Arc::clone(&ok);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let r = db.begin(IsolationLevel::Transaction);
+                    let read = table.read(&r);
+                    let mut seen: std::collections::HashMap<i64, usize> = Default::default();
+                    read.for_each_visible(|row| {
+                        *seen.entry(row.values[0].as_int().unwrap()).or_insert(0) += 1;
+                    });
+                    if seen.len() != ACCOUNTS as usize || seen.values().any(|&c| c != 1) {
+                        let dupes: Vec<_> = seen.iter().filter(|(_, &c)| c != 1).collect();
+                        let stats = table.stage_stats();
+                        eprintln!("ANOMALY: accounts={} dupes={:?} stats={:?} snap_ts={}", seen.len(), dupes, stats, read.snapshot().ts());
+                        // dump locations of the duplicated ids
+                        for (&id, _) in &dupes {
+                            for (rid, b, e, stage, vis) in read.debug_versions(0, &Value::Int(id)) {
+                                let bm = hana_common::TxnId::from_mark(b);
+                                let em = hana_common::TxnId::from_mark(e);
+                                eprintln!(
+                                    "  id {id} {rid} [{stage}] begin={b:#x}({bm:?}) end={e:#x}({em:?}) visible={vis}"
+                                );
+                            }
+                        }
+                        ok.store(false, Ordering::Relaxed);
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+    db.stop_merge_daemon();
+    ok.load(Ordering::Relaxed)
+}

@@ -1,0 +1,733 @@
+//! The calc-graph executor.
+//!
+//! Evaluates a [`CalcGraph`] bottom-up with per-node memoization (so shared
+//! subexpressions run once — Fig 3's multi-consumer nodes), reading tables
+//! through [`TableRead`] views under one snapshot. Scans with fused
+//! predicates resolve `Eq`/`Between` conjuncts through the unified table's
+//! dictionaries and inverted indexes; `SplitCombine` nodes fan out across
+//! threads and re-aggregate.
+//!
+//! [`TableRead`]: hana_core::TableRead
+
+use crate::expr::{AggState, Predicate};
+use crate::graph::{CalcGraph, CalcNode, NodeId, PipeOp};
+use hana_common::{HanaError, Result, Value};
+use hana_txn::Snapshot;
+use rustc_hash::FxHashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Bound;
+
+/// A materialized operator result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (empty when unnamed).
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Execution statistics (exposed for tests and the Fig-3 bench).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Nodes evaluated (≤ graph size thanks to memoization).
+    pub nodes_evaluated: usize,
+    /// Scans answered through index/dictionary resolution instead of a full
+    /// scan.
+    pub indexed_scans: usize,
+    /// Full table scans.
+    pub full_scans: usize,
+}
+
+/// Executes calc graphs under one snapshot.
+pub struct Executor {
+    snapshot: Snapshot,
+    stats: ExecStats,
+}
+
+impl Executor {
+    /// An executor reading under `snapshot`.
+    pub fn new(snapshot: Snapshot) -> Self {
+        Executor {
+            snapshot,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Statistics of the last [`run`](Self::run).
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Execute the graph and return the root's result.
+    pub fn run(&mut self, g: &CalcGraph) -> Result<ResultSet> {
+        self.stats = ExecStats::default();
+        let root = g
+            .root()
+            .ok_or_else(|| HanaError::Query("calc graph has no root".into()))?;
+        let mut memo: FxHashMap<NodeId, ResultSet> = FxHashMap::default();
+        self.eval(g, root, &mut memo)?;
+        Ok(memo.remove(&root).expect("root evaluated"))
+    }
+
+    fn eval(
+        &mut self,
+        g: &CalcGraph,
+        id: NodeId,
+        memo: &mut FxHashMap<NodeId, ResultSet>,
+    ) -> Result<()> {
+        if memo.contains_key(&id) {
+            return Ok(());
+        }
+        // Columnar fast path BEFORE input evaluation: an aggregate directly
+        // over an unfiltered scan must not materialize the scan at all.
+        if let CalcNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } = g.node(id)
+        {
+            if !memo.contains_key(input) {
+                if let Some(rs) = self.try_columnar_aggregate(g, *input, group_by, aggs)? {
+                    self.stats.nodes_evaluated += 1;
+                    memo.insert(id, rs);
+                    return Ok(());
+                }
+            }
+        }
+        // Evaluate inputs first (DAG, so recursion terminates).
+        for input in g.inputs(id) {
+            self.eval(g, input, memo)?;
+        }
+        self.stats.nodes_evaluated += 1;
+        let result = match g.node(id) {
+            CalcNode::TableSource {
+                table,
+                fused_filter,
+            } => self.scan(table, fused_filter)?,
+            CalcNode::Filter { input, pred } => {
+                let input_rs = &memo[input];
+                ResultSet {
+                    columns: input_rs.columns.clone(),
+                    rows: input_rs
+                        .rows
+                        .iter()
+                        .filter(|r| pred.eval(r))
+                        .cloned()
+                        .collect(),
+                }
+            }
+            CalcNode::Project { input, exprs } => {
+                let input_rs = &memo[input];
+                let mut rows = Vec::with_capacity(input_rs.rows.len());
+                for r in &input_rs.rows {
+                    let mut out = Vec::with_capacity(exprs.len());
+                    for (_, e) in exprs {
+                        out.push(e.eval(r)?);
+                    }
+                    rows.push(out);
+                }
+                ResultSet {
+                    columns: exprs.iter().map(|(n, _)| n.clone()).collect(),
+                    rows,
+                }
+            }
+            CalcNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => aggregate(&memo[input], group_by, aggs),
+            CalcNode::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => hash_join(&memo[left], &memo[right], *left_col, *right_col),
+            CalcNode::Union { inputs } => {
+                let mut rows = Vec::new();
+                let mut columns = Vec::new();
+                for (k, i) in inputs.iter().enumerate() {
+                    let rs = &memo[i];
+                    if k == 0 {
+                        columns = rs.columns.clone();
+                    }
+                    rows.extend(rs.rows.iter().cloned());
+                }
+                ResultSet { columns, rows }
+            }
+            CalcNode::SplitCombine {
+                input,
+                ways,
+                split_col,
+                body,
+            } => split_combine(&memo[input], *ways, *split_col, body)?,
+            CalcNode::Conv {
+                input,
+                amount_col,
+                currency_col,
+                rates,
+            } => {
+                let input_rs = &memo[input];
+                let mut rows = Vec::with_capacity(input_rs.rows.len());
+                for r in &input_rs.rows {
+                    let mut row = r.clone();
+                    let rate = row[*currency_col]
+                        .as_str()
+                        .and_then(|c| rates.get(c))
+                        .copied();
+                    row[*amount_col] = match (row[*amount_col].as_numeric(), rate) {
+                        (Some(x), Some(rate)) => Value::double(x * rate),
+                        _ => Value::Null,
+                    };
+                    rows.push(row);
+                }
+                ResultSet {
+                    columns: input_rs.columns.clone(),
+                    rows,
+                }
+            }
+            CalcNode::Custom { input, f, .. } => {
+                let input_rs = &memo[input];
+                ResultSet {
+                    columns: input_rs.columns.clone(),
+                    rows: f(input_rs.rows.clone())?,
+                }
+            }
+        };
+        memo.insert(id, result);
+        Ok(())
+    }
+
+    /// Scan a table, resolving index-friendly fused conjuncts through the
+    /// read view (point/range) and applying the residue row-wise.
+    fn scan(
+        &mut self,
+        table: &std::sync::Arc<hana_core::UnifiedTable>,
+        fused: &Predicate,
+    ) -> Result<ResultSet> {
+        let read = table.read_at(self.snapshot);
+        let columns = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        // Single Eq / Between (possibly as the head of a conjunction) can be
+        // answered through the inverted indexes.
+        let (indexable, residue) = split_indexable(fused);
+        let rows = match indexable {
+            Some(Indexable::Eq(col, v)) => {
+                self.stats.indexed_scans += 1;
+                read.point(col, &v)?
+            }
+            Some(Indexable::Range(col, lo, hi)) => {
+                self.stats.indexed_scans += 1;
+                read.range(col, Bound::Included(&lo), Bound::Excluded(&hi))?
+            }
+            None => {
+                self.stats.full_scans += 1;
+                read.collect_rows().into_iter().map(|r| r.values).collect()
+            }
+        };
+        Ok(ResultSet {
+            columns,
+            rows: rows.into_iter().filter(|r| residue.eval(r)).collect(),
+        })
+    }
+}
+
+impl Executor {
+    /// Recognize `Aggregate(TableSource with no fused filter)` shapes the
+    /// unified table can answer from dictionary codes: a global or
+    /// single-column group-by whose aggregates are `Count` and/or `Sum`
+    /// over one numeric column. Returns `None` when the shape doesn't
+    /// match, falling back to the generic row path.
+    fn try_columnar_aggregate(
+        &mut self,
+        g: &CalcGraph,
+        input: NodeId,
+        group_by: &[usize],
+        aggs: &[(crate::expr::AggFunc, usize)],
+    ) -> Result<Option<ResultSet>> {
+        use crate::expr::AggFunc;
+        let CalcNode::TableSource {
+            table,
+            fused_filter: Predicate::True,
+        } = g.node(input)
+        else {
+            return Ok(None);
+        };
+        // All Sum aggregates must target the same column.
+        let sum_col = aggs
+            .iter()
+            .filter(|(f, _)| *f == AggFunc::Sum)
+            .map(|(_, c)| *c)
+            .collect::<std::collections::BTreeSet<_>>();
+        if sum_col.len() > 1
+            || aggs
+                .iter()
+                .any(|(f, _)| !matches!(f, AggFunc::Count | AggFunc::Sum))
+            || group_by.len() > 1
+        {
+            return Ok(None);
+        }
+        let read = table.read_at(self.snapshot);
+        let agg_col = sum_col.into_iter().next().unwrap_or(0);
+        let columns: Vec<String> = group_by
+            .iter()
+            .map(|c| format!("g{c}"))
+            .chain(aggs.iter().map(|(f, c)| format!("{f:?}({c})").to_lowercase()))
+            .collect();
+        self.stats.indexed_scans += 1; // columnar kernel, no materialization
+        let rows = match group_by.first() {
+            None => {
+                let (count, sum) = read.aggregate_numeric(agg_col)?;
+                // COUNT(*) counts rows (including NULL agg values).
+                let total_rows = if aggs.iter().any(|(f, _)| *f == AggFunc::Count) {
+                    read.count() as i64
+                } else {
+                    count as i64
+                };
+                vec![aggs
+                    .iter()
+                    .map(|(f, _)| match f {
+                        AggFunc::Count => Value::Int(total_rows),
+                        AggFunc::Sum => Value::double(sum),
+                        _ => unreachable!(),
+                    })
+                    .collect()]
+            }
+            Some(&gcol) => {
+                let groups = read.group_aggregate(gcol, agg_col)?;
+                groups
+                    .into_iter()
+                    .map(|(key, count, sum)| {
+                        let mut row = vec![key];
+                        for (f, _) in aggs {
+                            row.push(match f {
+                                AggFunc::Count => Value::Int(count as i64),
+                                AggFunc::Sum => Value::double(sum),
+                                _ => unreachable!(),
+                            });
+                        }
+                        row
+                    })
+                    .collect()
+            }
+        };
+        let mut rows = rows;
+        rows.sort();
+        Ok(Some(ResultSet { columns, rows }))
+    }
+}
+
+enum Indexable {
+    Eq(usize, Value),
+    Range(usize, Value, Value),
+}
+
+/// Split a fused predicate into one index-resolvable conjunct plus the
+/// row-wise residue.
+fn split_indexable(p: &Predicate) -> (Option<Indexable>, Predicate) {
+    match p {
+        Predicate::Eq(c, v) => (Some(Indexable::Eq(*c, v.clone())), Predicate::True),
+        Predicate::Between(c, lo, hi) => (
+            Some(Indexable::Range(*c, lo.clone(), hi.clone())),
+            Predicate::True,
+        ),
+        Predicate::And(ps) => {
+            let mut chosen = None;
+            let mut residue = Vec::new();
+            for q in ps {
+                if chosen.is_none() {
+                    match q {
+                        Predicate::Eq(c, v) => {
+                            chosen = Some(Indexable::Eq(*c, v.clone()));
+                            continue;
+                        }
+                        Predicate::Between(c, lo, hi) => {
+                            chosen = Some(Indexable::Range(*c, lo.clone(), hi.clone()));
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                residue.push(q.clone());
+            }
+            let residue = match residue.len() {
+                0 => Predicate::True,
+                1 => residue.pop().unwrap(),
+                _ => Predicate::And(residue),
+            };
+            (chosen, residue)
+        }
+        Predicate::True => (None, Predicate::True),
+        other => (None, other.clone()),
+    }
+}
+
+fn aggregate(input: &ResultSet, group_by: &[usize], aggs: &[(crate::expr::AggFunc, usize)]) -> ResultSet {
+    let mut groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
+    for row in &input.rows {
+        let key: Vec<Value> = group_by.iter().map(|&c| row[c].clone()).collect();
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|(f, _)| AggState::new(*f)).collect());
+        for (s, (_, c)) in states.iter_mut().zip(aggs) {
+            s.update(&row[*c]);
+        }
+    }
+    // A global aggregate over zero rows still yields one row of empties.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(vec![], aggs.iter().map(|(f, _)| AggState::new(*f)).collect());
+    }
+    let mut rows: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(mut key, states)| {
+            key.extend(states.iter().map(AggState::finish));
+            key
+        })
+        .collect();
+    rows.sort();
+    let mut columns: Vec<String> = group_by.iter().map(|c| format!("g{c}")).collect();
+    columns.extend(aggs.iter().map(|(f, c)| format!("{f:?}({c})").to_lowercase()));
+    ResultSet { columns, rows }
+}
+
+fn hash_join(left: &ResultSet, right: &ResultSet, lc: usize, rc: usize) -> ResultSet {
+    let mut build: FxHashMap<&Value, Vec<&Vec<Value>>> = FxHashMap::default();
+    for row in &left.rows {
+        if !row[lc].is_null() {
+            build.entry(&row[lc]).or_default().push(row);
+        }
+    }
+    let mut rows = Vec::new();
+    for rrow in &right.rows {
+        if let Some(matches) = build.get(&rrow[rc]) {
+            for lrow in matches {
+                let mut out = (*lrow).clone();
+                out.extend(rrow.iter().cloned());
+                rows.push(out);
+            }
+        }
+    }
+    let mut columns = left.columns.clone();
+    columns.extend(right.columns.iter().cloned());
+    ResultSet { columns, rows }
+}
+
+fn split_combine(
+    input: &ResultSet,
+    ways: usize,
+    split_col: usize,
+    body: &[PipeOp],
+) -> Result<ResultSet> {
+    let ways = ways.max(1);
+    // Split: hash-partition rows.
+    let mut partitions: Vec<Vec<Vec<Value>>> = vec![Vec::new(); ways];
+    for row in &input.rows {
+        let mut h = rustc_hash::FxHasher::default();
+        row[split_col].hash(&mut h);
+        partitions[(h.finish() % ways as u64) as usize].push(row.clone());
+    }
+    // Run the body per partition in parallel.
+    let results: Vec<Result<PartitionOut>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|part| scope.spawn(move || run_body(part, body)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    });
+    // Combine.
+    let mut plain_rows = Vec::new();
+    let mut agg_groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
+    let mut was_agg = false;
+    for r in results {
+        match r? {
+            PartitionOut::Rows(mut rs) => plain_rows.append(&mut rs),
+            PartitionOut::Partial(groups) => {
+                was_agg = true;
+                for (k, states) in groups {
+                    match agg_groups.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (a, b) in e.get_mut().iter_mut().zip(&states) {
+                                a.merge(b);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(states);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let rows = if was_agg {
+        let mut rows: Vec<Vec<Value>> = agg_groups
+            .into_iter()
+            .map(|(mut k, states)| {
+                k.extend(states.iter().map(AggState::finish));
+                k
+            })
+            .collect();
+        rows.sort();
+        rows
+    } else {
+        plain_rows
+    };
+    Ok(ResultSet {
+        columns: input.columns.clone(),
+        rows,
+    })
+}
+
+enum PartitionOut {
+    Rows(Vec<Vec<Value>>),
+    Partial(FxHashMap<Vec<Value>, Vec<AggState>>),
+}
+
+fn run_body(mut rows: Vec<Vec<Value>>, body: &[PipeOp]) -> Result<PartitionOut> {
+    for op in body {
+        match op {
+            PipeOp::Filter(p) => rows.retain(|r| p.eval(r)),
+            PipeOp::Project(exprs) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for r in &rows {
+                    let mut row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        row.push(e.eval(r)?);
+                    }
+                    out.push(row);
+                }
+                rows = out;
+            }
+            PipeOp::PartialAggregate { group_by, aggs } => {
+                let mut groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
+                for row in &rows {
+                    let key: Vec<Value> = group_by.iter().map(|&c| row[c].clone()).collect();
+                    let states = groups
+                        .entry(key)
+                        .or_insert_with(|| aggs.iter().map(|(f, _)| AggState::new(*f)).collect());
+                    for (s, (_, c)) in states.iter_mut().zip(aggs) {
+                        s.update(&row[*c]);
+                    }
+                }
+                return Ok(PartitionOut::Partial(groups));
+            }
+        }
+    }
+    Ok(PartitionOut::Rows(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Query;
+    use crate::expr::{AggFunc, Expr};
+    use crate::optimize::optimize;
+    use hana_common::{ColumnDef, DataType, Schema, TableConfig};
+    use hana_txn::{IsolationLevel, TxnManager};
+    use std::sync::Arc;
+
+    fn sales_table() -> (Arc<TxnManager>, Arc<hana_core::UnifiedTable>) {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "sales",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("city", DataType::Str),
+                ColumnDef::new("amount", DataType::Int),
+                ColumnDef::new("currency", DataType::Str),
+            ],
+        )
+        .unwrap();
+        let t = hana_core::UnifiedTable::standalone(schema, TableConfig::small(), Arc::clone(&mgr));
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        let cities = ["Campbell", "Los Gatos", "Saratoga"];
+        let currencies = ["USD", "EUR"];
+        for i in 0..30i64 {
+            t.insert(
+                &txn,
+                vec![
+                    Value::Int(i),
+                    Value::str(cities[(i % 3) as usize]),
+                    Value::Int(i),
+                    Value::str(currencies[(i % 2) as usize]),
+                ],
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        // Spread rows across stages.
+        t.drain_l1().unwrap();
+        (mgr, t)
+    }
+
+    fn snap(mgr: &TxnManager) -> Snapshot {
+        Snapshot::at(mgr.now())
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let (mgr, t) = sales_table();
+        let mut g = Query::scan(Arc::clone(&t))
+            .filter(Predicate::Eq(1, Value::str("Campbell")))
+            .project(vec![("id", Expr::col(0)), ("double_amt", Expr::col(2).mul(Expr::lit(2)))])
+            .compile();
+        optimize(&mut g);
+        let mut ex = Executor::new(snap(&mgr));
+        let rs = ex.run(&g).unwrap();
+        assert_eq!(rs.columns, vec!["id", "double_amt"]);
+        assert_eq!(rs.len(), 10);
+        assert!(rs.rows.iter().all(|r| r[1] == Value::Int(r[0].as_int().unwrap() * 2)));
+        // The Eq filter went through the index path.
+        assert_eq!(ex.stats().indexed_scans, 1);
+        assert_eq!(ex.stats().full_scans, 0);
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let (mgr, t) = sales_table();
+        let g = Query::scan(t)
+            .aggregate(vec![1], vec![(AggFunc::Count, 0), (AggFunc::Sum, 2)])
+            .compile();
+        let rs = Executor::new(snap(&mgr)).run(&g).unwrap();
+        assert_eq!(rs.len(), 3);
+        for row in &rs.rows {
+            assert_eq!(row[1], Value::Int(10));
+        }
+        let total: f64 = rs.rows.iter().map(|r| r[2].as_numeric().unwrap()).sum();
+        assert_eq!(total, (0..30).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let (mgr, t) = sales_table();
+        // Self-join on city: every row matches the 10 rows of its city.
+        let g = Query::scan(Arc::clone(&t))
+            .join(Query::scan(t), 1, 1)
+            .compile();
+        let rs = Executor::new(snap(&mgr)).run(&g).unwrap();
+        assert_eq!(rs.len(), 3 * 10 * 10);
+        assert_eq!(rs.columns.len(), 8);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let (mgr, t) = sales_table();
+        let g = Query::scan(Arc::clone(&t))
+            .filter(Predicate::Lt(0, Value::Int(5)))
+            .union(Query::scan(t).filter(Predicate::Ge(0, Value::Int(25))))
+            .compile();
+        let rs = Executor::new(snap(&mgr)).run(&g).unwrap();
+        assert_eq!(rs.len(), 10);
+    }
+
+    #[test]
+    fn split_combine_parallel_aggregate_matches_serial() {
+        let (mgr, t) = sales_table();
+        let serial = Query::scan(Arc::clone(&t))
+            .aggregate(vec![1], vec![(AggFunc::Count, 0), (AggFunc::Sum, 2)])
+            .compile();
+        let parallel = Query::scan(t)
+            .split_combine(
+                4,
+                1,
+                vec![PipeOp::PartialAggregate {
+                    group_by: vec![1],
+                    aggs: vec![(AggFunc::Count, 0), (AggFunc::Sum, 2)],
+                }],
+            )
+            .compile();
+        let a = Executor::new(snap(&mgr)).run(&serial).unwrap();
+        let b = Executor::new(snap(&mgr)).run(&parallel).unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn conv_node_applies_rates() {
+        let (mgr, t) = sales_table();
+        let g = Query::scan(t)
+            .convert_currency(2, 3, &[("USD", 1.0), ("EUR", 1.1)])
+            .filter(Predicate::Eq(0, Value::Int(1))) // row 1: EUR, amount 1
+            .compile();
+        let rs = Executor::new(snap(&mgr)).run(&g).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][2], Value::double(1.1));
+    }
+
+    #[test]
+    fn custom_node_runs_closure() {
+        let (mgr, t) = sales_table();
+        let g = Query::scan(t)
+            .custom(
+                "keep-every-10th",
+                Arc::new(|rows| {
+                    Ok(rows
+                        .into_iter()
+                        .filter(|r| r[0].as_int().unwrap() % 10 == 0)
+                        .collect())
+                }),
+            )
+            .compile();
+        let rs = Executor::new(snap(&mgr)).run(&g).unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn shared_subexpression_evaluated_once() {
+        let (mgr, t) = sales_table();
+        // Build a diamond: one filtered scan feeding two projections + union.
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: t,
+            fused_filter: Predicate::True,
+        });
+        let f = g.add(CalcNode::Filter {
+            input: s,
+            pred: Predicate::Lt(0, Value::Int(10)),
+        });
+        let p1 = g.add(CalcNode::Project {
+            input: f,
+            exprs: vec![("a".into(), crate::expr::Expr::col(0))],
+        });
+        let p2 = g.add(CalcNode::Project {
+            input: f,
+            exprs: vec![("b".into(), crate::expr::Expr::col(2))],
+        });
+        let u = g.add(CalcNode::Union { inputs: vec![p1, p2] });
+        g.set_root(u);
+        let mut ex = Executor::new(snap(&mgr));
+        let rs = ex.run(&g).unwrap();
+        assert_eq!(rs.len(), 20);
+        // 5 nodes, 5 evaluations — f and s were not re-run for p2.
+        assert_eq!(ex.stats().nodes_evaluated, 5);
+        assert_eq!(ex.stats().full_scans, 1);
+    }
+
+    #[test]
+    fn empty_aggregate_yields_zero_row() {
+        let (mgr, t) = sales_table();
+        let g = Query::scan(t)
+            .filter(Predicate::Eq(0, Value::Int(-1)))
+            .aggregate(vec![], vec![(AggFunc::Count, 0), (AggFunc::Sum, 2)])
+            .compile();
+        let rs = Executor::new(snap(&mgr)).run(&g).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+    }
+}

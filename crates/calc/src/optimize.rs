@@ -1,0 +1,283 @@
+//! Rule-based plan rewrites.
+//!
+//! §2.2: "the optimizer runs classical rule and cost-based optimization
+//! procedures to restructure and transform the logical plan into a physical
+//! plan." Implemented rules:
+//!
+//! 1. **Filter merging** — `Filter(Filter(x))` → one conjunctive filter;
+//! 2. **Filter-into-scan fusion** — `Filter(TableSource)` folds the
+//!    predicate into the scan node, where the executor resolves `Eq` /
+//!    range conjuncts through the table's dictionaries and inverted indexes
+//!    instead of scanning;
+//! 3. **Projection collapsing** — `Project(Project(x))` composes the
+//!    expressions when the inner projection is pure column selection.
+//!
+//! Rewrites only apply to nodes with a single consumer — a shared
+//! subexpression must stay shared (its memoized result is the point).
+
+use crate::expr::Expr;
+use crate::graph::{CalcGraph, CalcNode, NodeId};
+
+/// Optimize the graph in place; returns the number of rewrites applied.
+pub fn optimize(g: &mut CalcGraph) -> usize {
+    let mut total = 0;
+    loop {
+        let applied = pass(g);
+        total += applied;
+        if applied == 0 {
+            return total;
+        }
+    }
+}
+
+fn pass(g: &mut CalcGraph) -> usize {
+    // Consumer counts over nodes reachable from the root only: rewrites can
+    // orphan nodes, and a dead edge must not pin its input as "shared".
+    let mut reachable = vec![false; g.len()];
+    if let Some(root) = g.root() {
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reachable[id.0], true) {
+                continue;
+            }
+            stack.extend(g.inputs(id));
+        }
+    }
+    let mut consumers = vec![0usize; g.len()];
+    for i in 0..g.len() {
+        if reachable[i] {
+            for input in g.inputs(NodeId(i)) {
+                consumers[input.0] += 1;
+            }
+        }
+    }
+    let mut applied = 0;
+    for i in 0..g.len() {
+        if !reachable[i] {
+            continue;
+        }
+        let id = NodeId(i);
+        // Filter(x) rewrites.
+        if let CalcNode::Filter { input, pred } = g.node(id).clone() {
+            if consumers[input.0] > 1 || pred == crate::expr::Predicate::True {
+                continue;
+            }
+            match g.node(input).clone() {
+                // Rule 1: merge stacked filters.
+                CalcNode::Filter {
+                    input: inner_input,
+                    pred: inner_pred,
+                } => {
+                    *g.node_mut(id) = CalcNode::Filter {
+                        input: inner_input,
+                        pred: inner_pred.and(pred),
+                    };
+                    applied += 1;
+                }
+                // Rule 2: fuse into the scan.
+                CalcNode::TableSource {
+                    table,
+                    fused_filter,
+                } => {
+                    *g.node_mut(input) = CalcNode::TableSource {
+                        table,
+                        fused_filter: fused_filter.and(pred),
+                    };
+                    // The filter becomes a pass-through (identity filter).
+                    *g.node_mut(id) = CalcNode::Filter {
+                        input,
+                        pred: crate::expr::Predicate::True,
+                    };
+                    applied += 1;
+                }
+                _ => {}
+            }
+        }
+        // Rule 3: collapse Project(Project) when the inner is pure columns.
+        if let CalcNode::Project { input, exprs } = g.node(id).clone() {
+            if consumers[input.0] > 1 {
+                continue;
+            }
+            if let CalcNode::Project {
+                input: inner_input,
+                exprs: inner_exprs,
+            } = g.node(input).clone()
+            {
+                if let Some(composed) = compose_projections(&inner_exprs, &exprs) {
+                    *g.node_mut(id) = CalcNode::Project {
+                        input: inner_input,
+                        exprs: composed,
+                    };
+                    applied += 1;
+                }
+            }
+        }
+    }
+    applied
+}
+
+/// Compose `outer` over `inner` when every outer column reference can be
+/// substituted with the inner expression.
+fn compose_projections(
+    inner: &[(String, Expr)],
+    outer: &[(String, Expr)],
+) -> Option<Vec<(String, Expr)>> {
+    fn substitute(e: &Expr, inner: &[(String, Expr)]) -> Option<Expr> {
+        Some(match e {
+            Expr::Column(i) => inner.get(*i)?.1.clone(),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(substitute(a, inner)?),
+                Box::new(substitute(b, inner)?),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(substitute(a, inner)?),
+                Box::new(substitute(b, inner)?),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(substitute(a, inner)?),
+                Box::new(substitute(b, inner)?),
+            ),
+            Expr::Div(a, b) => Expr::Div(
+                Box::new(substitute(a, inner)?),
+                Box::new(substitute(b, inner)?),
+            ),
+        })
+    }
+    outer
+        .iter()
+        .map(|(n, e)| Some((n.clone(), substitute(e, inner)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Predicate;
+    use hana_common::{ColumnDef, DataType, Schema, TableConfig, Value};
+    use hana_txn::TxnManager;
+    use std::sync::Arc;
+
+    fn table() -> Arc<hana_core::UnifiedTable> {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+            ],
+        )
+        .unwrap();
+        hana_core::UnifiedTable::standalone(schema, TableConfig::default(), mgr)
+    }
+
+    #[test]
+    fn filter_fuses_into_scan() {
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+        });
+        let f = g.add(CalcNode::Filter {
+            input: s,
+            pred: Predicate::Eq(0, Value::Int(1)),
+        });
+        g.set_root(f);
+        let n = optimize(&mut g);
+        assert!(n >= 1);
+        match g.node(s) {
+            CalcNode::TableSource { fused_filter, .. } => {
+                assert_eq!(*fused_filter, Predicate::Eq(0, Value::Int(1)));
+            }
+            _ => panic!("scan expected"),
+        }
+        match g.node(f) {
+            CalcNode::Filter { pred, .. } => assert_eq!(*pred, Predicate::True),
+            _ => panic!("filter expected"),
+        }
+    }
+
+    #[test]
+    fn stacked_filters_merge_then_fuse() {
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+        });
+        let f1 = g.add(CalcNode::Filter {
+            input: s,
+            pred: Predicate::Gt(0, Value::Int(0)),
+        });
+        let f2 = g.add(CalcNode::Filter {
+            input: f1,
+            pred: Predicate::Lt(0, Value::Int(10)),
+        });
+        g.set_root(f2);
+        optimize(&mut g);
+        match g.node(s) {
+            CalcNode::TableSource { fused_filter, .. } => match fused_filter {
+                Predicate::And(ps) => assert_eq!(ps.len(), 2),
+                p => panic!("expected conjunction, got {p:?}"),
+            },
+            _ => panic!("scan expected"),
+        }
+    }
+
+    #[test]
+    fn projections_collapse() {
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+        });
+        let p1 = g.add(CalcNode::Project {
+            input: s,
+            exprs: vec![("b".into(), Expr::col(1))],
+        });
+        let p2 = g.add(CalcNode::Project {
+            input: p1,
+            exprs: vec![("b2".into(), Expr::col(0).mul(Expr::lit(2)))],
+        });
+        g.set_root(p2);
+        optimize(&mut g);
+        match g.node(p2) {
+            CalcNode::Project { input, exprs } => {
+                assert_eq!(*input, s);
+                // col(0) of the outer was substituted by col(1) of the inner.
+                assert_eq!(exprs[0].1, Expr::col(1).mul(Expr::lit(2)));
+            }
+            _ => panic!("project expected"),
+        }
+    }
+
+    #[test]
+    fn shared_subexpressions_not_rewritten() {
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+        });
+        let f = g.add(CalcNode::Filter {
+            input: s,
+            pred: Predicate::Gt(0, Value::Int(0)),
+        });
+        // Two consumers of f.
+        let p1 = g.add(CalcNode::Project {
+            input: f,
+            exprs: vec![("a".into(), Expr::col(0))],
+        });
+        let p2 = g.add(CalcNode::Project {
+            input: f,
+            exprs: vec![("b".into(), Expr::col(1))],
+        });
+        let u = g.add(CalcNode::Union { inputs: vec![p1, p2] });
+        g.set_root(u);
+        // f feeds two consumers; its filter must NOT fuse into the scan via
+        // one of them only... (fusion through f itself is fine since s has
+        // one consumer). Check that the structure stays valid.
+        optimize(&mut g);
+        // Both projects still read from f.
+        assert_eq!(g.inputs(p1), vec![f]);
+        assert_eq!(g.inputs(p2), vec![f]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Growable bitmaps for deletion vectors and NULL masks.
+
+/// A simple growable bitset over row positions.
+#[derive(Debug, Clone, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Logical length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits exist.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        let w = self.len / 64;
+        if w >= self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1 << (self.len % 64);
+            self.ones += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Grow to at least `len` bits (new bits are zero).
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            let need = len.div_ceil(64);
+            if need > self.words.len() {
+                self.words.resize(need, 0);
+            }
+        }
+    }
+
+    /// Read bit `i`; positions beyond the end read as 0.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bit `i`, growing as needed.
+    pub fn set(&mut self, i: usize) {
+        self.grow(i + 1);
+        let mask = 1u64 << (i % 64);
+        if self.words[i / 64] & mask == 0 {
+            self.words[i / 64] |= mask;
+            self.ones += 1;
+        }
+    }
+
+    /// Clear bit `i` (no-op past the end).
+    pub fn clear(&mut self, i: usize) {
+        if i >= self.len {
+            return;
+        }
+        let mask = 1u64 << (i % 64);
+        if self.words[i / 64] & mask != 0 {
+            self.words[i / 64] &= !mask;
+            self.ones -= 1;
+        }
+    }
+
+    /// Iterate positions of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let len = self.len;
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * 64;
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let p = base + rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(p)
+            })
+            .filter(move |&p| p < len)
+        })
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut b = Bitmap::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_ones(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn set_clear_idempotent() {
+        let mut b = Bitmap::zeros(10);
+        b.set(7);
+        b.set(7);
+        assert_eq!(b.count_ones(), 1);
+        b.clear(7);
+        b.clear(7);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.get(7));
+    }
+
+    #[test]
+    fn set_grows() {
+        let mut b = Bitmap::new();
+        b.set(100);
+        assert_eq!(b.len(), 101);
+        assert!(b.get(100));
+        assert!(!b.get(99));
+        assert!(!b.get(500)); // out of range reads as 0
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut b = Bitmap::new();
+        for p in [3usize, 64, 65, 128, 200] {
+            b.set(p);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, vec![3, 64, 65, 128, 200]);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        assert_eq!(Bitmap::zeros(100).iter_ones().count(), 0);
+    }
+}

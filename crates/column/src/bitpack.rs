@@ -1,0 +1,305 @@
+//! Bit-packed code vectors.
+//!
+//! The main store keeps each column's dictionary positions "in a bit-packed
+//! manner to have a tight packing of the individual values": with `C`
+//! distinct values the system spends ⌈ld C⌉ bits per position (paper §4.1).
+//! A code may straddle a 64-bit word boundary; `get`/`set` handle the split.
+//!
+//! The merge "maps the old main values to new dictionary positions (with the
+//! same or an increased number of bits)" — [`BitPackedVec::repack`] performs
+//! that widening.
+
+use crate::{bits_for, Code, Pos};
+
+/// Fixed-width bit-packed vector of dictionary codes.
+#[derive(Debug, Clone)]
+pub struct BitPackedVec {
+    words: Vec<u64>,
+    bits: u8,
+    len: usize,
+}
+
+impl BitPackedVec {
+    /// An empty vector storing `bits`-wide codes (1..=32).
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=32).contains(&bits), "code width {bits} out of range");
+        BitPackedVec {
+            words: Vec::new(),
+            bits,
+            len: 0,
+        }
+    }
+
+    /// Pack a slice, sizing the width from the slice's maximum (or 1 bit if
+    /// empty).
+    pub fn from_codes(codes: &[Code]) -> Self {
+        let bits = bits_for(codes.iter().copied().max().unwrap_or(0));
+        let mut v = BitPackedVec::new(bits);
+        v.reserve(codes.len());
+        for &c in codes {
+            v.push(c);
+        }
+        v
+    }
+
+    /// Pack a slice with an explicit width (codes must fit).
+    pub fn from_codes_with_bits(codes: &[Code], bits: u8) -> Self {
+        let mut v = BitPackedVec::new(bits);
+        v.reserve(codes.len());
+        for &c in codes {
+            v.push(c);
+        }
+        v
+    }
+
+    /// Code width in bits.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of codes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum code representable at the current width.
+    #[inline]
+    pub fn max_code(&self) -> Code {
+        if self.bits == 32 {
+            Code::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        }
+    }
+
+    /// Reserve space for `additional` more codes.
+    pub fn reserve(&mut self, additional: usize) {
+        let total_bits = (self.len + additional) * self.bits as usize;
+        self.words.reserve(total_bits.div_ceil(64).saturating_sub(self.words.len()));
+    }
+
+    /// Append a code.
+    ///
+    /// # Panics
+    /// Panics if `code` does not fit the configured width.
+    pub fn push(&mut self, code: Code) {
+        assert!(code <= self.max_code(), "code {code} exceeds {} bits", self.bits);
+        let bit = self.len * self.bits as usize;
+        let word = bit / 64;
+        let off = bit % 64;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= (code as u64) << off;
+        let spill = off + self.bits as usize;
+        if spill > 64 {
+            self.words.push((code as u64) >> (64 - off));
+        }
+        self.len += 1;
+    }
+
+    /// Read the code at `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Code {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let bit = i * self.bits as usize;
+        let word = bit / 64;
+        let off = bit % 64;
+        let mask = if self.bits == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << self.bits) - 1
+        };
+        let mut v = self.words[word] >> off;
+        let taken = 64 - off;
+        if taken < self.bits as usize {
+            v |= self.words[word + 1] << taken;
+        }
+        (v & mask) as Code
+    }
+
+    /// Overwrite the code at `i` (same width).
+    pub fn set(&mut self, i: usize, code: Code) {
+        assert!(i < self.len, "index {i} out of bounds");
+        assert!(code <= self.max_code());
+        let bit = i * self.bits as usize;
+        let word = bit / 64;
+        let off = bit % 64;
+        let mask = if self.bits == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << self.bits) - 1
+        };
+        self.words[word] &= !(mask << off);
+        self.words[word] |= (code as u64) << off;
+        let taken = 64 - off;
+        if taken < self.bits as usize {
+            let hi_bits = self.bits as usize - taken;
+            let hi_mask = (1u64 << hi_bits) - 1;
+            self.words[word + 1] &= !hi_mask;
+            self.words[word + 1] |= (code as u64) >> taken;
+        }
+    }
+
+    /// Iterate all codes.
+    pub fn iter(&self) -> impl Iterator<Item = Code> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Decode positions `[start, start+out.len())` into `out` (block decode
+    /// used by the scan kernels; the caller guarantees the range is valid).
+    pub fn decode_block(&self, start: usize, out: &mut [Code]) {
+        debug_assert!(start + out.len() <= self.len);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.get(start + k);
+        }
+    }
+
+    /// Re-encode through a mapping table at a (possibly wider) width — the
+    /// merge's "same or an increased number of bits" recode step. `map[old]`
+    /// yields the new code.
+    pub fn repack(&self, map: &[Code], new_bits: u8) -> BitPackedVec {
+        let mut out = BitPackedVec::new(new_bits);
+        out.reserve(self.len);
+        for c in self.iter() {
+            out.push(map[c as usize]);
+        }
+        out
+    }
+
+    /// Positions whose code equals `code`.
+    pub fn scan_eq(&self, code: Code, out: &mut Vec<Pos>) {
+        // Blockwise decode keeps the inner loop branch-light — the shape of
+        // the SIMD-scan the paper cites [15], without the intrinsics.
+        let mut buf = [0 as Code; 256];
+        let mut i = 0;
+        while i < self.len {
+            let n = (self.len - i).min(256);
+            self.decode_block(i, &mut buf[..n]);
+            for (k, &c) in buf[..n].iter().enumerate() {
+                if c == code {
+                    out.push((i + k) as Pos);
+                }
+            }
+            i += n;
+        }
+    }
+
+    /// Positions whose code lies in `range` (half-open).
+    pub fn scan_range(&self, range: std::ops::Range<Code>, out: &mut Vec<Pos>) {
+        let mut buf = [0 as Code; 256];
+        let mut i = 0;
+        while i < self.len {
+            let n = (self.len - i).min(256);
+            self.decode_block(i, &mut buf[..n]);
+            for (k, &c) in buf[..n].iter().enumerate() {
+                if range.contains(&c) {
+                    out.push((i + k) as Pos);
+                }
+            }
+            i += n;
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        for bits in [1u8, 3, 7, 8, 13, 16, 31, 32] {
+            let max = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+            let codes: Vec<Code> = (0..200).map(|i| (i * 2654435761u64 % (max as u64 + 1)) as Code).collect();
+            let v = BitPackedVec::from_codes_with_bits(&codes, bits);
+            assert_eq!(v.len(), 200);
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(v.get(i), c, "bits={bits} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_straddles_word_boundary() {
+        // 13-bit codes guarantee straddles at positions 4, 9, ...
+        let codes: Vec<Code> = (0..100).map(|i| (i * 83) % 8192).collect();
+        let v = BitPackedVec::from_codes_with_bits(&codes, 13);
+        assert_eq!(v.iter().collect::<Vec<_>>(), codes);
+    }
+
+    #[test]
+    fn from_codes_picks_minimal_width() {
+        assert_eq!(BitPackedVec::from_codes(&[0, 1]).bits(), 1);
+        assert_eq!(BitPackedVec::from_codes(&[0, 5]).bits(), 3);
+        assert_eq!(BitPackedVec::from_codes(&[]).bits(), 1);
+        assert_eq!(BitPackedVec::from_codes(&[65535]).bits(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn push_overflow_panics() {
+        BitPackedVec::new(3).push(8);
+    }
+
+    #[test]
+    fn set_rewrites_in_place() {
+        let mut v = BitPackedVec::from_codes_with_bits(&[1, 2, 3, 4, 5], 13);
+        v.set(2, 8000);
+        assert_eq!(v.get(2), 8000);
+        assert_eq!(v.get(1), 2);
+        assert_eq!(v.get(3), 4);
+        // Also across a word boundary.
+        v.set(4, 8191);
+        assert_eq!(v.get(4), 8191);
+    }
+
+    #[test]
+    fn repack_widens() {
+        let v = BitPackedVec::from_codes(&[0, 1, 2, 3]);
+        let map: Vec<Code> = vec![10, 11, 500, 501];
+        let w = v.repack(&map, bits_for(501));
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![10, 11, 500, 501]);
+        assert!(w.bits() > v.bits());
+    }
+
+    #[test]
+    fn scan_eq_and_range() {
+        let codes: Vec<Code> = (0..1000).map(|i| i % 7).collect();
+        let v = BitPackedVec::from_codes(&codes);
+        let mut hits = Vec::new();
+        v.scan_eq(3, &mut hits);
+        assert_eq!(hits.len(), codes.iter().filter(|&&c| c == 3).count());
+        assert!(hits.iter().all(|&p| codes[p as usize] == 3));
+
+        let mut range_hits = Vec::new();
+        v.scan_range(2..5, &mut range_hits);
+        assert_eq!(
+            range_hits.len(),
+            codes.iter().filter(|&&c| (2..5).contains(&c)).count()
+        );
+    }
+
+    #[test]
+    fn compression_is_real() {
+        // 1000 codes over 8 distinct values: 3 bits each ≈ 375 bytes.
+        let codes: Vec<Code> = (0..1000).map(|i| i % 8).collect();
+        let v = BitPackedVec::from_codes(&codes);
+        assert!(v.heap_size() < 1000 * 4 / 8);
+    }
+}

@@ -1,0 +1,120 @@
+//! Unified-table tuning knobs.
+//!
+//! The defaults follow the paper's rules of thumb: an L1-delta of
+//! 10k–100k rows per node, an L2-delta of up to ~10M rows, and merge
+//! scheduling that keeps resource-intensive main rebuilds rare.
+
+use serde::{Deserialize, Serialize};
+
+/// How the delta-to-main merge should be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeStrategy {
+    /// §4.1 classic merge: merge dictionaries, recode, rebuild the full main.
+    Classic,
+    /// §4.2 re-sorting merge: additionally re-orders rows for cross-column
+    /// compression, guided by column statistics.
+    ReSorting,
+    /// §4.3 partial merge: merge the L2-delta only into the *active* main,
+    /// leaving the passive main untouched.
+    Partial,
+    /// Let the cost-based policy pick per merge (partial while the active
+    /// main is small, consolidating full merges when it grows).
+    Auto,
+}
+
+/// Per-table configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableConfig {
+    /// L1→L2 merge triggers when the L1-delta reaches this many rows
+    /// (paper: 10,000–100,000 rows).
+    pub l1_max_rows: usize,
+    /// Delta-to-main merge triggers when the L2-delta reaches this many rows
+    /// (paper: up to 10 million; defaults far lower for test-scale tables).
+    pub l2_max_rows: usize,
+    /// Merge strategy for delta-to-main merges.
+    pub merge_strategy: MergeStrategy,
+    /// Partial merges consolidate into a full merge once the active main
+    /// exceeds this fraction of the passive main's rows.
+    pub active_main_max_fraction: f64,
+    /// Block size for cluster encoding and blockwise scans.
+    pub block_size: usize,
+    /// Whether the table is *historic*: superseded versions are moved to the
+    /// history store instead of being garbage collected, enabling time
+    /// travel (paper §2.2/§4.3).
+    pub historic: bool,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            l1_max_rows: 10_000,
+            l2_max_rows: 200_000,
+            merge_strategy: MergeStrategy::Auto,
+            active_main_max_fraction: 0.25,
+            block_size: 1024,
+            historic: false,
+        }
+    }
+}
+
+impl TableConfig {
+    /// Small thresholds suitable for unit tests: merges trigger quickly.
+    pub fn small() -> Self {
+        TableConfig {
+            l1_max_rows: 16,
+            l2_max_rows: 64,
+            ..TableConfig::default()
+        }
+    }
+
+    /// Builder-style override of the L1 threshold.
+    pub fn with_l1_max(mut self, rows: usize) -> Self {
+        self.l1_max_rows = rows;
+        self
+    }
+
+    /// Builder-style override of the L2 threshold.
+    pub fn with_l2_max(mut self, rows: usize) -> Self {
+        self.l2_max_rows = rows;
+        self
+    }
+
+    /// Builder-style override of the merge strategy.
+    pub fn with_strategy(mut self, s: MergeStrategy) -> Self {
+        self.merge_strategy = s;
+        self
+    }
+
+    /// Builder-style switch to a historic (time-travel) table.
+    pub fn with_history(mut self) -> Self {
+        self.historic = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_rules_of_thumb() {
+        let c = TableConfig::default();
+        assert!((10_000..=100_000).contains(&c.l1_max_rows));
+        assert!(c.l2_max_rows > c.l1_max_rows);
+        assert_eq!(c.merge_strategy, MergeStrategy::Auto);
+        assert!(!c.historic);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = TableConfig::small()
+            .with_l1_max(4)
+            .with_l2_max(8)
+            .with_strategy(MergeStrategy::Partial)
+            .with_history();
+        assert_eq!(c.l1_max_rows, 4);
+        assert_eq!(c.l2_max_rows, 8);
+        assert_eq!(c.merge_strategy, MergeStrategy::Partial);
+        assert!(c.historic);
+    }
+}

@@ -1,0 +1,95 @@
+//! Unified error type.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, HanaError>;
+
+/// All errors surfaced by the database.
+#[derive(Debug)]
+pub enum HanaError {
+    /// Schema violations: unknown column, wrong arity, type mismatch.
+    Schema(String),
+    /// Constraint violations: NOT NULL, UNIQUE.
+    Constraint(String),
+    /// Write-write conflict under snapshot isolation (first writer wins).
+    WriteConflict(String),
+    /// Transaction state errors (already committed, unknown txn, …).
+    Txn(String),
+    /// A requested row does not exist or is not visible.
+    NotFound(String),
+    /// Merge machinery errors (retryable, cf. paper §3.1: a failed merge
+    /// leaves the system operating on the new L2-delta).
+    Merge(String),
+    /// Persistence-layer failures: log corruption, bad checksums, page faults.
+    Persist(String),
+    /// Query compilation/execution errors in the calc-graph layer.
+    Query(String),
+    /// Wrapped I/O error from the page store or log.
+    Io(io::Error),
+}
+
+impl fmt::Display for HanaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HanaError::Schema(m) => write!(f, "schema error: {m}"),
+            HanaError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            HanaError::WriteConflict(m) => write!(f, "write conflict: {m}"),
+            HanaError::Txn(m) => write!(f, "transaction error: {m}"),
+            HanaError::NotFound(m) => write!(f, "not found: {m}"),
+            HanaError::Merge(m) => write!(f, "merge error: {m}"),
+            HanaError::Persist(m) => write!(f, "persistence error: {m}"),
+            HanaError::Query(m) => write!(f, "query error: {m}"),
+            HanaError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HanaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HanaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HanaError {
+    fn from(e: io::Error) -> Self {
+        HanaError::Io(e)
+    }
+}
+
+impl HanaError {
+    /// True for errors a client may retry after re-reading (conflicts,
+    /// transient merge failures).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, HanaError::WriteConflict(_) | HanaError::Merge(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category() {
+        let e = HanaError::Constraint("unique key 7".into());
+        assert!(e.to_string().contains("constraint violation"));
+    }
+
+    #[test]
+    fn io_error_wraps() {
+        let e: HanaError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(matches!(e, HanaError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(HanaError::WriteConflict("x".into()).is_retryable());
+        assert!(HanaError::Merge("x".into()).is_retryable());
+        assert!(!HanaError::Schema("x".into()).is_retryable());
+    }
+}

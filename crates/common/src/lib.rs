@@ -1,0 +1,24 @@
+//! Shared foundation types for the `hana-ut` workspace.
+//!
+//! This crate holds everything the storage, transaction and query layers have
+//! to agree on: the [`Value`] model and its total ordering, table
+//! [`schema`](crate::schema) descriptions, MVCC [`timestamp`](crate::timestamp)
+//! conventions, record identifiers and the unified-table tuning knobs in
+//! [`config`](crate::config).
+//!
+//! Nothing in here allocates per-row state beyond the values themselves; the
+//! heavier machinery lives in the store crates.
+
+pub mod config;
+pub mod error;
+pub mod rowid;
+pub mod schema;
+pub mod timestamp;
+pub mod value;
+
+pub use config::{MergeStrategy, TableConfig};
+pub use error::{HanaError, Result};
+pub use rowid::{RowId, RowLocation, StoreKind};
+pub use schema::{ColumnDef, ColumnId, Schema, TableId};
+pub use timestamp::{Timestamp, TxnId, COMMIT_TS_MAX, TXN_MARK};
+pub use value::{DataType, OrderedF64, Value};

@@ -1,0 +1,88 @@
+//! MVCC timestamp conventions.
+//!
+//! The transaction manager hands out monotonically increasing commit
+//! timestamps from a single atomic clock. Row versions carry a `begin` and an
+//! `end` timestamp:
+//!
+//! * `begin == TXN_MARK | txn_id` — the version was written by a transaction
+//!   that had not committed when the stamp was taken; readers resolve the
+//!   real commit timestamp through the commit table.
+//! * `end == COMMIT_TS_MAX` — the version is live (not deleted/superseded).
+//!
+//! Keeping these conventions in `hana-common` lets the row store, the column
+//! stores and the merge engine all interpret version stamps identically
+//! without depending on the transaction manager crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A commit timestamp (or a marked transaction id, see [`TXN_MARK`]).
+pub type Timestamp = u64;
+
+/// High bit set: this "timestamp" is actually a transaction id of an
+/// uncommitted writer. Real commit timestamps never reach this bit.
+pub const TXN_MARK: Timestamp = 1 << 63;
+
+/// `end` stamp of a live (undeleted) version.
+pub const COMMIT_TS_MAX: Timestamp = u64::MAX;
+
+/// Transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Encode this id as an uncommitted-writer stamp.
+    #[inline]
+    pub fn mark(self) -> Timestamp {
+        debug_assert!(self.0 < TXN_MARK, "txn id overflow");
+        TXN_MARK | self.0
+    }
+
+    /// Decode a marked stamp back into a transaction id, if it is one.
+    #[inline]
+    pub fn from_mark(ts: Timestamp) -> Option<TxnId> {
+        if ts != COMMIT_TS_MAX && ts & TXN_MARK != 0 {
+            Some(TxnId(ts & !TXN_MARK))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// True if `ts` is a plain committed timestamp (not a mark, not "live").
+#[inline]
+pub fn is_committed_stamp(ts: Timestamp) -> bool {
+    ts & TXN_MARK == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_round_trip() {
+        let id = TxnId(42);
+        let m = id.mark();
+        assert!(!is_committed_stamp(m));
+        assert_eq!(TxnId::from_mark(m), Some(id));
+    }
+
+    #[test]
+    fn committed_stamps_are_not_marks() {
+        assert!(is_committed_stamp(0));
+        assert!(is_committed_stamp(123456));
+        assert_eq!(TxnId::from_mark(123456), None);
+    }
+
+    #[test]
+    fn live_sentinel_is_not_a_mark() {
+        // COMMIT_TS_MAX has the high bit set but must never decode as a txn.
+        assert_eq!(TxnId::from_mark(COMMIT_TS_MAX), None);
+    }
+}

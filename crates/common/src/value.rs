@@ -1,0 +1,325 @@
+//! The value model shared by every store stage.
+//!
+//! The unified table keeps the *same logical values* while a record travels
+//! from the row-format L1-delta through the dictionary-encoded L2-delta into
+//! the compressed main store. [`Value`] is that logical representation.
+//!
+//! [`Value`] implements a *total* order (needed for sorted dictionaries and
+//! range predicates), which requires taming `f64`: floats are compared via
+//! [`OrderedF64`], an order-preserving bit transform that also makes NaN
+//! orderable (all NaNs sort above +inf).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Logical column types supported by the unified table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float with a total order.
+    Double,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Str => write!(f, "STRING"),
+        }
+    }
+}
+
+/// An `f64` wrapper with a total order and stable hashing.
+///
+/// The ordering is the IEEE-754 `total_order` predicate: `-NaN < -inf < … <
+/// -0.0 < +0.0 < … < +inf < +NaN`. This lets doubles participate in sorted
+/// dictionaries and B-tree-style range scans without special cases.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OrderedF64(pub f64);
+
+impl OrderedF64 {
+    /// Monotone mapping from the float's bit pattern to a totally ordered u64.
+    #[inline]
+    fn key(self) -> u64 {
+        let bits = self.0.to_bits();
+        // Flip all bits for negatives, just the sign bit for positives.
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+impl Hash for OrderedF64 {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        OrderedF64(v)
+    }
+}
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A single cell value.
+///
+/// `Null` sorts below every non-null value of any type; across types the
+/// order is `Int < Double < Str` (only relevant for heterogeneous debugging
+/// paths — the schema keeps real columns homogeneous).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer value.
+    Int(i64),
+    /// Double value with total ordering semantics.
+    Double(OrderedF64),
+    /// String value.
+    Str(String),
+}
+
+impl Value {
+    /// Construct a double value.
+    pub fn double(v: f64) -> Self {
+        Value::Double(OrderedF64(v))
+    }
+
+    /// Construct a string value.
+    pub fn str(v: impl Into<String>) -> Self {
+        Value::Str(v.into())
+    }
+
+    /// The type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a `Double`.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(v.0),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view used by aggregation operators: ints and doubles both
+    /// surface as `f64`; everything else is `None`.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(v.0),
+            _ => None,
+        }
+    }
+
+    /// Whether this value matches the given column type (`Null` matches all).
+    pub fn matches_type(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the lifecycle cost
+    /// model and the Fig-11 bytes/row accounting.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Value::Str(s) => std::mem::size_of::<Value>() + s.capacity(),
+            _ => std::mem::size_of::<Value>(),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Double(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_f64_total_order() {
+        let mut vals: Vec<OrderedF64> = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.5,
+            -1.5,
+        ]
+        .into_iter()
+        .map(OrderedF64)
+        .collect();
+        vals.sort();
+        let rendered: Vec<f64> = vals.iter().map(|v| v.0).collect();
+        assert_eq!(rendered[0], f64::NEG_INFINITY);
+        assert_eq!(rendered[1], -1.5);
+        // -0.0 sorts before +0.0 under total order.
+        assert!(rendered[2].is_sign_negative() && rendered[2] == 0.0);
+        assert!(rendered[3].is_sign_positive() && rendered[3] == 0.0);
+        assert_eq!(rendered[4], 1.5);
+        assert_eq!(rendered[5], f64::INFINITY);
+        assert!(rendered[6].is_nan());
+    }
+
+    #[test]
+    fn nan_equals_itself() {
+        assert_eq!(OrderedF64(f64::NAN), OrderedF64(f64::NAN));
+    }
+
+    #[test]
+    fn value_ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::double(1.0) < Value::double(2.0));
+        assert!(Value::Null < Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::double(2.5).as_double(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Int(7).as_numeric(), Some(7.0));
+        assert_eq!(Value::str("x").as_numeric(), None);
+        assert!(Value::Null.is_null());
+        assert!(Value::Null.matches_type(DataType::Str));
+        assert!(Value::Int(1).matches_type(DataType::Int));
+        assert!(!Value::Int(1).matches_type(DataType::Str));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("Los Gatos").to_string(), "Los Gatos");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn heap_size_grows_with_string() {
+        let small = Value::str("a").heap_size();
+        let big = Value::str("a".repeat(100)).heap_size();
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,491 @@
+//! The database façade: catalog, transactions, durability, recovery.
+
+use crate::table::UnifiedTable;
+use hana_common::{
+    HanaError, Result, RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
+};
+use hana_merge::{MergeDaemon, MergeTarget};
+use hana_persist::{LogRecord, Persistence};
+use hana_txn::{IsolationLevel, Transaction, TxnManager};
+use parking_lot::{Mutex, RwLock};
+use rustc_hash::FxHashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// An embedded HANA-style database: a catalog of unified tables sharing one
+/// transaction manager and (optionally) one persistence instance.
+pub struct Database {
+    mgr: Arc<TxnManager>,
+    persist: Option<Arc<Persistence>>,
+    fence: Arc<RwLock<()>>,
+    tables: RwLock<Vec<Arc<UnifiedTable>>>,
+    next_table_id: AtomicU32,
+    daemon: Mutex<Option<MergeDaemon>>,
+}
+
+impl Database {
+    /// A purely in-memory database (no durability).
+    pub fn in_memory() -> Arc<Self> {
+        Arc::new(Database {
+            mgr: TxnManager::new(),
+            persist: None,
+            fence: Arc::new(RwLock::new(())),
+            tables: RwLock::new(Vec::new()),
+            next_table_id: AtomicU32::new(0),
+            daemon: Mutex::new(None),
+        })
+    }
+
+    /// Open a durable database in `dir`, running recovery if durable state
+    /// exists: load the newest savepoint, then replay the REDO log.
+    pub fn open(dir: &Path) -> Result<Arc<Self>> {
+        let recovered = Persistence::recover(dir)?;
+        let persist = Arc::new(Persistence::open(dir)?);
+        let mgr = TxnManager::new();
+        mgr.advance_clock_to(recovered.clock);
+
+        let db = Arc::new(Database {
+            mgr,
+            persist: Some(persist),
+            fence: Arc::new(RwLock::new(())),
+            tables: RwLock::new(Vec::new()),
+            next_table_id: AtomicU32::new(0),
+            daemon: Mutex::new(None),
+        });
+
+        // Pass 1 over the log: commit outcomes.
+        let mut commits: FxHashMap<TxnId, Timestamp> = FxHashMap::default();
+        let mut max_ts = recovered.clock;
+        for rec in &recovered.log_records {
+            if let LogRecord::Commit { txn, ts } = rec {
+                commits.insert(*txn, *ts);
+                max_ts = max_ts.max(*ts);
+            }
+        }
+        db.mgr.advance_clock_to(max_ts);
+        let resolve = |w: TxnId| commits.get(&w).copied();
+
+        // Rebuild tables from savepoint images.
+        let mut max_table_id = 0u32;
+        for img in &recovered.images {
+            max_table_id = max_table_id.max(img.table_id + 1);
+            let t = UnifiedTable::create(
+                TableId(img.table_id),
+                img.schema.clone(),
+                img.config.clone(),
+                Arc::clone(&db.mgr),
+                db.persist.clone(),
+                Arc::clone(&db.fence),
+            );
+            t.load_image(img, &resolve)?;
+            db.tables.write().push(t);
+        }
+
+        // Pass 2: replay data records of committed transactions. Track the
+        // current version location of every touched row via the table's
+        // store-level search (the replayed sets are the post-savepoint tail,
+        // typically small).
+        for rec in &recovered.log_records {
+            match rec {
+                LogRecord::CreateTable {
+                    table,
+                    schema,
+                    config,
+                } => {
+                    max_table_id = max_table_id.max(table.0 + 1);
+                    // Idempotence: the table may already exist via an image.
+                    if db.table_by_id(*table).is_none() {
+                        let t = UnifiedTable::create(
+                            *table,
+                            schema.clone(),
+                            config.clone(),
+                            Arc::clone(&db.mgr),
+                            db.persist.clone(),
+                            Arc::clone(&db.fence),
+                        );
+                        db.tables.write().push(t);
+                    }
+                }
+                LogRecord::InsertL1 {
+                    table,
+                    row_id,
+                    txn,
+                    row,
+                } => {
+                    let Some(cts) = commits.get(txn) else { continue };
+                    let Some(t) = db.table_by_id(*table) else { continue };
+                    t.replay_insert(*row_id, row.clone(), *cts);
+                }
+                LogRecord::BulkLoadL2 {
+                    table,
+                    first_row_id,
+                    txn,
+                    rows,
+                } => {
+                    let Some(cts) = commits.get(txn) else { continue };
+                    let Some(t) = db.table_by_id(*table) else { continue };
+                    t.replay_bulk_load(*first_row_id, rows.clone(), *cts)?;
+                }
+                LogRecord::Delete { table, row_id, txn } => {
+                    let Some(cts) = commits.get(txn) else { continue };
+                    let Some(t) = db.table_by_id(*table) else { continue };
+                    t.replay_delete(*row_id, *cts);
+                }
+                LogRecord::Commit { .. } | LogRecord::Abort { .. } | LogRecord::MergeEvent { .. } => {}
+            }
+        }
+        db.next_table_id.store(max_table_id, Ordering::SeqCst);
+        Ok(db)
+    }
+
+    /// The shared transaction manager.
+    pub fn txn_manager(&self) -> &Arc<TxnManager> {
+        &self.mgr
+    }
+
+    /// Whether this database persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Create a table.
+    pub fn create_table(
+        self: &Arc<Self>,
+        schema: Schema,
+        config: TableConfig,
+    ) -> Result<Arc<UnifiedTable>> {
+        let mut tables = self.tables.write();
+        if tables.iter().any(|t| t.schema().name == schema.name) {
+            return Err(HanaError::Schema(format!(
+                "table {} already exists",
+                schema.name
+            )));
+        }
+        let id = TableId(self.next_table_id.fetch_add(1, Ordering::SeqCst));
+        if let Some(p) = &self.persist {
+            p.log().append(&LogRecord::CreateTable {
+                table: id,
+                schema: schema.clone(),
+                config: config.clone(),
+            })?;
+            p.log().flush()?;
+        }
+        let t = UnifiedTable::create(
+            id,
+            schema,
+            config,
+            Arc::clone(&self.mgr),
+            self.persist.clone(),
+            Arc::clone(&self.fence),
+        );
+        tables.push(Arc::clone(&t));
+        Ok(t)
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<UnifiedTable>> {
+        self.tables
+            .read()
+            .iter()
+            .find(|t| t.schema().name == name)
+            .cloned()
+            .ok_or_else(|| HanaError::NotFound(format!("table {name}")))
+    }
+
+    /// Look up a table by id.
+    pub fn table_by_id(&self, id: TableId) -> Option<Arc<UnifiedTable>> {
+        self.tables.read().iter().find(|t| t.id() == id).cloned()
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> Vec<Arc<UnifiedTable>> {
+        self.tables.read().clone()
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self, level: IsolationLevel) -> Transaction {
+        self.mgr.begin(level)
+    }
+
+    /// Commit: assign the commit timestamp, append + flush the commit
+    /// record, release row locks.
+    pub fn commit(&self, txn: &mut Transaction) -> Result<Timestamp> {
+        let id = txn.id();
+        let ts = self.mgr.commit(txn)?;
+        if let Some(p) = &self.persist {
+            p.log().append(&LogRecord::Commit { txn: id, ts })?;
+            p.log().flush()?;
+        }
+        for t in self.tables.read().iter() {
+            t.finish_txn(id);
+        }
+        Ok(ts)
+    }
+
+    /// Abort: mark the transaction aborted, log it, release row locks.
+    pub fn abort(&self, txn: &mut Transaction) -> Result<()> {
+        let id = txn.id();
+        self.mgr.abort(txn)?;
+        if let Some(p) = &self.persist {
+            p.log().append(&LogRecord::Abort { txn: id })?;
+        }
+        for t in self.tables.read().iter() {
+            t.finish_txn(id);
+        }
+        Ok(())
+    }
+
+    /// Write a savepoint: image every table under the exclusive fence, then
+    /// persist + truncate the log. Returns the savepoint version.
+    pub fn savepoint(&self) -> Result<u64> {
+        let Some(p) = &self.persist else {
+            return Err(HanaError::Persist("in-memory database has no savepoints".into()));
+        };
+        let _fence = self.fence.write();
+        let tables = self.tables.read().clone();
+        let images: Vec<_> = tables.iter().map(|t| t.to_image()).collect();
+        p.savepoint(self.mgr.now(), &images)
+    }
+
+    /// Start the background merge daemon over all current tables.
+    pub fn start_merge_daemon(&self, interval: std::time::Duration) {
+        let targets: Vec<Arc<dyn MergeTarget>> = self
+            .tables
+            .read()
+            .iter()
+            .map(|t| Arc::clone(t) as Arc<dyn MergeTarget>)
+            .collect();
+        *self.daemon.lock() = Some(MergeDaemon::spawn(targets, interval));
+    }
+
+    /// Stop the background merge daemon (joins the thread).
+    pub fn stop_merge_daemon(&self) {
+        *self.daemon.lock() = None;
+    }
+
+    /// Nudge the merge daemon to check thresholds now.
+    pub fn nudge_merges(&self) {
+        if let Some(d) = &*self.daemon.lock() {
+            d.nudge();
+        }
+    }
+}
+
+impl UnifiedTable {
+    /// Recovery replay of an `InsertL1` record.
+    pub(crate) fn replay_insert(&self, row_id: RowId, row: Vec<Value>, cts: Timestamp) {
+        self.l1.insert(row_id, row, cts);
+        self.next_row_id.fetch_max(row_id.0 + 1, Ordering::SeqCst);
+    }
+
+    /// Recovery replay of a `BulkLoadL2` record.
+    pub(crate) fn replay_bulk_load(
+        &self,
+        first: RowId,
+        rows: Vec<Vec<Value>>,
+        cts: Timestamp,
+    ) -> Result<()> {
+        let state = self.state.read();
+        let batch: Vec<_> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(k, row)| {
+                (
+                    RowId(first.0 + k as u64),
+                    row,
+                    cts,
+                    hana_common::COMMIT_TS_MAX,
+                )
+            })
+            .collect();
+        self.next_row_id
+            .fetch_max(first.0 + batch.len() as u64, Ordering::SeqCst);
+        state.l2.append_batch(&batch)?;
+        state.l2.publish_all();
+        Ok(())
+    }
+
+    /// Recovery replay of a `Delete` record: close the newest live version
+    /// of `row_id` (replay is single-threaded; a store-level sweep is fine
+    /// for the post-savepoint tail).
+    pub(crate) fn replay_delete(&self, row_id: RowId, cts: Timestamp) {
+        // L1 newest-last: walk backwards.
+        let snap = self.l1.snapshot();
+        for pos in (snap.start..snap.end).rev() {
+            if let Some(slot) = snap.slot(pos) {
+                if slot.row_id == row_id && slot.end() == hana_common::COMMIT_TS_MAX {
+                    slot.store_end(cts);
+                    return;
+                }
+            }
+        }
+        let state = self.state.read();
+        for pos in (0..state.l2.len() as u32).rev() {
+            if state.l2.row_id(pos) == row_id && state.l2.end(pos) == hana_common::COMMIT_TS_MAX {
+                state.l2.store_end(pos, cts);
+                return;
+            }
+        }
+        for part in state.main.parts() {
+            for pos in 0..part.len() as u32 {
+                if part.row_id(pos) == row_id && part.end(pos) == hana_common::COMMIT_TS_MAX {
+                    part.store_end(pos, cts);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType};
+    use tempfile::tempdir;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("owner", DataType::Str),
+                ColumnDef::new("balance", DataType::Int).not_null(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn acct(id: i64, owner: &str, bal: i64) -> Vec<Value> {
+        vec![Value::Int(id), Value::str(owner), Value::Int(bal)]
+    }
+
+    #[test]
+    fn in_memory_end_to_end() {
+        let db = Database::in_memory();
+        let t = db.create_table(schema(), TableConfig::small()).unwrap();
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        t.insert(&txn, acct(1, "ada", 100)).unwrap();
+        db.commit(&mut txn).unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r).count(), 1);
+        assert!(db.table("accounts").is_ok());
+        assert!(db.table("nope").is_err());
+        // Duplicate table name rejected.
+        assert!(db.create_table(schema(), TableConfig::default()).is_err());
+    }
+
+    #[test]
+    fn durable_recovery_log_only() {
+        let dir = tempdir().unwrap();
+        {
+            let db = Database::open(dir.path()).unwrap();
+            let t = db.create_table(schema(), TableConfig::small()).unwrap();
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            t.insert(&txn, acct(1, "ada", 100)).unwrap();
+            t.insert(&txn, acct(2, "bob", 50)).unwrap();
+            db.commit(&mut txn).unwrap();
+            // An uncommitted transaction at crash time.
+            let open = db.begin(IsolationLevel::Transaction);
+            t.insert(&open, acct(3, "eve", 1)).unwrap();
+            std::mem::forget(open); // simulate crash: never commits/aborts
+        }
+        let db = Database::open(dir.path()).unwrap();
+        let t = db.table("accounts").unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        let read = t.read(&r);
+        assert_eq!(read.count(), 2);
+        assert_eq!(read.point(0, &Value::Int(1)).unwrap()[0][1], Value::str("ada"));
+        // Uncommitted insert vanished.
+        assert!(read.point(0, &Value::Int(3)).unwrap().is_empty());
+        // New inserts get fresh row ids / keys still usable.
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        t.insert(&txn, acct(3, "carol", 7)).unwrap();
+        db.commit(&mut txn).unwrap();
+    }
+
+    #[test]
+    fn durable_recovery_with_savepoint_and_tail() {
+        let dir = tempdir().unwrap();
+        {
+            let db = Database::open(dir.path()).unwrap();
+            let t = db.create_table(schema(), TableConfig::small()).unwrap();
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            for i in 0..50 {
+                t.insert(&txn, acct(i, "x", i * 10)).unwrap();
+            }
+            db.commit(&mut txn).unwrap();
+            t.drain_l1().unwrap();
+            t.merge_delta_as(hana_merge::MergeDecision::Classic).unwrap();
+            db.savepoint().unwrap();
+            // Post-savepoint tail: update + delete + insert.
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            t.update_where(
+                &txn,
+                hana_common::ColumnId(0),
+                &Value::Int(10),
+                &[(hana_common::ColumnId(2), Value::Int(999))],
+            )
+            .unwrap();
+            t.delete_where(&txn, hana_common::ColumnId(0), &Value::Int(20)).unwrap();
+            t.insert(&txn, acct(100, "new", 1)).unwrap();
+            db.commit(&mut txn).unwrap();
+        }
+        let db = Database::open(dir.path()).unwrap();
+        let t = db.table("accounts").unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        let read = t.read(&r);
+        assert_eq!(read.count(), 50); // 50 - 1 deleted + 1 inserted
+        assert_eq!(read.point(0, &Value::Int(10)).unwrap()[0][2], Value::Int(999));
+        assert!(read.point(0, &Value::Int(20)).unwrap().is_empty());
+        assert_eq!(read.point(0, &Value::Int(100)).unwrap().len(), 1);
+        // The savepointed main survived as a real main structure.
+        assert!(t.stage_stats().main_rows > 0);
+    }
+
+    #[test]
+    fn savepoint_requires_durability() {
+        let db = Database::in_memory();
+        assert!(db.savepoint().is_err());
+    }
+
+    #[test]
+    fn abort_through_database() {
+        let db = Database::in_memory();
+        let t = db.create_table(schema(), TableConfig::small()).unwrap();
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        t.insert(&txn, acct(1, "ada", 1)).unwrap();
+        db.abort(&mut txn).unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r).count(), 0);
+    }
+
+    #[test]
+    fn merge_daemon_drives_lifecycle() {
+        let db = Database::in_memory();
+        let cfg = TableConfig {
+            l1_max_rows: 8,
+            l2_max_rows: 32,
+            ..TableConfig::default()
+        };
+        let t = db.create_table(schema(), cfg).unwrap();
+        db.start_merge_daemon(std::time::Duration::from_millis(2));
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for i in 0..200 {
+            t.insert(&txn, acct(i, "x", i)).unwrap();
+        }
+        db.commit(&mut txn).unwrap();
+        // Wait for the daemon to push rows down the pipeline.
+        for _ in 0..500 {
+            if t.stage_stats().main_rows > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        db.stop_merge_daemon();
+        let stats = t.stage_stats();
+        assert!(stats.main_rows > 0, "daemon should have produced a main");
+        let r = db.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r).count(), 200);
+    }
+}

@@ -1,0 +1,58 @@
+//! The SAP-HANA-style **unified table**: one logical table served by three
+//! physical representations with asynchronous record propagation.
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrate crates:
+//!
+//! * writes enter the row-format **L1-delta** (`hana-rowstore`);
+//! * the background lifecycle merges settled rows into the column-format
+//!   **L2-delta** and eventually into the compressed **main**
+//!   (`hana-store`, `hana-merge`);
+//! * every statement reads through a [`TableRead`] view that pins the
+//!   structures + row-count fences it may see, so merges never disturb
+//!   running operations (§3.1's non-interference guarantee);
+//! * MVCC snapshots and write conflicts come from `hana-txn`; durability
+//!   (REDO on first entry, savepoints, recovery) from `hana-persist`;
+//! * [`Database`] is the catalog + transaction + persistence façade.
+//!
+//! ```
+//! use hana_core::Database;
+//! use hana_common::{ColumnDef, DataType, Schema, TableConfig, Value};
+//! use hana_txn::IsolationLevel;
+//!
+//! let db = Database::in_memory();
+//! let schema = Schema::new(
+//!     "sales",
+//!     vec![
+//!         ColumnDef::new("id", DataType::Int).unique(),
+//!         ColumnDef::new("city", DataType::Str),
+//!     ],
+//! )
+//! .unwrap();
+//! let table = db.create_table(schema, TableConfig::default()).unwrap();
+//! let mut txn = db.begin(IsolationLevel::Transaction);
+//! table
+//!     .insert(&txn, vec![Value::Int(1), Value::str("Los Gatos")])
+//!     .unwrap();
+//! db.commit(&mut txn).unwrap();
+//!
+//! let reader = db.begin(IsolationLevel::Transaction);
+//! let read = table.read(&reader);
+//! let rows = read.point(1, &Value::str("Los Gatos")).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub mod database;
+pub mod lifecycle;
+pub mod loc;
+pub mod partition;
+pub mod read;
+pub mod snapshot_image;
+pub mod table;
+pub mod write;
+
+pub use database::Database;
+pub use lifecycle::StageStats;
+pub use loc::Loc;
+pub use read::TableRead;
+pub use table::UnifiedTable;

@@ -1,0 +1,473 @@
+//! Record-lifecycle orchestration on the unified table.
+//!
+//! * [`UnifiedTable::merge_l1`] — the incremental L1→L2 merge, run entirely
+//!   under the exclusive state lock (it is short: at most `l1_max_rows`
+//!   appends), so the copy + L2 publication + L1 truncation are atomic for
+//!   every reader.
+//! * [`UnifiedTable::merge_delta`] — the delta-to-main merge: freeze the
+//!   open L2 and open a fresh one (brief exclusive lock), build the new main
+//!   **without any lock**, then publish under a brief exclusive lock,
+//!   re-applying end stamps that raced the build. A failed merge keeps the
+//!   frozen L2 and is retried later ("the system still operates with the new
+//!   L2-delta and retries the merge").
+//! * [`UnifiedTable::maybe_merge`] — the policy-driven entry point the
+//!   [`MergeDaemon`](hana_merge::MergeDaemon) calls.
+
+use crate::table::UnifiedTable;
+use hana_common::{HanaError, Result};
+use hana_merge::{
+    classic_merge, decide_delta_merge, decide_l1_merge, l1_to_l2_merge, partial_merge,
+    resort_merge, MergeDecision, MergeInput, MergeTarget,
+};
+use hana_persist::LogRecord;
+use hana_store::L2Delta;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Row/byte counts per stage (Fig 11's footprint axis).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Unmerged L1 slots.
+    pub l1_rows: usize,
+    /// Rows in the open L2-delta (physical).
+    pub l2_rows: usize,
+    /// Rows in a frozen L2-delta awaiting merge.
+    pub l2_frozen_rows: usize,
+    /// Rows across all main parts.
+    pub main_rows: usize,
+    /// Main parts in the chain.
+    pub main_parts: usize,
+    /// Rows in the active main (0 if none).
+    pub active_main_rows: usize,
+    /// Approximate L1 bytes.
+    pub l1_bytes: usize,
+    /// Approximate L2 bytes (open + frozen).
+    pub l2_bytes: usize,
+    /// Approximate main bytes (including inverted indexes).
+    pub main_bytes: usize,
+    /// Main bytes without inverted indexes (pure data).
+    pub main_data_bytes: usize,
+}
+
+impl UnifiedTable {
+    /// Current per-stage statistics.
+    pub fn stage_stats(&self) -> StageStats {
+        let state = self.state.read();
+        StageStats {
+            l1_rows: self.l1.len(),
+            l2_rows: state.l2.len(),
+            l2_frozen_rows: state.l2_frozen.as_ref().map_or(0, |f| f.len()),
+            main_rows: state.main.total_rows(),
+            main_parts: state.main.parts().len(),
+            active_main_rows: state.main.active_rows(),
+            l1_bytes: self.l1.approx_bytes(),
+            l2_bytes: state.l2.approx_bytes()
+                + state.l2_frozen.as_ref().map_or(0, |f| f.approx_bytes()),
+            main_bytes: state.main.approx_bytes(),
+            main_data_bytes: state.main.data_bytes(),
+        }
+    }
+
+    /// Run one L1→L2 merge step (up to `l1_max_rows` slots). Returns the
+    /// number of rows moved.
+    pub fn merge_l1(&self) -> Result<usize> {
+        let _m = self.l1_merge_lock.lock();
+        let state = self.state.write();
+        let outcome = l1_to_l2_merge(
+            &self.l1,
+            &state.l2,
+            &self.mgr,
+            self.history.as_ref(),
+            self.config.l1_max_rows.max(1),
+        )?;
+        let moved = outcome.moved.len();
+        if moved > 0 || !outcome.dropped.is_empty() {
+            state.l2.publish_all();
+            self.l1.truncate_prefix(outcome.truncate_upto);
+        }
+        let gen = state.l2.generation();
+        drop(state);
+        if moved > 0 {
+            self.redo(&LogRecord::MergeEvent {
+                table: self.id,
+                kind: 0,
+                l2_generation: gen,
+            })?;
+        }
+        Ok(moved)
+    }
+
+    /// Drain the whole L1 into the L2 (repeated merge steps until empty or
+    /// blocked). Returns rows moved.
+    pub fn drain_l1(&self) -> Result<usize> {
+        let mut total = 0;
+        loop {
+            let before = self.l1.len();
+            if before == 0 {
+                break;
+            }
+            let moved = self.merge_l1()?;
+            total += moved;
+            if self.l1.len() == before {
+                break; // blocked on an in-flight transaction
+            }
+        }
+        Ok(total)
+    }
+
+    /// Run a delta-to-main merge with an explicit strategy decision.
+    pub fn merge_delta_as(&self, decision: MergeDecision) -> Result<()> {
+        if decision == MergeDecision::NotYet {
+            return Ok(());
+        }
+        let _m = self.delta_merge_lock.lock();
+
+        // Phase 1 (brief exclusive lock): freeze the open L2-delta unless a
+        // previous failed merge left one frozen, and open a fresh L2.
+        let (frozen, main) = {
+            let mut state = self.state.write();
+            if state.l2_frozen.is_none() {
+                let fresh = Arc::new(L2Delta::new(self.schema.clone(), self.alloc_generation()));
+                let old = std::mem::replace(&mut state.l2, fresh);
+                old.close();
+                old.publish_all();
+                state.l2_frozen = Some(old);
+            }
+            self.pending_ends.lock().clear();
+            self.delta_merge_running.store(true, Ordering::SeqCst);
+            (
+                Arc::clone(state.l2_frozen.as_ref().unwrap()),
+                Arc::clone(&state.main),
+            )
+        };
+
+        // Phase 2 (no lock): build the new main.
+        let generation = self.alloc_generation();
+        let input = MergeInput {
+            main: &main,
+            l2: &frozen,
+            watermark: self.mgr.watermark(),
+            block_size: self.config.block_size,
+            generation,
+        };
+        let history = self.history.as_ref();
+        let built = match decision {
+            MergeDecision::Classic | MergeDecision::Consolidate => {
+                classic_merge(&input, &self.mgr, history).map(|o| o.new_main)
+            }
+            MergeDecision::ReSorting => {
+                resort_merge(&input, &self.mgr, history).map(|o| o.merge.new_main)
+            }
+            MergeDecision::Partial => {
+                partial_merge(&input, &self.mgr, history).map(|o| o.new_main)
+            }
+            MergeDecision::NotYet => unreachable!(),
+        };
+        let new_main = match built {
+            Ok(m) => m,
+            Err(e) => {
+                // Keep the frozen L2; a later attempt retries the merge.
+                self.delta_merge_running.store(false, Ordering::SeqCst);
+                return Err(e);
+            }
+        };
+
+        // Phase 3 (brief exclusive lock): re-apply raced end stamps to the
+        // freshly built part(s), then swap.
+        {
+            let mut state = self.state.write();
+            let pending = std::mem::take(&mut *self.pending_ends.lock());
+            if !pending.is_empty() {
+                // Rows built by this merge live in parts with `generation`.
+                for part in new_main.parts().iter().filter(|p| p.generation() == generation) {
+                    let index: FxHashMap<_, _> = part
+                        .row_ids()
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, id)| (*id, pos as u32))
+                        .collect();
+                    for (row_id, ts) in &pending {
+                        if let Some(&pos) = index.get(row_id) {
+                            part.store_end(pos, *ts);
+                        }
+                    }
+                }
+            }
+            state.main = Arc::new(new_main);
+            state.l2_frozen = None;
+            self.delta_merge_running.store(false, Ordering::SeqCst);
+        }
+        self.redo(&LogRecord::MergeEvent {
+            table: self.id,
+            kind: 1,
+            l2_generation: frozen.generation(),
+        })?;
+        Ok(())
+    }
+
+    /// Force a consolidating full merge (L1 → L2 → single-part main).
+    pub fn force_full_merge(&self) -> Result<()> {
+        self.drain_l1()?;
+        self.merge_delta_as(MergeDecision::Consolidate)
+    }
+
+    /// Policy-driven merge check: L1 threshold, then delta threshold (or a
+    /// pending frozen L2 from a failed merge). Returns whether anything
+    /// merged.
+    pub fn maybe_merge_once(&self) -> Result<bool> {
+        let mut did = false;
+        if decide_l1_merge(&self.config, self.l1.len()) {
+            did |= self.merge_l1()? > 0;
+        }
+        let (decision, has_frozen) = {
+            let state = self.state.read();
+            let d = decide_delta_merge(&self.config, &state.main, state.l2.len());
+            (d, state.l2_frozen.is_some())
+        };
+        if has_frozen {
+            // Retry the interrupted merge with the configured strategy.
+            let retry = if decision == MergeDecision::NotYet {
+                MergeDecision::Classic
+            } else {
+                decision
+            };
+            self.merge_delta_as(retry)?;
+            did = true;
+        } else if decision != MergeDecision::NotYet {
+            self.merge_delta_as(decision)?;
+            did = true;
+        }
+        Ok(did)
+    }
+}
+
+impl MergeTarget for UnifiedTable {
+    fn maybe_merge(&self) -> Result<bool> {
+        match self.maybe_merge_once() {
+            Ok(did) => Ok(did),
+            // Retryable merge failures are expected under load.
+            Err(HanaError::Merge(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType, MergeStrategy, Schema, TableConfig, Value};
+    use hana_txn::{IsolationLevel, TxnManager};
+
+    fn table(cfg: TableConfig) -> (Arc<TxnManager>, Arc<UnifiedTable>) {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("city", DataType::Str),
+            ],
+        )
+        .unwrap();
+        let t = UnifiedTable::standalone(schema, cfg, Arc::clone(&mgr));
+        (mgr, t)
+    }
+
+    fn fill(mgr: &Arc<TxnManager>, t: &Arc<UnifiedTable>, lo: i64, hi: i64) {
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for i in lo..hi {
+            t.insert(
+                &txn,
+                vec![Value::Int(i), Value::str(format!("city{}", i % 5))],
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn full_lifecycle_preserves_queries() {
+        let (mgr, t) = table(TableConfig::small());
+        fill(&mgr, &t, 0, 50);
+        // Stage 1: everything in L1.
+        let r = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r).stage_row_counts().0, 50);
+        // Stage 2: L1 → L2.
+        let moved = t.drain_l1().unwrap();
+        assert_eq!(moved, 50);
+        let r = mgr.begin(IsolationLevel::Transaction);
+        let (l1, l2, main) = t.read(&r).stage_row_counts();
+        assert_eq!((l1, l2, main), (0, 50, 0));
+        assert_eq!(t.read(&r).count(), 50);
+        // Stage 3: L2 → main.
+        t.merge_delta_as(MergeDecision::Classic).unwrap();
+        let r = mgr.begin(IsolationLevel::Transaction);
+        let (l1, l2, main) = t.read(&r).stage_row_counts();
+        assert_eq!((l1, l2, main), (0, 0, 50));
+        assert_eq!(t.read(&r).count(), 50);
+        // Point query still works from the main.
+        let rows = t.read(&r).point(0, &Value::Int(17)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::str("city2"));
+    }
+
+    #[test]
+    fn old_reader_view_survives_merges() {
+        let (mgr, t) = table(TableConfig::small());
+        fill(&mgr, &t, 0, 30);
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let view = t.read(&reader); // pinned before any merge
+        t.drain_l1().unwrap();
+        t.merge_delta_as(MergeDecision::Classic).unwrap();
+        fill(&mgr, &t, 30, 40);
+        // The pinned view still sees exactly the original 30 rows, once.
+        assert_eq!(view.count(), 30);
+        // A fresh view sees 40.
+        let r2 = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r2).count(), 40);
+    }
+
+    #[test]
+    fn updates_and_deletes_across_stages() {
+        let (mgr, t) = table(TableConfig::small());
+        fill(&mgr, &t, 0, 10);
+        t.drain_l1().unwrap();
+        t.merge_delta_as(MergeDecision::Classic).unwrap();
+        // Update a main-resident row; delete another.
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        t.update_where(
+            &txn,
+            hana_common::ColumnId(0),
+            &Value::Int(3),
+            &[(hana_common::ColumnId(1), Value::str("updated"))],
+        )
+        .unwrap();
+        t.delete_where(&txn, hana_common::ColumnId(0), &Value::Int(7)).unwrap();
+        txn.commit().unwrap();
+        t.finish_txn(hana_common::TxnId(0)); // no-op sanity
+        let r = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&r);
+        assert_eq!(read.count(), 9);
+        assert_eq!(read.point(0, &Value::Int(3)).unwrap()[0][1], Value::str("updated"));
+        assert!(read.point(0, &Value::Int(7)).unwrap().is_empty());
+        // Merge everything again: the update/delete survive the rebuild.
+        t.drain_l1().unwrap();
+        t.merge_delta_as(MergeDecision::Classic).unwrap();
+        let r = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&r);
+        assert_eq!(read.count(), 9);
+        assert_eq!(read.point(0, &Value::Int(3)).unwrap()[0][1], Value::str("updated"));
+        assert!(read.point(0, &Value::Int(7)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partial_merge_chain_through_policy() {
+        let cfg = TableConfig {
+            l1_max_rows: 8,
+            l2_max_rows: 16,
+            merge_strategy: MergeStrategy::Auto,
+            active_main_max_fraction: 0.5,
+            ..TableConfig::default()
+        };
+        let (mgr, t) = table(cfg);
+        for round in 0..6 {
+            fill(&mgr, &t, round * 20, (round + 1) * 20);
+            while t.maybe_merge_once().unwrap() {}
+        }
+        let r = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r).count(), 120);
+        let stats = t.stage_stats();
+        assert_eq!(stats.l1_rows + stats.l2_rows + stats.main_rows, 120);
+        // Every row still point-queryable.
+        for i in [0i64, 25, 77, 119] {
+            assert_eq!(t.read(&r).point(0, &Value::Int(i)).unwrap().len(), 1, "id {i}");
+        }
+    }
+
+    #[test]
+    fn merge_blocked_by_inflight_txn_retries() {
+        let (mgr, t) = table(TableConfig::small());
+        fill(&mgr, &t, 0, 5);
+        t.drain_l1().unwrap();
+        // An uncommitted row sits in L2 via bulk load.
+        let open = mgr.begin(IsolationLevel::Transaction);
+        t.bulk_load(&open, vec![vec![Value::Int(100), Value::str("pending")]])
+            .unwrap();
+        let err = t.merge_delta_as(MergeDecision::Classic).unwrap_err();
+        assert!(err.is_retryable());
+        // Reads still work mid-failure (frozen L2 still served).
+        let r = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r).count(), 5);
+        // Commit and retry.
+        let mut open = open;
+        open.commit().unwrap();
+        t.merge_delta_as(MergeDecision::Classic).unwrap();
+        let r = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r).count(), 6);
+        assert_eq!(t.stage_stats().main_rows, 6);
+    }
+
+    #[test]
+    fn resorting_merge_through_table() {
+        let cfg = TableConfig::small().with_strategy(MergeStrategy::ReSorting);
+        let (mgr, t) = table(cfg);
+        fill(&mgr, &t, 0, 64);
+        t.drain_l1().unwrap();
+        t.merge_delta_as(MergeDecision::ReSorting).unwrap();
+        let r = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&r);
+        assert_eq!(read.count(), 64);
+        for i in [0i64, 31, 63] {
+            assert_eq!(read.point(0, &Value::Int(i)).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn delete_racing_delta_merge_is_not_lost() {
+        // Deterministic version of the race: freeze, delete a frozen-L2 row
+        // mid-"build" (simulated by doing it between phases via the public
+        // API timing), publish, verify the delete survived.
+        let (mgr, t) = table(TableConfig::small());
+        fill(&mgr, &t, 0, 10);
+        t.drain_l1().unwrap();
+        // Run the merge on one thread while another deletes continuously.
+        let t2 = Arc::clone(&t);
+        let mgr2 = Arc::clone(&mgr);
+        let deleter = std::thread::spawn(move || {
+            for i in 0..10 {
+                let mut txn = mgr2.begin(IsolationLevel::Transaction);
+                let _ = t2.delete_where(&txn, hana_common::ColumnId(0), &Value::Int(i));
+                let _ = txn.commit();
+                t2.finish_txn(txn.id());
+            }
+        });
+        // Merge until it sticks (in-flight deleters cause retryable fails).
+        loop {
+            match t.merge_delta_as(MergeDecision::Classic) {
+                Ok(()) => break,
+                Err(e) if e.is_retryable() => std::thread::yield_now(),
+                Err(e) => panic!("{e}"),
+            }
+        }
+        deleter.join().unwrap();
+        // After everything settles every row 0..10 must be gone.
+        let r = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&r).count(), 0, "deletes must survive the merge");
+    }
+
+    #[test]
+    fn stats_reflect_stages() {
+        let (mgr, t) = table(TableConfig::small());
+        fill(&mgr, &t, 0, 20);
+        let s = t.stage_stats();
+        assert_eq!(s.l1_rows, 20);
+        assert!(s.l1_bytes > 0);
+        t.drain_l1().unwrap();
+        t.merge_delta_as(MergeDecision::Classic).unwrap();
+        let s = t.stage_stats();
+        assert_eq!(s.main_rows, 20);
+        assert_eq!(s.main_parts, 1);
+        assert!(s.main_bytes > 0);
+        assert!(s.main_data_bytes <= s.main_bytes);
+    }
+}

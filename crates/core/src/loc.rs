@@ -1,0 +1,58 @@
+//! Physical coordinates of row versions across the three stages.
+
+use hana_column::Pos;
+
+/// Where one row version currently lives.
+///
+/// Store structures are replaced by merges, so column-store coordinates
+/// carry the *generation* of the structure they refer to: an L2 position is
+/// only meaningful for the L2-delta instance of that generation, a main
+/// position for the part with that generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// Logical slot position in the (single, long-lived) L1-delta.
+    L1(u64),
+    /// Row in an L2-delta instance.
+    L2 {
+        /// Generation of the L2-delta.
+        gen: u64,
+        /// Row position within it.
+        pos: Pos,
+    },
+    /// Row in a main part.
+    Main {
+        /// Generation of the part.
+        part_gen: u64,
+        /// Row position within the part.
+        pos: Pos,
+    },
+}
+
+impl Loc {
+    /// True if this location points into the L2-delta of `gen`.
+    pub fn in_l2_gen(&self, gen: u64) -> bool {
+        matches!(self, Loc::L2 { gen: g, .. } if *g == gen)
+    }
+
+    /// True if this location points into the main part of `part_gen`.
+    pub fn in_main_gen(&self, part_gen: u64) -> bool {
+        matches!(self, Loc::Main { part_gen: g, .. } if *g == part_gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_predicates() {
+        let l2 = Loc::L2 { gen: 3, pos: 9 };
+        assert!(l2.in_l2_gen(3));
+        assert!(!l2.in_l2_gen(4));
+        assert!(!l2.in_main_gen(3));
+        let m = Loc::Main { part_gen: 7, pos: 0 };
+        assert!(m.in_main_gen(7));
+        assert!(!m.in_l2_gen(7));
+        assert!(!Loc::L1(5).in_l2_gen(0));
+    }
+}

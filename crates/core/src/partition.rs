@@ -1,0 +1,242 @@
+//! Hash-partitioned tables.
+//!
+//! §4.3: "the partitioning concept can be used to separate recent data sets
+//! from more stable data sets" — and the engine layer's split/combine
+//! operators distribute work across partitions. [`PartitionedTable`] routes
+//! rows by a hash of the partition key to N unified tables, each with its
+//! own independent record life cycle, and fans scans out across them.
+
+use crate::read::VisibleRow;
+use crate::table::UnifiedTable;
+use hana_common::{ColumnId, HanaError, Result, RowId, Schema, TableConfig, TableId, Value};
+use hana_txn::{Snapshot, Transaction, TxnManager};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A table hash-partitioned over N unified tables.
+pub struct PartitionedTable {
+    schema: Schema,
+    key_col: ColumnId,
+    partitions: Vec<Arc<UnifiedTable>>,
+}
+
+fn hash_value(v: &Value) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+impl PartitionedTable {
+    /// Create `n` partitions keyed by `key_col`.
+    pub fn new(
+        schema: Schema,
+        key_col: ColumnId,
+        n: usize,
+        config: TableConfig,
+        mgr: Arc<TxnManager>,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(HanaError::Schema("at least one partition required".into()));
+        }
+        let partitions = (0..n)
+            .map(|i| {
+                UnifiedTable::create(
+                    TableId(i as u32),
+                    schema.clone(),
+                    config.clone(),
+                    Arc::clone(&mgr),
+                    None,
+                    Arc::new(parking_lot::RwLock::new(())),
+                )
+            })
+            .collect();
+        Ok(PartitionedTable {
+            schema,
+            key_col,
+            partitions,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition a key routes to.
+    pub fn route(&self, key: &Value) -> &Arc<UnifiedTable> {
+        let i = (hash_value(key) % self.partitions.len() as u64) as usize;
+        &self.partitions[i]
+    }
+
+    /// All partitions.
+    pub fn partitions(&self) -> &[Arc<UnifiedTable>] {
+        &self.partitions
+    }
+
+    /// Insert, routing by the partition key.
+    pub fn insert(&self, txn: &Transaction, row: Vec<Value>) -> Result<RowId> {
+        self.schema.check_row(&row)?;
+        self.route(&row[self.key_col.idx()].clone()).insert(txn, row)
+    }
+
+    /// Point query on the partition key: touches exactly one partition.
+    pub fn point(&self, snap: Snapshot, key: &Value) -> Result<Vec<Vec<Value>>> {
+        self.route(key).read_at(snap).point(self.key_col.idx(), key)
+    }
+
+    /// Update by partition key.
+    pub fn update_where(
+        &self,
+        txn: &Transaction,
+        key: &Value,
+        updates: &[(ColumnId, Value)],
+    ) -> Result<RowId> {
+        self.route(key).update_where(txn, self.key_col, key, updates)
+    }
+
+    /// Delete by partition key.
+    pub fn delete_where(&self, txn: &Transaction, key: &Value) -> Result<RowId> {
+        self.route(key).delete_where(txn, self.key_col, key)
+    }
+
+    /// Parallel full scan: the split/combine pattern — one thread per
+    /// partition, results combined.
+    pub fn parallel_scan(&self, snap: Snapshot) -> Vec<VisibleRow> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .partitions
+                .iter()
+                .map(|p| {
+                    let p = Arc::clone(p);
+                    scope.spawn(move || p.read_at(snap).collect_rows())
+                })
+                .collect();
+            let mut out = Vec::new();
+            for h in handles {
+                out.extend(h.join().expect("partition scan panicked"));
+            }
+            out
+        })
+    }
+
+    /// Parallel numeric aggregate `(count, sum)` across partitions.
+    pub fn parallel_aggregate(&self, snap: Snapshot, col: usize) -> Result<(u64, f64)> {
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .partitions
+                .iter()
+                .map(|p| {
+                    let p = Arc::clone(p);
+                    scope.spawn(move || p.read_at(snap).aggregate_numeric(col))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition aggregate panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut count = 0;
+        let mut sum = 0.0;
+        for r in results {
+            let (c, s) = r?;
+            count += c;
+            sum += s;
+        }
+        Ok((count, sum))
+    }
+
+    /// Run the lifecycle policy on every partition.
+    pub fn maybe_merge_all(&self) -> Result<bool> {
+        let mut did = false;
+        for p in &self.partitions {
+            did |= p.maybe_merge_once()?;
+        }
+        Ok(did)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType};
+    use hana_txn::IsolationLevel;
+
+    fn setup(n: usize) -> (Arc<TxnManager>, PartitionedTable) {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("amount", DataType::Int),
+            ],
+        )
+        .unwrap();
+        let pt =
+            PartitionedTable::new(schema, ColumnId(0), n, TableConfig::small(), Arc::clone(&mgr))
+                .unwrap();
+        (mgr, pt)
+    }
+
+    #[test]
+    fn routing_is_stable_and_covers_partitions() {
+        let (_mgr, pt) = setup(4);
+        assert_eq!(pt.partition_count(), 4);
+        let a = pt.route(&Value::Int(42)) as *const _;
+        let b = pt.route(&Value::Int(42)) as *const _;
+        assert_eq!(a, b);
+        // Many keys hit more than one partition.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(Arc::as_ptr(pt.route(&Value::Int(i))));
+        }
+        assert!(seen.len() > 1);
+    }
+
+    #[test]
+    fn insert_point_update_delete_through_partitions() {
+        let (mgr, pt) = setup(3);
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for i in 0..30 {
+            pt.insert(&txn, vec![Value::Int(i), Value::Int(i * 2)]).unwrap();
+        }
+        txn.commit().unwrap();
+        let snap = hana_txn::Snapshot::at(mgr.now());
+        for i in [0i64, 13, 29] {
+            let rows = pt.point(snap, &Value::Int(i)).unwrap();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0][1], Value::Int(i * 2));
+        }
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        pt.update_where(&txn, &Value::Int(5), &[(ColumnId(1), Value::Int(0))]).unwrap();
+        pt.delete_where(&txn, &Value::Int(6)).unwrap();
+        txn.commit().unwrap();
+        let snap = hana_txn::Snapshot::at(mgr.now());
+        assert_eq!(pt.point(snap, &Value::Int(5)).unwrap()[0][1], Value::Int(0));
+        assert!(pt.point(snap, &Value::Int(6)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_scan_and_aggregate_combine_partitions() {
+        let (mgr, pt) = setup(4);
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for i in 0..100 {
+            pt.insert(&txn, vec![Value::Int(i), Value::Int(1)]).unwrap();
+        }
+        txn.commit().unwrap();
+        // Push some partitions through merges to mix stages.
+        pt.maybe_merge_all().unwrap();
+        let snap = hana_txn::Snapshot::at(mgr.now());
+        let rows = pt.parallel_scan(snap);
+        assert_eq!(rows.len(), 100);
+        let (count, sum) = pt.parallel_aggregate(snap, 1).unwrap();
+        assert_eq!(count, 100);
+        assert_eq!(sum, 100.0);
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let mgr = TxnManager::new();
+        let schema = Schema::new("t", vec![ColumnDef::new("x", DataType::Int).unique()]).unwrap();
+        assert!(PartitionedTable::new(schema, ColumnId(0), 0, TableConfig::default(), mgr).is_err());
+    }
+}

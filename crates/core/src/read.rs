@@ -1,0 +1,611 @@
+//! Statement-scoped read views.
+//!
+//! A [`TableRead`] pins everything one statement may see: the MVCC snapshot,
+//! an L1 segment view, the L2 structures with their row-count fences, and
+//! the main chain `Arc`. Merges swap structures for *new* views; an existing
+//! view keeps reading its pinned ones — the paper's "all running operations
+//! either see the full L1-delta and the old end-of-delta border or the
+//! truncated version … with the expanded version of the L2-delta", and
+//! §4.1's "keep the old and the new versions … until all database operations
+//! of open transactions … have finished".
+
+use crate::table::UnifiedTable;
+use hana_column::Pos;
+use hana_common::{HanaError, Result, RowId, Timestamp, Value};
+use hana_dict::GlobalSortedDict;
+use hana_rowstore::L1Snapshot;
+use hana_store::{L2Delta, MainStore, L2_NULL_CODE};
+use hana_txn::{version_visible, Snapshot, Transaction};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// A consistent, merge-proof view of one table under one snapshot.
+pub struct TableRead {
+    table: Arc<UnifiedTable>,
+    snap: Snapshot,
+    l1: L1Snapshot,
+    l2: Arc<L2Delta>,
+    l2_fence: Pos,
+    l2_frozen: Option<(Arc<L2Delta>, Pos)>,
+    main: Arc<MainStore>,
+}
+
+/// A visible row surfaced by a scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisibleRow {
+    /// Stable record id.
+    pub row_id: RowId,
+    /// The row payload.
+    pub values: Vec<Value>,
+}
+
+impl UnifiedTable {
+    /// Open a read view for one statement of `txn`.
+    pub fn read(self: &Arc<Self>, txn: &Transaction) -> TableRead {
+        self.read_at(txn.read_snapshot())
+    }
+
+    /// Open a read view under an explicit snapshot (time travel uses
+    /// `Snapshot::at(ts)`).
+    pub fn read_at(self: &Arc<Self>, snap: Snapshot) -> TableRead {
+        let state = self.state.read();
+        TableRead {
+            snap,
+            l1: self.l1.snapshot(),
+            l2: Arc::clone(&state.l2),
+            l2_fence: state.l2.published_len(),
+            l2_frozen: state
+                .l2_frozen
+                .as_ref()
+                .map(|f| (Arc::clone(f), f.len() as Pos)),
+            main: Arc::clone(&state.main),
+            table: Arc::clone(self),
+        }
+    }
+}
+
+impl TableRead {
+    /// The snapshot this view reads under.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    /// The pinned main chain (exposed for engine-layer operators).
+    pub fn main(&self) -> &MainStore {
+        &self.main
+    }
+
+    fn visible(&self, begin: Timestamp, end: Timestamp) -> bool {
+        version_visible(&self.table.mgr, &self.snap, begin, end)
+    }
+
+    fn schema_col(&self, col: usize) -> Result<()> {
+        if col >= self.table.schema.arity() {
+            return Err(HanaError::Schema(format!(
+                "column index {col} out of range for {}",
+                self.table.schema.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Iterate every *visible* row, main first, then frozen L2, then open
+    /// L2, then L1 — oldest store to newest, matching merge order.
+    pub fn for_each_visible(&self, mut f: impl FnMut(VisibleRow)) {
+        for hit in self.main.iter_hits() {
+            let part = &self.main.parts()[hit.part];
+            if self.visible(part.begin(hit.pos), part.end(hit.pos)) {
+                f(VisibleRow {
+                    row_id: part.row_id(hit.pos),
+                    values: self.main.row_at(hit),
+                });
+            }
+        }
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            for pos in 0..*fence {
+                if self.visible(frozen.begin(pos), frozen.end(pos)) {
+                    f(VisibleRow {
+                        row_id: frozen.row_id(pos),
+                        values: frozen.row(pos),
+                    });
+                }
+            }
+        }
+        for pos in 0..self.l2_fence {
+            if self.visible(self.l2.begin(pos), self.l2.end(pos)) {
+                f(VisibleRow {
+                    row_id: self.l2.row_id(pos),
+                    values: self.l2.row(pos),
+                });
+            }
+        }
+        for (_, slot) in self.l1.iter() {
+            if self.visible(slot.begin(), slot.end()) {
+                f(VisibleRow {
+                    row_id: slot.row_id,
+                    values: slot.values.to_vec(),
+                });
+            }
+        }
+    }
+
+    /// Materialize all visible rows.
+    pub fn collect_rows(&self) -> Vec<VisibleRow> {
+        let mut out = Vec::new();
+        self.for_each_visible(|r| out.push(r));
+        out
+    }
+
+    /// Count visible rows.
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_visible(|_| n += 1);
+        n
+    }
+
+    /// Point query: visible rows with `col = v`, via the dictionaries and
+    /// inverted indexes of the column stages and a scan of the (small) L1.
+    pub fn point(&self, col: usize, v: &Value) -> Result<Vec<Vec<Value>>> {
+        self.schema_col(col)?;
+        let mut out = Vec::new();
+        for hit in self.main.positions_eq(col, v) {
+            let part = &self.main.parts()[hit.part];
+            if self.visible(part.begin(hit.pos), part.end(hit.pos)) {
+                out.push(self.main.row_at(hit));
+            }
+        }
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            for pos in frozen.positions_eq(col, v, *fence) {
+                if self.visible(frozen.begin(pos), frozen.end(pos)) {
+                    out.push(frozen.row(pos));
+                }
+            }
+        }
+        for pos in self.l2.positions_eq(col, v, self.l2_fence) {
+            if self.visible(self.l2.begin(pos), self.l2.end(pos)) {
+                out.push(self.l2.row(pos));
+            }
+        }
+        for (_, slot) in self.l1.iter() {
+            if &slot.values[col] == v && self.visible(slot.begin(), slot.end()) {
+                out.push(slot.values.to_vec());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range query: visible rows with `col` in `[lo, hi]` bounds. The main
+    /// resolves the range per part dictionary (Fig 10); the L2 through its
+    /// unsorted dictionaries; the L1 by scan.
+    pub fn range(
+        &self,
+        col: usize,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Result<Vec<Vec<Value>>> {
+        self.schema_col(col)?;
+        let in_range = |v: &Value| {
+            !v.is_null()
+                && (match lo {
+                    Bound::Unbounded => true,
+                    Bound::Included(b) => v >= b,
+                    Bound::Excluded(b) => v > b,
+                })
+                && (match hi {
+                    Bound::Unbounded => true,
+                    Bound::Included(b) => v <= b,
+                    Bound::Excluded(b) => v < b,
+                })
+        };
+        let mut out = Vec::new();
+        for hit in self.main.positions_range(col, lo, hi) {
+            let part = &self.main.parts()[hit.part];
+            if self.visible(part.begin(hit.pos), part.end(hit.pos)) {
+                out.push(self.main.row_at(hit));
+            }
+        }
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            for pos in frozen.positions_range(col, lo, hi, *fence) {
+                if self.visible(frozen.begin(pos), frozen.end(pos)) {
+                    out.push(frozen.row(pos));
+                }
+            }
+        }
+        for pos in self.l2.positions_range(col, lo, hi, self.l2_fence) {
+            if self.visible(self.l2.begin(pos), self.l2.end(pos)) {
+                out.push(self.l2.row(pos));
+            }
+        }
+        for (_, slot) in self.l1.iter() {
+            if in_range(&slot.values[col]) && self.visible(slot.begin(), slot.end()) {
+                out.push(slot.values.to_vec());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Columnar aggregation over one numeric column: `(count, sum)` of
+    /// visible non-null values. The main path decodes each part's
+    /// dictionary once into a numeric lookup table and streams the
+    /// compressed code vector — the OLAP fast path the unified table keeps
+    /// even while serving OLTP.
+    pub fn aggregate_numeric(&self, col: usize) -> Result<(u64, f64)> {
+        self.schema_col(col)?;
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        // Main parts: code-vector streaming with a per-chain numeric table.
+        for (pi, part) in self.main.parts().iter().enumerate() {
+            // Lookup table over the global code space of this part.
+            let null_code = part.null_code(col);
+            let mut table = vec![f64::NAN; null_code as usize + 1];
+            for p in self.main.parts().iter().take(pi + 1) {
+                let base = p.base(col);
+                for local in 0..p.dict(col).len() as u32 {
+                    if let Some(x) = p.dict(col).value_of(local).as_numeric() {
+                        let idx = (base + local) as usize;
+                        if idx < table.len() {
+                            table[idx] = x;
+                        }
+                    }
+                }
+            }
+            for pos in 0..part.len() as Pos {
+                if !self.visible(part.begin(pos), part.end(pos)) {
+                    continue;
+                }
+                let code = part.code_at(pos, col);
+                if code == null_code {
+                    continue;
+                }
+                let x = table[code as usize];
+                if !x.is_nan() {
+                    count += 1;
+                    sum += x;
+                }
+            }
+        }
+        // L2 stages: decode via dictionary once; stamps come through the
+        // same lock acquisition (never re-lock inside the closure).
+        let mut l2_side = |l2: &L2Delta, fence: Pos| {
+            l2.with_column_stamped(col, fence, |dict, codes, begins, ends| {
+                let table: Vec<f64> = dict
+                    .values()
+                    .iter()
+                    .map(|v| v.as_numeric().unwrap_or(f64::NAN))
+                    .collect();
+                for (pos, &code) in codes.iter().enumerate() {
+                    let begin = begins[pos].load(std::sync::atomic::Ordering::Acquire);
+                    let end = ends[pos].load(std::sync::atomic::Ordering::Acquire);
+                    if code == L2_NULL_CODE || !self.visible(begin, end) {
+                        continue;
+                    }
+                    let x = table[code as usize];
+                    if !x.is_nan() {
+                        count += 1;
+                        sum += x;
+                    }
+                }
+            });
+        };
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            l2_side(frozen, *fence);
+        }
+        l2_side(&self.l2, self.l2_fence);
+        // L1 rows.
+        for (_, slot) in self.l1.iter() {
+            if !self.visible(slot.begin(), slot.end()) {
+                continue;
+            }
+            if let Some(x) = slot.values[col].as_numeric() {
+                count += 1;
+                sum += x;
+            }
+        }
+        Ok((count, sum))
+    }
+
+    /// Group-by aggregation: for each distinct value of `group_col`, the
+    /// `(count, sum)` over `agg_col` of visible rows.
+    ///
+    /// Columnar fast path: main parts and L2 deltas aggregate over
+    /// dictionary *codes* (dense accumulators / per-code maps) and decode
+    /// each group key once — the "scan-based aggregation" strength of the
+    /// column layout. Only the small L1 is processed row-wise.
+    pub fn group_aggregate(
+        &self,
+        group_col: usize,
+        agg_col: usize,
+    ) -> Result<Vec<(Value, u64, f64)>> {
+        self.schema_col(group_col)?;
+        self.schema_col(agg_col)?;
+        let mut groups: rustc_hash::FxHashMap<Value, (u64, f64)> = Default::default();
+
+        // Main parts: dense per-code accumulators.
+        for (pi, part) in self.main.parts().iter().enumerate() {
+            let g_null = part.null_code(group_col);
+            let a_null = part.null_code(agg_col);
+            // Numeric lookup table for the aggregate column over the chain
+            // prefix ending at this part.
+            let mut num = vec![f64::NAN; a_null as usize + 1];
+            for p in self.main.parts().iter().take(pi + 1) {
+                let base = p.base(agg_col);
+                for local in 0..p.dict(agg_col).len() as u32 {
+                    let idx = (base + local) as usize;
+                    if idx < num.len() {
+                        num[idx] = p.dict(agg_col).value_of(local).as_numeric().unwrap_or(f64::NAN);
+                    }
+                }
+            }
+            let mut acc = vec![(0u64, 0.0f64); g_null as usize + 1];
+            for pos in 0..part.len() as Pos {
+                if !self.visible(part.begin(pos), part.end(pos)) {
+                    continue;
+                }
+                let g = part.code_at(pos, group_col) as usize;
+                let e = &mut acc[g];
+                e.0 += 1;
+                let a = part.code_at(pos, agg_col);
+                if a != a_null {
+                    let x = num[a as usize];
+                    if !x.is_nan() {
+                        e.1 += x;
+                    }
+                }
+            }
+            for (code, (c, s)) in acc.into_iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let key = if code as u32 == g_null {
+                    Value::Null
+                } else {
+                    self.main
+                        .value_of_code(group_col, code as u32)
+                        .expect("group code resolves in the chain")
+                };
+                let e = groups.entry(key).or_insert((0, 0.0));
+                e.0 += c;
+                e.1 += s;
+            }
+        }
+
+        // L2 stages: per-code accumulation through the unsorted dictionary.
+        let mut l2_side = |l2: &L2Delta, fence: Pos| {
+            let (decoded, null_acc) =
+                l2.with_two_columns_stamped(group_col, agg_col, fence, |gd, gc, ad, ac, begins, ends| {
+                    let num_table: Vec<f64> = ad
+                        .values()
+                        .iter()
+                        .map(|v| v.as_numeric().unwrap_or(f64::NAN))
+                        .collect();
+                    let mut acc: rustc_hash::FxHashMap<hana_dict::Code, (u64, f64)> =
+                        Default::default();
+                    let mut null_acc = (0u64, 0.0f64);
+                    for pos in 0..gc.len() {
+                        let begin = begins[pos].load(std::sync::atomic::Ordering::Acquire);
+                        let end = ends[pos].load(std::sync::atomic::Ordering::Acquire);
+                        if !self.visible(begin, end) {
+                            continue;
+                        }
+                        let e = if gc[pos] == L2_NULL_CODE {
+                            &mut null_acc
+                        } else {
+                            acc.entry(gc[pos]).or_insert((0, 0.0))
+                        };
+                        e.0 += 1;
+                        let a = ac[pos];
+                        if a != L2_NULL_CODE {
+                            let x = num_table[a as usize];
+                            if !x.is_nan() {
+                                e.1 += x;
+                            }
+                        }
+                    }
+                    let decoded: Vec<(Value, u64, f64)> = acc
+                        .into_iter()
+                        .map(|(code, (c, s))| (gd.value_of(code).clone(), c, s))
+                        .collect();
+                    (decoded, null_acc)
+                });
+            for (key, c, s) in decoded {
+                let e = groups.entry(key).or_insert((0, 0.0));
+                e.0 += c;
+                e.1 += s;
+            }
+            if null_acc.0 > 0 {
+                let e = groups.entry(Value::Null).or_insert((0, 0.0));
+                e.0 += null_acc.0;
+                e.1 += null_acc.1;
+            }
+        };
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            l2_side(frozen, *fence);
+        }
+        l2_side(&self.l2, self.l2_fence);
+
+        // L1 rows.
+        for (_, slot) in self.l1.iter() {
+            if !self.visible(slot.begin(), slot.end()) {
+                continue;
+            }
+            let e = groups
+                .entry(slot.values[group_col].clone())
+                .or_insert((0, 0.0));
+            e.0 += 1;
+            if let Some(x) = slot.values[agg_col].as_numeric() {
+                e.1 += x;
+            }
+        }
+
+        let mut out: Vec<(Value, u64, f64)> =
+            groups.into_iter().map(|(k, (c, s))| (k, c, s)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// The merged global sorted dictionary over all three stages (§3.1),
+    /// including values of rows not visible to this snapshot (a dictionary
+    /// property, as in the paper).
+    pub fn global_sorted_dict(&self, col: usize) -> Result<GlobalSortedDict> {
+        self.schema_col(col)?;
+        // Main side: if the chain has several parts, merge their dictionary
+        // values into one sorted dictionary view first.
+        let main_dict = if self.main.parts().len() == 1 {
+            self.main.parts()[0].dict(col).clone()
+        } else {
+            let mut vals: Vec<Value> = Vec::new();
+            for p in self.main.parts() {
+                vals.extend(p.dict(col).iter());
+            }
+            hana_dict::SortedDict::from_values(vals)
+        };
+        let mut l1_values: Vec<Value> = self
+            .l1
+            .iter()
+            .map(|(_, s)| s.values[col].clone())
+            .collect();
+        // Frozen L2 values fold into the L1 side of the three-way merge.
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            frozen.with_column(col, *fence, |dict, _| {
+                l1_values.extend(dict.values().iter().cloned());
+            });
+        }
+        Ok(self.l2.with_column(col, self.l2_fence, |dict, _| {
+            GlobalSortedDict::build(&main_dict, dict, &l1_values)
+        }))
+    }
+
+    /// Debugging: every physical version matching `col = v` with raw MVCC
+    /// stamps, its stage, and whether this view considers it visible.
+    #[doc(hidden)]
+    pub fn debug_versions(&self, col: usize, v: &Value) -> Vec<(RowId, u64, u64, String, bool)> {
+        let mut out = Vec::new();
+        for hit in self.main.positions_eq(col, v) {
+            let part = &self.main.parts()[hit.part];
+            let (b, e) = (part.begin(hit.pos), part.end(hit.pos));
+            out.push((part.row_id(hit.pos), b, e, format!("main[{}]", hit.part), self.visible(b, e)));
+        }
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            for pos in frozen.positions_eq(col, v, *fence) {
+                let (b, e) = (frozen.begin(pos), frozen.end(pos));
+                out.push((frozen.row_id(pos), b, e, "l2-frozen".into(), self.visible(b, e)));
+            }
+        }
+        for pos in self.l2.positions_eq(col, v, self.l2_fence) {
+            let (b, e) = (self.l2.begin(pos), self.l2.end(pos));
+            out.push((self.l2.row_id(pos), b, e, "l2".into(), self.visible(b, e)));
+        }
+        for (p, slot) in self.l1.iter() {
+            if &slot.values[col] == v {
+                let (b, e) = (slot.begin(), slot.end());
+                out.push((slot.row_id, b, e, format!("l1@{p}"), self.visible(b, e)));
+            }
+        }
+        out
+    }
+
+    /// Rows of this view per stage `(L1, frozen+open L2, main)` —
+    /// diagnostics for the lifecycle benches.
+    pub fn stage_row_counts(&self) -> (usize, usize, usize) {
+        let l2 = self.l2_fence as usize + self.l2_frozen.as_ref().map_or(0, |(_, f)| *f as usize);
+        (self.l1.len(), l2, self.main.total_rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType, Schema, TableConfig};
+    use hana_txn::{IsolationLevel, TxnManager};
+
+    fn setup() -> (Arc<TxnManager>, Arc<UnifiedTable>) {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "sales",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("city", DataType::Str),
+                ColumnDef::new("amount", DataType::Double),
+            ],
+        )
+        .unwrap();
+        let t = UnifiedTable::standalone(schema, TableConfig::default(), Arc::clone(&mgr));
+        (mgr, t)
+    }
+
+    #[test]
+    fn insert_then_read_through_l1() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&txn, vec![Value::Int(1), Value::str("Los Gatos"), Value::double(10.0)])
+            .unwrap();
+        txn.commit().unwrap();
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&reader);
+        assert_eq!(read.count(), 1);
+        let rows = read.point(1, &Value::str("Los Gatos")).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(1));
+        let (c, s) = read.aggregate_numeric(2).unwrap();
+        assert_eq!(c, 1);
+        assert_eq!(s, 10.0);
+        assert_eq!(read.stage_row_counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn uncommitted_rows_invisible_to_others() {
+        let (mgr, t) = setup();
+        let txn = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&txn, vec![Value::Int(1), Value::str("x"), Value::Null])
+            .unwrap();
+        // Own statement sees it; others don't.
+        assert_eq!(t.read(&txn).count(), 1);
+        let other = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(t.read(&other).count(), 0);
+    }
+
+    #[test]
+    fn range_and_group_aggregate() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for (i, city) in ["Campbell", "Daily City", "Los Gatos", "Saratoga"].iter().enumerate() {
+            t.insert(
+                &txn,
+                vec![Value::Int(i as i64), Value::str(*city), Value::double(i as f64)],
+            )
+            .unwrap();
+        }
+        t.insert(&txn, vec![Value::Int(9), Value::str("Campbell"), Value::double(5.0)])
+            .unwrap();
+        txn.commit().unwrap();
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&reader);
+        let hits = read
+            .range(
+                1,
+                Bound::Included(&Value::str("C")),
+                Bound::Excluded(&Value::str("M")),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 4); // Campbell ×2, Daily City, Los Gatos
+        let groups = read.group_aggregate(1, 2).unwrap();
+        let campbell = groups.iter().find(|g| g.0 == Value::str("Campbell")).unwrap();
+        assert_eq!(campbell.1, 2);
+        assert_eq!(campbell.2, 5.0);
+    }
+
+    #[test]
+    fn global_dict_spans_stages() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for (i, c) in ["b", "a", "c"].iter().enumerate() {
+            t.insert(&txn, vec![Value::Int(i as i64), Value::str(*c), Value::Null])
+                .unwrap();
+        }
+        txn.commit().unwrap();
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let g = t.read(&reader).global_sorted_dict(1).unwrap();
+        let vals: Vec<Value> = g.iter().map(|(v, _)| v.clone()).collect();
+        assert_eq!(vals, ["a", "b", "c"].map(Value::str).to_vec());
+    }
+}

@@ -1,0 +1,288 @@
+//! The unified table structure: state, construction, low-level accessors.
+//!
+//! The write paths live in [`crate::write`], the read views in
+//! [`crate::read`], the record-lifecycle machinery in [`crate::lifecycle`],
+//! and savepoint image conversion in [`crate::snapshot_image`].
+//!
+//! ## Locking protocol
+//!
+//! * `fence` (database-wide): writers shared, savepoint exclusive — the
+//!   savepoint must see no write between image building and log truncation.
+//! * `state`: writers and readers take it shared for the duration of one
+//!   operation / view capture; merge *publications* (and the whole short
+//!   L1→L2 merge) take it exclusively. The long delta-to-main build runs
+//!   without any lock against a frozen L2 + immutable main.
+//! * End-stamp writes that land in the frozen L2 or the main while a
+//!   delta-to-main merge is building are recorded in `pending_ends` and
+//!   re-applied to the new main at publication, under the exclusive state
+//!   lock — no deletion can be lost to the structure swap.
+//!
+//! Lock order: `fence` → `merge locks` → `state` → store internals. Never
+//! acquire `state` twice on one call path.
+
+use crate::loc::Loc;
+use hana_common::{Result, RowId, Schema, TableConfig, TableId, Timestamp, Value};
+use hana_persist::Persistence;
+use hana_rowstore::L1Delta;
+use hana_store::{HistoryStore, L2Delta, MainStore};
+use hana_txn::{LockTable, TxnManager};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Structure versions guarded by the state lock.
+pub(crate) struct TableState {
+    /// The open L2-delta accepting the L1 merge stream and bulk loads.
+    pub l2: Arc<L2Delta>,
+    /// A closed L2-delta currently being merged into the main, if any.
+    pub l2_frozen: Option<Arc<L2Delta>>,
+    /// The main chain.
+    pub main: Arc<MainStore>,
+}
+
+/// One table of the database, managed through the record life cycle.
+pub struct UnifiedTable {
+    pub(crate) id: TableId,
+    pub(crate) schema: Schema,
+    pub(crate) config: TableConfig,
+    pub(crate) mgr: Arc<TxnManager>,
+    pub(crate) persist: Option<Arc<Persistence>>,
+    pub(crate) fence: Arc<RwLock<()>>,
+    pub(crate) l1: L1Delta,
+    pub(crate) state: RwLock<TableState>,
+    pub(crate) locks: LockTable,
+    pub(crate) history: Option<HistoryStore>,
+    pub(crate) next_row_id: AtomicU64,
+    pub(crate) next_gen: AtomicU64,
+    /// Serializes L1→L2 merges.
+    pub(crate) l1_merge_lock: Mutex<()>,
+    /// Serializes delta-to-main merges.
+    pub(crate) delta_merge_lock: Mutex<()>,
+    /// True while a delta-to-main merge is building its new main.
+    pub(crate) delta_merge_running: AtomicBool,
+    /// End-stamp writes raced against the running merge (see module docs).
+    pub(crate) pending_ends: Mutex<Vec<(RowId, Timestamp)>>,
+}
+
+impl UnifiedTable {
+    /// Create an empty table (used by [`crate::database::Database`]; tests
+    /// may call it directly for a standalone table).
+    pub fn create(
+        id: TableId,
+        schema: Schema,
+        config: TableConfig,
+        mgr: Arc<TxnManager>,
+        persist: Option<Arc<Persistence>>,
+        fence: Arc<RwLock<()>>,
+    ) -> Arc<Self> {
+        let l2 = Arc::new(L2Delta::new(schema.clone(), 0));
+        Arc::new(UnifiedTable {
+            id,
+            history: config.historic.then(HistoryStore::new),
+            schema: schema.clone(),
+            config,
+            mgr,
+            persist,
+            fence,
+            l1: L1Delta::new(),
+            state: RwLock::new(TableState {
+                l2,
+                l2_frozen: None,
+                main: Arc::new(MainStore::empty(schema)),
+            }),
+            locks: LockTable::new(),
+            next_row_id: AtomicU64::new(0),
+            next_gen: AtomicU64::new(1),
+            l1_merge_lock: Mutex::new(()),
+            delta_merge_lock: Mutex::new(()),
+            delta_merge_running: AtomicBool::new(false),
+            pending_ends: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A standalone in-memory table with its own fence (convenience for
+    /// tests and benches).
+    pub fn standalone(schema: Schema, config: TableConfig, mgr: Arc<TxnManager>) -> Arc<Self> {
+        Self::create(
+            TableId(0),
+            schema,
+            config,
+            mgr,
+            None,
+            Arc::new(RwLock::new(())),
+        )
+    }
+
+    /// The table's catalog id.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The lifecycle configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    /// The owning transaction manager.
+    pub fn txn_manager(&self) -> &Arc<TxnManager> {
+        &self.mgr
+    }
+
+    /// The history store, for historic tables.
+    pub fn history(&self) -> Option<&HistoryStore> {
+        self.history.as_ref()
+    }
+
+    /// Release this transaction's row locks (called by
+    /// [`Database::commit`](crate::Database::commit) / abort).
+    pub fn finish_txn(&self, txn: hana_common::TxnId) {
+        self.locks.release_all(txn);
+    }
+
+    pub(crate) fn alloc_row_id(&self) -> RowId {
+        RowId(self.next_row_id.fetch_add(1, Ordering::SeqCst))
+    }
+
+    pub(crate) fn alloc_row_id_block(&self, n: u64) -> RowId {
+        RowId(self.next_row_id.fetch_add(n, Ordering::SeqCst))
+    }
+
+    pub(crate) fn alloc_generation(&self) -> u64 {
+        self.next_gen.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Resolve `(row_id, begin, end, values)` at a location, against the
+    /// given state (the caller holds the state lock).
+    pub(crate) fn version_at_locked(
+        &self,
+        state: &TableState,
+        loc: Loc,
+    ) -> Option<(RowId, Timestamp, Timestamp, Vec<Value>)> {
+        match loc {
+            Loc::L1(pos) => self
+                .l1
+                .with_slot(pos, |s| (s.row_id, s.begin(), s.end(), s.values.to_vec())),
+            Loc::L2 { gen, pos } => {
+                let l2 = self.l2_by_gen(state, gen)?;
+                Some((l2.row_id(pos), l2.begin(pos), l2.end(pos), l2.row(pos)))
+            }
+            Loc::Main { part_gen, pos } => {
+                let (pi, part) = state
+                    .main
+                    .parts()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, p)| p.generation() == part_gen)?;
+                let hit = hana_store::PartHit { part: pi, pos };
+                Some((
+                    part.row_id(pos),
+                    part.begin(pos),
+                    part.end(pos),
+                    state.main.row_at(hit),
+                ))
+            }
+        }
+    }
+
+    fn l2_by_gen<'a>(&self, state: &'a TableState, gen: u64) -> Option<&'a Arc<L2Delta>> {
+        if state.l2.generation() == gen {
+            Some(&state.l2)
+        } else {
+            state
+                .l2_frozen
+                .as_ref()
+                .filter(|f| f.generation() == gen)
+        }
+    }
+
+    /// Write an end stamp at a location (caller holds the state lock, which
+    /// guarantees the location is current). Records the write for merge
+    /// reconciliation when a delta merge is building.
+    pub(crate) fn store_end_locked(
+        &self,
+        state: &TableState,
+        row_id: RowId,
+        loc: Loc,
+        ts: Timestamp,
+    ) {
+        match loc {
+            Loc::L1(pos) => {
+                self.l1.with_slot(pos, |s| s.store_end(ts));
+            }
+            Loc::L2 { gen, pos } => {
+                let frozen = state
+                    .l2_frozen
+                    .as_ref()
+                    .is_some_and(|f| f.generation() == gen);
+                if let Some(l2) = self.l2_by_gen(state, gen) {
+                    l2.store_end(pos, ts);
+                }
+                if frozen && self.delta_merge_running.load(Ordering::Acquire) {
+                    self.pending_ends.lock().push((row_id, ts));
+                }
+            }
+            Loc::Main { part_gen, pos } => {
+                if let Some(p) = state
+                    .main
+                    .parts()
+                    .iter()
+                    .find(|p| p.generation() == part_gen)
+                {
+                    p.store_end(pos, ts);
+                    if self.delta_merge_running.load(Ordering::Acquire) {
+                        self.pending_ends.lock().push((row_id, ts));
+                    }
+                }
+            }
+        }
+    }
+
+    /// All physical version coordinates whose `col` equals `v`, against the
+    /// given state: L1 scan, L2 inverted indexes, main inverted indexes.
+    pub(crate) fn versions_by_value_locked(&self, state: &TableState, col: usize, v: &Value) -> Vec<Loc> {
+        let mut out = Vec::new();
+        for (pos, slot) in self.l1.snapshot().iter() {
+            if &slot.values[col] == v {
+                out.push(Loc::L1(pos));
+            }
+        }
+        if let Some(f) = &state.l2_frozen {
+            let fence = f.len() as u32;
+            for pos in f.positions_eq(col, v, fence) {
+                out.push(Loc::L2 {
+                    gen: f.generation(),
+                    pos,
+                });
+            }
+        }
+        {
+            let fence = state.l2.published_len();
+            for pos in state.l2.positions_eq(col, v, fence) {
+                out.push(Loc::L2 {
+                    gen: state.l2.generation(),
+                    pos,
+                });
+            }
+        }
+        for hit in state.main.positions_eq(col, v) {
+            out.push(Loc::Main {
+                part_gen: state.main.parts()[hit.part].generation(),
+                pos: hit.pos,
+            });
+        }
+        out
+    }
+
+    /// Log a REDO record if the table is durable.
+    pub(crate) fn redo(&self, rec: &hana_persist::LogRecord) -> Result<()> {
+        if let Some(p) = &self.persist {
+            p.log().append(rec)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,167 @@
+//! The merged global sorted dictionary of §3.1.
+//!
+//! *"For the operators leveraging sorted dictionaries, the unified table
+//! access interface also exposes the table content via a global sorted
+//! dictionary. Dictionaries of two delta structures are computed (only for
+//! L1-delta) and sorted (for both L1-delta and L2-delta) and merged with the
+//! main dictionary on the fly."*
+//!
+//! [`GlobalSortedDict`] performs exactly that: it takes the main's sorted
+//! dictionary, the L2-delta's unsorted dictionary, and the raw values of the
+//! L1-delta (which has no dictionary at all), and exposes a deduplicated,
+//! sorted view without materializing more than the L1/L2 sides.
+
+use crate::sorted::SortedDict;
+use crate::unsorted::UnsortedDict;
+use crate::Code;
+use hana_common::Value;
+
+/// Origin of a global dictionary entry (which stage(s) contain the value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// Code in the main dictionary, when present there.
+    pub main_code: Option<Code>,
+    /// Code in the L2-delta dictionary, when present there.
+    pub l2_code: Option<Code>,
+    /// Present among the L1-delta values.
+    pub in_l1: bool,
+}
+
+/// A merged, sorted, deduplicated view over the three stages' values.
+#[derive(Debug, Clone)]
+pub struct GlobalSortedDict {
+    entries: Vec<(Value, Provenance)>,
+}
+
+impl GlobalSortedDict {
+    /// Build the global dictionary on the fly from the three stages.
+    ///
+    /// `l1_values` are the raw (non-null) values currently in the L1-delta;
+    /// they are deduplicated and sorted here, mirroring "computed … and
+    /// sorted" in the paper.
+    pub fn build(main: &SortedDict, l2: &UnsortedDict, l1_values: &[Value]) -> Self {
+        // Sort the two delta sides.
+        let l2_perm = l2.sorted_codes();
+        let mut l1: Vec<&Value> = l1_values.iter().filter(|v| !v.is_null()).collect();
+        l1.sort_unstable();
+        l1.dedup();
+
+        let mut entries: Vec<(Value, Provenance)> =
+            Vec::with_capacity(main.len() + l2_perm.len() + l1.len());
+
+        // Three-way merge by value.
+        let mut mi: usize = 0;
+        let mut di: usize = 0;
+        let mut li: usize = 0;
+        loop {
+            let mv = (mi < main.len()).then(|| main.value_of(mi as Code));
+            let dv = (di < l2_perm.len()).then(|| l2.value_of(l2_perm[di]).clone());
+            let lv = (li < l1.len()).then(|| l1[li].clone());
+            // Smallest of the present heads.
+            let min = [mv.as_ref(), dv.as_ref(), lv.as_ref()]
+                .into_iter()
+                .flatten()
+                .min()
+                .cloned();
+            let Some(min) = min else { break };
+            let mut prov = Provenance::default();
+            if mv.as_ref() == Some(&min) {
+                prov.main_code = Some(mi as Code);
+                mi += 1;
+            }
+            if dv.as_ref() == Some(&min) {
+                prov.l2_code = Some(l2_perm[di]);
+                di += 1;
+            }
+            if lv.as_ref() == Some(&min) {
+                prov.in_l1 = true;
+                li += 1;
+            }
+            entries.push((min, prov));
+        }
+        GlobalSortedDict { entries }
+    }
+
+    /// Number of distinct values across all stages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table holds no values in this column.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(value, provenance)` in global sort order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Value, Provenance)> {
+        self.entries.iter()
+    }
+
+    /// The value at global position `i`.
+    pub fn value_at(&self, i: usize) -> &Value {
+        &self.entries[i].0
+    }
+
+    /// Find a value's global position.
+    pub fn position_of(&self, v: &Value) -> Option<usize> {
+        self.entries.binary_search_by(|(e, _)| e.cmp(v)).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_way_merge_dedups_and_sorts() {
+        let main = SortedDict::from_values(["b", "d", "f"].map(Value::str).to_vec());
+        let mut l2 = UnsortedDict::new();
+        for v in ["e", "b", "a"] {
+            l2.get_or_insert(&Value::str(v));
+        }
+        let l1 = vec![Value::str("c"), Value::str("a"), Value::str("c"), Value::Null];
+        let g = GlobalSortedDict::build(&main, &l2, &l1);
+        let vals: Vec<&Value> = g.iter().map(|(v, _)| v).collect();
+        assert_eq!(
+            vals,
+            ["a", "b", "c", "d", "e", "f"]
+                .map(Value::str)
+                .iter()
+                .collect::<Vec<_>>()
+        );
+        // Provenance: "a" is in L2 and L1, not main.
+        let (_, prov_a) = &g.entries[0];
+        assert_eq!(prov_a.main_code, None);
+        assert_eq!(prov_a.l2_code, Some(2));
+        assert!(prov_a.in_l1);
+        // "b" is in main (code 0) and L2 (code 1).
+        let (_, prov_b) = &g.entries[1];
+        assert_eq!(prov_b.main_code, Some(0));
+        assert_eq!(prov_b.l2_code, Some(1));
+        assert!(!prov_b.in_l1);
+    }
+
+    #[test]
+    fn positions_binary_search() {
+        let main = SortedDict::from_values((0..10).map(|i| Value::Int(i * 2)).collect());
+        let g = GlobalSortedDict::build(&main, &UnsortedDict::new(), &[]);
+        assert_eq!(g.position_of(&Value::Int(6)), Some(3));
+        assert_eq!(g.position_of(&Value::Int(7)), None);
+        assert_eq!(g.value_at(0), &Value::Int(0));
+    }
+
+    #[test]
+    fn empty_everything() {
+        let g = GlobalSortedDict::build(&SortedDict::empty(), &UnsortedDict::new(), &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    fn l1_only_table() {
+        let l1 = vec![Value::Int(3), Value::Int(1), Value::Int(3)];
+        let g = GlobalSortedDict::build(&SortedDict::empty(), &UnsortedDict::new(), &l1);
+        assert_eq!(g.len(), 2);
+        assert!(g.iter().all(|(_, p)| p.in_l1 && p.main_code.is_none()));
+    }
+}

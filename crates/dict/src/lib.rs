@@ -1,0 +1,35 @@
+//! Dictionary encoding for the unified table.
+//!
+//! All column-format stages of the unified table encode values through
+//! dictionaries (paper §3):
+//!
+//! * the **L2-delta** uses an [`UnsortedDict`]: append-only, so inserts never
+//!   restructure it, at the cost of a hash side-index for point lookups;
+//! * the **main** uses a [`SortedDict`]: codes are order-preserving (a range
+//!   predicate becomes a contiguous code range) and the string representation
+//!   is front-coded (prefix compression, "the dictionary is always compressed
+//!   using a variety of prefix-coding schemes");
+//! * the **merge** step ([`merge::merge_dicts`]) combines a main dictionary
+//!   with an L2-delta dictionary into a new sorted dictionary plus the two
+//!   position-mapping tables of Fig. 7, with the paper's fast paths when the
+//!   delta is a subset of the main or strictly greater than it;
+//! * [`global::GlobalSortedDict`] exposes the merged global sorted dictionary
+//!   over L1/L2/main used by dictionary-based operators (§3.1).
+//!
+//! Dictionaries store only non-null values; NULLs live in per-column null
+//! bitmaps owned by the stores.
+
+pub mod global;
+pub mod merge;
+pub mod prefix;
+pub mod sorted;
+pub mod unsorted;
+
+pub use global::GlobalSortedDict;
+pub use merge::{merge_dicts, DictMerge, MergeKind};
+pub use prefix::FrontCodedStrings;
+pub use sorted::SortedDict;
+pub use unsorted::UnsortedDict;
+
+/// Dictionary code: position of a value in its dictionary.
+pub type Code = u32;

@@ -1,0 +1,356 @@
+//! Dictionary merge — phase 1 of the delta-to-main merge (paper §4.1, Fig 7).
+//!
+//! Builds the new sorted main dictionary out of the old main dictionary and
+//! the L2-delta's unsorted dictionary, producing the two **position mapping
+//! tables** of Fig. 7 (old main code → new code, delta code → new code).
+//! Codes of values dropped because no surviving record references them map
+//! to [`DROPPED`] — *"the new dictionary contains only valid entries …
+//! discarding entries of all deleted or modified records."*
+//!
+//! The paper's two optimizations are implemented as fast paths:
+//!
+//! * **delta ⊆ main** ([`MergeKind::DeltaSubset`]): "the first phase of a
+//!   dictionary generation is skipped resulting in stable positions of the
+//!   main entries";
+//! * **delta > main** ([`MergeKind::DeltaAppend`]): e.g. increasing
+//!   timestamps — "the dictionary of the L2-delta can be directly added to
+//!   the main dictionary."
+
+use crate::sorted::SortedDict;
+use crate::unsorted::UnsortedDict;
+use crate::Code;
+use hana_common::Value;
+use std::cmp::Ordering;
+
+/// Sentinel in a mapping table: the old code's value was dropped.
+pub const DROPPED: Code = Code::MAX;
+
+/// Which merge path was taken (exposed for the Fig-7 bench and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Every delta value already exists in the main dictionary.
+    DeltaSubset,
+    /// Every delta value sorts strictly above the main maximum.
+    DeltaAppend,
+    /// Full two-way merge.
+    General,
+}
+
+/// Result of a dictionary merge.
+#[derive(Debug, Clone)]
+pub struct DictMerge {
+    /// The new sorted dictionary.
+    pub dict: SortedDict,
+    /// Old main code → new code (or [`DROPPED`]).
+    pub main_map: Vec<Code>,
+    /// Delta code → new code (or [`DROPPED`]).
+    pub delta_map: Vec<Code>,
+    /// Which path produced this merge.
+    pub kind: MergeKind,
+}
+
+impl DictMerge {
+    /// True if every surviving main code kept its position (so the main
+    /// value index needs no recoding, only appending).
+    pub fn main_positions_stable(&self) -> bool {
+        self.kind == MergeKind::DeltaSubset || self.kind == MergeKind::DeltaAppend
+    }
+}
+
+/// Merge with all codes considered live.
+pub fn merge_dicts(main: &SortedDict, delta: &UnsortedDict) -> DictMerge {
+    merge_dicts_filtered(main, None, delta, None)
+}
+
+/// Merge keeping only codes whose `used` flag is set (when provided).
+///
+/// `main_used[c]` / `delta_used[c]` say whether any surviving record still
+/// references code `c`; unreferenced values are discarded from the new
+/// dictionary and their map entries become [`DROPPED`].
+pub fn merge_dicts_filtered(
+    main: &SortedDict,
+    main_used: Option<&[bool]>,
+    delta: &UnsortedDict,
+    delta_used: Option<&[bool]>,
+) -> DictMerge {
+    if let Some(u) = main_used {
+        assert_eq!(u.len(), main.len(), "main_used length");
+    }
+    if let Some(u) = delta_used {
+        assert_eq!(u.len(), delta.len(), "delta_used length");
+    }
+    let no_filter = main_used.map_or(true, |u| u.iter().all(|&b| b))
+        && delta_used.map_or(true, |u| u.iter().all(|&b| b));
+
+    if no_filter {
+        if let Some(fast) = try_fast_paths(main, delta) {
+            return fast;
+        }
+    }
+    general_merge(main, main_used, delta, delta_used)
+}
+
+fn try_fast_paths(main: &SortedDict, delta: &UnsortedDict) -> Option<DictMerge> {
+    // Subset check: every delta value already in main.
+    let mut delta_map = Vec::with_capacity(delta.len());
+    let mut all_subset = true;
+    for v in delta.values() {
+        match main.code_of(v) {
+            Some(c) => delta_map.push(c),
+            None => {
+                all_subset = false;
+                break;
+            }
+        }
+    }
+    if all_subset {
+        return Some(DictMerge {
+            dict: main.clone(),
+            main_map: (0..main.len() as Code).collect(),
+            delta_map,
+            kind: MergeKind::DeltaSubset,
+        });
+    }
+
+    // Append check: all delta values strictly above main max.
+    let max = main.max_value();
+    let above = match &max {
+        None => false, // empty main: general path builds from delta alone
+        Some(m) => delta.values().iter().all(|v| v > m),
+    };
+    if above {
+        let perm = delta.sorted_codes();
+        let n = main.len() as Code;
+        let mut delta_map = vec![0 as Code; delta.len()];
+        let mut appended: Vec<Value> = Vec::with_capacity(delta.len());
+        for (rank, &dc) in perm.iter().enumerate() {
+            delta_map[dc as usize] = n + rank as Code;
+            appended.push(delta.value_of(dc).clone());
+        }
+        let mut values: Vec<Value> = main.iter().collect();
+        values.extend(appended);
+        return Some(DictMerge {
+            dict: SortedDict::from_sorted_values(values),
+            main_map: (0..n).collect(),
+            delta_map,
+            kind: MergeKind::DeltaAppend,
+        });
+    }
+    None
+}
+
+fn general_merge(
+    main: &SortedDict,
+    main_used: Option<&[bool]>,
+    delta: &UnsortedDict,
+    delta_used: Option<&[bool]>,
+) -> DictMerge {
+    let main_live = |c: Code| main_used.map_or(true, |u| u[c as usize]);
+    let delta_live = |c: Code| delta_used.map_or(true, |u| u[c as usize]);
+
+    let delta_perm: Vec<Code> = delta
+        .sorted_codes()
+        .into_iter()
+        .filter(|&c| delta_live(c))
+        .collect();
+
+    let mut main_map = vec![DROPPED; main.len()];
+    let mut delta_map = vec![DROPPED; delta.len()];
+    let mut values: Vec<Value> = Vec::with_capacity(main.len() + delta_perm.len());
+
+    let mut mi: Code = 0;
+    let main_len = main.len() as Code;
+    let mut di = 0usize;
+
+    // Classic two-pointer merge over (live main codes) × (sorted live delta
+    // codes); equal values collapse into one new entry referenced by both
+    // maps — exactly the "Los Gatos" case of Fig 7.
+    while mi < main_len || di < delta_perm.len() {
+        // Skip dead main entries.
+        if mi < main_len && !main_live(mi) {
+            mi += 1;
+            continue;
+        }
+        let take_main = if mi >= main_len {
+            false
+        } else if di >= delta_perm.len() {
+            true
+        } else {
+            let mv = main.value_of(mi);
+            let dv = delta.value_of(delta_perm[di]);
+            match mv.cmp(dv) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => {
+                    let new = values.len() as Code;
+                    values.push(mv);
+                    main_map[mi as usize] = new;
+                    delta_map[delta_perm[di] as usize] = new;
+                    mi += 1;
+                    di += 1;
+                    continue;
+                }
+            }
+        };
+        if take_main {
+            let new = values.len() as Code;
+            values.push(main.value_of(mi));
+            main_map[mi as usize] = new;
+            mi += 1;
+        } else {
+            let dc = delta_perm[di];
+            let new = values.len() as Code;
+            values.push(delta.value_of(dc).clone());
+            delta_map[dc as usize] = new;
+            di += 1;
+        }
+    }
+
+    DictMerge {
+        dict: SortedDict::from_sorted_values(values),
+        main_map,
+        delta_map,
+        kind: MergeKind::General,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn main_dict(vals: &[&str]) -> SortedDict {
+        SortedDict::from_values(vals.iter().map(|v| Value::str(*v)).collect())
+    }
+
+    fn delta_dict(vals: &[&str]) -> UnsortedDict {
+        let mut d = UnsortedDict::new();
+        for v in vals {
+            d.get_or_insert(&Value::str(*v));
+        }
+        d
+    }
+
+    /// The worked example of Fig. 7: main holds sorted cities, the delta
+    /// holds "Los Gatos" (also in main) and "Campbell" (delta-only).
+    #[test]
+    fn fig7_example() {
+        let main = main_dict(&["Daily City", "Los Altos", "Los Gatos", "Palo Alto", "Saratoga"]);
+        let delta = delta_dict(&["Los Gatos", "Campbell"]);
+        let m = merge_dicts(&main, &delta);
+        assert_eq!(m.kind, MergeKind::General);
+        let new_vals: Vec<Value> = m.dict.iter().collect();
+        assert_eq!(
+            new_vals,
+            ["Campbell", "Daily City", "Los Altos", "Los Gatos", "Palo Alto", "Saratoga"]
+                .map(Value::str)
+                .to_vec()
+        );
+        // "Los Gatos" appears in both mapping tables at the same new code.
+        let lg_new = m.dict.code_of(&Value::str("Los Gatos")).unwrap();
+        assert_eq!(m.main_map[2], lg_new);
+        assert_eq!(m.delta_map[0], lg_new);
+        // "Campbell" shifts every main position by one.
+        assert_eq!(m.main_map, vec![1, 2, 3, 4, 5]);
+        assert_eq!(m.delta_map[1], 0);
+    }
+
+    #[test]
+    fn subset_fast_path_keeps_main_stable() {
+        let main = main_dict(&["a", "b", "c", "d"]);
+        let delta = delta_dict(&["c", "a"]);
+        let m = merge_dicts(&main, &delta);
+        assert_eq!(m.kind, MergeKind::DeltaSubset);
+        assert!(m.main_positions_stable());
+        assert_eq!(m.main_map, vec![0, 1, 2, 3]);
+        assert_eq!(m.delta_map, vec![2, 0]);
+        assert_eq!(m.dict.len(), 4);
+    }
+
+    #[test]
+    fn append_fast_path_for_increasing_values() {
+        // The paper's example: increasing timestamps.
+        let main = SortedDict::from_values((0..5).map(Value::Int).collect());
+        let mut delta = UnsortedDict::new();
+        for t in [7i64, 9, 6] {
+            delta.get_or_insert(&Value::Int(t));
+        }
+        let m = merge_dicts(&main, &delta);
+        assert_eq!(m.kind, MergeKind::DeltaAppend);
+        assert_eq!(m.main_map, vec![0, 1, 2, 3, 4]);
+        // Delta codes (arrival order 7,9,6) map to sorted tail 6,7,9 → 6,8,5... wait:
+        // new dict = 0,1,2,3,4,6,7,9 → 6→5, 7→6, 9→7.
+        assert_eq!(m.delta_map, vec![6, 7, 5]);
+        assert_eq!(m.dict.value_of(5), Value::Int(6));
+    }
+
+    #[test]
+    fn empty_main_takes_general_path() {
+        let main = SortedDict::empty();
+        let delta = delta_dict(&["b", "a"]);
+        let m = merge_dicts(&main, &delta);
+        assert_eq!(m.kind, MergeKind::General);
+        assert_eq!(m.dict.len(), 2);
+        assert_eq!(m.delta_map, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_delta_is_subset() {
+        let main = main_dict(&["a", "b"]);
+        let delta = UnsortedDict::new();
+        let m = merge_dicts(&main, &delta);
+        assert_eq!(m.kind, MergeKind::DeltaSubset);
+        assert_eq!(m.dict.len(), 2);
+    }
+
+    #[test]
+    fn filtered_merge_drops_dead_values() {
+        let main = main_dict(&["a", "b", "c"]);
+        let delta = delta_dict(&["d", "b"]);
+        // "b" no longer referenced anywhere; "d" dead in delta.
+        let m = merge_dicts_filtered(
+            &main,
+            Some(&[true, false, true]),
+            &delta,
+            Some(&[false, true]),
+        );
+        let vals: Vec<Value> = m.dict.iter().collect();
+        // delta's live "b" keeps "b" alive even though main dropped it.
+        assert_eq!(vals, ["a", "b", "c"].map(Value::str).to_vec());
+        assert_eq!(m.main_map, vec![0, DROPPED, 2]);
+        assert_eq!(m.delta_map, vec![DROPPED, 1]);
+    }
+
+    #[test]
+    fn filtered_merge_fully_dropping_a_value() {
+        let main = main_dict(&["a", "b", "c"]);
+        let delta = UnsortedDict::new();
+        let m = merge_dicts_filtered(&main, Some(&[true, false, true]), &delta, None);
+        let vals: Vec<Value> = m.dict.iter().collect();
+        assert_eq!(vals, ["a", "c"].map(Value::str).to_vec());
+        assert_eq!(m.main_map, vec![0, DROPPED, 1]);
+    }
+
+    #[test]
+    fn general_merge_maps_are_consistent() {
+        let main = SortedDict::from_values((0..50).map(|i| Value::Int(i * 3)).collect());
+        let delta = {
+            let mut d = UnsortedDict::new();
+            for i in (0..40).rev() {
+                d.get_or_insert(&Value::Int(i * 4));
+            }
+            d
+        };
+        let m = merge_dicts(&main, &delta);
+        for c in 0..main.len() as Code {
+            let nc = m.main_map[c as usize];
+            assert_eq!(m.dict.value_of(nc), main.value_of(c));
+        }
+        for c in 0..delta.len() as Code {
+            let nc = m.delta_map[c as usize];
+            assert_eq!(&m.dict.value_of(nc), delta.value_of(c));
+        }
+        // New dictionary is sorted unique.
+        let vals: Vec<Value> = m.dict.iter().collect();
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,212 @@
+//! Front-coded (prefix-compressed) string storage for sorted dictionaries.
+//!
+//! The paper: *"the dictionary is always compressed using a variety of
+//! prefix-coding schemes."* In a sorted string dictionary adjacent entries
+//! share long prefixes; front coding stores every `BLOCK`-th string in full
+//! (a block head) and each following string as `(shared-prefix length,
+//! suffix)`. Decoding a code touches at most one block; `code_of` binary
+//! searches the block heads and then walks one block.
+
+/// Strings per block; heads are stored verbatim.
+const BLOCK: usize = 16;
+
+/// A front-coded, immutable, sorted string collection.
+#[derive(Debug, Clone, Default)]
+pub struct FrontCodedStrings {
+    /// Concatenated bytes of heads and suffixes.
+    bytes: Vec<u8>,
+    /// Per entry: (offset into `bytes`, suffix length, shared prefix length).
+    entries: Vec<(u32, u16, u16)>,
+}
+
+impl FrontCodedStrings {
+    /// Build from strings that must already be sorted ascending and unique.
+    pub fn from_sorted(values: &[&str]) -> Self {
+        let mut bytes = Vec::new();
+        let mut entries = Vec::with_capacity(values.len());
+        let mut prev: &str = "";
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(i == 0 || values[i - 1] < v, "input must be sorted unique");
+            let lcp = if i % BLOCK == 0 {
+                0
+            } else {
+                common_prefix_len(prev, v).min(u16::MAX as usize)
+            };
+            let suffix = &v.as_bytes()[lcp..];
+            entries.push((bytes.len() as u32, suffix.len() as u16, lcp as u16));
+            bytes.extend_from_slice(suffix);
+            prev = v;
+        }
+        bytes.shrink_to_fit();
+        FrontCodedStrings { bytes, entries }
+    }
+
+    /// Number of strings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Decode the string at `idx` into `out` (cleared first).
+    pub fn decode_into(&self, idx: usize, out: &mut String) {
+        out.clear();
+        let block_start = idx - idx % BLOCK;
+        // Reconstruct incrementally from the block head: each entry keeps
+        // `lcp` chars of its predecessor and appends its suffix.
+        for i in block_start..=idx {
+            let (off, len, lcp) = self.entries[i];
+            out.truncate(lcp as usize);
+            let suffix = &self.bytes[off as usize..off as usize + len as usize];
+            out.push_str(std::str::from_utf8(suffix).expect("dictionary holds valid UTF-8"));
+        }
+    }
+
+    /// Decode the string at `idx`.
+    pub fn get(&self, idx: usize) -> String {
+        let mut s = String::new();
+        self.decode_into(idx, &mut s);
+        s
+    }
+
+    /// Binary search for `needle`; `Ok(idx)` when present, `Err(insertion)`
+    /// otherwise — mirroring `slice::binary_search`.
+    pub fn binary_search(&self, needle: &str) -> Result<usize, usize> {
+        if self.entries.is_empty() {
+            return Err(0);
+        }
+        // Search block heads first (cheap: heads decode directly).
+        let n_blocks = self.entries.len().div_ceil(BLOCK);
+        let mut lo_block = 0;
+        let mut hi_block = n_blocks;
+        let mut buf = String::new();
+        while lo_block < hi_block {
+            let mid = (lo_block + hi_block) / 2;
+            self.decode_into(mid * BLOCK, &mut buf);
+            if buf.as_str() <= needle {
+                lo_block = mid + 1;
+            } else {
+                hi_block = mid;
+            }
+        }
+        if lo_block == 0 {
+            // Needle sorts before the first head.
+            return Err(0);
+        }
+        let block = lo_block - 1;
+        let start = block * BLOCK;
+        let end = (start + BLOCK).min(self.entries.len());
+        // Walk the block, reusing the incremental decode.
+        buf.clear();
+        for i in start..end {
+            let (off, len, lcp) = self.entries[i];
+            buf.truncate(lcp as usize);
+            let suffix = &self.bytes[off as usize..off as usize + len as usize];
+            buf.push_str(std::str::from_utf8(suffix).expect("dictionary holds valid UTF-8"));
+            match buf.as_str().cmp(needle) {
+                std::cmp::Ordering::Equal => return Ok(i),
+                std::cmp::Ordering::Greater => return Err(i),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        Err(end)
+    }
+
+    /// Bytes used by the compressed representation.
+    pub fn heap_size(&self) -> usize {
+        self.bytes.len() + self.entries.len() * std::mem::size_of::<(u32, u16, u16)>()
+    }
+}
+
+fn common_prefix_len(a: &str, b: &str) -> usize {
+    let n = a
+        .as_bytes()
+        .iter()
+        .zip(b.as_bytes())
+        .take_while(|(x, y)| x == y)
+        .count();
+    // Never split a UTF-8 code point: back off to a char boundary of both.
+    let mut n = n;
+    while n > 0 && (!a.is_char_boundary(n) || !b.is_char_boundary(n)) {
+        n -= 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cities() -> Vec<String> {
+        let mut v: Vec<String> = (0..100)
+            .map(|i| format!("San Jose District {i:03}"))
+            .chain(["Campbell", "Daily City", "Los Gatos", "Saratoga"].map(String::from))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn build(vals: &[String]) -> FrontCodedStrings {
+        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+        FrontCodedStrings::from_sorted(&refs)
+    }
+
+    #[test]
+    fn round_trips_every_entry() {
+        let vals = cities();
+        let fc = build(&vals);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&fc.get(i), v, "index {i}");
+        }
+    }
+
+    #[test]
+    fn binary_search_finds_all_and_rejects_absent() {
+        let vals = cities();
+        let fc = build(&vals);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(fc.binary_search(v), Ok(i));
+        }
+        // Absent values report correct insertion points.
+        let probe = "Cupertino".to_string();
+        let expect = vals.binary_search(&probe).unwrap_err();
+        assert_eq!(fc.binary_search(&probe), Err(expect));
+        assert_eq!(fc.binary_search("AAAA"), Err(0));
+        assert_eq!(fc.binary_search("zzzz"), Err(vals.len()));
+    }
+
+    #[test]
+    fn compresses_shared_prefixes() {
+        let vals = cities();
+        let fc = build(&vals);
+        let raw: usize = vals.iter().map(|s| s.len()).sum();
+        assert!(
+            fc.bytes.len() < raw,
+            "front coding should shrink {raw} raw bytes, got {}",
+            fc.bytes.len()
+        );
+    }
+
+    #[test]
+    fn empty_collection() {
+        let fc = FrontCodedStrings::from_sorted(&[]);
+        assert!(fc.is_empty());
+        assert_eq!(fc.binary_search("x"), Err(0));
+    }
+
+    #[test]
+    fn utf8_boundaries_respected() {
+        let mut vals = vec!["naïve", "naïveté", "naïf"];
+        vals.sort();
+        let fc = FrontCodedStrings::from_sorted(&vals);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&fc.get(i), v);
+            assert_eq!(fc.binary_search(v), Ok(i));
+        }
+    }
+}

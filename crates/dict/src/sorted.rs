@@ -1,0 +1,262 @@
+//! The sorted dictionary of the main store.
+//!
+//! Codes are positions in sort order, so they are *order-preserving*: value
+//! comparisons become integer comparisons on codes, and a range predicate
+//! `lo ≤ v ≤ hi` becomes a contiguous code interval — the property the
+//! paper's main-store operators ("special operators working directly on
+//! dictionary encoded columns") and Fig. 10's range resolution rely on.
+//!
+//! String dictionaries are stored front-coded ([`FrontCodedStrings`]);
+//! numeric dictionaries as plain sorted vectors.
+
+use crate::prefix::FrontCodedStrings;
+use crate::Code;
+use hana_common::Value;
+use std::ops::Bound;
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Sorted non-string values.
+    Plain(Vec<Value>),
+    /// Front-coded sorted strings.
+    Strings(FrontCodedStrings),
+}
+
+/// Immutable sorted dictionary with order-preserving codes.
+#[derive(Debug, Clone)]
+pub struct SortedDict {
+    repr: Repr,
+}
+
+impl Default for SortedDict {
+    fn default() -> Self {
+        SortedDict {
+            repr: Repr::Plain(Vec::new()),
+        }
+    }
+}
+
+impl SortedDict {
+    /// An empty dictionary.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from values that must already be sorted ascending and unique.
+    /// Chooses front coding when all values are strings.
+    pub fn from_sorted_values(values: Vec<Value>) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "sorted unique input");
+        let all_strings = !values.is_empty() && values.iter().all(|v| v.as_str().is_some());
+        if all_strings {
+            let refs: Vec<&str> = values.iter().map(|v| v.as_str().unwrap()).collect();
+            SortedDict {
+                repr: Repr::Strings(FrontCodedStrings::from_sorted(&refs)),
+            }
+        } else {
+            SortedDict {
+                repr: Repr::Plain(values),
+            }
+        }
+    }
+
+    /// Build from arbitrary (possibly duplicated, unsorted) values.
+    pub fn from_values(mut values: Vec<Value>) -> Self {
+        values.sort_unstable();
+        values.dedup();
+        Self::from_sorted_values(values)
+    }
+
+    /// Number of distinct values (the paper's `C`; codes use ⌈ld C⌉ bits).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Plain(v) => v.len(),
+            Repr::Strings(f) => f.len(),
+        }
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value for a code.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn value_of(&self, c: Code) -> Value {
+        match &self.repr {
+            Repr::Plain(v) => v[c as usize].clone(),
+            Repr::Strings(f) => Value::Str(f.get(c as usize)),
+        }
+    }
+
+    /// Code for `v` if present.
+    pub fn code_of(&self, v: &Value) -> Option<Code> {
+        self.search(v).ok().map(|i| i as Code)
+    }
+
+    /// `binary_search`-style lookup: `Ok(pos)` or `Err(insertion point)`.
+    pub fn search(&self, v: &Value) -> Result<usize, usize> {
+        match &self.repr {
+            Repr::Plain(vals) => vals.binary_search(v),
+            Repr::Strings(f) => match v.as_str() {
+                Some(s) => f.binary_search(s),
+                // Non-strings sort relative to strings by type rank:
+                // Int/Double below all strings.
+                None => Err(if matches!(v, Value::Null) { 0 } else { 0 }),
+            },
+        }
+    }
+
+    /// The half-open code interval matching a value range. Because codes are
+    /// order-preserving this is exactly how the main store resolves range
+    /// predicates (Fig. 10: "the ranges are resolved in both dictionaries").
+    pub fn code_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> std::ops::Range<Code> {
+        let start = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(v) => match self.search(v) {
+                Ok(i) => i,
+                Err(i) => i,
+            },
+            Bound::Excluded(v) => match self.search(v) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            },
+        };
+        let end = match hi {
+            Bound::Unbounded => self.len(),
+            Bound::Included(v) => match self.search(v) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            },
+            Bound::Excluded(v) => match self.search(v) {
+                Ok(i) => i,
+                Err(i) => i,
+            },
+        };
+        (start.min(self.len()) as Code)..(end.min(self.len()) as Code)
+    }
+
+    /// Iterate all values in code (= sort) order.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len() as Code).map(move |c| self.value_of(c))
+    }
+
+    /// The greatest value, if any.
+    pub fn max_value(&self) -> Option<Value> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.value_of(self.len() as Code - 1))
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        match &self.repr {
+            Repr::Plain(v) => v.iter().map(Value::heap_size).sum(),
+            Repr::Strings(f) => f.heap_size(),
+        }
+    }
+
+    /// True if the string representation is front-coded.
+    pub fn is_prefix_compressed(&self) -> bool {
+        matches!(self.repr, Repr::Strings(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict_int() -> SortedDict {
+        SortedDict::from_values(vec![
+            Value::Int(30),
+            Value::Int(10),
+            Value::Int(20),
+            Value::Int(10),
+        ])
+    }
+
+    fn dict_str() -> SortedDict {
+        SortedDict::from_values(
+            ["Los Gatos", "Campbell", "Daily City", "Saratoga", "San Jose"]
+                .into_iter()
+                .map(Value::str)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn codes_are_order_preserving() {
+        let d = dict_int();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.code_of(&Value::Int(10)), Some(0));
+        assert_eq!(d.code_of(&Value::Int(20)), Some(1));
+        assert_eq!(d.code_of(&Value::Int(30)), Some(2));
+        assert_eq!(d.code_of(&Value::Int(15)), None);
+        assert_eq!(d.value_of(1), Value::Int(20));
+    }
+
+    #[test]
+    fn strings_are_front_coded() {
+        let d = dict_str();
+        assert!(d.is_prefix_compressed());
+        assert_eq!(d.value_of(0), Value::str("Campbell"));
+        assert_eq!(d.code_of(&Value::str("San Jose")), Some(3));
+        assert_eq!(
+            d.iter().collect::<Vec<_>>(),
+            ["Campbell", "Daily City", "Los Gatos", "San Jose", "Saratoga"]
+                .map(Value::str)
+                .to_vec()
+        );
+    }
+
+    #[test]
+    fn range_resolution_like_fig10() {
+        // Fig 10 runs a range query "between C% and L%".
+        let d = dict_str();
+        let r = d.code_range(
+            Bound::Included(&Value::str("C")),
+            Bound::Excluded(&Value::str("M")),
+        );
+        let hits: Vec<Value> = r.map(|c| d.value_of(c)).collect();
+        assert_eq!(
+            hits,
+            ["Campbell", "Daily City", "Los Gatos"].map(Value::str).to_vec()
+        );
+    }
+
+    #[test]
+    fn numeric_ranges() {
+        let d = dict_int();
+        assert_eq!(
+            d.code_range(Bound::Included(&Value::Int(10)), Bound::Included(&Value::Int(20))),
+            0..2
+        );
+        assert_eq!(
+            d.code_range(Bound::Excluded(&Value::Int(10)), Bound::Unbounded),
+            1..3
+        );
+        assert_eq!(
+            d.code_range(Bound::Included(&Value::Int(100)), Bound::Unbounded),
+            3..3
+        );
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = SortedDict::empty();
+        assert!(d.is_empty());
+        assert_eq!(d.max_value(), None);
+        assert_eq!(d.code_of(&Value::Int(1)), None);
+        assert_eq!(d.code_range(Bound::Unbounded, Bound::Unbounded), 0..0);
+    }
+
+    #[test]
+    fn max_value() {
+        assert_eq!(dict_int().max_value(), Some(Value::Int(30)));
+    }
+}

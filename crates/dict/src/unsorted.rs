@@ -1,0 +1,156 @@
+//! The append-only, unsorted dictionary of the L2-delta.
+//!
+//! Per the paper, the L2-delta dictionary is *unsorted* for performance:
+//! inserting a never-seen value appends it at the end, so no existing code
+//! ever changes and in-flight readers are never invalidated. Point lookups go
+//! through a hash side-index (the paper's "secondary index structures").
+
+use crate::Code;
+use hana_common::Value;
+use rustc_hash::FxHashMap;
+
+/// Append-only dictionary mapping non-null [`Value`]s to dense codes.
+#[derive(Debug, Clone, Default)]
+pub struct UnsortedDict {
+    values: Vec<Value>,
+    index: FxHashMap<Value, Code>,
+}
+
+impl UnsortedDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty dictionary with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        UnsortedDict {
+            values: Vec::with_capacity(cap),
+            index: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Number of distinct values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no values have been inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Code for `v`, inserting it at the end if missing.
+    ///
+    /// # Panics
+    /// Panics on `Value::Null`: NULLs never enter dictionaries.
+    pub fn get_or_insert(&mut self, v: &Value) -> Code {
+        assert!(!v.is_null(), "NULL must not enter a dictionary");
+        if let Some(&c) = self.index.get(v) {
+            return c;
+        }
+        let c = self.values.len() as Code;
+        self.values.push(v.clone());
+        self.index.insert(v.clone(), c);
+        c
+    }
+
+    /// Code for `v`, if it is present.
+    #[inline]
+    pub fn code_of(&self, v: &Value) -> Option<Code> {
+        self.index.get(v).copied()
+    }
+
+    /// Value for an existing code.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn value_of(&self, c: Code) -> &Value {
+        &self.values[c as usize]
+    }
+
+    /// All values in insertion (code) order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Permutation of codes that sorts the dictionary by value. Used when
+    /// the unified-table access layer needs this delta's values in global
+    /// sort order (paper §3.1: delta dictionaries are "sorted … on the fly"),
+    /// and by the delta-to-main merge.
+    pub fn sorted_codes(&self) -> Vec<Code> {
+        let mut perm: Vec<Code> = (0..self.values.len() as Code).collect();
+        perm.sort_unstable_by(|&a, &b| self.values[a as usize].cmp(&self.values[b as usize]));
+        perm
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        let vals: usize = self.values.iter().map(Value::heap_size).sum();
+        // Hash index: entry ≈ value + code + bucket overhead.
+        vals * 2 + self.index.len() * std::mem::size_of::<Code>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_assigns_codes_in_arrival_order() {
+        let mut d = UnsortedDict::new();
+        // The paper's Fig 7 example: delta dictionary in arrival order.
+        assert_eq!(d.get_or_insert(&Value::str("Los Gatos")), 0);
+        assert_eq!(d.get_or_insert(&Value::str("Campbell")), 1);
+        assert_eq!(d.get_or_insert(&Value::str("Saratoga")), 2);
+        // Re-inserting returns the existing code.
+        assert_eq!(d.get_or_insert(&Value::str("Campbell")), 1);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn code_lookup_both_directions() {
+        let mut d = UnsortedDict::new();
+        d.get_or_insert(&Value::Int(10));
+        d.get_or_insert(&Value::Int(20));
+        assert_eq!(d.code_of(&Value::Int(20)), Some(1));
+        assert_eq!(d.code_of(&Value::Int(30)), None);
+        assert_eq!(d.value_of(0), &Value::Int(10));
+    }
+
+    #[test]
+    fn sorted_codes_is_a_sorting_permutation() {
+        let mut d = UnsortedDict::new();
+        for v in ["pear", "apple", "zebra", "mango"] {
+            d.get_or_insert(&Value::str(v));
+        }
+        let perm = d.sorted_codes();
+        let sorted: Vec<&Value> = perm.iter().map(|&c| d.value_of(c)).collect();
+        assert_eq!(
+            sorted,
+            vec![
+                &Value::str("apple"),
+                &Value::str("mango"),
+                &Value::str("pear"),
+                &Value::str("zebra")
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NULL")]
+    fn null_rejected() {
+        UnsortedDict::new().get_or_insert(&Value::Null);
+    }
+
+    #[test]
+    fn heap_size_nonzero_after_insert() {
+        let mut d = UnsortedDict::new();
+        d.get_or_insert(&Value::str("x"));
+        assert!(d.heap_size() > 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Graph operators over edge tables.
+//!
+//! "Graph operators finally provide support for graph-based algorithms to
+//! efficiently implement complex resource planning scenarios or social
+//! network analysis tasks" (§2.2, the WIPE engine). [`GraphEngine`] loads an
+//! adjacency view from a `(source, target, weight)` edge table snapshot and
+//! provides BFS reachability, Dijkstra shortest paths, and neighborhood
+//! aggregation.
+
+use hana_common::{HanaError, Result, Value};
+use hana_core::UnifiedTable;
+use hana_txn::Snapshot;
+use rustc_hash::FxHashMap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// An in-memory adjacency view over an edge table snapshot.
+pub struct GraphEngine {
+    /// node → (neighbor, weight).
+    adj: FxHashMap<Value, Vec<(Value, f64)>>,
+    edges: usize,
+}
+
+impl GraphEngine {
+    /// Build from the visible rows of an edge table: `src_col` → `dst_col`
+    /// with optional `weight_col` (weight 1.0 when `None`). Edges are
+    /// directed; add both directions for undirected graphs.
+    pub fn from_edge_table(
+        table: &Arc<UnifiedTable>,
+        snap: Snapshot,
+        src_col: usize,
+        dst_col: usize,
+        weight_col: Option<usize>,
+    ) -> Result<Self> {
+        let arity = table.schema().arity();
+        if src_col >= arity || dst_col >= arity || weight_col.is_some_and(|w| w >= arity) {
+            return Err(HanaError::Query("edge column out of range".into()));
+        }
+        let read = table.read_at(snap);
+        let mut adj: FxHashMap<Value, Vec<(Value, f64)>> = FxHashMap::default();
+        let mut edges = 0usize;
+        read.for_each_visible(|r| {
+            let w = weight_col
+                .and_then(|c| r.values[c].as_numeric())
+                .unwrap_or(1.0);
+            adj.entry(r.values[src_col].clone())
+                .or_default()
+                .push((r.values[dst_col].clone(), w));
+            edges += 1;
+        });
+        Ok(GraphEngine { adj, edges })
+    }
+
+    /// Number of edges loaded.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of nodes with outgoing edges.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Nodes reachable from `start` within `max_hops` (BFS). The start node
+    /// itself is included at distance 0. Returns `(node, hops)` in BFS order.
+    pub fn bfs(&self, start: &Value, max_hops: usize) -> Vec<(Value, usize)> {
+        let mut seen: FxHashMap<&Value, usize> = FxHashMap::default();
+        let mut order: Vec<(Value, usize)> = Vec::new();
+        let mut queue: VecDeque<(&Value, usize)> = VecDeque::new();
+        // The start may not own outgoing edges; track it by value.
+        let start_ref = self.adj.get_key_value(start).map(|(k, _)| k);
+        order.push((start.clone(), 0));
+        if let Some(s) = start_ref {
+            seen.insert(s, 0);
+            queue.push_back((s, 0));
+        } else {
+            return order;
+        }
+        while let Some((node, d)) = queue.pop_front() {
+            if d >= max_hops {
+                continue;
+            }
+            if let Some(neighbors) = self.adj.get(node) {
+                for (n, _) in neighbors {
+                    if let Some((key, _)) = self.adj.get_key_value(n) {
+                        if !seen.contains_key(key) {
+                            seen.insert(key, d + 1);
+                            order.push((key.clone(), d + 1));
+                            queue.push_back((key, d + 1));
+                        }
+                    } else if !order.iter().any(|(v, _)| v == n) {
+                        // Leaf node without outgoing edges.
+                        order.push((n.clone(), d + 1));
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Dijkstra shortest path from `start` to `goal`; returns
+    /// `(total weight, path)` or `None` when unreachable.
+    pub fn shortest_path(&self, start: &Value, goal: &Value) -> Option<(f64, Vec<Value>)> {
+        #[derive(PartialEq)]
+        struct Entry(f64, Value);
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other.0.total_cmp(&self.0) // min-heap
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let mut dist: FxHashMap<Value, f64> = FxHashMap::default();
+        let mut prev: FxHashMap<Value, Value> = FxHashMap::default();
+        let mut heap = BinaryHeap::new();
+        dist.insert(start.clone(), 0.0);
+        heap.push(Entry(0.0, start.clone()));
+        while let Some(Entry(d, node)) = heap.pop() {
+            if &node == goal {
+                let mut path = vec![node.clone()];
+                let mut cur = node;
+                while let Some(p) = prev.get(&cur) {
+                    path.push(p.clone());
+                    cur = p.clone();
+                }
+                path.reverse();
+                return Some((d, path));
+            }
+            if d > dist.get(&node).copied().unwrap_or(f64::INFINITY) {
+                continue;
+            }
+            if let Some(neighbors) = self.adj.get(&node) {
+                for (n, w) in neighbors {
+                    let nd = d + w;
+                    if nd < dist.get(n).copied().unwrap_or(f64::INFINITY) {
+                        dist.insert(n.clone(), nd);
+                        prev.insert(n.clone(), node.clone());
+                        heap.push(Entry(nd, n.clone()));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Neighborhood aggregation: `(out-degree, total weight)` per node,
+    /// sorted by degree descending (a resource-planning style analysis).
+    pub fn degree_table(&self) -> Vec<(Value, usize, f64)> {
+        let mut out: Vec<(Value, usize, f64)> = self
+            .adj
+            .iter()
+            .map(|(n, es)| (n.clone(), es.len(), es.iter().map(|(_, w)| w).sum()))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType, Schema, TableConfig};
+    use hana_txn::{IsolationLevel, TxnManager};
+
+    fn edge_table(edges: &[(i64, i64, f64)]) -> (Arc<TxnManager>, Arc<UnifiedTable>) {
+        let mgr = TxnManager::new();
+        let t = UnifiedTable::standalone(
+            Schema::new(
+                "edges",
+                vec![
+                    ColumnDef::new("src", DataType::Int),
+                    ColumnDef::new("dst", DataType::Int),
+                    ColumnDef::new("w", DataType::Double),
+                ],
+            )
+            .unwrap(),
+            TableConfig::small(),
+            Arc::clone(&mgr),
+        );
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for &(s, d, w) in edges {
+            t.insert(&txn, vec![Value::Int(s), Value::Int(d), Value::double(w)]).unwrap();
+        }
+        txn.commit().unwrap();
+        (mgr, t)
+    }
+
+    fn engine(edges: &[(i64, i64, f64)]) -> GraphEngine {
+        let (mgr, t) = edge_table(edges);
+        GraphEngine::from_edge_table(&t, Snapshot::at(mgr.now()), 0, 1, Some(2)).unwrap()
+    }
+
+    #[test]
+    fn builds_adjacency() {
+        let g = engine(&[(1, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn bfs_levels() {
+        let g = engine(&[(1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (1, 5, 1.0)]);
+        let order = g.bfs(&Value::Int(1), 2);
+        let dist: FxHashMap<i64, usize> = order
+            .iter()
+            .map(|(v, d)| (v.as_int().unwrap(), *d))
+            .collect();
+        assert_eq!(dist[&1], 0);
+        assert_eq!(dist[&2], 1);
+        assert_eq!(dist[&5], 1);
+        assert_eq!(dist[&3], 2);
+        assert!(!dist.contains_key(&4)); // beyond max_hops
+    }
+
+    #[test]
+    fn bfs_from_unknown_node() {
+        let g = engine(&[(1, 2, 1.0)]);
+        let order = g.bfs(&Value::Int(99), 3);
+        assert_eq!(order, vec![(Value::Int(99), 0)]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_path() {
+        // 1→2→3 costs 2; direct 1→3 costs 5.
+        let g = engine(&[(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)]);
+        let (cost, path) = g.shortest_path(&Value::Int(1), &Value::Int(3)).unwrap();
+        assert_eq!(cost, 2.0);
+        assert_eq!(
+            path,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        assert!(g.shortest_path(&Value::Int(3), &Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn degree_table_sorted() {
+        let g = engine(&[(1, 2, 1.0), (1, 3, 2.0), (2, 3, 1.0)]);
+        let d = g.degree_table();
+        assert_eq!(d[0].0, Value::Int(1));
+        assert_eq!(d[0].1, 2);
+        assert_eq!(d[0].2, 3.0);
+    }
+
+    #[test]
+    fn respects_visibility() {
+        let (mgr, t) = edge_table(&[(1, 2, 1.0)]);
+        let open = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&open, vec![Value::Int(2), Value::Int(3), Value::double(1.0)]).unwrap();
+        let g = GraphEngine::from_edge_table(&t, Snapshot::at(mgr.now()), 0, 1, Some(2)).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn bad_columns_rejected() {
+        let (mgr, t) = edge_table(&[(1, 2, 1.0)]);
+        assert!(GraphEngine::from_edge_table(&t, Snapshot::at(mgr.now()), 0, 9, None).is_err());
+    }
+}

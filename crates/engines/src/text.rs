@@ -1,0 +1,304 @@
+//! Text-search operators.
+//!
+//! "The set of text search analysis operators comprises the set of
+//! functionality already available in the SAP Enterprise Search product …
+//! ranging from similarity measures to entity resolution capabilities"
+//! (§2.2, building on Transier & Sanders [14]). This module provides the
+//! in-memory core of such an engine over a unified-table text column: a
+//! tokenized inverted index with tf-idf ranking, boolean AND/OR search, and
+//! trigram-based fuzzy matching.
+
+use hana_common::{Result, RowId};
+use hana_core::UnifiedTable;
+use hana_txn::Snapshot;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// The matching record.
+    pub row_id: RowId,
+    /// tf-idf (or similarity) score, higher = better.
+    pub score: f64,
+}
+
+/// An inverted text index over one column of a unified table, built from a
+/// snapshot (like every engine, it consumes the common table abstraction).
+pub struct TextIndex {
+    /// term → (row, term frequency).
+    postings: FxHashMap<String, Vec<(RowId, u32)>>,
+    /// row → token count (for tf normalization).
+    doc_len: FxHashMap<RowId, u32>,
+    /// trigram → terms containing it (for fuzzy search).
+    trigrams: FxHashMap<[u8; 3], FxHashSet<String>>,
+    docs: usize,
+}
+
+fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+fn trigrams_of(term: &str) -> Vec<[u8; 3]> {
+    let padded: Vec<u8> = std::iter::once(b' ')
+        .chain(term.bytes())
+        .chain(std::iter::once(b' '))
+        .collect();
+    padded.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
+}
+
+impl TextIndex {
+    /// Build over `col` of `table` as visible at `snap`.
+    pub fn build(table: &Arc<UnifiedTable>, col: usize, snap: Snapshot) -> Result<Self> {
+        let read = table.read_at(snap);
+        let mut postings: FxHashMap<String, FxHashMap<RowId, u32>> = FxHashMap::default();
+        let mut doc_len = FxHashMap::default();
+        let mut docs = 0usize;
+        read.for_each_visible(|r| {
+            let Some(text) = r.values[col].as_str() else {
+                return;
+            };
+            docs += 1;
+            let mut n = 0u32;
+            for tok in tokenize(text) {
+                *postings.entry(tok).or_default().entry(r.row_id).or_insert(0) += 1;
+                n += 1;
+            }
+            doc_len.insert(r.row_id, n.max(1));
+        });
+        let mut trigrams: FxHashMap<[u8; 3], FxHashSet<String>> = FxHashMap::default();
+        for term in postings.keys() {
+            for g in trigrams_of(term) {
+                trigrams.entry(g).or_default().insert(term.clone());
+            }
+        }
+        let postings = postings
+            .into_iter()
+            .map(|(t, m)| {
+                let mut v: Vec<(RowId, u32)> = m.into_iter().collect();
+                v.sort();
+                (t, v)
+            })
+            .collect();
+        Ok(TextIndex {
+            postings,
+            doc_len,
+            trigrams,
+            docs,
+        })
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        let df = self.postings.get(term).map_or(0, |p| p.len());
+        if df == 0 {
+            0.0
+        } else {
+            ((self.docs as f64 + 1.0) / (df as f64)).ln()
+        }
+    }
+
+    /// Ranked tf-idf search: documents containing **all** query terms
+    /// (AND), ranked by summed tf-idf, best first.
+    pub fn search_and(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        let terms: Vec<String> = tokenize(query).collect();
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let mut scores: FxHashMap<RowId, (usize, f64)> = FxHashMap::default();
+        for term in &terms {
+            let idf = self.idf(term);
+            if let Some(list) = self.postings.get(term) {
+                for (row, tf) in list {
+                    let e = scores.entry(*row).or_insert((0, 0.0));
+                    e.0 += 1;
+                    e.1 += (*tf as f64 / self.doc_len[row] as f64) * idf;
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .filter(|(_, (matched, _))| *matched == terms.len())
+            .map(|(row_id, (_, score))| SearchHit { row_id, score })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.row_id.cmp(&b.row_id)));
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Ranked OR search: documents containing **any** query term.
+    pub fn search_or(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        let mut scores: FxHashMap<RowId, f64> = FxHashMap::default();
+        for term in tokenize(query) {
+            let idf = self.idf(&term);
+            if let Some(list) = self.postings.get(&term) {
+                for (row, tf) in list {
+                    *scores.entry(*row).or_insert(0.0) +=
+                        (*tf as f64 / self.doc_len[row] as f64) * idf;
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(row_id, score)| SearchHit { row_id, score })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.row_id.cmp(&b.row_id)));
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Terms similar to `term` by trigram Jaccard similarity ≥ `threshold`
+    /// (the paper's "similarity measures"). Returns `(term, similarity)`
+    /// best first.
+    pub fn similar_terms(&self, term: &str, threshold: f64) -> Vec<(String, f64)> {
+        let q: FxHashSet<[u8; 3]> = trigrams_of(&term.to_lowercase()).into_iter().collect();
+        if q.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates: FxHashSet<&String> = FxHashSet::default();
+        for g in &q {
+            if let Some(terms) = self.trigrams.get(g) {
+                candidates.extend(terms.iter());
+            }
+        }
+        let mut out: Vec<(String, f64)> = candidates
+            .into_iter()
+            .filter_map(|t| {
+                let tg: FxHashSet<[u8; 3]> = trigrams_of(t).into_iter().collect();
+                let inter = q.intersection(&tg).count() as f64;
+                let union = q.union(&tg).count() as f64;
+                let sim = inter / union;
+                (sim >= threshold).then(|| (t.clone(), sim))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Fuzzy search: expand each query term to its similar terms, then OR.
+    pub fn search_fuzzy(&self, query: &str, threshold: f64, limit: usize) -> Vec<SearchHit> {
+        let expanded: Vec<String> = tokenize(query)
+            .flat_map(|t| {
+                self.similar_terms(&t, threshold)
+                    .into_iter()
+                    .map(|(term, _)| term)
+            })
+            .collect();
+        self.search_or(&expanded.join(" "), limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType, Schema, TableConfig, Value};
+    use hana_txn::{IsolationLevel, TxnManager};
+
+    fn docs_table() -> (Arc<TxnManager>, Arc<UnifiedTable>) {
+        let mgr = TxnManager::new();
+        let t = UnifiedTable::standalone(
+            Schema::new(
+                "docs",
+                vec![
+                    ColumnDef::new("id", DataType::Int).unique(),
+                    ColumnDef::new("body", DataType::Str),
+                ],
+            )
+            .unwrap(),
+            TableConfig::small(),
+            Arc::clone(&mgr),
+        );
+        let bodies = [
+            "the quick brown fox jumps over the lazy dog",
+            "a quick brown cat sleeps",
+            "the dog barks at the cat",
+            "columnar storage beats row storage for analytics",
+            "row storage wins for transactional updates",
+        ];
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for (i, b) in bodies.iter().enumerate() {
+            t.insert(&txn, vec![Value::Int(i as i64), Value::str(*b)]).unwrap();
+        }
+        txn.commit().unwrap();
+        (mgr, t)
+    }
+
+    fn index() -> (Arc<TxnManager>, TextIndex) {
+        let (mgr, t) = docs_table();
+        let idx = TextIndex::build(&t, 1, Snapshot::at(mgr.now())).unwrap();
+        (mgr, idx)
+    }
+
+    #[test]
+    fn builds_over_visible_rows() {
+        let (_mgr, idx) = index();
+        assert_eq!(idx.doc_count(), 5);
+        assert!(idx.term_count() > 10);
+    }
+
+    #[test]
+    fn and_search_requires_all_terms() {
+        let (_, idx) = index();
+        let hits = idx.search_and("quick brown", 10);
+        assert_eq!(hits.len(), 2);
+        let hits = idx.search_and("quick dog", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].row_id, RowId(0));
+        assert!(idx.search_and("quick nonexistent", 10).is_empty());
+        assert!(idx.search_and("", 10).is_empty());
+    }
+
+    #[test]
+    fn or_search_ranks_by_tfidf() {
+        let (_, idx) = index();
+        let hits = idx.search_or("storage analytics", 10);
+        assert_eq!(hits.len(), 2);
+        // Doc 3 contains both terms → ranks first.
+        assert_eq!(hits[0].row_id, RowId(3));
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn rare_terms_outscore_common_ones() {
+        let (_, idx) = index();
+        // "the" appears in many docs; "analytics" in one.
+        assert!(idx.idf("analytics") > idx.idf("the"));
+    }
+
+    #[test]
+    fn trigram_similarity_finds_typos() {
+        let (_, idx) = index();
+        let sims = idx.similar_terms("storge", 0.3); // typo of "storage"
+        assert!(sims.iter().any(|(t, _)| t == "storage"), "{sims:?}");
+        let hits = idx.search_fuzzy("storge", 0.3, 10);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn respects_snapshot_visibility() {
+        let (mgr, t) = docs_table();
+        // A 6th doc inserted but not committed.
+        let open = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&open, vec![Value::Int(99), Value::str("invisible text")]).unwrap();
+        let idx = TextIndex::build(&t, 1, Snapshot::at(mgr.now())).unwrap();
+        assert_eq!(idx.doc_count(), 5);
+        assert!(idx.search_and("invisible", 10).is_empty());
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let (_, idx) = index();
+        assert_eq!(idx.search_or("the quick brown dog cat", 2).len(), 2);
+    }
+}

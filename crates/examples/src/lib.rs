@@ -1,0 +1,4 @@
+//! Shim crate exposing the repository-level `examples/` directory as cargo
+//! example targets (see `[[example]]` entries in Cargo.toml):
+//! `quickstart`, `merge_lifecycle`, `htap_mixed`, `time_travel`,
+//! `calc_graph`.

@@ -1,0 +1,5 @@
+//! Shim crate exposing the repository-level `tests/` directory as cargo
+//! integration-test targets (see `[[test]]` entries in Cargo.toml).
+//! The suites: lifecycle end-to-end, transaction semantics, recovery and
+//! failure injection, property-based model equivalence, the full query
+//! stack over staged tables, and concurrency stress.

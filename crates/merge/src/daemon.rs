@@ -1,0 +1,166 @@
+//! The asynchronous background merger.
+//!
+//! §3.1: "The record life cycle is organized in a way to asynchronously
+//! propagate individual records through the system without interfering with
+//! currently running database operations." The daemon owns one worker
+//! thread that periodically (and on explicit nudges) asks its targets to
+//! merge whatever their policy says is due.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Something the daemon can drive — typically a unified table.
+pub trait MergeTarget: Send + Sync {
+    /// Check thresholds and run any due merge. Returns `true` if a merge
+    /// happened. Retryable errors are fine; the daemon just tries again on
+    /// the next tick (the paper's failed-merge retry semantics).
+    fn maybe_merge(&self) -> hana_common::Result<bool>;
+}
+
+enum Msg {
+    Nudge,
+    Shutdown,
+}
+
+/// Handle to the background merge thread; dropping it shuts the thread down.
+pub struct MergeDaemon {
+    tx: Sender<Msg>,
+    handle: Option<JoinHandle<()>>,
+    merges_done: Arc<Mutex<u64>>,
+}
+
+impl MergeDaemon {
+    /// Spawn a daemon polling `targets` every `interval`.
+    pub fn spawn(targets: Vec<Arc<dyn MergeTarget>>, interval: Duration) -> Self {
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(16);
+        let merges_done = Arc::new(Mutex::new(0u64));
+        let counter = Arc::clone(&merges_done);
+        let handle = std::thread::Builder::new()
+            .name("hana-merge-daemon".into())
+            .spawn(move || loop {
+                let msg = rx.recv_timeout(interval);
+                match msg {
+                    Ok(Msg::Shutdown) => break,
+                    Ok(Msg::Nudge) | Err(RecvTimeoutError::Timeout) => {
+                        for t in &targets {
+                            // Retryable failures are silently retried later.
+                            if let Ok(true) = t.maybe_merge() {
+                                *counter.lock() += 1;
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            })
+            .expect("spawn merge daemon");
+        MergeDaemon {
+            tx,
+            handle: Some(handle),
+            merges_done,
+        }
+    }
+
+    /// Ask the daemon to check its targets now.
+    pub fn nudge(&self) {
+        let _ = self.tx.try_send(Msg::Nudge);
+    }
+
+    /// Number of successful merges performed so far.
+    pub fn merges_done(&self) -> u64 {
+        *self.merges_done.lock()
+    }
+}
+
+impl Drop for MergeDaemon {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counter {
+        calls: AtomicUsize,
+        merge_until: usize,
+    }
+
+    impl MergeTarget for Counter {
+        fn maybe_merge(&self) -> hana_common::Result<bool> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst);
+            Ok(n < self.merge_until)
+        }
+    }
+
+    #[test]
+    fn nudge_triggers_target() {
+        let target = Arc::new(Counter {
+            calls: AtomicUsize::new(0),
+            merge_until: 2,
+        });
+        let daemon = MergeDaemon::spawn(
+            vec![Arc::clone(&target) as Arc<dyn MergeTarget>],
+            Duration::from_secs(3600),
+        );
+        daemon.nudge();
+        for _ in 0..200 {
+            if target.calls.load(Ordering::SeqCst) > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(target.calls.load(Ordering::SeqCst) >= 1);
+        daemon.nudge();
+        for _ in 0..200 {
+            if daemon.merges_done() >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(daemon.merges_done() >= 1);
+    }
+
+    #[test]
+    fn interval_polling_works() {
+        let target = Arc::new(Counter {
+            calls: AtomicUsize::new(0),
+            merge_until: usize::MAX,
+        });
+        let _daemon = MergeDaemon::spawn(
+            vec![Arc::clone(&target) as Arc<dyn MergeTarget>],
+            Duration::from_millis(5),
+        );
+        for _ in 0..200 {
+            if target.calls.load(Ordering::SeqCst) >= 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(target.calls.load(Ordering::SeqCst) >= 3);
+    }
+
+    #[test]
+    fn drop_shuts_down() {
+        let target = Arc::new(Counter {
+            calls: AtomicUsize::new(0),
+            merge_until: 0,
+        });
+        let daemon = MergeDaemon::spawn(
+            vec![Arc::clone(&target) as Arc<dyn MergeTarget>],
+            Duration::from_millis(1),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        drop(daemon); // joins without hanging
+        let after = target.calls.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(target.calls.load(Ordering::SeqCst), after);
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared survivor analysis for the delta-to-main merges.
+//!
+//! Every §4 merge starts the same way: resolve all MVCC stamps of the old
+//! main and the closed L2-delta, fail (retryably) if any in-flight
+//! transaction still holds a stamp, split rows into *survivors* (still
+//! visible to some possible snapshot) and *garbage* (ended at or before the
+//! transaction watermark — "discarding entries of all deleted or modified
+//! records"), and archive committed garbage when the table is historic.
+
+use hana_common::{HanaError, Result, RowId, Timestamp, TxnId, COMMIT_TS_MAX};
+use hana_column::Pos;
+use hana_store::{HistoricVersion, HistoryStore, L2Delta, MainStore, PartHit};
+use hana_txn::{Resolution, TxnManager};
+
+/// Where a surviving row came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Origin {
+    /// A row of the old main chain.
+    Main(PartHit),
+    /// A row of the closed L2-delta.
+    L2(Pos),
+}
+
+/// One resolved row entering the new structure.
+#[derive(Debug, Clone)]
+pub(crate) struct SurvivorRow {
+    pub origin: Origin,
+    pub row_id: RowId,
+    pub begin: Timestamp,
+    pub end: Timestamp,
+}
+
+pub(crate) struct SurvivorSet {
+    pub rows: Vec<SurvivorRow>,
+    pub dropped: Vec<RowId>,
+    pub from_main: usize,
+    pub from_l2: usize,
+}
+
+/// Inputs common to all delta-to-main merges.
+pub struct MergeInput<'a> {
+    /// The current main chain.
+    pub main: &'a MainStore,
+    /// The closed L2-delta being merged away.
+    pub l2: &'a L2Delta,
+    /// Oldest snapshot still in use; versions ended at or before it are
+    /// garbage.
+    pub watermark: Timestamp,
+    /// Cluster-encoding block size for the new main.
+    pub block_size: usize,
+    /// Generation tag for the part(s) built by this merge.
+    pub generation: u64,
+}
+
+/// Resolve a possibly-marked stamp to a committed timestamp.
+///
+/// * `is_begin = true`: an aborted creator means the version never existed
+///   (`None` = drop silently); an in-flight creator is a retryable error.
+/// * `is_begin = false`: an aborted closer leaves the version live
+///   (`COMMIT_TS_MAX`); an in-flight closer is a retryable error.
+fn resolve_stamp(
+    mgr: &TxnManager,
+    ts: Timestamp,
+    is_begin: bool,
+) -> Result<Option<Timestamp>> {
+    match TxnId::from_mark(ts) {
+        None => Ok(Some(ts)),
+        Some(writer) => match mgr.resolve_mark(writer) {
+            Resolution::Committed(cts) => Ok(Some(cts)),
+            Resolution::Aborted => Ok(if is_begin { None } else { Some(COMMIT_TS_MAX) }),
+            Resolution::Uncommitted(t) => Err(HanaError::Merge(format!(
+                "merge input still carries stamps of in-flight {t}; retry later"
+            ))),
+        },
+    }
+}
+
+/// Classify the given main rows plus all L2 rows of the merge input.
+///
+/// Full merges pass `input.main.iter_hits()`; the partial merge passes only
+/// the active part's hits (the passive main "remains untouched").
+pub(crate) fn collect_survivors(
+    input: &MergeInput<'_>,
+    mgr: &TxnManager,
+    history: Option<&HistoryStore>,
+    main_hits: impl Iterator<Item = PartHit>,
+) -> Result<SurvivorSet> {
+    let mut rows = Vec::new();
+    let mut dropped = Vec::new();
+    let mut from_main = 0usize;
+    let mut from_l2 = 0usize;
+
+    let classify = |origin: Origin,
+                        row_id: RowId,
+                        begin_raw: Timestamp,
+                        end_raw: Timestamp,
+                        rows: &mut Vec<SurvivorRow>,
+                        dropped: &mut Vec<RowId>,
+                        materialize: &dyn Fn() -> Vec<hana_common::Value>|
+     -> Result<bool> {
+        let Some(begin) = resolve_stamp(mgr, begin_raw, true)? else {
+            // Aborted insert: vanishes without trace.
+            dropped.push(row_id);
+            return Ok(false);
+        };
+        let end = resolve_stamp(mgr, end_raw, false)?.expect("end never drops");
+        if end <= input.watermark {
+            // Garbage: no snapshot can see it anymore.
+            if let Some(h) = history {
+                h.push(HistoricVersion {
+                    row_id,
+                    begin,
+                    end,
+                    values: materialize(),
+                });
+            }
+            dropped.push(row_id);
+            return Ok(false);
+        }
+        rows.push(SurvivorRow {
+            origin,
+            row_id,
+            begin,
+            end,
+        });
+        Ok(true)
+    };
+
+    // Old main rows first (they come first in the new value index: the
+    // merge "adds the entries of the L2-delta at the end").
+    for hit in main_hits {
+        let part = &input.main.parts()[hit.part];
+        let kept = classify(
+            Origin::Main(hit),
+            part.row_id(hit.pos),
+            part.begin(hit.pos),
+            part.end(hit.pos),
+            &mut rows,
+            &mut dropped,
+            &|| input.main.row_at(hit),
+        )?;
+        if kept {
+            from_main += 1;
+        }
+    }
+    let fence = input.l2.len() as Pos;
+    let stamps = input.l2.stamps(fence);
+    for (pos, (row_id, begin_raw, end_raw)) in stamps.into_iter().enumerate() {
+        let pos = pos as Pos;
+        let kept = classify(
+            Origin::L2(pos),
+            row_id,
+            begin_raw,
+            end_raw,
+            &mut rows,
+            &mut dropped,
+            &|| input.l2.row(pos),
+        )?;
+        if kept {
+            from_l2 += 1;
+        }
+    }
+    Ok(SurvivorSet {
+        rows,
+        dropped,
+        from_main,
+        from_l2,
+    })
+}
+
+/// Materialize the value of `col` for a survivor.
+pub(crate) fn survivor_value(
+    input: &MergeInput<'_>,
+    row: &SurvivorRow,
+    col: usize,
+) -> hana_common::Value {
+    match row.origin {
+        Origin::Main(hit) => input.main.value_at(hit, col),
+        Origin::L2(pos) => input.l2.value(pos, col),
+    }
+}

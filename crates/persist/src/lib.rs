@@ -1,0 +1,37 @@
+//! Persistence: paged virtual files, REDO log, savepoints, recovery.
+//!
+//! Paper §3.2 (Fig 5): the main-memory database stays durable through
+//! *"a combination of temporary REDO logs and save pointing"*:
+//!
+//! * **REDO logging happens only once, when data first enters the system** —
+//!   an L1 insert/update/delete or an L2 bulk load — plus commit/abort
+//!   records. Data movement during merges is *not* logged; only a merge
+//!   *event* record keeps the log interpretable ("the event of the merge is
+//!   written to the log to ensure a consistent database state after
+//!   restart").
+//! * **Savepoints** write consistent images of every table (L1 rows, L2
+//!   rows, main parts) through a page-based [`PageStore`] organized in
+//!   [`VirtualFile`]s ("a virtual file concept with visible page limits of
+//!   configurable size", adapted from SAP MaxDB). After a savepoint the
+//!   REDO log is truncated.
+//! * **Recovery** loads the newest valid savepoint manifest and replays the
+//!   (possibly torn) log tail.
+//!
+//! Stamps of transactions still in flight at savepoint time are persisted as
+//! raw marks; the post-savepoint log contains their commit/abort records, so
+//! replay resolves them — anything still unresolved after replay belongs to
+//! a transaction that never committed and is treated as aborted.
+
+pub mod codec;
+pub mod image;
+pub mod log;
+pub mod page;
+pub mod store;
+pub mod vfile;
+
+pub use codec::{crc32, Decoder, Encoder};
+pub use image::{DeltaImage, PartImage, RowImage, TableImage};
+pub use log::{LogRecord, RedoLog};
+pub use page::{PageId, PageStore, DEFAULT_PAGE_SIZE};
+pub use store::{Persistence, RecoveredState};
+pub use vfile::VirtualFile;

@@ -1,0 +1,215 @@
+//! The page store: fixed-size pages in one data file.
+//!
+//! The persistence layer "is based on a virtual file concept with visible
+//! page limits of configurable size" (§2.2). [`PageStore`] provides the page
+//! substrate: allocate, write (with CRC and length header), read, free. The
+//! first two pages are reserved as the alternating superblock slots used by
+//! the savepoint manifest.
+
+use crate::codec::crc32;
+use hana_common::{HanaError, Result};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default page size in bytes.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Per-page header: payload length (u32) + CRC32 (u32).
+const PAGE_HEADER: usize = 8;
+
+/// Identifier of one page within the store's data file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// A file of fixed-size, checksummed pages with a free list.
+pub struct PageStore {
+    file: Mutex<File>,
+    page_size: usize,
+    next_page: AtomicU64,
+    free: Mutex<Vec<PageId>>,
+}
+
+impl PageStore {
+    /// Open (or create) the page file at `path`.
+    pub fn open(path: &Path, page_size: usize) -> Result<Self> {
+        assert!(page_size > PAGE_HEADER + 16, "page size too small");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let existing_pages = len.div_ceil(page_size as u64);
+        Ok(PageStore {
+            file: Mutex::new(file),
+            page_size,
+            // Pages 0 and 1 are superblock slots.
+            next_page: AtomicU64::new(existing_pages.max(2)),
+            free: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Usable payload bytes per page.
+    pub fn payload_size(&self) -> usize {
+        self.page_size - PAGE_HEADER
+    }
+
+    /// Number of pages ever allocated (including the superblock slots).
+    pub fn allocated_pages(&self) -> u64 {
+        self.next_page.load(Ordering::SeqCst)
+    }
+
+    /// Allocate a page (reusing freed pages first).
+    pub fn alloc(&self) -> PageId {
+        if let Some(p) = self.free.lock().pop() {
+            return p;
+        }
+        PageId(self.next_page.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Return a page to the free list.
+    pub fn free(&self, page: PageId) {
+        debug_assert!(page.0 >= 2, "superblock pages are never freed");
+        self.free.lock().push(page);
+    }
+
+    /// Write `payload` (≤ [`payload_size`](Self::payload_size)) to `page`.
+    pub fn write_page(&self, page: PageId, payload: &[u8]) -> Result<()> {
+        if payload.len() > self.payload_size() {
+            return Err(HanaError::Persist(format!(
+                "payload of {} bytes exceeds page capacity {}",
+                payload.len(),
+                self.payload_size()
+            )));
+        }
+        let mut buf = Vec::with_capacity(self.page_size);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf.resize(self.page_size, 0);
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
+        f.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Read and verify the payload of `page`.
+    pub fn read_page(&self, page: PageId) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; self.page_size];
+        {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
+            f.read_exact(&mut buf)?;
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if len > self.payload_size() {
+            return Err(HanaError::Persist(format!("corrupt page {}: bad length", page.0)));
+        }
+        let payload = &buf[PAGE_HEADER..PAGE_HEADER + len];
+        if crc32(payload) != stored_crc {
+            return Err(HanaError::Persist(format!(
+                "corrupt page {}: checksum mismatch",
+                page.0
+            )));
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Flush all dirty pages to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    fn store() -> (tempfile::TempDir, PageStore) {
+        let dir = tempdir().unwrap();
+        let s = PageStore::open(&dir.path().join("data.pages"), 256).unwrap();
+        (dir, s)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (_d, s) = store();
+        let p = s.alloc();
+        assert!(p.0 >= 2);
+        s.write_page(p, b"hello pages").unwrap();
+        assert_eq!(s.read_page(p).unwrap(), b"hello pages");
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let (_d, s) = store();
+        let p = s.alloc();
+        let big = vec![0u8; s.payload_size() + 1];
+        assert!(s.write_page(p, &big).is_err());
+        // Exactly full is fine.
+        let full = vec![7u8; s.payload_size()];
+        s.write_page(p, &full).unwrap();
+        assert_eq!(s.read_page(p).unwrap(), full);
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let (_d, s) = store();
+        let a = s.alloc();
+        let b = s.alloc();
+        assert_ne!(a, b);
+        s.free(a);
+        assert_eq!(s.alloc(), a);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("data.pages");
+        let s = PageStore::open(&path, 256).unwrap();
+        let p = s.alloc();
+        s.write_page(p, b"precious data").unwrap();
+        s.sync().unwrap();
+        drop(s);
+        // Flip a payload byte on disk.
+        let mut raw = std::fs::read(&path).unwrap();
+        let off = p.0 as usize * 256 + PAGE_HEADER + 2;
+        raw[off] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let s = PageStore::open(&path, 256).unwrap();
+        let err = s.read_page(p).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn reopen_preserves_allocation_frontier() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("data.pages");
+        let (a, b);
+        {
+            let s = PageStore::open(&path, 256).unwrap();
+            a = s.alloc();
+            b = s.alloc();
+            s.write_page(a, b"a").unwrap();
+            s.write_page(b, b"b").unwrap();
+            s.sync().unwrap();
+        }
+        let s = PageStore::open(&path, 256).unwrap();
+        let c = s.alloc();
+        assert!(c > b);
+        assert_eq!(s.read_page(a).unwrap(), b"a");
+        let _ = c;
+    }
+}

@@ -1,0 +1,133 @@
+//! Virtual files: arbitrarily long blobs over the page store.
+//!
+//! A [`VirtualFile`] is an ordered list of page ids holding one logical
+//! blob — the "virtual file concept" the persistence layer is built on.
+//! Savepoint images are written as virtual files; the manifest records their
+//! page lists.
+
+use crate::codec::{Decoder, Encoder};
+use crate::page::{PageId, PageStore};
+use hana_common::Result;
+
+/// An ordered chain of pages holding one blob.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VirtualFile {
+    /// Pages in order.
+    pub pages: Vec<PageId>,
+    /// Total blob length in bytes.
+    pub len: u64,
+}
+
+impl VirtualFile {
+    /// Write `blob` across freshly allocated pages.
+    pub fn write(store: &PageStore, blob: &[u8]) -> Result<VirtualFile> {
+        let cap = store.payload_size();
+        let mut pages = Vec::with_capacity(blob.len().div_ceil(cap));
+        for chunk in blob.chunks(cap.max(1)) {
+            let p = store.alloc();
+            store.write_page(p, chunk)?;
+            pages.push(p);
+        }
+        Ok(VirtualFile {
+            pages,
+            len: blob.len() as u64,
+        })
+    }
+
+    /// Read the blob back.
+    pub fn read(&self, store: &PageStore) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        for &p in &self.pages {
+            out.extend_from_slice(&store.read_page(p)?);
+        }
+        if out.len() as u64 != self.len {
+            return Err(hana_common::HanaError::Persist(format!(
+                "virtual file length mismatch: expected {}, read {}",
+                self.len,
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Release all pages back to the store's free list.
+    pub fn release(&self, store: &PageStore) {
+        for &p in &self.pages {
+            store.free(p);
+        }
+    }
+
+    /// Encode the page list (for manifests).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.u64(self.len);
+        e.u32(self.pages.len() as u32);
+        for p in &self.pages {
+            e.u64(p.0);
+        }
+    }
+
+    /// Decode a page list.
+    pub fn decode(d: &mut Decoder<'_>) -> Result<VirtualFile> {
+        let len = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            pages.push(PageId(d.u64()?));
+        }
+        Ok(VirtualFile { pages, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    #[test]
+    fn multi_page_blob_round_trip() {
+        let dir = tempdir().unwrap();
+        let store = PageStore::open(&dir.path().join("p"), 128).unwrap();
+        let blob: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let vf = VirtualFile::write(&store, &blob).unwrap();
+        assert!(vf.pages.len() > 1);
+        assert_eq!(vf.read(&store).unwrap(), blob);
+    }
+
+    #[test]
+    fn empty_blob() {
+        let dir = tempdir().unwrap();
+        let store = PageStore::open(&dir.path().join("p"), 128).unwrap();
+        let vf = VirtualFile::write(&store, &[]).unwrap();
+        assert!(vf.pages.is_empty());
+        assert_eq!(vf.read(&store).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn encode_decode_manifest_entry() {
+        let vf = VirtualFile {
+            pages: vec![PageId(5), PageId(9), PageId(2)],
+            len: 300,
+        };
+        let mut e = Encoder::new();
+        vf.encode(&mut e);
+        let bytes = e.into_bytes();
+        let got = VirtualFile::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(got, vf);
+    }
+
+    #[test]
+    fn release_recycles_pages() {
+        let dir = tempdir().unwrap();
+        let store = PageStore::open(&dir.path().join("p"), 128).unwrap();
+        let vf = VirtualFile::write(&store, &vec![1u8; 500]).unwrap();
+        let first_pages = vf.pages.clone();
+        vf.release(&store);
+        let vf2 = VirtualFile::write(&store, &vec![2u8; 500]).unwrap();
+        // Reuses the freed pages (in some order).
+        let mut a = first_pages;
+        let mut b = vf2.pages.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,24 @@
+//! Write-optimized row stores.
+//!
+//! Two row-format structures live here:
+//!
+//! * [`L1Delta`] — the first stage of the unified table's record life cycle
+//!   (paper §3): row format, no compression, optimized for insert, delete
+//!   and field update. Slots are MVCC versions with atomic `(begin, end)`
+//!   stamps; the structure is segmented so that snapshots stay valid across
+//!   the L1→L2 merge's prefix truncation (readers "either see the full
+//!   L1-delta … or the truncated version").
+//! * [`RowTable`] — a standalone row-store table in the spirit of SAP
+//!   P\*Time (the paper's row-oriented OLTP engine, ref [1]), used as the
+//!   baseline the "column store myth" benchmarks compare against.
+
+pub mod l1;
+pub mod ptime;
+
+pub use l1::{L1Delta, L1Snapshot, SettledSlot, Slot};
+pub use ptime::RowTable;
+
+use hana_common::Value;
+
+/// A logical row as carried through the row-format stages.
+pub type Row = Vec<Value>;

@@ -1,0 +1,434 @@
+//! A P\*Time-style standalone in-memory row table.
+//!
+//! The paper names SAP P\*Time — "a main-memory row-oriented relational
+//! database system … optimized for SAP's applications" — as the origin of
+//! its SQL engine and the classical row-store design the unified table is
+//! measured against. [`RowTable`] reproduces that comparator: update-in-
+//! place-style row storage (here: version append with a primary-key hash
+//! index), MVCC stamps, and full-row scans. The "myth" benchmarks run the
+//! same OLTP/OLAP mix against this and the unified table.
+
+use crate::Row;
+use hana_common::{
+    ColumnId, HanaError, Result, RowId, Schema, Timestamp, Value, COMMIT_TS_MAX,
+};
+use hana_txn::{version_visible, write_allowed, LockTable, Snapshot, Transaction, TxnManager, WriteCheck};
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct VersionSlot {
+    row_id: RowId,
+    begin: AtomicU64,
+    end: AtomicU64,
+    values: Row,
+}
+
+/// A row-oriented MVCC table with a hash primary index.
+pub struct RowTable {
+    schema: Schema,
+    key_col: ColumnId,
+    mgr: Arc<TxnManager>,
+    slots: RwLock<Vec<Arc<VersionSlot>>>,
+    /// Key value → version slot indexes (old to new).
+    index: RwLock<FxHashMap<Value, Vec<u32>>>,
+    locks: LockTable,
+    next_row_id: AtomicU64,
+}
+
+impl RowTable {
+    /// Create a table keyed by `key_col` (must be a declared-unique column).
+    pub fn new(schema: Schema, key_col: ColumnId, mgr: Arc<TxnManager>) -> Result<Self> {
+        if !schema.column(key_col).unique {
+            return Err(HanaError::Schema(format!(
+                "key column {} must be declared unique",
+                schema.column(key_col).name
+            )));
+        }
+        Ok(RowTable {
+            schema,
+            key_col,
+            mgr,
+            slots: RwLock::new(Vec::new()),
+            index: RwLock::new(FxHashMap::default()),
+            locks: LockTable::new(),
+            next_row_id: AtomicU64::new(0),
+        })
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of version slots (live + dead).
+    pub fn version_count(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    fn key_of(&self, row: &Row) -> Value {
+        row[self.key_col.idx()].clone()
+    }
+
+    /// Insert a row; fails on duplicate visible key.
+    pub fn insert(&self, txn: &Transaction, row: Row) -> Result<RowId> {
+        self.schema.check_row(&row)?;
+        let snap = txn.read_snapshot();
+        let key = self.key_of(&row);
+        if self.get(&snap, &key)?.is_some() {
+            return Err(HanaError::Constraint(format!(
+                "duplicate key {key} in table {}",
+                self.schema.name
+            )));
+        }
+        let row_id = RowId(self.next_row_id.fetch_add(1, Ordering::Relaxed));
+        self.locks.try_lock(row_id, txn.id())?;
+        let slot = Arc::new(VersionSlot {
+            row_id,
+            begin: AtomicU64::new(txn.id().mark()),
+            end: AtomicU64::new(COMMIT_TS_MAX),
+            values: row,
+        });
+        let mut slots = self.slots.write();
+        let idx = slots.len() as u32;
+        slots.push(slot);
+        drop(slots);
+        self.index.write().entry(key).or_default().push(idx);
+        Ok(row_id)
+    }
+
+    /// Point lookup by key.
+    pub fn get(&self, snap: &Snapshot, key: &Value) -> Result<Option<Row>> {
+        let index = self.index.read();
+        let Some(versions) = index.get(key) else {
+            return Ok(None);
+        };
+        let versions = versions.clone();
+        drop(index);
+        let slots = self.slots.read();
+        // Newest first: the visible version is unique under SI.
+        for &vi in versions.iter().rev() {
+            let s = &slots[vi as usize];
+            if version_visible(&self.mgr, snap, s.begin(), s.end()) {
+                return Ok(Some(s.values.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Update the row with `key`, replacing the value in `col`.
+    pub fn update(&self, txn: &Transaction, key: &Value, col: ColumnId, value: Value) -> Result<()> {
+        self.schema.check_value(&value, self.schema.column(col))?;
+        let snap = txn.read_snapshot();
+        let (slot_idx, slot) = self
+            .find_visible_slot(&snap, key)?
+            .ok_or_else(|| HanaError::NotFound(format!("key {key}")))?;
+        self.locks.try_lock(slot.row_id, txn.id())?;
+        match write_allowed(&self.mgr, &snap, txn.id(), slot.begin(), slot.end()) {
+            WriteCheck::Ok => {}
+            WriteCheck::AlreadyDead => {
+                return Err(HanaError::NotFound(format!("key {key} is gone")))
+            }
+            WriteCheck::ConflictUncommitted(t) => {
+                return Err(HanaError::WriteConflict(format!("row written by {t}")))
+            }
+            WriteCheck::ConflictCommitted(ts) => {
+                return Err(HanaError::WriteConflict(format!(
+                    "row version committed at {ts} after snapshot"
+                )))
+            }
+        }
+        let mut values = slot.values.clone();
+        values[col.idx()] = value;
+        // Close old, append new version of the same row id.
+        slot.store_end(txn.id().mark());
+        let new_slot = Arc::new(VersionSlot {
+            row_id: slot.row_id,
+            begin: AtomicU64::new(txn.id().mark()),
+            end: AtomicU64::new(COMMIT_TS_MAX),
+            values,
+        });
+        let mut slots = self.slots.write();
+        let idx = slots.len() as u32;
+        slots.push(new_slot);
+        drop(slots);
+        self.index.write().entry(key.clone()).or_default().push(idx);
+        let _ = slot_idx;
+        Ok(())
+    }
+
+    /// Delete the row with `key`.
+    pub fn delete(&self, txn: &Transaction, key: &Value) -> Result<()> {
+        let snap = txn.read_snapshot();
+        let (_, slot) = self
+            .find_visible_slot(&snap, key)?
+            .ok_or_else(|| HanaError::NotFound(format!("key {key}")))?;
+        self.locks.try_lock(slot.row_id, txn.id())?;
+        match write_allowed(&self.mgr, &snap, txn.id(), slot.begin(), slot.end()) {
+            WriteCheck::Ok => {
+                slot.store_end(txn.id().mark());
+                Ok(())
+            }
+            WriteCheck::AlreadyDead => Err(HanaError::NotFound(format!("key {key} is gone"))),
+            WriteCheck::ConflictUncommitted(t) => {
+                Err(HanaError::WriteConflict(format!("row written by {t}")))
+            }
+            WriteCheck::ConflictCommitted(ts) => Err(HanaError::WriteConflict(format!(
+                "row version committed at {ts} after snapshot"
+            ))),
+        }
+    }
+
+    fn find_visible_slot(
+        &self,
+        snap: &Snapshot,
+        key: &Value,
+    ) -> Result<Option<(u32, Arc<VersionSlot>)>> {
+        let index = self.index.read();
+        let Some(versions) = index.get(key) else {
+            return Ok(None);
+        };
+        let versions = versions.clone();
+        drop(index);
+        let slots = self.slots.read();
+        for &vi in versions.iter().rev() {
+            let s = &slots[vi as usize];
+            if version_visible(&self.mgr, snap, s.begin(), s.end()) {
+                return Ok(Some((vi, Arc::clone(s))));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Full scan of visible rows (the row store must touch every column of
+    /// every row — the asymmetry the OLAP benchmarks expose).
+    pub fn scan(&self, snap: &Snapshot, mut f: impl FnMut(RowId, &Row)) {
+        let slots = self.slots.read();
+        for s in slots.iter() {
+            if version_visible(&self.mgr, snap, s.begin(), s.end()) {
+                f(s.row_id, &s.values);
+            }
+        }
+    }
+
+    /// Release write locks at commit/abort time.
+    pub fn finish_txn(&self, txn_id: hana_common::TxnId) {
+        self.locks.release_all(txn_id);
+    }
+
+    /// Approximate bytes held by all versions (rows stay in full row format —
+    /// no compression, the Fig-11 comparison point).
+    pub fn approx_bytes(&self) -> usize {
+        let slots = self.slots.read();
+        slots
+            .iter()
+            .map(|s| s.values.iter().map(Value::heap_size).sum::<usize>() + 48)
+            .sum()
+    }
+}
+
+impl VersionSlot {
+    fn begin(&self) -> Timestamp {
+        self.begin.load(Ordering::Acquire)
+    }
+    fn end(&self) -> Timestamp {
+        self.end.load(Ordering::Acquire)
+    }
+    fn store_end(&self, ts: Timestamp) {
+        self.end.store(ts, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType};
+    use hana_txn::IsolationLevel;
+
+    fn setup() -> (Arc<TxnManager>, RowTable) {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("owner", DataType::Str),
+                ColumnDef::new("balance", DataType::Int).not_null(),
+            ],
+        )
+        .unwrap();
+        let t = RowTable::new(schema, ColumnId(0), Arc::clone(&mgr)).unwrap();
+        (mgr, t)
+    }
+
+    fn acct(id: i64, owner: &str, bal: i64) -> Row {
+        vec![Value::Int(id), Value::str(owner), Value::Int(bal)]
+    }
+
+    #[test]
+    fn insert_commit_read() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&txn, acct(1, "ada", 100)).unwrap();
+        // Own uncommitted read sees it.
+        assert!(t.get(&txn.read_snapshot(), &Value::Int(1)).unwrap().is_some());
+        // Other transaction does not.
+        let other = mgr.begin(IsolationLevel::Transaction);
+        assert!(t.get(&other.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        txn.commit().unwrap();
+        t.finish_txn(txn.id());
+        // Still invisible to the old transaction-level snapshot…
+        assert!(t.get(&other.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        // …but visible to a fresh one.
+        let fresh = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(
+            t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().unwrap()[1],
+            Value::str("ada")
+        );
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&txn, acct(1, "ada", 100)).unwrap();
+        txn.commit().unwrap();
+        t.finish_txn(txn.id());
+        let txn2 = mgr.begin(IsolationLevel::Transaction);
+        let err = t.insert(&txn2, acct(1, "bob", 5)).unwrap_err();
+        assert!(matches!(err, HanaError::Constraint(_)));
+    }
+
+    #[test]
+    fn update_creates_new_visible_version() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&txn, acct(1, "ada", 100)).unwrap();
+        txn.commit().unwrap();
+        t.finish_txn(txn.id());
+
+        let reader_before = mgr.begin(IsolationLevel::Transaction);
+        let snap_before = reader_before.read_snapshot();
+
+        let mut upd = mgr.begin(IsolationLevel::Transaction);
+        t.update(&upd, &Value::Int(1), ColumnId(2), Value::Int(250)).unwrap();
+        upd.commit().unwrap();
+        t.finish_txn(upd.id());
+
+        // Old snapshot keeps the old balance (repeatable read).
+        assert_eq!(
+            t.get(&snap_before, &Value::Int(1)).unwrap().unwrap()[2],
+            Value::Int(100)
+        );
+        let fresh = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(
+            t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().unwrap()[2],
+            Value::Int(250)
+        );
+        assert_eq!(t.version_count(), 2);
+    }
+
+    #[test]
+    fn delete_hides_row() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&txn, acct(1, "ada", 100)).unwrap();
+        txn.commit().unwrap();
+        t.finish_txn(txn.id());
+        let mut del = mgr.begin(IsolationLevel::Transaction);
+        t.delete(&del, &Value::Int(1)).unwrap();
+        del.commit().unwrap();
+        t.finish_txn(del.id());
+        let fresh = mgr.begin(IsolationLevel::Transaction);
+        assert!(t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        // Deleting again reports not-found.
+        let del2 = mgr.begin(IsolationLevel::Transaction);
+        assert!(matches!(
+            t.delete(&del2, &Value::Int(1)).unwrap_err(),
+            HanaError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn write_write_conflict() {
+        let (mgr, t) = setup();
+        let mut seed = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&seed, acct(1, "ada", 100)).unwrap();
+        seed.commit().unwrap();
+        t.finish_txn(seed.id());
+
+        let a = mgr.begin(IsolationLevel::Transaction);
+        let b = mgr.begin(IsolationLevel::Transaction);
+        t.update(&a, &Value::Int(1), ColumnId(2), Value::Int(1)).unwrap();
+        let err = t.update(&b, &Value::Int(1), ColumnId(2), Value::Int(2)).unwrap_err();
+        assert!(matches!(err, HanaError::WriteConflict(_)));
+    }
+
+    #[test]
+    fn abort_rolls_back_logically() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&txn, acct(1, "ada", 100)).unwrap();
+        txn.abort().unwrap();
+        t.finish_txn(txn.id());
+        let fresh = mgr.begin(IsolationLevel::Transaction);
+        assert!(t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        // The key is reusable after the abort.
+        let redo = mgr.begin(IsolationLevel::Transaction);
+        assert!(t.insert(&redo, acct(1, "bob", 7)).is_ok());
+    }
+
+    #[test]
+    fn aborted_update_leaves_old_version_live() {
+        let (mgr, t) = setup();
+        let mut seed = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&seed, acct(1, "ada", 100)).unwrap();
+        seed.commit().unwrap();
+        t.finish_txn(seed.id());
+
+        let mut upd = mgr.begin(IsolationLevel::Transaction);
+        t.update(&upd, &Value::Int(1), ColumnId(2), Value::Int(0)).unwrap();
+        upd.abort().unwrap();
+        t.finish_txn(upd.id());
+
+        let fresh = mgr.begin(IsolationLevel::Transaction);
+        assert_eq!(
+            t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().unwrap()[2],
+            Value::Int(100)
+        );
+    }
+
+    #[test]
+    fn scan_sees_exactly_visible_rows() {
+        let (mgr, t) = setup();
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for i in 0..10 {
+            t.insert(&txn, acct(i, "x", i * 10)).unwrap();
+        }
+        txn.commit().unwrap();
+        t.finish_txn(txn.id());
+        let mut del = mgr.begin(IsolationLevel::Transaction);
+        t.delete(&del, &Value::Int(3)).unwrap();
+        del.commit().unwrap();
+        t.finish_txn(del.id());
+
+        let fresh = mgr.begin(IsolationLevel::Transaction);
+        let mut seen = Vec::new();
+        t.scan(&fresh.read_snapshot(), |_, row| seen.push(row[0].clone()));
+        assert_eq!(seen.len(), 9);
+        assert!(!seen.contains(&Value::Int(3)));
+    }
+
+    #[test]
+    fn statement_level_si_sees_mid_txn_commits() {
+        let (mgr, t) = setup();
+        let reader = mgr.begin(IsolationLevel::Statement);
+        assert!(t.get(&reader.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        let mut w = mgr.begin(IsolationLevel::Transaction);
+        t.insert(&w, acct(1, "ada", 1)).unwrap();
+        w.commit().unwrap();
+        t.finish_txn(w.id());
+        // The same reader transaction now sees it (fresh statement snapshot).
+        assert!(t.get(&reader.read_snapshot(), &Value::Int(1)).unwrap().is_some());
+    }
+}

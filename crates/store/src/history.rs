@@ -1,0 +1,175 @@
+//! The history store behind "historic" tables.
+//!
+//! Paper §4.3: *"the SAP HANA database provides the concept of historic
+//! tables to transparently move previous versions of a record into a
+//! separate table construct"*, with "access methods for time travel
+//! queries" (§2.2). When a table is created historic, merges move superseded
+//! versions here instead of discarding them; `as_of` reads reconstruct any
+//! past state.
+
+use hana_common::{RowId, Timestamp, Value};
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+
+/// One closed (superseded or deleted) row version.
+#[derive(Debug, Clone)]
+pub struct HistoricVersion {
+    /// Stable record id.
+    pub row_id: RowId,
+    /// Commit timestamp of creation.
+    pub begin: Timestamp,
+    /// Commit timestamp of deletion/supersession.
+    pub end: Timestamp,
+    /// The row payload.
+    pub values: Vec<Value>,
+}
+
+#[derive(Default)]
+struct Inner {
+    versions: Vec<HistoricVersion>,
+    by_row: FxHashMap<RowId, Vec<u32>>,
+}
+
+/// Append-only archive of closed versions.
+#[derive(Default)]
+pub struct HistoryStore {
+    inner: RwLock<Inner>,
+}
+
+impl HistoryStore {
+    /// An empty history store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Archive a closed version. `end` must be a real commit timestamp.
+    pub fn push(&self, v: HistoricVersion) {
+        debug_assert!(v.begin < v.end, "history only holds closed versions");
+        let mut inner = self.inner.write();
+        let idx = inner.versions.len() as u32;
+        inner.by_row.entry(v.row_id).or_default().push(idx);
+        inner.versions.push(v);
+    }
+
+    /// Number of archived versions.
+    pub fn len(&self) -> usize {
+        self.inner.read().versions.len()
+    }
+
+    /// True if nothing is archived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The version of `row_id` visible at `ts`, if it was archived.
+    pub fn version_as_of(&self, row_id: RowId, ts: Timestamp) -> Option<HistoricVersion> {
+        let inner = self.inner.read();
+        let idxs = inner.by_row.get(&row_id)?;
+        idxs.iter()
+            .map(|&i| &inner.versions[i as usize])
+            .find(|v| v.begin <= ts && ts < v.end)
+            .cloned()
+    }
+
+    /// All archived versions alive at `ts` (their row was created at or
+    /// before `ts` and superseded after it).
+    pub fn rows_as_of(&self, ts: Timestamp) -> Vec<HistoricVersion> {
+        let inner = self.inner.read();
+        inner
+            .versions
+            .iter()
+            .filter(|v| v.begin <= ts && ts < v.end)
+            .cloned()
+            .collect()
+    }
+
+    /// Full change history of one record, oldest first.
+    pub fn history_of(&self, row_id: RowId) -> Vec<HistoricVersion> {
+        let inner = self.inner.read();
+        inner
+            .by_row
+            .get(&row_id)
+            .map(|idxs| {
+                let mut vs: Vec<HistoricVersion> = idxs
+                    .iter()
+                    .map(|&i| inner.versions[i as usize].clone())
+                    .collect();
+                vs.sort_by_key(|v| v.begin);
+                vs
+            })
+            .unwrap_or_default()
+    }
+
+    /// Dump every archived version (savepoint imaging).
+    pub fn all_versions(&self) -> Vec<HistoricVersion> {
+        self.inner.read().versions.clone()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .versions
+            .iter()
+            .map(|v| v.values.iter().map(Value::heap_size).sum::<usize>() + 32)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ver(row: u64, begin: Timestamp, end: Timestamp, val: i64) -> HistoricVersion {
+        HistoricVersion {
+            row_id: RowId(row),
+            begin,
+            end,
+            values: vec![Value::Int(val)],
+        }
+    }
+
+    #[test]
+    fn as_of_finds_the_covering_version() {
+        let h = HistoryStore::new();
+        h.push(ver(1, 10, 20, 100));
+        h.push(ver(1, 20, 30, 200));
+        assert_eq!(h.version_as_of(RowId(1), 10).unwrap().values[0], Value::Int(100));
+        assert_eq!(h.version_as_of(RowId(1), 19).unwrap().values[0], Value::Int(100));
+        assert_eq!(h.version_as_of(RowId(1), 20).unwrap().values[0], Value::Int(200));
+        assert!(h.version_as_of(RowId(1), 9).is_none());
+        assert!(h.version_as_of(RowId(1), 30).is_none());
+        assert!(h.version_as_of(RowId(2), 15).is_none());
+    }
+
+    #[test]
+    fn rows_as_of_filters_by_interval() {
+        let h = HistoryStore::new();
+        h.push(ver(1, 10, 20, 1));
+        h.push(ver(2, 5, 15, 2));
+        h.push(ver(3, 18, 25, 3));
+        let alive_at_12: Vec<u64> = h.rows_as_of(12).iter().map(|v| v.row_id.0).collect();
+        assert_eq!(alive_at_12, vec![1, 2]);
+    }
+
+    #[test]
+    fn history_of_sorted_by_begin() {
+        let h = HistoryStore::new();
+        h.push(ver(7, 30, 40, 3));
+        h.push(ver(7, 10, 20, 1));
+        h.push(ver(7, 20, 30, 2));
+        let hist = h.history_of(RowId(7));
+        let begins: Vec<Timestamp> = hist.iter().map(|v| v.begin).collect();
+        assert_eq!(begins, vec![10, 20, 30]);
+        assert!(h.history_of(RowId(99)).is_empty());
+    }
+
+    #[test]
+    fn footprint() {
+        let h = HistoryStore::new();
+        assert!(h.is_empty());
+        h.push(ver(1, 1, 2, 0));
+        assert_eq!(h.len(), 1);
+        assert!(h.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,540 @@
+//! The L2-delta: column format with unsorted dictionaries.
+//!
+//! Paper §3: *"the L2-delta employs dictionary encoding to achieve better
+//! memory usage. However, for performance reasons, the dictionary is
+//! unsorted requiring secondary index structures to optimally support point
+//! query access patterns."* Appends never reorganize anything — new values
+//! go to the end of the dictionary, new codes to the end of the value
+//! vector, new positions to the end of the inverted lists. Readers capture a
+//! row-count fence and are never invalidated.
+//!
+//! NULLs are stored as [`L2_NULL_CODE`] in the value vector and never enter
+//! the dictionary or the inverted index.
+
+use hana_common::{HanaError, Result, RowId, Schema, Timestamp, Value};
+use hana_dict::{Code, UnsortedDict};
+use hana_column::{GrowableInvertedIndex, Pos};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Sentinel code marking a NULL cell in the L2-delta value vector.
+pub const L2_NULL_CODE: Code = Code::MAX;
+
+struct L2Column {
+    dict: UnsortedDict,
+    codes: Vec<Code>,
+    invidx: GrowableInvertedIndex,
+}
+
+struct Inner {
+    columns: Vec<L2Column>,
+    row_ids: Vec<RowId>,
+    begins: Vec<AtomicU64>,
+    ends: Vec<AtomicU64>,
+}
+
+/// The second stage of the record life cycle.
+pub struct L2Delta {
+    schema: Schema,
+    /// Monotonic generation tag distinguishing successive L2 instances of
+    /// one table across merges.
+    generation: u64,
+    closed: AtomicBool,
+    /// Reader fence: rows below this count are visible to new snapshots.
+    /// Appends are physical first and *published* second, which lets the
+    /// L1→L2 merge copy rows without any reader observing them twice (the
+    /// atomic truncate-L1/publish-L2 switch happens under the table lock).
+    published: AtomicU64,
+    inner: RwLock<Inner>,
+}
+
+impl L2Delta {
+    /// An empty, open L2-delta.
+    pub fn new(schema: Schema, generation: u64) -> Self {
+        let columns = (0..schema.arity())
+            .map(|_| L2Column {
+                dict: UnsortedDict::new(),
+                codes: Vec::new(),
+                invidx: GrowableInvertedIndex::new(),
+            })
+            .collect();
+        L2Delta {
+            schema,
+            generation,
+            closed: AtomicBool::new(false),
+            published: AtomicU64::new(0),
+            inner: RwLock::new(Inner {
+                columns,
+                row_ids: Vec::new(),
+                begins: Vec::new(),
+                ends: Vec::new(),
+            }),
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// This instance's generation tag.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Close for updates (done when a delta-to-main merge starts: "the
+    /// current L2-delta is closed for updates and a new empty L2-delta
+    /// structure is created").
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// True once closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Number of rows (versions) physically stored (published or not).
+    pub fn len(&self) -> usize {
+        self.inner.read().row_ids.len()
+    }
+
+    /// Reader fence: number of published rows.
+    pub fn published_len(&self) -> Pos {
+        self.published.load(Ordering::Acquire) as Pos
+    }
+
+    /// Publish all physically appended rows to new readers; returns the new
+    /// fence. Called under the owning table's write lock together with the
+    /// matching L1 truncation, so the stage switch is atomic per reader.
+    pub fn publish_all(&self) -> Pos {
+        let n = self.inner.read().row_ids.len() as u64;
+        self.published.store(n, Ordering::Release);
+        n as Pos
+    }
+
+    /// True if no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a row version (L1→L2 merge or bulk load). The row must match
+    /// the schema; returns the new position.
+    pub fn append_row(
+        &self,
+        row_id: RowId,
+        row: &[Value],
+        begin: Timestamp,
+        end: Timestamp,
+    ) -> Result<Pos> {
+        if self.is_closed() {
+            return Err(HanaError::Merge(format!(
+                "L2-delta generation {} is closed for updates",
+                self.generation
+            )));
+        }
+        debug_assert_eq!(row.len(), self.schema.arity());
+        let mut inner = self.inner.write();
+        let pos = inner.row_ids.len() as Pos;
+        // Column-by-column insert: dictionary lookup/append, then value
+        // vector append (the two pivot steps of Fig 6).
+        for (c, v) in row.iter().enumerate() {
+            let col = &mut inner.columns[c];
+            if v.is_null() {
+                col.codes.push(L2_NULL_CODE);
+            } else {
+                let code = col.dict.get_or_insert(v);
+                col.codes.push(code);
+                col.invidx.insert(code, pos);
+            }
+        }
+        inner.row_ids.push(row_id);
+        inner.begins.push(AtomicU64::new(begin));
+        inner.ends.push(AtomicU64::new(end));
+        Ok(pos)
+    }
+
+    /// Append many rows at once, reserving dictionary codes up front — the
+    /// parallel-friendly variant the paper describes ("the number of tuples
+    /// to be moved is known in advance enabling the reservation of
+    /// encodings"). Returns the first assigned position.
+    pub fn append_batch(
+        &self,
+        rows: &[(RowId, Vec<Value>, Timestamp, Timestamp)],
+    ) -> Result<Pos> {
+        if self.is_closed() {
+            return Err(HanaError::Merge(format!(
+                "L2-delta generation {} is closed for updates",
+                self.generation
+            )));
+        }
+        let mut inner = self.inner.write();
+        let first = inner.row_ids.len() as Pos;
+        let arity = self.schema.arity();
+        // Phase 1: reserve dictionary codes for all values of all columns.
+        let mut code_matrix: Vec<Vec<Code>> = Vec::with_capacity(arity);
+        for c in 0..arity {
+            let col = &mut inner.columns[c];
+            let mut codes = Vec::with_capacity(rows.len());
+            for (_, row, _, _) in rows {
+                if row[c].is_null() {
+                    codes.push(L2_NULL_CODE);
+                } else {
+                    codes.push(col.dict.get_or_insert(&row[c]));
+                }
+            }
+            code_matrix.push(codes);
+        }
+        // Phase 2: append value vectors and inverted lists (could run
+        // column-parallel; positions are pre-known).
+        for (c, codes) in code_matrix.into_iter().enumerate() {
+            let col = &mut inner.columns[c];
+            for (k, code) in codes.into_iter().enumerate() {
+                col.codes.push(code);
+                if code != L2_NULL_CODE {
+                    col.invidx.insert(code, first + k as Pos);
+                }
+            }
+        }
+        for (row_id, _, begin, end) in rows {
+            inner.row_ids.push(*row_id);
+            inner.begins.push(AtomicU64::new(*begin));
+            inner.ends.push(AtomicU64::new(*end));
+        }
+        Ok(first)
+    }
+
+    /// The stable record id at `pos`.
+    pub fn row_id(&self, pos: Pos) -> RowId {
+        self.inner.read().row_ids[pos as usize]
+    }
+
+    /// MVCC begin stamp at `pos`.
+    pub fn begin(&self, pos: Pos) -> Timestamp {
+        self.inner.read().begins[pos as usize].load(Ordering::Acquire)
+    }
+
+    /// MVCC end stamp at `pos`.
+    pub fn end(&self, pos: Pos) -> Timestamp {
+        self.inner.read().ends[pos as usize].load(Ordering::Acquire)
+    }
+
+    /// Overwrite the end stamp (delete / supersede / rollback).
+    pub fn store_end(&self, pos: Pos, ts: Timestamp) {
+        self.inner.read().ends[pos as usize].store(ts, Ordering::Release);
+    }
+
+    /// Overwrite the begin stamp (recovery replay).
+    pub fn store_begin(&self, pos: Pos, ts: Timestamp) {
+        self.inner.read().begins[pos as usize].store(ts, Ordering::Release);
+    }
+
+    /// The value at `(pos, col)`.
+    pub fn value(&self, pos: Pos, col: usize) -> Value {
+        let inner = self.inner.read();
+        let code = inner.columns[col].codes[pos as usize];
+        if code == L2_NULL_CODE {
+            Value::Null
+        } else {
+            inner.columns[col].dict.value_of(code).clone()
+        }
+    }
+
+    /// Materialize the whole row at `pos`.
+    pub fn row(&self, pos: Pos) -> Vec<Value> {
+        let inner = self.inner.read();
+        (0..self.schema.arity())
+            .map(|c| {
+                let code = inner.columns[c].codes[pos as usize];
+                if code == L2_NULL_CODE {
+                    Value::Null
+                } else {
+                    inner.columns[c].dict.value_of(code).clone()
+                }
+            })
+            .collect()
+    }
+
+    /// Positions (≤ `fence`) whose `col` equals `v`, via dictionary + inverted
+    /// index — the paper's point-query path through the secondary index.
+    pub fn positions_eq(&self, col: usize, v: &Value, fence: Pos) -> Vec<Pos> {
+        let inner = self.inner.read();
+        let Some(code) = inner.columns[col].dict.code_of(v) else {
+            return Vec::new();
+        };
+        inner.columns[col]
+            .invidx
+            .positions(code)
+            .iter()
+            .copied()
+            .take_while(|&p| p < fence)
+            .collect()
+    }
+
+    /// Positions (≤ `fence`) whose `col` lies in `[lo, hi]` bounds. The
+    /// unsorted dictionary gives no code-order shortcut: resolve matching
+    /// codes by value comparison, then use the inverted lists.
+    pub fn positions_range(
+        &self,
+        col: usize,
+        lo: std::ops::Bound<&Value>,
+        hi: std::ops::Bound<&Value>,
+        fence: Pos,
+    ) -> Vec<Pos> {
+        use std::ops::Bound;
+        let inner = self.inner.read();
+        let colref = &inner.columns[col];
+        let in_range = |v: &Value| {
+            (match lo {
+                Bound::Unbounded => true,
+                Bound::Included(b) => v >= b,
+                Bound::Excluded(b) => v > b,
+            }) && (match hi {
+                Bound::Unbounded => true,
+                Bound::Included(b) => v <= b,
+                Bound::Excluded(b) => v < b,
+            })
+        };
+        let mut out = Vec::new();
+        for (code, v) in colref.dict.values().iter().enumerate() {
+            if in_range(v) {
+                out.extend(
+                    colref.invidx.positions(code as Code).iter().copied()
+                        .take_while(|&p| p < fence),
+                );
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Run `f` with read access to one column's raw parts
+    /// `(dict, codes, fence-truncated)` — the bulk path for scans and merges.
+    pub fn with_column<R>(
+        &self,
+        col: usize,
+        fence: Pos,
+        f: impl FnOnce(&UnsortedDict, &[Code]) -> R,
+    ) -> R {
+        let inner = self.inner.read();
+        let colref = &inner.columns[col];
+        let n = (fence as usize).min(colref.codes.len());
+        f(&colref.dict, &colref.codes[..n])
+    }
+
+    /// Run `f` with read access to one column **plus the MVCC stamp
+    /// vectors**, all under one lock acquisition. The scan kernels need the
+    /// stamps for visibility checks; calling [`begin`](Self::begin)/
+    /// [`end`](Self::end) from inside a `with_column` closure would
+    /// re-acquire the inner lock recursively and deadlock against a queued
+    /// writer.
+    pub fn with_column_stamped<R>(
+        &self,
+        col: usize,
+        fence: Pos,
+        f: impl FnOnce(&UnsortedDict, &[Code], &[AtomicU64], &[AtomicU64]) -> R,
+    ) -> R {
+        let inner = self.inner.read();
+        let c = &inner.columns[col];
+        let n = (fence as usize).min(c.codes.len());
+        f(&c.dict, &c.codes[..n], &inner.begins[..n], &inner.ends[..n])
+    }
+
+    /// Two columns plus the MVCC stamps under one lock acquisition
+    /// (columnar group-by aggregation path).
+    pub fn with_two_columns_stamped<R>(
+        &self,
+        col_a: usize,
+        col_b: usize,
+        fence: Pos,
+        f: impl FnOnce(&UnsortedDict, &[Code], &UnsortedDict, &[Code], &[AtomicU64], &[AtomicU64]) -> R,
+    ) -> R {
+        let inner = self.inner.read();
+        let a = &inner.columns[col_a];
+        let b = &inner.columns[col_b];
+        let na = (fence as usize).min(a.codes.len());
+        let nb = (fence as usize).min(b.codes.len());
+        f(
+            &a.dict,
+            &a.codes[..na],
+            &b.dict,
+            &b.codes[..nb],
+            &inner.begins[..na],
+            &inner.ends[..na],
+        )
+    }
+
+    /// Snapshot of all MVCC stamps up to `fence` (used by merges).
+    pub fn stamps(&self, fence: Pos) -> Vec<(RowId, Timestamp, Timestamp)> {
+        let inner = self.inner.read();
+        let n = (fence as usize).min(inner.row_ids.len());
+        (0..n)
+            .map(|i| {
+                (
+                    inner.row_ids[i],
+                    inner.begins[i].load(Ordering::Acquire),
+                    inner.ends[i].load(Ordering::Acquire),
+                )
+            })
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes (dictionaries + value vectors +
+    /// inverted indexes + stamps).
+    pub fn approx_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        let cols: usize = inner
+            .columns
+            .iter()
+            .map(|c| c.dict.heap_size() + c.codes.capacity() * 4 + c.invidx.heap_size())
+            .sum();
+        cols + inner.row_ids.capacity() * 8 + inner.begins.capacity() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType, COMMIT_TS_MAX};
+    use std::ops::Bound;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("city", DataType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sample() -> L2Delta {
+        let d = L2Delta::new(schema(), 1);
+        let cities = ["Los Gatos", "Campbell", "Los Gatos", "Saratoga"];
+        for (i, c) in cities.iter().enumerate() {
+            d.append_row(
+                RowId(i as u64),
+                &[Value::Int(i as i64), Value::str(*c)],
+                10,
+                COMMIT_TS_MAX,
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let d = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.value(0, 1), Value::str("Los Gatos"));
+        assert_eq!(d.value(2, 1), Value::str("Los Gatos"));
+        assert_eq!(d.row(3), vec![Value::Int(3), Value::str("Saratoga")]);
+        assert_eq!(d.row_id(2), RowId(2));
+        assert_eq!(d.begin(0), 10);
+        assert_eq!(d.end(0), COMMIT_TS_MAX);
+    }
+
+    #[test]
+    fn dictionary_is_unsorted_append_order() {
+        let d = sample();
+        d.with_column(1, 4, |dict, codes| {
+            // Arrival order: Los Gatos=0, Campbell=1, Saratoga=2.
+            assert_eq!(dict.value_of(0), &Value::str("Los Gatos"));
+            assert_eq!(dict.value_of(1), &Value::str("Campbell"));
+            assert_eq!(dict.value_of(2), &Value::str("Saratoga"));
+            assert_eq!(codes, &[0, 1, 0, 2]);
+        });
+    }
+
+    #[test]
+    fn point_query_via_inverted_index() {
+        let d = sample();
+        assert_eq!(d.positions_eq(1, &Value::str("Los Gatos"), 4), vec![0, 2]);
+        assert_eq!(d.positions_eq(1, &Value::str("Campbell"), 4), vec![1]);
+        assert_eq!(d.positions_eq(1, &Value::str("Nowhere"), 4), Vec::<Pos>::new());
+        // Fence cuts off later rows.
+        assert_eq!(d.positions_eq(1, &Value::str("Los Gatos"), 1), vec![0]);
+    }
+
+    #[test]
+    fn range_query_resolves_through_dictionary() {
+        let d = sample();
+        // Fig 10 style: between C% and L%.
+        let hits = d.positions_range(
+            1,
+            Bound::Included(&Value::str("C")),
+            Bound::Excluded(&Value::str("M")),
+            4,
+        );
+        assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nulls_round_trip_and_stay_out_of_index() {
+        let d = L2Delta::new(schema(), 1);
+        d.append_row(RowId(0), &[Value::Int(1), Value::Null], 1, COMMIT_TS_MAX)
+            .unwrap();
+        d.append_row(RowId(1), &[Value::Int(2), Value::str("x")], 1, COMMIT_TS_MAX)
+            .unwrap();
+        assert_eq!(d.value(0, 1), Value::Null);
+        assert_eq!(d.positions_eq(1, &Value::str("x"), 2), vec![1]);
+        d.with_column(1, 2, |dict, codes| {
+            assert_eq!(dict.len(), 1); // NULL not in dictionary
+            assert_eq!(codes[0], L2_NULL_CODE);
+        });
+    }
+
+    #[test]
+    fn closed_delta_rejects_appends() {
+        let d = sample();
+        d.close();
+        assert!(d.is_closed());
+        let err = d
+            .append_row(RowId(9), &[Value::Int(9), Value::str("x")], 1, COMMIT_TS_MAX)
+            .unwrap_err();
+        assert!(matches!(err, HanaError::Merge(_)));
+    }
+
+    #[test]
+    fn batch_append_matches_row_appends() {
+        let d1 = sample();
+        let d2 = L2Delta::new(schema(), 2);
+        let rows: Vec<(RowId, Vec<Value>, Timestamp, Timestamp)> = (0..4)
+            .map(|i| {
+                (
+                    RowId(i as u64),
+                    d1.row(i as Pos),
+                    d1.begin(i as Pos),
+                    d1.end(i as Pos),
+                )
+            })
+            .collect();
+        let first = d2.append_batch(&rows).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(d2.len(), 4);
+        for p in 0..4 {
+            assert_eq!(d1.row(p), d2.row(p));
+        }
+        d2.with_column(1, 4, |dict, codes| {
+            assert_eq!(dict.len(), 3);
+            assert_eq!(codes, &[0, 1, 0, 2]);
+        });
+    }
+
+    #[test]
+    fn end_stamp_updates() {
+        let d = sample();
+        d.store_end(1, 99);
+        assert_eq!(d.end(1), 99);
+        let stamps = d.stamps(4);
+        assert_eq!(stamps[1], (RowId(1), 10, 99));
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let d = sample();
+        assert!(d.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,643 @@
+//! The main store: read-optimized, compressed, chain of parts.
+//!
+//! A [`MainStore`] holds one or more immutable [`MainPart`]s. With a single
+//! part this is the classic main of §4.1. With several parts it implements
+//! the **partial merge** layout of §4.3: part 0 (and possibly more) are
+//! *passive* mains whose dictionaries own global codes `base..base+n`; the
+//! last part is the *active* main whose dictionary "starts with a dictionary
+//! position value of n + 1" — represented here by a per-column `base`
+//! offset — and whose value index "also may exhibit encoding values of the
+//! passive main making the active main dictionary dependent on the passive
+//! main dictionary".
+//!
+//! Per column a part stores: a sorted (front-coded for strings) dictionary,
+//! a compressed code vector ([`CodeVector`]), and a CSR inverted index over
+//! global codes. Rows carry immutable committed `begin` stamps and atomic
+//! `end` stamps (deletions of merged rows happen in place; the merge
+//! garbage-collects them later).
+//!
+//! NULLs are encoded as the part-local code `base + dict.len()` — one past
+//! the part's own values, so no dictionary-derived code range ever matches
+//! it, and `IS NULL` still resolves through the inverted index.
+
+use hana_common::{RowId, Schema, Timestamp, Value};
+use hana_column::{CodeStats, CodeVector, InvertedIndex, Pos};
+use hana_dict::{Code, SortedDict};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Builder input for one column of one part.
+#[derive(Debug, Clone)]
+pub struct MainColumnData {
+    /// Values owned by this part (sorted, unique, disjoint from earlier
+    /// parts' dictionaries).
+    pub dict: SortedDict,
+    /// Global code of this part's first own dictionary entry.
+    pub base: Code,
+    /// Global codes per row; may reference earlier parts (`< base`); NULL is
+    /// `base + dict.len()`.
+    pub codes: Vec<Code>,
+}
+
+struct MainColumn {
+    dict: SortedDict,
+    base: Code,
+    codes: CodeVector,
+    invidx: InvertedIndex,
+}
+
+/// One immutable main structure (a passive or active main).
+pub struct MainPart {
+    generation: u64,
+    columns: Vec<MainColumn>,
+    row_ids: Vec<RowId>,
+    begins: Vec<Timestamp>,
+    ends: Vec<AtomicU64>,
+}
+
+/// A `(part index, row position)` coordinate within a [`MainStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartHit {
+    /// Index of the part within the store's chain.
+    pub part: usize,
+    /// Row position within that part.
+    pub pos: Pos,
+}
+
+impl MainPart {
+    /// Build a part from raw column data and MVCC stamps.
+    ///
+    /// # Panics
+    /// Panics if column/stamp lengths disagree.
+    pub fn build(
+        generation: u64,
+        columns: Vec<MainColumnData>,
+        row_ids: Vec<RowId>,
+        begins: Vec<Timestamp>,
+        ends: Vec<Timestamp>,
+        block_size: usize,
+    ) -> Self {
+        let n = row_ids.len();
+        assert_eq!(begins.len(), n);
+        assert_eq!(ends.len(), n);
+        let columns = columns
+            .into_iter()
+            .map(|c| {
+                assert_eq!(c.codes.len(), n, "column length mismatch");
+                let null_code = c.base + c.dict.len() as Code;
+                let stats = CodeStats::compute(&c.codes);
+                debug_assert!(stats.max_code <= null_code);
+                let invidx =
+                    InvertedIndex::build(c.codes.iter().copied(), null_code as usize + 1);
+                let codes = CodeVector::choose(&c.codes, &stats, block_size);
+                MainColumn {
+                    dict: c.dict,
+                    base: c.base,
+                    codes,
+                    invidx,
+                }
+            })
+            .collect();
+        MainPart {
+            generation,
+            columns,
+            row_ids,
+            begins,
+            ends: ends.into_iter().map(AtomicU64::new).collect(),
+        }
+    }
+
+    /// Generation tag (monotonic per table across merges).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// True if the part holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_ids.is_empty()
+    }
+
+    /// Stable record id at `pos`.
+    pub fn row_id(&self, pos: Pos) -> RowId {
+        self.row_ids[pos as usize]
+    }
+
+    /// All record ids.
+    pub fn row_ids(&self) -> &[RowId] {
+        &self.row_ids
+    }
+
+    /// Committed begin stamp at `pos`.
+    pub fn begin(&self, pos: Pos) -> Timestamp {
+        self.begins[pos as usize]
+    }
+
+    /// End stamp at `pos` (`COMMIT_TS_MAX` = live).
+    pub fn end(&self, pos: Pos) -> Timestamp {
+        self.ends[pos as usize].load(Ordering::Acquire)
+    }
+
+    /// Overwrite the end stamp (post-merge deletion of a main-resident row).
+    pub fn store_end(&self, pos: Pos, ts: Timestamp) {
+        self.ends[pos as usize].store(ts, Ordering::Release);
+    }
+
+    /// This part's NULL sentinel for `col`.
+    pub fn null_code(&self, col: usize) -> Code {
+        self.columns[col].base + self.columns[col].dict.len() as Code
+    }
+
+    /// Raw global code at `(pos, col)`.
+    pub fn code_at(&self, pos: Pos, col: usize) -> Code {
+        self.columns[col].codes.get(pos as usize)
+    }
+
+    /// The part-owned dictionary of `col`.
+    pub fn dict(&self, col: usize) -> &SortedDict {
+        &self.columns[col].dict
+    }
+
+    /// Global code offset of `col`'s dictionary.
+    pub fn base(&self, col: usize) -> Code {
+        self.columns[col].base
+    }
+
+    /// Decode the full (global) code vector of `col`.
+    pub fn codes_decoded(&self, col: usize) -> Vec<Code> {
+        self.columns[col].codes.to_codes()
+    }
+
+    /// The compressed code vector of `col` (for encoding introspection).
+    pub fn code_vector(&self, col: usize) -> &CodeVector {
+        &self.columns[col].codes
+    }
+
+    /// Positions within this part whose `col` carries global `code`.
+    pub fn positions_of_code(&self, col: usize, code: Code) -> &[Pos] {
+        self.columns[col].invidx.positions(code)
+    }
+
+    /// Approximate compressed bytes of this part (dictionaries + code
+    /// vectors + inverted indexes + stamps).
+    pub fn approx_bytes(&self) -> usize {
+        let cols: usize = self
+            .columns
+            .iter()
+            .map(|c| c.dict.heap_size() + c.codes.heap_size() + c.invidx.heap_size())
+            .sum();
+        cols + self.row_ids.len() * 24
+    }
+
+    /// Bytes excluding the inverted indexes (pure data footprint, used by
+    /// the compression-ratio benches).
+    pub fn data_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.dict.heap_size() + c.codes.heap_size())
+            .sum()
+    }
+}
+
+/// The read-optimized stage: a chain of main parts.
+#[derive(Clone)]
+pub struct MainStore {
+    schema: Schema,
+    parts: Vec<Arc<MainPart>>,
+    /// Number of leading *passive* parts. When `< parts.len()` the last part
+    /// is the §4.3 *active* main that the next partial merge will rebuild;
+    /// when equal, there is no active main yet (a partial merge starts one
+    /// "with an empty active main").
+    passive_count: usize,
+}
+
+impl MainStore {
+    /// An empty main (no parts).
+    pub fn empty(schema: Schema) -> Self {
+        MainStore {
+            schema,
+            parts: Vec::new(),
+            passive_count: 0,
+        }
+    }
+
+    /// Build from an explicit part chain, all passive (bases must stack
+    /// consistently — checked with debug assertions).
+    pub fn from_parts(schema: Schema, parts: Vec<Arc<MainPart>>) -> Self {
+        let n = parts.len();
+        Self::with_active(schema, parts, n)
+    }
+
+    /// Build from a part chain whose first `passive_count` parts are
+    /// passive; any part beyond them is the active main.
+    pub fn with_active(schema: Schema, parts: Vec<Arc<MainPart>>, passive_count: usize) -> Self {
+        assert!(passive_count <= parts.len());
+        assert!(parts.len() - passive_count <= 1, "at most one active part");
+        #[cfg(debug_assertions)]
+        {
+            for col in 0..schema.arity() {
+                let mut expect_base = 0 as Code;
+                for p in &parts {
+                    debug_assert_eq!(p.base(col), expect_base, "dictionary bases must chain");
+                    expect_base += p.dict(col).len() as Code;
+                }
+            }
+        }
+        MainStore {
+            schema,
+            parts,
+            passive_count,
+        }
+    }
+
+    /// The passive prefix of the chain.
+    pub fn passive_parts(&self) -> &[Arc<MainPart>] {
+        &self.parts[..self.passive_count]
+    }
+
+    /// The active main, if a partial merge created one.
+    pub fn active_part(&self) -> Option<&Arc<MainPart>> {
+        self.parts.get(self.passive_count)
+    }
+
+    /// Rows in the active main (0 when none exists).
+    pub fn active_rows(&self) -> usize {
+        self.active_part().map_or(0, |p| p.len())
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The part chain (earlier = passive, last = active).
+    pub fn parts(&self) -> &[Arc<MainPart>] {
+        &self.parts
+    }
+
+    /// Total rows across parts.
+    pub fn total_rows(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// True if no parts (or all empty).
+    pub fn is_empty(&self) -> bool {
+        self.total_rows() == 0
+    }
+
+    /// Next dictionary base for `col` (where a new active part would start —
+    /// the paper's `n + 1`).
+    pub fn next_base(&self, col: usize) -> Code {
+        self.parts
+            .last()
+            .map(|p| p.base(col) + p.dict(col).len() as Code)
+            .unwrap_or(0)
+    }
+
+    /// Resolve a global `code` of `col` to its value (`None` for any part's
+    /// NULL sentinel or out-of-chain codes).
+    pub fn value_of_code(&self, col: usize, code: Code) -> Option<Value> {
+        for p in &self.parts {
+            let base = p.base(col);
+            let len = p.dict(col).len() as Code;
+            if code >= base && code < base + len {
+                return Some(p.dict(col).value_of(code - base));
+            }
+        }
+        None
+    }
+
+    /// Resolve a value to its global code, searching passive parts first —
+    /// Fig 10's "a point access is resolved within the passive dictionary;
+    /// … if the requested value was not found, the dictionary of the active
+    /// main is consulted". Returns `(owning part index, global code)`.
+    pub fn code_of_value(&self, col: usize, v: &Value) -> Option<(usize, Code)> {
+        for (i, p) in self.parts.iter().enumerate() {
+            if let Some(local) = p.dict(col).code_of(v) {
+                return Some((i, p.base(col) + local));
+            }
+        }
+        None
+    }
+
+    /// The value at a part/position coordinate.
+    pub fn value_at(&self, hit: PartHit, col: usize) -> Value {
+        let part = &self.parts[hit.part];
+        let code = part.code_at(hit.pos, col);
+        if code == part.null_code(col) {
+            return Value::Null;
+        }
+        self.value_of_code(col, code)
+            .expect("main code must resolve within the part chain")
+    }
+
+    /// Materialize a full row.
+    pub fn row_at(&self, hit: PartHit) -> Vec<Value> {
+        (0..self.schema.arity()).map(|c| self.value_at(hit, c)).collect()
+    }
+
+    /// Point query: all positions across the chain whose `col` equals `v`.
+    ///
+    /// The owning part's code is valid in its own and every *later* part's
+    /// value index (never in earlier ones), so the scan covers parts
+    /// `owner..` — "parallel scans are executed to find the corresponding
+    /// entries".
+    pub fn positions_eq(&self, col: usize, v: &Value) -> Vec<PartHit> {
+        let Some((owner, code)) = self.code_of_value(col, v) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, p) in self.parts.iter().enumerate().skip(owner) {
+            out.extend(
+                p.positions_of_code(col, code)
+                    .iter()
+                    .map(|&pos| PartHit { part: i, pos }),
+            );
+        }
+        out
+    }
+
+    /// `IS NULL` positions across the chain (each part has its own NULL
+    /// sentinel).
+    pub fn positions_null(&self, col: usize) -> Vec<PartHit> {
+        let mut out = Vec::new();
+        for (i, p) in self.parts.iter().enumerate() {
+            out.extend(
+                p.positions_of_code(col, p.null_code(col))
+                    .iter()
+                    .map(|&pos| PartHit { part: i, pos }),
+            );
+        }
+        out
+    }
+
+    /// Range query: Fig 10's split-range execution. The value range is
+    /// resolved in *every* part's dictionary; scanning part `p` then checks
+    /// its code vector against the code ranges of parts `0..=p` ("the scan
+    /// is broken into two partial ranges" — generalized to a chain).
+    pub fn positions_range(
+        &self,
+        col: usize,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Vec<PartHit> {
+        // Global code range per part.
+        let ranges: Vec<std::ops::Range<Code>> = self
+            .parts
+            .iter()
+            .map(|p| {
+                let r = p.dict(col).code_range(lo, hi);
+                (r.start + p.base(col))..(r.end + p.base(col))
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (pi, p) in self.parts.iter().enumerate() {
+            let mut hits: Vec<Pos> = Vec::new();
+            for r in ranges.iter().take(pi + 1) {
+                if !r.is_empty() {
+                    p.code_vector(col).scan_range(r.clone(), &mut hits);
+                }
+            }
+            hits.sort_unstable();
+            out.extend(hits.into_iter().map(|pos| PartHit { part: pi, pos }));
+        }
+        out
+    }
+
+    /// Iterate every row coordinate in chain order.
+    pub fn iter_hits(&self) -> impl Iterator<Item = PartHit> + '_ {
+        self.parts.iter().enumerate().flat_map(|(pi, p)| {
+            (0..p.len() as Pos).map(move |pos| PartHit { part: pi, pos })
+        })
+    }
+
+    /// Approximate compressed bytes across parts.
+    pub fn approx_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.approx_bytes()).sum()
+    }
+
+    /// Pure data bytes (no inverted indexes).
+    pub fn data_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.data_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{ColumnDef, DataType, COMMIT_TS_MAX};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("city", DataType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Build a single-part main over (id, city) rows.
+    fn single_part(rows: &[(i64, Option<&str>)]) -> MainStore {
+        let ids = SortedDict::from_values(rows.iter().map(|&(i, _)| Value::Int(i)).collect());
+        let cities = SortedDict::from_values(
+            rows.iter()
+                .filter_map(|&(_, c)| c.map(Value::str))
+                .collect(),
+        );
+        let city_null = cities.len() as Code;
+        let id_codes: Vec<Code> = rows
+            .iter()
+            .map(|&(i, _)| ids.code_of(&Value::Int(i)).unwrap())
+            .collect();
+        let city_codes: Vec<Code> = rows
+            .iter()
+            .map(|&(_, c)| match c {
+                Some(c) => cities.code_of(&Value::str(c)).unwrap(),
+                None => city_null,
+            })
+            .collect();
+        let n = rows.len();
+        let part = MainPart::build(
+            0,
+            vec![
+                MainColumnData { dict: ids, base: 0, codes: id_codes },
+                MainColumnData { dict: cities, base: 0, codes: city_codes },
+            ],
+            (0..n as u64).map(RowId).collect(),
+            vec![1; n],
+            vec![COMMIT_TS_MAX; n],
+            64,
+        );
+        MainStore::from_parts(schema(), vec![Arc::new(part)])
+    }
+
+    #[test]
+    fn single_part_point_and_value_access() {
+        let m = single_part(&[
+            (10, Some("Los Gatos")),
+            (20, Some("Campbell")),
+            (30, Some("Los Gatos")),
+            (40, None),
+        ]);
+        assert_eq!(m.total_rows(), 4);
+        let hits = m.positions_eq(1, &Value::str("Los Gatos"));
+        assert_eq!(hits, vec![PartHit { part: 0, pos: 0 }, PartHit { part: 0, pos: 2 }]);
+        assert_eq!(m.value_at(PartHit { part: 0, pos: 3 }, 1), Value::Null);
+        assert_eq!(
+            m.row_at(PartHit { part: 0, pos: 1 }),
+            vec![Value::Int(20), Value::str("Campbell")]
+        );
+        assert_eq!(m.positions_eq(1, &Value::str("Nowhere")), vec![]);
+    }
+
+    #[test]
+    fn null_positions_via_index() {
+        let m = single_part(&[(1, Some("a")), (2, None), (3, None)]);
+        let hits = m.positions_null(1);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].pos, 1);
+        assert_eq!(hits[1].pos, 2);
+        // NULLs never match value or range scans.
+        assert!(m
+            .positions_range(1, Bound::Unbounded, Bound::Unbounded)
+            .iter()
+            .all(|h| h.pos == 0));
+    }
+
+    #[test]
+    fn range_query_single_part() {
+        let m = single_part(&[
+            (1, Some("Campbell")),
+            (2, Some("Daily City")),
+            (3, Some("Los Gatos")),
+            (4, Some("Saratoga")),
+        ]);
+        // Fig 10: between C% and L%.
+        let hits = m.positions_range(
+            1,
+            Bound::Included(&Value::str("C")),
+            Bound::Excluded(&Value::str("M")),
+        );
+        let vals: Vec<Value> = hits.iter().map(|&h| m.value_at(h, 1)).collect();
+        assert_eq!(
+            vals,
+            ["Campbell", "Daily City", "Los Gatos"].map(Value::str).to_vec()
+        );
+    }
+
+    /// Reproduce Fig 10's two-part layout: passive main with codes 0..n,
+    /// active main continuing at n, active value index referencing passive
+    /// codes.
+    fn two_part_store() -> MainStore {
+        // Passive: cities {Campbell=0, Daily City=1, Los Gatos=2}, ids {1,2,3}.
+        let p_cities =
+            SortedDict::from_values(["Campbell", "Daily City", "Los Gatos"].map(Value::str).to_vec());
+        let p_ids = SortedDict::from_values((1..=3).map(Value::Int).collect());
+        let passive = MainPart::build(
+            0,
+            vec![
+                MainColumnData { dict: p_ids, base: 0, codes: vec![0, 1, 2] },
+                MainColumnData { dict: p_cities, base: 0, codes: vec![2, 0, 1] },
+            ],
+            vec![RowId(0), RowId(1), RowId(2)],
+            vec![1, 1, 1],
+            vec![COMMIT_TS_MAX; 3],
+            64,
+        );
+        // Active: new cities {Los Altos=3, Saratoga=4}; one row reuses the
+        // passive code for "Campbell" (0).
+        let a_cities = SortedDict::from_values(["Los Altos", "Saratoga"].map(Value::str).to_vec());
+        let a_ids = SortedDict::from_values((4..=6).map(Value::Int).collect());
+        let active = MainPart::build(
+            1,
+            vec![
+                MainColumnData { dict: a_ids, base: 3, codes: vec![3, 4, 5] },
+                MainColumnData { dict: a_cities, base: 3, codes: vec![3, 0, 4] },
+            ],
+            vec![RowId(3), RowId(4), RowId(5)],
+            vec![2, 2, 2],
+            vec![COMMIT_TS_MAX; 3],
+            64,
+        );
+        MainStore::from_parts(schema(), vec![Arc::new(passive), Arc::new(active)])
+    }
+
+    #[test]
+    fn partial_main_point_query_passive_code_found_in_active() {
+        let m = two_part_store();
+        // "Campbell" is owned by the passive dictionary but also appears in
+        // the active value index (global code 0).
+        let hits = m.positions_eq(1, &Value::str("Campbell"));
+        assert_eq!(
+            hits,
+            vec![PartHit { part: 0, pos: 1 }, PartHit { part: 1, pos: 1 }]
+        );
+        // "Saratoga" lives only in the active part.
+        let hits = m.positions_eq(1, &Value::str("Saratoga"));
+        assert_eq!(hits, vec![PartHit { part: 1, pos: 2 }]);
+    }
+
+    #[test]
+    fn partial_main_range_query_splits_ranges() {
+        let m = two_part_store();
+        // Fig 10's example: range C% to L% must find Campbell (passive,
+        // both parts), Daily City (passive), Los Altos (active), Los Gatos
+        // (passive).
+        let hits = m.positions_range(
+            1,
+            Bound::Included(&Value::str("C")),
+            Bound::Excluded(&Value::str("M")),
+        );
+        let mut vals: Vec<String> = hits
+            .iter()
+            .map(|&h| m.value_at(h, 1).as_str().unwrap().to_string())
+            .collect();
+        vals.sort();
+        assert_eq!(vals, vec!["Campbell", "Campbell", "Daily City", "Los Altos", "Los Gatos"]);
+    }
+
+    #[test]
+    fn next_base_continues_encoding_scheme() {
+        let m = two_part_store();
+        assert_eq!(m.next_base(1), 5); // 3 passive + 2 active city values
+        assert_eq!(m.next_base(0), 6);
+        // code_of_value resolves passive first.
+        assert_eq!(m.code_of_value(1, &Value::str("Campbell")), Some((0, 0)));
+        assert_eq!(m.code_of_value(1, &Value::str("Saratoga")), Some((1, 4)));
+        assert_eq!(m.value_of_code(1, 4), Some(Value::str("Saratoga")));
+        assert_eq!(m.value_of_code(1, 99), None);
+    }
+
+    #[test]
+    fn deletion_stamps() {
+        let m = single_part(&[(1, Some("a")), (2, Some("b"))]);
+        let part = &m.parts()[0];
+        assert_eq!(part.end(0), COMMIT_TS_MAX);
+        part.store_end(0, 42);
+        assert_eq!(part.end(0), 42);
+        assert_eq!(part.begin(0), 1);
+    }
+
+    #[test]
+    fn empty_store() {
+        let m = MainStore::empty(schema());
+        assert!(m.is_empty());
+        assert_eq!(m.positions_eq(1, &Value::str("x")), vec![]);
+        assert_eq!(m.next_base(0), 0);
+        assert_eq!(m.iter_hits().count(), 0);
+    }
+
+    #[test]
+    fn footprint_reporting() {
+        let m = single_part(&[(1, Some("aaaa")), (2, Some("aaab")), (3, Some("aaac"))]);
+        assert!(m.approx_bytes() > 0);
+        assert!(m.data_bytes() <= m.approx_bytes());
+    }
+}

@@ -1,0 +1,31 @@
+//! Multi-version concurrency control.
+//!
+//! The paper (§1): *"the SAP HANA database uses multi-version concurrency
+//! control (MVCC) to implement different transaction isolation levels. The
+//! SAP HANA database supports both transaction level snapshot isolation and
+//! statement level snapshot isolation."*
+//!
+//! This crate implements exactly that:
+//!
+//! * a central [`TxnManager`] with an atomic commit clock, an active-set,
+//!   and a commit table resolving "marked" stamps of in-flight writers;
+//! * [`Snapshot`]s taken once per transaction
+//!   ([`IsolationLevel::Transaction`]) or afresh for every statement
+//!   ([`IsolationLevel::Statement`]);
+//! * the [`visibility`] rules every store applies to its
+//!   `(begin, end)`-stamped row versions;
+//! * a [`locks::LockTable`] giving first-writer-wins write-write conflict
+//!   behaviour;
+//! * the **watermark** (oldest snapshot still in use) that gates what the
+//!   merge steps may garbage-collect (§4.1: old structure versions are kept
+//!   "until all database operations of open transactions … have finished").
+
+pub mod locks;
+pub mod manager;
+pub mod snapshot;
+pub mod visibility;
+
+pub use locks::LockTable;
+pub use manager::{Resolution, Transaction, TxnManager, TxnState};
+pub use snapshot::{IsolationLevel, Snapshot};
+pub use visibility::{version_visible, write_allowed, WriteCheck};

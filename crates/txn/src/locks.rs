@@ -1,0 +1,111 @@
+//! Row-level write locks (first writer wins).
+//!
+//! MVCC resolves read-write interference through snapshots; write-write
+//! interference is resolved pessimistically: the first transaction to touch
+//! a row holds its write lock until commit/abort, later writers fail fast
+//! with a retryable conflict instead of queueing (no deadlocks by
+//! construction).
+
+use hana_common::{HanaError, Result, RowId, TxnId};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+/// A per-table row write-lock table.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: Mutex<FxHashMap<RowId, TxnId>>,
+}
+
+impl LockTable {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire the write lock on `row` for `txn`. Re-entrant for the holder.
+    pub fn try_lock(&self, row: RowId, txn: TxnId) -> Result<()> {
+        let mut locks = self.locks.lock();
+        match locks.get(&row) {
+            Some(&holder) if holder == txn => Ok(()),
+            Some(&holder) => Err(HanaError::WriteConflict(format!(
+                "row {row} is write-locked by {holder}"
+            ))),
+            None => {
+                locks.insert(row, txn);
+                Ok(())
+            }
+        }
+    }
+
+    /// Who holds the lock on `row`, if anyone.
+    pub fn holder(&self, row: RowId) -> Option<TxnId> {
+        self.locks.lock().get(&row).copied()
+    }
+
+    /// Release every lock held by `txn` (called at commit/abort).
+    pub fn release_all(&self, txn: TxnId) {
+        self.locks.lock().retain(|_, &mut holder| holder != txn);
+    }
+
+    /// Number of currently held locks.
+    pub fn len(&self) -> usize {
+        self.locks.lock().len()
+    }
+
+    /// True if no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.locks.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_writer_wins() {
+        let lt = LockTable::new();
+        assert!(lt.try_lock(RowId(1), TxnId(1)).is_ok());
+        let err = lt.try_lock(RowId(1), TxnId(2)).unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(lt.holder(RowId(1)), Some(TxnId(1)));
+    }
+
+    #[test]
+    fn reentrant_for_holder() {
+        let lt = LockTable::new();
+        lt.try_lock(RowId(1), TxnId(1)).unwrap();
+        assert!(lt.try_lock(RowId(1), TxnId(1)).is_ok());
+        assert_eq!(lt.len(), 1);
+    }
+
+    #[test]
+    fn release_all_frees_only_own_locks() {
+        let lt = LockTable::new();
+        lt.try_lock(RowId(1), TxnId(1)).unwrap();
+        lt.try_lock(RowId(2), TxnId(1)).unwrap();
+        lt.try_lock(RowId(3), TxnId(2)).unwrap();
+        lt.release_all(TxnId(1));
+        assert_eq!(lt.len(), 1);
+        assert!(lt.try_lock(RowId(1), TxnId(2)).is_ok());
+        assert_eq!(lt.holder(RowId(3)), Some(TxnId(2)));
+    }
+
+    #[test]
+    fn concurrent_lockers_one_winner() {
+        use std::sync::Arc;
+        let lt = Arc::new(LockTable::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let lt = Arc::clone(&lt);
+                std::thread::spawn(move || lt.try_lock(RowId(42), TxnId(i)).is_ok())
+            })
+            .collect();
+        let winners = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(winners, 1);
+    }
+}

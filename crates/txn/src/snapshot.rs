@@ -1,0 +1,69 @@
+//! Read snapshots.
+
+use hana_common::{Timestamp, TxnId};
+
+/// The two snapshot-isolation flavours named in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationLevel {
+    /// One snapshot for the whole transaction (repeatable reads).
+    Transaction,
+    /// A fresh snapshot per statement (each statement sees all commits that
+    /// happened before it started).
+    Statement,
+}
+
+/// A point-in-time read view.
+///
+/// A snapshot sees every version committed at or before `ts`, plus the
+/// uncommitted writes of its own transaction (if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    ts: Timestamp,
+    txn: Option<TxnId>,
+}
+
+impl Snapshot {
+    /// A snapshot bound to a transaction (sees that transaction's writes).
+    pub fn for_txn(ts: Timestamp, txn: TxnId) -> Self {
+        Snapshot { ts, txn: Some(txn) }
+    }
+
+    /// A detached read-only snapshot (time travel, background readers).
+    pub fn at(ts: Timestamp) -> Self {
+        Snapshot { ts, txn: None }
+    }
+
+    /// The snapshot timestamp.
+    #[inline]
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The owning transaction, if any.
+    #[inline]
+    pub fn txn(&self) -> Option<TxnId> {
+        self.txn
+    }
+
+    /// True if `txn` is the snapshot's own transaction.
+    #[inline]
+    pub fn is_own(&self, txn: TxnId) -> bool {
+        self.txn == Some(txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership() {
+        let s = Snapshot::for_txn(10, TxnId(3));
+        assert!(s.is_own(TxnId(3)));
+        assert!(!s.is_own(TxnId(4)));
+        let d = Snapshot::at(10);
+        assert!(!d.is_own(TxnId(3)));
+        assert_eq!(d.txn(), None);
+        assert_eq!(d.ts(), 10);
+    }
+}

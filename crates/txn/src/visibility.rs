@@ -1,0 +1,259 @@
+//! Version visibility and write-admission rules.
+//!
+//! Every store stamps row versions with `(begin, end)` timestamps following
+//! the conventions of [`hana_common::timestamp`]. These two functions are
+//! the single source of truth for interpreting them.
+
+use crate::manager::{Resolution, TxnManager};
+use crate::snapshot::Snapshot;
+use hana_common::{Timestamp, TxnId, COMMIT_TS_MAX};
+
+/// Is a `(begin, end)`-stamped version visible under `snap`?
+pub fn version_visible(
+    mgr: &TxnManager,
+    snap: &Snapshot,
+    begin: Timestamp,
+    end: Timestamp,
+) -> bool {
+    // Creation must be visible…
+    if !event_visible(mgr, snap, begin) {
+        return false;
+    }
+    // …and deletion (if any) must NOT be visible.
+    if end == COMMIT_TS_MAX {
+        return true;
+    }
+    !event_visible(mgr, snap, end)
+}
+
+/// Is a single stamped event (creation or deletion) visible under `snap`?
+fn event_visible(mgr: &TxnManager, snap: &Snapshot, ts: Timestamp) -> bool {
+    match TxnId::from_mark(ts) {
+        None => ts <= snap.ts(),
+        Some(writer) => {
+            if snap.is_own(writer) {
+                return true;
+            }
+            match mgr.resolve_mark(writer) {
+                Resolution::Committed(cts) => cts <= snap.ts(),
+                Resolution::Uncommitted(_) | Resolution::Aborted => false,
+            }
+        }
+    }
+}
+
+/// Outcome of a write-admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteCheck {
+    /// The writer may close/supersede this version.
+    Ok,
+    /// Another in-flight transaction wrote it first.
+    ConflictUncommitted(TxnId),
+    /// A transaction committed a newer version after our snapshot.
+    ConflictCommitted(Timestamp),
+    /// The version is already deleted (nothing to write against).
+    AlreadyDead,
+}
+
+/// First-writer-wins admission: may transaction `me` (reading under `snap`)
+/// update or delete the version stamped `(begin, end)`?
+pub fn write_allowed(
+    mgr: &TxnManager,
+    snap: &Snapshot,
+    me: TxnId,
+    begin: Timestamp,
+    end: Timestamp,
+) -> WriteCheck {
+    // The version must currently be the live one from our perspective.
+    if end != COMMIT_TS_MAX {
+        match TxnId::from_mark(end) {
+            None => {
+                // Committed deletion.
+                return if end <= snap.ts() {
+                    WriteCheck::AlreadyDead
+                } else {
+                    WriteCheck::ConflictCommitted(end)
+                };
+            }
+            Some(closer) if closer == me => return WriteCheck::AlreadyDead,
+            Some(closer) => match mgr.resolve_mark(closer) {
+                Resolution::Committed(cts) => {
+                    return if cts <= snap.ts() {
+                        WriteCheck::AlreadyDead
+                    } else {
+                        WriteCheck::ConflictCommitted(cts)
+                    };
+                }
+                Resolution::Uncommitted(_) => return WriteCheck::ConflictUncommitted(closer),
+                Resolution::Aborted => { /* closer rolled back: version still live */ }
+            },
+        }
+    }
+    // The creation must not postdate our snapshot (stale read = conflict).
+    match TxnId::from_mark(begin) {
+        None => {
+            if begin <= snap.ts() {
+                WriteCheck::Ok
+            } else {
+                WriteCheck::ConflictCommitted(begin)
+            }
+        }
+        Some(creator) if creator == me => WriteCheck::Ok,
+        Some(creator) => match mgr.resolve_mark(creator) {
+            Resolution::Committed(cts) if cts <= snap.ts() => WriteCheck::Ok,
+            Resolution::Committed(cts) => WriteCheck::ConflictCommitted(cts),
+            Resolution::Uncommitted(_) => WriteCheck::ConflictUncommitted(creator),
+            // Aborted creator: the version itself is garbage.
+            Resolution::Aborted => WriteCheck::AlreadyDead,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::IsolationLevel;
+
+    #[test]
+    fn committed_version_visible_at_or_after_its_ts() {
+        let mgr = TxnManager::new();
+        let snap = Snapshot::at(10);
+        assert!(version_visible(&mgr, &snap, 5, COMMIT_TS_MAX));
+        assert!(version_visible(&mgr, &snap, 10, COMMIT_TS_MAX));
+        assert!(!version_visible(&mgr, &snap, 11, COMMIT_TS_MAX));
+    }
+
+    #[test]
+    fn deleted_version_invisible_after_deletion() {
+        let mgr = TxnManager::new();
+        assert!(version_visible(&mgr, &Snapshot::at(7), 5, 8));
+        assert!(!version_visible(&mgr, &Snapshot::at(8), 5, 8));
+        assert!(!version_visible(&mgr, &Snapshot::at(100), 5, 8));
+    }
+
+    #[test]
+    fn own_uncommitted_writes_visible() {
+        let mgr = TxnManager::new();
+        let txn = mgr.begin(IsolationLevel::Transaction);
+        let snap = txn.read_snapshot();
+        let begin = txn.id().mark();
+        assert!(version_visible(&mgr, &snap, begin, COMMIT_TS_MAX));
+        // Another transaction can't see them.
+        let other = mgr.begin(IsolationLevel::Transaction);
+        assert!(!version_visible(&mgr, &other.read_snapshot(), begin, COMMIT_TS_MAX));
+    }
+
+    #[test]
+    fn own_deletion_hides_version() {
+        let mgr = TxnManager::new();
+        let txn = mgr.begin(IsolationLevel::Transaction);
+        let snap = txn.read_snapshot();
+        assert!(!version_visible(&mgr, &snap, 1, txn.id().mark()));
+    }
+
+    #[test]
+    fn committed_mark_resolves_through_commit_table() {
+        let mgr = TxnManager::new();
+        let mut writer = mgr.begin(IsolationLevel::Transaction);
+        let mark = writer.id().mark();
+        let cts = writer.commit().unwrap();
+        // A snapshot taken after the commit sees the marked version.
+        assert!(version_visible(&mgr, &Snapshot::at(cts), mark, COMMIT_TS_MAX));
+        // A snapshot from before the commit does not.
+        assert!(!version_visible(&mgr, &Snapshot::at(cts - 1), mark, COMMIT_TS_MAX));
+    }
+
+    #[test]
+    fn aborted_mark_invisible_and_nondeleting() {
+        let mgr = TxnManager::new();
+        let mut w = mgr.begin(IsolationLevel::Transaction);
+        let mark = w.id().mark();
+        w.abort().unwrap();
+        let snap = Snapshot::at(mgr.now());
+        // Aborted insert: invisible.
+        assert!(!version_visible(&mgr, &snap, mark, COMMIT_TS_MAX));
+        // Aborted delete: version stays visible.
+        assert!(version_visible(&mgr, &snap, 1, mark));
+    }
+
+    #[test]
+    fn write_conflicts_first_writer_wins() {
+        let mgr = TxnManager::new();
+        let a = mgr.begin(IsolationLevel::Transaction);
+        let b = mgr.begin(IsolationLevel::Transaction);
+        let snap_b = b.read_snapshot();
+        // `a` has an uncommitted delete on the version; `b` must conflict.
+        let check = write_allowed(&mgr, &snap_b, b.id(), 1, a.id().mark());
+        assert_eq!(check, WriteCheck::ConflictUncommitted(a.id()));
+    }
+
+    #[test]
+    fn write_conflict_on_committed_newer_version() {
+        let mgr = TxnManager::new();
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let snap = reader.read_snapshot();
+        // Someone committed a deletion after our snapshot.
+        let mut w = mgr.begin(IsolationLevel::Transaction);
+        let wmark = w.id().mark();
+        let cts = w.commit().unwrap();
+        assert_eq!(
+            write_allowed(&mgr, &snap, reader.id(), 1, wmark),
+            WriteCheck::ConflictCommitted(cts)
+        );
+        // And a version created after our snapshot is equally off-limits.
+        assert_eq!(
+            write_allowed(&mgr, &snap, reader.id(), cts, COMMIT_TS_MAX),
+            WriteCheck::ConflictCommitted(cts)
+        );
+    }
+
+    #[test]
+    fn write_allowed_on_visible_live_version() {
+        let mgr = TxnManager::new();
+        let txn = mgr.begin(IsolationLevel::Transaction);
+        let snap = txn.read_snapshot();
+        assert_eq!(
+            write_allowed(&mgr, &snap, txn.id(), 1, COMMIT_TS_MAX),
+            WriteCheck::Ok
+        );
+        // Own uncommitted insert can be updated again.
+        assert_eq!(
+            write_allowed(&mgr, &snap, txn.id(), txn.id().mark(), COMMIT_TS_MAX),
+            WriteCheck::Ok
+        );
+    }
+
+    #[test]
+    fn write_against_dead_version() {
+        let mgr = TxnManager::new();
+        let txn = mgr.begin(IsolationLevel::Statement);
+        let snap = txn.read_snapshot();
+        // Deleted long ago.
+        assert_eq!(
+            write_allowed(&mgr, &snap, txn.id(), 0, 1),
+            WriteCheck::AlreadyDead
+        );
+        // Created by an aborted transaction.
+        let mut dead = mgr.begin(IsolationLevel::Transaction);
+        let dmark = dead.id().mark();
+        dead.abort().unwrap();
+        assert_eq!(
+            write_allowed(&mgr, &snap, txn.id(), dmark, COMMIT_TS_MAX),
+            WriteCheck::AlreadyDead
+        );
+    }
+
+    #[test]
+    fn aborted_closer_leaves_version_writable() {
+        let mgr = TxnManager::new();
+        let mut closer = mgr.begin(IsolationLevel::Transaction);
+        let cmark = closer.id().mark();
+        closer.abort().unwrap();
+        let txn = mgr.begin(IsolationLevel::Statement);
+        let snap = txn.read_snapshot();
+        assert_eq!(
+            write_allowed(&mgr, &snap, txn.id(), 1, cmark),
+            WriteCheck::Ok
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic value pools for the sales schema.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// City pool — the paper's own running example values first.
+pub const CITIES: &[&str] = &[
+    "Campbell",
+    "Daily City",
+    "Los Altos",
+    "Los Gatos",
+    "Palo Alto",
+    "San Jose",
+    "Saratoga",
+    "Seoul",
+    "Walldorf",
+    "Berlin",
+    "Mannheim",
+    "Heidelberg",
+    "Sunnyvale",
+    "Cupertino",
+    "Mountain View",
+    "Santa Clara",
+];
+
+/// Product category pool.
+pub const CATEGORIES: &[&str] = &[
+    "electronics",
+    "food",
+    "clothing",
+    "furniture",
+    "toys",
+    "books",
+    "sports",
+    "garden",
+];
+
+/// Currency pool.
+pub const CURRENCIES: &[&str] = &["USD", "EUR", "KRW", "GBP", "JPY"];
+
+/// Seeded random generator for workload data.
+pub struct DataGen {
+    rng: StdRng,
+}
+
+impl DataGen {
+    /// A generator with a fixed seed (reproducible runs).
+    pub fn new(seed: u64) -> Self {
+        DataGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Borrow the RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// A random city.
+    pub fn city(&mut self) -> &'static str {
+        CITIES[self.rng.gen_range(0..CITIES.len())]
+    }
+
+    /// A random category.
+    pub fn category(&mut self) -> &'static str {
+        CATEGORIES[self.rng.gen_range(0..CATEGORIES.len())]
+    }
+
+    /// A random currency.
+    pub fn currency(&mut self) -> &'static str {
+        CURRENCIES[self.rng.gen_range(0..CURRENCIES.len())]
+    }
+
+    /// A random amount in `[1, max]`.
+    pub fn amount(&mut self, max: i64) -> i64 {
+        self.rng.gen_range(1..=max)
+    }
+
+    /// A synthetic customer name.
+    pub fn customer_name(&mut self, id: i64) -> String {
+        format!("customer-{id:06}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DataGen::new(42);
+        let mut b = DataGen::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.city(), b.city());
+            assert_eq!(a.amount(1000), b.amount(1000));
+        }
+    }
+
+    #[test]
+    fn pools_contain_paper_examples() {
+        assert!(CITIES.contains(&"Los Gatos"));
+        assert!(CITIES.contains(&"Campbell"));
+        assert!(CITIES.contains(&"Daily City"));
+    }
+
+    #[test]
+    fn amounts_in_range() {
+        let mut g = DataGen::new(1);
+        for _ in 0..1000 {
+            let a = g.amount(50);
+            assert!((1..=50).contains(&a));
+        }
+    }
+}

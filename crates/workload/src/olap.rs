@@ -1,0 +1,199 @@
+//! The OLAP query set.
+//!
+//! Warehouse-style aggregations over the sales fact table — "aggregation
+//! queries over a huge volume of data" touching few columns of many rows.
+//! Each query runs either through the calc-graph layer against a unified
+//! table, or as a hand-rolled full scan against the row baseline (which has
+//! no columnar projection to exploit — that asymmetry *is* the experiment).
+
+use crate::sales::fact_cols;
+use hana_calc::{AggFunc, Executor, Predicate, Query, ResultSet};
+use hana_common::{Result, Value};
+use hana_core::UnifiedTable;
+use hana_rowstore::RowTable;
+use hana_txn::Snapshot;
+use std::sync::Arc;
+
+/// The benchmark query set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OlapQuery {
+    /// Q1: `SELECT SUM(amount) FROM sales`.
+    TotalRevenue,
+    /// Q2: `SELECT city, COUNT(*), SUM(amount) FROM sales GROUP BY city`.
+    RevenueByCity,
+    /// Q3: `SELECT COUNT(*), SUM(amount) FROM sales WHERE city = 'Los Gatos'`.
+    CityDrilldown,
+    /// Q4: `SELECT status, COUNT(*) FROM sales GROUP BY status`.
+    StatusHistogram,
+    /// Q5: `SELECT SUM(amount*quantity) FROM sales WHERE amount BETWEEN …`.
+    WeightedMidRange,
+}
+
+/// All queries, for sweep harnesses.
+pub const ALL_QUERIES: &[OlapQuery] = &[
+    OlapQuery::TotalRevenue,
+    OlapQuery::RevenueByCity,
+    OlapQuery::CityDrilldown,
+    OlapQuery::StatusHistogram,
+    OlapQuery::WeightedMidRange,
+];
+
+/// Runs the query set against either engine.
+pub struct OlapRunner {
+    snap: Snapshot,
+}
+
+impl OlapRunner {
+    /// Runner under a snapshot.
+    pub fn new(snap: Snapshot) -> Self {
+        OlapRunner { snap }
+    }
+
+    /// Execute one query on a unified table through the calc layer.
+    pub fn run_unified(&self, table: &Arc<UnifiedTable>, q: OlapQuery) -> Result<ResultSet> {
+        let query = match q {
+            OlapQuery::TotalRevenue => Query::scan(Arc::clone(table))
+                .aggregate(vec![], vec![(AggFunc::Sum, fact_cols::AMOUNT)]),
+            OlapQuery::RevenueByCity => Query::scan(Arc::clone(table)).aggregate(
+                vec![fact_cols::CITY],
+                vec![(AggFunc::Count, 0), (AggFunc::Sum, fact_cols::AMOUNT)],
+            ),
+            OlapQuery::CityDrilldown => Query::scan(Arc::clone(table))
+                .filter(Predicate::Eq(fact_cols::CITY, Value::str("Los Gatos")))
+                .aggregate(vec![], vec![(AggFunc::Count, 0), (AggFunc::Sum, fact_cols::AMOUNT)]),
+            OlapQuery::StatusHistogram => Query::scan(Arc::clone(table))
+                .aggregate(vec![fact_cols::STATUS], vec![(AggFunc::Count, 0)]),
+            OlapQuery::WeightedMidRange => Query::scan(Arc::clone(table))
+                .filter(Predicate::Between(
+                    fact_cols::AMOUNT,
+                    Value::Int(1_000),
+                    Value::Int(5_000),
+                ))
+                .project(vec![(
+                    "weighted",
+                    hana_calc::Expr::col(fact_cols::AMOUNT)
+                        .mul(hana_calc::Expr::col(fact_cols::QUANTITY)),
+                )])
+                .aggregate(vec![], vec![(AggFunc::Sum, 0)]),
+        };
+        let mut g = query.compile();
+        hana_calc::optimize(&mut g);
+        Executor::new(self.snap).run(&g)
+    }
+
+    /// Execute the same query on the row baseline via full scan.
+    pub fn run_row_baseline(&self, table: &RowTable, q: OlapQuery) -> ResultSet {
+        match q {
+            OlapQuery::TotalRevenue => {
+                let mut sum = 0.0;
+                table.scan(&self.snap, |_, row| {
+                    sum += row[fact_cols::AMOUNT].as_numeric().unwrap_or(0.0);
+                });
+                ResultSet {
+                    columns: vec!["sum".into()],
+                    rows: vec![vec![Value::double(sum)]],
+                }
+            }
+            OlapQuery::RevenueByCity => {
+                let mut groups: std::collections::BTreeMap<Value, (i64, f64)> = Default::default();
+                table.scan(&self.snap, |_, row| {
+                    let e = groups.entry(row[fact_cols::CITY].clone()).or_insert((0, 0.0));
+                    e.0 += 1;
+                    e.1 += row[fact_cols::AMOUNT].as_numeric().unwrap_or(0.0);
+                });
+                ResultSet {
+                    columns: vec!["city".into(), "count".into(), "sum".into()],
+                    rows: groups
+                        .into_iter()
+                        .map(|(c, (n, s))| vec![c, Value::Int(n), Value::double(s)])
+                        .collect(),
+                }
+            }
+            OlapQuery::CityDrilldown => {
+                let mut n = 0i64;
+                let mut sum = 0.0;
+                let city = Value::str("Los Gatos");
+                table.scan(&self.snap, |_, row| {
+                    if row[fact_cols::CITY] == city {
+                        n += 1;
+                        sum += row[fact_cols::AMOUNT].as_numeric().unwrap_or(0.0);
+                    }
+                });
+                ResultSet {
+                    columns: vec!["count".into(), "sum".into()],
+                    rows: vec![vec![Value::Int(n), Value::double(sum)]],
+                }
+            }
+            OlapQuery::StatusHistogram => {
+                let mut groups: std::collections::BTreeMap<Value, i64> = Default::default();
+                table.scan(&self.snap, |_, row| {
+                    *groups.entry(row[fact_cols::STATUS].clone()).or_insert(0) += 1;
+                });
+                ResultSet {
+                    columns: vec!["status".into(), "count".into()],
+                    rows: groups
+                        .into_iter()
+                        .map(|(s, n)| vec![s, Value::Int(n)])
+                        .collect(),
+                }
+            }
+            OlapQuery::WeightedMidRange => {
+                let mut sum = 0.0;
+                table.scan(&self.snap, |_, row| {
+                    let a = row[fact_cols::AMOUNT].as_int().unwrap_or(0);
+                    if (1_000..5_000).contains(&a) {
+                        sum += (a * row[fact_cols::QUANTITY].as_int().unwrap_or(0)) as f64;
+                    }
+                });
+                ResultSet {
+                    columns: vec!["sum".into()],
+                    rows: vec![vec![Value::double(sum)]],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sales::{load_row_baseline, SalesDataset};
+    use hana_common::TableConfig;
+    use hana_core::Database;
+    use hana_txn::TxnManager;
+
+    /// Both engines over the same seed must produce identical answers for
+    /// every query — the cross-engine oracle.
+    #[test]
+    fn engines_agree_on_all_queries() {
+        let db = Database::in_memory();
+        let ds = SalesDataset::load(&db, TableConfig::small(), 800, 100, 40, 99).unwrap();
+        ds.settle().unwrap();
+        let mgr2 = TxnManager::new();
+        let baseline = load_row_baseline(Arc::clone(&mgr2), 800, 100, 40, 99).unwrap();
+
+        let snap_u = Snapshot::at(db.txn_manager().now());
+        let snap_r = Snapshot::at(mgr2.now());
+        for &q in ALL_QUERIES {
+            let u = OlapRunner::new(snap_u).run_unified(&ds.sales, q).unwrap();
+            let r = OlapRunner::new(snap_r).run_row_baseline(&baseline, q);
+            match q {
+                OlapQuery::TotalRevenue | OlapQuery::WeightedMidRange => {
+                    let a = u.rows[0][0].as_numeric().unwrap_or(0.0);
+                    let b = r.rows[0].last().unwrap().as_numeric().unwrap_or(0.0);
+                    assert!((a - b).abs() < 1e-6, "{q:?}: {a} vs {b}");
+                }
+                OlapQuery::CityDrilldown => {
+                    assert_eq!(u.rows[0][0], r.rows[0][0], "{q:?} count");
+                }
+                OlapQuery::RevenueByCity | OlapQuery::StatusHistogram => {
+                    assert_eq!(u.rows.len(), r.rows.len(), "{q:?} group count");
+                    for (ur, rr) in u.rows.iter().zip(&r.rows) {
+                        assert_eq!(ur[0], rr[0], "{q:?} group key");
+                        assert_eq!(ur[1].as_numeric(), rr[1].as_numeric(), "{q:?} count");
+                    }
+                }
+            }
+        }
+    }
+}

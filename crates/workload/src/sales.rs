@@ -1,0 +1,242 @@
+//! The sales schema: one wide fact table plus two dimensions.
+//!
+//! Loaded either into unified tables or the P\*Time-style row baseline so
+//! the "myth" benchmarks run identical data through both engines.
+
+use crate::datagen::DataGen;
+use hana_common::{
+    ColumnDef, ColumnId, DataType, Result, Schema, TableConfig, Value,
+};
+use hana_core::{Database, UnifiedTable};
+use hana_rowstore::RowTable;
+use hana_txn::{IsolationLevel, TxnManager};
+use std::sync::Arc;
+
+/// Column positions of the sales fact table.
+pub mod fact_cols {
+    /// Unique order id.
+    pub const ORDER_ID: usize = 0;
+    /// Customer foreign key.
+    pub const CUSTOMER_ID: usize = 1;
+    /// Product foreign key.
+    pub const PRODUCT_ID: usize = 2;
+    /// Shipping city.
+    pub const CITY: usize = 3;
+    /// Order amount.
+    pub const AMOUNT: usize = 4;
+    /// Quantity.
+    pub const QUANTITY: usize = 5;
+    /// Currency code.
+    pub const CURRENCY: usize = 6;
+    /// Status (0 = open, 1 = paid, 2 = shipped).
+    pub const STATUS: usize = 7;
+}
+
+/// Schema factory for the three sales tables.
+pub struct SalesSchema;
+
+impl SalesSchema {
+    /// The wide fact table: `sales(order_id*, customer_id, product_id,
+    /// city, amount, quantity, currency, status)`.
+    pub fn fact() -> Schema {
+        Schema::new(
+            "sales",
+            vec![
+                ColumnDef::new("order_id", DataType::Int).unique(),
+                ColumnDef::new("customer_id", DataType::Int).not_null(),
+                ColumnDef::new("product_id", DataType::Int).not_null(),
+                ColumnDef::new("city", DataType::Str),
+                ColumnDef::new("amount", DataType::Int).not_null(),
+                ColumnDef::new("quantity", DataType::Int).not_null(),
+                ColumnDef::new("currency", DataType::Str),
+                ColumnDef::new("status", DataType::Int).not_null(),
+            ],
+        )
+        .expect("static schema is valid")
+    }
+
+    /// `customers(id*, name, city)`.
+    pub fn customers() -> Schema {
+        Schema::new(
+            "customers",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("city", DataType::Str),
+            ],
+        )
+        .expect("static schema is valid")
+    }
+
+    /// `products(id*, category, price)`.
+    pub fn products() -> Schema {
+        Schema::new(
+            "products",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("category", DataType::Str),
+                ColumnDef::new("price", DataType::Int),
+            ],
+        )
+        .expect("static schema is valid")
+    }
+
+    /// Generate one fact row for `order_id`.
+    pub fn fact_row(gen: &mut DataGen, order_id: i64, customers: i64, products: i64) -> Vec<Value> {
+        vec![
+            Value::Int(order_id),
+            Value::Int(gen.amount(customers) - 1),
+            Value::Int(gen.amount(products) - 1),
+            Value::str(gen.city()),
+            Value::Int(gen.amount(10_000)),
+            Value::Int(gen.amount(20)),
+            Value::str(gen.currency()),
+            Value::Int(0),
+        ]
+    }
+}
+
+/// A fully loaded sales dataset over unified tables.
+pub struct SalesDataset {
+    /// The fact table.
+    pub sales: Arc<UnifiedTable>,
+    /// Customers dimension.
+    pub customers: Arc<UnifiedTable>,
+    /// Products dimension.
+    pub products: Arc<UnifiedTable>,
+    /// Number of fact rows loaded.
+    pub orders: i64,
+    /// Customer cardinality.
+    pub n_customers: i64,
+    /// Product cardinality.
+    pub n_products: i64,
+}
+
+impl SalesDataset {
+    /// Create + load the three tables inside `db` (bulk load for the fact
+    /// table, exercising the L2 bypass path).
+    pub fn load(
+        db: &Arc<Database>,
+        config: TableConfig,
+        orders: i64,
+        n_customers: i64,
+        n_products: i64,
+        seed: u64,
+    ) -> Result<Self> {
+        let sales = db.create_table(SalesSchema::fact(), config.clone())?;
+        let customers = db.create_table(SalesSchema::customers(), config.clone())?;
+        let products = db.create_table(SalesSchema::products(), config)?;
+        // Dimensions draw from a derived seed so fact rows are identical to
+        // the row-baseline loader's (which loads no dimensions).
+        let mut gen = DataGen::new(seed ^ 0xD1D1_D1D1);
+
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for i in 0..n_customers {
+            customers.insert(
+                &txn,
+                vec![
+                    Value::Int(i),
+                    Value::Str(gen.customer_name(i)),
+                    Value::str(gen.city()),
+                ],
+            )?;
+        }
+        for i in 0..n_products {
+            products.insert(
+                &txn,
+                vec![
+                    Value::Int(i),
+                    Value::str(gen.category()),
+                    Value::Int(gen.amount(500)),
+                ],
+            )?;
+        }
+        // Fact rows go through the bulk path in batches.
+        let mut gen = DataGen::new(seed);
+        let mut batch = Vec::with_capacity(4096);
+        for i in 0..orders {
+            batch.push(SalesSchema::fact_row(&mut gen, i, n_customers, n_products));
+            if batch.len() == 4096 {
+                sales.bulk_load(&txn, std::mem::take(&mut batch))?;
+            }
+        }
+        if !batch.is_empty() {
+            sales.bulk_load(&txn, batch)?;
+        }
+        db.commit(&mut txn)?;
+        Ok(SalesDataset {
+            sales,
+            customers,
+            products,
+            orders,
+            n_customers,
+            n_products,
+        })
+    }
+
+    /// Push all fact rows through the full lifecycle into the main store.
+    pub fn settle(&self) -> Result<()> {
+        self.sales.force_full_merge()?;
+        self.customers.force_full_merge()?;
+        self.products.force_full_merge()?;
+        Ok(())
+    }
+}
+
+/// The same fact data loaded into the P\*Time-style row baseline.
+pub fn load_row_baseline(
+    mgr: Arc<TxnManager>,
+    orders: i64,
+    n_customers: i64,
+    n_products: i64,
+    seed: u64,
+) -> Result<RowTable> {
+    let t = RowTable::new(SalesSchema::fact(), ColumnId(0), Arc::clone(&mgr))?;
+    let mut gen = DataGen::new(seed);
+    let mut txn = mgr.begin(IsolationLevel::Transaction);
+    for i in 0..orders {
+        t.insert(&txn, SalesSchema::fact_row(&mut gen, i, n_customers, n_products))?;
+    }
+    txn.commit()?;
+    t.finish_txn(txn.id());
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_settle() {
+        let db = Database::in_memory();
+        let ds = SalesDataset::load(&db, TableConfig::small(), 500, 50, 20, 7).unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        assert_eq!(ds.sales.read(&r).count(), 500);
+        assert_eq!(ds.customers.read(&r).count(), 50);
+        assert_eq!(ds.products.read(&r).count(), 20);
+        ds.settle().unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        assert_eq!(ds.sales.read(&r).count(), 500);
+        assert_eq!(ds.sales.stage_stats().main_rows, 500);
+        // Unique order ids point-queryable after settle.
+        let rows = ds.sales.read(&r).point(fact_cols::ORDER_ID, &Value::Int(123)).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn row_baseline_matches_data() {
+        let mgr = TxnManager::new();
+        let t = load_row_baseline(Arc::clone(&mgr), 200, 50, 20, 7).unwrap();
+        let r = mgr.begin(IsolationLevel::Transaction);
+        let mut n = 0;
+        t.scan(&r.read_snapshot(), |_, _| n += 1);
+        assert_eq!(n, 200);
+        // Same seed produces the same rows as the unified loader.
+        let db = Database::in_memory();
+        let ds = SalesDataset::load(&db, TableConfig::small(), 200, 50, 20, 7).unwrap();
+        let r2 = db.begin(IsolationLevel::Transaction);
+        let unified_row = ds.sales.read(&r2).point(0, &Value::Int(11)).unwrap();
+        let baseline_row = t.get(&r.read_snapshot(), &Value::Int(11)).unwrap().unwrap();
+        assert_eq!(unified_row[0], baseline_row);
+    }
+}

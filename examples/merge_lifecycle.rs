@@ -1,0 +1,90 @@
+//! The record life cycle and all three merge flavours, narrated.
+//!
+//! Demonstrates the classic merge (§4.1) with its dictionary fast paths,
+//! the re-sorting merge (§4.2) with its compression gain, and the partial
+//! merge (§4.3) with its passive/active main chain — the heart of the paper.
+//!
+//! Run with `cargo run -p hana-examples --example merge_lifecycle`.
+
+use hana_common::{MergeStrategy, TableConfig, Value};
+use hana_core::Database;
+use hana_merge::MergeDecision;
+use hana_txn::IsolationLevel;
+use hana_workload::{DataGen, SalesSchema};
+use std::ops::Bound;
+
+fn main() -> hana_common::Result<()> {
+    let db = Database::in_memory();
+    let cfg = TableConfig {
+        l1_max_rows: 512,
+        l2_max_rows: 4_096,
+        merge_strategy: MergeStrategy::Auto,
+        ..TableConfig::default()
+    };
+    let sales = db.create_table(SalesSchema::fact(), cfg)?;
+    let mut gen = DataGen::new(42);
+
+    // Phase 1: OLTP-style inserts fill the L1-delta, the policy merges.
+    println!("== filling through the OLTP path ==");
+    let mut order_id = 0i64;
+    for round in 0..6 {
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for _ in 0..2_000 {
+            sales.insert(&txn, SalesSchema::fact_row(&mut gen, order_id, 500, 100))?;
+            order_id += 1;
+        }
+        db.commit(&mut txn)?;
+        while sales.maybe_merge_once()? {}
+        let s = sales.stage_stats();
+        println!(
+            "round {round}: L1={:>5}  L2={:>5}  main={:>6} rows in {} part(s), active={}",
+            s.l1_rows, s.l2_rows, s.main_rows, s.main_parts, s.active_main_rows
+        );
+    }
+
+    // Phase 2: force the three merge flavours explicitly and compare.
+    println!("\n== explicit merge flavours ==");
+    sales.drain_l1()?;
+    sales.merge_delta_as(MergeDecision::Consolidate)?;
+    let classic_bytes = sales.stage_stats().main_data_bytes;
+    println!("classic/consolidated main: {} rows, {} data bytes", sales.stage_stats().main_rows, classic_bytes);
+
+    // Re-sorting merge: rebuilds the single main sorted for compression.
+    sales.merge_delta_as(MergeDecision::ReSorting)?;
+    let resort_bytes = sales.stage_stats().main_data_bytes;
+    println!(
+        "re-sorted main           : {} rows, {} data bytes ({:+.1}% vs classic)",
+        sales.stage_stats().main_rows,
+        resort_bytes,
+        100.0 * (resort_bytes as f64 - classic_bytes as f64) / classic_bytes as f64
+    );
+
+    // Partial merge: new rows go to an active main, passive untouched.
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    for _ in 0..1_000 {
+        sales.insert(&txn, SalesSchema::fact_row(&mut gen, order_id, 500, 100))?;
+        order_id += 1;
+    }
+    db.commit(&mut txn)?;
+    sales.drain_l1()?;
+    sales.merge_delta_as(MergeDecision::Partial)?;
+    let s = sales.stage_stats();
+    println!(
+        "after partial merge      : {} parts (passive+active), active holds {} rows",
+        s.main_parts, s.active_main_rows
+    );
+
+    // Phase 3: queries spanning passive + active mains (Fig 10).
+    let reader = db.begin(IsolationLevel::Transaction);
+    let read = sales.read(&reader);
+    let hits = read.range(
+        3, // city column
+        Bound::Included(&Value::str("C")),
+        Bound::Excluded(&Value::str("M")),
+    )?;
+    println!("\nrange query city in [C, M): {} rows across the chain", hits.len());
+    let (count, sum) = read.aggregate_numeric(4)?;
+    println!("sum(amount) over {count} rows = {sum}");
+    assert_eq!(count as i64, order_id);
+    Ok(())
+}

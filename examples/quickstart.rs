@@ -1,0 +1,91 @@
+//! Quickstart: create a database, write transactionally, watch a record
+//! travel through the unified table's life cycle, and query at every stage.
+//!
+//! Run with `cargo run -p hana-examples --example quickstart`.
+
+use hana_common::{ColumnDef, ColumnId, DataType, Schema, TableConfig, Value};
+use hana_core::Database;
+use hana_txn::IsolationLevel;
+use std::ops::Bound;
+
+fn main() -> hana_common::Result<()> {
+    // 1. An in-memory database with one table.
+    let db = Database::in_memory();
+    let schema = Schema::new(
+        "sales",
+        vec![
+            ColumnDef::new("order_id", DataType::Int).unique(),
+            ColumnDef::new("city", DataType::Str),
+            ColumnDef::new("amount", DataType::Double).not_null(),
+        ],
+    )?;
+    let sales = db.create_table(schema, TableConfig::default())?;
+
+    // 2. Transactional inserts land in the write-optimized L1-delta.
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    for (i, city) in ["Los Gatos", "Campbell", "Daily City", "Los Gatos", "Saratoga"]
+        .iter()
+        .enumerate()
+    {
+        sales.insert(
+            &txn,
+            vec![
+                Value::Int(i as i64),
+                Value::str(*city),
+                Value::double(100.0 * (i as f64 + 1.0)),
+            ],
+        )?;
+    }
+    db.commit(&mut txn)?;
+    println!("after insert      : stages = {:?}", stage(&sales));
+
+    // 3. Point query served from the L1-delta.
+    let reader = db.begin(IsolationLevel::Transaction);
+    let rows = sales.read(&reader).point(1, &Value::str("Los Gatos"))?;
+    println!("point query       : {} rows with city = Los Gatos", rows.len());
+
+    // 4. Propagate records: L1 → L2 (incremental pivot to columns).
+    sales.drain_l1()?;
+    println!("after L1→L2 merge : stages = {:?}", stage(&sales));
+
+    // 5. …and L2 → main (sorted dictionary, compressed, read-optimized).
+    sales.merge_delta_as(hana_merge::MergeDecision::Classic)?;
+    println!("after main merge  : stages = {:?}", stage(&sales));
+
+    // 6. The same queries keep working against the main store.
+    let reader = db.begin(IsolationLevel::Transaction);
+    let read = sales.read(&reader);
+    let rows = read.point(1, &Value::str("Los Gatos"))?;
+    let (count, sum) = read.aggregate_numeric(2)?;
+    println!("point query       : {} rows with city = Los Gatos", rows.len());
+    println!("aggregate         : count = {count}, sum(amount) = {sum}");
+
+    // 7. Fig 10's range query: cities between C% and M%.
+    let range = read.range(
+        1,
+        Bound::Included(&Value::str("C")),
+        Bound::Excluded(&Value::str("M")),
+    )?;
+    let cities: Vec<String> = range.iter().map(|r| r[1].to_string()).collect();
+    println!("range C..M        : {cities:?}");
+
+    // 8. Updates restart the life cycle: a new version enters the L1-delta
+    //    and the main-resident version is closed in place.
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    sales.update_where(
+        &txn,
+        ColumnId(0),
+        &Value::Int(0),
+        &[(ColumnId(2), Value::double(999.0))],
+    )?;
+    db.commit(&mut txn)?;
+    let reader = db.begin(IsolationLevel::Transaction);
+    let row = &sales.read(&reader).point(0, &Value::Int(0))?[0];
+    println!("after update      : order 0 amount = {} | stages = {:?}", row[2], stage(&sales));
+    Ok(())
+}
+
+fn stage(t: &std::sync::Arc<hana_core::UnifiedTable>) -> (usize, usize, usize) {
+    let s = t.stage_stats();
+    (s.l1_rows, s.l2_rows + s.l2_frozen_rows, s.main_rows)
+}

@@ -1,0 +1,203 @@
+//! Concurrency stress: writers, readers and the merge daemon racing on one
+//! table, with invariants checked continuously and at the end.
+
+use hana_common::{ColumnDef, ColumnId, DataType, Schema, TableConfig, Value};
+use hana_core::Database;
+use hana_txn::IsolationLevel;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn schema() -> Schema {
+    Schema::new(
+        "ledger",
+        vec![
+            ColumnDef::new("id", DataType::Int).unique(),
+            ColumnDef::new("balance", DataType::Int).not_null(),
+        ],
+    )
+    .unwrap()
+}
+
+/// Transfers between accounts preserve the total balance under snapshot
+/// isolation, concurrent merges included.
+#[test]
+fn balance_conservation_under_concurrency() {
+    const ACCOUNTS: i64 = 64;
+    const INITIAL: i64 = 1_000;
+    let db = Database::in_memory();
+    let cfg = TableConfig {
+        l1_max_rows: 32,
+        l2_max_rows: 128,
+        ..TableConfig::default()
+    };
+    let table = db.create_table(schema(), cfg).unwrap();
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    for i in 0..ACCOUNTS {
+        table.insert(&txn, vec![Value::Int(i), Value::Int(INITIAL)]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    db.start_merge_daemon(Duration::from_millis(1));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let transfers = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|scope| {
+        // Writers: random transfers.
+        for w in 0..4u64 {
+            let db = Arc::clone(&db);
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let transfers = Arc::clone(&transfers);
+            scope.spawn(move || {
+                let mut seed = w.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                let mut next = || {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    seed
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    let from = (next() % ACCOUNTS as u64) as i64;
+                    let to = (next() % ACCOUNTS as u64) as i64;
+                    if from == to {
+                        continue;
+                    }
+                    let amount = (next() % 50) as i64;
+                    let mut txn = db.begin(IsolationLevel::Transaction);
+                    let result = (|| -> hana_common::Result<()> {
+                        let read = table.read(&txn);
+                        let f = read.point(0, &Value::Int(from))?;
+                        let t = read.point(0, &Value::Int(to))?;
+                        let fb = f[0][1].as_int().unwrap();
+                        let tb = t[0][1].as_int().unwrap();
+                        table.update_where(
+                            &txn,
+                            ColumnId(0),
+                            &Value::Int(from),
+                            &[(ColumnId(1), Value::Int(fb - amount))],
+                        )?;
+                        table.update_where(
+                            &txn,
+                            ColumnId(0),
+                            &Value::Int(to),
+                            &[(ColumnId(1), Value::Int(tb + amount))],
+                        )?;
+                        Ok(())
+                    })();
+                    match result {
+                        Ok(()) => {
+                            db.commit(&mut txn).unwrap();
+                            transfers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            let _ = db.abort(&mut txn);
+                        }
+                    }
+                }
+            });
+        }
+        // Readers: every snapshot must show conserved total balance and
+        // exactly ACCOUNTS visible rows.
+        for _ in 0..2 {
+            let db = Arc::clone(&db);
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let r = db.begin(IsolationLevel::Transaction);
+                    let read = table.read(&r);
+                    let (count, sum) = read.aggregate_numeric(1).unwrap();
+                    assert_eq!(count as i64, ACCOUNTS, "row count under snapshot");
+                    assert_eq!(
+                        sum as i64,
+                        ACCOUNTS * INITIAL,
+                        "balance conservation violated mid-run"
+                    );
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+    db.stop_merge_daemon();
+    assert!(transfers.load(Ordering::Relaxed) > 0, "some transfers committed");
+
+    // Final state: settle everything and re-verify.
+    table.force_full_merge().unwrap();
+    let r = db.begin(IsolationLevel::Transaction);
+    let read = table.read(&r);
+    let (count, sum) = read.aggregate_numeric(1).unwrap();
+    assert_eq!(count as i64, ACCOUNTS);
+    assert_eq!(sum as i64, ACCOUNTS * INITIAL);
+    let stats = table.stage_stats();
+    assert_eq!(stats.main_rows as i64, ACCOUNTS, "all garbage collected: {stats:?}");
+}
+
+/// Inserts from many threads never produce duplicate keys or lost rows.
+#[test]
+fn concurrent_inserts_unique_and_complete() {
+    let db = Database::in_memory();
+    let table = db
+        .create_table(schema(), TableConfig::small().with_l1_max(16).with_l2_max(64))
+        .unwrap();
+    db.start_merge_daemon(Duration::from_millis(1));
+    const PER_THREAD: i64 = 500;
+    std::thread::scope(|scope| {
+        for w in 0..4i64 {
+            let db = Arc::clone(&db);
+            let table = Arc::clone(&table);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let id = w * PER_THREAD + i;
+                    let mut txn = db.begin(IsolationLevel::Transaction);
+                    table.insert(&txn, vec![Value::Int(id), Value::Int(0)]).unwrap();
+                    db.commit(&mut txn).unwrap();
+                }
+            });
+        }
+    });
+    db.stop_merge_daemon();
+    let r = db.begin(IsolationLevel::Transaction);
+    let read = table.read(&r);
+    assert_eq!(read.count() as i64, 4 * PER_THREAD);
+    let mut seen = std::collections::HashSet::new();
+    read.for_each_visible(|row| {
+        assert!(seen.insert(row.values[0].as_int().unwrap()), "duplicate key");
+    });
+}
+
+/// Contended inserts of the SAME key from many threads: exactly one wins.
+#[test]
+fn duplicate_key_race_single_winner() {
+    let db = Database::in_memory();
+    let table = db.create_table(schema(), TableConfig::small()).unwrap();
+    let winners: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                let table = Arc::clone(&table);
+                scope.spawn(move || {
+                    let mut txn = db.begin(IsolationLevel::Transaction);
+                    let ok = table
+                        .insert(&txn, vec![Value::Int(42), Value::Int(0)])
+                        .is_ok();
+                    if ok {
+                        db.commit(&mut txn).unwrap();
+                    } else {
+                        let _ = db.abort(&mut txn);
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count()
+    });
+    assert_eq!(winners, 1, "exactly one contended insert may commit");
+    let r = db.begin(IsolationLevel::Transaction);
+    let rows = table.read(&r).point(0, &Value::Int(42)).unwrap();
+    assert_eq!(rows.len(), 1, "exactly one insert of key 42 visible");
+}

@@ -1,0 +1,175 @@
+//! Property test: the unified table behaves exactly like a trivial
+//! in-memory model under arbitrary committed operation sequences with
+//! merges injected at arbitrary points.
+
+use hana_common::{ColumnDef, ColumnId, DataType, HanaError, Schema, TableConfig, Value};
+use hana_core::Database;
+use hana_merge::MergeDecision;
+use hana_txn::IsolationLevel;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+    MergeL1,
+    MergeClassic,
+    MergeResort,
+    MergePartial,
+    Savepoint, // only used in the durable variant
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0i64..40, any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        3 => (0i64..40, any::<i64>()).prop_map(|(k, v)| Op::Update(k, v)),
+        2 => (0i64..40).prop_map(Op::Delete),
+        1 => Just(Op::MergeL1),
+        1 => Just(Op::MergeClassic),
+        1 => Just(Op::MergeResort),
+        1 => Just(Op::MergePartial),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            ColumnDef::new("k", DataType::Int).unique(),
+            ColumnDef::new("v", DataType::Int),
+        ],
+    )
+    .unwrap()
+}
+
+fn apply_ops(
+    db: &std::sync::Arc<Database>,
+    t: &std::sync::Arc<hana_core::UnifiedTable>,
+    model: &mut BTreeMap<i64, i64>,
+    ops: &[Op],
+) {
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                let mut txn = db.begin(IsolationLevel::Transaction);
+                match t.insert(&txn, vec![Value::Int(*k), Value::Int(*v)]) {
+                    Ok(_) => {
+                        assert!(!model.contains_key(k), "insert succeeded on live key {k}");
+                        db.commit(&mut txn).unwrap();
+                        model.insert(*k, *v);
+                    }
+                    Err(HanaError::Constraint(_)) => {
+                        assert!(model.contains_key(k), "constraint on free key {k}");
+                        db.abort(&mut txn).unwrap();
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            Op::Update(k, v) => {
+                let mut txn = db.begin(IsolationLevel::Transaction);
+                match t.update_where(&txn, ColumnId(0), &Value::Int(*k), &[(ColumnId(1), Value::Int(*v))]) {
+                    Ok(_) => {
+                        assert!(model.contains_key(k));
+                        db.commit(&mut txn).unwrap();
+                        model.insert(*k, *v);
+                    }
+                    Err(HanaError::NotFound(_)) => {
+                        assert!(!model.contains_key(k));
+                        db.abort(&mut txn).unwrap();
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            Op::Delete(k) => {
+                let mut txn = db.begin(IsolationLevel::Transaction);
+                match t.delete_where(&txn, ColumnId(0), &Value::Int(*k)) {
+                    Ok(_) => {
+                        assert!(model.contains_key(k));
+                        db.commit(&mut txn).unwrap();
+                        model.remove(k);
+                    }
+                    Err(HanaError::NotFound(_)) => {
+                        assert!(!model.contains_key(k));
+                        db.abort(&mut txn).unwrap();
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            Op::MergeL1 => {
+                t.drain_l1().unwrap();
+            }
+            Op::MergeClassic => t.merge_delta_as(MergeDecision::Classic).unwrap(),
+            Op::MergeResort => t.merge_delta_as(MergeDecision::ReSorting).unwrap(),
+            Op::MergePartial => t.merge_delta_as(MergeDecision::Partial).unwrap(),
+            Op::Savepoint => {
+                let _ = db.savepoint();
+            }
+        }
+    }
+}
+
+fn check_equiv(
+    db: &std::sync::Arc<Database>,
+    t: &std::sync::Arc<hana_core::UnifiedTable>,
+    model: &BTreeMap<i64, i64>,
+) {
+    let r = db.begin(IsolationLevel::Transaction);
+    let read = t.read(&r);
+    let mut got: BTreeMap<i64, i64> = BTreeMap::new();
+    read.for_each_visible(|row| {
+        let k = row.values[0].as_int().unwrap();
+        let v = row.values[1].as_int().unwrap();
+        assert!(got.insert(k, v).is_none(), "key {k} visible twice");
+    });
+    assert_eq!(&got, model);
+    // Point queries agree per key.
+    for (k, v) in model {
+        let rows = read.point(0, &Value::Int(*k)).unwrap();
+        assert_eq!(rows.len(), 1, "key {k}");
+        assert_eq!(rows[0][1], Value::Int(*v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// In-memory table ≡ model under random op/merge interleavings.
+    #[test]
+    fn unified_table_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let db = Database::in_memory();
+        let t = db
+            .create_table(schema(), TableConfig::small().with_l1_max(8).with_l2_max(24))
+            .unwrap();
+        let mut model = BTreeMap::new();
+        apply_ops(&db, &t, &mut model, &ops);
+        check_equiv(&db, &t, &model);
+    }
+
+    /// Durable table ≡ model, including a crash-recovery at the end and
+    /// savepoints injected mid-stream.
+    #[test]
+    fn durable_table_matches_model_after_recovery(
+        mut ops in prop::collection::vec(op_strategy(), 1..60),
+        savepoint_at in 0usize..60,
+    ) {
+        if savepoint_at < ops.len() {
+            ops.insert(savepoint_at, Op::Savepoint);
+        }
+        let dir = tempfile::tempdir().unwrap();
+        let mut model = BTreeMap::new();
+        {
+            let db = Database::open(dir.path()).unwrap();
+            let t = db
+                .create_table(schema(), TableConfig::small().with_l1_max(8).with_l2_max(24))
+                .unwrap();
+            apply_ops(&db, &t, &mut model, &ops);
+            check_equiv(&db, &t, &model);
+            // "Crash": drop without clean shutdown.
+        }
+        let db = Database::open(dir.path()).unwrap();
+        let t = db.table("t").unwrap();
+        check_equiv(&db, &t, &model);
+    }
+}

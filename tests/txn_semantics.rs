@@ -1,0 +1,183 @@
+//! Cross-crate transaction semantics: both isolation levels, conflicts,
+//! aborts, and interaction with merges.
+
+use hana_common::{ColumnDef, ColumnId, DataType, HanaError, Schema, TableConfig, Value};
+use hana_core::Database;
+use hana_txn::IsolationLevel;
+
+fn schema() -> Schema {
+    Schema::new(
+        "accounts",
+        vec![
+            ColumnDef::new("id", DataType::Int).unique(),
+            ColumnDef::new("balance", DataType::Int).not_null(),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn transaction_level_si_is_repeatable() {
+    let db = Database::in_memory();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    let mut seed = db.begin(IsolationLevel::Transaction);
+    t.insert(&seed, vec![Value::Int(1), Value::Int(100)]).unwrap();
+    db.commit(&mut seed).unwrap();
+
+    let reader = db.begin(IsolationLevel::Transaction);
+    let before = t.read(&reader).point(0, &Value::Int(1)).unwrap()[0][1].clone();
+
+    let mut writer = db.begin(IsolationLevel::Transaction);
+    t.update_where(&writer, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(999))])
+        .unwrap();
+    db.commit(&mut writer).unwrap();
+
+    // Same transaction, new statement: still the old value.
+    let after = t.read(&reader).point(0, &Value::Int(1)).unwrap()[0][1].clone();
+    assert_eq!(before, after);
+    assert_eq!(after, Value::Int(100));
+}
+
+#[test]
+fn statement_level_si_sees_fresh_commits() {
+    let db = Database::in_memory();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    let mut seed = db.begin(IsolationLevel::Transaction);
+    t.insert(&seed, vec![Value::Int(1), Value::Int(100)]).unwrap();
+    db.commit(&mut seed).unwrap();
+
+    let reader = db.begin(IsolationLevel::Statement);
+    assert_eq!(
+        t.read(&reader).point(0, &Value::Int(1)).unwrap()[0][1],
+        Value::Int(100)
+    );
+    let mut writer = db.begin(IsolationLevel::Transaction);
+    t.update_where(&writer, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(999))])
+        .unwrap();
+    db.commit(&mut writer).unwrap();
+    // The *same* reader transaction now sees the new value.
+    assert_eq!(
+        t.read(&reader).point(0, &Value::Int(1)).unwrap()[0][1],
+        Value::Int(999)
+    );
+}
+
+#[test]
+fn first_writer_wins_and_loser_can_retry() {
+    let db = Database::in_memory();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    let mut seed = db.begin(IsolationLevel::Transaction);
+    t.insert(&seed, vec![Value::Int(1), Value::Int(0)]).unwrap();
+    db.commit(&mut seed).unwrap();
+
+    let a = db.begin(IsolationLevel::Transaction);
+    let b = db.begin(IsolationLevel::Transaction);
+    t.update_where(&a, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(1))])
+        .unwrap();
+    let err = t
+        .update_where(&b, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(2))])
+        .unwrap_err();
+    assert!(matches!(err, HanaError::WriteConflict(_)));
+    let mut a = a;
+    db.commit(&mut a).unwrap();
+    let mut b = b;
+    db.abort(&mut b).unwrap();
+    // Retry in a fresh transaction succeeds.
+    let mut c = db.begin(IsolationLevel::Transaction);
+    t.update_where(&c, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(2))])
+        .unwrap();
+    db.commit(&mut c).unwrap();
+    let r = db.begin(IsolationLevel::Transaction);
+    assert_eq!(
+        t.read(&r).point(0, &Value::Int(1)).unwrap()[0][1],
+        Value::Int(2)
+    );
+}
+
+#[test]
+fn abort_rolls_back_inserts_updates_and_deletes() {
+    let db = Database::in_memory();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    let mut seed = db.begin(IsolationLevel::Transaction);
+    t.insert(&seed, vec![Value::Int(1), Value::Int(100)]).unwrap();
+    db.commit(&mut seed).unwrap();
+
+    let mut bad = db.begin(IsolationLevel::Transaction);
+    t.insert(&bad, vec![Value::Int(2), Value::Int(1)]).unwrap();
+    t.update_where(&bad, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(0))])
+        .unwrap();
+    db.abort(&mut bad).unwrap();
+
+    let r = db.begin(IsolationLevel::Transaction);
+    let read = t.read(&r);
+    assert_eq!(read.count(), 1);
+    assert_eq!(read.point(0, &Value::Int(1)).unwrap()[0][1], Value::Int(100));
+    assert!(read.point(0, &Value::Int(2)).unwrap().is_empty());
+}
+
+/// Aborted garbage never reaches the main store through merges.
+#[test]
+fn merges_discard_aborted_garbage() {
+    let db = Database::in_memory();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    for i in 0..20 {
+        if i % 2 == 0 {
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            t.insert(&txn, vec![Value::Int(i), Value::Int(i)]).unwrap();
+            db.commit(&mut txn).unwrap();
+        } else {
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            t.insert(&txn, vec![Value::Int(i), Value::Int(i)]).unwrap();
+            db.abort(&mut txn).unwrap();
+        }
+    }
+    t.force_full_merge().unwrap();
+    let stats = t.stage_stats();
+    assert_eq!(stats.main_rows, 10, "only committed rows reach the main");
+    let r = db.begin(IsolationLevel::Transaction);
+    assert_eq!(t.read(&r).count(), 10);
+}
+
+/// Uncommitted-duplicate inserts conflict instead of violating uniqueness.
+#[test]
+fn concurrent_duplicate_insert_conflicts() {
+    let db = Database::in_memory();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    let a = db.begin(IsolationLevel::Transaction);
+    let b = db.begin(IsolationLevel::Transaction);
+    t.insert(&a, vec![Value::Int(7), Value::Int(1)]).unwrap();
+    let err = t.insert(&b, vec![Value::Int(7), Value::Int(2)]).unwrap_err();
+    assert!(matches!(err, HanaError::WriteConflict(_)), "{err}");
+    // After a aborts, b can retry successfully in a new statement.
+    let mut a = a;
+    db.abort(&mut a).unwrap();
+    t.insert(&b, vec![Value::Int(7), Value::Int(2)]).unwrap();
+    let mut b = b;
+    db.commit(&mut b).unwrap();
+}
+
+/// The GC watermark respects open transactions: versions they can still
+/// see are not collected by a merge.
+#[test]
+fn watermark_blocks_premature_gc() {
+    let db = Database::in_memory();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    let mut seed = db.begin(IsolationLevel::Transaction);
+    t.insert(&seed, vec![Value::Int(1), Value::Int(100)]).unwrap();
+    db.commit(&mut seed).unwrap();
+
+    // Old reader pins the snapshot.
+    let pinned = db.begin(IsolationLevel::Transaction);
+    let view = t.read(&pinned);
+
+    let mut del = db.begin(IsolationLevel::Transaction);
+    t.delete_where(&del, ColumnId(0), &Value::Int(1)).unwrap();
+    db.commit(&mut del).unwrap();
+
+    t.force_full_merge().unwrap();
+    // New readers: gone. Pinned reader: still there.
+    let r = db.begin(IsolationLevel::Transaction);
+    assert_eq!(t.read(&r).count(), 0);
+    assert_eq!(view.count(), 1);
+    assert_eq!(view.point(0, &Value::Int(1)).unwrap()[0][1], Value::Int(100));
+}
