@@ -4,10 +4,9 @@
 //! 10k–100k rows per node, an L2-delta of up to ~10M rows, and merge
 //! scheduling that keeps resource-intensive main rebuilds rare.
 
-use serde::{Deserialize, Serialize};
 
 /// How the delta-to-main merge should be performed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MergeStrategy {
     /// §4.1 classic merge: merge dictionaries, recode, rebuild the full main.
     Classic,
@@ -23,7 +22,7 @@ pub enum MergeStrategy {
 }
 
 /// Per-table configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableConfig {
     /// L1→L2 merge triggers when the L1-delta reaches this many rows
     /// (paper: 10,000–100,000 rows).

@@ -6,12 +6,11 @@
 //! [`RowLocation`] says where the *current version* of that record physically
 //! lives right now.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable logical record identifier, assigned on first entry (L1 insert or
 /// L2 bulk load) and never reused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowId(pub u64);
 
 impl fmt::Display for RowId {
@@ -21,7 +20,7 @@ impl fmt::Display for RowId {
 }
 
 /// Which stage of the unified table holds a row version.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StoreKind {
     /// Write-optimized row-format store.
     L1Delta,

@@ -7,12 +7,11 @@
 
 use crate::error::{HanaError, Result};
 use crate::value::{DataType, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// Identifier of a table within a [`Database`](https://docs.rs) catalog.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u32);
 
 impl fmt::Display for TableId {
@@ -22,7 +21,7 @@ impl fmt::Display for TableId {
 }
 
 /// Zero-based column position within a table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnId(pub u16);
 
 impl ColumnId {
@@ -40,7 +39,7 @@ impl fmt::Display for ColumnId {
 }
 
 /// Definition of one column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     /// Column name, unique within the table.
     pub name: String,
@@ -80,7 +79,7 @@ impl ColumnDef {
 }
 
 /// An immutable, shareable table schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     /// Table name.
     pub name: String,

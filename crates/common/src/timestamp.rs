@@ -13,7 +13,6 @@
 //! stores and the merge engine all interpret version stamps identically
 //! without depending on the transaction manager crate.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A commit timestamp (or a marked transaction id, see [`TXN_MARK`]).
@@ -27,7 +26,7 @@ pub const TXN_MARK: Timestamp = 1 << 63;
 pub const COMMIT_TS_MAX: Timestamp = u64::MAX;
 
 /// Transaction identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId(pub u64);
 
 impl TxnId {

@@ -9,13 +9,12 @@
 //! [`OrderedF64`], an order-preserving bit transform that also makes NaN
 //! orderable (all NaNs sort above +inf).
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// Logical column types supported by the unified table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -40,7 +39,7 @@ impl fmt::Display for DataType {
 /// The ordering is the IEEE-754 `total_order` predicate: `-NaN < -inf < … <
 /// -0.0 < +0.0 < … < +inf < +NaN`. This lets doubles participate in sorted
 /// dictionaries and B-tree-style range scans without special cases.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct OrderedF64(pub f64);
 
 impl OrderedF64 {
@@ -99,7 +98,7 @@ impl fmt::Display for OrderedF64 {
 /// `Null` sorts below every non-null value of any type; across types the
 /// order is `Int < Double < Str` (only relevant for heterogeneous debugging
 /// paths — the schema keeps real columns homogeneous).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// SQL NULL.
     Null,

@@ -1,0 +1,21 @@
+//! Offline shim for the `crossbeam` crate (see `vendor/parking_lot` for
+//! why these shims exist). Two pieces the workspace uses:
+//!
+//! * [`channel`] — a bounded MPMC channel (both ends cloneable, unlike
+//!   `std::sync::mpsc`) built on a `Mutex<VecDeque>` + condvars. The merge
+//!   daemon's worker pool shares one receiver between workers.
+//! * [`scope`] — scoped threads delegating to `std::thread::scope`, with
+//!   the crossbeam calling convention (the closure passed to
+//!   [`Scope::spawn`] receives the scope again for nested spawns). If the
+//!   OS refuses to spawn a thread the closure runs inline on the caller —
+//!   degraded parallelism, never a lost task.
+
+pub mod channel;
+
+mod scoped;
+pub use scoped::{scope, Scope, ScopedJoinHandle};
+
+pub mod thread {
+    //! `crossbeam::thread` module alias (upstream re-exports scope here too).
+    pub use crate::scoped::{scope, Scope, ScopedJoinHandle};
+}

@@ -1,0 +1,131 @@
+//! Scoped threads with the `crossbeam::scope` calling convention, built on
+//! `std::thread::scope`.
+//!
+//! Differences from std worth knowing:
+//!
+//! * [`Scope::spawn`] passes the scope back into the closure (crossbeam's
+//!   signature), enabling nested spawns.
+//! * If the OS refuses to create a thread, the task runs **inline** on the
+//!   spawning thread and the handle resolves to its result — callers fan
+//!   out work without a spawn-failure path, they just lose parallelism.
+//! * [`scope`] returns `Err` with the panic payload if the closure or any
+//!   un-joined spawned thread panicked (crossbeam's contract), instead of
+//!   resuming the unwind in the caller.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A scope handle; tasks spawned through it may borrow from the enclosing
+/// stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped task: a real OS thread, or an already-computed result
+/// when thread creation failed and the task ran inline.
+pub struct ScopedJoinHandle<'scope, T> {
+    state: HandleState<'scope, T>,
+}
+
+enum HandleState<'scope, T> {
+    Thread(thread::ScopedJoinHandle<'scope, T>),
+    Inline(thread::Result<T>),
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the task and return its result (`Err` holds the panic
+    /// payload if the task panicked).
+    pub fn join(self) -> thread::Result<T> {
+        match self.state {
+            HandleState::Thread(h) => h.join(),
+            HandleState::Inline(r) => r,
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn `f` in the scope. The closure receives the scope again so it
+    /// can spawn further tasks.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        // spawn_scoped consumes its closure even when thread creation fails,
+        // so park `f` in a shared slot both outcomes can take it from.
+        let slot = Arc::new(Mutex::new(Some(f)));
+        let thread_slot = Arc::clone(&slot);
+        let run = move || {
+            let f = thread_slot.lock().unwrap().take().expect("task taken once");
+            f(&Scope { inner })
+        };
+        match thread::Builder::new().spawn_scoped(self.inner, run) {
+            Ok(h) => ScopedJoinHandle {
+                state: HandleState::Thread(h),
+            },
+            Err(_) => {
+                // Out of threads: run the task inline so no work is lost.
+                let f = slot.lock().unwrap().take().expect("task taken once");
+                ScopedJoinHandle {
+                    state: HandleState::Inline(catch_unwind(AssertUnwindSafe(|| {
+                        f(&Scope { inner })
+                    }))),
+                }
+            }
+        }
+    }
+}
+
+/// Run `f` with a scope; all spawned tasks are joined before returning.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn borrows_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&v| s.spawn(move |_| v * 10))
+                .collect();
+            for h in handles {
+                sum.fetch_add(h.join().unwrap() as usize, Ordering::SeqCst);
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let r = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom")).join().unwrap_err();
+        });
+        assert!(r.is_ok(), "joined panic is contained");
+        let r = scope(|_| panic!("outer"));
+        assert!(r.is_err());
+    }
+}

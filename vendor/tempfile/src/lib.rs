@@ -1,0 +1,91 @@
+//! Offline shim for the `tempfile` crate (see `vendor/parking_lot` for why
+//! these shims exist). Only [`tempdir`] / [`TempDir`] are provided — the
+//! workspace never uses temporary *files* directly.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, removed recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Remove the directory now, reporting errors (drop ignores them).
+    pub fn close(self) -> std::io::Result<()> {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        std::fs::remove_dir_all(path)
+    }
+
+    /// Keep the directory (disable cleanup) and return its path.
+    pub fn into_path(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        self.path()
+    }
+}
+
+/// Create a fresh private temporary directory.
+pub fn tempdir() -> std::io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    // pid + monotonic counter + a time component: unique within and across
+    // processes even when the clock is coarse.
+    let pid = std::process::id();
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    for _ in 0..1024 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".tmp-hana-{pid}-{t:x}-{n}"));
+        match std::fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(std::io::Error::other("could not create unique temp dir"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let d = tempdir().unwrap();
+        let p = d.path().to_path_buf();
+        std::fs::write(p.join("f"), b"x").unwrap();
+        assert!(p.exists());
+        drop(d);
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn unique_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
