@@ -19,11 +19,10 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
     let mut g = CalcGraph::new();
     let pred = Predicate::Gt(fact_cols::AMOUNT, Value::Int(5_000));
     let mk_branch = |g: &mut CalcGraph, f| {
-        let p1 = g.add(CalcNode::Project {
+        g.add(CalcNode::Project {
             input: f,
             exprs: vec![("a".into(), Expr::col(fact_cols::AMOUNT))],
-        });
-        p1
+        })
     };
     if shared {
         let s = g.add(CalcNode::TableSource {
@@ -33,7 +32,9 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
         let f = g.add(CalcNode::Filter { input: s, pred });
         let b1 = mk_branch(&mut g, f);
         let b2 = mk_branch(&mut g, f);
-        let u = g.add(CalcNode::Union { inputs: vec![b1, b2] });
+        let u = g.add(CalcNode::Union {
+            inputs: vec![b1, b2],
+        });
         g.set_root(u);
     } else {
         // The same logical plan with the subtree duplicated.
@@ -41,7 +42,10 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
             table: Arc::clone(table),
             fused_filter: Predicate::True,
         });
-        let f1 = g.add(CalcNode::Filter { input: s1, pred: pred.clone() });
+        let f1 = g.add(CalcNode::Filter {
+            input: s1,
+            pred: pred.clone(),
+        });
         let s2 = g.add(CalcNode::TableSource {
             table: Arc::clone(table),
             fused_filter: Predicate::True,
@@ -49,7 +53,9 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
         let f2 = g.add(CalcNode::Filter { input: s2, pred });
         let b1 = mk_branch(&mut g, f1);
         let b2 = mk_branch(&mut g, f2);
-        let u = g.add(CalcNode::Union { inputs: vec![b1, b2] });
+        let u = g.add(CalcNode::Union {
+            inputs: vec![b1, b2],
+        });
         g.set_root(u);
     }
     g

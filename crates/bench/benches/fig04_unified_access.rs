@@ -7,9 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hana_bench::{staged_sales, Stage};
+use hana_common::Value;
 use hana_txn::Snapshot;
 use hana_workload::sales::fact_cols;
-use hana_common::Value;
 
 const ROWS: i64 = 20_000;
 

@@ -7,8 +7,8 @@
 //! resets it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hana_core::Database;
 use hana_common::TableConfig;
+use hana_core::Database;
 use hana_txn::IsolationLevel;
 use hana_workload::{DataGen, SalesSchema};
 
@@ -18,7 +18,11 @@ fn bench_insert_commit(c: &mut Criterion) {
     g.throughput(Throughput::Elements(100));
     for durable in [false, true] {
         g.bench_function(
-            BenchmarkId::from_parameter(if durable { "durable_logged" } else { "in_memory" }),
+            BenchmarkId::from_parameter(if durable {
+                "durable_logged"
+            } else {
+                "in_memory"
+            }),
             |b| {
                 let dir = tempfile::tempdir().unwrap();
                 let db = if durable {
@@ -110,5 +114,10 @@ fn bench_recovery(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_insert_commit, bench_savepoint, bench_recovery);
+criterion_group!(
+    benches,
+    bench_insert_commit,
+    bench_savepoint,
+    bench_recovery
+);
 criterion_main!(benches);

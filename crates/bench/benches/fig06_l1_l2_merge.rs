@@ -62,8 +62,8 @@ fn bench_merge_vs_l2_size(c: &mut Criterion) {
 fn bench_concurrent_reads_during_merge(c: &mut Criterion) {
     // Readers keep answering point queries while L1 merges churn — measure
     // reader latency with and without a concurrent merge loop.
-    use hana_txn::Snapshot;
     use hana_common::Value;
+    use hana_txn::Snapshot;
     use hana_workload::sales::fact_cols;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;

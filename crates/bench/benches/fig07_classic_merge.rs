@@ -6,9 +6,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hana_bench::{fill_l2, staged_sales, Stage};
+use hana_common::{ColumnDef, DataType, MergeConfig, Schema, TableConfig, Value};
+use hana_core::Database;
 use hana_dict::{merge_dicts, SortedDict, UnsortedDict};
-use hana_common::Value;
 use hana_merge::MergeDecision;
+use hana_txn::IsolationLevel;
 
 fn bench_merge_cost_vs_main_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig07_merge_cost_vs_main_size");
@@ -66,7 +68,11 @@ fn bench_dictionary_fast_paths(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig07_dictionary_paths");
     g.sample_size(20);
-    for (name, delta) in [("subset", &subset), ("append", &append), ("general", &general)] {
+    for (name, delta) in [
+        ("subset", &subset),
+        ("append", &append),
+        ("general", &general),
+    ] {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let m = merge_dicts(&main, delta);
@@ -77,5 +83,57 @@ fn bench_dictionary_fast_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_merge_cost_vs_main_size, bench_dictionary_fast_paths);
+/// The column-parallel fan-out vs the serial merge over a wide (16-column)
+/// table. Speedup tracks the core count; on one core the two tie.
+fn bench_parallel_vs_serial(c: &mut Criterion) {
+    const ROWS: i64 = 100_000;
+    const COLS: usize = 16;
+    let staged_wide = |parallelism: usize| {
+        let db = Database::in_memory();
+        let cols: Vec<ColumnDef> = std::iter::once(ColumnDef::new("id", DataType::Int).unique())
+            .chain((1..COLS).map(|c| ColumnDef::new(format!("c{c}"), DataType::Int)))
+            .collect();
+        let schema = Schema::new("wide", cols).unwrap();
+        let cfg = TableConfig {
+            l1_max_rows: usize::MAX / 2,
+            l2_max_rows: usize::MAX / 2,
+            ..TableConfig::default()
+        }
+        .with_merge(MergeConfig::default().with_column_parallelism(parallelism));
+        let table = db.create_table(schema, cfg).unwrap();
+        let batch: Vec<Vec<Value>> = (0..ROWS)
+            .map(|i| {
+                std::iter::once(Value::Int(i))
+                    .chain((1..COLS as i64).map(|c| Value::Int((i * 31 + c) % 997)))
+                    .collect()
+            })
+            .collect();
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        table.bulk_load(&txn, batch).unwrap();
+        db.commit(&mut txn).unwrap();
+        (db, table)
+    };
+    let mut g = c.benchmark_group("fig07_parallel_vs_serial");
+    g.sample_size(10);
+    for (name, parallelism) in [("serial", 1usize), ("parallel", 0usize)] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || staged_wide(parallelism),
+                |(_db, table)| {
+                    table.merge_delta_as(MergeDecision::Classic).unwrap();
+                    assert_eq!(table.stage_stats().main_rows as i64, ROWS);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_cost_vs_main_size,
+    bench_dictionary_fast_paths,
+    bench_parallel_vs_serial
+);
 criterion_main!(benches);

@@ -20,26 +20,20 @@ fn bench_partial_vs_full(c: &mut Criterion) {
             ("full", MergeDecision::Classic),
             ("partial", MergeDecision::Partial),
         ] {
-            g.bench_function(
-                BenchmarkId::new(name, main_rows),
-                |b| {
-                    b.iter_batched(
-                        || {
-                            let st = staged_sales(main_rows, Stage::Main, 7);
-                            fill_l2(&st, main_rows, DELTA, 13);
-                            st
-                        },
-                        |st| {
-                            st.table.merge_delta_as(decision).unwrap();
-                            assert_eq!(
-                                st.table.stage_stats().main_rows as i64,
-                                main_rows + DELTA
-                            );
-                        },
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            g.bench_function(BenchmarkId::new(name, main_rows), |b| {
+                b.iter_batched(
+                    || {
+                        let st = staged_sales(main_rows, Stage::Main, 7);
+                        fill_l2(&st, main_rows, DELTA, 13);
+                        st
+                    },
+                    |st| {
+                        st.table.merge_delta_as(decision).unwrap();
+                        assert_eq!(st.table.stage_stats().main_rows as i64, main_rows + DELTA);
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     g.finish();

@@ -37,7 +37,11 @@ fn bench_point(c: &mut Criterion) {
         let snap = Snapshot::at(st.db.txn_manager().now());
         let mut k = 0i64;
         g.bench_function(
-            BenchmarkId::from_parameter(if split { "passive_active" } else { "single_main" }),
+            BenchmarkId::from_parameter(if split {
+                "passive_active"
+            } else {
+                "single_main"
+            }),
             |b| {
                 b.iter(|| {
                     k = (k + 7919) % (MAIN_ROWS + ACTIVE_ROWS);
@@ -60,7 +64,11 @@ fn bench_range(c: &mut Criterion) {
         let st = setup(split);
         let snap = Snapshot::at(st.db.txn_manager().now());
         g.bench_function(
-            BenchmarkId::from_parameter(if split { "passive_active" } else { "single_main" }),
+            BenchmarkId::from_parameter(if split {
+                "passive_active"
+            } else {
+                "single_main"
+            }),
             |b| {
                 b.iter(|| {
                     let read = st.table.read_at(snap);

@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hana_bench::{staged_sales, Stage, CUSTOMERS, PRODUCTS};
 use hana_txn::{IsolationLevel, Snapshot};
-use hana_workload::{DataGen, SalesSchema};
 use hana_workload::sales::fact_cols;
+use hana_workload::{DataGen, SalesSchema};
 
 fn bench_write_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_write_path");
@@ -25,7 +25,10 @@ fn bench_write_paths(c: &mut Criterion) {
             b.iter(|| {
                 let mut txn = st.db.begin(IsolationLevel::Transaction);
                 st.table
-                    .insert(&txn, SalesSchema::fact_row(&mut gen, id, CUSTOMERS, PRODUCTS))
+                    .insert(
+                        &txn,
+                        SalesSchema::fact_row(&mut gen, id, CUSTOMERS, PRODUCTS),
+                    )
                     .unwrap();
                 id += 1;
                 st.db.commit(&mut txn).unwrap();
@@ -70,7 +73,10 @@ fn bench_update_per_stage(c: &mut Criterion) {
                         &txn,
                         hana_common::ColumnId(fact_cols::ORDER_ID as u16),
                         &hana_common::Value::Int(k),
-                        &[(hana_common::ColumnId(fact_cols::STATUS as u16), hana_common::Value::Int(1))],
+                        &[(
+                            hana_common::ColumnId(fact_cols::STATUS as u16),
+                            hana_common::Value::Int(1),
+                        )],
                     )
                     .unwrap();
                 st.db.commit(&mut txn).unwrap();

@@ -83,9 +83,7 @@ fn bench_point_lookup(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter("unified_main"), |b| {
             b.iter(|| {
                 k = (k + 7919) % ORDERS;
-                let found = engine
-                    .execute(&hana_workload::OltpOp::Lookup(k))
-                    .unwrap();
+                let found = engine.execute(&hana_workload::OltpOp::Lookup(k)).unwrap();
                 assert!(found);
             })
         });
@@ -98,9 +96,7 @@ fn bench_point_lookup(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter("row_store"), |b| {
             b.iter(|| {
                 k = (k + 7919) % ORDERS;
-                let found = engine
-                    .execute(&hana_workload::OltpOp::Lookup(k))
-                    .unwrap();
+                let found = engine.execute(&hana_workload::OltpOp::Lookup(k)).unwrap();
                 assert!(found);
             })
         });

@@ -19,15 +19,25 @@ fn main() {
 fn run_once() -> bool {
     const ACCOUNTS: i64 = 64;
     let db = Database::in_memory();
-    let cfg = TableConfig { l1_max_rows: 32, l2_max_rows: 128, ..TableConfig::default() };
-    let schema = Schema::new("ledger", vec![
-        ColumnDef::new("id", DataType::Int).unique(),
-        ColumnDef::new("balance", DataType::Int).not_null(),
-    ]).unwrap();
+    let cfg = TableConfig {
+        l1_max_rows: 32,
+        l2_max_rows: 128,
+        ..TableConfig::default()
+    };
+    let schema = Schema::new(
+        "ledger",
+        vec![
+            ColumnDef::new("id", DataType::Int).unique(),
+            ColumnDef::new("balance", DataType::Int).not_null(),
+        ],
+    )
+    .unwrap();
     let table = db.create_table(schema, cfg).unwrap();
     let mut txn = db.begin(IsolationLevel::Transaction);
     for i in 0..ACCOUNTS {
-        table.insert(&txn, vec![Value::Int(i), Value::Int(1000)]).unwrap();
+        table
+            .insert(&txn, vec![Value::Int(i), Value::Int(1000)])
+            .unwrap();
     }
     db.commit(&mut txn).unwrap();
     db.start_merge_daemon(Duration::from_millis(1));
@@ -35,15 +45,23 @@ fn run_once() -> bool {
     let ok = Arc::new(AtomicBool::new(true));
     std::thread::scope(|scope| {
         for w in 0..4u64 {
-            let db = Arc::clone(&db); let table = Arc::clone(&table);
+            let db = Arc::clone(&db);
+            let table = Arc::clone(&table);
             let stop = Arc::clone(&stop);
             scope.spawn(move || {
                 let mut seed = w.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-                let mut next = || { seed ^= seed<<13; seed ^= seed>>7; seed ^= seed<<17; seed };
+                let mut next = || {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    seed
+                };
                 while !stop.load(Ordering::Relaxed) {
                     let from = (next() % ACCOUNTS as u64) as i64;
                     let to = (next() % ACCOUNTS as u64) as i64;
-                    if from == to { continue; }
+                    if from == to {
+                        continue;
+                    }
                     let amount = (next() % 50) as i64;
                     let mut txn = db.begin(IsolationLevel::Transaction);
                     let res = (|| -> hana_common::Result<()> {
@@ -52,17 +70,36 @@ fn run_once() -> bool {
                         let t = read.point(0, &Value::Int(to))?;
                         let fb = f[0][1].as_int().unwrap();
                         let tb = t[0][1].as_int().unwrap();
-                        table.update_where(&txn, ColumnId(0), &Value::Int(from), &[(ColumnId(1), Value::Int(fb-amount))])?;
-                        table.update_where(&txn, ColumnId(0), &Value::Int(to), &[(ColumnId(1), Value::Int(tb+amount))])?;
+                        table.update_where(
+                            &txn,
+                            ColumnId(0),
+                            &Value::Int(from),
+                            &[(ColumnId(1), Value::Int(fb - amount))],
+                        )?;
+                        table.update_where(
+                            &txn,
+                            ColumnId(0),
+                            &Value::Int(to),
+                            &[(ColumnId(1), Value::Int(tb + amount))],
+                        )?;
                         Ok(())
                     })();
-                    match res { Ok(()) => { db.commit(&mut txn).unwrap(); } Err(_) => { let _ = db.abort(&mut txn); } }
+                    match res {
+                        Ok(()) => {
+                            db.commit(&mut txn).unwrap();
+                        }
+                        Err(_) => {
+                            let _ = db.abort(&mut txn);
+                        }
+                    }
                 }
             });
         }
         for _ in 0..2 {
-            let db = Arc::clone(&db); let table = Arc::clone(&table);
-            let stop = Arc::clone(&stop); let ok = Arc::clone(&ok);
+            let db = Arc::clone(&db);
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let ok = Arc::clone(&ok);
             scope.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     let r = db.begin(IsolationLevel::Transaction);

@@ -3,9 +3,16 @@
 //!
 //! Run with `cargo run -p hana-bench --release --bin repro` (append a
 //! figure id like `fig11` to run one section).
+//!
+//! Environment knobs:
+//! * `REPRO_QUICK=1` — CI smoke mode: every dataset is capped so the whole
+//!   harness finishes in seconds (numbers are NOT representative).
+//! * `REPRO_JSON=path` — additionally write every table as JSON to `path`.
 
-use hana_bench::{fill_l1, fill_l2, markdown_table, staged_sales, Stage, CUSTOMERS, PRODUCTS};
-use hana_common::{TableConfig, Value};
+use hana_bench::{
+    fill_l1, fill_l2, report, scale, scale_duration, staged_sales, Stage, CUSTOMERS, PRODUCTS,
+};
+use hana_common::{ColumnDef, DataType, MergeConfig, Schema, TableConfig, Value};
 use hana_core::Database;
 use hana_merge::MergeDecision;
 use hana_txn::{IsolationLevel, Snapshot, TxnManager};
@@ -28,7 +35,10 @@ fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
 
 fn main() -> hana_common::Result<()> {
     let only: Option<String> = std::env::args().nth(1);
-    let run = |name: &str| only.as_deref().map_or(true, |o| o == name);
+    let run = |name: &str| only.as_deref().is_none_or(|o| o == name);
+    if hana_bench::quick_mode() {
+        println!("(REPRO_QUICK: datasets capped, numbers not representative)");
+    }
 
     if run("fig03") {
         fig03()?;
@@ -60,6 +70,9 @@ fn main() -> hana_common::Result<()> {
     if run("myth") {
         myth()?;
     }
+    if let Err(e) = report::write_json() {
+        eprintln!("repro: failed to write JSON report: {e}");
+    }
     Ok(())
 }
 
@@ -67,7 +80,7 @@ fn main() -> hana_common::Result<()> {
 fn fig03() -> hana_common::Result<()> {
     use hana_calc::{optimize, Executor, Predicate, Query};
     println!("\n## F3 — calc graph (shared subexpressions, fusion)\n");
-    let st = staged_sales(30_000, Stage::Main, 7);
+    let st = staged_sales(scale(30_000), Stage::Main, 7);
     let snap = Snapshot::at(st.db.txn_manager().now());
 
     let naive = Query::scan(Arc::clone(&st.table))
@@ -79,32 +92,31 @@ fn fig03() -> hana_common::Result<()> {
     optimize(&mut fused);
     let (t_naive, _) = time(|| Executor::new(snap).run(&naive).unwrap());
     let (t_fused, _) = time(|| Executor::new(snap).run(&fused).unwrap());
-    println!(
-        "{}",
-        markdown_table(
-            &["plan", "point-filter latency (ms)"],
-            &[
-                vec!["naive full scan".into(), ms(t_naive)],
-                vec!["fused index scan".into(), ms(t_fused)],
-            ],
-        )
+    report::emit(
+        "F3 calc graph",
+        &["plan", "point-filter latency (ms)"],
+        &[
+            vec!["naive full scan".into(), ms(t_naive)],
+            vec!["fused index scan".into(), ms(t_fused)],
+        ],
     );
     Ok(())
 }
 
 /// Fig 4: point + scan latency per stage.
 fn fig04() -> hana_common::Result<()> {
-    println!("\n## F4 — unified table access per stage (20k rows)\n");
+    let n = scale(20_000);
+    println!("\n## F4 — unified table access per stage ({n} rows)\n");
     let mut rows = Vec::new();
     for stage in [Stage::L1, Stage::L2, Stage::Main] {
-        let st = staged_sales(20_000, stage, 7);
+        let st = staged_sales(n, stage, 7);
         let snap = Snapshot::at(st.db.txn_manager().now());
         // Point: average over 200 lookups.
         let (t_point, _) = time(|| {
             for k in 0..200i64 {
                 let read = st.table.read_at(snap);
                 let r = read
-                    .point(fact_cols::ORDER_ID, &Value::Int(k * 97 % 20_000))
+                    .point(fact_cols::ORDER_ID, &Value::Int(k * 97 % n))
                     .unwrap();
                 assert_eq!(r.len(), 1);
             }
@@ -119,9 +131,10 @@ fn fig04() -> hana_common::Result<()> {
             ms(t_scan),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(&["stage", "point lookup (µs)", "column scan (ms)"], &rows)
+    report::emit(
+        "F4 access per stage",
+        &["stage", "point lookup (µs)", "column scan (ms)"],
+        &rows,
     );
     Ok(())
 }
@@ -129,35 +142,52 @@ fn fig04() -> hana_common::Result<()> {
 /// Fig 5: log bytes/record, savepoint, recovery.
 fn fig05() -> hana_common::Result<()> {
     println!("\n## F5 — persistency (log once, savepoint, replay)\n");
+    let n = scale(10_000);
+    let tail = scale(4_000);
     let dir = tempfile::tempdir().unwrap();
     let db = Database::open(dir.path())?;
     let table = db.create_table(SalesSchema::fact(), TableConfig::default())?;
     let mut gen = DataGen::new(7);
     let mut txn = db.begin(IsolationLevel::Transaction);
-    for i in 0..10_000 {
-        table.insert(&txn, SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS))?;
+    for i in 0..n {
+        table.insert(
+            &txn,
+            SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS),
+        )?;
     }
     db.commit(&mut txn)?;
     let log_bytes = {
         let p = dir.path().join("redo.log");
         std::fs::metadata(p).map(|m| m.len()).unwrap_or(0)
     };
-    println!("- 10_000 inserts → {log_bytes} log bytes ({:.1} B/record)", log_bytes as f64 / 10_000.0);
+    println!(
+        "- {n} inserts → {log_bytes} log bytes ({:.1} B/record)",
+        log_bytes as f64 / n as f64
+    );
 
     // Merges move the data but add only event records.
     let before = log_bytes;
     table.force_full_merge()?;
     if let Some(p) = Some(dir.path().join("redo.log")) {
         let after = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
-        println!("- full merge of all 10_000 rows added {} log bytes (merge events only)", after - before);
+        println!(
+            "- full merge of all {n} rows added {} log bytes (merge events only)",
+            after - before
+        );
     }
 
     let (t_save, _) = time(|| db.savepoint().unwrap());
-    println!("- savepoint of the merged table: {} ms; log truncated to 0", ms(t_save));
+    println!(
+        "- savepoint of the merged table: {} ms; log truncated to 0",
+        ms(t_save)
+    );
 
     let mut txn = db.begin(IsolationLevel::Transaction);
-    for i in 10_000..14_000 {
-        table.insert(&txn, SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS))?;
+    for i in n..n + tail {
+        table.insert(
+            &txn,
+            SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS),
+        )?;
     }
     db.commit(&mut txn)?;
     drop(table);
@@ -165,8 +195,12 @@ fn fig05() -> hana_common::Result<()> {
     let (t_rec, db) = time(|| Database::open(dir.path()).unwrap());
     let t = db.table("sales")?;
     let r = db.begin(IsolationLevel::Transaction);
-    assert_eq!(t.read(&r).count(), 14_000);
-    println!("- recovery (savepoint + 4_000-record log tail): {} ms, 14_000 rows back\n", ms(t_rec));
+    assert_eq!(t.read(&r).count(), (n + tail) as usize);
+    println!(
+        "- recovery (savepoint + {tail}-record log tail): {} ms, {} rows back\n",
+        ms(t_rec),
+        n + tail
+    );
     Ok(())
 }
 
@@ -174,7 +208,7 @@ fn fig05() -> hana_common::Result<()> {
 fn fig06() -> hana_common::Result<()> {
     println!("\n## F6 — incremental L1→L2 merge\n");
     let mut rows = Vec::new();
-    for batch in [1_000i64, 4_000, 16_000] {
+    for batch in [scale(1_000), scale(4_000), scale(16_000)] {
         let st = staged_sales(0, Stage::L2, 7);
         fill_l1(&st, 0, batch, 11);
         let (t, moved) = time(|| st.table.drain_l1().unwrap());
@@ -186,43 +220,50 @@ fn fig06() -> hana_common::Result<()> {
             format!("{:.0}", batch as f64 / t.as_secs_f64()),
         ]);
     }
-    for l2 in [20_000i64, 100_000] {
+    let batch = scale(4_000);
+    for l2 in [scale(20_000), scale(100_000)] {
         let st = staged_sales(0, Stage::L2, 7);
         fill_l2(&st, 0, l2, 13);
-        fill_l1(&st, l2, 4_000, 17);
+        fill_l1(&st, l2, batch, 17);
         let (t, moved) = time(|| st.table.drain_l1().unwrap());
-        assert_eq!(moved, 4_000);
+        assert_eq!(moved as i64, batch);
         rows.push(vec![
-            "4000".into(),
+            batch.to_string(),
             l2.to_string(),
             ms(t),
-            format!("{:.0}", 4_000f64 / t.as_secs_f64()),
+            format!("{:.0}", batch as f64 / t.as_secs_f64()),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            &["L1 batch", "pre-existing L2 rows", "merge (ms)", "rows/s"],
-            &rows
-        )
+    report::emit(
+        "F6 L1-to-L2 merge",
+        &["L1 batch", "pre-existing L2 rows", "merge (ms)", "rows/s"],
+        &rows,
     );
     Ok(())
 }
 
-/// Fig 7: classic merge cost vs main size + dictionary fast paths.
+/// Fig 7: classic merge cost vs main size, dictionary fast paths, and the
+/// parallel column-wise fan-out vs the serial merge.
 fn fig07() -> hana_common::Result<()> {
-    println!("\n## F7 — classic delta-to-main merge (delta = 5_000 rows)\n");
+    let delta = scale(5_000);
+    println!("\n## F7 — classic delta-to-main merge (delta = {delta} rows)\n");
     let mut rows = Vec::new();
-    for main_rows in [10_000i64, 40_000, 160_000] {
+    for main_rows in [scale(10_000), scale(40_000), scale(160_000)] {
         let st = staged_sales(main_rows, Stage::Main, 7);
-        fill_l2(&st, main_rows, 5_000, 13);
+        fill_l2(&st, main_rows, delta, 13);
         let (t, _) = time(|| st.table.merge_delta_as(MergeDecision::Classic).unwrap());
         rows.push(vec![main_rows.to_string(), ms(t)]);
     }
-    println!("{}", markdown_table(&["old main rows", "classic merge (ms)"], &rows));
+    report::emit(
+        "F7 classic merge",
+        &["old main rows", "classic merge (ms)"],
+        &rows,
+    );
 
     use hana_dict::{merge_dicts, MergeKind, SortedDict, UnsortedDict};
-    let main = SortedDict::from_values((0..200_000i64).map(|i| Value::Int(i * 2)).collect());
+    let dict_n = scale(200_000);
+    let probe = scale(5_000);
+    let main = SortedDict::from_values((0..dict_n).map(|i| Value::Int(i * 2)).collect());
     let mk = |vals: Vec<i64>| {
         let mut d = UnsortedDict::new();
         for v in vals {
@@ -231,9 +272,18 @@ fn fig07() -> hana_common::Result<()> {
         d
     };
     let cases = [
-        ("delta ⊆ main (stable positions)", mk((0..5_000).map(|i| (i * 17 % 200_000) * 2).collect())),
-        ("delta > main (timestamp append)", mk((400_000..405_000).collect())),
-        ("general (interleaved)", mk((0..5_000).map(|i| i * 2 + 1).collect())),
+        (
+            "delta ⊆ main (stable positions)",
+            mk((0..probe).map(|i| (i * 17 % dict_n) * 2).collect()),
+        ),
+        (
+            "delta > main (timestamp append)",
+            mk((2 * dict_n..2 * dict_n + probe).collect()),
+        ),
+        (
+            "general (interleaved)",
+            mk((0..probe).map(|i| i * 2 + 1).collect()),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, delta) in &cases {
@@ -243,31 +293,92 @@ fn fig07() -> hana_common::Result<()> {
             MergeKind::DeltaAppend => "DeltaAppend",
             MergeKind::General => "General",
         };
-        rows.push(vec![(*name).into(), kind.into(), format!("{:.0}", t.as_secs_f64() * 1e6)]);
+        rows.push(vec![
+            (*name).into(),
+            kind.into(),
+            format!("{:.0}", t.as_secs_f64() * 1e6),
+        ]);
     }
-    println!(
-        "{}",
-        markdown_table(&["dictionary case", "path taken", "dict merge (µs)"], &rows)
+    report::emit(
+        "F7 dictionary fast paths",
+        &["dictionary case", "path taken", "dict merge (µs)"],
+        &rows,
+    );
+
+    fig07_parallel()?;
+    Ok(())
+}
+
+/// F7b: the same classic merge over a 16-column table, serial vs the
+/// column-parallel fan-out (speedup tracks the core count; on one core the
+/// two are expected to tie).
+fn fig07_parallel() -> hana_common::Result<()> {
+    let wide_rows = scale(1_000_000);
+    const WIDE_COLS: usize = 16;
+    println!("\n## F7b — parallel column-wise merge (16 columns, {wide_rows} rows)\n");
+    let build = |parallelism: usize| -> hana_common::Result<(Duration, usize)> {
+        let db = Database::in_memory();
+        let cols: Vec<ColumnDef> = std::iter::once(ColumnDef::new("id", DataType::Int).unique())
+            .chain((1..WIDE_COLS).map(|c| ColumnDef::new(format!("c{c}"), DataType::Int)))
+            .collect();
+        let schema = Schema::new("wide", cols)?;
+        let cfg = TableConfig {
+            l1_max_rows: usize::MAX / 2,
+            l2_max_rows: usize::MAX / 2,
+            ..TableConfig::default()
+        }
+        .with_merge(MergeConfig::default().with_column_parallelism(parallelism));
+        let table = db.create_table(schema, cfg)?;
+        let batch: Vec<Vec<Value>> = (0..wide_rows)
+            .map(|i| {
+                std::iter::once(Value::Int(i))
+                    .chain((1..WIDE_COLS as i64).map(|c| Value::Int((i * 31 + c) % 997)))
+                    .collect()
+            })
+            .collect();
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        table.bulk_load(&txn, batch)?;
+        db.commit(&mut txn)?;
+        let (t, _) = time(|| table.merge_delta_as(MergeDecision::Classic).unwrap());
+        let workers = table.last_merge_metrics().map_or(1, |m| m.parallel_workers);
+        Ok((t, workers))
+    };
+    let (t_serial, _) = build(1)?;
+    let (t_par, workers) = build(0)?;
+    report::emit(
+        "F7b parallel merge",
+        &["merge", "workers", "merge (ms)", "speedup"],
+        &[
+            vec!["serial".into(), "1".into(), ms(t_serial), "1.00x".into()],
+            vec![
+                "column-parallel".into(),
+                workers.to_string(),
+                ms(t_par),
+                format!("{:.2}x", t_serial.as_secs_f64() / t_par.as_secs_f64()),
+            ],
+        ],
     );
     Ok(())
 }
 
 /// Fig 8: re-sorting merge — cost vs compression.
 fn fig08() -> hana_common::Result<()> {
-    println!("\n## F8 — re-sorting merge (60k rows)\n");
+    let n = scale(60_000);
+    println!("\n## F8 — re-sorting merge ({n} rows)\n");
     let mut rows = Vec::new();
     for (name, decision) in [
         ("classic", MergeDecision::Classic),
         ("re-sorting", MergeDecision::ReSorting),
     ] {
         let st = staged_sales(0, Stage::L2, 7);
-        fill_l2(&st, 0, 60_000, 13);
+        fill_l2(&st, 0, n, 13);
         let (t, _) = time(|| st.table.merge_delta_as(decision).unwrap());
         let stats = st.table.stage_stats();
         let snap = Snapshot::at(st.db.txn_manager().now());
         let (t_scan, _) = time(|| {
             let read = st.table.read_at(snap);
-            read.group_aggregate(fact_cols::CITY, fact_cols::AMOUNT).unwrap()
+            read.group_aggregate(fact_cols::CITY, fact_cols::AMOUNT)
+                .unwrap()
         });
         rows.push(vec![
             name.into(),
@@ -276,33 +387,38 @@ fn fig08() -> hana_common::Result<()> {
             ms(t_scan),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            &["merge", "merge cost (ms)", "main data bytes", "group scan (ms)"],
-            &rows
-        )
+    report::emit(
+        "F8 re-sorting merge",
+        &[
+            "merge",
+            "merge cost (ms)",
+            "main data bytes",
+            "group scan (ms)",
+        ],
+        &rows,
     );
     Ok(())
 }
 
 /// Fig 9: partial vs full merge cost as the main grows.
 fn fig09() -> hana_common::Result<()> {
-    println!("\n## F9 — partial merge (delta = 5_000 rows)\n");
+    let delta = scale(5_000);
+    println!("\n## F9 — partial merge (delta = {delta} rows)\n");
     let mut rows = Vec::new();
-    for main_rows in [20_000i64, 80_000, 240_000] {
+    for main_rows in [scale(20_000), scale(80_000), scale(240_000)] {
         let mut line = vec![main_rows.to_string()];
         for decision in [MergeDecision::Classic, MergeDecision::Partial] {
             let st = staged_sales(main_rows, Stage::Main, 7);
-            fill_l2(&st, main_rows, 5_000, 13);
+            fill_l2(&st, main_rows, delta, 13);
             let (t, _) = time(|| st.table.merge_delta_as(decision).unwrap());
             line.push(ms(t));
         }
         rows.push(line);
     }
-    println!(
-        "{}",
-        markdown_table(&["main rows", "full merge (ms)", "partial merge (ms)"], &rows)
+    report::emit(
+        "F9 partial merge",
+        &["main rows", "full merge (ms)", "partial merge (ms)"],
+        &rows,
     );
     Ok(())
 }
@@ -310,19 +426,24 @@ fn fig09() -> hana_common::Result<()> {
 /// Fig 10: queries over single vs passive+active main.
 fn fig10() -> hana_common::Result<()> {
     use std::ops::Bound;
-    println!("\n## F10 — queries over passive + active main (80k + 20k rows)\n");
+    let base = scale(80_000);
+    let delta = scale(20_000);
+    println!("\n## F10 — queries over passive + active main ({base} + {delta} rows)\n");
     let mut rows = Vec::new();
     for split in [false, true] {
-        let st = staged_sales(80_000, Stage::Main, 7);
-        fill_l2(&st, 80_000, 20_000, 13);
-        st.table
-            .merge_delta_as(if split { MergeDecision::Partial } else { MergeDecision::Classic })?;
+        let st = staged_sales(base, Stage::Main, 7);
+        fill_l2(&st, base, delta, 13);
+        st.table.merge_delta_as(if split {
+            MergeDecision::Partial
+        } else {
+            MergeDecision::Classic
+        })?;
         let snap = Snapshot::at(st.db.txn_manager().now());
         let (t_point, _) = time(|| {
             for k in 0..500i64 {
                 let read = st.table.read_at(snap);
                 let r = read
-                    .point(fact_cols::ORDER_ID, &Value::Int(k * 181 % 100_000))
+                    .point(fact_cols::ORDER_ID, &Value::Int(k * 181 % (base + delta)))
                     .unwrap();
                 assert_eq!(r.len(), 1);
             }
@@ -338,24 +459,32 @@ fn fig10() -> hana_common::Result<()> {
             .len()
         });
         rows.push(vec![
-            if split { "passive + active (2 parts)" } else { "single main" }.into(),
+            if split {
+                "passive + active (2 parts)"
+            } else {
+                "single main"
+            }
+            .into(),
             format!("{:.1}", t_point.as_secs_f64() * 1e6 / 500.0),
             format!("{} rows in {}", n, ms(t_range)),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(&["main layout", "point lookup (µs)", "range C%..M% (ms)"], &rows)
+    report::emit(
+        "F10 passive+active main",
+        &["main layout", "point lookup (µs)", "range C%..M% (ms)"],
+        &rows,
     );
     Ok(())
 }
 
 /// Fig 11: the lifecycle characteristics matrix.
 fn fig11() -> hana_common::Result<()> {
-    println!("\n## F11 — lifecycle characteristics matrix (20k rows/stage)\n");
+    let n = scale(20_000);
+    let probe = scale(5_000);
+    println!("\n## F11 — lifecycle characteristics matrix ({n} rows/stage)\n");
     let mut rows = Vec::new();
     for stage in [Stage::L1, Stage::L2, Stage::Main] {
-        let st = staged_sales(20_000, stage, 7);
+        let st = staged_sales(n, stage, 7);
         let snap = Snapshot::at(st.db.txn_manager().now());
         // Write rate into this stage. The L1 rate is measured the way the
         // system actually runs it — against a *small* L1 (the lifecycle
@@ -364,23 +493,25 @@ fn fig11() -> hana_common::Result<()> {
         let write_rate = match stage {
             Stage::L1 => {
                 let fresh = staged_sales(0, Stage::L1, 77);
-                let (t, _) = time(|| fill_l1(&fresh, 1_000_000, 5_000, 31));
-                5_000.0 / t.as_secs_f64()
+                let (t, _) = time(|| fill_l1(&fresh, 1_000_000, probe, 31));
+                probe as f64 / t.as_secs_f64()
             }
             Stage::L2 | Stage::Main => {
-                let (t, _) = time(|| fill_l2(&st, 1_000_000, 5_000, 31));
-                5_000.0 / t.as_secs_f64()
+                let (t, _) = time(|| fill_l2(&st, 1_000_000, probe, 31));
+                probe as f64 / t.as_secs_f64()
             }
         };
         let (t_point, _) = time(|| {
             for k in 0..200i64 {
                 let read = st.table.read_at(snap);
-                read.point(fact_cols::ORDER_ID, &Value::Int(k * 97 % 20_000)).unwrap();
+                read.point(fact_cols::ORDER_ID, &Value::Int(k * 97 % n))
+                    .unwrap();
             }
         });
         let (t_scan, _) = time(|| {
             let read = st.table.read_at(snap);
-            read.group_aggregate(fact_cols::CITY, fact_cols::AMOUNT).unwrap()
+            read.group_aggregate(fact_cols::CITY, fact_cols::AMOUNT)
+                .unwrap()
         });
         let stats = st.table.stage_stats();
         let bytes_per_row = match stage {
@@ -396,20 +527,25 @@ fn fig11() -> hana_common::Result<()> {
             format!("{bytes_per_row:.0}"),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            &["stage", "write rows/s", "point lookup (µs)", "group scan (ms)", "bytes/row"],
-            &rows
-        )
+    report::emit(
+        "F11 lifecycle matrix",
+        &[
+            "stage",
+            "write rows/s",
+            "point lookup (µs)",
+            "group scan (ms)",
+            "bytes/row",
+        ],
+        &rows,
     );
     Ok(())
 }
 
 /// M1 + M2: the myth benchmarks.
 fn myth() -> hana_common::Result<()> {
-    println!("\n## M1 — OLTP: unified column table vs row store (20k ops, Zipf 0.9)\n");
-    const ORDERS: i64 = 20_000;
+    let orders = scale(20_000);
+    let ops = scale(20_000) as usize;
+    println!("\n## M1 — OLTP: unified column table vs row store ({ops} ops, Zipf 0.9)\n");
     let cfg = TableConfig {
         l1_max_rows: 256,
         l2_max_rows: 1_000_000,
@@ -418,16 +554,16 @@ fn myth() -> hana_common::Result<()> {
     let mut rows = Vec::new();
     {
         let db = Database::in_memory();
-        let ds = SalesDataset::load(&db, cfg.clone(), ORDERS, CUSTOMERS, PRODUCTS, 7)?;
+        let ds = SalesDataset::load(&db, cfg.clone(), orders, CUSTOMERS, PRODUCTS, 7)?;
         ds.settle()?;
         db.start_merge_daemon(Duration::from_millis(1));
         let engine = UnifiedOltp {
             table: Arc::clone(&ds.sales),
             mgr: Arc::clone(db.txn_manager()),
         };
-        let driver = OltpDriver::new(ORDERS, CUSTOMERS, PRODUCTS, 0.9);
+        let driver = OltpDriver::new(orders, CUSTOMERS, PRODUCTS, 0.9);
         let mut gen = DataGen::new(99);
-        let (t, rep) = time(|| driver.run(&engine, &mut gen, 20_000).unwrap());
+        let (t, rep) = time(|| driver.run(&engine, &mut gen, ops).unwrap());
         db.stop_merge_daemon();
         rows.push(vec![
             "unified table".into(),
@@ -437,25 +573,39 @@ fn myth() -> hana_common::Result<()> {
     }
     {
         let mgr = TxnManager::new();
-        let table = Arc::new(load_row_baseline(Arc::clone(&mgr), ORDERS, CUSTOMERS, PRODUCTS, 7)?);
+        let table = Arc::new(load_row_baseline(
+            Arc::clone(&mgr),
+            orders,
+            CUSTOMERS,
+            PRODUCTS,
+            7,
+        )?);
         let engine = RowOltp { table, mgr };
-        let driver = OltpDriver::new(ORDERS, CUSTOMERS, PRODUCTS, 0.9);
+        let driver = OltpDriver::new(orders, CUSTOMERS, PRODUCTS, 0.9);
         let mut gen = DataGen::new(99);
-        let (t, rep) = time(|| driver.run(&engine, &mut gen, 20_000).unwrap());
+        let (t, rep) = time(|| driver.run(&engine, &mut gen, ops).unwrap());
         rows.push(vec![
             "row store (P*Time-style)".into(),
             format!("{:.0}", rep.committed as f64 / t.as_secs_f64()),
             rep.conflicts.to_string(),
         ]);
     }
-    println!("{}", markdown_table(&["engine", "OLTP ops/s", "conflicts"], &rows));
+    report::emit("M1 OLTP", &["engine", "OLTP ops/s", "conflicts"], &rows);
 
-    println!("\n## M2 — OLAP query set (50k rows) + mixed HTAP\n");
+    let olap_rows = scale(50_000);
+    println!("\n## M2 — OLAP query set ({olap_rows} rows) + mixed HTAP\n");
     let db = Database::in_memory();
-    let ds = SalesDataset::load(&db, TableConfig::default(), 50_000, CUSTOMERS, PRODUCTS, 7)?;
+    let ds = SalesDataset::load(
+        &db,
+        TableConfig::default(),
+        olap_rows,
+        CUSTOMERS,
+        PRODUCTS,
+        7,
+    )?;
     ds.settle()?;
     let mgr = TxnManager::new();
-    let row = load_row_baseline(Arc::clone(&mgr), 50_000, CUSTOMERS, PRODUCTS, 7)?;
+    let row = load_row_baseline(Arc::clone(&mgr), olap_rows, CUSTOMERS, PRODUCTS, 7)?;
     let mut rows = Vec::new();
     for &q in ALL_QUERIES {
         let snap_u = Snapshot::at(db.txn_manager().now());
@@ -469,12 +619,10 @@ fn myth() -> hana_common::Result<()> {
             format!("{:.2}x", tr.as_secs_f64() / tu.as_secs_f64()),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(
-            &["query", "unified (ms)", "row store (ms)", "unified speedup"],
-            &rows
-        )
+    report::emit(
+        "M2 OLAP",
+        &["query", "unified (ms)", "row store (ms)", "unified speedup"],
+        &rows,
     );
 
     let cfg = TableConfig {
@@ -482,20 +630,22 @@ fn myth() -> hana_common::Result<()> {
         l2_max_rows: 1_000_000,
         ..TableConfig::default()
     };
+    let htap_secs = scale_duration(Duration::from_secs(2));
     let db = Database::in_memory();
-    let ds = SalesDataset::load(&db, cfg, 20_000, CUSTOMERS, PRODUCTS, 7)?;
+    let ds = SalesDataset::load(&db, cfg, orders, CUSTOMERS, PRODUCTS, 7)?;
     ds.settle()?;
     db.start_merge_daemon(Duration::from_millis(1));
     let report = MixedWorkload {
         writers: 3,
         readers: 2,
-        duration: Duration::from_secs(2),
+        duration: htap_secs,
         skew: 0.9,
     }
     .run(&db, &ds)?;
     db.stop_merge_daemon();
     println!(
-        "mixed HTAP (3 writers + 2 readers + merge daemon, 2 s): {:.0} OLTP ops/s, {:.1} OLAP queries/s, {} conflicts\n",
+        "mixed HTAP (3 writers + 2 readers + merge daemon, {:.1} s): {:.0} OLTP ops/s, {:.1} OLAP queries/s, {} conflicts\n",
+        htap_secs.as_secs_f64(),
         report.oltp_throughput(),
         report.olap_throughput(),
         report.oltp_conflicts

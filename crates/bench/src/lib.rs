@@ -54,7 +54,10 @@ pub fn staged_sales(rows: i64, stage: Stage, seed: u64) -> StagedTable {
         Stage::L1 => {
             for i in 0..rows {
                 table
-                    .insert(&txn, SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS))
+                    .insert(
+                        &txn,
+                        SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS),
+                    )
                     .unwrap();
             }
             db.commit(&mut txn).unwrap();
@@ -112,4 +115,107 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }
     out
+}
+
+/// True when the harness runs in quick (CI smoke) mode: `REPRO_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("REPRO_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Scale a row count for the current mode: quick mode caps every dataset
+/// so the whole harness finishes in seconds on a CI runner.
+pub fn scale(rows: i64) -> i64 {
+    if quick_mode() {
+        rows.min(4_000)
+    } else {
+        rows
+    }
+}
+
+/// Scale a wall-clock measurement window for the current mode.
+pub fn scale_duration(d: std::time::Duration) -> std::time::Duration {
+    if quick_mode() {
+        d.min(std::time::Duration::from_millis(250))
+    } else {
+        d
+    }
+}
+
+/// Machine-readable mirror of the repro harness's markdown tables. Each
+/// recorded section becomes one JSON object; [`report::write_json`] dumps
+/// them to the path in `REPRO_JSON` so CI can archive the numbers.
+pub mod report {
+    use std::sync::Mutex;
+
+    struct Section {
+        name: String,
+        headers: Vec<String>,
+        rows: Vec<Vec<String>>,
+    }
+
+    static SECTIONS: Mutex<Vec<Section>> = Mutex::new(Vec::new());
+
+    /// Print a section's markdown table and record it for the JSON dump.
+    pub fn emit(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+        println!("{}", super::markdown_table(headers, rows));
+        SECTIONS.lock().expect("report mutex").push(Section {
+            name: name.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: rows.to_vec(),
+        });
+    }
+
+    fn json_escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn json_array(items: impl Iterator<Item = String>) -> String {
+        format!("[{}]", items.collect::<Vec<_>>().join(","))
+    }
+
+    /// Serialize every recorded section. Rows become objects keyed by the
+    /// column headers.
+    pub fn to_json() -> String {
+        let sections = SECTIONS.lock().expect("report mutex");
+        let body = json_array(sections.iter().map(|s| {
+            let rows = json_array(s.rows.iter().map(|row| {
+                let fields: Vec<String> = s
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, v)| format!("\"{}\":\"{}\"", json_escape(h), json_escape(v)))
+                    .collect();
+                format!("{{{}}}", fields.join(","))
+            }));
+            format!(
+                "{{\"section\":\"{}\",\"rows\":{}}}",
+                json_escape(&s.name),
+                rows
+            )
+        }));
+        format!("{{\"sections\":{body}}}\n")
+    }
+
+    /// Write the JSON dump to the path in `REPRO_JSON`, if set.
+    pub fn write_json() -> std::io::Result<()> {
+        if let Ok(path) = std::env::var("REPRO_JSON") {
+            if !path.is_empty() {
+                std::fs::write(&path, to_json())?;
+                eprintln!("repro: wrote JSON report to {path}");
+            }
+        }
+        Ok(())
+    }
 }

@@ -252,7 +252,7 @@ mod tests {
     fn builder_compiles_union_and_custom() {
         let g = Query::scan(table())
             .union(Query::scan(table()).filter(Predicate::Gt(0, Value::Int(5))))
-            .custom("noop", Arc::new(|rows| Ok(rows)))
+            .custom("noop", Arc::new(Ok))
             .compile();
         assert!(g.explain().contains("custom"));
         assert!(g.explain().contains("union"));

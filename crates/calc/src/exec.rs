@@ -287,7 +287,10 @@ impl Executor {
         let columns: Vec<String> = group_by
             .iter()
             .map(|c| format!("g{c}"))
-            .chain(aggs.iter().map(|(f, c)| format!("{f:?}({c})").to_lowercase()))
+            .chain(
+                aggs.iter()
+                    .map(|(f, c)| format!("{f:?}({c})").to_lowercase()),
+            )
             .collect();
         self.stats.indexed_scans += 1; // columnar kernel, no materialization
         let rows = match group_by.first() {
@@ -377,7 +380,11 @@ fn split_indexable(p: &Predicate) -> (Option<Indexable>, Predicate) {
     }
 }
 
-fn aggregate(input: &ResultSet, group_by: &[usize], aggs: &[(crate::expr::AggFunc, usize)]) -> ResultSet {
+fn aggregate(
+    input: &ResultSet,
+    group_by: &[usize],
+    aggs: &[(crate::expr::AggFunc, usize)],
+) -> ResultSet {
     let mut groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
     for row in &input.rows {
         let key: Vec<Value> = group_by.iter().map(|&c| row[c].clone()).collect();
@@ -390,7 +397,10 @@ fn aggregate(input: &ResultSet, group_by: &[usize], aggs: &[(crate::expr::AggFun
     }
     // A global aggregate over zero rows still yields one row of empties.
     if groups.is_empty() && group_by.is_empty() {
-        groups.insert(vec![], aggs.iter().map(|(f, _)| AggState::new(*f)).collect());
+        groups.insert(
+            vec![],
+            aggs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+        );
     }
     let mut rows: Vec<Vec<Value>> = groups
         .into_iter()
@@ -401,7 +411,10 @@ fn aggregate(input: &ResultSet, group_by: &[usize], aggs: &[(crate::expr::AggFun
         .collect();
     rows.sort();
     let mut columns: Vec<String> = group_by.iter().map(|c| format!("g{c}")).collect();
-    columns.extend(aggs.iter().map(|(f, c)| format!("{f:?}({c})").to_lowercase()));
+    columns.extend(
+        aggs.iter()
+            .map(|(f, c)| format!("{f:?}({c})").to_lowercase()),
+    );
     ResultSet { columns, rows }
 }
 
@@ -586,14 +599,20 @@ mod tests {
         let (mgr, t) = sales_table();
         let mut g = Query::scan(Arc::clone(&t))
             .filter(Predicate::Eq(1, Value::str("Campbell")))
-            .project(vec![("id", Expr::col(0)), ("double_amt", Expr::col(2).mul(Expr::lit(2)))])
+            .project(vec![
+                ("id", Expr::col(0)),
+                ("double_amt", Expr::col(2).mul(Expr::lit(2))),
+            ])
             .compile();
         optimize(&mut g);
         let mut ex = Executor::new(snap(&mgr));
         let rs = ex.run(&g).unwrap();
         assert_eq!(rs.columns, vec!["id", "double_amt"]);
         assert_eq!(rs.len(), 10);
-        assert!(rs.rows.iter().all(|r| r[1] == Value::Int(r[0].as_int().unwrap() * 2)));
+        assert!(rs
+            .rows
+            .iter()
+            .all(|r| r[1] == Value::Int(r[0].as_int().unwrap() * 2)));
         // The Eq filter went through the index path.
         assert_eq!(ex.stats().indexed_scans, 1);
         assert_eq!(ex.stats().full_scans, 0);
@@ -709,7 +728,9 @@ mod tests {
             input: f,
             exprs: vec![("b".into(), crate::expr::Expr::col(2))],
         });
-        let u = g.add(CalcNode::Union { inputs: vec![p1, p2] });
+        let u = g.add(CalcNode::Union {
+            inputs: vec![p1, p2],
+        });
         g.set_root(u);
         let mut ex = Executor::new(snap(&mgr));
         let rs = ex.run(&g).unwrap();

@@ -31,11 +31,13 @@ impl Expr {
     }
 
     /// Multiply two expressions.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
     }
 
     /// Add two expressions.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(rhs))
     }
@@ -54,7 +56,7 @@ impl Expr {
             Expr::Div(a, b) => {
                 let (x, y) = (a.eval(row)?, b.eval(row)?);
                 match (x.as_numeric(), y.as_numeric()) {
-                    (Some(_), Some(yy)) if yy == 0.0 => Ok(Value::Null),
+                    (Some(_), Some(0.0)) => Ok(Value::Null),
                     _ => numeric(x, y, |x, y| x / y),
                 }
             }
@@ -136,9 +138,7 @@ impl Predicate {
             Predicate::Le(c, v) => !row[*c].is_null() && row[*c] <= *v,
             Predicate::Gt(c, v) => !row[*c].is_null() && row[*c] > *v,
             Predicate::Ge(c, v) => !row[*c].is_null() && row[*c] >= *v,
-            Predicate::Between(c, lo, hi) => {
-                !row[*c].is_null() && row[*c] >= *lo && row[*c] < *hi
-            }
+            Predicate::Between(c, lo, hi) => !row[*c].is_null() && row[*c] >= *lo && row[*c] < *hi,
             Predicate::InSet(c, vs) => !row[*c].is_null() && vs.contains(&row[*c]),
             Predicate::IsNull(c) => row[*c].is_null(),
             Predicate::And(ps) => ps.iter().all(|p| p.eval(row)),
@@ -238,12 +238,12 @@ impl AggState {
                 }
             }
             AggFunc::Min => {
-                if !v.is_null() && self.min.as_ref().map_or(true, |m| v < m) {
+                if !v.is_null() && self.min.as_ref().is_none_or(|m| v < m) {
                     self.min = Some(v.clone());
                 }
             }
             AggFunc::Max => {
-                if !v.is_null() && self.max.as_ref().map_or(true, |m| v > m) {
+                if !v.is_null() && self.max.as_ref().is_none_or(|m| v > m) {
                     self.max = Some(v.clone());
                 }
             }
@@ -256,12 +256,12 @@ impl AggState {
         self.count += other.count;
         self.sum += other.sum;
         if let Some(m) = &other.min {
-            if self.min.as_ref().map_or(true, |s| m < s) {
+            if self.min.as_ref().is_none_or(|s| m < s) {
                 self.min = Some(m.clone());
             }
         }
         if let Some(m) = &other.max {
-            if self.max.as_ref().map_or(true, |s| m > s) {
+            if self.max.as_ref().is_none_or(|s| m > s) {
                 self.max = Some(m.clone());
             }
         }
@@ -290,19 +290,30 @@ mod tests {
     use super::*;
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(10), Value::str("Campbell"), Value::double(2.5), Value::Null]
+        vec![
+            Value::Int(10),
+            Value::str("Campbell"),
+            Value::double(2.5),
+            Value::Null,
+        ]
     }
 
     #[test]
     fn expr_arithmetic() {
         let r = row();
-        assert_eq!(Expr::col(0).mul(Expr::lit(3)).eval(&r).unwrap(), Value::Int(30));
+        assert_eq!(
+            Expr::col(0).mul(Expr::lit(3)).eval(&r).unwrap(),
+            Value::Int(30)
+        );
         assert_eq!(
             Expr::col(0).add(Expr::col(2)).eval(&r).unwrap(),
             Value::double(12.5)
         );
         // NULL propagates.
-        assert_eq!(Expr::col(3).add(Expr::lit(1)).eval(&r).unwrap(), Value::Null);
+        assert_eq!(
+            Expr::col(3).add(Expr::lit(1)).eval(&r).unwrap(),
+            Value::Null
+        );
         // Division by zero → NULL.
         assert_eq!(
             Expr::Div(Box::new(Expr::lit(1)), Box::new(Expr::lit(0)))

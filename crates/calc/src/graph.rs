@@ -7,8 +7,8 @@
 //! shared subexpressions evaluate once.
 
 use crate::expr::{AggFunc, Expr, Predicate};
-use hana_core::UnifiedTable;
 use hana_common::Value;
+use hana_core::UnifiedTable;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
@@ -17,7 +17,8 @@ use std::sync::Arc;
 pub struct NodeId(pub usize);
 
 /// A custom/script operator body: rows in, rows out.
-pub type CustomFn = Arc<dyn Fn(Vec<Vec<Value>>) -> hana_common::Result<Vec<Vec<Value>>> + Send + Sync>;
+pub type CustomFn =
+    Arc<dyn Fn(Vec<Vec<Value>>) -> hana_common::Result<Vec<Vec<Value>>> + Send + Sync>;
 
 /// One logical operator.
 #[derive(Clone)]
@@ -205,7 +206,10 @@ impl CalcGraph {
         let mut out = String::new();
         for (i, n) in self.nodes.iter().enumerate() {
             let desc = match n {
-                CalcNode::TableSource { table, fused_filter } => match fused_filter {
+                CalcNode::TableSource {
+                    table,
+                    fused_filter,
+                } => match fused_filter {
                     Predicate::True => format!("scan {}", table.schema().name),
                     p => format!("scan {} [fused filter {p:?}]", table.schema().name),
                 },
@@ -227,19 +231,40 @@ impl CalcGraph {
                 } => format!("join #{}[{left_col}] = #{}[{right_col}]", left.0, right.0),
                 CalcNode::Union { inputs } => format!(
                     "union {}",
-                    inputs.iter().map(|i| format!("#{}", i.0)).collect::<Vec<_>>().join(", ")
+                    inputs
+                        .iter()
+                        .map(|i| format!("#{}", i.0))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ),
-                CalcNode::SplitCombine { input, ways, split_col, body } => format!(
+                CalcNode::SplitCombine {
+                    input,
+                    ways,
+                    split_col,
+                    body,
+                } => format!(
                     "split #{} by col {split_col} into {ways} | body of {} ops | combine",
                     input.0,
                     body.len()
                 ),
-                CalcNode::Conv { input, amount_col, currency_col, .. } => {
-                    format!("conv #{} amount[{amount_col}] by currency[{currency_col}]", input.0)
+                CalcNode::Conv {
+                    input,
+                    amount_col,
+                    currency_col,
+                    ..
+                } => {
+                    format!(
+                        "conv #{} amount[{amount_col}] by currency[{currency_col}]",
+                        input.0
+                    )
                 }
                 CalcNode::Custom { input, name, .. } => format!("custom #{} <{name}>", input.0),
             };
-            let marker = if Some(NodeId(i)) == self.root { "*" } else { " " };
+            let marker = if Some(NodeId(i)) == self.root {
+                "*"
+            } else {
+                " "
+            };
             out.push_str(&format!("{marker}#{i}: {desc}\n"));
         }
         out
@@ -277,7 +302,9 @@ mod tests {
             input: f,
             exprs: vec![("y".into(), Expr::col(0))],
         });
-        let u = g.add(CalcNode::Union { inputs: vec![p1, p2] });
+        let u = g.add(CalcNode::Union {
+            inputs: vec![p1, p2],
+        });
         g.set_root(u);
         assert_eq!(g.len(), 5);
         assert_eq!(g.inputs(u), vec![p1, p2]);

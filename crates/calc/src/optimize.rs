@@ -44,18 +44,13 @@ fn pass(g: &mut CalcGraph) -> usize {
         }
     }
     let mut consumers = vec![0usize; g.len()];
-    for i in 0..g.len() {
-        if reachable[i] {
-            for input in g.inputs(NodeId(i)) {
-                consumers[input.0] += 1;
-            }
+    for (i, _) in reachable.iter().enumerate().filter(|(_, &r)| r) {
+        for input in g.inputs(NodeId(i)) {
+            consumers[input.0] += 1;
         }
     }
     let mut applied = 0;
-    for i in 0..g.len() {
-        if !reachable[i] {
-            continue;
-        }
+    for i in (0..g.len()).filter(|&i| reachable[i]) {
         let id = NodeId(i);
         // Filter(x) rewrites.
         if let CalcNode::Filter { input, pred } = g.node(id).clone() {
@@ -270,7 +265,9 @@ mod tests {
             input: f,
             exprs: vec![("b".into(), Expr::col(1))],
         });
-        let u = g.add(CalcNode::Union { inputs: vec![p1, p2] });
+        let u = g.add(CalcNode::Union {
+            inputs: vec![p1, p2],
+        });
         g.set_root(u);
         // f feeds two consumers; its filter must NOT fuse into the scan via
         // one of them only... (fusion through f itself is fine since s has

@@ -83,7 +83,8 @@ impl BitPackedVec {
     /// Reserve space for `additional` more codes.
     pub fn reserve(&mut self, additional: usize) {
         let total_bits = (self.len + additional) * self.bits as usize;
-        self.words.reserve(total_bits.div_ceil(64).saturating_sub(self.words.len()));
+        self.words
+            .reserve(total_bits.div_ceil(64).saturating_sub(self.words.len()));
     }
 
     /// Append a code.
@@ -91,7 +92,11 @@ impl BitPackedVec {
     /// # Panics
     /// Panics if `code` does not fit the configured width.
     pub fn push(&mut self, code: Code) {
-        assert!(code <= self.max_code(), "code {code} exceeds {} bits", self.bits);
+        assert!(
+            code <= self.max_code(),
+            "code {code} exceeds {} bits",
+            self.bits
+        );
         let bit = self.len * self.bits as usize;
         let word = bit / 64;
         let off = bit % 64;
@@ -225,8 +230,14 @@ mod tests {
     #[test]
     fn round_trip_various_widths() {
         for bits in [1u8, 3, 7, 8, 13, 16, 31, 32] {
-            let max = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
-            let codes: Vec<Code> = (0..200).map(|i| (i * 2654435761u64 % (max as u64 + 1)) as Code).collect();
+            let max = if bits == 32 {
+                u32::MAX
+            } else {
+                (1 << bits) - 1
+            };
+            let codes: Vec<Code> = (0..200)
+                .map(|i| (i * 2654435761u64 % (max as u64 + 1)) as Code)
+                .collect();
             let v = BitPackedVec::from_codes_with_bits(&codes, bits);
             assert_eq!(v.len(), 200);
             for (i, &c) in codes.iter().enumerate() {

@@ -161,10 +161,10 @@ mod tests {
     fn clustered_codes() -> Vec<Code> {
         // 4 blocks of 64: three uniform, one mixed.
         let mut c = vec![];
-        c.extend(std::iter::repeat(5).take(64));
-        c.extend(std::iter::repeat(9).take(64));
+        c.extend(std::iter::repeat_n(5, 64));
+        c.extend(std::iter::repeat_n(9, 64));
         c.extend((0..64).map(|i| i % 3));
-        c.extend(std::iter::repeat(2).take(50)); // trailing partial block
+        c.extend(std::iter::repeat_n(2, 50)); // trailing partial block
         c
     }
 

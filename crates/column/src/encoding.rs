@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn chooser_picks_rle_for_sorted() {
-        let codes: Vec<Code> = (0..10).flat_map(|c| std::iter::repeat(c).take(1000)).collect();
+        let codes: Vec<Code> = (0..10).flat_map(|c| std::iter::repeat_n(c, 1000)).collect();
         let v = choose(&codes);
         assert_eq!(v.encoding(), Encoding::Rle);
         assert_eq!(v.to_codes(), codes);
@@ -220,7 +220,7 @@ mod tests {
             if b % 10 == 0 {
                 codes.extend((0..256).map(|i| (b * 31 + i) % 5000));
             } else {
-                codes.extend(std::iter::repeat(b).take(256));
+                codes.extend(std::iter::repeat_n(b, 256));
             }
         }
         let stats = CodeStats::compute(&codes);

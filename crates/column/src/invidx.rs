@@ -90,7 +90,7 @@ impl GrowableInvertedIndex {
         if c >= self.lists.len() {
             self.lists.resize_with(c + 1, Vec::new);
         }
-        debug_assert!(self.lists[c].last().map_or(true, |&p| p < pos));
+        debug_assert!(self.lists[c].last().is_none_or(|&p| p < pos));
         self.lists[c].push(pos);
         self.len += 1;
     }
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn csr_build_and_lookup() {
-        let codes = vec![2u32, 0, 2, 1, 2, 0];
+        let codes = [2u32, 0, 2, 1, 2, 0];
         let idx = InvertedIndex::build(codes.iter().copied(), 3);
         assert_eq!(idx.positions(0), &[1, 5]);
         assert_eq!(idx.positions(1), &[3]);
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn csr_code_with_no_positions() {
-        let codes = vec![0u32, 2];
+        let codes = [0u32, 2];
         let idx = InvertedIndex::build(codes.iter().copied(), 3);
         assert_eq!(idx.positions(1), &[] as &[Pos]);
     }

@@ -66,12 +66,14 @@ impl Rle {
 
     /// Iterate all codes.
     pub fn iter(&self) -> impl Iterator<Item = Code> + '_ {
-        self.runs.iter().scan(0u32, |start, &(c, end)| {
-            let n = end - *start;
-            *start = end;
-            Some(std::iter::repeat(c).take(n as usize))
-        })
-        .flatten()
+        self.runs
+            .iter()
+            .scan(0u32, |start, &(c, end)| {
+                let n = end - *start;
+                *start = end;
+                Some(std::iter::repeat_n(c, n as usize))
+            })
+            .flatten()
     }
 
     /// Positions whose code equals `code` — whole matching runs at once.

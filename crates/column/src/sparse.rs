@@ -62,7 +62,10 @@ impl Sparse {
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> Code {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
-        match self.exceptions.binary_search_by_key(&(i as Pos), |&(p, _)| p) {
+        match self
+            .exceptions
+            .binary_search_by_key(&(i as Pos), |&(p, _)| p)
+        {
             Ok(k) => self.exceptions[k].1,
             Err(_) => self.default_code,
         }

@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn sorted_vs_shuffled_run_counts() {
-        let sorted: Vec<Code> = (0..100).flat_map(|c| std::iter::repeat(c).take(10)).collect();
+        let sorted: Vec<Code> = (0..100).flat_map(|c| std::iter::repeat_n(c, 10)).collect();
         let shuffled: Vec<Code> = (0..1000).map(|i| (i * 7919) % 100).collect();
         assert!(CodeStats::compute(&sorted).runs < CodeStats::compute(&shuffled).runs);
     }

@@ -1,7 +1,9 @@
 //! Property tests: every encoding is lossless and all scans agree with a
 //! naive reference implementation.
 
-use hana_column::{Bitmap, BitPackedVec, Cluster, CodeStats, CodeVector, InvertedIndex, Rle, Sparse};
+use hana_column::{
+    BitPackedVec, Bitmap, Cluster, CodeStats, CodeVector, InvertedIndex, Rle, Sparse,
+};
 use proptest::prelude::*;
 
 fn codes_strategy() -> impl Strategy<Value = Vec<u32>> {

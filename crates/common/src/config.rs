@@ -4,7 +4,6 @@
 //! 10k–100k rows per node, an L2-delta of up to ~10M rows, and merge
 //! scheduling that keeps resource-intensive main rebuilds rare.
 
-
 /// How the delta-to-main merge should be performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MergeStrategy {
@@ -19,6 +18,43 @@ pub enum MergeStrategy {
     /// Let the cost-based policy pick per merge (partial while the active
     /// main is small, consolidating full merges when it grows).
     Auto,
+}
+
+/// Tuning knobs for the merge machinery itself (as opposed to the
+/// per-table *scheduling* thresholds in [`TableConfig`]).
+///
+/// Both degrees use `0` to mean "auto": size from the number of logical
+/// CPUs at runtime. `1` forces the serial paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeConfig {
+    /// Worker threads fanning out the per-column work (dictionary merge,
+    /// recode, value-index rebuild) of one delta-to-main merge.
+    pub column_parallelism: usize,
+    /// Worker threads in the merge daemon's pool, so several tables can
+    /// merge concurrently.
+    pub daemon_workers: usize,
+}
+
+impl MergeConfig {
+    /// Force every merge path serial (useful for determinism baselines).
+    pub fn serial() -> Self {
+        MergeConfig {
+            column_parallelism: 1,
+            daemon_workers: 1,
+        }
+    }
+
+    /// Builder-style override of the per-column fan-out degree.
+    pub fn with_column_parallelism(mut self, workers: usize) -> Self {
+        self.column_parallelism = workers;
+        self
+    }
+
+    /// Builder-style override of the daemon pool size.
+    pub fn with_daemon_workers(mut self, workers: usize) -> Self {
+        self.daemon_workers = workers;
+        self
+    }
 }
 
 /// Per-table configuration.
@@ -41,6 +77,8 @@ pub struct TableConfig {
     /// history store instead of being garbage collected, enabling time
     /// travel (paper §2.2/§4.3).
     pub historic: bool,
+    /// Parallelism knobs for the merge machinery.
+    pub merge: MergeConfig,
 }
 
 impl Default for TableConfig {
@@ -52,6 +90,7 @@ impl Default for TableConfig {
             active_main_max_fraction: 0.25,
             block_size: 1024,
             historic: false,
+            merge: MergeConfig::default(),
         }
     }
 }
@@ -89,6 +128,12 @@ impl TableConfig {
         self.historic = true;
         self
     }
+
+    /// Builder-style override of the merge parallelism knobs.
+    pub fn with_merge(mut self, merge: MergeConfig) -> Self {
+        self.merge = merge;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -110,10 +155,21 @@ mod tests {
             .with_l1_max(4)
             .with_l2_max(8)
             .with_strategy(MergeStrategy::Partial)
-            .with_history();
+            .with_history()
+            .with_merge(MergeConfig::serial().with_column_parallelism(3));
         assert_eq!(c.l1_max_rows, 4);
         assert_eq!(c.l2_max_rows, 8);
         assert_eq!(c.merge_strategy, MergeStrategy::Partial);
         assert!(c.historic);
+        assert_eq!(c.merge.column_parallelism, 3);
+        assert_eq!(c.merge.daemon_workers, 1);
+    }
+
+    #[test]
+    fn merge_config_auto_by_default() {
+        let m = MergeConfig::default();
+        assert_eq!(m.column_parallelism, 0);
+        assert_eq!(m.daemon_workers, 0);
+        assert_eq!(MergeConfig::serial().column_parallelism, 1);
     }
 }

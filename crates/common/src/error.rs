@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn io_error_wraps() {
-        let e: HanaError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: HanaError = io::Error::other("boom").into();
         assert!(matches!(e, HanaError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
     }

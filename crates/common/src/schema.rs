@@ -94,7 +94,9 @@ impl Schema {
             return Err(HanaError::Schema(format!("table {name} has no columns")));
         }
         if columns.len() > u16::MAX as usize {
-            return Err(HanaError::Schema(format!("table {name} has too many columns")));
+            return Err(HanaError::Schema(format!(
+                "table {name} has too many columns"
+            )));
         }
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|o| o.name == c.name) {

@@ -113,8 +113,12 @@ impl Database {
                     txn,
                     row,
                 } => {
-                    let Some(cts) = commits.get(txn) else { continue };
-                    let Some(t) = db.table_by_id(*table) else { continue };
+                    let Some(cts) = commits.get(txn) else {
+                        continue;
+                    };
+                    let Some(t) = db.table_by_id(*table) else {
+                        continue;
+                    };
                     t.replay_insert(*row_id, row.clone(), *cts);
                 }
                 LogRecord::BulkLoadL2 {
@@ -123,16 +127,26 @@ impl Database {
                     txn,
                     rows,
                 } => {
-                    let Some(cts) = commits.get(txn) else { continue };
-                    let Some(t) = db.table_by_id(*table) else { continue };
+                    let Some(cts) = commits.get(txn) else {
+                        continue;
+                    };
+                    let Some(t) = db.table_by_id(*table) else {
+                        continue;
+                    };
                     t.replay_bulk_load(*first_row_id, rows.clone(), *cts)?;
                 }
                 LogRecord::Delete { table, row_id, txn } => {
-                    let Some(cts) = commits.get(txn) else { continue };
-                    let Some(t) = db.table_by_id(*table) else { continue };
+                    let Some(cts) = commits.get(txn) else {
+                        continue;
+                    };
+                    let Some(t) = db.table_by_id(*table) else {
+                        continue;
+                    };
                     t.replay_delete(*row_id, *cts);
                 }
-                LogRecord::Commit { .. } | LogRecord::Abort { .. } | LogRecord::MergeEvent { .. } => {}
+                LogRecord::Commit { .. }
+                | LogRecord::Abort { .. }
+                | LogRecord::MergeEvent { .. } => {}
             }
         }
         db.next_table_id.store(max_table_id, Ordering::SeqCst);
@@ -240,7 +254,9 @@ impl Database {
     /// persist + truncate the log. Returns the savepoint version.
     pub fn savepoint(&self) -> Result<u64> {
         let Some(p) = &self.persist else {
-            return Err(HanaError::Persist("in-memory database has no savepoints".into()));
+            return Err(HanaError::Persist(
+                "in-memory database has no savepoints".into(),
+            ));
         };
         let _fence = self.fence.write();
         let tables = self.tables.read().clone();
@@ -248,20 +264,33 @@ impl Database {
         p.savepoint(self.mgr.now(), &images)
     }
 
-    /// Start the background merge daemon over all current tables.
+    /// Start the background merge daemon over all current tables with an
+    /// auto-sized worker pool (one worker per logical CPU, capped by the
+    /// table count).
     pub fn start_merge_daemon(&self, interval: std::time::Duration) {
+        self.start_merge_daemon_pool(interval, 0)
+    }
+
+    /// Start the background merge daemon with an explicit pool size
+    /// (`0` = auto), so several tables can merge concurrently.
+    pub fn start_merge_daemon_pool(&self, interval: std::time::Duration, workers: usize) {
         let targets: Vec<Arc<dyn MergeTarget>> = self
             .tables
             .read()
             .iter()
             .map(|t| Arc::clone(t) as Arc<dyn MergeTarget>)
             .collect();
-        *self.daemon.lock() = Some(MergeDaemon::spawn(targets, interval));
+        *self.daemon.lock() = Some(MergeDaemon::spawn_pool(targets, interval, workers));
     }
 
-    /// Stop the background merge daemon (joins the thread).
+    /// Stop the background merge daemon (joins its workers).
     pub fn stop_merge_daemon(&self) {
         *self.daemon.lock() = None;
+    }
+
+    /// Snapshot of the merge daemon's aggregate statistics, if it runs.
+    pub fn merge_daemon_stats(&self) -> Option<hana_merge::DaemonStats> {
+        self.daemon.lock().as_ref().map(|d| d.stats())
     }
 
     /// Nudge the merge daemon to check thresholds now.
@@ -395,7 +424,10 @@ mod tests {
         let r = db.begin(IsolationLevel::Transaction);
         let read = t.read(&r);
         assert_eq!(read.count(), 2);
-        assert_eq!(read.point(0, &Value::Int(1)).unwrap()[0][1], Value::str("ada"));
+        assert_eq!(
+            read.point(0, &Value::Int(1)).unwrap()[0][1],
+            Value::str("ada")
+        );
         // Uncommitted insert vanished.
         assert!(read.point(0, &Value::Int(3)).unwrap().is_empty());
         // New inserts get fresh row ids / keys still usable.
@@ -416,7 +448,8 @@ mod tests {
             }
             db.commit(&mut txn).unwrap();
             t.drain_l1().unwrap();
-            t.merge_delta_as(hana_merge::MergeDecision::Classic).unwrap();
+            t.merge_delta_as(hana_merge::MergeDecision::Classic)
+                .unwrap();
             db.savepoint().unwrap();
             // Post-savepoint tail: update + delete + insert.
             let mut txn = db.begin(IsolationLevel::Transaction);
@@ -427,7 +460,8 @@ mod tests {
                 &[(hana_common::ColumnId(2), Value::Int(999))],
             )
             .unwrap();
-            t.delete_where(&txn, hana_common::ColumnId(0), &Value::Int(20)).unwrap();
+            t.delete_where(&txn, hana_common::ColumnId(0), &Value::Int(20))
+                .unwrap();
             t.insert(&txn, acct(100, "new", 1)).unwrap();
             db.commit(&mut txn).unwrap();
         }
@@ -436,7 +470,10 @@ mod tests {
         let r = db.begin(IsolationLevel::Transaction);
         let read = t.read(&r);
         assert_eq!(read.count(), 50); // 50 - 1 deleted + 1 inserted
-        assert_eq!(read.point(0, &Value::Int(10)).unwrap()[0][2], Value::Int(999));
+        assert_eq!(
+            read.point(0, &Value::Int(10)).unwrap()[0][2],
+            Value::Int(999)
+        );
         assert!(read.point(0, &Value::Int(20)).unwrap().is_empty());
         assert_eq!(read.point(0, &Value::Int(100)).unwrap().len(), 1);
         // The savepointed main survived as a real main structure.

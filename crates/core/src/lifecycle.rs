@@ -142,7 +142,8 @@ impl UnifiedTable {
             )
         };
 
-        // Phase 2 (no lock): build the new main.
+        // Phase 2 (no lock): build the new main. The per-column work fans
+        // out over the configured worker count (0 = auto).
         let generation = self.alloc_generation();
         let input = MergeInput {
             main: &main,
@@ -150,21 +151,21 @@ impl UnifiedTable {
             watermark: self.mgr.watermark(),
             block_size: self.config.block_size,
             generation,
+            parallel: self.config.merge.column_parallelism,
         };
         let history = self.history.as_ref();
         let built = match decision {
             MergeDecision::Classic | MergeDecision::Consolidate => {
-                classic_merge(&input, &self.mgr, history).map(|o| o.new_main)
+                classic_merge(&input, &self.mgr, history).map(|o| (o.new_main, o.metrics))
             }
-            MergeDecision::ReSorting => {
-                resort_merge(&input, &self.mgr, history).map(|o| o.merge.new_main)
-            }
+            MergeDecision::ReSorting => resort_merge(&input, &self.mgr, history)
+                .map(|o| (o.merge.new_main, o.merge.metrics)),
             MergeDecision::Partial => {
-                partial_merge(&input, &self.mgr, history).map(|o| o.new_main)
+                partial_merge(&input, &self.mgr, history).map(|o| (o.new_main, o.metrics))
             }
             MergeDecision::NotYet => unreachable!(),
         };
-        let new_main = match built {
+        let (new_main, metrics) = match built {
             Ok(m) => m,
             Err(e) => {
                 // Keep the frozen L2; a later attempt retries the merge.
@@ -180,7 +181,11 @@ impl UnifiedTable {
             let pending = std::mem::take(&mut *self.pending_ends.lock());
             if !pending.is_empty() {
                 // Rows built by this merge live in parts with `generation`.
-                for part in new_main.parts().iter().filter(|p| p.generation() == generation) {
+                for part in new_main
+                    .parts()
+                    .iter()
+                    .filter(|p| p.generation() == generation)
+                {
                     let index: FxHashMap<_, _> = part
                         .row_ids()
                         .iter()
@@ -196,6 +201,7 @@ impl UnifiedTable {
             }
             state.main = Arc::new(new_main);
             state.l2_frozen = None;
+            *self.last_merge_metrics.lock() = Some(metrics);
             self.delta_merge_running.store(false, Ordering::SeqCst);
         }
         self.redo(&LogRecord::MergeEvent {
@@ -204,6 +210,11 @@ impl UnifiedTable {
             l2_generation: frozen.generation(),
         })?;
         Ok(())
+    }
+
+    /// Metrics of the most recent successful delta-to-main merge.
+    pub fn last_merge_metrics(&self) -> Option<hana_merge::MergeMetrics> {
+        *self.last_merge_metrics.lock()
     }
 
     /// Force a consolidating full merge (L1 → L2 → single-part main).
@@ -250,6 +261,10 @@ impl MergeTarget for UnifiedTable {
             Err(HanaError::Merge(_)) => Ok(false),
             Err(e) => Err(e),
         }
+    }
+
+    fn last_merge_metrics(&self) -> Option<hana_merge::MergeMetrics> {
+        UnifiedTable::last_merge_metrics(self)
     }
 }
 
@@ -342,13 +357,17 @@ mod tests {
             &[(hana_common::ColumnId(1), Value::str("updated"))],
         )
         .unwrap();
-        t.delete_where(&txn, hana_common::ColumnId(0), &Value::Int(7)).unwrap();
+        t.delete_where(&txn, hana_common::ColumnId(0), &Value::Int(7))
+            .unwrap();
         txn.commit().unwrap();
         t.finish_txn(hana_common::TxnId(0)); // no-op sanity
         let r = mgr.begin(IsolationLevel::Transaction);
         let read = t.read(&r);
         assert_eq!(read.count(), 9);
-        assert_eq!(read.point(0, &Value::Int(3)).unwrap()[0][1], Value::str("updated"));
+        assert_eq!(
+            read.point(0, &Value::Int(3)).unwrap()[0][1],
+            Value::str("updated")
+        );
         assert!(read.point(0, &Value::Int(7)).unwrap().is_empty());
         // Merge everything again: the update/delete survive the rebuild.
         t.drain_l1().unwrap();
@@ -356,7 +375,10 @@ mod tests {
         let r = mgr.begin(IsolationLevel::Transaction);
         let read = t.read(&r);
         assert_eq!(read.count(), 9);
-        assert_eq!(read.point(0, &Value::Int(3)).unwrap()[0][1], Value::str("updated"));
+        assert_eq!(
+            read.point(0, &Value::Int(3)).unwrap()[0][1],
+            Value::str("updated")
+        );
         assert!(read.point(0, &Value::Int(7)).unwrap().is_empty());
     }
 
@@ -380,7 +402,11 @@ mod tests {
         assert_eq!(stats.l1_rows + stats.l2_rows + stats.main_rows, 120);
         // Every row still point-queryable.
         for i in [0i64, 25, 77, 119] {
-            assert_eq!(t.read(&r).point(0, &Value::Int(i)).unwrap().len(), 1, "id {i}");
+            assert_eq!(
+                t.read(&r).point(0, &Value::Int(i)).unwrap().len(),
+                1,
+                "id {i}"
+            );
         }
     }
 

@@ -50,7 +50,10 @@ mod tests {
         assert!(l2.in_l2_gen(3));
         assert!(!l2.in_l2_gen(4));
         assert!(!l2.in_main_gen(3));
-        let m = Loc::Main { part_gen: 7, pos: 0 };
+        let m = Loc::Main {
+            part_gen: 7,
+            pos: 0,
+        };
         assert!(m.in_main_gen(7));
         assert!(!m.in_l2_gen(7));
         assert!(!Loc::L1(5).in_l2_gen(0));

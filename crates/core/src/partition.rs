@@ -76,7 +76,8 @@ impl PartitionedTable {
     /// Insert, routing by the partition key.
     pub fn insert(&self, txn: &Transaction, row: Vec<Value>) -> Result<RowId> {
         self.schema.check_row(&row)?;
-        self.route(&row[self.key_col.idx()].clone()).insert(txn, row)
+        self.route(&row[self.key_col.idx()].clone())
+            .insert(txn, row)
     }
 
     /// Point query on the partition key: touches exactly one partition.
@@ -91,7 +92,8 @@ impl PartitionedTable {
         key: &Value,
         updates: &[(ColumnId, Value)],
     ) -> Result<RowId> {
-        self.route(key).update_where(txn, self.key_col, key, updates)
+        self.route(key)
+            .update_where(txn, self.key_col, key, updates)
     }
 
     /// Delete by partition key.
@@ -171,9 +173,14 @@ mod tests {
             ],
         )
         .unwrap();
-        let pt =
-            PartitionedTable::new(schema, ColumnId(0), n, TableConfig::small(), Arc::clone(&mgr))
-                .unwrap();
+        let pt = PartitionedTable::new(
+            schema,
+            ColumnId(0),
+            n,
+            TableConfig::small(),
+            Arc::clone(&mgr),
+        )
+        .unwrap();
         (mgr, pt)
     }
 
@@ -197,7 +204,8 @@ mod tests {
         let (mgr, pt) = setup(3);
         let mut txn = mgr.begin(IsolationLevel::Transaction);
         for i in 0..30 {
-            pt.insert(&txn, vec![Value::Int(i), Value::Int(i * 2)]).unwrap();
+            pt.insert(&txn, vec![Value::Int(i), Value::Int(i * 2)])
+                .unwrap();
         }
         txn.commit().unwrap();
         let snap = hana_txn::Snapshot::at(mgr.now());
@@ -207,7 +215,8 @@ mod tests {
             assert_eq!(rows[0][1], Value::Int(i * 2));
         }
         let mut txn = mgr.begin(IsolationLevel::Transaction);
-        pt.update_where(&txn, &Value::Int(5), &[(ColumnId(1), Value::Int(0))]).unwrap();
+        pt.update_where(&txn, &Value::Int(5), &[(ColumnId(1), Value::Int(0))])
+            .unwrap();
         pt.delete_where(&txn, &Value::Int(6)).unwrap();
         txn.commit().unwrap();
         let snap = hana_txn::Snapshot::at(mgr.now());
@@ -237,6 +246,8 @@ mod tests {
     fn zero_partitions_rejected() {
         let mgr = TxnManager::new();
         let schema = Schema::new("t", vec![ColumnDef::new("x", DataType::Int).unique()]).unwrap();
-        assert!(PartitionedTable::new(schema, ColumnId(0), 0, TableConfig::default(), mgr).is_err());
+        assert!(
+            PartitionedTable::new(schema, ColumnId(0), 0, TableConfig::default(), mgr).is_err()
+        );
     }
 }

@@ -332,7 +332,11 @@ impl TableRead {
                 for local in 0..p.dict(agg_col).len() as u32 {
                     let idx = (base + local) as usize;
                     if idx < num.len() {
-                        num[idx] = p.dict(agg_col).value_of(local).as_numeric().unwrap_or(f64::NAN);
+                        num[idx] = p
+                            .dict(agg_col)
+                            .value_of(local)
+                            .as_numeric()
+                            .unwrap_or(f64::NAN);
                     }
                 }
             }
@@ -371,8 +375,11 @@ impl TableRead {
 
         // L2 stages: per-code accumulation through the unsorted dictionary.
         let mut l2_side = |l2: &L2Delta, fence: Pos| {
-            let (decoded, null_acc) =
-                l2.with_two_columns_stamped(group_col, agg_col, fence, |gd, gc, ad, ac, begins, ends| {
+            let (decoded, null_acc) = l2.with_two_columns_stamped(
+                group_col,
+                agg_col,
+                fence,
+                |gd, gc, ad, ac, begins, ends| {
                     let num_table: Vec<f64> = ad
                         .values()
                         .iter()
@@ -406,7 +413,8 @@ impl TableRead {
                         .map(|(code, (c, s))| (gd.value_of(code).clone(), c, s))
                         .collect();
                     (decoded, null_acc)
-                });
+                },
+            );
             for (key, c, s) in decoded {
                 let e = groups.entry(key).or_insert((0, 0.0));
                 e.0 += c;
@@ -459,11 +467,8 @@ impl TableRead {
             }
             hana_dict::SortedDict::from_values(vals)
         };
-        let mut l1_values: Vec<Value> = self
-            .l1
-            .iter()
-            .map(|(_, s)| s.values[col].clone())
-            .collect();
+        let mut l1_values: Vec<Value> =
+            self.l1.iter().map(|(_, s)| s.values[col].clone()).collect();
         // Frozen L2 values fold into the L1 side of the three-way merge.
         if let Some((frozen, fence)) = &self.l2_frozen {
             frozen.with_column(col, *fence, |dict, _| {
@@ -483,12 +488,24 @@ impl TableRead {
         for hit in self.main.positions_eq(col, v) {
             let part = &self.main.parts()[hit.part];
             let (b, e) = (part.begin(hit.pos), part.end(hit.pos));
-            out.push((part.row_id(hit.pos), b, e, format!("main[{}]", hit.part), self.visible(b, e)));
+            out.push((
+                part.row_id(hit.pos),
+                b,
+                e,
+                format!("main[{}]", hit.part),
+                self.visible(b, e),
+            ));
         }
         if let Some((frozen, fence)) = &self.l2_frozen {
             for pos in frozen.positions_eq(col, v, *fence) {
                 let (b, e) = (frozen.begin(pos), frozen.end(pos));
-                out.push((frozen.row_id(pos), b, e, "l2-frozen".into(), self.visible(b, e)));
+                out.push((
+                    frozen.row_id(pos),
+                    b,
+                    e,
+                    "l2-frozen".into(),
+                    self.visible(b, e),
+                ));
             }
         }
         for pos in self.l2.positions_eq(col, v, self.l2_fence) {
@@ -537,8 +554,11 @@ mod tests {
     fn insert_then_read_through_l1() {
         let (mgr, t) = setup();
         let mut txn = mgr.begin(IsolationLevel::Transaction);
-        t.insert(&txn, vec![Value::Int(1), Value::str("Los Gatos"), Value::double(10.0)])
-            .unwrap();
+        t.insert(
+            &txn,
+            vec![Value::Int(1), Value::str("Los Gatos"), Value::double(10.0)],
+        )
+        .unwrap();
         txn.commit().unwrap();
         let reader = mgr.begin(IsolationLevel::Transaction);
         let read = t.read(&reader);
@@ -568,15 +588,25 @@ mod tests {
     fn range_and_group_aggregate() {
         let (mgr, t) = setup();
         let mut txn = mgr.begin(IsolationLevel::Transaction);
-        for (i, city) in ["Campbell", "Daily City", "Los Gatos", "Saratoga"].iter().enumerate() {
+        for (i, city) in ["Campbell", "Daily City", "Los Gatos", "Saratoga"]
+            .iter()
+            .enumerate()
+        {
             t.insert(
                 &txn,
-                vec![Value::Int(i as i64), Value::str(*city), Value::double(i as f64)],
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(*city),
+                    Value::double(i as f64),
+                ],
             )
             .unwrap();
         }
-        t.insert(&txn, vec![Value::Int(9), Value::str("Campbell"), Value::double(5.0)])
-            .unwrap();
+        t.insert(
+            &txn,
+            vec![Value::Int(9), Value::str("Campbell"), Value::double(5.0)],
+        )
+        .unwrap();
         txn.commit().unwrap();
         let reader = mgr.begin(IsolationLevel::Transaction);
         let read = t.read(&reader);
@@ -589,7 +619,10 @@ mod tests {
             .unwrap();
         assert_eq!(hits.len(), 4); // Campbell ×2, Daily City, Los Gatos
         let groups = read.group_aggregate(1, 2).unwrap();
-        let campbell = groups.iter().find(|g| g.0 == Value::str("Campbell")).unwrap();
+        let campbell = groups
+            .iter()
+            .find(|g| g.0 == Value::str("Campbell"))
+            .unwrap();
         assert_eq!(campbell.1, 2);
         assert_eq!(campbell.2, 5.0);
     }
@@ -599,8 +632,11 @@ mod tests {
         let (mgr, t) = setup();
         let mut txn = mgr.begin(IsolationLevel::Transaction);
         for (i, c) in ["b", "a", "c"].iter().enumerate() {
-            t.insert(&txn, vec![Value::Int(i as i64), Value::str(*c), Value::Null])
-                .unwrap();
+            t.insert(
+                &txn,
+                vec![Value::Int(i as i64), Value::str(*c), Value::Null],
+            )
+            .unwrap();
         }
         txn.commit().unwrap();
         let reader = mgr.begin(IsolationLevel::Transaction);

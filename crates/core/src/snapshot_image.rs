@@ -44,7 +44,9 @@ impl UnifiedTable {
             let Some(begin) = self.image_stamp(slot.begin(), true) else {
                 continue;
             };
-            let end = self.image_stamp(slot.end(), false).expect("end never drops");
+            let end = self
+                .image_stamp(slot.end(), false)
+                .expect("end never drops");
             l1_rows.push(RowImage {
                 row_id: slot.row_id,
                 begin,
@@ -60,7 +62,9 @@ impl UnifiedTable {
                 let Some(begin) = self.image_stamp(l2.begin(pos), true) else {
                     continue;
                 };
-                let end = self.image_stamp(l2.end(pos), false).expect("end never drops");
+                let end = self
+                    .image_stamp(l2.end(pos), false)
+                    .expect("end never drops");
                 l2_rows.push(RowImage {
                     row_id: l2.row_id(pos),
                     begin,
@@ -158,12 +162,16 @@ impl UnifiedTable {
 
         self.next_row_id
             .store(image.next_row_id, std::sync::atomic::Ordering::SeqCst);
-        self.next_gen
-            .store(image.next_generation.max(1), std::sync::atomic::Ordering::SeqCst);
+        self.next_gen.store(
+            image.next_generation.max(1),
+            std::sync::atomic::Ordering::SeqCst,
+        );
 
         // L1 rows.
         for r in &image.l1_rows {
-            let Some(begin) = fix(r.begin, true) else { continue };
+            let Some(begin) = fix(r.begin, true) else {
+                continue;
+            };
             let end = fix(r.end, false).unwrap();
             let pos = self.l1.insert(r.row_id, r.values.clone(), begin);
             if end != COMMIT_TS_MAX {
@@ -265,19 +273,22 @@ mod tests {
         // Rows in main, L2 and L1.
         let mut txn = mgr.begin(IsolationLevel::Transaction);
         for i in 0..6 {
-            t.insert(&txn, vec![Value::Int(i), Value::str(format!("c{i}"))]).unwrap();
+            t.insert(&txn, vec![Value::Int(i), Value::str(format!("c{i}"))])
+                .unwrap();
         }
         txn.commit().unwrap();
         t.drain_l1().unwrap();
         t.merge_delta_as(MergeDecision::Classic).unwrap();
         let mut txn = mgr.begin(IsolationLevel::Transaction);
         for i in 6..9 {
-            t.insert(&txn, vec![Value::Int(i), Value::str(format!("c{i}"))]).unwrap();
+            t.insert(&txn, vec![Value::Int(i), Value::str(format!("c{i}"))])
+                .unwrap();
         }
         txn.commit().unwrap();
         t.drain_l1().unwrap();
         let mut txn = mgr.begin(IsolationLevel::Transaction);
-        t.insert(&txn, vec![Value::Int(9), Value::str("c9")]).unwrap();
+        t.insert(&txn, vec![Value::Int(9), Value::str("c9")])
+            .unwrap();
         txn.commit().unwrap();
 
         let img = t.to_image();
@@ -303,7 +314,8 @@ mod tests {
     fn inflight_marks_resolved_by_replay_map() {
         let (mgr, t) = table();
         let open = mgr.begin(IsolationLevel::Transaction);
-        t.insert(&open, vec![Value::Int(1), Value::str("pending")]).unwrap();
+        t.insert(&open, vec![Value::Int(1), Value::str("pending")])
+            .unwrap();
         let img = t.to_image();
         // The image keeps the mark.
         assert!(hana_common::TxnId::from_mark(img.l1_rows[0].begin).is_some());
@@ -325,7 +337,8 @@ mod tests {
     fn finished_txn_stamps_resolved_at_imaging() {
         let (mgr, t) = table();
         let mut txn = mgr.begin(IsolationLevel::Transaction);
-        t.insert(&txn, vec![Value::Int(1), Value::str("a")]).unwrap();
+        t.insert(&txn, vec![Value::Int(1), Value::str("a")])
+            .unwrap();
         let cts = txn.commit().unwrap();
         let img = t.to_image();
         assert_eq!(img.l1_rows[0].begin, cts);

@@ -62,6 +62,8 @@ pub struct UnifiedTable {
     pub(crate) delta_merge_running: AtomicBool,
     /// End-stamp writes raced against the running merge (see module docs).
     pub(crate) pending_ends: Mutex<Vec<(RowId, Timestamp)>>,
+    /// Metrics of the most recent delta-to-main merge.
+    pub(crate) last_merge_metrics: Mutex<Option<hana_merge::MergeMetrics>>,
 }
 
 impl UnifiedTable {
@@ -97,6 +99,7 @@ impl UnifiedTable {
             delta_merge_lock: Mutex::new(()),
             delta_merge_running: AtomicBool::new(false),
             pending_ends: Mutex::new(Vec::new()),
+            last_merge_metrics: Mutex::new(None),
         })
     }
 
@@ -193,10 +196,7 @@ impl UnifiedTable {
         if state.l2.generation() == gen {
             Some(&state.l2)
         } else {
-            state
-                .l2_frozen
-                .as_ref()
-                .filter(|f| f.generation() == gen)
+            state.l2_frozen.as_ref().filter(|f| f.generation() == gen)
         }
     }
 
@@ -244,7 +244,12 @@ impl UnifiedTable {
 
     /// All physical version coordinates whose `col` equals `v`, against the
     /// given state: L1 scan, L2 inverted indexes, main inverted indexes.
-    pub(crate) fn versions_by_value_locked(&self, state: &TableState, col: usize, v: &Value) -> Vec<Loc> {
+    pub(crate) fn versions_by_value_locked(
+        &self,
+        state: &TableState,
+        col: usize,
+        v: &Value,
+    ) -> Vec<Loc> {
         let mut out = Vec::new();
         for (pos, slot) in self.l1.snapshot().iter() {
             if &slot.values[col] == v {

@@ -70,7 +70,14 @@ impl UnifiedTable {
         let batch: Vec<(RowId, Vec<Value>, u64, u64)> = rows
             .into_iter()
             .enumerate()
-            .map(|(k, row)| (RowId(first.0 + k as u64), row, txn.id().mark(), COMMIT_TS_MAX))
+            .map(|(k, row)| {
+                (
+                    RowId(first.0 + k as u64),
+                    row,
+                    txn.id().mark(),
+                    COMMIT_TS_MAX,
+                )
+            })
             .collect();
         state.l2.append_batch(&batch)?;
         state.l2.publish_all();

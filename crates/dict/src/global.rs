@@ -119,7 +119,12 @@ mod tests {
         for v in ["e", "b", "a"] {
             l2.get_or_insert(&Value::str(v));
         }
-        let l1 = vec![Value::str("c"), Value::str("a"), Value::str("c"), Value::Null];
+        let l1 = vec![
+            Value::str("c"),
+            Value::str("a"),
+            Value::str("c"),
+            Value::Null,
+        ];
         let g = GlobalSortedDict::build(&main, &l2, &l1);
         let vals: Vec<&Value> = g.iter().map(|(v, _)| v).collect();
         assert_eq!(

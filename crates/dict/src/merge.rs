@@ -79,8 +79,8 @@ pub fn merge_dicts_filtered(
     if let Some(u) = delta_used {
         assert_eq!(u.len(), delta.len(), "delta_used length");
     }
-    let no_filter = main_used.map_or(true, |u| u.iter().all(|&b| b))
-        && delta_used.map_or(true, |u| u.iter().all(|&b| b));
+    let no_filter = main_used.is_none_or(|u| u.iter().all(|&b| b))
+        && delta_used.is_none_or(|u| u.iter().all(|&b| b));
 
     if no_filter {
         if let Some(fast) = try_fast_paths(main, delta) {
@@ -145,8 +145,8 @@ fn general_merge(
     delta: &UnsortedDict,
     delta_used: Option<&[bool]>,
 ) -> DictMerge {
-    let main_live = |c: Code| main_used.map_or(true, |u| u[c as usize]);
-    let delta_live = |c: Code| delta_used.map_or(true, |u| u[c as usize]);
+    let main_live = |c: Code| main_used.is_none_or(|u| u[c as usize]);
+    let delta_live = |c: Code| delta_used.is_none_or(|u| u[c as usize]);
 
     let delta_perm: Vec<Code> = delta
         .sorted_codes()
@@ -234,16 +234,29 @@ mod tests {
     /// holds "Los Gatos" (also in main) and "Campbell" (delta-only).
     #[test]
     fn fig7_example() {
-        let main = main_dict(&["Daily City", "Los Altos", "Los Gatos", "Palo Alto", "Saratoga"]);
+        let main = main_dict(&[
+            "Daily City",
+            "Los Altos",
+            "Los Gatos",
+            "Palo Alto",
+            "Saratoga",
+        ]);
         let delta = delta_dict(&["Los Gatos", "Campbell"]);
         let m = merge_dicts(&main, &delta);
         assert_eq!(m.kind, MergeKind::General);
         let new_vals: Vec<Value> = m.dict.iter().collect();
         assert_eq!(
             new_vals,
-            ["Campbell", "Daily City", "Los Altos", "Los Gatos", "Palo Alto", "Saratoga"]
-                .map(Value::str)
-                .to_vec()
+            [
+                "Campbell",
+                "Daily City",
+                "Los Altos",
+                "Los Gatos",
+                "Palo Alto",
+                "Saratoga"
+            ]
+            .map(Value::str)
+            .to_vec()
         );
         // "Los Gatos" appears in both mapping tables at the same new code.
         let lg_new = m.dict.code_of(&Value::str("Los Gatos")).unwrap();

@@ -45,7 +45,10 @@ impl SortedDict {
     /// Build from values that must already be sorted ascending and unique.
     /// Chooses front coding when all values are strings.
     pub fn from_sorted_values(values: Vec<Value>) -> Self {
-        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "sorted unique input");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "sorted unique input"
+        );
         let all_strings = !values.is_empty() && values.iter().all(|v| v.as_str().is_some());
         if all_strings {
             let refs: Vec<&str> = values.iter().map(|v| v.as_str().unwrap()).collect();
@@ -105,7 +108,7 @@ impl SortedDict {
                 Some(s) => f.binary_search(s),
                 // Non-strings sort relative to strings by type rank:
                 // Int/Double below all strings.
-                None => Err(if matches!(v, Value::Null) { 0 } else { 0 }),
+                None => Err(0),
             },
         }
     }
@@ -182,10 +185,16 @@ mod tests {
 
     fn dict_str() -> SortedDict {
         SortedDict::from_values(
-            ["Los Gatos", "Campbell", "Daily City", "Saratoga", "San Jose"]
-                .into_iter()
-                .map(Value::str)
-                .collect(),
+            [
+                "Los Gatos",
+                "Campbell",
+                "Daily City",
+                "Saratoga",
+                "San Jose",
+            ]
+            .into_iter()
+            .map(Value::str)
+            .collect(),
         )
     }
 
@@ -208,9 +217,15 @@ mod tests {
         assert_eq!(d.code_of(&Value::str("San Jose")), Some(3));
         assert_eq!(
             d.iter().collect::<Vec<_>>(),
-            ["Campbell", "Daily City", "Los Gatos", "San Jose", "Saratoga"]
-                .map(Value::str)
-                .to_vec()
+            [
+                "Campbell",
+                "Daily City",
+                "Los Gatos",
+                "San Jose",
+                "Saratoga"
+            ]
+            .map(Value::str)
+            .to_vec()
         );
     }
 
@@ -225,7 +240,9 @@ mod tests {
         let hits: Vec<Value> = r.map(|c| d.value_of(c)).collect();
         assert_eq!(
             hits,
-            ["Campbell", "Daily City", "Los Gatos"].map(Value::str).to_vec()
+            ["Campbell", "Daily City", "Los Gatos"]
+                .map(Value::str)
+                .to_vec()
         );
     }
 
@@ -233,7 +250,10 @@ mod tests {
     fn numeric_ranges() {
         let d = dict_int();
         assert_eq!(
-            d.code_range(Bound::Included(&Value::Int(10)), Bound::Included(&Value::Int(20))),
+            d.code_range(
+                Bound::Included(&Value::Int(10)),
+                Bound::Included(&Value::Int(20))
+            ),
             0..2
         );
         assert_eq!(

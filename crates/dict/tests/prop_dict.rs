@@ -84,19 +84,19 @@ proptest! {
             delta.get_or_insert(v);
         }
         // Deterministic pseudo-random liveness flags.
-        let flag = |salt: u64, i: usize| (seed ^ salt).wrapping_mul(i as u64 + 1) % 3 != 0;
+        let flag = |salt: u64, i: usize| !(seed ^ salt).wrapping_mul(i as u64 + 1).is_multiple_of(3);
         let main_used: Vec<bool> = (0..main.len()).map(|i| flag(1, i)).collect();
         let delta_used: Vec<bool> = (0..delta.len()).map(|i| flag(2, i)).collect();
         let m = merge_dicts_filtered(&main, Some(&main_used), &delta, Some(&delta_used));
 
         let mut want: Vec<Value> = Vec::new();
-        for c in 0..main.len() {
-            if main_used[c] {
+        for (c, &used) in main_used.iter().enumerate() {
+            if used {
                 want.push(main.value_of(c as u32));
             }
         }
-        for c in 0..delta.len() {
-            if delta_used[c] {
+        for (c, &used) in delta_used.iter().enumerate() {
+            if used {
                 want.push(delta.value_of(c as u32).clone());
             }
         }
@@ -105,15 +105,15 @@ proptest! {
         let got: Vec<Value> = m.dict.iter().collect();
         prop_assert_eq!(got, want);
 
-        for c in 0..main.len() {
-            if main_used[c] {
+        for (c, &used) in main_used.iter().enumerate() {
+            if used {
                 prop_assert_eq!(m.dict.value_of(m.main_map[c]), main.value_of(c as u32));
             } else {
                 prop_assert_eq!(m.main_map[c], DROPPED);
             }
         }
-        for c in 0..delta.len() {
-            if delta_used[c] {
+        for (c, &used) in delta_used.iter().enumerate() {
+            if used {
                 prop_assert_eq!(&m.dict.value_of(m.delta_map[c]), delta.value_of(c as u32));
             } else {
                 prop_assert_eq!(m.delta_map[c], DROPPED);

@@ -183,7 +183,8 @@ mod tests {
         );
         let mut txn = mgr.begin(IsolationLevel::Transaction);
         for &(s, d, w) in edges {
-            t.insert(&txn, vec![Value::Int(s), Value::Int(d), Value::double(w)]).unwrap();
+            t.insert(&txn, vec![Value::Int(s), Value::Int(d), Value::double(w)])
+                .unwrap();
         }
         txn.commit().unwrap();
         (mgr, t)
@@ -229,10 +230,7 @@ mod tests {
         let g = engine(&[(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)]);
         let (cost, path) = g.shortest_path(&Value::Int(1), &Value::Int(3)).unwrap();
         assert_eq!(cost, 2.0);
-        assert_eq!(
-            path,
-            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
-        );
+        assert_eq!(path, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
         assert!(g.shortest_path(&Value::Int(3), &Value::Int(1)).is_none());
     }
 
@@ -249,7 +247,11 @@ mod tests {
     fn respects_visibility() {
         let (mgr, t) = edge_table(&[(1, 2, 1.0)]);
         let open = mgr.begin(IsolationLevel::Transaction);
-        t.insert(&open, vec![Value::Int(2), Value::Int(3), Value::double(1.0)]).unwrap();
+        t.insert(
+            &open,
+            vec![Value::Int(2), Value::Int(3), Value::double(1.0)],
+        )
+        .unwrap();
         let g = GraphEngine::from_edge_table(&t, Snapshot::at(mgr.now()), 0, 1, Some(2)).unwrap();
         assert_eq!(g.edge_count(), 1);
     }

@@ -104,10 +104,8 @@ impl StarJoin {
                 entry.1 += x;
             }
         });
-        let mut out: Vec<(Vec<Value>, u64, f64)> = groups
-            .into_iter()
-            .map(|(k, (c, s))| (k, c, s))
-            .collect();
+        let mut out: Vec<(Vec<Value>, u64, f64)> =
+            groups.into_iter().map(|(k, (c, s))| (k, c, s)).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(StarJoinResult {
             groups: out,
@@ -166,11 +164,15 @@ mod tests {
         let mut txn = mgr.begin(IsolationLevel::Transaction);
         for i in 0..6i64 {
             let cat = if i < 3 { "electronics" } else { "food" };
-            products.insert(&txn, vec![Value::Int(i), Value::str(cat)]).unwrap();
+            products
+                .insert(&txn, vec![Value::Int(i), Value::str(cat)])
+                .unwrap();
         }
         for i in 0..4i64 {
             let country = if i % 2 == 0 { "DE" } else { "US" };
-            customers.insert(&txn, vec![Value::Int(i), Value::str(country)]).unwrap();
+            customers
+                .insert(&txn, vec![Value::Int(i), Value::str(country)])
+                .unwrap();
         }
         for i in 0..120i64 {
             sales

@@ -63,7 +63,11 @@ impl TextIndex {
             docs += 1;
             let mut n = 0u32;
             for tok in tokenize(text) {
-                *postings.entry(tok).or_default().entry(r.row_id).or_insert(0) += 1;
+                *postings
+                    .entry(tok)
+                    .or_default()
+                    .entry(r.row_id)
+                    .or_insert(0) += 1;
                 n += 1;
             }
             doc_len.insert(r.row_id, n.max(1));
@@ -228,7 +232,8 @@ mod tests {
         ];
         let mut txn = mgr.begin(IsolationLevel::Transaction);
         for (i, b) in bodies.iter().enumerate() {
-            t.insert(&txn, vec![Value::Int(i as i64), Value::str(*b)]).unwrap();
+            t.insert(&txn, vec![Value::Int(i as i64), Value::str(*b)])
+                .unwrap();
         }
         txn.commit().unwrap();
         (mgr, t)
@@ -290,7 +295,8 @@ mod tests {
         let (mgr, t) = docs_table();
         // A 6th doc inserted but not committed.
         let open = mgr.begin(IsolationLevel::Transaction);
-        t.insert(&open, vec![Value::Int(99), Value::str("invisible text")]).unwrap();
+        t.insert(&open, vec![Value::Int(99), Value::str("invisible text")])
+            .unwrap();
         let idx = TextIndex::build(&t, 1, Snapshot::at(mgr.now())).unwrap();
         assert_eq!(idx.doc_count(), 5);
         assert!(idx.search_and("invisible", 10).is_empty());

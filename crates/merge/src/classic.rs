@@ -7,6 +7,7 @@
 //! same or an increased number of bits", and the L2-delta's entries are
 //! appended at the end. The result is a single-part [`MainStore`].
 
+use crate::parallel::{effective_workers, map_columns};
 use crate::survivors::{collect_survivors, survivor_value, MergeInput, Origin, SurvivorSet};
 use hana_common::{Result, RowId, Value};
 use hana_dict::merge::{merge_dicts_filtered, DROPPED};
@@ -14,6 +15,23 @@ use hana_dict::{Code, MergeKind, SortedDict};
 use hana_store::{HistoryStore, L2Delta, MainColumnData, MainPart, MainStore};
 use hana_txn::TxnManager;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Lightweight per-merge measurements, carried on every
+/// [`DeltaMergeOutcome`] and aggregated by the merge daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeMetrics {
+    /// Wall-clock time of the merge (survivor analysis through assembly).
+    pub duration: Duration,
+    /// Rows entering the merge (old main + physical L2 rows).
+    pub rows_in: usize,
+    /// Surviving rows written to the new structure.
+    pub rows_out: usize,
+    /// Columns rebuilt by this merge.
+    pub columns: usize,
+    /// Worker threads the per-column fan-out ran with (1 = serial path).
+    pub parallel_workers: usize,
+}
 
 /// Result of a delta-to-main merge.
 pub struct DeltaMergeOutcome {
@@ -28,6 +46,8 @@ pub struct DeltaMergeOutcome {
     /// Which dictionary-merge path each column took (classic merge of a
     /// single-part main only; `General` otherwise).
     pub dict_paths: Vec<MergeKind>,
+    /// Timing and shape of this merge.
+    pub metrics: MergeMetrics,
 }
 
 impl std::fmt::Debug for DeltaMergeOutcome {
@@ -39,7 +59,27 @@ impl std::fmt::Debug for DeltaMergeOutcome {
             .field("from_l2", &self.from_l2)
             .field("dropped", &self.dropped.len())
             .field("dict_paths", &self.dict_paths)
+            .field("metrics", &self.metrics)
             .finish()
+    }
+}
+
+impl MergeMetrics {
+    /// Assemble the metrics of a merge that started at `started`.
+    pub(crate) fn measure(
+        rows_in: usize,
+        rows_out: usize,
+        columns: usize,
+        workers: usize,
+        started: Instant,
+    ) -> Self {
+        MergeMetrics {
+            duration: started.elapsed(),
+            rows_in,
+            rows_out,
+            columns,
+            parallel_workers: workers,
+        }
     }
 }
 
@@ -50,24 +90,30 @@ pub(crate) struct MergedColumns {
     /// `codes[col][row]`, NULL encoded as `dicts[col].len()`.
     pub codes: Vec<Vec<Code>>,
     pub paths: Vec<MergeKind>,
+    /// Worker threads the fan-out actually ran with.
+    pub workers: usize,
 }
 
-/// Build merged dictionaries and recoded value vectors for all columns.
+/// Build merged dictionaries and recoded value vectors for all columns,
+/// fanning the per-column work out over `input.parallel` workers.
 pub(crate) fn build_merged_columns(
     input: &MergeInput<'_>,
     survivors: &SurvivorSet,
 ) -> MergedColumns {
     let arity = input.l2.schema().arity();
     let single_part = input.main.parts().len() <= 1;
-    let mut dicts = Vec::with_capacity(arity);
-    let mut codes = Vec::with_capacity(arity);
-    let mut paths = Vec::with_capacity(arity);
-    for col in 0..arity {
-        let (d, c, k) = if single_part {
+    let workers = effective_workers(input.parallel).min(arity.max(1));
+    let merged = map_columns(arity, workers, |col| {
+        if single_part {
             merge_one_column_fast(input, survivors, col)
         } else {
             merge_one_column_general(input, survivors, col)
-        };
+        }
+    });
+    let mut dicts = Vec::with_capacity(arity);
+    let mut codes = Vec::with_capacity(arity);
+    let mut paths = Vec::with_capacity(arity);
+    for (d, c, k) in merged {
         dicts.push(d);
         codes.push(c);
         paths.push(k);
@@ -76,6 +122,7 @@ pub(crate) fn build_merged_columns(
         dicts,
         codes,
         paths,
+        workers,
     }
 }
 
@@ -101,7 +148,9 @@ fn merge_one_column_fast(
     for row in &survivors.rows {
         match row.origin {
             Origin::Main(hit) => {
-                let c = part.expect("main origin implies a part").code_at(hit.pos, col);
+                let c = part
+                    .expect("main origin implies a part")
+                    .code_at(hit.pos, col);
                 if c < main_null {
                     main_used[c as usize] = true;
                 }
@@ -124,7 +173,9 @@ fn merge_one_column_fast(
         .iter()
         .map(|row| match row.origin {
             Origin::Main(hit) => {
-                let c = part.expect("main origin implies a part").code_at(hit.pos, col);
+                let c = part
+                    .expect("main origin implies a part")
+                    .code_at(hit.pos, col);
                 if c >= main_null {
                     new_null
                 } else {
@@ -208,16 +259,27 @@ pub fn classic_merge(
     history: Option<&HistoryStore>,
 ) -> Result<DeltaMergeOutcome> {
     debug_assert!(input.l2.is_closed(), "merge consumes a closed L2-delta");
+    let started = Instant::now();
+    let rows_in = input.main.total_rows() + input.l2.len();
     let survivors = collect_survivors(input, mgr, history, input.main.iter_hits())?;
     let merged = build_merged_columns(input, &survivors);
     let paths = merged.paths.clone();
+    let workers = merged.workers;
     let new_main = assemble_part(input, &survivors, merged);
+    let metrics = MergeMetrics::measure(
+        rows_in,
+        survivors.rows.len(),
+        input.l2.schema().arity(),
+        workers,
+        started,
+    );
     Ok(DeltaMergeOutcome {
         new_main,
         from_main: survivors.from_main,
         from_l2: survivors.from_l2,
         dropped: survivors.dropped,
         dict_paths: paths,
+        metrics,
     })
 }
 
@@ -267,6 +329,7 @@ mod tests {
             watermark: 1_000,
             block_size: 64,
             generation: 1,
+            parallel: 1,
         }
     }
 
@@ -306,11 +369,17 @@ mod tests {
             let l2 = l2_from_rows(
                 schema(),
                 0,
-                &[row(1, "Daily City"), row(2, "Los Gatos"), row(3, "Saratoga")],
+                &[
+                    row(1, "Daily City"),
+                    row(2, "Los Gatos"),
+                    row(3, "Saratoga"),
+                ],
                 5,
             );
             l2.close();
-            classic_merge(&input(&main0, &l2), &mgr, None).unwrap().new_main
+            classic_merge(&input(&main0, &l2), &mgr, None)
+                .unwrap()
+                .new_main
         };
         // Delta: "Los Gatos" (shared) and "Campbell" (new, sorts first).
         let l2 = l2_from_rows(schema(), 1, &[row(4, "Los Gatos"), row(5, "Campbell")], 6);
@@ -321,8 +390,12 @@ mod tests {
         assert_eq!(m.total_rows(), 5);
         let dict = m.parts()[0].dict(1);
         assert_eq!(
-            (0..dict.len() as Code).map(|c| dict.value_of(c)).collect::<Vec<_>>(),
-            ["Campbell", "Daily City", "Los Gatos", "Saratoga"].map(Value::str).to_vec()
+            (0..dict.len() as Code)
+                .map(|c| dict.value_of(c))
+                .collect::<Vec<_>>(),
+            ["Campbell", "Daily City", "Los Gatos", "Saratoga"]
+                .map(Value::str)
+                .to_vec()
         );
         // Old main rows first, delta rows appended at the end.
         assert_eq!(m.parts()[0].row_id(3), RowId(4));
@@ -339,7 +412,9 @@ mod tests {
             let main0 = MainStore::empty(schema());
             let l2 = l2_from_rows(schema(), 0, &[row(1, "a"), row(2, "b"), row(3, "c")], 5);
             l2.close();
-            classic_merge(&input(&main0, &l2), &mgr, None).unwrap().new_main
+            classic_merge(&input(&main0, &l2), &mgr, None)
+                .unwrap()
+                .new_main
         };
         let l2 = l2_from_rows(schema(), 1, &[row(4, "b")], 6);
         l2.close();
@@ -407,8 +482,13 @@ mod tests {
         let txn = mgr.begin(hana_txn::IsolationLevel::Transaction);
         let main = MainStore::empty(schema());
         let l2 = L2Delta::new(schema(), 0);
-        l2.append_row(RowId(1), &[Value::Int(1), Value::str("x")], txn.id().mark(), COMMIT_TS_MAX)
-            .unwrap();
+        l2.append_row(
+            RowId(1),
+            &[Value::Int(1), Value::str("x")],
+            txn.id().mark(),
+            COMMIT_TS_MAX,
+        )
+        .unwrap();
         l2.close();
         let err = classic_merge(&input(&main, &l2), &mgr, None).unwrap_err();
         assert!(err.is_retryable());
@@ -420,8 +500,13 @@ mod tests {
         let mut txn = mgr.begin(hana_txn::IsolationLevel::Transaction);
         let main = MainStore::empty(schema());
         let l2 = L2Delta::new(schema(), 0);
-        l2.append_row(RowId(1), &[Value::Int(1), Value::str("x")], txn.id().mark(), COMMIT_TS_MAX)
-            .unwrap();
+        l2.append_row(
+            RowId(1),
+            &[Value::Int(1), Value::str("x")],
+            txn.id().mark(),
+            COMMIT_TS_MAX,
+        )
+        .unwrap();
         txn.abort().unwrap();
         l2.close();
         let out = classic_merge(&input(&main, &l2), &mgr, None).unwrap();
@@ -436,8 +521,13 @@ mod tests {
         let l2 = L2Delta::new(schema(), 0);
         l2.append_row(RowId(1), &[Value::Int(1), Value::Null], 5, COMMIT_TS_MAX)
             .unwrap();
-        l2.append_row(RowId(2), &[Value::Int(2), Value::str("x")], 5, COMMIT_TS_MAX)
-            .unwrap();
+        l2.append_row(
+            RowId(2),
+            &[Value::Int(2), Value::str("x")],
+            5,
+            COMMIT_TS_MAX,
+        )
+        .unwrap();
         l2.close();
         let out = classic_merge(&input(&main, &l2), &mgr, None).unwrap();
         let m = &out.new_main;

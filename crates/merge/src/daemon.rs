@@ -2,12 +2,18 @@
 //!
 //! §3.1: "The record life cycle is organized in a way to asynchronously
 //! propagate individual records through the system without interfering with
-//! currently running database operations." The daemon owns one worker
-//! thread that periodically (and on explicit nudges) asks its targets to
-//! merge whatever their policy says is due.
+//! currently running database operations." The daemon owns a small pool of
+//! worker threads that periodically (and on explicit nudges) ask the
+//! registered targets to merge whatever their policy says is due, so
+//! several tables can run their merges concurrently.
+//!
+//! Each target carries a claim flag: a worker must win the flag before
+//! driving that target, so two workers never stack up behind the same
+//! table's merge locks while other tables wait.
 
+use crate::classic::MergeMetrics;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -18,6 +24,12 @@ pub trait MergeTarget: Send + Sync {
     /// happened. Retryable errors are fine; the daemon just tries again on
     /// the next tick (the paper's failed-merge retry semantics).
     fn maybe_merge(&self) -> hana_common::Result<bool>;
+
+    /// Metrics of the most recent delta-to-main merge, if the target
+    /// tracks them. Used for the daemon's aggregate statistics.
+    fn last_merge_metrics(&self) -> Option<MergeMetrics> {
+        None
+    }
 }
 
 enum Msg {
@@ -25,41 +37,97 @@ enum Msg {
     Shutdown,
 }
 
-/// Handle to the background merge thread; dropping it shuts the thread down.
+/// Monotonic counters shared by all workers.
+#[derive(Default)]
+struct DaemonCounters {
+    merges_done: AtomicU64,
+    attempts: AtomicU64,
+    merge_nanos: AtomicU64,
+    rows_in: AtomicU64,
+    rows_out: AtomicU64,
+    parallel_columns: AtomicU64,
+}
+
+/// Point-in-time view of the daemon's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Successful merges across all targets.
+    pub merges_done: u64,
+    /// `maybe_merge` calls issued (including no-ops and retryable fails).
+    pub attempts: u64,
+    /// Total wall-clock time spent inside successful merges.
+    pub merge_time: Duration,
+    /// Rows that entered those merges.
+    pub rows_in: u64,
+    /// Rows those merges wrote out.
+    pub rows_out: u64,
+    /// Columns rebuilt by merges whose fan-out used more than one worker.
+    pub parallel_columns: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+struct Slot {
+    target: Arc<dyn MergeTarget>,
+    claimed: AtomicBool,
+}
+
+/// Handle to the background merge pool; dropping it shuts the pool down.
 pub struct MergeDaemon {
     tx: Sender<Msg>,
-    handle: Option<JoinHandle<()>>,
-    merges_done: Arc<Mutex<u64>>,
+    handles: Vec<JoinHandle<()>>,
+    counters: Arc<DaemonCounters>,
+    workers: usize,
 }
 
 impl MergeDaemon {
-    /// Spawn a daemon polling `targets` every `interval`.
+    /// Spawn a single-worker daemon polling `targets` every `interval`.
     pub fn spawn(targets: Vec<Arc<dyn MergeTarget>>, interval: Duration) -> Self {
-        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(16);
-        let merges_done = Arc::new(Mutex::new(0u64));
-        let counter = Arc::clone(&merges_done);
-        let handle = std::thread::Builder::new()
-            .name("hana-merge-daemon".into())
-            .spawn(move || loop {
-                let msg = rx.recv_timeout(interval);
-                match msg {
-                    Ok(Msg::Shutdown) => break,
-                    Ok(Msg::Nudge) | Err(RecvTimeoutError::Timeout) => {
-                        for t in &targets {
-                            // Retryable failures are silently retried later.
-                            if let Ok(true) = t.maybe_merge() {
-                                *counter.lock() += 1;
-                            }
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            })
-            .expect("spawn merge daemon");
+        Self::spawn_pool(targets, interval, 1)
+    }
+
+    /// Spawn a pool of `workers` threads (0 = one per logical CPU) polling
+    /// `targets` every `interval`. If the OS refuses a thread the pool just
+    /// runs with the threads that did start; one worker always starts
+    /// (spawn of the first is mandatory).
+    pub fn spawn_pool(
+        targets: Vec<Arc<dyn MergeTarget>>,
+        interval: Duration,
+        workers: usize,
+    ) -> Self {
+        let workers = crate::parallel::effective_workers(workers).min(targets.len().max(1));
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(16 * workers.max(1));
+        let counters = Arc::new(DaemonCounters::default());
+        let slots: Arc<Vec<Slot>> = Arc::new(
+            targets
+                .into_iter()
+                .map(|target| Slot {
+                    target,
+                    claimed: AtomicBool::new(false),
+                })
+                .collect(),
+        );
+
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let rx = rx.clone();
+            let counters = Arc::clone(&counters);
+            let slots = Arc::clone(&slots);
+            let spawned = std::thread::Builder::new()
+                .name(format!("hana-merge-{w}"))
+                .spawn(move || worker_loop(&rx, &slots, &counters, interval));
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(_) if w > 0 => break, // degraded pool: fewer workers
+                Err(e) => panic!("spawn merge daemon: {e}"),
+            }
+        }
+        let workers = handles.len();
         MergeDaemon {
             tx,
-            handle: Some(handle),
-            merges_done,
+            handles,
+            counters,
+            workers,
         }
     }
 
@@ -70,14 +138,73 @@ impl MergeDaemon {
 
     /// Number of successful merges performed so far.
     pub fn merges_done(&self) -> u64 {
-        *self.merges_done.lock()
+        self.counters.merges_done.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the aggregate merge statistics.
+    pub fn stats(&self) -> DaemonStats {
+        let c = &self.counters;
+        DaemonStats {
+            merges_done: c.merges_done.load(Ordering::SeqCst),
+            attempts: c.attempts.load(Ordering::SeqCst),
+            merge_time: Duration::from_nanos(c.merge_nanos.load(Ordering::SeqCst)),
+            rows_in: c.rows_in.load(Ordering::SeqCst),
+            rows_out: c.rows_out.load(Ordering::SeqCst),
+            parallel_columns: c.parallel_columns.load(Ordering::SeqCst),
+            workers: self.workers,
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<Msg>, slots: &[Slot], counters: &DaemonCounters, interval: Duration) {
+    loop {
+        match rx.recv_timeout(interval) {
+            Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Ok(Msg::Nudge) | Err(RecvTimeoutError::Timeout) => {
+                for slot in slots {
+                    // Win the claim or leave the target to the worker
+                    // already on it.
+                    if slot
+                        .claimed
+                        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    counters.attempts.fetch_add(1, Ordering::Relaxed);
+                    // Retryable failures are silently retried later.
+                    if let Ok(true) = slot.target.maybe_merge() {
+                        counters.merges_done.fetch_add(1, Ordering::SeqCst);
+                        if let Some(m) = slot.target.last_merge_metrics() {
+                            counters
+                                .merge_nanos
+                                .fetch_add(m.duration.as_nanos() as u64, Ordering::Relaxed);
+                            counters
+                                .rows_in
+                                .fetch_add(m.rows_in as u64, Ordering::Relaxed);
+                            counters
+                                .rows_out
+                                .fetch_add(m.rows_out as u64, Ordering::Relaxed);
+                            if m.parallel_workers > 1 {
+                                counters
+                                    .parallel_columns
+                                    .fetch_add(m.columns as u64, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    slot.claimed.store(false, Ordering::Release);
+                }
+            }
+        }
     }
 }
 
 impl Drop for MergeDaemon {
     fn drop(&mut self) {
-        let _ = self.tx.send(Msg::Shutdown);
-        if let Some(h) = self.handle.take() {
+        for _ in &self.handles {
+            let _ = self.tx.send(Msg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -98,14 +225,28 @@ mod tests {
             let n = self.calls.fetch_add(1, Ordering::SeqCst);
             Ok(n < self.merge_until)
         }
+
+        fn last_merge_metrics(&self) -> Option<MergeMetrics> {
+            Some(MergeMetrics {
+                duration: Duration::from_nanos(100),
+                rows_in: 10,
+                rows_out: 8,
+                columns: 4,
+                parallel_workers: 2,
+            })
+        }
+    }
+
+    fn counter(merge_until: usize) -> Arc<Counter> {
+        Arc::new(Counter {
+            calls: AtomicUsize::new(0),
+            merge_until,
+        })
     }
 
     #[test]
     fn nudge_triggers_target() {
-        let target = Arc::new(Counter {
-            calls: AtomicUsize::new(0),
-            merge_until: 2,
-        });
+        let target = counter(2);
         let daemon = MergeDaemon::spawn(
             vec![Arc::clone(&target) as Arc<dyn MergeTarget>],
             Duration::from_secs(3600),
@@ -130,10 +271,7 @@ mod tests {
 
     #[test]
     fn interval_polling_works() {
-        let target = Arc::new(Counter {
-            calls: AtomicUsize::new(0),
-            merge_until: usize::MAX,
-        });
+        let target = counter(usize::MAX);
         let _daemon = MergeDaemon::spawn(
             vec![Arc::clone(&target) as Arc<dyn MergeTarget>],
             Duration::from_millis(5),
@@ -149,10 +287,7 @@ mod tests {
 
     #[test]
     fn drop_shuts_down() {
-        let target = Arc::new(Counter {
-            calls: AtomicUsize::new(0),
-            merge_until: 0,
-        });
+        let target = counter(0);
         let daemon = MergeDaemon::spawn(
             vec![Arc::clone(&target) as Arc<dyn MergeTarget>],
             Duration::from_millis(1),
@@ -162,5 +297,51 @@ mod tests {
         let after = target.calls.load(Ordering::SeqCst);
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(target.calls.load(Ordering::SeqCst), after);
+    }
+
+    #[test]
+    fn pool_drives_many_targets_and_aggregates_stats() {
+        let targets: Vec<Arc<Counter>> = (0..6).map(|_| counter(1)).collect();
+        let daemon = MergeDaemon::spawn_pool(
+            targets
+                .iter()
+                .map(|t| Arc::clone(t) as Arc<dyn MergeTarget>)
+                .collect(),
+            Duration::from_millis(2),
+            4,
+        );
+        for _ in 0..400 {
+            if daemon.merges_done() >= 6 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = daemon.stats();
+        assert_eq!(stats.merges_done, 6, "each target merges exactly once");
+        assert!(stats.attempts >= 6);
+        assert!(stats.workers >= 1 && stats.workers <= 4);
+        // Metrics aggregated from the targets' reports.
+        assert_eq!(stats.rows_in, 60);
+        assert_eq!(stats.rows_out, 48);
+        assert_eq!(stats.parallel_columns, 24);
+        assert!(stats.merge_time >= Duration::from_nanos(600));
+    }
+
+    #[test]
+    fn zero_workers_means_auto() {
+        let target = counter(1);
+        let daemon = MergeDaemon::spawn_pool(
+            vec![Arc::clone(&target) as Arc<dyn MergeTarget>],
+            Duration::from_millis(2),
+            0,
+        );
+        assert!(daemon.stats().workers >= 1);
+        for _ in 0..200 {
+            if daemon.merges_done() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(daemon.merges_done(), 1);
     }
 }

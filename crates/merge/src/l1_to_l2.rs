@@ -12,8 +12,8 @@
 //! truncate the L1 prefix under the table lock, so every reader sees each
 //! row in exactly one stage.
 
-use hana_common::{Result, RowId, Timestamp, TxnId, COMMIT_TS_MAX};
 use hana_column::Pos;
+use hana_common::{Result, RowId, Timestamp, TxnId, COMMIT_TS_MAX};
 use hana_rowstore::L1Delta;
 use hana_store::{HistoricVersion, HistoryStore, L2Delta};
 use hana_txn::{Resolution, TxnManager};
@@ -182,7 +182,11 @@ mod tests {
         fill_l1(&l1, &mgr, 3);
         // An in-flight insert in the middle of the stream.
         let open = mgr.begin(IsolationLevel::Transaction);
-        l1.insert(RowId(100), vec![Value::Int(100), Value::str("x")], open.id().mark());
+        l1.insert(
+            RowId(100),
+            vec![Value::Int(100), Value::str("x")],
+            open.id().mark(),
+        );
         fill_l1(&l1, &mgr, 2); // settled rows behind it
         let out = l1_to_l2_merge(&l1, &l2, &mgr, None, usize::MAX).unwrap();
         assert!(out.blocked);
@@ -219,7 +223,11 @@ mod tests {
         let history = HistoryStore::new();
         // Insert and delete within committed transactions.
         let mut t1 = mgr.begin(IsolationLevel::Transaction);
-        l1.insert(RowId(0), vec![Value::Int(0), Value::str("old")], t1.id().mark());
+        l1.insert(
+            RowId(0),
+            vec![Value::Int(0), Value::str("old")],
+            t1.id().mark(),
+        );
         t1.commit().unwrap();
         let mut t2 = mgr.begin(IsolationLevel::Transaction);
         l1.with_slot(0, |s| s.store_end(t2.id().mark())).unwrap();
@@ -241,7 +249,11 @@ mod tests {
         // Hold an old snapshot so the watermark stays behind.
         let pin = mgr.begin(IsolationLevel::Transaction);
         let mut t1 = mgr.begin(IsolationLevel::Transaction);
-        l1.insert(RowId(0), vec![Value::Int(0), Value::str("a")], t1.id().mark());
+        l1.insert(
+            RowId(0),
+            vec![Value::Int(0), Value::str("a")],
+            t1.id().mark(),
+        );
         t1.commit().unwrap();
         let mut t2 = mgr.begin(IsolationLevel::Transaction);
         l1.with_slot(0, |s| s.store_end(t2.id().mark())).unwrap();

@@ -22,6 +22,11 @@
 //! records through the system without interfering with currently running
 //! database operations").
 //!
+//! The per-column work of every delta-to-main merge fans out over a bounded
+//! worker pool ([`parallel`]), controlled by [`MergeInput::parallel`] and
+//! surfaced through [`classic::MergeMetrics`]; the result is bit-identical
+//! to the serial path.
+//!
 //! A merge whose input still contains stamps of in-flight transactions
 //! fails with a retryable [`HanaError::Merge`] — mirroring the paper's "if a
 //! merge fails, the system still operates with the new L2-delta and retries
@@ -33,14 +38,16 @@
 pub mod classic;
 pub mod daemon;
 pub mod l1_to_l2;
+pub mod parallel;
 pub mod partial;
 pub mod policy;
 pub mod resort;
 mod survivors;
 
-pub use classic::{classic_merge, DeltaMergeOutcome};
-pub use daemon::{MergeDaemon, MergeTarget};
+pub use classic::{classic_merge, DeltaMergeOutcome, MergeMetrics};
+pub use daemon::{DaemonStats, MergeDaemon, MergeTarget};
 pub use l1_to_l2::{l1_to_l2_merge, L1MergeOutcome};
+pub use parallel::effective_workers;
 pub use partial::partial_merge;
 pub use policy::{decide_delta_merge, decide_l1_merge, MergeDecision};
 pub use resort::{resort_merge, ResortOutcome};

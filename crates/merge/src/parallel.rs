@@ -1,0 +1,137 @@
+//! Per-column fan-out for the delta-to-main merges.
+//!
+//! All three §4 merges (classic, re-sorting, partial) spend their time in
+//! embarrassingly-parallel per-column work: dictionary merge, code
+//! translation, and value-index rebuild touch one column at a time and
+//! share nothing but the immutable [`MergeInput`](crate::MergeInput) and
+//! survivor list. [`map_columns`] fans that loop out over a bounded pool of
+//! scoped worker threads.
+//!
+//! Guarantees:
+//!
+//! * **Bit-identical results.** Workers claim column indexes from an atomic
+//!   counter and return `(index, value)` pairs; the caller reassembles the
+//!   output strictly in column order, so scheduling cannot influence the
+//!   merged structure.
+//! * **Graceful serial fallback.** A worker count of 1 (or a single-column
+//!   table) never spawns; and if the OS refuses a thread mid-fan-out, the
+//!   scoped-thread layer runs that worker's share inline on the spawning
+//!   thread instead of failing the merge.
+//! * **Panic transparency.** A panicking column job propagates to the
+//!   caller exactly as it would from the serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a requested worker count: `0` means "one per logical CPU",
+/// anything else is taken literally.
+pub fn effective_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Compute `f(0), f(1), …, f(arity - 1)` on up to `workers` threads and
+/// return the results in column order.
+pub(crate) fn map_columns<T, F>(arity: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(arity);
+    if workers <= 1 {
+        return (0..arity).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let scope_result = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut done = Vec::new();
+                    loop {
+                        let col = next.fetch_add(1, Ordering::Relaxed);
+                        if col >= arity {
+                            break;
+                        }
+                        done.push((col, f(col)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<T>> = (0..arity).map(|_| None).collect();
+        for h in handles {
+            match h.join() {
+                Ok(pairs) => {
+                    for (col, value) in pairs {
+                        debug_assert!(slots[col].is_none(), "column claimed once");
+                        slots[col] = Some(value);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every column index was claimed"))
+            .collect::<Vec<T>>()
+    });
+    match scope_result {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parallel_matches_serial_order() {
+        let serial = map_columns(17, 1, |c| c * c);
+        let parallel = map_columns(17, 4, |c| c * c);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], 9);
+    }
+
+    #[test]
+    fn every_column_computed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = map_columns(64, 8, |c| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            c
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 64);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_arities() {
+        assert_eq!(map_columns(0, 8, |c| c), Vec::<usize>::new());
+        assert_eq!(map_columns(1, 8, |c| c + 10), vec![10]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            map_columns(8, 4, |c| {
+                if c == 5 {
+                    panic!("column job failed");
+                }
+                c
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn auto_workers_positive() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(3), 3);
+    }
+}

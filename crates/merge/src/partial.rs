@@ -13,13 +13,15 @@
 //! saving Fig 9's scheduling argument relies on, measured by the Fig-9
 //! bench.
 
-use crate::classic::DeltaMergeOutcome;
+use crate::classic::{DeltaMergeOutcome, MergeMetrics};
+use crate::parallel::{effective_workers, map_columns};
 use crate::survivors::{collect_survivors, survivor_value, MergeInput};
 use hana_common::{Result, Value};
 use hana_dict::{Code, MergeKind, SortedDict};
 use hana_store::{HistoryStore, MainColumnData, MainPart, MainStore, PartHit};
 use hana_txn::TxnManager;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Run a partial merge: rebuild only the active main from (old active ∪ L2).
 pub fn partial_merge(
@@ -28,8 +30,10 @@ pub fn partial_merge(
     history: Option<&HistoryStore>,
 ) -> Result<DeltaMergeOutcome> {
     debug_assert!(input.l2.is_closed(), "merge consumes a closed L2-delta");
+    let started = Instant::now();
     let passive: Vec<Arc<MainPart>> = input.main.passive_parts().to_vec();
     let passive_count = passive.len();
+    let rows_in = input.main.active_part().map_or(0, |p| p.len()) + input.l2.len();
 
     // Only the active part's rows re-enter the merge.
     let active_hits = input
@@ -45,13 +49,10 @@ pub fn partial_merge(
     let survivors = collect_survivors(input, mgr, history, active_hits.into_iter())?;
 
     let arity = input.l2.schema().arity();
-    let mut columns = Vec::with_capacity(arity);
-    for col in 0..arity {
+    let workers = effective_workers(input.parallel).min(arity.max(1));
+    let columns = map_columns(arity, workers, |col| {
         // Global base past all passive dictionaries — the paper's `n + 1`.
-        let base: Code = passive
-            .iter()
-            .map(|p| p.dict(col).len() as Code)
-            .sum();
+        let base: Code = passive.iter().map(|p| p.dict(col).len() as Code).sum();
 
         // Values of surviving rows; those already in a passive dictionary
         // keep their passive code, the rest form the new active dictionary.
@@ -83,12 +84,14 @@ pub fn partial_merge(
                 } else if let Some(c) = passive_code(v) {
                     c
                 } else {
-                    base + dict.code_of(v).expect("value entered the active dictionary")
+                    base + dict
+                        .code_of(v)
+                        .expect("value entered the active dictionary")
                 }
             })
             .collect();
-        columns.push(MainColumnData { dict, base, codes });
-    }
+        MainColumnData { dict, base, codes }
+    });
 
     let active = MainPart::build(
         input.generation,
@@ -101,12 +104,14 @@ pub fn partial_merge(
     let mut parts = passive;
     parts.push(Arc::new(active));
     let new_main = MainStore::with_active(input.l2.schema().clone(), parts, passive_count);
+    let metrics = MergeMetrics::measure(rows_in, survivors.rows.len(), arity, workers, started);
     Ok(DeltaMergeOutcome {
         new_main,
         from_main: survivors.from_main,
         from_l2: survivors.from_l2,
         dropped: survivors.dropped,
         dict_paths: vec![MergeKind::General; arity],
+        metrics,
     })
 }
 
@@ -149,6 +154,7 @@ mod tests {
             watermark: 1_000,
             block_size: 64,
             generation,
+            parallel: 2,
         }
     }
 
@@ -211,7 +217,13 @@ mod tests {
         vals.sort();
         assert_eq!(
             vals,
-            vec!["Campbell", "Campbell", "Daily City", "Los Altos", "Los Gatos"]
+            vec![
+                "Campbell",
+                "Campbell",
+                "Daily City",
+                "Los Altos",
+                "Los Gatos"
+            ]
         );
     }
 

@@ -131,15 +131,18 @@ mod tests {
         // Passive 1000, active 400 ⇒ with 100 more the active fraction is
         // 500/1500 = 0.33 > 0.25 ⇒ consolidate.
         let main = fake_main(1000, 400);
-        assert_eq!(decide_delta_merge(&c, &main, 100), MergeDecision::Consolidate);
+        assert_eq!(
+            decide_delta_merge(&c, &main, 100),
+            MergeDecision::Consolidate
+        );
     }
 
     /// Build a main with `passive` rows in part 0 and optionally `active`
     /// rows in an active part, values disjoint between parts.
     fn fake_main(passive: usize, active: usize) -> MainStore {
+        use hana_common::{RowId, Value, COMMIT_TS_MAX};
         use hana_dict::SortedDict;
         use hana_store::{MainColumnData, MainPart};
-        use hana_common::{RowId, Value, COMMIT_TS_MAX};
         use std::sync::Arc;
         let mk = |n: usize, offset: i64, base: u32, gen: u64| {
             let dict =

@@ -12,11 +12,15 @@
 //! (fewest distinct values first — maximizing run lengths for RLE/cluster
 //! encoding), and rows are sorted lexicographically under that column order.
 
-use crate::classic::{assemble_part, build_merged_columns, DeltaMergeOutcome, MergedColumns};
+use crate::classic::{
+    assemble_part, build_merged_columns, DeltaMergeOutcome, MergeMetrics, MergedColumns,
+};
+use crate::parallel::map_columns;
 use crate::survivors::{collect_survivors, MergeInput, SurvivorSet};
 use hana_common::Result;
 use hana_store::HistoryStore;
 use hana_txn::TxnManager;
+use std::time::Instant;
 
 /// Outcome of a re-sorting merge.
 pub struct ResortOutcome {
@@ -48,6 +52,8 @@ pub fn resort_merge(
     history: Option<&HistoryStore>,
 ) -> Result<ResortOutcome> {
     debug_assert!(input.l2.is_closed(), "merge consumes a closed L2-delta");
+    let started = Instant::now();
+    let rows_in = input.main.total_rows() + input.l2.len();
     let survivors = collect_survivors(input, mgr, history, input.main.iter_hits())?;
     let mut merged = build_merged_columns(input, &survivors);
     let sort_columns = choose_sort_order(&merged);
@@ -74,10 +80,11 @@ pub fn resort_merge(
         row_mapping[old as usize] = new as u32;
     }
 
-    // Permute every column and the row metadata.
-    for col in &mut merged.codes {
-        *col = apply_permutation(col, &perm);
-    }
+    // Permute every column (fanned out like the rebuild: each column's
+    // permutation is independent) and the row metadata.
+    merged.codes = map_columns(merged.codes.len(), merged.workers, |c| {
+        apply_permutation(&merged.codes[c], &perm)
+    });
     let rows = apply_permutation(&survivors.rows, &perm);
     let permuted = SurvivorSet {
         rows,
@@ -86,7 +93,15 @@ pub fn resort_merge(
         from_l2: survivors.from_l2,
     };
     let paths = merged.paths.clone();
+    let workers = merged.workers;
     let new_main = assemble_part(input, &permuted, merged);
+    let metrics = MergeMetrics::measure(
+        rows_in,
+        permuted.rows.len(),
+        input.l2.schema().arity(),
+        workers,
+        started,
+    );
     Ok(ResortOutcome {
         merge: DeltaMergeOutcome {
             new_main,
@@ -94,6 +109,7 @@ pub fn resort_merge(
             from_l2: survivors.from_l2,
             dropped: survivors.dropped,
             dict_paths: paths,
+            metrics,
         },
         sort_columns,
         row_mapping,
@@ -138,18 +154,14 @@ mod tests {
     fn rows_are_reordered_and_mapping_inverts() {
         let mgr = TxnManager::new();
         let main = MainStore::empty(schema());
-        let l2 = build_l2(&[
-            (1, "B", "x"),
-            (2, "A", "y"),
-            (3, "B", "x"),
-            (4, "A", "x"),
-        ]);
+        let l2 = build_l2(&[(1, "B", "x"), (2, "A", "y"), (3, "B", "x"), (4, "A", "x")]);
         let input = MergeInput {
             main: &main,
             l2: &l2,
             watermark: 100,
             block_size: 64,
             generation: 1,
+            parallel: 2,
         };
         let out = resort_merge(&input, &mgr, None).unwrap();
         let m = &out.merge.new_main;
@@ -161,20 +173,24 @@ mod tests {
         let cities: Vec<Value> = (0..4)
             .map(|p| m.value_at(PartHit { part: 0, pos: p }, 1))
             .collect();
-        assert_eq!(
-            cities,
-            ["A", "A", "B", "B"].map(Value::str).to_vec()
-        );
+        assert_eq!(cities, ["A", "A", "B", "B"].map(Value::str).to_vec());
         // The mapping tracks every row: old row 1 (id=2, city A, prod y)
         // must be found at its mapped position with intact values.
-        for (old, &(id, city, prod)) in
-            [(1i64, "B", "x"), (2, "A", "y"), (3, "B", "x"), (4, "A", "x")]
-                .iter()
-                .enumerate()
+        for (old, &(id, city, prod)) in [
+            (1i64, "B", "x"),
+            (2, "A", "y"),
+            (3, "B", "x"),
+            (4, "A", "x"),
+        ]
+        .iter()
+        .enumerate()
         {
             let new = out.row_mapping[old] as u32;
             let row = m.row_at(PartHit { part: 0, pos: new });
-            assert_eq!(row, vec![Value::Int(id), Value::str(city), Value::str(prod)]);
+            assert_eq!(
+                row,
+                vec![Value::Int(id), Value::str(city), Value::str(prod)]
+            );
         }
     }
 
@@ -194,6 +210,7 @@ mod tests {
             watermark: 100,
             block_size: 64,
             generation: 1,
+            parallel: 2,
         };
         let classic = crate::classic::classic_merge(&input, &mgr, None).unwrap();
         let l2b = build_l2(&rows);
@@ -203,6 +220,7 @@ mod tests {
             watermark: 100,
             block_size: 64,
             generation: 1,
+            parallel: 2,
         };
         let resorted = resort_merge(&input_b, &mgr, None).unwrap();
         let classic_bytes = classic.new_main.data_bytes();
@@ -212,7 +230,10 @@ mod tests {
             "re-sorting should compress better: {resort_bytes} vs {classic_bytes}"
         );
         // Same logical content either way.
-        assert_eq!(resorted.merge.new_main.total_rows(), classic.new_main.total_rows());
+        assert_eq!(
+            resorted.merge.new_main.total_rows(),
+            classic.new_main.total_rows()
+        );
     }
 
     #[test]
@@ -226,6 +247,7 @@ mod tests {
             watermark: 100,
             block_size: 64,
             generation: 1,
+            parallel: 2,
         };
         let out = resort_merge(&input, &mgr, None).unwrap();
         assert_eq!(out.row_mapping, vec![0]);

@@ -7,8 +7,8 @@
 //! transaction watermark — "discarding entries of all deleted or modified
 //! records"), and archive committed garbage when the table is historic.
 
-use hana_common::{HanaError, Result, RowId, Timestamp, TxnId, COMMIT_TS_MAX};
 use hana_column::Pos;
+use hana_common::{HanaError, Result, RowId, Timestamp, TxnId, COMMIT_TS_MAX};
 use hana_store::{HistoricVersion, HistoryStore, L2Delta, MainStore, PartHit};
 use hana_txn::{Resolution, TxnManager};
 
@@ -50,6 +50,10 @@ pub struct MergeInput<'a> {
     pub block_size: usize,
     /// Generation tag for the part(s) built by this merge.
     pub generation: u64,
+    /// Requested worker threads for the per-column work: `0` = one per
+    /// logical CPU, `1` = serial, `n` = exactly `n`. The result is
+    /// bit-identical either way (see [`crate::parallel`]).
+    pub parallel: usize,
 }
 
 /// Resolve a possibly-marked stamp to a committed timestamp.
@@ -58,11 +62,7 @@ pub struct MergeInput<'a> {
 ///   (`None` = drop silently); an in-flight creator is a retryable error.
 /// * `is_begin = false`: an aborted closer leaves the version live
 ///   (`COMMIT_TS_MAX`); an in-flight closer is a retryable error.
-fn resolve_stamp(
-    mgr: &TxnManager,
-    ts: Timestamp,
-    is_begin: bool,
-) -> Result<Option<Timestamp>> {
+fn resolve_stamp(mgr: &TxnManager, ts: Timestamp, is_begin: bool) -> Result<Option<Timestamp>> {
     match TxnId::from_mark(ts) {
         None => Ok(Some(ts)),
         Some(writer) => match mgr.resolve_mark(writer) {
@@ -91,12 +91,12 @@ pub(crate) fn collect_survivors(
     let mut from_l2 = 0usize;
 
     let classify = |origin: Origin,
-                        row_id: RowId,
-                        begin_raw: Timestamp,
-                        end_raw: Timestamp,
-                        rows: &mut Vec<SurvivorRow>,
-                        dropped: &mut Vec<RowId>,
-                        materialize: &dyn Fn() -> Vec<hana_common::Value>|
+                    row_id: RowId,
+                    begin_raw: Timestamp,
+                    end_raw: Timestamp,
+                    rows: &mut Vec<SurvivorRow>,
+                    dropped: &mut Vec<RowId>,
+                    materialize: &dyn Fn() -> Vec<hana_common::Value>|
      -> Result<bool> {
         let Some(begin) = resolve_stamp(mgr, begin_raw, true)? else {
             // Aborted insert: vanishes without trace.

@@ -11,9 +11,7 @@
 //! flight at savepoint time resolve through the post-savepoint log replay.
 
 use crate::codec::{Decoder, Encoder};
-use hana_common::{
-    ColumnDef, MergeStrategy, Result, RowId, Schema, TableConfig, Timestamp, Value,
-};
+use hana_common::{ColumnDef, MergeStrategy, Result, RowId, Schema, TableConfig, Timestamp, Value};
 
 /// One row version with its stamps.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +161,8 @@ pub fn encode_config(e: &mut Encoder, c: &TableConfig) {
     e.f64(c.active_main_max_fraction);
     e.u64(c.block_size as u64);
     e.bool(c.historic);
+    e.u64(c.merge.column_parallelism as u64);
+    e.u64(c.merge.daemon_workers as u64);
 }
 
 pub fn decode_config(d: &mut Decoder<'_>) -> Result<TableConfig> {
@@ -178,6 +178,10 @@ pub fn decode_config(d: &mut Decoder<'_>) -> Result<TableConfig> {
         active_main_max_fraction: d.f64()?,
         block_size: d.u64()? as usize,
         historic: d.bool()?,
+        merge: hana_common::MergeConfig {
+            column_parallelism: d.u64()? as usize,
+            daemon_workers: d.u64()? as usize,
+        },
     })
 }
 

@@ -9,7 +9,9 @@
 
 use crate::codec::{crc32, Decoder, Encoder};
 use crate::image::{decode_config, decode_schema, encode_config, encode_schema};
-use hana_common::{HanaError, Result, RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value};
+use hana_common::{
+    HanaError, Result, RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
+};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};

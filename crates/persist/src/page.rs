@@ -113,7 +113,10 @@ impl PageStore {
         let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
         let stored_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
         if len > self.payload_size() {
-            return Err(HanaError::Persist(format!("corrupt page {}: bad length", page.0)));
+            return Err(HanaError::Persist(format!(
+                "corrupt page {}: bad length",
+                page.0
+            )));
         }
         let payload = &buf[PAGE_HEADER..PAGE_HEADER + len];
         if crc32(payload) != stored_crc {

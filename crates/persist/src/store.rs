@@ -208,9 +208,9 @@ pub fn check_recovered(state: &RecoveredState) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hana_common::{ColumnDef, DataType, RowId, Schema, TableConfig, TxnId, Value};
     use crate::image::{DeltaImage, RowImage};
     use hana_common::TableId;
+    use hana_common::{ColumnDef, DataType, RowId, Schema, TableConfig, TxnId, Value};
     use tempfile::tempdir;
 
     fn image(name: &str, rows: usize) -> TableImage {

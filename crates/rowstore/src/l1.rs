@@ -90,7 +90,9 @@ mod boxcar_like {
 
     impl std::fmt::Debug for FixedVec {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.debug_struct("FixedVec").field("len", &self.len()).finish()
+            f.debug_struct("FixedVec")
+                .field("len", &self.len())
+                .finish()
         }
     }
 
@@ -240,9 +242,9 @@ impl L1Delta {
 
     fn find_segment(segs: &[Arc<Segment>], pos: u64) -> Option<&Arc<Segment>> {
         let i = segs.partition_point(|s| s.first_pos <= pos);
-        i.checked_sub(1).map(|i| &segs[i]).filter(|s| {
-            pos >= s.first_pos && pos < s.first_pos + SEGMENT_CAP as u64
-        })
+        i.checked_sub(1)
+            .map(|i| &segs[i])
+            .filter(|s| pos >= s.first_pos && pos < s.first_pos + SEGMENT_CAP as u64)
     }
 
     /// Logical position past the last slot.
@@ -305,7 +307,10 @@ impl L1Delta {
             !fully_merged
         });
         if freed > 0 {
-            self.bytes.fetch_sub(freed.min(self.bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
+            self.bytes.fetch_sub(
+                freed.min(self.bytes.load(Ordering::Relaxed)),
+                Ordering::Relaxed,
+            );
         }
     }
 }

@@ -9,10 +9,10 @@
 //! same OLTP/OLAP mix against this and the unified table.
 
 use crate::Row;
-use hana_common::{
-    ColumnId, HanaError, Result, RowId, Schema, Timestamp, Value, COMMIT_TS_MAX,
+use hana_common::{ColumnId, HanaError, Result, RowId, Schema, Timestamp, Value, COMMIT_TS_MAX};
+use hana_txn::{
+    version_visible, write_allowed, LockTable, Snapshot, Transaction, TxnManager, WriteCheck,
 };
-use hana_txn::{version_visible, write_allowed, LockTable, Snapshot, Transaction, TxnManager, WriteCheck};
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,7 +118,13 @@ impl RowTable {
     }
 
     /// Update the row with `key`, replacing the value in `col`.
-    pub fn update(&self, txn: &Transaction, key: &Value, col: ColumnId, value: Value) -> Result<()> {
+    pub fn update(
+        &self,
+        txn: &Transaction,
+        key: &Value,
+        col: ColumnId,
+        value: Value,
+    ) -> Result<()> {
         self.schema.check_value(&value, self.schema.column(col))?;
         let snap = txn.read_snapshot();
         let (slot_idx, slot) = self
@@ -271,18 +277,29 @@ mod tests {
         let mut txn = mgr.begin(IsolationLevel::Transaction);
         t.insert(&txn, acct(1, "ada", 100)).unwrap();
         // Own uncommitted read sees it.
-        assert!(t.get(&txn.read_snapshot(), &Value::Int(1)).unwrap().is_some());
+        assert!(t
+            .get(&txn.read_snapshot(), &Value::Int(1))
+            .unwrap()
+            .is_some());
         // Other transaction does not.
         let other = mgr.begin(IsolationLevel::Transaction);
-        assert!(t.get(&other.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        assert!(t
+            .get(&other.read_snapshot(), &Value::Int(1))
+            .unwrap()
+            .is_none());
         txn.commit().unwrap();
         t.finish_txn(txn.id());
         // Still invisible to the old transaction-level snapshot…
-        assert!(t.get(&other.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        assert!(t
+            .get(&other.read_snapshot(), &Value::Int(1))
+            .unwrap()
+            .is_none());
         // …but visible to a fresh one.
         let fresh = mgr.begin(IsolationLevel::Transaction);
         assert_eq!(
-            t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().unwrap()[1],
+            t.get(&fresh.read_snapshot(), &Value::Int(1))
+                .unwrap()
+                .unwrap()[1],
             Value::str("ada")
         );
     }
@@ -311,7 +328,8 @@ mod tests {
         let snap_before = reader_before.read_snapshot();
 
         let mut upd = mgr.begin(IsolationLevel::Transaction);
-        t.update(&upd, &Value::Int(1), ColumnId(2), Value::Int(250)).unwrap();
+        t.update(&upd, &Value::Int(1), ColumnId(2), Value::Int(250))
+            .unwrap();
         upd.commit().unwrap();
         t.finish_txn(upd.id());
 
@@ -322,7 +340,9 @@ mod tests {
         );
         let fresh = mgr.begin(IsolationLevel::Transaction);
         assert_eq!(
-            t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().unwrap()[2],
+            t.get(&fresh.read_snapshot(), &Value::Int(1))
+                .unwrap()
+                .unwrap()[2],
             Value::Int(250)
         );
         assert_eq!(t.version_count(), 2);
@@ -340,7 +360,10 @@ mod tests {
         del.commit().unwrap();
         t.finish_txn(del.id());
         let fresh = mgr.begin(IsolationLevel::Transaction);
-        assert!(t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        assert!(t
+            .get(&fresh.read_snapshot(), &Value::Int(1))
+            .unwrap()
+            .is_none());
         // Deleting again reports not-found.
         let del2 = mgr.begin(IsolationLevel::Transaction);
         assert!(matches!(
@@ -359,8 +382,11 @@ mod tests {
 
         let a = mgr.begin(IsolationLevel::Transaction);
         let b = mgr.begin(IsolationLevel::Transaction);
-        t.update(&a, &Value::Int(1), ColumnId(2), Value::Int(1)).unwrap();
-        let err = t.update(&b, &Value::Int(1), ColumnId(2), Value::Int(2)).unwrap_err();
+        t.update(&a, &Value::Int(1), ColumnId(2), Value::Int(1))
+            .unwrap();
+        let err = t
+            .update(&b, &Value::Int(1), ColumnId(2), Value::Int(2))
+            .unwrap_err();
         assert!(matches!(err, HanaError::WriteConflict(_)));
     }
 
@@ -372,7 +398,10 @@ mod tests {
         txn.abort().unwrap();
         t.finish_txn(txn.id());
         let fresh = mgr.begin(IsolationLevel::Transaction);
-        assert!(t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        assert!(t
+            .get(&fresh.read_snapshot(), &Value::Int(1))
+            .unwrap()
+            .is_none());
         // The key is reusable after the abort.
         let redo = mgr.begin(IsolationLevel::Transaction);
         assert!(t.insert(&redo, acct(1, "bob", 7)).is_ok());
@@ -387,13 +416,16 @@ mod tests {
         t.finish_txn(seed.id());
 
         let mut upd = mgr.begin(IsolationLevel::Transaction);
-        t.update(&upd, &Value::Int(1), ColumnId(2), Value::Int(0)).unwrap();
+        t.update(&upd, &Value::Int(1), ColumnId(2), Value::Int(0))
+            .unwrap();
         upd.abort().unwrap();
         t.finish_txn(upd.id());
 
         let fresh = mgr.begin(IsolationLevel::Transaction);
         assert_eq!(
-            t.get(&fresh.read_snapshot(), &Value::Int(1)).unwrap().unwrap()[2],
+            t.get(&fresh.read_snapshot(), &Value::Int(1))
+                .unwrap()
+                .unwrap()[2],
             Value::Int(100)
         );
     }
@@ -423,12 +455,18 @@ mod tests {
     fn statement_level_si_sees_mid_txn_commits() {
         let (mgr, t) = setup();
         let reader = mgr.begin(IsolationLevel::Statement);
-        assert!(t.get(&reader.read_snapshot(), &Value::Int(1)).unwrap().is_none());
+        assert!(t
+            .get(&reader.read_snapshot(), &Value::Int(1))
+            .unwrap()
+            .is_none());
         let mut w = mgr.begin(IsolationLevel::Transaction);
         t.insert(&w, acct(1, "ada", 1)).unwrap();
         w.commit().unwrap();
         t.finish_txn(w.id());
         // The same reader transaction now sees it (fresh statement snapshot).
-        assert!(t.get(&reader.read_snapshot(), &Value::Int(1)).unwrap().is_some());
+        assert!(t
+            .get(&reader.read_snapshot(), &Value::Int(1))
+            .unwrap()
+            .is_some());
     }
 }

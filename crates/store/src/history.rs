@@ -134,9 +134,18 @@ mod tests {
         let h = HistoryStore::new();
         h.push(ver(1, 10, 20, 100));
         h.push(ver(1, 20, 30, 200));
-        assert_eq!(h.version_as_of(RowId(1), 10).unwrap().values[0], Value::Int(100));
-        assert_eq!(h.version_as_of(RowId(1), 19).unwrap().values[0], Value::Int(100));
-        assert_eq!(h.version_as_of(RowId(1), 20).unwrap().values[0], Value::Int(200));
+        assert_eq!(
+            h.version_as_of(RowId(1), 10).unwrap().values[0],
+            Value::Int(100)
+        );
+        assert_eq!(
+            h.version_as_of(RowId(1), 19).unwrap().values[0],
+            Value::Int(100)
+        );
+        assert_eq!(
+            h.version_as_of(RowId(1), 20).unwrap().values[0],
+            Value::Int(200)
+        );
         assert!(h.version_as_of(RowId(1), 9).is_none());
         assert!(h.version_as_of(RowId(1), 30).is_none());
         assert!(h.version_as_of(RowId(2), 15).is_none());

@@ -11,9 +11,9 @@
 //! NULLs are stored as [`L2_NULL_CODE`] in the value vector and never enter
 //! the dictionary or the inverted index.
 
+use hana_column::{GrowableInvertedIndex, Pos};
 use hana_common::{HanaError, Result, RowId, Schema, Timestamp, Value};
 use hana_dict::{Code, UnsortedDict};
-use hana_column::{GrowableInvertedIndex, Pos};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -158,10 +158,7 @@ impl L2Delta {
     /// parallel-friendly variant the paper describes ("the number of tuples
     /// to be moved is known in advance enabling the reservation of
     /// encodings"). Returns the first assigned position.
-    pub fn append_batch(
-        &self,
-        rows: &[(RowId, Vec<Value>, Timestamp, Timestamp)],
-    ) -> Result<Pos> {
+    pub fn append_batch(&self, rows: &[(RowId, Vec<Value>, Timestamp, Timestamp)]) -> Result<Pos> {
         if self.is_closed() {
             return Err(HanaError::Merge(format!(
                 "L2-delta generation {} is closed for updates",
@@ -299,7 +296,11 @@ impl L2Delta {
         for (code, v) in colref.dict.values().iter().enumerate() {
             if in_range(v) {
                 out.extend(
-                    colref.invidx.positions(code as Code).iter().copied()
+                    colref
+                        .invidx
+                        .positions(code as Code)
+                        .iter()
+                        .copied()
                         .take_while(|&p| p < fence),
                 );
             }
@@ -453,7 +454,10 @@ mod tests {
         let d = sample();
         assert_eq!(d.positions_eq(1, &Value::str("Los Gatos"), 4), vec![0, 2]);
         assert_eq!(d.positions_eq(1, &Value::str("Campbell"), 4), vec![1]);
-        assert_eq!(d.positions_eq(1, &Value::str("Nowhere"), 4), Vec::<Pos>::new());
+        assert_eq!(
+            d.positions_eq(1, &Value::str("Nowhere"), 4),
+            Vec::<Pos>::new()
+        );
         // Fence cuts off later rows.
         assert_eq!(d.positions_eq(1, &Value::str("Los Gatos"), 1), vec![0]);
     }
@@ -476,8 +480,13 @@ mod tests {
         let d = L2Delta::new(schema(), 1);
         d.append_row(RowId(0), &[Value::Int(1), Value::Null], 1, COMMIT_TS_MAX)
             .unwrap();
-        d.append_row(RowId(1), &[Value::Int(2), Value::str("x")], 1, COMMIT_TS_MAX)
-            .unwrap();
+        d.append_row(
+            RowId(1),
+            &[Value::Int(2), Value::str("x")],
+            1,
+            COMMIT_TS_MAX,
+        )
+        .unwrap();
         assert_eq!(d.value(0, 1), Value::Null);
         assert_eq!(d.positions_eq(1, &Value::str("x"), 2), vec![1]);
         d.with_column(1, 2, |dict, codes| {
@@ -492,7 +501,12 @@ mod tests {
         d.close();
         assert!(d.is_closed());
         let err = d
-            .append_row(RowId(9), &[Value::Int(9), Value::str("x")], 1, COMMIT_TS_MAX)
+            .append_row(
+                RowId(9),
+                &[Value::Int(9), Value::str("x")],
+                1,
+                COMMIT_TS_MAX,
+            )
             .unwrap_err();
         assert!(matches!(err, HanaError::Merge(_)));
     }

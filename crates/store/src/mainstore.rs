@@ -20,8 +20,8 @@
 //! the part's own values, so no dictionary-derived code range ever matches
 //! it, and `IS NULL` still resolves through the inverted index.
 
-use hana_common::{RowId, Schema, Timestamp, Value};
 use hana_column::{CodeStats, CodeVector, InvertedIndex, Pos};
+use hana_common::{RowId, Schema, Timestamp, Value};
 use hana_dict::{Code, SortedDict};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,8 +88,7 @@ impl MainPart {
                 let null_code = c.base + c.dict.len() as Code;
                 let stats = CodeStats::compute(&c.codes);
                 debug_assert!(stats.max_code <= null_code);
-                let invidx =
-                    InvertedIndex::build(c.codes.iter().copied(), null_code as usize + 1);
+                let invidx = InvertedIndex::build(c.codes.iter().copied(), null_code as usize + 1);
                 let codes = CodeVector::choose(&c.codes, &stats, block_size);
                 MainColumn {
                     dict: c.dict,
@@ -338,7 +337,9 @@ impl MainStore {
 
     /// Materialize a full row.
     pub fn row_at(&self, hit: PartHit) -> Vec<Value> {
-        (0..self.schema.arity()).map(|c| self.value_at(hit, c)).collect()
+        (0..self.schema.arity())
+            .map(|c| self.value_at(hit, c))
+            .collect()
     }
 
     /// Point query: all positions across the chain whose `col` equals `v`.
@@ -411,9 +412,10 @@ impl MainStore {
 
     /// Iterate every row coordinate in chain order.
     pub fn iter_hits(&self) -> impl Iterator<Item = PartHit> + '_ {
-        self.parts.iter().enumerate().flat_map(|(pi, p)| {
-            (0..p.len() as Pos).map(move |pos| PartHit { part: pi, pos })
-        })
+        self.parts
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, p)| (0..p.len() as Pos).map(move |pos| PartHit { part: pi, pos }))
     }
 
     /// Approximate compressed bytes across parts.
@@ -467,8 +469,16 @@ mod tests {
         let part = MainPart::build(
             0,
             vec![
-                MainColumnData { dict: ids, base: 0, codes: id_codes },
-                MainColumnData { dict: cities, base: 0, codes: city_codes },
+                MainColumnData {
+                    dict: ids,
+                    base: 0,
+                    codes: id_codes,
+                },
+                MainColumnData {
+                    dict: cities,
+                    base: 0,
+                    codes: city_codes,
+                },
             ],
             (0..n as u64).map(RowId).collect(),
             vec![1; n],
@@ -488,7 +498,10 @@ mod tests {
         ]);
         assert_eq!(m.total_rows(), 4);
         let hits = m.positions_eq(1, &Value::str("Los Gatos"));
-        assert_eq!(hits, vec![PartHit { part: 0, pos: 0 }, PartHit { part: 0, pos: 2 }]);
+        assert_eq!(
+            hits,
+            vec![PartHit { part: 0, pos: 0 }, PartHit { part: 0, pos: 2 }]
+        );
         assert_eq!(m.value_at(PartHit { part: 0, pos: 3 }, 1), Value::Null);
         assert_eq!(
             m.row_at(PartHit { part: 0, pos: 1 }),
@@ -528,7 +541,9 @@ mod tests {
         let vals: Vec<Value> = hits.iter().map(|&h| m.value_at(h, 1)).collect();
         assert_eq!(
             vals,
-            ["Campbell", "Daily City", "Los Gatos"].map(Value::str).to_vec()
+            ["Campbell", "Daily City", "Los Gatos"]
+                .map(Value::str)
+                .to_vec()
         );
     }
 
@@ -537,14 +552,25 @@ mod tests {
     /// codes.
     fn two_part_store() -> MainStore {
         // Passive: cities {Campbell=0, Daily City=1, Los Gatos=2}, ids {1,2,3}.
-        let p_cities =
-            SortedDict::from_values(["Campbell", "Daily City", "Los Gatos"].map(Value::str).to_vec());
+        let p_cities = SortedDict::from_values(
+            ["Campbell", "Daily City", "Los Gatos"]
+                .map(Value::str)
+                .to_vec(),
+        );
         let p_ids = SortedDict::from_values((1..=3).map(Value::Int).collect());
         let passive = MainPart::build(
             0,
             vec![
-                MainColumnData { dict: p_ids, base: 0, codes: vec![0, 1, 2] },
-                MainColumnData { dict: p_cities, base: 0, codes: vec![2, 0, 1] },
+                MainColumnData {
+                    dict: p_ids,
+                    base: 0,
+                    codes: vec![0, 1, 2],
+                },
+                MainColumnData {
+                    dict: p_cities,
+                    base: 0,
+                    codes: vec![2, 0, 1],
+                },
             ],
             vec![RowId(0), RowId(1), RowId(2)],
             vec![1, 1, 1],
@@ -558,8 +584,16 @@ mod tests {
         let active = MainPart::build(
             1,
             vec![
-                MainColumnData { dict: a_ids, base: 3, codes: vec![3, 4, 5] },
-                MainColumnData { dict: a_cities, base: 3, codes: vec![3, 0, 4] },
+                MainColumnData {
+                    dict: a_ids,
+                    base: 3,
+                    codes: vec![3, 4, 5],
+                },
+                MainColumnData {
+                    dict: a_cities,
+                    base: 3,
+                    codes: vec![3, 0, 4],
+                },
             ],
             vec![RowId(3), RowId(4), RowId(5)],
             vec![2, 2, 2],
@@ -600,7 +634,16 @@ mod tests {
             .map(|&h| m.value_at(h, 1).as_str().unwrap().to_string())
             .collect();
         vals.sort();
-        assert_eq!(vals, vec!["Campbell", "Campbell", "Daily City", "Los Altos", "Los Gatos"]);
+        assert_eq!(
+            vals,
+            vec![
+                "Campbell",
+                "Campbell",
+                "Daily City",
+                "Los Altos",
+                "Los Gatos"
+            ]
+        );
     }
 
     #[test]

@@ -140,7 +140,12 @@ mod tests {
         assert!(version_visible(&mgr, &snap, begin, COMMIT_TS_MAX));
         // Another transaction can't see them.
         let other = mgr.begin(IsolationLevel::Transaction);
-        assert!(!version_visible(&mgr, &other.read_snapshot(), begin, COMMIT_TS_MAX));
+        assert!(!version_visible(
+            &mgr,
+            &other.read_snapshot(),
+            begin,
+            COMMIT_TS_MAX
+        ));
     }
 
     #[test]
@@ -158,9 +163,19 @@ mod tests {
         let mark = writer.id().mark();
         let cts = writer.commit().unwrap();
         // A snapshot taken after the commit sees the marked version.
-        assert!(version_visible(&mgr, &Snapshot::at(cts), mark, COMMIT_TS_MAX));
+        assert!(version_visible(
+            &mgr,
+            &Snapshot::at(cts),
+            mark,
+            COMMIT_TS_MAX
+        ));
         // A snapshot from before the commit does not.
-        assert!(!version_visible(&mgr, &Snapshot::at(cts - 1), mark, COMMIT_TS_MAX));
+        assert!(!version_visible(
+            &mgr,
+            &Snapshot::at(cts - 1),
+            mark,
+            COMMIT_TS_MAX
+        ));
     }
 
     #[test]

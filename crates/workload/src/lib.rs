@@ -10,14 +10,14 @@
 
 pub mod datagen;
 pub mod mixed;
-pub mod oltp;
 pub mod olap;
+pub mod oltp;
 pub mod sales;
 pub mod zipf;
 
 pub use datagen::DataGen;
 pub use mixed::{MixedReport, MixedWorkload};
-pub use oltp::{OltpDriver, OltpOp, OltpReport};
 pub use olap::{OlapQuery, OlapRunner};
+pub use oltp::{OltpDriver, OltpOp, OltpReport};
 pub use sales::{SalesDataset, SalesSchema};
 pub use zipf::Zipf;

@@ -60,7 +60,10 @@ impl OlapRunner {
             ),
             OlapQuery::CityDrilldown => Query::scan(Arc::clone(table))
                 .filter(Predicate::Eq(fact_cols::CITY, Value::str("Los Gatos")))
-                .aggregate(vec![], vec![(AggFunc::Count, 0), (AggFunc::Sum, fact_cols::AMOUNT)]),
+                .aggregate(
+                    vec![],
+                    vec![(AggFunc::Count, 0), (AggFunc::Sum, fact_cols::AMOUNT)],
+                ),
             OlapQuery::StatusHistogram => Query::scan(Arc::clone(table))
                 .aggregate(vec![fact_cols::STATUS], vec![(AggFunc::Count, 0)]),
             OlapQuery::WeightedMidRange => Query::scan(Arc::clone(table))
@@ -97,7 +100,9 @@ impl OlapRunner {
             OlapQuery::RevenueByCity => {
                 let mut groups: std::collections::BTreeMap<Value, (i64, f64)> = Default::default();
                 table.scan(&self.snap, |_, row| {
-                    let e = groups.entry(row[fact_cols::CITY].clone()).or_insert((0, 0.0));
+                    let e = groups
+                        .entry(row[fact_cols::CITY].clone())
+                        .or_insert((0, 0.0));
                     e.0 += 1;
                     e.1 += row[fact_cols::AMOUNT].as_numeric().unwrap_or(0.0);
                 });

@@ -92,7 +92,9 @@ impl OltpEngine for UnifiedOltp {
             }
             OltpOp::Lookup(id) => {
                 let read = self.table.read(&txn);
-                Ok(!read.point(fact_cols::ORDER_ID, &Value::Int(*id))?.is_empty())
+                Ok(!read
+                    .point(fact_cols::ORDER_ID, &Value::Int(*id))?
+                    .is_empty())
             }
             OltpOp::Cancel(id) => self
                 .table
@@ -134,7 +136,12 @@ impl OltpEngine for RowOltp {
                     Some(row) => {
                         let amount = row[fact_cols::AMOUNT].as_int().unwrap_or(0) + delta;
                         self.table
-                            .update(&txn, &key, ColumnId(fact_cols::AMOUNT as u16), Value::Int(amount))
+                            .update(
+                                &txn,
+                                &key,
+                                ColumnId(fact_cols::AMOUNT as u16),
+                                Value::Int(amount),
+                            )
                             .and_then(|_| {
                                 self.table.update(
                                     &txn,
@@ -205,7 +212,12 @@ impl OltpDriver {
         let (i, p, l, _) = self.mix;
         if roll < i {
             let id = self.next_order.fetch_add(1, Ordering::SeqCst);
-            OltpOp::NewOrder(SalesSchema::fact_row(gen, id, self.n_customers, self.n_products))
+            OltpOp::NewOrder(SalesSchema::fact_row(
+                gen,
+                id,
+                self.n_customers,
+                self.n_products,
+            ))
         } else if roll < i + p {
             OltpOp::Payment {
                 order_id: self.zipf.sample(gen.rng()) as i64,
@@ -220,7 +232,12 @@ impl OltpDriver {
 
     /// Execute `ops` operations against `engine`, counting outcomes.
     /// Conflicts and not-found (cancelled rows) are counted, not fatal.
-    pub fn run(&self, engine: &dyn OltpEngine, gen: &mut DataGen, ops: usize) -> Result<OltpReport> {
+    pub fn run(
+        &self,
+        engine: &dyn OltpEngine,
+        gen: &mut DataGen,
+        ops: usize,
+    ) -> Result<OltpReport> {
         let mut report = OltpReport::default();
         for _ in 0..ops {
             let op = self.next_op(gen);
@@ -289,11 +306,9 @@ mod tests {
     #[test]
     fn row_engine_executes_same_stream() {
         let mgr = TxnManager::new();
-        let table = Arc::new(crate::sales::load_row_baseline(Arc::clone(&mgr), 300, 50, 20, 7).unwrap());
-        let engine = RowOltp {
-            table,
-            mgr,
-        };
+        let table =
+            Arc::new(crate::sales::load_row_baseline(Arc::clone(&mgr), 300, 50, 20, 7).unwrap());
+        let engine = RowOltp { table, mgr };
         let driver = OltpDriver::new(300, 50, 20, 0.9);
         let mut gen = DataGen::new(11);
         let report = driver.run(&engine, &mut gen, 400).unwrap();
@@ -313,7 +328,9 @@ mod tests {
         };
         let mgr2 = TxnManager::new();
         let row = RowOltp {
-            table: Arc::new(crate::sales::load_row_baseline(Arc::clone(&mgr2), 200, 50, 20, 7).unwrap()),
+            table: Arc::new(
+                crate::sales::load_row_baseline(Arc::clone(&mgr2), 200, 50, 20, 7).unwrap(),
+            ),
             mgr: mgr2,
         };
         let driver = OltpDriver::new(200, 50, 20, 0.5).with_mix((0, 0, 100, 0));

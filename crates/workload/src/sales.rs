@@ -4,9 +4,7 @@
 //! the "myth" benchmarks run identical data through both engines.
 
 use crate::datagen::DataGen;
-use hana_common::{
-    ColumnDef, ColumnId, DataType, Result, Schema, TableConfig, Value,
-};
+use hana_common::{ColumnDef, ColumnId, DataType, Result, Schema, TableConfig, Value};
 use hana_core::{Database, UnifiedTable};
 use hana_rowstore::RowTable;
 use hana_txn::{IsolationLevel, TxnManager};
@@ -195,7 +193,10 @@ pub fn load_row_baseline(
     let mut gen = DataGen::new(seed);
     let mut txn = mgr.begin(IsolationLevel::Transaction);
     for i in 0..orders {
-        t.insert(&txn, SalesSchema::fact_row(&mut gen, i, n_customers, n_products))?;
+        t.insert(
+            &txn,
+            SalesSchema::fact_row(&mut gen, i, n_customers, n_products),
+        )?;
     }
     txn.commit()?;
     t.finish_txn(txn.id());
@@ -219,7 +220,11 @@ mod tests {
         assert_eq!(ds.sales.read(&r).count(), 500);
         assert_eq!(ds.sales.stage_stats().main_rows, 500);
         // Unique order ids point-queryable after settle.
-        let rows = ds.sales.read(&r).point(fact_cols::ORDER_ID, &Value::Int(123)).unwrap();
+        let rows = ds
+            .sales
+            .read(&r)
+            .point(fact_cols::ORDER_ID, &Value::Int(123))
+            .unwrap();
         assert_eq!(rows.len(), 1);
     }
 

@@ -74,7 +74,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Item 0 dominates item 50 heavily.
-        assert!(counts[0] > counts[50] * 10, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 10,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // All samples in range (implicitly: no panic) and every index valid.
         assert_eq!(counts.iter().sum::<usize>(), 20_000);
     }

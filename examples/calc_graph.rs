@@ -39,10 +39,16 @@ fn main() -> hana_common::Result<()> {
         input: filter,
         amount_col: fact_cols::AMOUNT,
         currency_col: fact_cols::CURRENCY,
-        rates: [("USD", 1.0), ("EUR", 1.09), ("KRW", 0.00072), ("GBP", 1.27), ("JPY", 0.0064)]
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
+        rates: [
+            ("USD", 1.0),
+            ("EUR", 1.09),
+            ("KRW", 0.00072),
+            ("GBP", 1.27),
+            ("JPY", 0.0064),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
     });
     let by_city = g.add(CalcNode::Aggregate {
         input: conv,
@@ -115,9 +121,11 @@ fn main() -> hana_common::Result<()> {
         hana_workload::SalesSchema::fact_row(&mut hana_workload::DataGen::new(5), 999_999, 200, 50),
     )?;
     db.commit(&mut txn)?;
-    let rs_old = Executor::new(snap).run(&Query::scan(Arc::clone(&ds.sales))
-        .aggregate(vec![], vec![(AggFunc::Count, 0)])
-        .compile())?;
+    let rs_old = Executor::new(snap).run(
+        &Query::scan(Arc::clone(&ds.sales))
+            .aggregate(vec![], vec![(AggFunc::Count, 0)])
+            .compile(),
+    )?;
     let rs_new = Executor::new(Snapshot::at(db.txn_manager().now())).run(
         &Query::scan(Arc::clone(&ds.sales))
             .aggregate(vec![], vec![(AggFunc::Count, 0)])

@@ -8,9 +8,9 @@ use hana_common::TableConfig;
 use hana_core::Database;
 use hana_txn::{Snapshot, TxnManager};
 use hana_workload::olap::ALL_QUERIES;
+use hana_workload::oltp::{RowOltp, UnifiedOltp};
 use hana_workload::sales::load_row_baseline;
 use hana_workload::{DataGen, MixedWorkload, OlapRunner, OltpDriver, SalesSchema};
-use hana_workload::oltp::{RowOltp, UnifiedOltp};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,14 +31,8 @@ fn main() -> hana_common::Result<()> {
     // ---- Unified table under a mixed workload -------------------------
     println!("loading {ORDERS} orders into the unified table…");
     let db = Database::in_memory();
-    let ds = hana_workload::sales::SalesDataset::load(
-        &db,
-        cfg.clone(),
-        ORDERS,
-        CUSTOMERS,
-        PRODUCTS,
-        7,
-    )?;
+    let ds =
+        hana_workload::sales::SalesDataset::load(&db, cfg.clone(), ORDERS, CUSTOMERS, PRODUCTS, 7)?;
     ds.settle()?;
     db.start_merge_daemon(Duration::from_millis(10));
 
@@ -72,7 +66,13 @@ fn main() -> hana_common::Result<()> {
     // cheap incremental merges.
     db2.start_merge_daemon(Duration::from_millis(1));
     let mgr = TxnManager::new();
-    let row = Arc::new(load_row_baseline(Arc::clone(&mgr), ORDERS, CUSTOMERS, PRODUCTS, 7)?);
+    let row = Arc::new(load_row_baseline(
+        Arc::clone(&mgr),
+        ORDERS,
+        CUSTOMERS,
+        PRODUCTS,
+        7,
+    )?);
 
     // OLTP-only throughput, single thread, both engines; each engine gets
     // its own driver so generated order ids never collide.
@@ -117,7 +117,9 @@ fn main() -> hana_common::Result<()> {
             row_ms / unified_ms.max(1e-9)
         );
     }
-    println!("\n(The unified column table serves both sides of the workload — the myth ends here.)");
+    println!(
+        "\n(The unified column table serves both sides of the workload — the myth ends here.)"
+    );
     let _ = SalesSchema::fact(); // keep the import obvious for readers
     Ok(())
 }

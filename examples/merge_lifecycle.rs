@@ -47,7 +47,11 @@ fn main() -> hana_common::Result<()> {
     sales.drain_l1()?;
     sales.merge_delta_as(MergeDecision::Consolidate)?;
     let classic_bytes = sales.stage_stats().main_data_bytes;
-    println!("classic/consolidated main: {} rows, {} data bytes", sales.stage_stats().main_rows, classic_bytes);
+    println!(
+        "classic/consolidated main: {} rows, {} data bytes",
+        sales.stage_stats().main_rows,
+        classic_bytes
+    );
 
     // Re-sorting merge: rebuilds the single main sorted for compression.
     sales.merge_delta_as(MergeDecision::ReSorting)?;
@@ -82,7 +86,10 @@ fn main() -> hana_common::Result<()> {
         Bound::Included(&Value::str("C")),
         Bound::Excluded(&Value::str("M")),
     )?;
-    println!("\nrange query city in [C, M): {} rows across the chain", hits.len());
+    println!(
+        "\nrange query city in [C, M): {} rows across the chain",
+        hits.len()
+    );
     let (count, sum) = read.aggregate_numeric(4)?;
     println!("sum(amount) over {count} rows = {sum}");
     assert_eq!(count as i64, order_id);

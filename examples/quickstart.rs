@@ -23,9 +23,15 @@ fn main() -> hana_common::Result<()> {
 
     // 2. Transactional inserts land in the write-optimized L1-delta.
     let mut txn = db.begin(IsolationLevel::Transaction);
-    for (i, city) in ["Los Gatos", "Campbell", "Daily City", "Los Gatos", "Saratoga"]
-        .iter()
-        .enumerate()
+    for (i, city) in [
+        "Los Gatos",
+        "Campbell",
+        "Daily City",
+        "Los Gatos",
+        "Saratoga",
+    ]
+    .iter()
+    .enumerate()
     {
         sales.insert(
             &txn,
@@ -42,7 +48,10 @@ fn main() -> hana_common::Result<()> {
     // 3. Point query served from the L1-delta.
     let reader = db.begin(IsolationLevel::Transaction);
     let rows = sales.read(&reader).point(1, &Value::str("Los Gatos"))?;
-    println!("point query       : {} rows with city = Los Gatos", rows.len());
+    println!(
+        "point query       : {} rows with city = Los Gatos",
+        rows.len()
+    );
 
     // 4. Propagate records: L1 → L2 (incremental pivot to columns).
     sales.drain_l1()?;
@@ -57,7 +66,10 @@ fn main() -> hana_common::Result<()> {
     let read = sales.read(&reader);
     let rows = read.point(1, &Value::str("Los Gatos"))?;
     let (count, sum) = read.aggregate_numeric(2)?;
-    println!("point query       : {} rows with city = Los Gatos", rows.len());
+    println!(
+        "point query       : {} rows with city = Los Gatos",
+        rows.len()
+    );
     println!("aggregate         : count = {count}, sum(amount) = {sum}");
 
     // 7. Fig 10's range query: cities between C% and M%.
@@ -81,7 +93,11 @@ fn main() -> hana_common::Result<()> {
     db.commit(&mut txn)?;
     let reader = db.begin(IsolationLevel::Transaction);
     let row = &sales.read(&reader).point(0, &Value::Int(0))?[0];
-    println!("after update      : order 0 amount = {} | stages = {:?}", row[2], stage(&sales));
+    println!(
+        "after update      : order 0 amount = {} | stages = {:?}",
+        row[2],
+        stage(&sales)
+    );
     Ok(())
 }
 

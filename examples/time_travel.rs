@@ -24,19 +24,32 @@ fn main() -> hana_common::Result<()> {
 
     // t1: hire Ada.
     let mut txn = db.begin(IsolationLevel::Transaction);
-    table.insert(&txn, vec![Value::Int(1), Value::str("Ada"), Value::Int(100)])?;
+    table.insert(
+        &txn,
+        vec![Value::Int(1), Value::str("Ada"), Value::Int(100)],
+    )?;
     let t1 = db.commit(&mut txn)?;
     println!("t{t1}: hired Ada at salary 100");
 
     // t2: raise.
     let mut txn = db.begin(IsolationLevel::Transaction);
-    table.update_where(&txn, ColumnId(0), &Value::Int(1), &[(ColumnId(2), Value::Int(130))])?;
+    table.update_where(
+        &txn,
+        ColumnId(0),
+        &Value::Int(1),
+        &[(ColumnId(2), Value::Int(130))],
+    )?;
     let t2 = db.commit(&mut txn)?;
     println!("t{t2}: raised Ada to 130");
 
     // t3: another raise.
     let mut txn = db.begin(IsolationLevel::Transaction);
-    table.update_where(&txn, ColumnId(0), &Value::Int(1), &[(ColumnId(2), Value::Int(170))])?;
+    table.update_where(
+        &txn,
+        ColumnId(0),
+        &Value::Int(1),
+        &[(ColumnId(2), Value::Int(170))],
+    )?;
     let t3 = db.commit(&mut txn)?;
     println!("t{t3}: raised Ada to 170");
 
@@ -51,7 +64,10 @@ fn main() -> hana_common::Result<()> {
     table.drain_l1()?;
     table.merge_delta_as(hana_merge::MergeDecision::Classic)?;
     let history = table.history().expect("historic table");
-    println!("\nafter merge: {} archived version(s) in the history store", history.len());
+    println!(
+        "\nafter merge: {} archived version(s) in the history store",
+        history.len()
+    );
 
     // The full change record of Ada, oldest first.
     let row_id = {
@@ -65,12 +81,7 @@ fn main() -> hana_common::Result<()> {
         id.expect("Ada exists")
     };
     for v in history.history_of(row_id) {
-        println!(
-            "  [{} .. {}): salary {}",
-            v.begin,
-            v.end,
-            v.values[2]
-        );
+        println!("  [{} .. {}): salary {}", v.begin, v.end, v.values[2]);
     }
 
     // Time travel via the archive: what was the salary at t2?

@@ -1,11 +1,11 @@
 //! Concurrency stress: writers, readers and the merge daemon racing on one
 //! table, with invariants checked continuously and at the end.
 
-use hana_common::{ColumnDef, ColumnId, DataType, Schema, TableConfig, Value};
+use hana_common::{ColumnDef, ColumnId, DataType, MergeConfig, Schema, TableConfig, Value};
 use hana_core::Database;
 use hana_txn::IsolationLevel;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 fn schema() -> Schema {
@@ -34,7 +34,9 @@ fn balance_conservation_under_concurrency() {
     let table = db.create_table(schema(), cfg).unwrap();
     let mut txn = db.begin(IsolationLevel::Transaction);
     for i in 0..ACCOUNTS {
-        table.insert(&txn, vec![Value::Int(i), Value::Int(INITIAL)]).unwrap();
+        table
+            .insert(&txn, vec![Value::Int(i), Value::Int(INITIAL)])
+            .unwrap();
     }
     db.commit(&mut txn).unwrap();
     db.start_merge_daemon(Duration::from_millis(1));
@@ -120,7 +122,10 @@ fn balance_conservation_under_concurrency() {
         stop.store(true, Ordering::Relaxed);
     });
     db.stop_merge_daemon();
-    assert!(transfers.load(Ordering::Relaxed) > 0, "some transfers committed");
+    assert!(
+        transfers.load(Ordering::Relaxed) > 0,
+        "some transfers committed"
+    );
 
     // Final state: settle everything and re-verify.
     table.force_full_merge().unwrap();
@@ -130,7 +135,10 @@ fn balance_conservation_under_concurrency() {
     assert_eq!(count as i64, ACCOUNTS);
     assert_eq!(sum as i64, ACCOUNTS * INITIAL);
     let stats = table.stage_stats();
-    assert_eq!(stats.main_rows as i64, ACCOUNTS, "all garbage collected: {stats:?}");
+    assert_eq!(
+        stats.main_rows as i64, ACCOUNTS,
+        "all garbage collected: {stats:?}"
+    );
 }
 
 /// Inserts from many threads never produce duplicate keys or lost rows.
@@ -138,7 +146,10 @@ fn balance_conservation_under_concurrency() {
 fn concurrent_inserts_unique_and_complete() {
     let db = Database::in_memory();
     let table = db
-        .create_table(schema(), TableConfig::small().with_l1_max(16).with_l2_max(64))
+        .create_table(
+            schema(),
+            TableConfig::small().with_l1_max(16).with_l2_max(64),
+        )
         .unwrap();
     db.start_merge_daemon(Duration::from_millis(1));
     const PER_THREAD: i64 = 500;
@@ -150,7 +161,9 @@ fn concurrent_inserts_unique_and_complete() {
                 for i in 0..PER_THREAD {
                     let id = w * PER_THREAD + i;
                     let mut txn = db.begin(IsolationLevel::Transaction);
-                    table.insert(&txn, vec![Value::Int(id), Value::Int(0)]).unwrap();
+                    table
+                        .insert(&txn, vec![Value::Int(id), Value::Int(0)])
+                        .unwrap();
                     db.commit(&mut txn).unwrap();
                 }
             });
@@ -162,8 +175,89 @@ fn concurrent_inserts_unique_and_complete() {
     assert_eq!(read.count() as i64, 4 * PER_THREAD);
     let mut seen = std::collections::HashSet::new();
     read.for_each_visible(|row| {
-        assert!(seen.insert(row.values[0].as_int().unwrap()), "duplicate key");
+        assert!(
+            seen.insert(row.values[0].as_int().unwrap()),
+            "duplicate key"
+        );
     });
+}
+
+/// Open snapshots keep seeing exactly their data while column-parallel
+/// delta-to-main merges rebuild the main underneath them.
+#[test]
+fn snapshot_reads_consistent_during_parallel_merge() {
+    const ROWS: i64 = 2_000;
+    const BATCHES: i64 = 4;
+    const BATCH: i64 = 500;
+    let db = Database::in_memory();
+    let cfg = TableConfig {
+        l1_max_rows: usize::MAX / 2,
+        l2_max_rows: usize::MAX / 2,
+        ..TableConfig::default()
+    }
+    .with_merge(MergeConfig::default().with_column_parallelism(4));
+    let table = db.create_table(schema(), cfg).unwrap();
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    let batch: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| vec![Value::Int(i), Value::Int(i)])
+        .collect();
+    table.bulk_load(&txn, batch).unwrap();
+    db.commit(&mut txn).unwrap();
+    table
+        .merge_delta_as(hana_merge::MergeDecision::Classic)
+        .unwrap();
+    let expected_sum: i64 = (0..ROWS).sum();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Readers open their snapshot BEFORE any further merge runs (barrier),
+    // then re-read it continuously while merges swap the main out.
+    let ready = Arc::new(Barrier::new(3));
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let db = Arc::clone(&db);
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let ready = Arc::clone(&ready);
+            scope.spawn(move || {
+                let r = db.begin(IsolationLevel::Transaction);
+                ready.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let read = table.read(&r);
+                    let (count, sum) = read.aggregate_numeric(1).unwrap();
+                    assert_eq!(count as i64, ROWS, "snapshot row count drifted mid-merge");
+                    assert_eq!(sum as i64, expected_sum, "snapshot sum drifted mid-merge");
+                }
+            });
+        }
+        ready.wait();
+        for b in 0..BATCHES {
+            let first = ROWS + b * BATCH;
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            let batch: Vec<Vec<Value>> = (first..first + BATCH)
+                .map(|i| vec![Value::Int(i), Value::Int(i)])
+                .collect();
+            table.bulk_load(&txn, batch).unwrap();
+            db.commit(&mut txn).unwrap();
+            let decision = if b % 2 == 0 {
+                hana_merge::MergeDecision::Classic
+            } else {
+                hana_merge::MergeDecision::Partial
+            };
+            table.merge_delta_as(decision).unwrap();
+            // A fresh snapshot must see everything committed so far.
+            let r = db.begin(IsolationLevel::Transaction);
+            let (count, _) = table.read(&r).aggregate_numeric(1).unwrap();
+            assert_eq!(
+                count as i64,
+                first + BATCH,
+                "fresh snapshot after merge {b}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Requested 4 workers, capped by the 2-column arity.
+    let m = table.last_merge_metrics().expect("metrics after merges");
+    assert_eq!(m.parallel_workers, 2);
 }
 
 /// Contended inserts of the SAME key from many threads: exactly one wins.

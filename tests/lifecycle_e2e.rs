@@ -80,7 +80,10 @@ fn queries_stable_across_whole_lifecycle() {
 fn updates_survive_merges_in_every_stage() {
     let db = Database::in_memory();
     let t = db
-        .create_table(schema(), TableConfig::small().with_l1_max(20).with_l2_max(60))
+        .create_table(
+            schema(),
+            TableConfig::small().with_l1_max(20).with_l2_max(60),
+        )
         .unwrap();
     insert_range(&db, &t, 0, 100);
     t.drain_l1().unwrap();
@@ -138,8 +141,11 @@ fn unique_constraint_across_stages() {
     t.delete_where(&txn, ColumnId(0), &Value::Int(5)).unwrap();
     db.commit(&mut txn).unwrap();
     let mut txn = db.begin(IsolationLevel::Transaction);
-    t.insert(&txn, vec![Value::Int(5), Value::str("again"), Value::Int(1)])
-        .unwrap();
+    t.insert(
+        &txn,
+        vec![Value::Int(5), Value::str("again"), Value::Int(1)],
+    )
+    .unwrap();
     db.commit(&mut txn).unwrap();
     let r = db.begin(IsolationLevel::Transaction);
     let rows = t.read(&r).point(0, &Value::Int(5)).unwrap();
@@ -225,6 +231,10 @@ fn partitioned_lifecycle() {
     let (c, s) = pt.parallel_aggregate(snap, 2).unwrap();
     assert_eq!((c, s), (400, 400.0));
     // Rows merged somewhere down the pipeline in each partition.
-    let merged: usize = pt.partitions().iter().map(|p| p.stage_stats().main_rows).sum();
+    let merged: usize = pt
+        .partitions()
+        .iter()
+        .map(|p| p.stage_stats().main_rows)
+        .sum();
     assert!(merged > 0);
 }

@@ -1,0 +1,138 @@
+//! Determinism of the column-parallel delta-to-main merge: for every merge
+//! strategy, the parallel fan-out must produce a main that is bit-identical
+//! to the serial merge — same dictionaries, same codes, same row order.
+
+use hana_common::{ColumnDef, DataType, MergeConfig, Schema, TableConfig, Value};
+use hana_core::{Database, UnifiedTable};
+use hana_merge::MergeDecision;
+use hana_persist::TableImage;
+use hana_txn::IsolationLevel;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Int).unique(),
+            ColumnDef::new("v", DataType::Int),
+            ColumnDef::new("s", DataType::Str),
+            ColumnDef::new("w", DataType::Int),
+        ],
+    )
+    .unwrap()
+}
+
+fn load(db: &Database, table: &Arc<UnifiedTable>, rows: &[(i64, String, i64)], first_id: i64) {
+    if rows.is_empty() {
+        return;
+    }
+    let batch: Vec<Vec<Value>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (v, s, w))| {
+            vec![
+                Value::Int(first_id + i as i64),
+                Value::Int(*v),
+                Value::str(s.as_str()),
+                Value::Int(*w),
+            ]
+        })
+        .collect();
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    table.bulk_load(&txn, batch).unwrap();
+    db.commit(&mut txn).unwrap();
+}
+
+/// Build a table, merge the first half classically into a main, load the
+/// second half and merge it with `decision` under the given column
+/// parallelism, then export the savepoint image of the result.
+fn merged_image(
+    parallelism: usize,
+    rows: &[(i64, String, i64)],
+    decision: MergeDecision,
+) -> TableImage {
+    let db = Database::in_memory();
+    let cfg = TableConfig {
+        l1_max_rows: usize::MAX / 2,
+        l2_max_rows: usize::MAX / 2,
+        ..TableConfig::default()
+    }
+    .with_merge(MergeConfig::default().with_column_parallelism(parallelism));
+    let table = db.create_table(schema(), cfg).unwrap();
+    let (first, second) = rows.split_at(rows.len() / 2);
+    load(&db, &table, first, 0);
+    if !first.is_empty() {
+        table.merge_delta_as(MergeDecision::Classic).unwrap();
+    }
+    load(&db, &table, second, first.len() as i64);
+    table.merge_delta_as(decision).unwrap();
+    table.to_image()
+}
+
+fn assert_same_main(serial: &TableImage, parallel: &TableImage) {
+    assert_eq!(serial.main_parts.len(), parallel.main_parts.len());
+    assert_eq!(serial.passive_count, parallel.passive_count);
+    for (s, p) in serial.main_parts.iter().zip(&parallel.main_parts) {
+        assert_eq!(s.columns, p.columns, "dicts/bases/codes must match");
+        assert_eq!(s.row_ids, p.row_ids, "row order must match");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Classic, re-sorting and partial merges all yield identical mains
+    /// whether the per-column work runs on 1 or 4 workers.
+    #[test]
+    fn parallel_merge_matches_serial(
+        rows in prop::collection::vec(
+            (0i64..20, "[a-e]{1,3}", -1000i64..1000),
+            2..40,
+        )
+    ) {
+        for decision in [
+            MergeDecision::Classic,
+            MergeDecision::ReSorting,
+            MergeDecision::Partial,
+        ] {
+            let serial = merged_image(1, &rows, decision);
+            let parallel = merged_image(4, &rows, decision);
+            assert_same_main(&serial, &parallel);
+        }
+    }
+}
+
+/// The recorded metrics reflect the merge that actually ran.
+#[test]
+fn merge_metrics_recorded() {
+    let rows: Vec<(i64, String, i64)> = (0..100)
+        .map(|i| (i % 7, format!("s{}", i % 5), i * 3))
+        .collect();
+    let db = Database::in_memory();
+    let cfg = TableConfig {
+        l1_max_rows: usize::MAX / 2,
+        l2_max_rows: usize::MAX / 2,
+        ..TableConfig::default()
+    }
+    .with_merge(MergeConfig::default().with_column_parallelism(3));
+    let table = db.create_table(schema(), cfg).unwrap();
+    assert!(table.last_merge_metrics().is_none());
+    load(&db, &table, &rows, 0);
+    table.merge_delta_as(MergeDecision::Classic).unwrap();
+    let m = table.last_merge_metrics().expect("metrics after merge");
+    assert_eq!(m.rows_in, 100);
+    assert_eq!(m.rows_out, 100);
+    assert_eq!(m.columns, 4);
+    assert_eq!(m.parallel_workers, 3);
+}
+
+/// Explicitly oversubscribed parallelism (more workers than columns) still
+/// produces the serial result.
+#[test]
+fn oversubscribed_workers_match_serial() {
+    let rows: Vec<(i64, String, i64)> = (0..60).map(|i| (i % 4, "x".into(), i)).collect();
+    let serial = merged_image(1, &rows, MergeDecision::Classic);
+    let wide = merged_image(64, &rows, MergeDecision::Classic);
+    assert_same_main(&serial, &wide);
+}

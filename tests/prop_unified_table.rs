@@ -69,7 +69,12 @@ fn apply_ops(
             }
             Op::Update(k, v) => {
                 let mut txn = db.begin(IsolationLevel::Transaction);
-                match t.update_where(&txn, ColumnId(0), &Value::Int(*k), &[(ColumnId(1), Value::Int(*v))]) {
+                match t.update_where(
+                    &txn,
+                    ColumnId(0),
+                    &Value::Int(*k),
+                    &[(ColumnId(1), Value::Int(*v))],
+                ) {
                     Ok(_) => {
                         assert!(model.contains_key(k));
                         db.commit(&mut txn).unwrap();

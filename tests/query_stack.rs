@@ -8,22 +8,32 @@ use hana_core::Database;
 use hana_engines::olap::{Dimension, StarJoin};
 use hana_engines::{GraphEngine, TextIndex};
 use hana_txn::{IsolationLevel, Snapshot};
-use hana_workload::sales::{fact_cols, SalesDataset};
-use hana_workload::{OlapRunner, DataGen};
 use hana_workload::olap::ALL_QUERIES;
+use hana_workload::sales::{fact_cols, SalesDataset};
+use hana_workload::{DataGen, OlapRunner};
 use std::sync::Arc;
 
 /// Load a dataset and deliberately leave rows in all three stages.
 fn staged_dataset(db: &Arc<Database>) -> SalesDataset {
-    let ds = SalesDataset::load(db, TableConfig::small().with_l1_max(64).with_l2_max(256), 2_000, 100, 40, 5)
-        .unwrap();
+    let ds = SalesDataset::load(
+        db,
+        TableConfig::small().with_l1_max(64).with_l2_max(256),
+        2_000,
+        100,
+        40,
+        5,
+    )
+    .unwrap();
     ds.settle().unwrap(); // 2000 rows in main
-    // 300 more through OLTP → L2, 50 more → L1.
+                          // 300 more through OLTP → L2, 50 more → L1.
     let mut gen = DataGen::new(17);
     let mut txn = db.begin(IsolationLevel::Transaction);
     for i in 2_000..2_300 {
         ds.sales
-            .insert(&txn, hana_workload::SalesSchema::fact_row(&mut gen, i, 100, 40))
+            .insert(
+                &txn,
+                hana_workload::SalesSchema::fact_row(&mut gen, i, 100, 40),
+            )
             .unwrap();
     }
     db.commit(&mut txn).unwrap();
@@ -31,7 +41,10 @@ fn staged_dataset(db: &Arc<Database>) -> SalesDataset {
     let mut txn = db.begin(IsolationLevel::Transaction);
     for i in 2_300..2_350 {
         ds.sales
-            .insert(&txn, hana_workload::SalesSchema::fact_row(&mut gen, i, 100, 40))
+            .insert(
+                &txn,
+                hana_workload::SalesSchema::fact_row(&mut gen, i, 100, 40),
+            )
             .unwrap();
     }
     db.commit(&mut txn).unwrap();
@@ -51,7 +64,10 @@ fn calc_results_independent_of_stage_distribution() {
         let s = staged.sales.stage_stats();
         (s.l1_rows, s.l2_rows, s.main_rows)
     };
-    assert!(l1 > 0 && l2 > 0 && main > 0, "stages are populated: {l1}/{l2}/{main}");
+    assert!(
+        l1 > 0 && l2 > 0 && main > 0,
+        "stages are populated: {l1}/{l2}/{main}"
+    );
     assert_eq!(settled.sales.stage_stats().main_rows, 2_350);
 
     for &q in ALL_QUERIES {
@@ -77,7 +93,10 @@ fn optimizer_preserves_semantics_and_uses_indexes() {
             .filter(Predicate::Gt(fact_cols::AMOUNT, Value::Int(100)))
             .project(vec![
                 ("order", Expr::col(fact_cols::ORDER_ID)),
-                ("weighted", Expr::col(fact_cols::AMOUNT).mul(Expr::col(fact_cols::QUANTITY))),
+                (
+                    "weighted",
+                    Expr::col(fact_cols::AMOUNT).mul(Expr::col(fact_cols::QUANTITY)),
+                ),
             ])
             .aggregate(vec![], vec![(AggFunc::Count, 0), (AggFunc::Sum, 1)])
             .compile()
@@ -143,7 +162,10 @@ fn star_join_over_staged_fact_table() {
     let by_cat: f64 = res.groups.iter().map(|g| g.2).sum();
     let (_, direct_sum) = {
         let r = db.begin(IsolationLevel::Transaction);
-        ds.sales.read(&r).aggregate_numeric(fact_cols::AMOUNT).unwrap()
+        ds.sales
+            .read(&r)
+            .aggregate_numeric(fact_cols::AMOUNT)
+            .unwrap()
     };
     assert!((by_cat - direct_sum).abs() < 1e-6);
 }
@@ -153,7 +175,12 @@ fn text_engine_over_unified_table() {
     let db = Database::in_memory();
     let ds = staged_dataset(&db);
     // Index the city column as text.
-    let idx = TextIndex::build(&ds.sales, fact_cols::CITY, Snapshot::at(db.txn_manager().now())).unwrap();
+    let idx = TextIndex::build(
+        &ds.sales,
+        fact_cols::CITY,
+        Snapshot::at(db.txn_manager().now()),
+    )
+    .unwrap();
     assert_eq!(idx.doc_count(), 2_350);
     let hits = idx.search_and("los gatos", 10_000);
     let r = db.begin(IsolationLevel::Transaction);
@@ -182,11 +209,13 @@ fn graph_engine_over_unified_table() {
     let t = db.create_table(schema, TableConfig::small()).unwrap();
     let mut txn = db.begin(IsolationLevel::Transaction);
     for i in 0..100i64 {
-        t.insert(&txn, vec![Value::Int(i), Value::Int((i + 1) % 100)]).unwrap();
+        t.insert(&txn, vec![Value::Int(i), Value::Int((i + 1) % 100)])
+            .unwrap();
     }
     db.commit(&mut txn).unwrap();
     t.force_full_merge().unwrap(); // engine reads from the main store
-    let g = GraphEngine::from_edge_table(&t, Snapshot::at(db.txn_manager().now()), 0, 1, None).unwrap();
+    let g =
+        GraphEngine::from_edge_table(&t, Snapshot::at(db.txn_manager().now()), 0, 1, None).unwrap();
     assert_eq!(g.edge_count(), 100);
     let reach = g.bfs(&Value::Int(0), 10);
     assert_eq!(reach.len(), 11);

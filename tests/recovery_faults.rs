@@ -17,10 +17,16 @@ fn schema() -> Schema {
     .unwrap()
 }
 
-fn insert(db: &std::sync::Arc<Database>, t: &std::sync::Arc<hana_core::UnifiedTable>, lo: i64, hi: i64) {
+fn insert(
+    db: &std::sync::Arc<Database>,
+    t: &std::sync::Arc<hana_core::UnifiedTable>,
+    lo: i64,
+    hi: i64,
+) {
     let mut txn = db.begin(IsolationLevel::Transaction);
     for i in lo..hi {
-        t.insert(&txn, vec![Value::Int(i), Value::str(format!("v{i}"))]).unwrap();
+        t.insert(&txn, vec![Value::Int(i), Value::str(format!("v{i}"))])
+            .unwrap();
     }
     db.commit(&mut txn).unwrap();
 }
@@ -89,8 +95,10 @@ fn uncommitted_work_disappears_committed_work_stays() {
         t.delete_where(&del, ColumnId(0), &Value::Int(3)).unwrap();
         db.commit(&mut del).unwrap();
         let zombie = db.begin(IsolationLevel::Transaction);
-        t.insert(&zombie, vec![Value::Int(100), Value::str("zombie")]).unwrap();
-        t.delete_where(&zombie, ColumnId(0), &Value::Int(5)).unwrap();
+        t.insert(&zombie, vec![Value::Int(100), Value::str("zombie")])
+            .unwrap();
+        t.delete_where(&zombie, ColumnId(0), &Value::Int(5))
+            .unwrap();
         std::mem::forget(zombie);
     }
     let db = Database::open(dir.path()).unwrap();
@@ -136,7 +144,8 @@ fn commit_between_savepoint_and_crash_replays() {
         // insert is only in the savepoint image (as a mark), its commit
         // record only in the post-savepoint log.
         let straddler = db.begin(IsolationLevel::Transaction);
-        t.insert(&straddler, vec![Value::Int(1), Value::str("straddle")]).unwrap();
+        t.insert(&straddler, vec![Value::Int(1), Value::str("straddle")])
+            .unwrap();
         db.savepoint().unwrap();
         let mut straddler = straddler;
         db.commit(&mut straddler).unwrap();
@@ -168,7 +177,10 @@ fn corrupt_page_store_superblock_falls_back_or_fails_loud() {
     std::fs::write(&pages, &raw).unwrap();
     let db = Database::open(dir.path()).unwrap();
     let n = count(&db);
-    assert!(n == 20 || n == 25, "fell back to a consistent state, got {n}");
+    assert!(
+        n == 20 || n == 25,
+        "fell back to a consistent state, got {n}"
+    );
 }
 
 #[test]
@@ -181,8 +193,13 @@ fn historic_table_archive_survives_restart() {
             .unwrap();
         insert(&db, &t, 0, 5);
         let mut upd = db.begin(IsolationLevel::Transaction);
-        t.update_where(&upd, ColumnId(0), &Value::Int(2), &[(ColumnId(1), Value::str("new"))])
-            .unwrap();
+        t.update_where(
+            &upd,
+            ColumnId(0),
+            &Value::Int(2),
+            &[(ColumnId(1), Value::str("new"))],
+        )
+        .unwrap();
         db.commit(&mut upd).unwrap();
         t.force_full_merge().unwrap(); // archives the superseded version
         assert_eq!(t.history().unwrap().len(), 1);

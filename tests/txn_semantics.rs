@@ -21,15 +21,21 @@ fn transaction_level_si_is_repeatable() {
     let db = Database::in_memory();
     let t = db.create_table(schema(), TableConfig::small()).unwrap();
     let mut seed = db.begin(IsolationLevel::Transaction);
-    t.insert(&seed, vec![Value::Int(1), Value::Int(100)]).unwrap();
+    t.insert(&seed, vec![Value::Int(1), Value::Int(100)])
+        .unwrap();
     db.commit(&mut seed).unwrap();
 
     let reader = db.begin(IsolationLevel::Transaction);
     let before = t.read(&reader).point(0, &Value::Int(1)).unwrap()[0][1].clone();
 
     let mut writer = db.begin(IsolationLevel::Transaction);
-    t.update_where(&writer, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(999))])
-        .unwrap();
+    t.update_where(
+        &writer,
+        ColumnId(0),
+        &Value::Int(1),
+        &[(ColumnId(1), Value::Int(999))],
+    )
+    .unwrap();
     db.commit(&mut writer).unwrap();
 
     // Same transaction, new statement: still the old value.
@@ -43,7 +49,8 @@ fn statement_level_si_sees_fresh_commits() {
     let db = Database::in_memory();
     let t = db.create_table(schema(), TableConfig::small()).unwrap();
     let mut seed = db.begin(IsolationLevel::Transaction);
-    t.insert(&seed, vec![Value::Int(1), Value::Int(100)]).unwrap();
+    t.insert(&seed, vec![Value::Int(1), Value::Int(100)])
+        .unwrap();
     db.commit(&mut seed).unwrap();
 
     let reader = db.begin(IsolationLevel::Statement);
@@ -52,8 +59,13 @@ fn statement_level_si_sees_fresh_commits() {
         Value::Int(100)
     );
     let mut writer = db.begin(IsolationLevel::Transaction);
-    t.update_where(&writer, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(999))])
-        .unwrap();
+    t.update_where(
+        &writer,
+        ColumnId(0),
+        &Value::Int(1),
+        &[(ColumnId(1), Value::Int(999))],
+    )
+    .unwrap();
     db.commit(&mut writer).unwrap();
     // The *same* reader transaction now sees the new value.
     assert_eq!(
@@ -72,10 +84,20 @@ fn first_writer_wins_and_loser_can_retry() {
 
     let a = db.begin(IsolationLevel::Transaction);
     let b = db.begin(IsolationLevel::Transaction);
-    t.update_where(&a, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(1))])
-        .unwrap();
+    t.update_where(
+        &a,
+        ColumnId(0),
+        &Value::Int(1),
+        &[(ColumnId(1), Value::Int(1))],
+    )
+    .unwrap();
     let err = t
-        .update_where(&b, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(2))])
+        .update_where(
+            &b,
+            ColumnId(0),
+            &Value::Int(1),
+            &[(ColumnId(1), Value::Int(2))],
+        )
         .unwrap_err();
     assert!(matches!(err, HanaError::WriteConflict(_)));
     let mut a = a;
@@ -84,8 +106,13 @@ fn first_writer_wins_and_loser_can_retry() {
     db.abort(&mut b).unwrap();
     // Retry in a fresh transaction succeeds.
     let mut c = db.begin(IsolationLevel::Transaction);
-    t.update_where(&c, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(2))])
-        .unwrap();
+    t.update_where(
+        &c,
+        ColumnId(0),
+        &Value::Int(1),
+        &[(ColumnId(1), Value::Int(2))],
+    )
+    .unwrap();
     db.commit(&mut c).unwrap();
     let r = db.begin(IsolationLevel::Transaction);
     assert_eq!(
@@ -99,19 +126,28 @@ fn abort_rolls_back_inserts_updates_and_deletes() {
     let db = Database::in_memory();
     let t = db.create_table(schema(), TableConfig::small()).unwrap();
     let mut seed = db.begin(IsolationLevel::Transaction);
-    t.insert(&seed, vec![Value::Int(1), Value::Int(100)]).unwrap();
+    t.insert(&seed, vec![Value::Int(1), Value::Int(100)])
+        .unwrap();
     db.commit(&mut seed).unwrap();
 
     let mut bad = db.begin(IsolationLevel::Transaction);
     t.insert(&bad, vec![Value::Int(2), Value::Int(1)]).unwrap();
-    t.update_where(&bad, ColumnId(0), &Value::Int(1), &[(ColumnId(1), Value::Int(0))])
-        .unwrap();
+    t.update_where(
+        &bad,
+        ColumnId(0),
+        &Value::Int(1),
+        &[(ColumnId(1), Value::Int(0))],
+    )
+    .unwrap();
     db.abort(&mut bad).unwrap();
 
     let r = db.begin(IsolationLevel::Transaction);
     let read = t.read(&r);
     assert_eq!(read.count(), 1);
-    assert_eq!(read.point(0, &Value::Int(1)).unwrap()[0][1], Value::Int(100));
+    assert_eq!(
+        read.point(0, &Value::Int(1)).unwrap()[0][1],
+        Value::Int(100)
+    );
     assert!(read.point(0, &Value::Int(2)).unwrap().is_empty());
 }
 
@@ -146,7 +182,9 @@ fn concurrent_duplicate_insert_conflicts() {
     let a = db.begin(IsolationLevel::Transaction);
     let b = db.begin(IsolationLevel::Transaction);
     t.insert(&a, vec![Value::Int(7), Value::Int(1)]).unwrap();
-    let err = t.insert(&b, vec![Value::Int(7), Value::Int(2)]).unwrap_err();
+    let err = t
+        .insert(&b, vec![Value::Int(7), Value::Int(2)])
+        .unwrap_err();
     assert!(matches!(err, HanaError::WriteConflict(_)), "{err}");
     // After a aborts, b can retry successfully in a new statement.
     let mut a = a;
@@ -163,7 +201,8 @@ fn watermark_blocks_premature_gc() {
     let db = Database::in_memory();
     let t = db.create_table(schema(), TableConfig::small()).unwrap();
     let mut seed = db.begin(IsolationLevel::Transaction);
-    t.insert(&seed, vec![Value::Int(1), Value::Int(100)]).unwrap();
+    t.insert(&seed, vec![Value::Int(1), Value::Int(100)])
+        .unwrap();
     db.commit(&mut seed).unwrap();
 
     // Old reader pins the snapshot.
@@ -179,5 +218,8 @@ fn watermark_blocks_premature_gc() {
     let r = db.begin(IsolationLevel::Transaction);
     assert_eq!(t.read(&r).count(), 0);
     assert_eq!(view.count(), 1);
-    assert_eq!(view.point(0, &Value::Int(1)).unwrap()[0][1], Value::Int(100));
+    assert_eq!(
+        view.point(0, &Value::Int(1)).unwrap()[0][1],
+        Value::Int(100)
+    );
 }

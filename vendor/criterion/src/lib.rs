@@ -163,7 +163,10 @@ fn run_one(
             format!("  ({:.0} elem/s)", n as f64 / median.as_secs_f64())
         }
         Some(Throughput::Bytes(n)) if median.as_secs_f64() > 0.0 => {
-            format!("  ({:.1} MiB/s)", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
         }
         _ => String::new(),
     };
@@ -206,7 +209,13 @@ impl BenchmarkGroup<'_> {
         id: impl Into<BenchmarkId>,
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        run_one(&self.name, &id.into(), self.sample_size, self.throughput, &mut f);
+        run_one(
+            &self.name,
+            &id.into(),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
         self
     }
 
@@ -216,9 +225,13 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(&self.name, &id.into(), self.sample_size, self.throughput, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &self.name,
+            &id.into(),
+            self.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
         self
     }
 

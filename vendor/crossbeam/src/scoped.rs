@@ -98,10 +98,7 @@ mod tests {
         let data = [1u64, 2, 3, 4];
         let sum = AtomicUsize::new(0);
         scope(|s| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&v| s.spawn(move |_| v * 10))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
             for h in handles {
                 sum.fetch_add(h.join().unwrap() as usize, Ordering::SeqCst);
             }
@@ -113,7 +110,9 @@ mod tests {
     #[test]
     fn nested_spawn() {
         let r = scope(|s| {
-            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap()
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
         })
         .unwrap();
         assert_eq!(r, 7);

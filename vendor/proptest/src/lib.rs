@@ -242,8 +242,9 @@ impl Strategy for &'static str {
     type Value = String;
 
     fn generate(&self, rng: &mut TestRng) -> String {
-        let (lo_ch, hi_ch, lo_len, hi_len) = parse_class_pattern(self)
-            .unwrap_or_else(|| panic!("unsupported string pattern {self:?} (shim supports `[x-y]{{lo,hi}}`)"));
+        let (lo_ch, hi_ch, lo_len, hi_len) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!("unsupported string pattern {self:?} (shim supports `[x-y]{{lo,hi}}`)")
+        });
         let len = lo_len + rng.below((hi_len - lo_len + 1) as u64) as usize;
         let span = hi_ch as u64 - lo_ch as u64 + 1;
         (0..len)
@@ -466,7 +467,7 @@ mod tests {
             tag in prop_oneof![2 => Just("hot"), 1 => Just("cold")],
         ) {
             n += 1;
-            prop_assert!(6 <= n && n < 10);
+            prop_assert!((6..10).contains(&n));
             prop_assert!(!v.is_empty() && v.len() < 20);
             for (x, _) in &v {
                 prop_assert!(*x < 10);
