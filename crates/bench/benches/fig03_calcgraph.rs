@@ -28,6 +28,7 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
         let s = g.add(CalcNode::TableSource {
             table: Arc::clone(table),
             fused_filter: Predicate::True,
+            projection: None,
         });
         let f = g.add(CalcNode::Filter { input: s, pred });
         let b1 = mk_branch(&mut g, f);
@@ -41,6 +42,7 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
         let s1 = g.add(CalcNode::TableSource {
             table: Arc::clone(table),
             fused_filter: Predicate::True,
+            projection: None,
         });
         let f1 = g.add(CalcNode::Filter {
             input: s1,
@@ -49,6 +51,7 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
         let s2 = g.add(CalcNode::TableSource {
             table: Arc::clone(table),
             fused_filter: Predicate::True,
+            projection: None,
         });
         let f2 = g.add(CalcNode::Filter { input: s2, pred });
         let b1 = mk_branch(&mut g, f1);

@@ -12,7 +12,9 @@
 use hana_bench::{
     fill_l1, fill_l2, report, scale, scale_duration, staged_sales, Stage, CUSTOMERS, PRODUCTS,
 };
-use hana_common::{ColumnDef, DataType, MergeConfig, Schema, TableConfig, Value};
+use hana_common::{
+    ColumnDef, ColumnId, DataType, MergeConfig, ScanConfig, Schema, TableConfig, Value,
+};
 use hana_core::Database;
 use hana_merge::MergeDecision;
 use hana_txn::{IsolationLevel, Snapshot, TxnManager};
@@ -135,6 +137,92 @@ fn fig04() -> hana_common::Result<()> {
         "F4 access per stage",
         &["stage", "point lookup (µs)", "column scan (ms)"],
         &rows,
+    );
+
+    fig04_parallel()?;
+    Ok(())
+}
+
+/// F4b: the same main-resident column scan, serial vs the chunk-parallel
+/// fan-out, plus the snapshot-visibility bitmap cache (cold first statement
+/// vs warm repeats under one snapshot).
+fn fig04_parallel() -> hana_common::Result<()> {
+    let n = scale(1_000_000);
+    println!("\n## F4b — parallel scan & visibility bitmap cache ({n} rows)\n");
+    let build =
+        |parallelism: usize| -> hana_common::Result<(Arc<Database>, Arc<hana_core::UnifiedTable>)> {
+            let db = Database::in_memory();
+            let cfg = TableConfig {
+                l1_max_rows: usize::MAX / 2,
+                l2_max_rows: usize::MAX / 2,
+                ..TableConfig::default()
+            }
+            .with_scan(ScanConfig::default().with_scan_parallelism(parallelism));
+            let table = db.create_table(SalesSchema::fact(), cfg)?;
+            let mut gen = DataGen::new(7);
+            let batch: Vec<Vec<Value>> = (0..n)
+                .map(|i| SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS))
+                .collect();
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            table.bulk_load(&txn, batch)?;
+            db.commit(&mut txn)?;
+            table.merge_delta_as(MergeDecision::Classic)?;
+            Ok((db, table))
+        };
+    let scan = |db: &Database, table: &Arc<hana_core::UnifiedTable>| {
+        let read = table.read_at(Snapshot::at(db.txn_manager().now()));
+        let (t, _) = time(|| read.aggregate_numeric(fact_cols::AMOUNT).unwrap());
+        t
+    };
+    let (db_s, table_s) = build(1)?;
+    let (db_p, table_p) = build(0)?;
+    let t_serial = scan(&db_s, &table_s);
+    let t_par = scan(&db_p, &table_p);
+    let workers = hana_merge::effective_workers(0);
+    report::emit(
+        "F4b parallel scan",
+        &["scan", "workers", "scan (ms)", "speedup"],
+        &[
+            vec!["serial".into(), "1".into(), ms(t_serial), "1.00x".into()],
+            vec![
+                "chunk-parallel".into(),
+                workers.to_string(),
+                ms(t_par),
+                format!("{:.2}x", t_serial.as_secs_f64() / t_par.as_secs_f64()),
+            ],
+        ],
+    );
+
+    // A committed delete ends the wholly-visible fast path: the first
+    // statement under a snapshot builds the bitmap, later ones reuse it.
+    let (db, table) = (db_p, table_p);
+    let mut d = db.begin(IsolationLevel::Transaction);
+    table.delete_where(&d, ColumnId(fact_cols::ORDER_ID as u16), &Value::Int(123))?;
+    db.commit(&mut d)?;
+    let snap = Snapshot::at(db.txn_manager().now());
+    let cold_read = table.read_at(snap);
+    let (t_cold, _) = time(|| cold_read.aggregate_numeric(fact_cols::AMOUNT).unwrap());
+    let (cold_hits, cold_misses) = cold_read.vis_cache_stats();
+    let warm_read = table.read_at(snap);
+    let (t_warm, _) = time(|| warm_read.aggregate_numeric(fact_cols::AMOUNT).unwrap());
+    let (warm_hits, warm_misses) = warm_read.vis_cache_stats();
+    report::emit(
+        "F4b visibility bitmap cache",
+        &["statement", "bitmap hits", "bitmap misses", "scan (ms)"],
+        &[
+            vec![
+                "first under snapshot (cold)".into(),
+                cold_hits.to_string(),
+                cold_misses.to_string(),
+                ms(t_cold),
+            ],
+            vec![
+                "repeat under snapshot (warm)".into(),
+                warm_hits.to_string(),
+                warm_misses.to_string(),
+                ms(t_warm),
+            ],
+        ],
     );
     Ok(())
 }

@@ -140,6 +140,7 @@ impl Query {
                 Step::Scan(table) => CalcNode::TableSource {
                     table,
                     fused_filter: Predicate::True,
+                    projection: None,
                 },
                 Step::Filter(pred) => CalcNode::Filter {
                     input: current.expect("filter needs an input"),

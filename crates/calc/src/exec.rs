@@ -48,6 +48,10 @@ pub struct ExecStats {
     pub indexed_scans: usize,
     /// Full table scans.
     pub full_scans: usize,
+    /// Snapshot-visibility bitmaps reused from a main part's cache.
+    pub bitmap_cache_hits: u64,
+    /// Snapshot-visibility bitmaps computed (and cached) during scans.
+    pub bitmap_cache_misses: u64,
 }
 
 /// Executes calc graphs under one snapshot.
@@ -115,7 +119,8 @@ impl Executor {
             CalcNode::TableSource {
                 table,
                 fused_filter,
-            } => self.scan(table, fused_filter)?,
+                projection,
+            } => self.scan(table, fused_filter, projection.as_deref())?,
             CalcNode::Filter { input, pred } => {
                 let input_rs = &memo[input];
                 ResultSet {
@@ -210,11 +215,14 @@ impl Executor {
     }
 
     /// Scan a table, resolving index-friendly fused conjuncts through the
-    /// read view (point/range) and applying the residue row-wise.
+    /// read view (point/range) and applying the residue row-wise. The
+    /// pushed-down projection reaches the storage layer: only projected
+    /// columns are decoded, the rest come back as `Null` placeholders.
     fn scan(
         &mut self,
         table: &std::sync::Arc<hana_core::UnifiedTable>,
         fused: &Predicate,
+        projection: Option<&[usize]>,
     ) -> Result<ResultSet> {
         let read = table.read_at(self.snapshot);
         let columns = table
@@ -229,21 +237,33 @@ impl Executor {
         let rows = match indexable {
             Some(Indexable::Eq(col, v)) => {
                 self.stats.indexed_scans += 1;
-                read.point(col, &v)?
+                read.point_projected(col, &v, projection)?
             }
             Some(Indexable::Range(col, lo, hi)) => {
                 self.stats.indexed_scans += 1;
-                read.range(col, Bound::Included(&lo), Bound::Excluded(&hi))?
+                read.range_projected(col, Bound::Included(&lo), Bound::Excluded(&hi), projection)?
             }
             None => {
                 self.stats.full_scans += 1;
-                read.collect_rows().into_iter().map(|r| r.values).collect()
+                read.collect_rows_projected(projection)
+                    .into_iter()
+                    .map(|r| r.values)
+                    .collect()
             }
         };
+        self.absorb_cache_stats(&read);
         Ok(ResultSet {
             columns,
             rows: rows.into_iter().filter(|r| residue.eval(r)).collect(),
         })
+    }
+
+    /// Fold one read view's visibility-bitmap cache counters into the
+    /// statement statistics.
+    fn absorb_cache_stats(&mut self, read: &hana_core::TableRead) {
+        let (hits, misses) = read.vis_cache_stats();
+        self.stats.bitmap_cache_hits += hits;
+        self.stats.bitmap_cache_misses += misses;
     }
 }
 
@@ -264,6 +284,7 @@ impl Executor {
         let CalcNode::TableSource {
             table,
             fused_filter: Predicate::True,
+            ..
         } = g.node(input)
         else {
             return Ok(None);
@@ -331,6 +352,7 @@ impl Executor {
         };
         let mut rows = rows;
         rows.sort();
+        self.absorb_cache_stats(&read);
         Ok(Some(ResultSet { columns, rows }))
     }
 }
@@ -715,6 +737,7 @@ mod tests {
         let s = g.add(CalcNode::TableSource {
             table: t,
             fused_filter: Predicate::True,
+            projection: None,
         });
         let f = g.add(CalcNode::Filter {
             input: s,
@@ -738,6 +761,99 @@ mod tests {
         // 5 nodes, 5 evaluations — f and s were not re-run for p2.
         assert_eq!(ex.stats().nodes_evaluated, 5);
         assert_eq!(ex.stats().full_scans, 1);
+    }
+
+    /// A table whose rows live in the compressed main (with one committed
+    /// delete so visibility needs a bitmap, not the wholly-visible summary).
+    fn main_resident_table() -> (Arc<TxnManager>, Arc<hana_core::UnifiedTable>) {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "sales",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("city", DataType::Str),
+                ColumnDef::new("amount", DataType::Int),
+            ],
+        )
+        .unwrap();
+        let t = hana_core::UnifiedTable::standalone(schema, TableConfig::small(), Arc::clone(&mgr));
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for i in 0..50i64 {
+            t.insert(
+                &txn,
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+                    Value::Int(i),
+                ],
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        t.merge_l1().unwrap();
+        t.merge_delta_as(hana_merge::MergeDecision::Classic)
+            .unwrap();
+        let mut del = mgr.begin(IsolationLevel::Transaction);
+        t.delete_where(&del, hana_common::ColumnId(0), &Value::Int(7))
+            .unwrap();
+        del.commit().unwrap();
+        (mgr, t)
+    }
+
+    #[test]
+    fn projection_pushdown_matches_unoptimized_plan() {
+        let (mgr, t) = sales_table();
+        let build = || {
+            Query::scan(Arc::clone(&t))
+                .project(vec![("amt2", Expr::col(2).mul(Expr::lit(2)))])
+                .compile()
+        };
+        let plain = build();
+        let mut optimized = build();
+        optimize(&mut optimized);
+        // The scan now materializes only column 2.
+        assert!(optimized.explain().contains("[project [2]]"));
+        let a = Executor::new(snap(&mgr)).run(&plain).unwrap();
+        let b = Executor::new(snap(&mgr)).run(&optimized).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn projected_scan_serves_indexed_path() {
+        let (mgr, t) = sales_table();
+        let mut g = Query::scan(t)
+            .filter(Predicate::Eq(1, Value::str("Campbell")))
+            .project(vec![("id", Expr::col(0))])
+            .compile();
+        optimize(&mut g);
+        let mut ex = Executor::new(snap(&mgr));
+        let rs = ex.run(&g).unwrap();
+        assert_eq!(rs.len(), 10);
+        assert!(rs.rows.iter().all(|r| r[0].as_int().unwrap() % 3 == 0));
+        assert_eq!(ex.stats().indexed_scans, 1);
+    }
+
+    #[test]
+    fn executor_reports_bitmap_cache_stats() {
+        let (mgr, t) = main_resident_table();
+        let g = Query::scan(t)
+            .aggregate(vec![], vec![(AggFunc::Sum, 2)])
+            .compile();
+        let snapshot = snap(&mgr);
+        // Cold: the visibility bitmap is computed and cached on the part.
+        let mut ex = Executor::new(snapshot);
+        let cold = ex.run(&g).unwrap();
+        assert_eq!(
+            cold.rows[0][0],
+            Value::double((0..50).sum::<i64>() as f64 - 7.0)
+        );
+        assert!(ex.stats().bitmap_cache_misses >= 1);
+        // Warm: the same snapshot reuses the cached bitmap.
+        let mut ex2 = Executor::new(snapshot);
+        let warm = ex2.run(&g).unwrap();
+        assert_eq!(cold, warm);
+        assert!(ex2.stats().bitmap_cache_hits >= 1);
+        assert_eq!(ex2.stats().bitmap_cache_misses, 0);
     }
 
     #[test]

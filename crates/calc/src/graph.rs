@@ -23,13 +23,19 @@ pub type CustomFn =
 /// One logical operator.
 #[derive(Clone)]
 pub enum CalcNode {
-    /// Scan a unified table (all columns).
+    /// Scan a unified table (all columns unless a projection was pushed
+    /// down).
     TableSource {
         /// The table to scan.
         table: Arc<UnifiedTable>,
         /// Predicate fused into the scan by the optimizer; resolved through
         /// the table's dictionaries/inverted indexes when possible.
         fused_filter: Predicate,
+        /// Columns the plan above actually consumes, pushed down by the
+        /// optimizer. `None` materializes every column; `Some` materializes
+        /// only the listed ones (the rest stay `Null` placeholders so
+        /// downstream column indexes remain valid).
+        projection: Option<Vec<usize>>,
     },
     /// Row filter.
     Filter {
@@ -209,10 +215,17 @@ impl CalcGraph {
                 CalcNode::TableSource {
                     table,
                     fused_filter,
-                } => match fused_filter {
-                    Predicate::True => format!("scan {}", table.schema().name),
-                    p => format!("scan {} [fused filter {p:?}]", table.schema().name),
-                },
+                    projection,
+                } => {
+                    let mut desc = format!("scan {}", table.schema().name);
+                    if !matches!(fused_filter, Predicate::True) {
+                        desc.push_str(&format!(" [fused filter {fused_filter:?}]"));
+                    }
+                    if let Some(cols) = projection {
+                        desc.push_str(&format!(" [project {cols:?}]"));
+                    }
+                    desc
+                }
                 CalcNode::Filter { input, pred } => format!("filter #{} {pred:?}", input.0),
                 CalcNode::Project { input, exprs } => {
                     let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
@@ -283,6 +296,7 @@ mod tests {
         CalcNode::TableSource {
             table: hana_core::UnifiedTable::standalone(schema, TableConfig::default(), mgr),
             fused_filter: Predicate::True,
+            projection: None,
         }
     }
 

@@ -10,13 +10,21 @@
 //!    range conjuncts through the table's dictionaries and inverted indexes
 //!    instead of scanning;
 //! 3. **Projection collapsing** — `Project(Project(x))` composes the
-//!    expressions when the inner projection is pure column selection.
+//!    expressions when the inner projection is pure column selection;
+//! 4. **Projection pushdown** — the set of columns each scan's consumers
+//!    actually reference is computed backward from the root and recorded on
+//!    the [`CalcNode::TableSource`], so the executor materializes only
+//!    those columns (late materialization — unprojected columns stay
+//!    `Null` placeholders, keeping downstream column indexes valid).
 //!
 //! Rewrites only apply to nodes with a single consumer — a shared
 //! subexpression must stay shared (its memoized result is the point).
+//! Projection pushdown is the exception: needed columns are unioned over
+//! *all* consumers, so it is safe on shared scans too.
 
 use crate::expr::Expr;
 use crate::graph::{CalcGraph, CalcNode, NodeId};
+use std::collections::BTreeSet;
 
 /// Optimize the graph in place; returns the number of rewrites applied.
 pub fn optimize(g: &mut CalcGraph) -> usize {
@@ -73,10 +81,12 @@ fn pass(g: &mut CalcGraph) -> usize {
                 CalcNode::TableSource {
                     table,
                     fused_filter,
+                    projection,
                 } => {
                     *g.node_mut(input) = CalcNode::TableSource {
                         table,
                         fused_filter: fused_filter.and(pred),
+                        projection,
                     };
                     // The filter becomes a pass-through (identity filter).
                     *g.node_mut(id) = CalcNode::Filter {
@@ -108,7 +118,125 @@ fn pass(g: &mut CalcGraph) -> usize {
             }
         }
     }
+    applied + push_projections(g, &reachable)
+}
+
+/// Columns a node needs from its output's perspective: `None` = all.
+type Needed = Option<BTreeSet<usize>>;
+
+/// Rule 4: compute, backward from the root, which columns each scan's
+/// consumers reference, and record the set on the scan when it is a strict
+/// subset of the table's columns. Needs are unioned over every consumer,
+/// so shared scans stay correct. Returns the number of scans whose
+/// projection changed.
+fn push_projections(g: &mut CalcGraph, reachable: &[bool]) -> usize {
+    // needed[i] = columns of node i's *output* that some consumer reads.
+    let mut needed: Vec<Needed> = vec![Some(BTreeSet::new()); g.len()];
+    if let Some(root) = g.root() {
+        needed[root.0] = None; // the result surface: everything.
+    }
+    // Node ids are topological (inputs are added before their consumers),
+    // so one reverse walk sees every consumer before the node itself.
+    for i in (0..g.len()).rev().filter(|&i| reachable[i]) {
+        let own = needed[i].clone();
+        match g.node(NodeId(i)) {
+            CalcNode::TableSource { .. } => {}
+            // Pass-through operators: the input must provide whatever this
+            // node's consumers read, plus whatever the operator itself
+            // evaluates.
+            CalcNode::Filter { input, pred } => {
+                let mut cols = Vec::new();
+                pred.referenced_columns(&mut cols);
+                require(&mut needed[input.0], own, cols);
+            }
+            CalcNode::Project { input, exprs } => {
+                // Output columns are fresh expressions; the input only has
+                // to provide the columns those expressions reference.
+                let mut cols = Vec::new();
+                for (_, e) in exprs {
+                    e.referenced_columns(&mut cols);
+                }
+                require(&mut needed[input.0], Some(BTreeSet::new()), cols);
+            }
+            CalcNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let cols: Vec<usize> = group_by
+                    .iter()
+                    .copied()
+                    .chain(aggs.iter().map(|(_, c)| *c))
+                    .collect();
+                require(&mut needed[input.0], Some(BTreeSet::new()), cols);
+            }
+            // Row-shape-preserving or opaque operators: conservatively
+            // require every input column.
+            CalcNode::Join { left, right, .. } => {
+                needed[left.0] = None;
+                needed[right.0] = None;
+            }
+            CalcNode::Union { inputs } => {
+                for input in inputs {
+                    needed[input.0] = None;
+                }
+            }
+            CalcNode::SplitCombine { input, .. }
+            | CalcNode::Conv { input, .. }
+            | CalcNode::Custom { input, .. } => {
+                needed[input.0] = None;
+            }
+        }
+    }
+    let mut applied = 0;
+    for i in (0..g.len()).filter(|&i| reachable[i]) {
+        if let CalcNode::TableSource {
+            table,
+            fused_filter,
+            projection,
+        } = g.node(NodeId(i))
+        {
+            let arity = table.schema().columns().len();
+            let want: Option<Vec<usize>> = match &needed[i] {
+                None => None,
+                Some(set) => {
+                    // The executor evaluates the fused residue on the
+                    // materialized rows, so its columns are needed too.
+                    let mut cols = Vec::new();
+                    fused_filter.referenced_columns(&mut cols);
+                    let mut set = set.clone();
+                    set.extend(cols);
+                    if (0..arity).all(|c| set.contains(&c)) {
+                        None
+                    } else {
+                        Some(set.into_iter().collect())
+                    }
+                }
+            };
+            if *projection != want {
+                let id = NodeId(i);
+                if let CalcNode::TableSource { projection, .. } = g.node_mut(id) {
+                    *projection = want;
+                }
+                applied += 1;
+            }
+        }
+    }
     applied
+}
+
+/// Merge `own` (columns this node's consumers read; `None` = all) plus the
+/// operator's own column references into the input's needed set.
+fn require(input_needed: &mut Needed, own: Needed, extra: Vec<usize>) {
+    match own {
+        None => *input_needed = None,
+        Some(own_cols) => {
+            if let Some(set) = input_needed {
+                set.extend(own_cols);
+                set.extend(extra);
+            }
+        }
+    }
 }
 
 /// Compose `outer` over `inner` when every outer column reference can be
@@ -172,6 +300,7 @@ mod tests {
         let s = g.add(CalcNode::TableSource {
             table: table(),
             fused_filter: Predicate::True,
+            projection: None,
         });
         let f = g.add(CalcNode::Filter {
             input: s,
@@ -198,6 +327,7 @@ mod tests {
         let s = g.add(CalcNode::TableSource {
             table: table(),
             fused_filter: Predicate::True,
+            projection: None,
         });
         let f1 = g.add(CalcNode::Filter {
             input: s,
@@ -224,6 +354,7 @@ mod tests {
         let s = g.add(CalcNode::TableSource {
             table: table(),
             fused_filter: Predicate::True,
+            projection: None,
         });
         let p1 = g.add(CalcNode::Project {
             input: s,
@@ -245,12 +376,120 @@ mod tests {
         }
     }
 
+    fn scan_projection(g: &CalcGraph, id: NodeId) -> Option<Vec<usize>> {
+        match g.node(id) {
+            CalcNode::TableSource { projection, .. } => projection.clone(),
+            _ => panic!("scan expected"),
+        }
+    }
+
+    #[test]
+    fn projection_pushes_into_scan() {
+        // scan(a, b) -> project(b) needs only column 1.
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+            projection: None,
+        });
+        let p = g.add(CalcNode::Project {
+            input: s,
+            exprs: vec![("b".into(), Expr::col(1))],
+        });
+        g.set_root(p);
+        optimize(&mut g);
+        assert_eq!(scan_projection(&g, s), Some(vec![1]));
+        assert!(g.explain().contains("[project [1]]"));
+    }
+
+    #[test]
+    fn pushdown_includes_filter_and_fused_columns() {
+        // filter(a) over scan, projecting b: both columns stay needed, so
+        // no strict subset exists and the projection stays None.
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+            projection: None,
+        });
+        let f = g.add(CalcNode::Filter {
+            input: s,
+            pred: Predicate::Gt(0, Value::Int(3)),
+        });
+        let p = g.add(CalcNode::Project {
+            input: f,
+            exprs: vec![("b".into(), Expr::col(1))],
+        });
+        g.set_root(p);
+        optimize(&mut g);
+        // The filter fused into the scan; its column 0 plus the projected
+        // column 1 cover the whole table.
+        assert_eq!(scan_projection(&g, s), None);
+    }
+
+    #[test]
+    fn aggregate_inputs_push_into_scan() {
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+            projection: None,
+        });
+        let a = g.add(CalcNode::Aggregate {
+            input: s,
+            group_by: vec![1],
+            aggs: vec![(crate::expr::AggFunc::Sum, 1)],
+        });
+        g.set_root(a);
+        optimize(&mut g);
+        assert_eq!(scan_projection(&g, s), Some(vec![1]));
+    }
+
+    #[test]
+    fn root_scan_keeps_all_columns() {
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+            projection: None,
+        });
+        g.set_root(s);
+        optimize(&mut g);
+        assert_eq!(scan_projection(&g, s), None);
+    }
+
+    #[test]
+    fn shared_scan_unions_consumer_needs() {
+        // Two projections over one scan: col 0 and col 1 → both needed.
+        let mut g = CalcGraph::new();
+        let s = g.add(CalcNode::TableSource {
+            table: table(),
+            fused_filter: Predicate::True,
+            projection: None,
+        });
+        let p1 = g.add(CalcNode::Project {
+            input: s,
+            exprs: vec![("a".into(), Expr::col(0))],
+        });
+        let p2 = g.add(CalcNode::Project {
+            input: s,
+            exprs: vec![("b".into(), Expr::col(1))],
+        });
+        let u = g.add(CalcNode::Union {
+            inputs: vec![p1, p2],
+        });
+        g.set_root(u);
+        optimize(&mut g);
+        assert_eq!(scan_projection(&g, s), None);
+    }
+
     #[test]
     fn shared_subexpressions_not_rewritten() {
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
             table: table(),
             fused_filter: Predicate::True,
+            projection: None,
         });
         let f = g.add(CalcNode::Filter {
             input: s,

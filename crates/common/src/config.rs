@@ -57,6 +57,33 @@ impl MergeConfig {
     }
 }
 
+/// Tuning knobs for the scan engine of the read path.
+///
+/// `0` means "auto": size the chunk fan-out from the number of logical
+/// CPUs at runtime. `1` forces the serial scan path. Either way the scan
+/// result is bit-identical (chunk boundaries are fixed; parallelism only
+/// changes scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanConfig {
+    /// Worker threads fanning main-store scans out over row chunks.
+    pub scan_parallelism: usize,
+}
+
+impl ScanConfig {
+    /// Force every scan path serial (useful for determinism baselines).
+    pub fn serial() -> Self {
+        ScanConfig {
+            scan_parallelism: 1,
+        }
+    }
+
+    /// Builder-style override of the scan fan-out degree.
+    pub fn with_scan_parallelism(mut self, workers: usize) -> Self {
+        self.scan_parallelism = workers;
+        self
+    }
+}
+
 /// Per-table configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableConfig {
@@ -79,6 +106,8 @@ pub struct TableConfig {
     pub historic: bool,
     /// Parallelism knobs for the merge machinery.
     pub merge: MergeConfig,
+    /// Parallelism knobs for the scan engine.
+    pub scan: ScanConfig,
 }
 
 impl Default for TableConfig {
@@ -91,6 +120,7 @@ impl Default for TableConfig {
             block_size: 1024,
             historic: false,
             merge: MergeConfig::default(),
+            scan: ScanConfig::default(),
         }
     }
 }
@@ -134,6 +164,12 @@ impl TableConfig {
         self.merge = merge;
         self
     }
+
+    /// Builder-style override of the scan parallelism knobs.
+    pub fn with_scan(mut self, scan: ScanConfig) -> Self {
+        self.scan = scan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -156,13 +192,15 @@ mod tests {
             .with_l2_max(8)
             .with_strategy(MergeStrategy::Partial)
             .with_history()
-            .with_merge(MergeConfig::serial().with_column_parallelism(3));
+            .with_merge(MergeConfig::serial().with_column_parallelism(3))
+            .with_scan(ScanConfig::default().with_scan_parallelism(5));
         assert_eq!(c.l1_max_rows, 4);
         assert_eq!(c.l2_max_rows, 8);
         assert_eq!(c.merge_strategy, MergeStrategy::Partial);
         assert!(c.historic);
         assert_eq!(c.merge.column_parallelism, 3);
         assert_eq!(c.merge.daemon_workers, 1);
+        assert_eq!(c.scan.scan_parallelism, 5);
     }
 
     #[test]
@@ -171,5 +209,11 @@ mod tests {
         assert_eq!(m.column_parallelism, 0);
         assert_eq!(m.daemon_workers, 0);
         assert_eq!(MergeConfig::serial().column_parallelism, 1);
+    }
+
+    #[test]
+    fn scan_config_auto_by_default() {
+        assert_eq!(ScanConfig::default().scan_parallelism, 0);
+        assert_eq!(ScanConfig::serial().scan_parallelism, 1);
     }
 }

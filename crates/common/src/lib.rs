@@ -16,9 +16,9 @@ pub mod schema;
 pub mod timestamp;
 pub mod value;
 
-pub use config::{MergeConfig, MergeStrategy, TableConfig};
+pub use config::{MergeConfig, MergeStrategy, ScanConfig, TableConfig};
 pub use error::{HanaError, Result};
 pub use rowid::{RowId, RowLocation, StoreKind};
 pub use schema::{ColumnDef, ColumnId, Schema, TableId};
-pub use timestamp::{Timestamp, TxnId, COMMIT_TS_MAX, TXN_MARK};
+pub use timestamp::{is_committed_stamp, Timestamp, TxnId, COMMIT_TS_MAX, TXN_MARK};
 pub use value::{DataType, OrderedF64, Value};

@@ -47,6 +47,7 @@ pub mod lifecycle;
 pub mod loc;
 pub mod partition;
 pub mod read;
+pub(crate) mod scan;
 pub mod snapshot_image;
 pub mod table;
 pub mod write;

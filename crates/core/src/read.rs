@@ -8,16 +8,29 @@
 //! truncated version … with the expanded version of the L2-delta", and
 //! §4.1's "keep the old and the new versions … until all database operations
 //! of open transactions … have finished".
+//!
+//! Main-store access runs through the parallel scan engine: per-part
+//! visibility resolves once through the wholly-visible summary or a cached
+//! per-snapshot bitmap (see [`MainPart::cached_visibility`]), then fixed-size
+//! row chunks fan out over a bounded worker pool
+//! ([`hana_merge::map_indexed`]) and reassemble in chain order, so a
+//! parallel scan is bit-identical to the serial one.
 
+use crate::scan::{plan_chunks, plan_ranges, PartVisibility};
 use crate::table::UnifiedTable;
-use hana_column::Pos;
-use hana_common::{HanaError, Result, RowId, Timestamp, Value};
+use hana_column::{Bitmap, Pos};
+use hana_common::{HanaError, Result, RowId, Timestamp, TxnId, Value};
 use hana_dict::GlobalSortedDict;
+use hana_merge::{effective_workers, map_indexed};
 use hana_rowstore::L1Snapshot;
-use hana_store::{L2Delta, MainStore, L2_NULL_CODE};
+use hana_store::{L2Delta, MainStore, PartHit, VisBitmap, L2_NULL_CODE};
 use hana_txn::{version_visible, Snapshot, Transaction};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+#[allow(unused_imports)] // referenced by the module docs
+use hana_store::MainPart;
 
 /// A consistent, merge-proof view of one table under one snapshot.
 pub struct TableRead {
@@ -28,6 +41,10 @@ pub struct TableRead {
     l2_fence: Pos,
     l2_frozen: Option<(Arc<L2Delta>, Pos)>,
     main: Arc<MainStore>,
+    /// Visibility-bitmap cache hits observed through this view.
+    cache_hits: AtomicU64,
+    /// Visibility bitmaps this view had to compute from raw stamps.
+    cache_misses: AtomicU64,
 }
 
 /// A visible row surfaced by a scan.
@@ -60,6 +77,47 @@ impl UnifiedTable {
                 .map(|f| (Arc::clone(f), f.len() as Pos)),
             main: Arc::clone(&state.main),
             table: Arc::clone(self),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Materialize one L2 row under a projection. `narrow` returns only the
+/// projected columns (in projection order); otherwise unprojected columns
+/// are `Null` placeholders so downstream column indexes stay stable.
+fn l2_row(
+    l2: &L2Delta,
+    pos: Pos,
+    arity: usize,
+    proj: Option<&[usize]>,
+    narrow: bool,
+) -> Vec<Value> {
+    match proj {
+        None => l2.row(pos),
+        Some(cols) if narrow => cols.iter().map(|&c| l2.value(pos, c)).collect(),
+        Some(cols) => {
+            let mut row = vec![Value::Null; arity];
+            for &c in cols {
+                row[c] = l2.value(pos, c);
+            }
+            row
+        }
+    }
+}
+
+/// Materialize an L1 slot's values under a projection, cloning only the
+/// columns the caller asked for.
+fn slot_row(values: &[Value], proj: Option<&[usize]>, narrow: bool) -> Vec<Value> {
+    match proj {
+        None => values.to_vec(),
+        Some(cols) if narrow => cols.iter().map(|&c| values[c].clone()).collect(),
+        Some(cols) => {
+            let mut row = vec![Value::Null; values.len()];
+            for &c in cols {
+                row[c] = values[c].clone();
+            }
+            row
         }
     }
 }
@@ -73,6 +131,18 @@ impl TableRead {
     /// The pinned main chain (exposed for engine-layer operators).
     pub fn main(&self) -> &MainStore {
         &self.main
+    }
+
+    /// `(hits, misses)` of the per-part visibility-bitmap cache as seen by
+    /// this view. A *hit* reused a bitmap cached by an earlier statement at
+    /// the same snapshot; a *miss* computed one from raw MVCC stamps.
+    /// Wholly-visible parts bypass the bitmaps entirely and count as
+    /// neither.
+    pub fn vis_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 
     fn visible(&self, begin: Timestamp, end: Timestamp) -> bool {
@@ -89,24 +159,135 @@ impl TableRead {
         Ok(())
     }
 
-    /// Iterate every *visible* row, main first, then frozen L2, then open
-    /// L2, then L1 — oldest store to newest, matching merge order.
-    pub fn for_each_visible(&self, mut f: impl FnMut(VisibleRow)) {
-        for hit in self.main.iter_hits() {
-            let part = &self.main.parts()[hit.part];
-            if self.visible(part.begin(hit.pos), part.end(hit.pos)) {
-                f(VisibleRow {
-                    row_id: part.row_id(hit.pos),
-                    values: self.main.row_at(hit),
-                });
+    fn check_projection(&self, proj: Option<&[usize]>) -> Result<()> {
+        if let Some(cols) = proj {
+            for &c in cols {
+                self.schema_col(c)?;
             }
         }
+        Ok(())
+    }
+
+    /// Resolve the scan fan-out degree for `jobs` chunks of work.
+    fn scan_workers(&self, jobs: usize) -> usize {
+        if jobs <= 1 {
+            return 1;
+        }
+        let requested = self.table.config.scan.scan_parallelism;
+        if requested == 1 {
+            1
+        } else {
+            effective_workers(requested).min(jobs)
+        }
+    }
+
+    /// Resolve the visibility of main part `pi` under this snapshot:
+    /// the wholly-visible summary when it applies, a cached bitmap when one
+    /// matches, or a freshly computed bitmap (cached for later statements
+    /// unless the snapshot timestamp lies in the future — time travel —
+    /// where a later commit could still slide under it).
+    pub(crate) fn part_visibility(&self, pi: usize) -> PartVisibility {
+        let part = &self.main.parts()[pi];
+        let ts = self.snap.ts();
+        if part.fully_visible_at(ts) {
+            return PartVisibility::All;
+        }
+        let txn = self.snap.txn();
+        if let Some(entry) = part.cached_visibility(ts, txn) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return PartVisibility::Filtered(entry);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        // Capture the end-stamp version *before* reading any stamp: a
+        // deletion landing mid-scan then invalidates the cached entry
+        // instead of racing it.
+        let end_version = part.end_version();
+        let mut visible = Bitmap::zeros(part.len());
+        let mut txn_sensitive = false;
+        for pos in 0..part.len() as Pos {
+            let begin = part.begin(pos);
+            let end = part.end(pos);
+            if TxnId::from_mark(begin).is_some() || TxnId::from_mark(end).is_some() {
+                txn_sensitive = true;
+            }
+            if self.visible(begin, end) {
+                visible.set(pos as usize);
+            }
+        }
+        let entry = Arc::new(VisBitmap {
+            ts,
+            txn,
+            txn_sensitive,
+            end_version,
+            visible,
+        });
+        if ts <= self.table.mgr.now() {
+            part.store_visibility(Arc::clone(&entry), self.table.mgr.watermark());
+        }
+        PartVisibility::Filtered(entry)
+    }
+
+    /// Materialize one main row under a projection (see [`l2_row`] for the
+    /// `narrow` semantics).
+    fn main_row(&self, hit: PartHit, proj: Option<&[usize]>, narrow: bool) -> Vec<Value> {
+        match proj {
+            None => self.main.row_at(hit),
+            Some(cols) if narrow => cols.iter().map(|&c| self.main.value_at(hit, c)).collect(),
+            Some(cols) => {
+                let mut row = vec![Value::Null; self.table.schema.arity()];
+                for &c in cols {
+                    row[c] = self.main.value_at(hit, c);
+                }
+                row
+            }
+        }
+    }
+
+    /// Upper bound on visible rows: used to pre-size collection output.
+    fn row_upper_bound(&self) -> usize {
+        self.main.total_rows()
+            + self.l2_fence as usize
+            + self.l2_frozen.as_ref().map_or(0, |(_, f)| *f as usize)
+            + self.l1.len()
+    }
+
+    /// The scan core: visit every visible row, main first (chunked and
+    /// fanned out over the scan pool, reassembled in chain order), then
+    /// frozen L2, open L2, L1 — oldest store to newest, matching merge
+    /// order.
+    fn scan_visible(&self, proj: Option<&[usize]>, narrow: bool, f: &mut dyn FnMut(VisibleRow)) {
+        let parts = self.main.parts();
+        let vis: Vec<PartVisibility> = (0..parts.len())
+            .map(|pi| self.part_visibility(pi))
+            .collect();
+        let chunks = plan_chunks(parts);
+        let workers = self.scan_workers(chunks.len());
+        let produced = map_indexed(chunks.len(), workers, |ci| {
+            let ch = chunks[ci];
+            let part = &parts[ch.part];
+            let mut rows = Vec::new();
+            for pos in ch.start..ch.end {
+                if vis[ch.part].is_visible(pos) {
+                    rows.push(VisibleRow {
+                        row_id: part.row_id(pos),
+                        values: self.main_row(PartHit { part: ch.part, pos }, proj, narrow),
+                    });
+                }
+            }
+            rows
+        });
+        for rows in produced {
+            for r in rows {
+                f(r);
+            }
+        }
+        let arity = self.table.schema.arity();
         if let Some((frozen, fence)) = &self.l2_frozen {
             for pos in 0..*fence {
                 if self.visible(frozen.begin(pos), frozen.end(pos)) {
                     f(VisibleRow {
                         row_id: frozen.row_id(pos),
-                        values: frozen.row(pos),
+                        values: l2_row(frozen, pos, arity, proj, narrow),
                     });
                 }
             }
@@ -115,7 +296,7 @@ impl TableRead {
             if self.visible(self.l2.begin(pos), self.l2.end(pos)) {
                 f(VisibleRow {
                     row_id: self.l2.row_id(pos),
-                    values: self.l2.row(pos),
+                    values: l2_row(&self.l2, pos, arity, proj, narrow),
                 });
             }
         }
@@ -123,52 +304,140 @@ impl TableRead {
             if self.visible(slot.begin(), slot.end()) {
                 f(VisibleRow {
                     row_id: slot.row_id,
-                    values: slot.values.to_vec(),
+                    values: slot_row(&slot.values, proj, narrow),
                 });
             }
         }
     }
 
+    /// Iterate every *visible* row, main first, then frozen L2, then open
+    /// L2, then L1 — oldest store to newest, matching merge order.
+    pub fn for_each_visible(&self, mut f: impl FnMut(VisibleRow)) {
+        self.scan_visible(None, false, &mut f);
+    }
+
     /// Materialize all visible rows.
     pub fn collect_rows(&self) -> Vec<VisibleRow> {
-        let mut out = Vec::new();
-        self.for_each_visible(|r| out.push(r));
+        self.collect_rows_projected(None)
+    }
+
+    /// Materialize all visible rows under a projection pushed down from the
+    /// engine layer: unprojected columns stay `Null` placeholders so the
+    /// caller's column indexes remain valid.
+    pub fn collect_rows_projected(&self, proj: Option<&[usize]>) -> Vec<VisibleRow> {
+        let mut out = Vec::with_capacity(self.row_upper_bound());
+        self.scan_visible(proj, false, &mut |r| out.push(r));
         out
     }
 
-    /// Count visible rows.
+    /// Late materialization: all visible rows narrowed to `cols`, in
+    /// projection order. Only the requested columns are ever decoded or
+    /// cloned.
+    pub fn project(&self, cols: &[usize]) -> Result<Vec<VisibleRow>> {
+        for &c in cols {
+            self.schema_col(c)?;
+        }
+        let mut out = Vec::with_capacity(self.row_upper_bound());
+        self.scan_visible(Some(cols), true, &mut |r| out.push(r));
+        Ok(out)
+    }
+
+    /// Count visible rows. Wholly-visible parts contribute their length,
+    /// bitmap-resolved parts a popcount — no row is materialized.
     pub fn count(&self) -> usize {
-        let mut n = 0;
-        self.for_each_visible(|_| n += 1);
+        let parts = self.main.parts();
+        let mut n = 0usize;
+        for (pi, part) in parts.iter().enumerate() {
+            n += self.part_visibility(pi).visible_rows(part.len());
+        }
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            for pos in 0..*fence {
+                if self.visible(frozen.begin(pos), frozen.end(pos)) {
+                    n += 1;
+                }
+            }
+        }
+        for pos in 0..self.l2_fence {
+            if self.visible(self.l2.begin(pos), self.l2.end(pos)) {
+                n += 1;
+            }
+        }
+        for (_, slot) in self.l1.iter() {
+            if self.visible(slot.begin(), slot.end()) {
+                n += 1;
+            }
+        }
         n
+    }
+
+    /// Filter a main-store hit list through the visibility summary/bitmaps
+    /// and materialize the surviving rows, fanning large lists out over the
+    /// scan pool (in-order reassembly keeps the output deterministic).
+    fn materialize_main_hits(&self, hits: &[PartHit], proj: Option<&[usize]>) -> Vec<Vec<Value>> {
+        if hits.is_empty() {
+            return Vec::new();
+        }
+        let parts = self.main.parts();
+        let mut vis: Vec<Option<PartVisibility>> = Vec::with_capacity(parts.len());
+        vis.resize_with(parts.len(), || None);
+        for h in hits {
+            if vis[h.part].is_none() {
+                vis[h.part] = Some(self.part_visibility(h.part));
+            }
+        }
+        let ranges = plan_ranges(hits.len());
+        let workers = self.scan_workers(ranges.len());
+        let produced = map_indexed(ranges.len(), workers, |ri| {
+            let (start, end) = ranges[ri];
+            let mut rows = Vec::new();
+            for h in &hits[start..end] {
+                if vis[h.part]
+                    .as_ref()
+                    .expect("visibility resolved")
+                    .is_visible(h.pos)
+                {
+                    rows.push(self.main_row(*h, proj, false));
+                }
+            }
+            rows
+        });
+        produced.into_iter().flatten().collect()
     }
 
     /// Point query: visible rows with `col = v`, via the dictionaries and
     /// inverted indexes of the column stages and a scan of the (small) L1.
     pub fn point(&self, col: usize, v: &Value) -> Result<Vec<Vec<Value>>> {
+        self.point_projected(col, v, None)
+    }
+
+    /// [`point`](Self::point) with a projection pushed into materialization
+    /// (unprojected columns are `Null` placeholders).
+    pub fn point_projected(
+        &self,
+        col: usize,
+        v: &Value,
+        proj: Option<&[usize]>,
+    ) -> Result<Vec<Vec<Value>>> {
         self.schema_col(col)?;
-        let mut out = Vec::new();
-        for hit in self.main.positions_eq(col, v) {
-            let part = &self.main.parts()[hit.part];
-            if self.visible(part.begin(hit.pos), part.end(hit.pos)) {
-                out.push(self.main.row_at(hit));
-            }
-        }
+        self.check_projection(proj)?;
+        let hits = self.main.positions_eq(col, v);
+        let mut out = self.materialize_main_hits(&hits, proj);
+        let arity = self.table.schema.arity();
         if let Some((frozen, fence)) = &self.l2_frozen {
             for pos in frozen.positions_eq(col, v, *fence) {
                 if self.visible(frozen.begin(pos), frozen.end(pos)) {
-                    out.push(frozen.row(pos));
+                    out.push(l2_row(frozen, pos, arity, proj, false));
                 }
             }
         }
         for pos in self.l2.positions_eq(col, v, self.l2_fence) {
             if self.visible(self.l2.begin(pos), self.l2.end(pos)) {
-                out.push(self.l2.row(pos));
+                out.push(l2_row(&self.l2, pos, arity, proj, false));
             }
         }
         for (_, slot) in self.l1.iter() {
             if &slot.values[col] == v && self.visible(slot.begin(), slot.end()) {
-                out.push(slot.values.to_vec());
+                out.push(slot_row(&slot.values, proj, false));
             }
         }
         Ok(out)
@@ -183,7 +452,20 @@ impl TableRead {
         lo: Bound<&Value>,
         hi: Bound<&Value>,
     ) -> Result<Vec<Vec<Value>>> {
+        self.range_projected(col, lo, hi, None)
+    }
+
+    /// [`range`](Self::range) with a projection pushed into materialization
+    /// (unprojected columns are `Null` placeholders).
+    pub fn range_projected(
+        &self,
+        col: usize,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+        proj: Option<&[usize]>,
+    ) -> Result<Vec<Vec<Value>>> {
         self.schema_col(col)?;
+        self.check_projection(proj)?;
         let in_range = |v: &Value| {
             !v.is_null()
                 && (match lo {
@@ -197,60 +479,71 @@ impl TableRead {
                     Bound::Excluded(b) => v < b,
                 })
         };
-        let mut out = Vec::new();
-        for hit in self.main.positions_range(col, lo, hi) {
-            let part = &self.main.parts()[hit.part];
-            if self.visible(part.begin(hit.pos), part.end(hit.pos)) {
-                out.push(self.main.row_at(hit));
-            }
-        }
+        let hits = self.main.positions_range(col, lo, hi);
+        let mut out = self.materialize_main_hits(&hits, proj);
+        let arity = self.table.schema.arity();
         if let Some((frozen, fence)) = &self.l2_frozen {
             for pos in frozen.positions_range(col, lo, hi, *fence) {
                 if self.visible(frozen.begin(pos), frozen.end(pos)) {
-                    out.push(frozen.row(pos));
+                    out.push(l2_row(frozen, pos, arity, proj, false));
                 }
             }
         }
         for pos in self.l2.positions_range(col, lo, hi, self.l2_fence) {
             if self.visible(self.l2.begin(pos), self.l2.end(pos)) {
-                out.push(self.l2.row(pos));
+                out.push(l2_row(&self.l2, pos, arity, proj, false));
             }
         }
         for (_, slot) in self.l1.iter() {
             if in_range(&slot.values[col]) && self.visible(slot.begin(), slot.end()) {
-                out.push(slot.values.to_vec());
+                out.push(slot_row(&slot.values, proj, false));
             }
         }
         Ok(out)
     }
 
-    /// Columnar aggregation over one numeric column: `(count, sum)` of
-    /// visible non-null values. The main path decodes each part's
-    /// dictionary once into a numeric lookup table and streams the
-    /// compressed code vector — the OLAP fast path the unified table keeps
-    /// even while serving OLTP.
-    pub fn aggregate_numeric(&self, col: usize) -> Result<(u64, f64)> {
-        self.schema_col(col)?;
-        let mut count = 0u64;
-        let mut sum = 0.0f64;
-        // Main parts: code-vector streaming with a per-chain numeric table.
-        for (pi, part) in self.main.parts().iter().enumerate() {
-            // Lookup table over the global code space of this part.
-            let null_code = part.null_code(col);
-            let mut table = vec![f64::NAN; null_code as usize + 1];
-            for p in self.main.parts().iter().take(pi + 1) {
-                let base = p.base(col);
-                for local in 0..p.dict(col).len() as u32 {
-                    if let Some(x) = p.dict(col).value_of(local).as_numeric() {
-                        let idx = (base + local) as usize;
-                        if idx < table.len() {
-                            table[idx] = x;
-                        }
-                    }
+    /// One numeric decode table covering the *whole* main chain: global
+    /// code → numeric value (`NaN` for non-numeric entries). Built once per
+    /// scan — codes in part `p` never reference later parts, and every
+    /// row's NULL sentinel is checked against its own part before lookup,
+    /// so the sentinel slots colliding with the next part's base are
+    /// harmless.
+    fn chain_numeric_table(&self, col: usize) -> Vec<f64> {
+        let mut table = vec![f64::NAN; self.main.next_base(col) as usize + 1];
+        for p in self.main.parts() {
+            let base = p.base(col) as usize;
+            let dict = p.dict(col);
+            for local in 0..dict.len() as u32 {
+                if let Some(x) = dict.value_of(local).as_numeric() {
+                    table[base + local as usize] = x;
                 }
             }
-            for pos in 0..part.len() as Pos {
-                if !self.visible(part.begin(pos), part.end(pos)) {
+        }
+        table
+    }
+
+    /// Columnar aggregation over one numeric column: `(count, sum)` of
+    /// visible non-null values. The main path decodes the chain's
+    /// dictionaries once into a numeric lookup table and streams the
+    /// compressed code vectors in parallel chunks — the OLAP fast path the
+    /// unified table keeps even while serving OLTP. Chunk partials combine
+    /// in chunk order, so the float sum is independent of the worker count.
+    pub fn aggregate_numeric(&self, col: usize) -> Result<(u64, f64)> {
+        self.schema_col(col)?;
+        let parts = self.main.parts();
+        let table = self.chain_numeric_table(col);
+        let vis: Vec<PartVisibility> = (0..parts.len())
+            .map(|pi| self.part_visibility(pi))
+            .collect();
+        let chunks = plan_chunks(parts);
+        let workers = self.scan_workers(chunks.len());
+        let partials = map_indexed(chunks.len(), workers, |ci| {
+            let ch = chunks[ci];
+            let part = &parts[ch.part];
+            let null_code = part.null_code(col);
+            let (mut c, mut s) = (0u64, 0.0f64);
+            for pos in ch.start..ch.end {
+                if !vis[ch.part].is_visible(pos) {
                     continue;
                 }
                 let code = part.code_at(pos, col);
@@ -259,10 +552,17 @@ impl TableRead {
                 }
                 let x = table[code as usize];
                 if !x.is_nan() {
-                    count += 1;
-                    sum += x;
+                    c += 1;
+                    s += x;
                 }
             }
+            (c, s)
+        });
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        for (c, s) in partials {
+            count += c;
+            sum += s;
         }
         // L2 stages: decode via dictionary once; stamps come through the
         // same lock acquisition (never re-lock inside the closure).
@@ -274,8 +574,8 @@ impl TableRead {
                     .map(|v| v.as_numeric().unwrap_or(f64::NAN))
                     .collect();
                 for (pos, &code) in codes.iter().enumerate() {
-                    let begin = begins[pos].load(std::sync::atomic::Ordering::Acquire);
-                    let end = ends[pos].load(std::sync::atomic::Ordering::Acquire);
+                    let begin = begins[pos].load(Ordering::Acquire);
+                    let end = ends[pos].load(Ordering::Acquire);
                     if code == L2_NULL_CODE || !self.visible(begin, end) {
                         continue;
                     }
@@ -307,10 +607,11 @@ impl TableRead {
     /// Group-by aggregation: for each distinct value of `group_col`, the
     /// `(count, sum)` over `agg_col` of visible rows.
     ///
-    /// Columnar fast path: main parts and L2 deltas aggregate over
-    /// dictionary *codes* (dense accumulators / per-code maps) and decode
-    /// each group key once — the "scan-based aggregation" strength of the
-    /// column layout. Only the small L1 is processed row-wise.
+    /// Columnar fast path: main chunks aggregate over dictionary *codes*
+    /// into dense accumulators in parallel, decode each surviving group key
+    /// once, and merge in chunk order (deterministic float sums); the L2
+    /// deltas aggregate per-code maps. Only the small L1 is processed
+    /// row-wise.
     pub fn group_aggregate(
         &self,
         group_col: usize,
@@ -320,29 +621,23 @@ impl TableRead {
         self.schema_col(agg_col)?;
         let mut groups: rustc_hash::FxHashMap<Value, (u64, f64)> = Default::default();
 
-        // Main parts: dense per-code accumulators.
-        for (pi, part) in self.main.parts().iter().enumerate() {
+        // Main chunks: dense per-code accumulators over the chain-wide
+        // numeric table (built once — not once per part).
+        let parts = self.main.parts();
+        let num = self.chain_numeric_table(agg_col);
+        let vis: Vec<PartVisibility> = (0..parts.len())
+            .map(|pi| self.part_visibility(pi))
+            .collect();
+        let chunks = plan_chunks(parts);
+        let workers = self.scan_workers(chunks.len());
+        let partials: Vec<Vec<(Value, u64, f64)>> = map_indexed(chunks.len(), workers, |ci| {
+            let ch = chunks[ci];
+            let part = &parts[ch.part];
             let g_null = part.null_code(group_col);
             let a_null = part.null_code(agg_col);
-            // Numeric lookup table for the aggregate column over the chain
-            // prefix ending at this part.
-            let mut num = vec![f64::NAN; a_null as usize + 1];
-            for p in self.main.parts().iter().take(pi + 1) {
-                let base = p.base(agg_col);
-                for local in 0..p.dict(agg_col).len() as u32 {
-                    let idx = (base + local) as usize;
-                    if idx < num.len() {
-                        num[idx] = p
-                            .dict(agg_col)
-                            .value_of(local)
-                            .as_numeric()
-                            .unwrap_or(f64::NAN);
-                    }
-                }
-            }
             let mut acc = vec![(0u64, 0.0f64); g_null as usize + 1];
-            for pos in 0..part.len() as Pos {
-                if !self.visible(part.begin(pos), part.end(pos)) {
+            for pos in ch.start..ch.end {
+                if !vis[ch.part].is_visible(pos) {
                     continue;
                 }
                 let g = part.code_at(pos, group_col) as usize;
@@ -356,17 +651,23 @@ impl TableRead {
                     }
                 }
             }
-            for (code, (c, s)) in acc.into_iter().enumerate() {
-                if c == 0 {
-                    continue;
-                }
-                let key = if code as u32 == g_null {
-                    Value::Null
-                } else {
-                    self.main
-                        .value_of_code(group_col, code as u32)
-                        .expect("group code resolves in the chain")
-                };
+            acc.into_iter()
+                .enumerate()
+                .filter(|&(_, (c, _))| c > 0)
+                .map(|(code, (c, s))| {
+                    let key = if code as u32 == g_null {
+                        Value::Null
+                    } else {
+                        self.main
+                            .value_of_code(group_col, code as u32)
+                            .expect("group code resolves in the chain")
+                    };
+                    (key, c, s)
+                })
+                .collect()
+        });
+        for chunk_groups in partials {
+            for (key, c, s) in chunk_groups {
                 let e = groups.entry(key).or_insert((0, 0.0));
                 e.0 += c;
                 e.1 += s;
@@ -389,8 +690,8 @@ impl TableRead {
                         Default::default();
                     let mut null_acc = (0u64, 0.0f64);
                     for pos in 0..gc.len() {
-                        let begin = begins[pos].load(std::sync::atomic::Ordering::Acquire);
-                        let end = ends[pos].load(std::sync::atomic::Ordering::Acquire);
+                        let begin = begins[pos].load(Ordering::Acquire);
+                        let end = ends[pos].load(Ordering::Acquire);
                         if !self.visible(begin, end) {
                             continue;
                         }
@@ -533,6 +834,7 @@ impl TableRead {
 mod tests {
     use super::*;
     use hana_common::{ColumnDef, DataType, Schema, TableConfig};
+    use hana_merge::MergeDecision;
     use hana_txn::{IsolationLevel, TxnManager};
 
     fn setup() -> (Arc<TxnManager>, Arc<UnifiedTable>) {
@@ -548,6 +850,25 @@ mod tests {
         .unwrap();
         let t = UnifiedTable::standalone(schema, TableConfig::default(), Arc::clone(&mgr));
         (mgr, t)
+    }
+
+    /// Insert `n` rows and move them all the way to the main store.
+    fn main_resident(mgr: &Arc<TxnManager>, t: &Arc<UnifiedTable>, n: i64) {
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for i in 0..n {
+            t.insert(
+                &txn,
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+                    Value::double(i as f64),
+                ],
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        t.merge_l1().unwrap();
+        t.merge_delta_as(MergeDecision::Classic).unwrap();
     }
 
     #[test]
@@ -643,5 +964,102 @@ mod tests {
         let g = t.read(&reader).global_sorted_dict(1).unwrap();
         let vals: Vec<Value> = g.iter().map(|(v, _)| v.clone()).collect();
         assert_eq!(vals, ["a", "b", "c"].map(Value::str).to_vec());
+    }
+
+    #[test]
+    fn wholly_visible_main_skips_bitmaps() {
+        let (mgr, t) = setup();
+        main_resident(&mgr, &t, 100);
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&reader);
+        assert_eq!(read.count(), 100);
+        // All rows committed, none deleted: the summary answers without
+        // bitmaps, so neither hits nor misses accrue.
+        assert_eq!(read.vis_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn visibility_bitmap_cached_across_statements() {
+        let (mgr, t) = setup();
+        main_resident(&mgr, &t, 100);
+        // A deletion defeats the wholly-visible summary.
+        let mut del = mgr.begin(IsolationLevel::Transaction);
+        t.delete_where(&del, hana_common::ColumnId(0), &Value::Int(7))
+            .unwrap();
+        del.commit().unwrap();
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let r1 = t.read(&reader);
+        assert_eq!(r1.count(), 99);
+        assert_eq!(r1.vis_cache_stats(), (0, 1));
+        // Second statement of the same transaction reuses the bitmap.
+        let r2 = t.read(&reader);
+        assert_eq!(r2.count(), 99);
+        assert_eq!(r2.vis_cache_stats(), (1, 0));
+        // A snapshot at a different timestamp recomputes.
+        let later = mgr.begin(IsolationLevel::Transaction);
+        let r3 = t.read(&later);
+        assert_eq!(r3.count(), 99);
+        assert_eq!(r3.vis_cache_stats(), (0, 1));
+    }
+
+    #[test]
+    fn projection_narrows_rows() {
+        let (mgr, t) = setup();
+        main_resident(&mgr, &t, 10);
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&reader);
+        let narrow = read.project(&[2, 0]).unwrap();
+        assert_eq!(narrow.len(), 10);
+        assert_eq!(narrow[0].values.len(), 2);
+        assert_eq!(narrow[3].values, vec![Value::double(3.0), Value::Int(3)]);
+        // Full-width projected rows keep placeholders for untouched columns.
+        let masked = read.collect_rows_projected(Some(&[0]));
+        assert_eq!(
+            masked[3].values,
+            vec![Value::Int(3), Value::Null, Value::Null]
+        );
+        assert!(read.project(&[99]).is_err());
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_over_main() {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "sales",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("city", DataType::Str),
+                ColumnDef::new("amount", DataType::Double),
+            ],
+        )
+        .unwrap();
+        let serial_t = UnifiedTable::standalone(
+            schema.clone(),
+            TableConfig::default().with_scan(hana_common::ScanConfig::serial()),
+            Arc::clone(&mgr),
+        );
+        let par_t = UnifiedTable::standalone(
+            schema,
+            TableConfig::default()
+                .with_scan(hana_common::ScanConfig::default().with_scan_parallelism(4)),
+            Arc::clone(&mgr),
+        );
+        for t in [&serial_t, &par_t] {
+            main_resident(&mgr, t, 500);
+        }
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let rs = serial_t.read(&reader);
+        let rp = par_t.read(&reader);
+        let rows_s: Vec<Vec<Value>> = rs.collect_rows().into_iter().map(|r| r.values).collect();
+        let rows_p: Vec<Vec<Value>> = rp.collect_rows().into_iter().map(|r| r.values).collect();
+        assert_eq!(rows_s, rows_p);
+        assert_eq!(
+            rs.aggregate_numeric(2).unwrap(),
+            rp.aggregate_numeric(2).unwrap()
+        );
+        assert_eq!(
+            rs.group_aggregate(1, 2).unwrap(),
+            rp.group_aggregate(1, 2).unwrap()
+        );
     }
 }

@@ -1,0 +1,107 @@
+//! Chunk planning and visibility resolution for parallel main scans.
+//!
+//! The main chain is split into fixed-size row chunks (`SCAN_CHUNK_ROWS`)
+//! that never cross a part boundary. Workers claim chunks through
+//! [`hana_merge::map_indexed`] and the caller reassembles per-chunk output
+//! strictly in chunk order, so a parallel scan is bit-identical to the
+//! serial one: the chunk boundaries — not the worker count — determine
+//! every accumulation order.
+//!
+//! Per-part visibility is resolved *before* the fan-out into a
+//! [`PartVisibility`]: either the wholly-visible summary
+//! ([`MainPart::fully_visible_at`](hana_store::MainPart::fully_visible_at))
+//! or a shared per-snapshot bitmap, so workers never touch the transaction
+//! manager.
+
+use hana_column::Pos;
+use hana_store::{MainPart, VisBitmap};
+use std::sync::Arc;
+
+/// Rows per scan chunk. Fixed (not derived from the worker count) so the
+/// per-chunk partial results — and therefore floating-point accumulation
+/// order — are independent of the parallelism degree.
+pub(crate) const SCAN_CHUNK_ROWS: usize = 16 * 1024;
+
+/// One unit of parallel scan work: a position range within a single part.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScanChunk {
+    /// Part index within the main chain.
+    pub part: usize,
+    /// First row position (inclusive).
+    pub start: Pos,
+    /// One past the last row position.
+    pub end: Pos,
+}
+
+/// Split every part of the chain into `SCAN_CHUNK_ROWS`-sized chunks, in
+/// chain order.
+pub(crate) fn plan_chunks(parts: &[Arc<MainPart>]) -> Vec<ScanChunk> {
+    let mut chunks = Vec::new();
+    for (pi, part) in parts.iter().enumerate() {
+        let len = part.len();
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + SCAN_CHUNK_ROWS).min(len);
+            chunks.push(ScanChunk {
+                part: pi,
+                start: start as Pos,
+                end: end as Pos,
+            });
+            start = end;
+        }
+    }
+    chunks
+}
+
+/// Split a flat hit list into `SCAN_CHUNK_ROWS`-sized index ranges.
+pub(crate) fn plan_ranges(len: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + SCAN_CHUNK_ROWS).min(len);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Resolved visibility of one main part under one snapshot.
+pub(crate) enum PartVisibility {
+    /// Every row of the part is visible — no per-row checks at all.
+    All,
+    /// Per-row visibility bitmap (cached on the part when possible).
+    Filtered(Arc<VisBitmap>),
+}
+
+impl PartVisibility {
+    /// Is row `pos` of the part visible?
+    #[inline]
+    pub fn is_visible(&self, pos: Pos) -> bool {
+        match self {
+            PartVisibility::All => true,
+            PartVisibility::Filtered(b) => b.visible.get(pos as usize),
+        }
+    }
+
+    /// Visible rows within the whole part (`part_len` = the part's length).
+    pub fn visible_rows(&self, part_len: usize) -> usize {
+        match self {
+            PartVisibility::All => part_len,
+            PartVisibility::Filtered(b) => b.visible.count_ones(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_without_overlap() {
+        let r = plan_ranges(SCAN_CHUNK_ROWS * 2 + 5);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], (0, SCAN_CHUNK_ROWS));
+        assert_eq!(r[2], (SCAN_CHUNK_ROWS * 2, SCAN_CHUNK_ROWS * 2 + 5));
+        assert!(plan_ranges(0).is_empty());
+    }
+}

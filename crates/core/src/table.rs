@@ -147,6 +147,19 @@ impl UnifiedTable {
         self.locks.release_all(txn);
     }
 
+    /// Encodings of `col`'s compressed code vectors across the main chain,
+    /// in chain order (introspection for tests and benches asserting scan
+    /// coverage per encoding).
+    pub fn main_encodings(&self, col: usize) -> Vec<hana_column::Encoding> {
+        let state = self.state.read();
+        state
+            .main
+            .parts()
+            .iter()
+            .map(|p| p.code_vector(col).encoding())
+            .collect()
+    }
+
     pub(crate) fn alloc_row_id(&self) -> RowId {
         RowId(self.next_row_id.fetch_add(1, Ordering::SeqCst))
     }

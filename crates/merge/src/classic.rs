@@ -7,7 +7,7 @@
 //! same or an increased number of bits", and the L2-delta's entries are
 //! appended at the end. The result is a single-part [`MainStore`].
 
-use crate::parallel::{effective_workers, map_columns};
+use crate::parallel::{effective_workers, map_indexed};
 use crate::survivors::{collect_survivors, survivor_value, MergeInput, Origin, SurvivorSet};
 use hana_common::{Result, RowId, Value};
 use hana_dict::merge::{merge_dicts_filtered, DROPPED};
@@ -103,7 +103,7 @@ pub(crate) fn build_merged_columns(
     let arity = input.l2.schema().arity();
     let single_part = input.main.parts().len() <= 1;
     let workers = effective_workers(input.parallel).min(arity.max(1));
-    let merged = map_columns(arity, workers, |col| {
+    let merged = map_indexed(arity, workers, |col| {
         if single_part {
             merge_one_column_fast(input, survivors, col)
         } else {

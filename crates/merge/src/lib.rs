@@ -47,7 +47,7 @@ mod survivors;
 pub use classic::{classic_merge, DeltaMergeOutcome, MergeMetrics};
 pub use daemon::{DaemonStats, MergeDaemon, MergeTarget};
 pub use l1_to_l2::{l1_to_l2_merge, L1MergeOutcome};
-pub use parallel::effective_workers;
+pub use parallel::{effective_workers, map_indexed};
 pub use partial::partial_merge;
 pub use policy::{decide_delta_merge, decide_l1_merge, MergeDecision};
 pub use resort::{resort_merge, ResortOutcome};

@@ -1,24 +1,25 @@
-//! Per-column fan-out for the delta-to-main merges.
+//! Indexed fan-out shared by the merge and scan engines.
 //!
 //! All three §4 merges (classic, re-sorting, partial) spend their time in
 //! embarrassingly-parallel per-column work: dictionary merge, code
 //! translation, and value-index rebuild touch one column at a time and
 //! share nothing but the immutable [`MergeInput`](crate::MergeInput) and
-//! survivor list. [`map_columns`] fans that loop out over a bounded pool of
-//! scoped worker threads.
+//! survivor list. [`map_indexed`] fans that loop out over a bounded pool of
+//! scoped worker threads; the scan engine in `hana-core` reuses the same
+//! primitive with row-chunk indexes instead of column indexes.
 //!
 //! Guarantees:
 //!
-//! * **Bit-identical results.** Workers claim column indexes from an atomic
+//! * **Bit-identical results.** Workers claim indexes from an atomic
 //!   counter and return `(index, value)` pairs; the caller reassembles the
-//!   output strictly in column order, so scheduling cannot influence the
+//!   output strictly in index order, so scheduling cannot influence the
 //!   merged structure.
-//! * **Graceful serial fallback.** A worker count of 1 (or a single-column
-//!   table) never spawns; and if the OS refuses a thread mid-fan-out, the
-//!   scoped-thread layer runs that worker's share inline on the spawning
-//!   thread instead of failing the merge.
-//! * **Panic transparency.** A panicking column job propagates to the
-//!   caller exactly as it would from the serial loop.
+//! * **Graceful serial fallback.** A worker count of 1 (or a single-item
+//!   job list) never spawns; and if the OS refuses a thread mid-fan-out,
+//!   the scoped-thread layer runs that worker's share inline on the
+//!   spawning thread instead of failing the job.
+//! * **Panic transparency.** A panicking job propagates to the caller
+//!   exactly as it would from the serial loop.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -35,8 +36,8 @@ pub fn effective_workers(requested: usize) -> usize {
 }
 
 /// Compute `f(0), f(1), …, f(arity - 1)` on up to `workers` threads and
-/// return the results in column order.
-pub(crate) fn map_columns<T, F>(arity: usize, workers: usize, f: F) -> Vec<T>
+/// return the results in index order.
+pub fn map_indexed<T, F>(arity: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -93,8 +94,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_order() {
-        let serial = map_columns(17, 1, |c| c * c);
-        let parallel = map_columns(17, 4, |c| c * c);
+        let serial = map_indexed(17, 1, |c| c * c);
+        let parallel = map_indexed(17, 4, |c| c * c);
         assert_eq!(serial, parallel);
         assert_eq!(serial[3], 9);
     }
@@ -102,7 +103,7 @@ mod tests {
     #[test]
     fn every_column_computed_exactly_once() {
         let calls = AtomicUsize::new(0);
-        let out = map_columns(64, 8, |c| {
+        let out = map_indexed(64, 8, |c| {
             calls.fetch_add(1, Ordering::SeqCst);
             c
         });
@@ -112,14 +113,14 @@ mod tests {
 
     #[test]
     fn degenerate_arities() {
-        assert_eq!(map_columns(0, 8, |c| c), Vec::<usize>::new());
-        assert_eq!(map_columns(1, 8, |c| c + 10), vec![10]);
+        assert_eq!(map_indexed(0, 8, |c| c), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 8, |c| c + 10), vec![10]);
     }
 
     #[test]
     fn worker_panic_propagates() {
         let r = std::panic::catch_unwind(|| {
-            map_columns(8, 4, |c| {
+            map_indexed(8, 4, |c| {
                 if c == 5 {
                     panic!("column job failed");
                 }

@@ -14,7 +14,7 @@
 //! bench.
 
 use crate::classic::{DeltaMergeOutcome, MergeMetrics};
-use crate::parallel::{effective_workers, map_columns};
+use crate::parallel::{effective_workers, map_indexed};
 use crate::survivors::{collect_survivors, survivor_value, MergeInput};
 use hana_common::{Result, Value};
 use hana_dict::{Code, MergeKind, SortedDict};
@@ -50,7 +50,7 @@ pub fn partial_merge(
 
     let arity = input.l2.schema().arity();
     let workers = effective_workers(input.parallel).min(arity.max(1));
-    let columns = map_columns(arity, workers, |col| {
+    let columns = map_indexed(arity, workers, |col| {
         // Global base past all passive dictionaries — the paper's `n + 1`.
         let base: Code = passive.iter().map(|p| p.dict(col).len() as Code).sum();
 

@@ -15,7 +15,7 @@
 use crate::classic::{
     assemble_part, build_merged_columns, DeltaMergeOutcome, MergeMetrics, MergedColumns,
 };
-use crate::parallel::map_columns;
+use crate::parallel::map_indexed;
 use crate::survivors::{collect_survivors, MergeInput, SurvivorSet};
 use hana_common::Result;
 use hana_store::HistoryStore;
@@ -82,7 +82,7 @@ pub fn resort_merge(
 
     // Permute every column (fanned out like the rebuild: each column's
     // permutation is independent) and the row metadata.
-    merged.codes = map_columns(merged.codes.len(), merged.workers, |c| {
+    merged.codes = map_indexed(merged.codes.len(), merged.workers, |c| {
         apply_permutation(&merged.codes[c], &perm)
     });
     let rows = apply_permutation(&survivors.rows, &perm);

@@ -163,6 +163,7 @@ pub fn encode_config(e: &mut Encoder, c: &TableConfig) {
     e.bool(c.historic);
     e.u64(c.merge.column_parallelism as u64);
     e.u64(c.merge.daemon_workers as u64);
+    e.u64(c.scan.scan_parallelism as u64);
 }
 
 pub fn decode_config(d: &mut Decoder<'_>) -> Result<TableConfig> {
@@ -181,6 +182,9 @@ pub fn decode_config(d: &mut Decoder<'_>) -> Result<TableConfig> {
         merge: hana_common::MergeConfig {
             column_parallelism: d.u64()? as usize,
             daemon_workers: d.u64()? as usize,
+        },
+        scan: hana_common::ScanConfig {
+            scan_parallelism: d.u64()? as usize,
         },
     })
 }

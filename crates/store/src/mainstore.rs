@@ -20,12 +20,45 @@
 //! the part's own values, so no dictionary-derived code range ever matches
 //! it, and `IS NULL` still resolves through the inverted index.
 
-use hana_column::{CodeStats, CodeVector, InvertedIndex, Pos};
-use hana_common::{RowId, Schema, Timestamp, Value};
+use hana_column::{Bitmap, CodeStats, CodeVector, InvertedIndex, Pos};
+use hana_common::{is_committed_stamp, RowId, Schema, Timestamp, TxnId, Value, COMMIT_TS_MAX};
 use hana_dict::{Code, SortedDict};
+use parking_lot::Mutex;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-snapshot visibility bitmap for one main part.
+///
+/// Computed once by the read path and cached on the part (see
+/// [`MainPart::cached_visibility`]); bit `i` set means row `i` of the part
+/// is visible at snapshot timestamp [`ts`](VisBitmap::ts). An entry is only
+/// reusable while the part's [`end_version`](MainPart::end_version) still
+/// matches — any in-place deletion invalidates it — and, when any
+/// uncommitted-writer mark influenced the computation
+/// ([`txn_sensitive`](VisBitmap::txn_sensitive)), only for the exact same
+/// reader transaction.
+#[derive(Debug)]
+pub struct VisBitmap {
+    /// Snapshot commit timestamp the bitmap was computed for.
+    pub ts: Timestamp,
+    /// Reader transaction of the computing snapshot (`None` for detached
+    /// snapshots). Only consulted when `txn_sensitive`.
+    pub txn: Option<TxnId>,
+    /// True if an uncommitted-writer mark was encountered while resolving
+    /// stamps: own-writes make the result depend on the reader's identity.
+    pub txn_sensitive: bool,
+    /// The part's end-write counter captured *before* the stamps were
+    /// scanned; a mismatch on lookup means a deletion landed since.
+    pub end_version: u64,
+    /// Bit set = row visible at `ts`.
+    pub visible: Bitmap,
+}
+
+/// Cached visibility bitmaps kept per part (distinct live snapshots are
+/// few; the watermark eviction in [`MainPart::store_visibility`] keeps the
+/// list short anyway).
+const VIS_CACHE_CAP: usize = 4;
 
 /// Builder input for one column of one part.
 #[derive(Debug, Clone)]
@@ -54,6 +87,19 @@ pub struct MainPart {
     row_ids: Vec<RowId>,
     begins: Vec<Timestamp>,
     ends: Vec<AtomicU64>,
+    /// Largest committed begin stamp at build time (0 when empty; only
+    /// meaningful while `begins_marked` is false).
+    max_begin: Timestamp,
+    /// True if any begin stamp was still an uncommitted-writer mark at
+    /// build time (possible for recovery images taken mid-transaction).
+    begins_marked: bool,
+    /// True if any row already carried a deletion stamp at build time.
+    initial_ends: bool,
+    /// Count of `store_end` calls since build; doubles as the version tag
+    /// that invalidates cached visibility bitmaps.
+    end_writes: AtomicU64,
+    /// Cached per-snapshot visibility bitmaps (see [`VisBitmap`]).
+    vis_cache: Mutex<Vec<Arc<VisBitmap>>>,
 }
 
 /// A `(part index, row position)` coordinate within a [`MainStore`].
@@ -98,12 +144,27 @@ impl MainPart {
                 }
             })
             .collect();
+        let mut max_begin = 0;
+        let mut begins_marked = false;
+        for &b in &begins {
+            if is_committed_stamp(b) {
+                max_begin = max_begin.max(b);
+            } else {
+                begins_marked = true;
+            }
+        }
+        let initial_ends = ends.iter().any(|&e| e != COMMIT_TS_MAX);
         MainPart {
             generation,
             columns,
             row_ids,
             begins,
             ends: ends.into_iter().map(AtomicU64::new).collect(),
+            max_begin,
+            begins_marked,
+            initial_ends,
+            end_writes: AtomicU64::new(0),
+            vis_cache: Mutex::new(Vec::new()),
         }
     }
 
@@ -143,8 +204,66 @@ impl MainPart {
     }
 
     /// Overwrite the end stamp (post-merge deletion of a main-resident row).
+    ///
+    /// This is the single choke point for end-stamp mutation; bumping the
+    /// write counter here is what invalidates cached visibility bitmaps
+    /// and the wholly-visible fast path.
     pub fn store_end(&self, pos: Pos, ts: Timestamp) {
         self.ends[pos as usize].store(ts, Ordering::Release);
+        self.end_writes.fetch_add(1, Ordering::Release);
+    }
+
+    /// True when every row of this part is visible to *any* snapshot at
+    /// commit timestamp `ts`: all begin stamps are committed and ≤ `ts`,
+    /// and no row has ever carried a deletion stamp. Such parts need no
+    /// per-row `version_visible` resolution at all.
+    pub fn fully_visible_at(&self, ts: Timestamp) -> bool {
+        !self.begins_marked
+            && !self.initial_ends
+            && self.end_writes.load(Ordering::Acquire) == 0
+            && self.max_begin <= ts
+    }
+
+    /// Version tag of the end-stamp array. Capture it *before* scanning
+    /// stamps when building a [`VisBitmap`]; a cached bitmap is stale once
+    /// the live value differs.
+    pub fn end_version(&self) -> u64 {
+        self.end_writes.load(Ordering::Acquire)
+    }
+
+    /// Look up a cached visibility bitmap for snapshot `ts` read by `txn`.
+    ///
+    /// Hits require the exact snapshot timestamp, an unchanged end-stamp
+    /// version, and — for entries whose computation saw uncommitted-writer
+    /// marks — the same reader transaction.
+    pub fn cached_visibility(&self, ts: Timestamp, txn: Option<TxnId>) -> Option<Arc<VisBitmap>> {
+        let end_version = self.end_version();
+        let cache = self.vis_cache.lock();
+        cache
+            .iter()
+            .find(|e| {
+                e.ts == ts && e.end_version == end_version && (!e.txn_sensitive || e.txn == txn)
+            })
+            .cloned()
+    }
+
+    /// Insert a freshly computed visibility bitmap, evicting entries for
+    /// snapshots the watermark has passed, stale end-stamp versions, and —
+    /// beyond [`VIS_CACHE_CAP`] — the oldest entry.
+    pub fn store_visibility(&self, entry: Arc<VisBitmap>, watermark: Timestamp) {
+        let end_version = self.end_version();
+        let mut cache = self.vis_cache.lock();
+        cache.retain(|e| e.ts >= watermark && e.end_version == end_version);
+        if cache
+            .iter()
+            .any(|e| e.ts == entry.ts && e.end_version == entry.end_version && e.txn == entry.txn)
+        {
+            return;
+        }
+        if cache.len() >= VIS_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(entry);
     }
 
     /// This part's NULL sentinel for `col`.
@@ -666,6 +785,137 @@ mod tests {
         part.store_end(0, 42);
         assert_eq!(part.end(0), 42);
         assert_eq!(part.begin(0), 1);
+    }
+
+    #[test]
+    fn fully_visible_summary_tracks_stamps() {
+        let m = single_part(&[(1, Some("a")), (2, Some("b"))]);
+        let part = &m.parts()[0];
+        // Begins are all 1 and no ends are set: wholly visible from ts 1 on.
+        assert!(part.fully_visible_at(1));
+        assert!(part.fully_visible_at(100));
+        assert!(!part.fully_visible_at(0));
+        // Any in-place deletion permanently disables the fast path.
+        let v0 = part.end_version();
+        part.store_end(1, 42);
+        assert!(!part.fully_visible_at(100));
+        assert_eq!(part.end_version(), v0 + 1);
+    }
+
+    #[test]
+    fn visibility_cache_round_trip_and_invalidation() {
+        let m = single_part(&[(1, Some("a")), (2, Some("b")), (3, Some("c"))]);
+        let part = &m.parts()[0];
+        assert!(part.cached_visibility(7, None).is_none());
+        let mut bm = Bitmap::zeros(3);
+        bm.set(0);
+        bm.set(2);
+        part.store_visibility(
+            Arc::new(VisBitmap {
+                ts: 7,
+                txn: None,
+                txn_sensitive: false,
+                end_version: part.end_version(),
+                visible: bm,
+            }),
+            0,
+        );
+        // Txn-insensitive entries serve any reader at the same snapshot ts.
+        let hit = part.cached_visibility(7, Some(TxnId(9))).unwrap();
+        assert!(hit.visible.get(0) && !hit.visible.get(1) && hit.visible.get(2));
+        assert!(part.cached_visibility(8, None).is_none());
+        // A deletion bumps the end version and invalidates the entry.
+        part.store_end(0, 99);
+        assert!(part.cached_visibility(7, None).is_none());
+    }
+
+    #[test]
+    fn txn_sensitive_entries_require_matching_reader() {
+        let m = single_part(&[(1, Some("a"))]);
+        let part = &m.parts()[0];
+        part.store_visibility(
+            Arc::new(VisBitmap {
+                ts: 5,
+                txn: Some(TxnId(3)),
+                txn_sensitive: true,
+                end_version: part.end_version(),
+                visible: Bitmap::zeros(1),
+            }),
+            0,
+        );
+        assert!(part.cached_visibility(5, Some(TxnId(3))).is_some());
+        assert!(part.cached_visibility(5, Some(TxnId(4))).is_none());
+        assert!(part.cached_visibility(5, None).is_none());
+    }
+
+    #[test]
+    fn visibility_cache_evicts_below_watermark_and_caps() {
+        let m = single_part(&[(1, Some("a"))]);
+        let part = &m.parts()[0];
+        for ts in 1..=6u64 {
+            part.store_visibility(
+                Arc::new(VisBitmap {
+                    ts,
+                    txn: None,
+                    txn_sensitive: false,
+                    end_version: part.end_version(),
+                    visible: Bitmap::zeros(1),
+                }),
+                0,
+            );
+        }
+        // Capacity is bounded; the newest entries survive.
+        assert!(part.cached_visibility(6, None).is_some());
+        assert!(part.cached_visibility(1, None).is_none());
+        // A store with a high watermark sweeps older snapshots out.
+        part.store_visibility(
+            Arc::new(VisBitmap {
+                ts: 10,
+                txn: None,
+                txn_sensitive: false,
+                end_version: part.end_version(),
+                visible: Bitmap::zeros(1),
+            }),
+            10,
+        );
+        assert!(part.cached_visibility(6, None).is_none());
+        assert!(part.cached_visibility(10, None).is_some());
+    }
+
+    #[test]
+    fn marked_begins_disable_fast_path() {
+        let ids = SortedDict::from_values(vec![Value::Int(1)]);
+        let part = MainPart::build(
+            0,
+            vec![MainColumnData {
+                dict: ids,
+                base: 0,
+                codes: vec![0],
+            }],
+            vec![RowId(0)],
+            vec![TxnId(5).mark()],
+            vec![COMMIT_TS_MAX],
+            64,
+        );
+        assert!(!part.fully_visible_at(!(1u64 << 63)));
+    }
+
+    #[test]
+    fn initial_end_stamps_disable_fast_path() {
+        let ids = SortedDict::from_values(vec![Value::Int(1)]);
+        let part = MainPart::build(
+            0,
+            vec![MainColumnData {
+                dict: ids,
+                base: 0,
+                codes: vec![0],
+            }],
+            vec![RowId(0)],
+            vec![1],
+            vec![7],
+            64,
+        );
+        assert!(!part.fully_visible_at(100));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Run with `cargo run -p hana-examples --example calc_graph`.
 
 use hana_calc::graph::PipeOp;
-use hana_calc::{optimize, AggFunc, CalcGraph, CalcNode, Executor, Expr, Predicate, Query};
+use hana_calc::{optimize, AggFunc, CalcGraph, CalcNode, Executor, Predicate, Query};
 use hana_common::{TableConfig, Value};
 use hana_core::Database;
 use hana_engines::olap::{Dimension, StarJoin};
@@ -29,6 +29,7 @@ fn main() -> hana_common::Result<()> {
     let scan = g.add(CalcNode::TableSource {
         table: Arc::clone(&ds.sales),
         fused_filter: Predicate::True,
+        projection: None,
     });
     let filter = g.add(CalcNode::Filter {
         input: scan,
