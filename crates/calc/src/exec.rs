@@ -3,15 +3,20 @@
 //! Evaluates a [`CalcGraph`] bottom-up with per-node memoization (so shared
 //! subexpressions run once — Fig 3's multi-consumer nodes), reading tables
 //! through [`TableRead`] views under one snapshot. Scans with fused
-//! predicates resolve `Eq`/`Between` conjuncts through the unified table's
-//! dictionaries and inverted indexes; `SplitCombine` nodes fan out across
-//! threads and re-aggregate.
+//! predicates push *every* supported conjunct down as a
+//! [`ColumnPredicate`]: the storage layer compiles them into dictionary
+//! codes and evaluates them on the compressed vectors (zone-map pruning,
+//! encoding-aware kernels, inverted-index routing), while genuinely
+//! row-wise shapes (`Ne`/`Or`/`Not`) stay behind as a residue applied to
+//! the materialized survivors. `SplitCombine` nodes fan out across threads
+//! and re-aggregate.
 //!
 //! [`TableRead`]: hana_core::TableRead
 
 use crate::expr::{AggState, Predicate};
 use crate::graph::{CalcGraph, CalcNode, NodeId, PipeOp};
 use hana_common::{HanaError, Result, Value};
+use hana_core::{ColumnPredicate, ScanStats};
 use hana_txn::Snapshot;
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
@@ -52,6 +57,19 @@ pub struct ExecStats {
     pub bitmap_cache_hits: u64,
     /// Snapshot-visibility bitmaps computed (and cached) during scans.
     pub bitmap_cache_misses: u64,
+    /// Whole main parts skipped by part-level zone maps (or compiled
+    /// filters the dictionaries proved empty).
+    pub parts_pruned: usize,
+    /// 16Ki-row scan chunks skipped by chunk-level zone maps.
+    pub chunks_pruned: usize,
+    /// Main rows never touched because their part or chunk was pruned.
+    pub zone_pruned_rows: u64,
+    /// Rows whose pushed-down predicate was decided purely on dictionary
+    /// codes — no value was materialized to filter them.
+    pub code_filtered_rows: u64,
+    /// Rows evaluated row-wise on materialized values: L1-delta rows inside
+    /// the scan plus rows tested by the engine-level residue predicate.
+    pub residue_rows: u64,
 }
 
 /// Executes calc graphs under one snapshot.
@@ -80,8 +98,26 @@ impl Executor {
         let root = g
             .root()
             .ok_or_else(|| HanaError::Query("calc graph has no root".into()))?;
+        // Consumer counts over reachable nodes: a sole-consumer input may be
+        // moved out of the memo instead of cloned (the root counts as
+        // having one extra consumer — the caller).
+        let mut reachable = vec![false; g.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reachable[id.0], true) {
+                continue;
+            }
+            stack.extend(g.inputs(id));
+        }
+        let mut consumers = vec![0usize; g.len()];
+        for (i, _) in reachable.iter().enumerate().filter(|(_, &r)| r) {
+            for input in g.inputs(NodeId(i)) {
+                consumers[input.0] += 1;
+            }
+        }
+        consumers[root.0] += 1;
         let mut memo: FxHashMap<NodeId, ResultSet> = FxHashMap::default();
-        self.eval(g, root, &mut memo)?;
+        self.eval(g, root, &consumers, &mut memo)?;
         Ok(memo.remove(&root).expect("root evaluated"))
     }
 
@@ -89,6 +125,7 @@ impl Executor {
         &mut self,
         g: &CalcGraph,
         id: NodeId,
+        consumers: &[usize],
         memo: &mut FxHashMap<NodeId, ResultSet>,
     ) -> Result<()> {
         if memo.contains_key(&id) {
@@ -112,7 +149,7 @@ impl Executor {
         }
         // Evaluate inputs first (DAG, so recursion terminates).
         for input in g.inputs(id) {
-            self.eval(g, input, memo)?;
+            self.eval(g, input, consumers, memo)?;
         }
         self.stats.nodes_evaluated += 1;
         let result = match g.node(id) {
@@ -122,15 +159,23 @@ impl Executor {
                 projection,
             } => self.scan(table, fused_filter, projection.as_deref())?,
             CalcNode::Filter { input, pred } => {
-                let input_rs = &memo[input];
-                ResultSet {
-                    columns: input_rs.columns.clone(),
-                    rows: input_rs
-                        .rows
-                        .iter()
-                        .filter(|r| pred.eval(r))
-                        .cloned()
-                        .collect(),
+                if consumers[input.0] == 1 {
+                    // Sole consumer: take the memoized input and filter in
+                    // place — surviving rows move, nothing is cloned.
+                    let mut rs = memo.remove(input).expect("input evaluated");
+                    rs.rows.retain(|r| pred.eval(r));
+                    rs
+                } else {
+                    let input_rs = &memo[input];
+                    ResultSet {
+                        columns: input_rs.columns.clone(),
+                        rows: input_rs
+                            .rows
+                            .iter()
+                            .filter(|r| pred.eval(r))
+                            .cloned()
+                            .collect(),
+                    }
                 }
             }
             CalcNode::Project { input, exprs } => {
@@ -214,10 +259,11 @@ impl Executor {
         Ok(())
     }
 
-    /// Scan a table, resolving index-friendly fused conjuncts through the
-    /// read view (point/range) and applying the residue row-wise. The
-    /// pushed-down projection reaches the storage layer: only projected
-    /// columns are decoded, the rest come back as `Null` placeholders.
+    /// Scan a table, pushing every supported fused conjunct down into the
+    /// storage scan (compiled to dictionary codes, pruned by zone maps) and
+    /// applying the row-wise residue to the survivors. The pushed-down
+    /// projection reaches the storage layer: only projected columns are
+    /// decoded, the rest come back as `Null` placeholders.
     fn scan(
         &mut self,
         table: &std::sync::Arc<hana_core::UnifiedTable>,
@@ -231,31 +277,23 @@ impl Executor {
             .iter()
             .map(|c| c.name.clone())
             .collect();
-        // Single Eq / Between (possibly as the head of a conjunction) can be
-        // answered through the inverted indexes.
-        let (indexable, residue) = split_indexable(fused);
-        let rows = match indexable {
-            Some(Indexable::Eq(col, v)) => {
-                self.stats.indexed_scans += 1;
-                read.point_projected(col, &v, projection)?
-            }
-            Some(Indexable::Range(col, lo, hi)) => {
-                self.stats.indexed_scans += 1;
-                read.range_projected(col, Bound::Included(&lo), Bound::Excluded(&hi), projection)?
-            }
-            None => {
-                self.stats.full_scans += 1;
-                read.collect_rows_projected(projection)
-                    .into_iter()
-                    .map(|r| r.values)
-                    .collect()
-            }
+        let (pushed, residue) = split_pushdown(fused);
+        let rows = if pushed.is_empty() {
+            self.stats.full_scans += 1;
+            read.collect_rows_projected(projection)
+        } else {
+            self.stats.indexed_scans += 1;
+            let (rows, st) = read.scan_filtered(&pushed, projection)?;
+            self.absorb_scan_stats(&st);
+            rows
         };
+        let mut rows: Vec<Vec<Value>> = rows.into_iter().map(|r| r.values).collect();
+        if residue != Predicate::True {
+            self.stats.residue_rows += rows.len() as u64;
+            rows.retain(|r| residue.eval(r));
+        }
         self.absorb_cache_stats(&read);
-        Ok(ResultSet {
-            columns,
-            rows: rows.into_iter().filter(|r| residue.eval(r)).collect(),
-        })
+        Ok(ResultSet { columns, rows })
     }
 
     /// Fold one read view's visibility-bitmap cache counters into the
@@ -264,6 +302,16 @@ impl Executor {
         let (hits, misses) = read.vis_cache_stats();
         self.stats.bitmap_cache_hits += hits;
         self.stats.bitmap_cache_misses += misses;
+    }
+
+    /// Fold one filtered scan's pruning/kernel counters into the statement
+    /// statistics.
+    fn absorb_scan_stats(&mut self, st: &ScanStats) {
+        self.stats.parts_pruned += st.parts_pruned;
+        self.stats.chunks_pruned += st.chunks_pruned;
+        self.stats.zone_pruned_rows += st.zone_pruned_rows;
+        self.stats.code_filtered_rows += st.code_filtered_rows;
+        self.stats.residue_rows += st.rowwise_rows;
     }
 }
 
@@ -357,48 +405,64 @@ impl Executor {
     }
 }
 
-enum Indexable {
-    Eq(usize, Value),
-    Range(usize, Value, Value),
+/// Split a fused predicate into the conjuncts the storage layer can
+/// evaluate in the code domain plus the row-wise residue. Unlike the old
+/// single-conjunct split, **every** supported conjunct of an `And` is
+/// pushed down — `Eq`, the comparisons, `Between`, `InSet` and `IsNull`;
+/// only genuinely row-wise shapes (`Ne`, `Or`, `Not`) remain behind.
+/// Comparisons against a NULL literal stay in the residue so the exact
+/// `Predicate::eval` semantics are preserved bit for bit.
+fn split_pushdown(p: &Predicate) -> (Vec<ColumnPredicate>, Predicate) {
+    let mut pushed = Vec::new();
+    let mut residue = Vec::new();
+    collect_conjuncts(p, &mut pushed, &mut residue);
+    let residue = match residue.len() {
+        0 => Predicate::True,
+        1 => residue.pop().unwrap(),
+        _ => Predicate::And(residue),
+    };
+    (pushed, residue)
 }
 
-/// Split a fused predicate into one index-resolvable conjunct plus the
-/// row-wise residue.
-fn split_indexable(p: &Predicate) -> (Option<Indexable>, Predicate) {
+fn collect_conjuncts(
+    p: &Predicate,
+    pushed: &mut Vec<ColumnPredicate>,
+    residue: &mut Vec<Predicate>,
+) {
     match p {
-        Predicate::Eq(c, v) => (Some(Indexable::Eq(*c, v.clone())), Predicate::True),
-        Predicate::Between(c, lo, hi) => (
-            Some(Indexable::Range(*c, lo.clone(), hi.clone())),
-            Predicate::True,
-        ),
+        Predicate::True => {}
         Predicate::And(ps) => {
-            let mut chosen = None;
-            let mut residue = Vec::new();
             for q in ps {
-                if chosen.is_none() {
-                    match q {
-                        Predicate::Eq(c, v) => {
-                            chosen = Some(Indexable::Eq(*c, v.clone()));
-                            continue;
-                        }
-                        Predicate::Between(c, lo, hi) => {
-                            chosen = Some(Indexable::Range(*c, lo.clone(), hi.clone()));
-                            continue;
-                        }
-                        _ => {}
-                    }
-                }
-                residue.push(q.clone());
+                collect_conjuncts(q, pushed, residue);
             }
-            let residue = match residue.len() {
-                0 => Predicate::True,
-                1 => residue.pop().unwrap(),
-                _ => Predicate::And(residue),
-            };
-            (chosen, residue)
         }
-        Predicate::True => (None, Predicate::True),
-        other => (None, other.clone()),
+        Predicate::Eq(c, v) if !v.is_null() => pushed.push(ColumnPredicate::Eq(*c, v.clone())),
+        Predicate::Between(c, lo, hi) if !lo.is_null() && !hi.is_null() => pushed.push(
+            ColumnPredicate::Range(*c, Bound::Included(lo.clone()), Bound::Excluded(hi.clone())),
+        ),
+        Predicate::Lt(c, v) if !v.is_null() => pushed.push(ColumnPredicate::Range(
+            *c,
+            Bound::Unbounded,
+            Bound::Excluded(v.clone()),
+        )),
+        Predicate::Le(c, v) if !v.is_null() => pushed.push(ColumnPredicate::Range(
+            *c,
+            Bound::Unbounded,
+            Bound::Included(v.clone()),
+        )),
+        Predicate::Gt(c, v) if !v.is_null() => pushed.push(ColumnPredicate::Range(
+            *c,
+            Bound::Excluded(v.clone()),
+            Bound::Unbounded,
+        )),
+        Predicate::Ge(c, v) if !v.is_null() => pushed.push(ColumnPredicate::Range(
+            *c,
+            Bound::Included(v.clone()),
+            Bound::Unbounded,
+        )),
+        Predicate::InSet(c, vs) => pushed.push(ColumnPredicate::In(*c, vs.clone())),
+        Predicate::IsNull(c) => pushed.push(ColumnPredicate::IsNull(*c)),
+        other => residue.push(other.clone()),
     }
 }
 
@@ -854,6 +918,73 @@ mod tests {
         assert_eq!(cold, warm);
         assert!(ex2.stats().bitmap_cache_hits >= 1);
         assert_eq!(ex2.stats().bitmap_cache_misses, 0);
+    }
+
+    #[test]
+    fn split_pushdown_extracts_every_supported_conjunct() {
+        let p = Predicate::And(vec![
+            Predicate::Eq(0, Value::Int(1)),
+            Predicate::Between(1, Value::Int(2), Value::Int(5)),
+            Predicate::Ge(2, Value::Int(7)),
+            Predicate::Ne(3, Value::Int(0)),
+            Predicate::InSet(4, vec![Value::Int(1), Value::Int(2)]),
+            Predicate::IsNull(5),
+            Predicate::Or(vec![Predicate::Eq(0, Value::Int(1))]),
+            Predicate::Lt(6, Value::Null), // NULL literal: stays row-wise
+        ]);
+        let (pushed, residue) = split_pushdown(&p);
+        assert_eq!(pushed.len(), 5);
+        assert!(matches!(pushed[0], ColumnPredicate::Eq(0, _)));
+        assert!(matches!(pushed[2], ColumnPredicate::Range(2, _, _)));
+        assert!(matches!(pushed[4], ColumnPredicate::IsNull(5)));
+        // Ne + Or + the NULL comparison remain as the residue conjunction.
+        assert!(matches!(residue, Predicate::And(ref v) if v.len() == 3));
+        // A bare supported conjunct pushes fully, leaving no residue.
+        let (pushed, residue) = split_pushdown(&Predicate::Eq(1, Value::str("x")));
+        assert_eq!(pushed.len(), 1);
+        assert_eq!(residue, Predicate::True);
+    }
+
+    #[test]
+    fn conjunction_pushes_all_supported_conjuncts() {
+        let (mgr, t) = sales_table();
+        let mut g = Query::scan(t)
+            .filter(Predicate::And(vec![
+                Predicate::Eq(1, Value::str("Campbell")),
+                Predicate::Between(0, Value::Int(6), Value::Int(25)),
+                Predicate::Ne(3, Value::str("EUR")),
+            ]))
+            .compile();
+        optimize(&mut g);
+        let mut ex = Executor::new(snap(&mgr));
+        let rs = ex.run(&g).unwrap();
+        // Campbell rows in [6,25) are {6,9,12,15,18,21,24}; USD keeps the
+        // even ids.
+        let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![6, 12, 18, 24]);
+        // Both indexable conjuncts went down in one scan; only Ne ran
+        // row-wise, over the 7 code-domain survivors.
+        assert_eq!(ex.stats().indexed_scans, 1);
+        assert_eq!(ex.stats().full_scans, 0);
+        assert_eq!(ex.stats().residue_rows, 7);
+        assert!(ex.stats().code_filtered_rows > 0);
+    }
+
+    #[test]
+    fn executor_reports_pruning_counters() {
+        let (mgr, t) = main_resident_table();
+        let mut g = Query::scan(t)
+            .filter(Predicate::Between(0, Value::Int(1000), Value::Int(2000)))
+            .compile();
+        optimize(&mut g);
+        let mut ex = Executor::new(snap(&mgr));
+        let rs = ex.run(&g).unwrap();
+        assert!(rs.is_empty());
+        // The dictionary proved the range empty: the whole main part was
+        // skipped without touching a row (L1 leftovers still run row-wise).
+        assert_eq!(ex.stats().parts_pruned, 1);
+        assert!(ex.stats().zone_pruned_rows > 0);
+        assert_eq!(ex.stats().code_filtered_rows, 0);
     }
 
     #[test]

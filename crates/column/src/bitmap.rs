@@ -96,6 +96,28 @@ impl Bitmap {
         }
     }
 
+    /// Set every bit in `[lo, hi)`, growing as needed. Word-at-a-time, so
+    /// run-granular kernels (RLE, cluster, sparse) pay O(bits/64).
+    pub fn set_range(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        self.grow(hi);
+        let (lw, hw) = (lo / 64, (hi - 1) / 64);
+        for w in lw..=hw {
+            let mut mask = u64::MAX;
+            if w == lw {
+                mask &= u64::MAX << (lo % 64);
+            }
+            if w == hw {
+                let top = (hi - 1) % 64;
+                mask &= u64::MAX >> (63 - top);
+            }
+            self.ones += (mask & !self.words[w]).count_ones() as usize;
+            self.words[w] |= mask;
+        }
+    }
+
     /// Iterate positions of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         let len = self.len;
@@ -172,5 +194,32 @@ mod tests {
     #[test]
     fn iter_ones_empty() {
         assert_eq!(Bitmap::zeros(100).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn set_range_matches_bitwise_set() {
+        for (lo, hi) in [(0, 0), (0, 1), (3, 67), (64, 128), (5, 200), (63, 65)] {
+            let mut a = Bitmap::zeros(256);
+            a.set(10); // pre-set bit inside some ranges: ones must not double-count
+            a.set_range(lo, hi);
+            let mut b = Bitmap::zeros(256);
+            b.set(10);
+            for i in lo..hi {
+                b.set(i);
+            }
+            assert_eq!(a.count_ones(), b.count_ones(), "[{lo},{hi})");
+            for i in 0..256 {
+                assert_eq!(a.get(i), b.get(i), "bit {i} of [{lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn set_range_grows() {
+        let mut b = Bitmap::new();
+        b.set_range(100, 130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 30);
+        assert!(b.get(100) && b.get(129) && !b.get(99));
     }
 }

@@ -9,7 +9,8 @@
 //! same or an increased number of bits)" — [`BitPackedVec::repack`] performs
 //! that widening.
 
-use crate::{bits_for, Code, Pos};
+use crate::kernel::CodeMatcher;
+use crate::{bits_for, Bitmap, Code, Pos};
 
 /// Fixed-width bit-packed vector of dictionary codes.
 #[derive(Debug, Clone)]
@@ -211,6 +212,25 @@ impl BitPackedVec {
             for (k, &c) in buf[..n].iter().enumerate() {
                 if range.contains(&c) {
                     out.push((i + k) as Pos);
+                }
+            }
+            i += n;
+        }
+    }
+
+    /// Compressed-domain filter kernel: set bit `k` of `out` when the code
+    /// at position `start + k` (for `k < end - start`) satisfies `m`.
+    /// Decodes blockwise like `scan_eq`, never materializing values.
+    pub fn filter_range(&self, start: usize, end: usize, m: &CodeMatcher, out: &mut Bitmap) {
+        debug_assert!(end <= self.len);
+        let mut buf = [0 as Code; 256];
+        let mut i = start;
+        while i < end {
+            let n = (end - i).min(256);
+            self.decode_block(i, &mut buf[..n]);
+            for (k, &c) in buf[..n].iter().enumerate() {
+                if m.matches(c) {
+                    out.set(i - start + k);
                 }
             }
             i += n;

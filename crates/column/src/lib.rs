@@ -22,18 +22,22 @@ pub mod bitpack;
 pub mod cluster;
 pub mod encoding;
 pub mod invidx;
+pub mod kernel;
 pub mod rle;
 pub mod sparse;
 pub mod stats;
+pub mod zonemap;
 
 pub use bitmap::Bitmap;
 pub use bitpack::BitPackedVec;
 pub use cluster::Cluster;
 pub use encoding::{CodeVector, Encoding};
 pub use invidx::{GrowableInvertedIndex, InvertedIndex};
+pub use kernel::{CodeFilter, CodeMatcher};
 pub use rle::Rle;
 pub use sparse::Sparse;
 pub use stats::CodeStats;
+pub use zonemap::{ZoneEntry, ZoneMap, ZONE_CHUNK_ROWS};
 
 /// Dictionary code type (mirrors `hana_dict::Code`).
 pub type Code = u32;

@@ -4,7 +4,8 @@
 //! compression techniques. RLE shines after a re-sorting merge placed equal
 //! codes adjacently. Random access binary-searches a prefix-sum of run ends.
 
-use crate::{Code, Pos};
+use crate::kernel::CodeMatcher;
+use crate::{Bitmap, Code, Pos};
 
 /// Run-length encoded code vector.
 #[derive(Debug, Clone, Default)]
@@ -95,6 +96,31 @@ impl Rle {
                 out.extend(start..end);
             }
             start = end;
+        }
+    }
+
+    /// Compressed-domain filter kernel over positions `[start, end)`: the
+    /// matcher is evaluated **once per run**, and matching runs set their
+    /// whole overlap with the window word-at-a-time. Bit `k` of `out` is
+    /// position `start + k`.
+    pub fn filter_range(&self, start: usize, end: usize, m: &CodeMatcher, out: &mut Bitmap) {
+        debug_assert!(end <= self.len);
+        // First run overlapping `start`: runs are sorted by exclusive end.
+        let mut k = self.runs.partition_point(|&(_, e)| e as usize <= start);
+        let mut run_start = if k == 0 {
+            0
+        } else {
+            self.runs[k - 1].1 as usize
+        };
+        while k < self.runs.len() && run_start < end {
+            let (c, run_end) = self.runs[k];
+            if m.matches(c) {
+                let lo = run_start.max(start);
+                let hi = (run_end as usize).min(end);
+                out.set_range(lo - start, hi - start);
+            }
+            run_start = run_end as usize;
+            k += 1;
         }
     }
 

@@ -5,7 +5,8 @@
 //! code is implicit; exceptions are kept as sorted `(position, code)` pairs
 //! for binary-searchable random access.
 
-use crate::{Code, Pos};
+use crate::kernel::CodeMatcher;
+use crate::{Bitmap, Code, Pos};
 
 /// Dominant-value encoded code vector.
 #[derive(Debug, Clone)]
@@ -128,6 +129,34 @@ impl Sparse {
                     .filter(|&&(_, c)| range.contains(&c))
                     .map(|&(p, _)| p),
             );
+        }
+    }
+
+    /// Compressed-domain filter kernel over positions `[start, end)`: the
+    /// dominant code is evaluated **once**; only exceptions in the window
+    /// are tested individually. Bit `k` of `out` is position `start + k`.
+    pub fn filter_range(&self, start: usize, end: usize, m: &CodeMatcher, out: &mut Bitmap) {
+        debug_assert!(end <= self.len);
+        let first = self
+            .exceptions
+            .partition_point(|&(p, _)| (p as usize) < start);
+        let window = self.exceptions[first..]
+            .iter()
+            .take_while(|&&(p, _)| (p as usize) < end);
+        if m.matches(self.default_code) {
+            // All positions match except non-matching exceptions.
+            out.set_range(0, end - start);
+            for &(p, c) in window {
+                if !m.matches(c) {
+                    out.clear(p as usize - start);
+                }
+            }
+        } else {
+            for &(p, c) in window {
+                if m.matches(c) {
+                    out.set(p as usize - start);
+                }
+            }
         }
     }
 

@@ -1,0 +1,192 @@
+//! Min/max zone maps over main-store code vectors.
+//!
+//! Because the main dictionary is sorted, per-part and per-chunk min/max
+//! *codes* are order-consistent with values: a compiled code range that
+//! falls entirely outside a zone's `[min, max]` span cannot match any row in
+//! it, so whole parts and 16Ki-row chunks are skipped before any kernel
+//! runs. NULLs are excluded from the span and tracked by a separate flag
+//! (the NULL sentinel sorts above every real code and would otherwise
+//! poison `max`).
+//!
+//! Zone maps are built once at merge time ([`ZoneMap::build`] is called from
+//! `MainPart::build`) and persisted in savepoint images so recovery does not
+//! recompute them.
+
+use crate::{Code, Pos};
+
+/// Rows per zone — matches the scan planner's chunk size so chunk `k` of a
+/// part scan is zone `k` of the part's zone map.
+pub const ZONE_CHUNK_ROWS: usize = 16 * 1024;
+
+/// Min/max of the non-NULL codes in one zone, plus a NULL-presence flag.
+///
+/// An empty zone (or all-NULL zone) has `min > max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneEntry {
+    /// Smallest non-NULL code in the zone.
+    pub min: Code,
+    /// Largest non-NULL code in the zone.
+    pub max: Code,
+    /// True if the zone contains at least one NULL row.
+    pub has_nulls: bool,
+}
+
+impl ZoneEntry {
+    /// The entry covering no non-NULL rows.
+    pub const EMPTY: ZoneEntry = ZoneEntry {
+        min: Code::MAX,
+        max: 0,
+        has_nulls: false,
+    };
+
+    /// Fold one code into the entry.
+    #[inline]
+    pub fn add(&mut self, code: Code, null_code: Code) {
+        if code == null_code {
+            self.has_nulls = true;
+        } else {
+            self.min = self.min.min(code);
+            self.max = self.max.max(code);
+        }
+    }
+
+    /// True if no non-NULL code was folded in.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min > self.max
+    }
+
+    /// True if a filter with inclusive hull `[lo, hi]` could match a
+    /// non-NULL row of this zone. `false` means the zone is provably free of
+    /// matches and may be skipped (NULL rows never match a value filter).
+    #[inline]
+    pub fn overlaps(&self, lo: Code, hi: Code) -> bool {
+        !self.is_empty() && lo <= self.max && hi >= self.min
+    }
+}
+
+/// Zone maps for one column of one main part: a whole-part entry plus one
+/// entry per [`ZONE_CHUNK_ROWS`] rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneMap {
+    part: ZoneEntry,
+    chunks: Vec<ZoneEntry>,
+}
+
+impl ZoneMap {
+    /// Scan `codes` once, folding each into its chunk entry and the
+    /// whole-part entry. `null_code` rows set `has_nulls` only.
+    pub fn build(codes: &[Code], null_code: Code) -> Self {
+        let mut part = ZoneEntry::EMPTY;
+        let mut chunks = Vec::with_capacity(codes.len().div_ceil(ZONE_CHUNK_ROWS));
+        for chunk in codes.chunks(ZONE_CHUNK_ROWS) {
+            let mut z = ZoneEntry::EMPTY;
+            for &c in chunk {
+                z.add(c, null_code);
+            }
+            part.min = part.min.min(z.min);
+            part.max = part.max.max(z.max);
+            part.has_nulls |= z.has_nulls;
+            chunks.push(z);
+        }
+        if part.is_empty() {
+            part = ZoneEntry {
+                has_nulls: part.has_nulls,
+                ..ZoneEntry::EMPTY
+            };
+        }
+        ZoneMap { part, chunks }
+    }
+
+    /// Reassemble a zone map from persisted entries (savepoint recovery).
+    pub fn from_entries(part: ZoneEntry, chunks: Vec<ZoneEntry>) -> Self {
+        ZoneMap { part, chunks }
+    }
+
+    /// The whole-part entry.
+    #[inline]
+    pub fn part(&self) -> ZoneEntry {
+        self.part
+    }
+
+    /// All chunk entries in row order (for persistence).
+    #[inline]
+    pub fn chunks(&self) -> &[ZoneEntry] {
+        &self.chunks
+    }
+
+    /// The entry for the chunk containing part-local position `pos` — the
+    /// scan planner's chunk `pos / ZONE_CHUNK_ROWS`.
+    #[inline]
+    pub fn chunk_at(&self, pos: Pos) -> ZoneEntry {
+        self.chunks
+            .get(pos as usize / ZONE_CHUNK_ROWS)
+            .copied()
+            .unwrap_or(ZoneEntry::EMPTY)
+    }
+
+    /// Number of chunk entries.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.chunks.capacity() * std::mem::size_of::<ZoneEntry>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_exclude_nulls() {
+        let null = 100;
+        let codes = vec![5, 7, null, 3, null, 9];
+        let zm = ZoneMap::build(&codes, null);
+        assert_eq!(zm.part().min, 3);
+        assert_eq!(zm.part().max, 9);
+        assert!(zm.part().has_nulls);
+        // Hull that only the NULL sentinel would fall into must not overlap.
+        assert!(!zm.part().overlaps(50, 200));
+    }
+
+    #[test]
+    fn all_null_zone_is_empty() {
+        let zm = ZoneMap::build(&[4, 4, 4], 4);
+        assert!(zm.part().is_empty());
+        assert!(zm.part().has_nulls);
+        assert!(!zm.part().overlaps(0, Code::MAX));
+    }
+
+    #[test]
+    fn chunk_entries_align_with_scan_chunks() {
+        // Two full chunks + a partial third, with distinct value bands.
+        let mut codes = vec![10 as Code; ZONE_CHUNK_ROWS];
+        codes.extend(std::iter::repeat_n(20 as Code, ZONE_CHUNK_ROWS));
+        codes.extend(std::iter::repeat_n(30 as Code, 100));
+        let zm = ZoneMap::build(&codes, Code::MAX - 1);
+        assert_eq!(zm.chunk_count(), 3);
+        assert_eq!(zm.chunk_at(0).min, 10);
+        assert_eq!(zm.chunk_at(ZONE_CHUNK_ROWS as Pos).min, 20);
+        assert_eq!(zm.chunk_at((2 * ZONE_CHUNK_ROWS) as Pos).max, 30);
+        // Chunk pruning: a 20-only filter overlaps exactly one chunk.
+        let hits: Vec<bool> = (0..3)
+            .map(|k| zm.chunk_at((k * ZONE_CHUNK_ROWS) as Pos).overlaps(20, 20))
+            .collect();
+        assert_eq!(hits, vec![false, true, false]);
+    }
+
+    #[test]
+    fn boundary_values_overlap_inclusively() {
+        let zm = ZoneMap::build(&[5, 9], 100);
+        // Hull touching min or max exactly must NOT be pruned.
+        assert!(zm.part().overlaps(9, 9));
+        assert!(zm.part().overlaps(5, 5));
+        assert!(zm.part().overlaps(0, 5));
+        assert!(zm.part().overlaps(9, 20));
+        assert!(!zm.part().overlaps(0, 4));
+        assert!(!zm.part().overlaps(10, 20));
+    }
+}

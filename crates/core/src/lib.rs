@@ -43,6 +43,7 @@
 //! ```
 
 pub mod database;
+pub mod filter;
 pub mod lifecycle;
 pub mod loc;
 pub mod partition;
@@ -53,6 +54,7 @@ pub mod table;
 pub mod write;
 
 pub use database::Database;
+pub use filter::{ColumnPredicate, ScanStats};
 pub use lifecycle::StageStats;
 pub use loc::Loc;
 pub use read::TableRead;

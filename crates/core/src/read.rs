@@ -16,9 +16,11 @@
 //! ([`hana_merge::map_indexed`]) and reassemble in chain order, so a
 //! parallel scan is bit-identical to the serial one.
 
+use crate::filter::{zone_admits, ColumnPredicate, ScanStats};
 use crate::scan::{plan_chunks, plan_ranges, PartVisibility};
 use crate::table::UnifiedTable;
-use hana_column::{Bitmap, Pos};
+use hana_column::kernel::refine_bitmap;
+use hana_column::{Bitmap, CodeMatcher, Pos};
 use hana_common::{HanaError, Result, RowId, Timestamp, TxnId, Value};
 use hana_dict::GlobalSortedDict;
 use hana_merge::{effective_workers, map_indexed};
@@ -340,6 +342,236 @@ impl TableRead {
         let mut out = Vec::with_capacity(self.row_upper_bound());
         self.scan_visible(Some(cols), true, &mut |r| out.push(r));
         Ok(out)
+    }
+
+    /// Compressed-domain filtered scan: all visible rows satisfying *every*
+    /// conjunct in `preds`, plus the pruning/filtering counters.
+    ///
+    /// The main chain never materializes a value to decide the filter: each
+    /// conjunct is compiled per part into a [`CodeMatcher`]
+    /// (see [`ColumnPredicate::compile_for_part`]), whole parts and
+    /// 16Ki-row chunks whose zone maps contradict the compiled spans are
+    /// skipped, and the surviving chunks run the encoding-aware kernels
+    /// ([`hana_column::CodeVector::filter_range`]) in the parallel scan
+    /// fan-out; hit bits are then ANDed with the snapshot-visibility
+    /// resolution of PR 2 (summary or cached bitmap) before materializing
+    /// only matching rows under `proj`. A non-null `Eq` conjunct routes
+    /// through the inverted indexes instead of scanning, verifying the other
+    /// conjuncts per hit — still in the code domain. The L2-deltas probe
+    /// their unsorted dictionaries once per conjunct into code sets; only
+    /// the (small) L1 is evaluated row-wise on values.
+    ///
+    /// With empty `preds` this is [`collect_rows_projected`]
+    /// (Self::collect_rows_projected). Output order matches
+    /// [`for_each_visible`](Self::for_each_visible): main in chunk order,
+    /// then frozen L2, open L2, L1 — so parallel execution stays
+    /// bit-identical to serial.
+    pub fn scan_filtered(
+        &self,
+        preds: &[ColumnPredicate],
+        proj: Option<&[usize]>,
+    ) -> Result<(Vec<VisibleRow>, ScanStats)> {
+        self.check_projection(proj)?;
+        for p in preds {
+            self.schema_col(p.column())?;
+        }
+        let mut stats = ScanStats::default();
+        if preds.is_empty() {
+            return Ok((self.collect_rows_projected(proj), stats));
+        }
+        let cols: Vec<usize> = preds.iter().map(|p| p.column()).collect();
+        let mut out = Vec::new();
+
+        // ---- Main chain ----
+        let parts = self.main.parts();
+        let matchers: Vec<Vec<CodeMatcher>> = (0..parts.len())
+            .map(|pi| {
+                preds
+                    .iter()
+                    .map(|p| p.compile_for_part(&self.main, pi))
+                    .collect()
+            })
+            .collect();
+        let eq_route = preds.iter().find_map(|p| match p {
+            ColumnPredicate::Eq(c, v) if !v.is_null() => Some((*c, v)),
+            _ => None,
+        });
+        if let Some((col, v)) = eq_route {
+            // Selective point conjunct: inverted-index probe instead of a
+            // scan; remaining conjuncts verify on raw codes per hit.
+            stats.index_probes += 1;
+            let hits = self.main.positions_eq(col, v);
+            stats.code_filtered_rows += hits.len() as u64;
+            let mut vis: Vec<Option<PartVisibility>> = Vec::with_capacity(parts.len());
+            vis.resize_with(parts.len(), || None);
+            for h in hits {
+                let part = &parts[h.part];
+                if !matchers[h.part]
+                    .iter()
+                    .zip(&cols)
+                    .all(|(m, &c)| m.matches(part.code_at(h.pos, c)))
+                {
+                    continue;
+                }
+                let v = vis[h.part].get_or_insert_with(|| self.part_visibility(h.part));
+                if v.is_visible(h.pos) {
+                    out.push(VisibleRow {
+                        row_id: part.row_id(h.pos),
+                        values: self.main_row(h, proj, false),
+                    });
+                }
+            }
+        } else {
+            // Zone-map pruning: whole parts first, then chunks. A part whose
+            // compiled filter is empty (dictionary proved no match) prunes
+            // the same way.
+            let mut part_active = vec![true; parts.len()];
+            for (pi, part) in parts.iter().enumerate() {
+                let dead = matchers[pi]
+                    .iter()
+                    .zip(&cols)
+                    .any(|(m, &c)| m.never_matches() || !zone_admits(part.zone_map(c).part(), m));
+                if dead && !part.is_empty() {
+                    part_active[pi] = false;
+                    stats.parts_pruned += 1;
+                    stats.zone_pruned_rows += part.len() as u64;
+                }
+            }
+            let chunks: Vec<_> = plan_chunks(parts)
+                .into_iter()
+                .filter(|ch| {
+                    if !part_active[ch.part] {
+                        return false;
+                    }
+                    let part = &parts[ch.part];
+                    let dead = matchers[ch.part]
+                        .iter()
+                        .zip(&cols)
+                        .any(|(m, &c)| !zone_admits(part.zone_map(c).chunk_at(ch.start), m));
+                    if dead {
+                        stats.chunks_pruned += 1;
+                        stats.zone_pruned_rows += (ch.end - ch.start) as u64;
+                    }
+                    !dead
+                })
+                .collect();
+            stats.code_filtered_rows += chunks
+                .iter()
+                .map(|ch| (ch.end - ch.start) as u64)
+                .sum::<u64>();
+            let vis: Vec<PartVisibility> = (0..parts.len())
+                .map(|pi| {
+                    if part_active[pi] && !parts[pi].is_empty() {
+                        self.part_visibility(pi)
+                    } else {
+                        PartVisibility::All // never consulted for pruned parts
+                    }
+                })
+                .collect();
+            let workers = self.scan_workers(chunks.len());
+            let produced = map_indexed(chunks.len(), workers, |ci| {
+                let ch = chunks[ci];
+                let part = &parts[ch.part];
+                let n = (ch.end - ch.start) as usize;
+                let ms = &matchers[ch.part];
+                let mut hits = Bitmap::zeros(n);
+                part.code_vector(cols[0]).filter_range(
+                    ch.start as usize,
+                    ch.end as usize,
+                    &ms[0],
+                    &mut hits,
+                );
+                for (m, &c) in ms.iter().zip(&cols).skip(1) {
+                    if hits.count_ones() == 0 {
+                        break;
+                    }
+                    refine_bitmap(
+                        |i| part.code_at(i as Pos, c),
+                        ch.start as usize,
+                        m,
+                        &mut hits,
+                    );
+                }
+                let mut rows = Vec::new();
+                for k in hits.iter_ones() {
+                    let pos = ch.start + k as Pos;
+                    if vis[ch.part].is_visible(pos) {
+                        rows.push(VisibleRow {
+                            row_id: part.row_id(pos),
+                            values: self.main_row(PartHit { part: ch.part, pos }, proj, false),
+                        });
+                    }
+                }
+                rows
+            });
+            out.extend(produced.into_iter().flatten());
+        }
+
+        // ---- L2 stages (frozen, then open) ----
+        let arity = self.table.schema.arity();
+        let l2_side = |l2: &L2Delta, fence: Pos, out: &mut Vec<VisibleRow>, st: &mut ScanStats| {
+            if fence == 0 {
+                return;
+            }
+            // One lock acquisition for every filter column + stamps; the
+            // dictionaries are probed once per conjunct, then rows are
+            // tested on raw codes. Visibility resolves inside the closure
+            // (it only touches the txn manager, never the L2 lock).
+            let keep: Vec<Pos> = l2.with_columns_stamped(&cols, fence, |views, begins, ends| {
+                let ms: Vec<CodeMatcher> = preds
+                    .iter()
+                    .zip(views)
+                    .map(|(p, (dict, _))| p.compile_for_l2(dict))
+                    .collect();
+                let mut keep = Vec::new();
+                if ms.iter().any(|m| m.never_matches()) {
+                    return keep;
+                }
+                let n = views[0].1.len();
+                for pos in 0..n {
+                    if !ms
+                        .iter()
+                        .zip(views)
+                        .all(|(m, (_, codes))| m.matches(codes[pos]))
+                    {
+                        continue;
+                    }
+                    let begin = begins[pos].load(Ordering::Acquire);
+                    let end = ends[pos].load(Ordering::Acquire);
+                    if self.visible(begin, end) {
+                        keep.push(pos as Pos);
+                    }
+                }
+                keep
+            });
+            st.code_filtered_rows += fence as u64;
+            for pos in keep {
+                out.push(VisibleRow {
+                    row_id: l2.row_id(pos),
+                    values: l2_row(l2, pos, arity, proj, false),
+                });
+            }
+        };
+        if let Some((frozen, fence)) = &self.l2_frozen {
+            l2_side(frozen, *fence, &mut out, &mut stats);
+        }
+        l2_side(&self.l2, self.l2_fence, &mut out, &mut stats);
+
+        // ---- L1 (row store): row-wise on values ----
+        for (_, slot) in self.l1.iter() {
+            stats.rowwise_rows += 1;
+            if preds
+                .iter()
+                .all(|p| p.matches_value(&slot.values[p.column()]))
+                && self.visible(slot.begin(), slot.end())
+            {
+                out.push(VisibleRow {
+                    row_id: slot.row_id,
+                    values: slot_row(&slot.values, proj, false),
+                });
+            }
+        }
+        Ok((out, stats))
     }
 
     /// Count visible rows. Wholly-visible parts contribute their length,
@@ -1019,6 +1251,84 @@ mod tests {
             vec![Value::Int(3), Value::Null, Value::Null]
         );
         assert!(read.project(&[99]).is_err());
+    }
+
+    #[test]
+    fn scan_filtered_matches_rowwise_filtering() {
+        let (mgr, t) = setup();
+        main_resident(&mgr, &t, 200);
+        // Leave a few rows in L1 so every stage participates.
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for i in 200..210 {
+            t.insert(
+                &txn,
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+                    Value::double(i as f64),
+                ],
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&reader);
+        let preds = vec![
+            ColumnPredicate::Eq(1, Value::str("even")),
+            ColumnPredicate::Range(
+                0,
+                Bound::Included(Value::Int(50)),
+                Bound::Excluded(Value::Int(205)),
+            ),
+        ];
+        let (rows, stats) = read.scan_filtered(&preds, None).unwrap();
+        let expect: Vec<VisibleRow> = read
+            .collect_rows()
+            .into_iter()
+            .filter(|r| preds.iter().all(|p| p.matches_value(&r.values[p.column()])))
+            .collect();
+        assert_eq!(rows, expect);
+        assert!(!rows.is_empty());
+        // The Eq conjunct routed through the inverted index.
+        assert_eq!(stats.index_probes, 1);
+        assert!(stats.code_filtered_rows > 0);
+        assert_eq!(stats.rowwise_rows, 10);
+    }
+
+    #[test]
+    fn scan_filtered_zone_pruning_and_empty_filters() {
+        let (mgr, t) = setup();
+        main_resident(&mgr, &t, 200);
+        let reader = mgr.begin(IsolationLevel::Transaction);
+        let read = t.read(&reader);
+        // Range entirely above the part's max id: part-level zone map prunes
+        // everything before any kernel runs.
+        let preds = vec![ColumnPredicate::Range(
+            0,
+            Bound::Included(Value::Int(1_000)),
+            Bound::Excluded(Value::Int(2_000)),
+        )];
+        let (rows, stats) = read.scan_filtered(&preds, None).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(stats.parts_pruned, 1);
+        assert_eq!(stats.zone_pruned_rows, 200);
+        assert_eq!(stats.code_filtered_rows, 0);
+        // In-range kernel path (no Eq): decides rows in the code domain.
+        let preds = vec![ColumnPredicate::Range(
+            0,
+            Bound::Included(Value::Int(10)),
+            Bound::Excluded(Value::Int(20)),
+        )];
+        let (rows, stats) = read.scan_filtered(&preds, None).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(stats.code_filtered_rows, 200);
+        assert_eq!(stats.index_probes, 0);
+        // IS NULL on a never-null column: empty compiled filter + no nulls
+        // in the zone map prunes the part.
+        let (rows, _) = read
+            .scan_filtered(&[ColumnPredicate::IsNull(1)], None)
+            .unwrap();
+        assert!(rows.is_empty());
     }
 
     #[test]

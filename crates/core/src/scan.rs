@@ -19,8 +19,10 @@ use std::sync::Arc;
 
 /// Rows per scan chunk. Fixed (not derived from the worker count) so the
 /// per-chunk partial results — and therefore floating-point accumulation
-/// order — are independent of the parallelism degree.
-pub(crate) const SCAN_CHUNK_ROWS: usize = 16 * 1024;
+/// order — are independent of the parallelism degree. Tied to the zone-map
+/// granularity so scan chunk `k` of a part is exactly zone `k` of its
+/// per-column [`hana_column::ZoneMap`]s.
+pub(crate) const SCAN_CHUNK_ROWS: usize = hana_column::ZONE_CHUNK_ROWS;
 
 /// One unit of parallel scan work: a position range within a single part.
 #[derive(Debug, Clone, Copy)]

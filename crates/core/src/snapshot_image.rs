@@ -7,8 +7,9 @@
 //! records in the post-savepoint log, or by their absence (crash = abort).
 
 use crate::table::UnifiedTable;
+use hana_column::{ZoneEntry, ZoneMap};
 use hana_common::{Result, RowId, Timestamp, TxnId, COMMIT_TS_MAX};
-use hana_persist::{DeltaImage, PartImage, RowImage, TableImage};
+use hana_persist::{DeltaImage, PartImage, RowImage, TableImage, ZoneImage};
 use hana_store::{HistoricVersion, L2Delta, MainColumnData, MainPart, MainStore};
 use hana_txn::Resolution;
 use std::sync::Arc;
@@ -89,10 +90,25 @@ impl UnifiedTable {
                         (dict_vals, p.base(c), p.codes_decoded(c))
                     })
                     .collect();
+                let zones = (0..self.schema.arity())
+                    .map(|c| {
+                        let zm = p.zone_map(c);
+                        ZoneImage {
+                            part: zone_entry_to_image(zm.part()),
+                            chunks: zm
+                                .chunks()
+                                .iter()
+                                .copied()
+                                .map(zone_entry_to_image)
+                                .collect(),
+                        }
+                    })
+                    .collect();
                 let n = p.len();
                 PartImage {
                     generation: p.generation(),
                     columns,
+                    zones,
                     row_ids: p.row_ids().to_vec(),
                     begins: (0..n as u32).map(|pos| p.begin(pos)).collect(),
                     ends: (0..n as u32)
@@ -214,13 +230,31 @@ impl UnifiedTable {
                     })
                     .collect();
                 let ends = p.ends.iter().map(|&e| fix(e, false).unwrap()).collect();
-                Arc::new(MainPart::build(
+                // Reload persisted zone maps instead of recomputing; images
+                // without them (column-count mismatch) fall back to a build.
+                let zones = (p.zones.len() == p.columns.len()).then(|| {
+                    p.zones
+                        .iter()
+                        .map(|z| {
+                            ZoneMap::from_entries(
+                                zone_entry_from_image(z.part),
+                                z.chunks
+                                    .iter()
+                                    .copied()
+                                    .map(zone_entry_from_image)
+                                    .collect(),
+                            )
+                        })
+                        .collect()
+                });
+                Arc::new(MainPart::build_with_zones(
                     p.generation,
                     columns,
                     p.row_ids.clone(),
                     p.begins.clone(),
                     ends,
                     self.config.block_size,
+                    zones,
                 ))
             })
             .collect();
@@ -243,6 +277,18 @@ impl UnifiedTable {
             }
         }
         Ok(())
+    }
+}
+
+fn zone_entry_to_image(z: ZoneEntry) -> (u32, u32, bool) {
+    (z.min, z.max, z.has_nulls)
+}
+
+fn zone_entry_from_image((min, max, has_nulls): (u32, u32, bool)) -> ZoneEntry {
+    ZoneEntry {
+        min,
+        max,
+        has_nulls,
     }
 }
 
@@ -295,6 +341,11 @@ mod tests {
         assert_eq!(img.l1_rows.len(), 1);
         assert_eq!(img.l2.rows.len(), 3);
         assert_eq!(img.main_parts.len(), 1);
+        // Zone maps are imaged per column: 6 main rows, ids 0..=5 → codes
+        // 0..=5 with no NULLs.
+        assert_eq!(img.main_parts[0].zones.len(), 2);
+        assert_eq!(img.main_parts[0].zones[0].part, (0, 5, false));
+        assert_eq!(img.main_parts[0].zones[0].chunks.len(), 1);
 
         // Rebuild into a fresh table (recovery advances the clock past the
         // recovered commit stamps, mirrored here).
@@ -308,6 +359,22 @@ mod tests {
             assert_eq!(read.point(0, &Value::Int(i)).unwrap().len(), 1, "id {i}");
         }
         assert_eq!(t2.stage_stats().main_rows, 6);
+        // The recovered main carries the persisted zone maps: a filtered
+        // scan prunes out-of-span ranges without touching a row.
+        let (rows, st) = t2
+            .read(&r)
+            .scan_filtered(
+                &[crate::ColumnPredicate::Range(
+                    0,
+                    std::ops::Bound::Included(Value::Int(1000)),
+                    std::ops::Bound::Excluded(Value::Int(2000)),
+                )],
+                None,
+            )
+            .unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(st.parts_pruned, 1);
+        assert_eq!(st.zone_pruned_rows, 6);
     }
 
     #[test]

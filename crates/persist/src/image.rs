@@ -35,6 +35,17 @@ pub struct DeltaImage {
     pub rows: Vec<RowImage>,
 }
 
+/// One column's persisted zone map: a `(min, max, has_nulls)` span for the
+/// whole part plus one per 16Ki-row chunk, in code space. Persisted so
+/// recovery reloads pruning metadata instead of recomputing it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ZoneImage {
+    /// Whole-part span.
+    pub part: (u32, u32, bool),
+    /// Chunk spans in row order.
+    pub chunks: Vec<(u32, u32, bool)>,
+}
+
 /// One main part's columnar image.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartImage {
@@ -42,6 +53,8 @@ pub struct PartImage {
     pub generation: u64,
     /// Per column: `(dictionary values in code order, base, global codes)`.
     pub columns: Vec<(Vec<Value>, u32, Vec<u32>)>,
+    /// Per column zone maps (parallel to `columns`).
+    pub zones: Vec<ZoneImage>,
     /// Row ids.
     pub row_ids: Vec<RowId>,
     /// Begin stamps (committed).
@@ -100,6 +113,16 @@ fn decode_row(d: &mut Decoder<'_>) -> Result<RowImage> {
         end,
         values,
     })
+}
+
+fn encode_zone_entry(e: &mut Encoder, (min, max, has_nulls): (u32, u32, bool)) {
+    e.u32(min);
+    e.u32(max);
+    e.bool(has_nulls);
+}
+
+fn decode_zone_entry(d: &mut Decoder<'_>) -> Result<(u32, u32, bool)> {
+    Ok((d.u32()?, d.u32()?, d.bool()?))
 }
 
 fn encode_rows(e: &mut Encoder, rows: &[RowImage]) {
@@ -215,6 +238,14 @@ impl TableImage {
                     e.u32(c);
                 }
             }
+            e.u16(p.zones.len() as u16);
+            for z in &p.zones {
+                encode_zone_entry(e, z.part);
+                e.u32(z.chunks.len() as u32);
+                for &c in &z.chunks {
+                    encode_zone_entry(e, c);
+                }
+            }
             e.u32(p.row_ids.len() as u32);
             for (i, id) in p.row_ids.iter().enumerate() {
                 e.u64(id.0);
@@ -256,6 +287,17 @@ impl TableImage {
                 }
                 columns.push((dict_vals, base, codes));
             }
+            let n_zones = d.u16()? as usize;
+            let mut zones = Vec::with_capacity(n_zones);
+            for _ in 0..n_zones {
+                let part = decode_zone_entry(d)?;
+                let n_chunks = d.u32()? as usize;
+                let mut chunks = Vec::with_capacity(n_chunks);
+                for _ in 0..n_chunks {
+                    chunks.push(decode_zone_entry(d)?);
+                }
+                zones.push(ZoneImage { part, chunks });
+            }
             let n_rows = d.u32()? as usize;
             let mut row_ids = Vec::with_capacity(n_rows);
             let mut begins = Vec::with_capacity(n_rows);
@@ -268,6 +310,7 @@ impl TableImage {
             main_parts.push(PartImage {
                 generation,
                 columns,
+                zones,
                 row_ids,
                 begins,
                 ends,
@@ -341,6 +384,16 @@ mod tests {
                 columns: vec![
                     (vec![Value::Int(5), Value::Int(9)], 0, vec![0, 1]),
                     (vec![Value::str("x")], 0, vec![0, 1]), // code 1 = NULL
+                ],
+                zones: vec![
+                    ZoneImage {
+                        part: (0, 1, false),
+                        chunks: vec![(0, 1, false)],
+                    },
+                    ZoneImage {
+                        part: (0, 0, true),
+                        chunks: vec![(0, 0, true)],
+                    },
                 ],
                 row_ids: vec![RowId(1), RowId(2)],
                 begins: vec![3, 4],

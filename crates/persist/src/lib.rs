@@ -30,7 +30,7 @@ pub mod store;
 pub mod vfile;
 
 pub use codec::{crc32, Decoder, Encoder};
-pub use image::{DeltaImage, PartImage, RowImage, TableImage};
+pub use image::{DeltaImage, PartImage, RowImage, TableImage, ZoneImage};
 pub use log::{LogRecord, RedoLog};
 pub use page::{PageId, PageStore, DEFAULT_PAGE_SIZE};
 pub use store::{Persistence, RecoveredState};

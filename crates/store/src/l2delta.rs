@@ -365,6 +365,28 @@ impl L2Delta {
         )
     }
 
+    /// Arbitrarily many columns plus the MVCC stamps under one lock
+    /// acquisition — the compressed-domain filtered scan needs every filter
+    /// column and every projected column together. `views[i]` corresponds to
+    /// `cols[i]`; a column may be requested more than once.
+    pub fn with_columns_stamped<R>(
+        &self,
+        cols: &[usize],
+        fence: Pos,
+        f: impl FnOnce(&[(&UnsortedDict, &[Code])], &[AtomicU64], &[AtomicU64]) -> R,
+    ) -> R {
+        let inner = self.inner.read();
+        let n = (fence as usize).min(inner.row_ids.len());
+        let views: Vec<(&UnsortedDict, &[Code])> = cols
+            .iter()
+            .map(|&c| {
+                let col = &inner.columns[c];
+                (&col.dict, &col.codes[..n])
+            })
+            .collect();
+        f(&views, &inner.begins[..n], &inner.ends[..n])
+    }
+
     /// Snapshot of all MVCC stamps up to `fence` (used by merges).
     pub fn stamps(&self, fence: Pos) -> Vec<(RowId, Timestamp, Timestamp)> {
         let inner = self.inner.read();

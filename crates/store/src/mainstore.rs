@@ -20,7 +20,7 @@
 //! the part's own values, so no dictionary-derived code range ever matches
 //! it, and `IS NULL` still resolves through the inverted index.
 
-use hana_column::{Bitmap, CodeStats, CodeVector, InvertedIndex, Pos};
+use hana_column::{Bitmap, CodeStats, CodeVector, InvertedIndex, Pos, ZoneMap};
 use hana_common::{is_committed_stamp, RowId, Schema, Timestamp, TxnId, Value, COMMIT_TS_MAX};
 use hana_dict::{Code, SortedDict};
 use parking_lot::Mutex;
@@ -78,6 +78,10 @@ struct MainColumn {
     base: Code,
     codes: CodeVector,
     invidx: InvertedIndex,
+    /// Per-part + per-16Ki-chunk min/max code spans (see
+    /// [`hana_column::zonemap`]); built at merge time, persisted in
+    /// savepoint images.
+    zones: ZoneMap,
 }
 
 /// One immutable main structure (a passive or active main).
@@ -124,9 +128,32 @@ impl MainPart {
         ends: Vec<Timestamp>,
         block_size: usize,
     ) -> Self {
+        Self::build_with_zones(generation, columns, row_ids, begins, ends, block_size, None)
+    }
+
+    /// [`MainPart::build`] with optionally precomputed zone maps (one per
+    /// column) — recovery decode passes the persisted maps so they are not
+    /// recomputed from the code vectors.
+    ///
+    /// # Panics
+    /// Panics if column/stamp lengths disagree or `zones` has the wrong
+    /// arity.
+    pub fn build_with_zones(
+        generation: u64,
+        columns: Vec<MainColumnData>,
+        row_ids: Vec<RowId>,
+        begins: Vec<Timestamp>,
+        ends: Vec<Timestamp>,
+        block_size: usize,
+        zones: Option<Vec<ZoneMap>>,
+    ) -> Self {
         let n = row_ids.len();
         assert_eq!(begins.len(), n);
         assert_eq!(ends.len(), n);
+        if let Some(z) = &zones {
+            assert_eq!(z.len(), columns.len(), "zone map arity mismatch");
+        }
+        let mut zones = zones.map(|z| z.into_iter());
         let columns = columns
             .into_iter()
             .map(|c| {
@@ -135,12 +162,17 @@ impl MainPart {
                 let stats = CodeStats::compute(&c.codes);
                 debug_assert!(stats.max_code <= null_code);
                 let invidx = InvertedIndex::build(c.codes.iter().copied(), null_code as usize + 1);
+                let zones = match &mut zones {
+                    Some(it) => it.next().expect("zone map arity checked above"),
+                    None => ZoneMap::build(&c.codes, null_code),
+                };
                 let codes = CodeVector::choose(&c.codes, &stats, block_size);
                 MainColumn {
                     dict: c.dict,
                     base: c.base,
                     codes,
                     invidx,
+                    zones,
                 }
             })
             .collect();
@@ -294,6 +326,11 @@ impl MainPart {
     /// The compressed code vector of `col` (for encoding introspection).
     pub fn code_vector(&self, col: usize) -> &CodeVector {
         &self.columns[col].codes
+    }
+
+    /// Min/max zone maps of `col` (whole part + per-16Ki-chunk entries).
+    pub fn zone_map(&self, col: usize) -> &ZoneMap {
+        &self.columns[col].zones
     }
 
     /// Positions within this part whose `col` carries global `code`.
@@ -925,6 +962,36 @@ mod tests {
         assert_eq!(m.positions_eq(1, &Value::str("x")), vec![]);
         assert_eq!(m.next_base(0), 0);
         assert_eq!(m.iter_hits().count(), 0);
+    }
+
+    #[test]
+    fn zone_maps_built_and_null_aware() {
+        let m = single_part(&[(10, Some("a")), (20, None), (30, Some("c"))]);
+        let part = &m.parts()[0];
+        // id column: codes 0..=2, no nulls.
+        let z = part.zone_map(0).part();
+        assert_eq!((z.min, z.max, z.has_nulls), (0, 2, false));
+        // city column: codes {a=0, c=1}, one NULL (sentinel 2) excluded from
+        // the span but flagged.
+        let z = part.zone_map(1).part();
+        assert_eq!((z.min, z.max, z.has_nulls), (0, 1, true));
+        // Precomputed zones round-trip through build_with_zones.
+        let ids = SortedDict::from_values(vec![Value::Int(1)]);
+        let zm = ZoneMap::build(&[0], 1);
+        let p = MainPart::build_with_zones(
+            0,
+            vec![MainColumnData {
+                dict: ids,
+                base: 0,
+                codes: vec![0],
+            }],
+            vec![RowId(0)],
+            vec![1],
+            vec![COMMIT_TS_MAX],
+            64,
+            Some(vec![zm.clone()]),
+        );
+        assert_eq!(p.zone_map(0), &zm);
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! Compiled code-domain filtering ≡ row-wise value filtering.
+//!
+//! `TableRead::scan_filtered` compiles each pushed-down conjunct into
+//! dictionary codes per storage unit and evaluates it on the compressed
+//! vectors, pruning parts/chunks through zone maps first. This suite pins
+//! the equivalence against the reference semantics
+//! (`ColumnPredicate::matches_value` over a full materialized scan) across
+//! all four main encodings, merge-produced partial mains whose code vectors
+//! chain earlier dictionaries, MVCC edges (uncommitted marks, aborted
+//! writers), zone-map boundary values, and NULL handling on sparse-encoded
+//! columns.
+
+use hana_column::Encoding;
+use hana_common::{ColumnDef, ColumnId, DataType, HanaError, Schema, TableConfig, Value};
+use hana_core::{ColumnPredicate, Database, ScanStats, TableRead, UnifiedTable};
+use hana_merge::MergeDecision;
+use hana_txn::IsolationLevel;
+use proptest::prelude::*;
+use std::ops::Bound;
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            ColumnDef::new("k", DataType::Int).unique(),
+            ColumnDef::new("g", DataType::Int),
+            ColumnDef::new("v", DataType::Double),
+        ],
+    )
+    .unwrap()
+}
+
+fn table() -> (Arc<Database>, Arc<UnifiedTable>) {
+    let db = Database::in_memory();
+    let mut cfg = TableConfig::small().with_l1_max(8).with_l2_max(24);
+    cfg.block_size = 64;
+    let t = db.create_table(schema(), cfg).unwrap();
+    (db, t)
+}
+
+/// Row-wise reference: the conjunction evaluated on materialized values.
+fn reference(read: &TableRead, preds: &[ColumnPredicate]) -> Vec<Vec<Value>> {
+    read.collect_rows()
+        .into_iter()
+        .map(|r| r.values)
+        .filter(|vals| preds.iter().all(|p| p.matches_value(&vals[p.column()])))
+        .collect()
+}
+
+/// Assert the compiled scan returns exactly the reference rows, in scan
+/// order, and return its stats for further checks.
+fn assert_equiv(read: &TableRead, preds: &[ColumnPredicate]) -> ScanStats {
+    let (rows, st) = read.scan_filtered(preds, None).unwrap();
+    let got: Vec<Vec<Value>> = rows.into_iter().map(|r| r.values).collect();
+    assert_eq!(
+        got,
+        reference(read, preds),
+        "compiled ≠ row-wise: {preds:?}"
+    );
+    st
+}
+
+/// A set of predicate shapes exercising every compilation path.
+fn probe_predicates(shape_vals: &[i64]) -> Vec<Vec<ColumnPredicate>> {
+    let lo = *shape_vals.iter().min().unwrap();
+    let hi = *shape_vals.iter().max().unwrap();
+    let mid = shape_vals[shape_vals.len() / 2];
+    vec![
+        vec![ColumnPredicate::Eq(1, Value::Int(mid))],
+        vec![ColumnPredicate::Range(
+            1,
+            Bound::Included(Value::Int(lo)),
+            Bound::Excluded(Value::Int(mid.max(lo + 1))),
+        )],
+        vec![ColumnPredicate::Range(
+            1,
+            Bound::Excluded(Value::Int(mid)),
+            Bound::Unbounded,
+        )],
+        vec![ColumnPredicate::In(
+            1,
+            vec![Value::Int(lo), Value::Int(mid), Value::Int(hi), Value::Null],
+        )],
+        vec![ColumnPredicate::IsNull(1)],
+        // Multi-column conjunction: selective key range + group Eq.
+        vec![
+            ColumnPredicate::Range(
+                0,
+                Bound::Included(Value::Int(10)),
+                Bound::Excluded(Value::Int(600)),
+            ),
+            ColumnPredicate::Eq(1, Value::Int(mid)),
+        ],
+        // Provably-empty compilations.
+        vec![ColumnPredicate::Eq(1, Value::Int(i64::MAX))],
+        vec![ColumnPredicate::Eq(1, Value::Null)],
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Encoding coverage with chained partial mains.
+// ---------------------------------------------------------------------------
+
+fn shape_group(shape: usize, i: i64) -> i64 {
+    match shape {
+        0 => (i * 7919) % 509, // high entropy → bit-packed
+        1 => i / 100,          // sorted runs → RLE
+        2 => {
+            // dominant value → sparse
+            if i % 331 == 0 {
+                i
+            } else {
+                0
+            }
+        }
+        _ => {
+            // block-aligned → cluster
+            let block = i / 64;
+            if block % 4 == 0 {
+                block * 2 + (i % 2)
+            } else {
+                block * 2
+            }
+        }
+    }
+}
+
+/// Load rows in two merge batches (Classic then Partial — the second part's
+/// codes chain the first part's dictionary through base offsets) plus L2/L1
+/// leftovers.
+fn load(db: &Arc<Database>, t: &Arc<UnifiedTable>, shape: usize, n: i64) {
+    let insert = |lo: i64, hi: i64| {
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for i in lo..hi {
+            t.insert(
+                &txn,
+                vec![
+                    Value::Int(i),
+                    Value::Int(shape_group(shape, i)),
+                    Value::double(i as f64 * 0.25),
+                ],
+            )
+            .unwrap();
+        }
+        db.commit(&mut txn).unwrap();
+    };
+    insert(0, n / 2);
+    t.drain_l1().unwrap();
+    t.merge_delta_as(MergeDecision::Classic).unwrap();
+    insert(n / 2, n);
+    t.drain_l1().unwrap();
+    t.merge_delta_as(MergeDecision::Partial).unwrap();
+    insert(n, n + 5);
+}
+
+#[test]
+fn compiled_filters_match_rowwise_across_encodings() {
+    let expected = [
+        Encoding::BitPacked,
+        Encoding::Rle,
+        Encoding::Sparse,
+        Encoding::Cluster,
+    ];
+    for (shape, want) in expected.iter().enumerate() {
+        let (db, t) = table();
+        load(&db, &t, shape, 2048);
+        let encodings = t.main_encodings(1);
+        assert!(
+            encodings.contains(want),
+            "shape {shape}: expected {want:?} in {encodings:?}"
+        );
+        let txn = db.begin(IsolationLevel::Transaction);
+        let read = t.read(&txn);
+        let vals: Vec<i64> = (0..2048).map(|i| shape_group(shape, i)).collect();
+        let mut code_filtered = 0u64;
+        for preds in probe_predicates(&vals) {
+            code_filtered += assert_equiv(&read, &preds).code_filtered_rows;
+        }
+        assert!(
+            code_filtered > 0,
+            "shape {shape}: no row was decided in the code domain"
+        );
+    }
+}
+
+#[test]
+fn partial_main_code_offsets_resolve() {
+    // Three chained parts: the later parts' code vectors reference earlier
+    // dictionaries through per-part base offsets; Eq/Range compilation must
+    // honor code validity (a value's code only exists from its owner part
+    // on) and per-dictionary range order.
+    let (db, t) = table();
+    for batch in 0..3i64 {
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for i in (batch * 100)..((batch + 1) * 100) {
+            t.insert(
+                &txn,
+                vec![Value::Int(i), Value::Int(i % 7), Value::double(i as f64)],
+            )
+            .unwrap();
+        }
+        db.commit(&mut txn).unwrap();
+        t.drain_l1().unwrap();
+        t.merge_delta_as(if batch == 0 {
+            MergeDecision::Classic
+        } else {
+            MergeDecision::Partial
+        })
+        .unwrap();
+    }
+    assert!(t.stage_stats().main_parts >= 2, "no chained parts built");
+    let txn = db.begin(IsolationLevel::Transaction);
+    let read = t.read(&txn);
+    for preds in [
+        vec![ColumnPredicate::Eq(0, Value::Int(250))], // owner = last part
+        vec![ColumnPredicate::Eq(0, Value::Int(0))],   // owner = first part
+        vec![ColumnPredicate::Range(
+            0,
+            Bound::Included(Value::Int(50)),
+            Bound::Excluded(Value::Int(250)),
+        )],
+        vec![ColumnPredicate::Eq(1, Value::Int(3))],
+    ] {
+        assert_equiv(&read, &preds);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MVCC edges: uncommitted marks and aborted writers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mvcc_marks_and_aborts_filtered_consistently() {
+    let (db, t) = table();
+    load(&db, &t, 1, 512);
+    let preds = vec![ColumnPredicate::Range(
+        0,
+        Bound::Included(Value::Int(0)),
+        Bound::Excluded(Value::Int(1000)),
+    )];
+    // An uncommitted writer deletes a main-resident row, updates another
+    // and inserts a fresh one, leaving txn marks in the stamp vectors.
+    let w = db.begin(IsolationLevel::Transaction);
+    t.delete_where(&w, ColumnId(0), &Value::Int(10)).unwrap();
+    t.update_where(
+        &w,
+        ColumnId(0),
+        &Value::Int(20),
+        &[(ColumnId(1), Value::Int(-1))],
+    )
+    .unwrap();
+    t.insert(&w, vec![Value::Int(900), Value::Int(9), Value::double(9.0)])
+        .unwrap();
+    // Own-writes: the writer's compiled scan sees its changes.
+    let own = t.read(&w);
+    let rows = assert_equiv(&own, &preds);
+    assert!(rows.code_filtered_rows > 0);
+    let own_keys: Vec<Vec<Value>> = own
+        .scan_filtered(&[ColumnPredicate::Eq(0, Value::Int(10))], None)
+        .unwrap()
+        .0
+        .into_iter()
+        .map(|r| r.values)
+        .collect();
+    assert!(own_keys.is_empty(), "own delete not honored");
+    // Foreign readers see none of it.
+    let other = db.begin(IsolationLevel::Transaction);
+    let foreign = t.read(&other);
+    assert_equiv(&foreign, &preds);
+    assert_eq!(
+        foreign
+            .scan_filtered(&[ColumnPredicate::Eq(0, Value::Int(10))], None)
+            .unwrap()
+            .0
+            .len(),
+        1
+    );
+    // Aborted: the marks resolve to invisible for everyone.
+    let mut w = w;
+    w.abort().unwrap();
+    let after = db.begin(IsolationLevel::Transaction);
+    let read = t.read(&after);
+    assert_equiv(&read, &preds);
+    assert_eq!(
+        read.scan_filtered(&[ColumnPredicate::Eq(0, Value::Int(900))], None)
+            .unwrap()
+            .0
+            .len(),
+        0,
+        "aborted insert leaked through the compiled scan"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map boundaries.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zone_map_boundaries_are_inclusive() {
+    // One sorted main part of 2 chunks (16Ki rows each, boundary at 16384).
+    // Keep the bulk load in L1 (hash-checked uniqueness) until one explicit
+    // drain+merge; auto-drains would make every insert probe the L2 delta.
+    let db = Database::in_memory();
+    let cfg = TableConfig {
+        l1_max_rows: usize::MAX / 2,
+        l2_max_rows: usize::MAX / 2,
+        ..TableConfig::default()
+    };
+    let t = db.create_table(schema(), cfg).unwrap();
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    for i in 0..20_000i64 {
+        t.insert(
+            &txn,
+            vec![Value::Int(i), Value::Int(i), Value::double(i as f64)],
+        )
+        .unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    t.drain_l1().unwrap();
+    t.merge_delta_as(MergeDecision::Classic).unwrap();
+    let txn = db.begin(IsolationLevel::Transaction);
+    let read = t.read(&txn);
+    let chunk = 16 * 1024i64;
+    // A chunk's exact min and max must not be pruned away.
+    for key in [0, chunk - 1, chunk, 19_999] {
+        let st = assert_equiv(&read, &[ColumnPredicate::Eq(0, Value::Int(key))]);
+        // The Eq routes through the inverted index, not the kernels.
+        assert_eq!(st.index_probes, 1);
+        let st = assert_equiv(
+            &read,
+            &[ColumnPredicate::Range(
+                0,
+                Bound::Included(Value::Int(key)),
+                Bound::Included(Value::Int(key)),
+            )],
+        );
+        assert_eq!(
+            st.chunks_pruned, 1,
+            "key {key}: expected 1 of 2 chunks pruned"
+        );
+    }
+    // A range spanning the chunk boundary keeps both chunks.
+    let st = assert_equiv(
+        &read,
+        &[ColumnPredicate::Range(
+            0,
+            Bound::Included(Value::Int(chunk - 1)),
+            Bound::Excluded(Value::Int(chunk + 1)),
+        )],
+    );
+    assert_eq!(st.chunks_pruned, 0);
+    // Out-of-span ranges prune the whole part.
+    let st = assert_equiv(
+        &read,
+        &[ColumnPredicate::Range(
+            0,
+            Bound::Included(Value::Int(50_000)),
+            Bound::Excluded(Value::Int(60_000)),
+        )],
+    );
+    assert_eq!(st.parts_pruned, 1);
+    assert_eq!(st.zone_pruned_rows, 20_000);
+    assert_eq!(st.code_filtered_rows, 0);
+}
+
+// ---------------------------------------------------------------------------
+// NULL semantics on sparse-encoded columns.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nulls_on_sparse_columns_never_match_value_filters() {
+    // Mostly-NULL group column: the dominant code is the NULL sentinel, so
+    // the sparse encoding's *default* is NULL — the exact shape where a
+    // compiled range that sloppily included the sentinel would match
+    // everything.
+    let (db, t) = table();
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    let n = 2048i64;
+    for i in 0..n {
+        let g = if i % 331 == 0 {
+            Value::Int(i)
+        } else {
+            Value::Null
+        };
+        t.insert(&txn, vec![Value::Int(i), g, Value::double(i as f64)])
+            .unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    t.drain_l1().unwrap();
+    t.merge_delta_as(MergeDecision::Classic).unwrap();
+    assert!(
+        t.main_encodings(1).contains(&Encoding::Sparse),
+        "mostly-NULL column should be sparse-encoded, got {:?}",
+        t.main_encodings(1)
+    );
+    let txn = db.begin(IsolationLevel::Transaction);
+    let read = t.read(&txn);
+    let non_null = (0..n).filter(|i| i % 331 == 0).count();
+    // IS NULL matches exactly the NULL rows.
+    let (rows, _) = read
+        .scan_filtered(&[ColumnPredicate::IsNull(1)], None)
+        .unwrap();
+    assert_eq!(rows.len(), n as usize - non_null);
+    // Value filters never match a NULL row, even with unbounded ranges.
+    let (rows, _) = read
+        .scan_filtered(
+            &[ColumnPredicate::Range(
+                1,
+                Bound::Unbounded,
+                Bound::Unbounded,
+            )],
+            None,
+        )
+        .unwrap();
+    assert_eq!(rows.len(), non_null);
+    for preds in [
+        vec![ColumnPredicate::Eq(1, Value::Int(0))],
+        vec![ColumnPredicate::Eq(1, Value::Int(331))],
+        vec![ColumnPredicate::Eq(1, Value::Null)],
+        vec![ColumnPredicate::Range(
+            1,
+            Bound::Included(Value::Int(0)),
+            Bound::Unbounded,
+        )],
+        vec![ColumnPredicate::In(1, vec![Value::Int(662), Value::Null])],
+        vec![ColumnPredicate::IsNull(1)],
+    ] {
+        assert_equiv(&read, &preds);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random op streams, random predicates, concurrent writer.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    InsertNull(i64),
+    Update(i64, i64),
+    Delete(i64),
+    MergeL1,
+    MergeClassic,
+    MergeResort,
+    MergePartial,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0i64..48, -20i64..20).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => (0i64..48).prop_map(Op::InsertNull),
+        3 => (0i64..48, -20i64..20).prop_map(|(k, v)| Op::Update(k, v)),
+        2 => (0i64..48).prop_map(Op::Delete),
+        1 => Just(Op::MergeL1),
+        1 => Just(Op::MergeClassic),
+        1 => Just(Op::MergeResort),
+        1 => Just(Op::MergePartial),
+    ]
+}
+
+fn apply(db: &Arc<Database>, t: &Arc<UnifiedTable>, op: &Op) {
+    match op {
+        Op::Insert(k, _) | Op::InsertNull(k) => {
+            let g = match op {
+                Op::Insert(_, v) => Value::Int(*v),
+                _ => Value::Null,
+            };
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            match t.insert(
+                &txn,
+                vec![Value::Int(*k), g, Value::double(*k as f64 * 0.5)],
+            ) {
+                Ok(_) => {
+                    db.commit(&mut txn).unwrap();
+                }
+                Err(HanaError::Constraint(_)) => db.abort(&mut txn).unwrap(),
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        Op::Update(k, v) => {
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            match t.update_where(
+                &txn,
+                ColumnId(0),
+                &Value::Int(*k),
+                &[(ColumnId(1), Value::Int(*v))],
+            ) {
+                Ok(_) => {
+                    db.commit(&mut txn).unwrap();
+                }
+                Err(HanaError::NotFound(_)) => db.abort(&mut txn).unwrap(),
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        Op::Delete(k) => {
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            match t.delete_where(&txn, ColumnId(0), &Value::Int(*k)) {
+                Ok(_) => {
+                    db.commit(&mut txn).unwrap();
+                }
+                Err(HanaError::NotFound(_)) => db.abort(&mut txn).unwrap(),
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        Op::MergeL1 => {
+            t.drain_l1().unwrap();
+        }
+        Op::MergeClassic => t.merge_delta_as(MergeDecision::Classic).unwrap(),
+        Op::MergeResort => t.merge_delta_as(MergeDecision::ReSorting).unwrap(),
+        Op::MergePartial => t.merge_delta_as(MergeDecision::Partial).unwrap(),
+    }
+}
+
+fn pred_strategy() -> impl Strategy<Value = Vec<ColumnPredicate>> {
+    let single = prop_oneof![
+        (0usize..2, -25i64..50).prop_map(|(c, v)| ColumnPredicate::Eq(c, Value::Int(v))),
+        (0usize..2, -25i64..50, 0i64..30).prop_map(|(c, lo, w)| ColumnPredicate::Range(
+            c,
+            Bound::Included(Value::Int(lo)),
+            Bound::Excluded(Value::Int(lo + w)),
+        )),
+        (0usize..2, -25i64..50).prop_map(|(c, v)| ColumnPredicate::Range(
+            c,
+            Bound::Unbounded,
+            Bound::Included(Value::Int(v)),
+        )),
+        (0usize..2, prop::collection::vec(-25i64..50, 0..4)).prop_map(|(c, vs)| {
+            ColumnPredicate::In(c, vs.into_iter().map(Value::Int).collect())
+        }),
+        (0usize..2).prop_map(ColumnPredicate::IsNull),
+    ];
+    prop::collection::vec(single, 1..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After arbitrary committed op/merge interleavings, the compiled scan
+    /// equals the row-wise reference — cold and warm, and under an
+    /// uncommitted trailing writer whose marks sit in the stamp vectors.
+    #[test]
+    fn compiled_scan_equals_rowwise_reference(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        preds in pred_strategy(),
+        trailing_delete in 0i64..48,
+    ) {
+        let (db, t) = table();
+        for op in &ops {
+            apply(&db, &t, op);
+        }
+        // Cold, then warm (second statement reuses cached vis bitmaps).
+        for _ in 0..2 {
+            let txn = db.begin(IsolationLevel::Transaction);
+            assert_equiv(&t.read(&txn), &preds);
+        }
+        // Concurrent uncommitted writer: both its own view and a foreign
+        // view must stay equivalent.
+        let w = db.begin(IsolationLevel::Transaction);
+        let _ = t.delete_where(&w, ColumnId(0), &Value::Int(trailing_delete));
+        assert_equiv(&t.read(&w), &preds);
+        let other = db.begin(IsolationLevel::Transaction);
+        assert_equiv(&t.read(&other), &preds);
+    }
+}

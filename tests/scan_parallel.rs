@@ -98,6 +98,30 @@ fn assert_reads_match(
         serial.group_aggregate(1, 2).unwrap(),
         parallel.group_aggregate(1, 2).unwrap()
     );
+    // Compiled code-domain filtered scans: parallel ≡ serial bit-for-bit,
+    // including the pruning counters (the chunk plan, not the worker count,
+    // decides what runs).
+    for preds in [
+        vec![hana_core::ColumnPredicate::Range(
+            0,
+            std::ops::Bound::Included(Value::Int(5)),
+            std::ops::Bound::Excluded(Value::Int(25)),
+        )],
+        vec![
+            hana_core::ColumnPredicate::Range(
+                0,
+                std::ops::Bound::Included(Value::Int(0)),
+                std::ops::Bound::Excluded(Value::Int(10_000)),
+            ),
+            hana_core::ColumnPredicate::Eq(1, Value::Int(3)),
+        ],
+        vec![hana_core::ColumnPredicate::IsNull(1)],
+    ] {
+        let (fa, sta) = serial.scan_filtered(&preds, None).unwrap();
+        let (fb, stb) = parallel.scan_filtered(&preds, None).unwrap();
+        assert_eq!(fa, fb, "compiled filtered scan diverges: {preds:?}");
+        assert_eq!(sta, stb, "filtered scan stats diverge: {preds:?}");
+    }
     // Point and range lookups.
     for k in probe {
         assert_eq!(
