@@ -66,6 +66,9 @@ fn main() -> hana_common::Result<()> {
     if run("fig10") {
         fig10()?;
     }
+    if run("fig10b") {
+        fig10b()?;
+    }
     if run("fig11") {
         fig11()?;
     }
@@ -614,6 +617,73 @@ fn fig10() -> hana_common::Result<()> {
     report::emit(
         "F10 passive+active main",
         &["main layout", "point lookup (µs)", "range C%..M% (ms)"],
+        &rows,
+    );
+    Ok(())
+}
+
+/// F10b: group-commit REDO logging — durable OLTP commit throughput vs
+/// writer threads, fsync-per-commit vs the leader-based pipeline. The
+/// durability contract is identical in both modes; the gap is batching.
+fn fig10b() -> hana_common::Result<()> {
+    use hana_common::CommitConfig;
+    use hana_workload::oltp::DurableOltp;
+    let orders = scale(10_000);
+    let per_thread = (scale(8_000) / 4).max(200) as usize;
+    println!("\n## F10b — group commit: durable OLTP writers ({per_thread} ops/thread, insert-heavy mix)\n");
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        for (mode, cfg) in [
+            ("fsync/commit", CommitConfig::serial()),
+            ("group", CommitConfig::default()),
+        ] {
+            let dir = tempfile::tempdir()
+                .map_err(|e| hana_common::HanaError::Persist(format!("tempdir: {e}")))?;
+            let db = Database::open(dir.path())?;
+            db.set_commit_config(cfg);
+            // Keep the L1 small via the lifecycle daemon (as M1 does), so
+            // insert cost stays flat and the commit path dominates.
+            let tcfg = TableConfig {
+                l1_max_rows: 256,
+                l2_max_rows: 1_000_000,
+                ..TableConfig::default()
+            };
+            let ds = SalesDataset::load(&db, tcfg, orders, CUSTOMERS, PRODUCTS, 7)?;
+            db.start_merge_daemon(Duration::from_millis(1));
+            let before = db.log_stats().unwrap_or_default();
+            let engine = DurableOltp {
+                db: Arc::clone(&db),
+                table: Arc::clone(&ds.sales),
+            };
+            // Insert-heavy, conflict-free mix: measures the commit path,
+            // not Zipf-hot-key contention (that is M1's subject).
+            let driver = OltpDriver::new(orders, CUSTOMERS, PRODUCTS, 0.9).with_mix((85, 0, 15, 0));
+            let (t, rep) = time(|| driver.run_concurrent(&engine, threads, per_thread, 99));
+            let rep = rep?;
+            db.stop_merge_daemon();
+            let after = db.log_stats().unwrap_or_default();
+            let records = after.records - before.records;
+            let fsyncs = after.fsyncs - before.fsyncs;
+            rows.push(vec![
+                format!("{threads}"),
+                mode.into(),
+                format!("{:.0}", rep.committed as f64 / t.as_secs_f64()),
+                format!("{records}"),
+                format!("{fsyncs}"),
+                format!("{:.1}", records as f64 / fsyncs.max(1) as f64),
+            ]);
+        }
+    }
+    report::emit(
+        "F10b group commit",
+        &[
+            "writers",
+            "mode",
+            "commits/s",
+            "log records",
+            "fsyncs",
+            "records/fsync",
+        ],
         &rows,
     );
     Ok(())

@@ -84,6 +84,68 @@ impl ScanConfig {
     }
 }
 
+/// Tuning knobs for the commit path of a durable database.
+///
+/// With `group_commit` enabled, concurrent committers share one
+/// `write + fsync`: the first committer to reach the log becomes the batch
+/// leader, gathers followers for up to `max_wait_us` (or until `max_batch`
+/// records are pending), syncs once, and wakes every waiter whose record
+/// made it to disk. `commit()` still returns only after the caller's own
+/// commit record is durable — batching changes *when* the fsync happens,
+/// never the durability contract. With `group_commit` disabled every commit
+/// performs its own fsync (the classic one-sync-per-transaction path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitConfig {
+    /// Batch concurrent commit/abort records into shared fsyncs.
+    pub group_commit: bool,
+    /// Cap on records retired by one batch; a full batch flushes without
+    /// waiting out the gather window.
+    pub max_batch: usize,
+    /// How long (µs) a batch leader waits for followers before syncing.
+    /// `0` syncs immediately (batching still happens while the leader's
+    /// fsync is in flight).
+    pub max_wait_us: u64,
+}
+
+impl Default for CommitConfig {
+    fn default() -> Self {
+        CommitConfig {
+            group_commit: true,
+            max_batch: 64,
+            max_wait_us: 100,
+        }
+    }
+}
+
+impl CommitConfig {
+    /// The classic fsync-per-commit path (useful as a baseline and for
+    /// latency-critical single-writer workloads).
+    pub fn serial() -> Self {
+        CommitConfig {
+            group_commit: false,
+            ..CommitConfig::default()
+        }
+    }
+
+    /// Builder-style switch of group commit.
+    pub fn with_group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
+        self
+    }
+
+    /// Builder-style override of the per-batch record cap.
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Builder-style override of the leader gather window (µs).
+    pub fn with_max_wait_us(mut self, us: u64) -> Self {
+        self.max_wait_us = us;
+        self
+    }
+}
+
 /// Per-table configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableConfig {
@@ -201,6 +263,21 @@ mod tests {
         assert_eq!(c.merge.column_parallelism, 3);
         assert_eq!(c.merge.daemon_workers, 1);
         assert_eq!(c.scan.scan_parallelism, 5);
+    }
+
+    #[test]
+    fn commit_config_defaults_and_builders() {
+        let c = CommitConfig::default();
+        assert!(c.group_commit);
+        assert!(c.max_batch > 1);
+        assert!(!CommitConfig::serial().group_commit);
+        let c = CommitConfig::serial()
+            .with_group_commit(true)
+            .with_max_batch(8)
+            .with_max_wait_us(50);
+        assert!(c.group_commit);
+        assert_eq!(c.max_batch, 8);
+        assert_eq!(c.max_wait_us, 50);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 use crate::table::UnifiedTable;
 use hana_common::{
-    HanaError, Result, RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
+    CommitConfig, HanaError, Result, RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
 };
 use hana_merge::{MergeDaemon, MergeTarget};
-use hana_persist::{LogRecord, Persistence};
+use hana_persist::{LogRecord, LogStats, Persistence};
 use hana_txn::{IsolationLevel, Transaction, TxnManager};
 use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
@@ -13,15 +13,39 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+/// The table catalog: the tables plus id/name indexes so per-record
+/// recovery replay and per-commit lookups are O(1) instead of scanning the
+/// table list.
+#[derive(Default)]
+struct Catalog {
+    list: Vec<Arc<UnifiedTable>>,
+    by_id: FxHashMap<u32, usize>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Catalog {
+    fn push(&mut self, t: Arc<UnifiedTable>) {
+        self.by_id.insert(t.id().0, self.list.len());
+        self.by_name
+            .insert(t.schema().name.clone(), self.list.len());
+        self.list.push(t);
+    }
+
+    fn by_id(&self, id: TableId) -> Option<&Arc<UnifiedTable>> {
+        self.by_id.get(&id.0).map(|&i| &self.list[i])
+    }
+}
+
 /// An embedded HANA-style database: a catalog of unified tables sharing one
 /// transaction manager and (optionally) one persistence instance.
 pub struct Database {
     mgr: Arc<TxnManager>,
     persist: Option<Arc<Persistence>>,
     fence: Arc<RwLock<()>>,
-    tables: RwLock<Vec<Arc<UnifiedTable>>>,
+    tables: RwLock<Catalog>,
     next_table_id: AtomicU32,
     daemon: Mutex<Option<MergeDaemon>>,
+    commit_cfg: RwLock<CommitConfig>,
 }
 
 impl Database {
@@ -31,9 +55,10 @@ impl Database {
             mgr: TxnManager::new(),
             persist: None,
             fence: Arc::new(RwLock::new(())),
-            tables: RwLock::new(Vec::new()),
+            tables: RwLock::new(Catalog::default()),
             next_table_id: AtomicU32::new(0),
             daemon: Mutex::new(None),
+            commit_cfg: RwLock::new(CommitConfig::default()),
         })
     }
 
@@ -49,9 +74,10 @@ impl Database {
             mgr,
             persist: Some(persist),
             fence: Arc::new(RwLock::new(())),
-            tables: RwLock::new(Vec::new()),
+            tables: RwLock::new(Catalog::default()),
             next_table_id: AtomicU32::new(0),
             daemon: Mutex::new(None),
+            commit_cfg: RwLock::new(recovered.commit_config),
         });
 
         // Pass 1 over the log: commit outcomes.
@@ -170,7 +196,7 @@ impl Database {
         config: TableConfig,
     ) -> Result<Arc<UnifiedTable>> {
         let mut tables = self.tables.write();
-        if tables.iter().any(|t| t.schema().name == schema.name) {
+        if tables.by_name.contains_key(&schema.name) {
             return Err(HanaError::Schema(format!(
                 "table {} already exists",
                 schema.name
@@ -197,24 +223,24 @@ impl Database {
         Ok(t)
     }
 
-    /// Look up a table by name.
+    /// Look up a table by name (O(1) via the catalog index).
     pub fn table(&self, name: &str) -> Result<Arc<UnifiedTable>> {
-        self.tables
-            .read()
-            .iter()
-            .find(|t| t.schema().name == name)
-            .cloned()
+        let tables = self.tables.read();
+        tables
+            .by_name
+            .get(name)
+            .map(|&i| Arc::clone(&tables.list[i]))
             .ok_or_else(|| HanaError::NotFound(format!("table {name}")))
     }
 
-    /// Look up a table by id.
+    /// Look up a table by id (O(1) via the catalog index).
     pub fn table_by_id(&self, id: TableId) -> Option<Arc<UnifiedTable>> {
-        self.tables.read().iter().find(|t| t.id() == id).cloned()
+        self.tables.read().by_id(id).cloned()
     }
 
     /// All tables.
     pub fn tables(&self) -> Vec<Arc<UnifiedTable>> {
-        self.tables.read().clone()
+        self.tables.read().list.clone()
     }
 
     /// Begin a transaction.
@@ -222,32 +248,72 @@ impl Database {
         self.mgr.begin(level)
     }
 
-    /// Commit: assign the commit timestamp, append + flush the commit
-    /// record, release row locks.
+    /// Commit: assign the commit timestamp, make the commit record durable
+    /// through the group-commit pipeline, release row locks.
+    ///
+    /// Timestamp assignment runs inside the pipeline's sequencing section,
+    /// so on-disk commit-record order always matches commit-timestamp
+    /// order; when this returns, the record has been fsynced (possibly by a
+    /// batch leader on another thread).
     pub fn commit(&self, txn: &mut Transaction) -> Result<Timestamp> {
         let id = txn.id();
-        let ts = self.mgr.commit(txn)?;
-        if let Some(p) = &self.persist {
-            p.log().append(&LogRecord::Commit { txn: id, ts })?;
-            p.log().flush()?;
-        }
-        for t in self.tables.read().iter() {
-            t.finish_txn(id);
-        }
+        let ts = if let Some(p) = &self.persist {
+            // Hold the savepoint fence so a concurrent savepoint cannot
+            // truncate the commit record out of the log before the batch
+            // fsync lands. Lock order: fence -> pipeline -> log writer.
+            let _fence = self.fence.read();
+            let cfg = *self.commit_cfg.read();
+            p.commit_record(&cfg, || {
+                let ts = self.mgr.commit(txn)?;
+                Ok((LogRecord::Commit { txn: id, ts }, ts))
+            })?
+        } else {
+            self.mgr.commit(txn)?
+        };
+        self.finish_touched(txn, id);
         Ok(ts)
     }
 
-    /// Abort: mark the transaction aborted, log it, release row locks.
+    /// Abort: mark the transaction aborted, log it durably, release row
+    /// locks. The abort record rides the same pipeline as commits, so it is
+    /// on disk when this returns (see `hana_persist::log` module docs).
     pub fn abort(&self, txn: &mut Transaction) -> Result<()> {
         let id = txn.id();
         self.mgr.abort(txn)?;
         if let Some(p) = &self.persist {
-            p.log().append(&LogRecord::Abort { txn: id })?;
+            let _fence = self.fence.read();
+            let cfg = *self.commit_cfg.read();
+            p.commit_record(&cfg, || Ok((LogRecord::Abort { txn: id }, ())))?;
         }
-        for t in self.tables.read().iter() {
-            t.finish_txn(id);
-        }
+        self.finish_touched(txn, id);
         Ok(())
+    }
+
+    /// Release row locks on the tables the transaction actually wrote
+    /// (instead of sweeping every table in the catalog).
+    fn finish_touched(&self, txn: &Transaction, id: TxnId) {
+        let tables = self.tables.read();
+        for tid in txn.touched_tables() {
+            if let Some(t) = tables.by_id(tid) {
+                t.finish_txn(id);
+            }
+        }
+    }
+
+    /// Current commit/durability configuration.
+    pub fn commit_config(&self) -> CommitConfig {
+        *self.commit_cfg.read()
+    }
+
+    /// Replace the commit configuration. Takes effect for subsequent
+    /// commits and is persisted with the next savepoint.
+    pub fn set_commit_config(&self, cfg: CommitConfig) {
+        *self.commit_cfg.write() = cfg;
+    }
+
+    /// Group-commit pipeline statistics (`None` for in-memory databases).
+    pub fn log_stats(&self) -> Option<LogStats> {
+        self.persist.as_ref().map(|p| p.log_stats())
     }
 
     /// Write a savepoint: image every table under the exclusive fence, then
@@ -259,9 +325,9 @@ impl Database {
             ));
         };
         let _fence = self.fence.write();
-        let tables = self.tables.read().clone();
+        let tables = self.tables.read().list.clone();
         let images: Vec<_> = tables.iter().map(|t| t.to_image()).collect();
-        p.savepoint(self.mgr.now(), &images)
+        p.savepoint(self.mgr.now(), &self.commit_cfg.read(), &images)
     }
 
     /// Start the background merge daemon over all current tables with an
@@ -277,6 +343,7 @@ impl Database {
         let targets: Vec<Arc<dyn MergeTarget>> = self
             .tables
             .read()
+            .list
             .iter()
             .map(|t| Arc::clone(t) as Arc<dyn MergeTarget>)
             .collect();

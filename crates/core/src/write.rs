@@ -19,6 +19,9 @@ impl UnifiedTable {
     pub fn insert(&self, txn: &Transaction, row: Vec<Value>) -> Result<RowId> {
         self.schema.check_row(&row)?;
         let _f = self.fence.read();
+        // Record the touch up front: even a failed write may leave a row
+        // lock behind, and commit/abort only release locks on noted tables.
+        txn.note_table(self.id);
         let state = self.state.read();
         let snap = txn.read_snapshot();
         self.check_unique(&state, &snap, txn, &row, None)?;
@@ -42,6 +45,7 @@ impl UnifiedTable {
             self.schema.check_row(row)?;
         }
         let _f = self.fence.read();
+        txn.note_table(self.id);
         let state = self.state.read();
         let snap = txn.read_snapshot();
         // Uniqueness: against existing data and within the batch.
@@ -98,6 +102,7 @@ impl UnifiedTable {
             self.schema.check_value(v, self.schema.column(*col))?;
         }
         let _f = self.fence.read();
+        txn.note_table(self.id);
         let state = self.state.read();
         let snap = txn.read_snapshot();
         let (loc, row_id, old_row) = self.current_version(&state, &snap, txn, key_col, key)?;
@@ -133,6 +138,7 @@ impl UnifiedTable {
     /// Delete the visible row whose `key_col` equals `key`.
     pub fn delete_where(&self, txn: &Transaction, key_col: ColumnId, key: &Value) -> Result<RowId> {
         let _f = self.fence.read();
+        txn.note_table(self.id);
         let state = self.state.read();
         let snap = txn.read_snapshot();
         let (loc, row_id, _) = self.current_version(&state, &snap, txn, key_col, key)?;

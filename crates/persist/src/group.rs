@@ -1,0 +1,314 @@
+//! The group-commit pipeline: many committers, one fsync.
+//!
+//! The seed write path retired every transaction with a private
+//! `write + fsync`, so OLTP throughput was bounded by disk sync latency —
+//! exactly the bottleneck the paper's L1-delta is built to avoid (§3.2:
+//! logging happens only at a row's first appearance; the commit itself is a
+//! single tiny record). This module batches those tiny records:
+//!
+//! * Committers *sequence* their commit record under the pipeline lock —
+//!   commit-timestamp assignment and log-append happen in one critical
+//!   section, so the on-disk record order always matches timestamp order
+//!   and a crash can never durably keep a transaction while losing an
+//!   earlier one it might depend on.
+//! * The first sequenced committer becomes the **batch leader**: it waits
+//!   up to [`CommitConfig::max_wait_us`] for followers (or until
+//!   [`CommitConfig::max_batch`] records are pending), performs one
+//!   `flush + fsync`, and wakes every waiter whose record is now on disk.
+//! * Followers arriving while a leader's fsync is in flight pile up and are
+//!   retired by the *next* leader — under load the pipeline degenerates to
+//!   one fsync per disk round-trip, not one per transaction.
+//!
+//! The durability contract is unchanged: a committer returns only once its
+//! own record is durable. Only the *sharing* of the fsync is new.
+
+use crate::log::{LogRecord, RedoLog};
+use hana_common::{CommitConfig, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Counters of the commit pipeline (cumulative since open).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LogStats {
+    /// Durable batches retired (one per fsync that covered ≥ 1 record).
+    pub batches: u64,
+    /// Commit/abort records sequenced through the pipeline.
+    pub records: u64,
+    /// `fsync` calls issued by the pipeline.
+    pub fsyncs: u64,
+    /// Mean records per batch (`records / batches`).
+    pub avg_batch_len: f64,
+}
+
+#[derive(Default)]
+struct PipeState {
+    /// Records sequenced into the log buffer so far.
+    appended: u64,
+    /// Records known durable (prefix of `appended`).
+    durable: u64,
+    /// A leader currently owns the flush.
+    flushing: bool,
+}
+
+/// Leader-based commit batcher over one [`RedoLog`].
+#[derive(Default)]
+pub struct GroupCommit {
+    state: Mutex<PipeState>,
+    /// Signals `durable` advanced (or the leader slot freed).
+    retired: Condvar,
+    /// Signals a new record joined while a leader gathers.
+    joined: Condvar,
+    batches: AtomicU64,
+    records: AtomicU64,
+    fsyncs: AtomicU64,
+    /// Committers currently inside [`GroupCommit::submit`]. The leader uses
+    /// this to bound its gather wait: once every in-flight committer has
+    /// sequenced there is nobody worth waiting for.
+    in_flight: AtomicU64,
+}
+
+/// Decrements the in-flight gauge on every exit path of `submit`.
+struct InFlight<'a>(&'a AtomicU64);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl GroupCommit {
+    /// A fresh pipeline with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sequence one record and return only once it is durable.
+    ///
+    /// `seq` runs under the pipeline's sequencing lock and produces the
+    /// record plus a caller-visible output (the commit timestamp): whatever
+    /// ordering `seq` establishes (e.g. commit-clock order) is exactly the
+    /// order records reach the log. If `seq` fails nothing is appended.
+    pub fn submit<T>(
+        &self,
+        log: &RedoLog,
+        cfg: &CommitConfig,
+        seq: impl FnOnce() -> Result<(LogRecord, T)>,
+    ) -> Result<T> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _guard = InFlight(&self.in_flight);
+        let mut st = self.state.lock().expect("commit pipeline poisoned");
+        let (rec, out) = seq()?;
+        log.append(&rec)?;
+        st.appended += 1;
+        let my_seq = st.appended;
+        self.records.fetch_add(1, Ordering::Relaxed);
+        // Wake a leader that is gathering followers.
+        self.joined.notify_all();
+
+        if !cfg.group_commit {
+            // Classic path: a private fsync per record. Records buffered
+            // before this flush began become durable too and are credited,
+            // so their waiters don't sync again for nothing.
+            let target = st.appended;
+            drop(st);
+            log.flush()?;
+            let mut st = self.state.lock().expect("commit pipeline poisoned");
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            if st.durable < target {
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                st.durable = target;
+            }
+            self.retired.notify_all();
+            return Ok(out);
+        }
+
+        loop {
+            if st.durable >= my_seq {
+                return Ok(out);
+            }
+            if st.flushing {
+                // Follower: a leader will retire this record.
+                st = self.retired.wait(st).expect("commit pipeline poisoned");
+                continue;
+            }
+            // Become the leader. Gather followers until the batch fills,
+            // the window elapses, or every committer currently in the
+            // pipeline has sequenced — a solo committer never waits, so
+            // group mode costs nothing on an idle system.
+            st.flushing = true;
+            if cfg.max_wait_us > 0 {
+                let deadline = Duration::from_micros(cfg.max_wait_us);
+                let mut waited = Duration::ZERO;
+                loop {
+                    let pending = st.appended - st.durable;
+                    if pending >= cfg.max_batch as u64
+                        || pending >= self.in_flight.load(Ordering::SeqCst)
+                        || waited >= deadline
+                    {
+                        break;
+                    }
+                    let t0 = std::time::Instant::now();
+                    let (g, timeout) = self
+                        .joined
+                        .wait_timeout(st, deadline - waited)
+                        .expect("commit pipeline poisoned");
+                    st = g;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                    waited += t0.elapsed();
+                }
+            }
+            let target = st.appended;
+            drop(st);
+            let flushed = log.flush();
+            st = self.state.lock().expect("commit pipeline poisoned");
+            st.flushing = false;
+            if flushed.is_ok() {
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                if st.durable < target {
+                    self.batches.fetch_add(1, Ordering::Relaxed);
+                    st.durable = target;
+                }
+            }
+            // Wake followers either way: on error each retries as leader
+            // and surfaces the failure itself.
+            self.retired.notify_all();
+            flushed?;
+        }
+    }
+
+    /// Snapshot of the pipeline counters.
+    pub fn stats(&self) -> LogStats {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let records = self.records.load(Ordering::Relaxed);
+        LogStats {
+            batches,
+            records,
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            avg_batch_len: if batches == 0 {
+                0.0
+            } else {
+                records as f64 / batches as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hana_common::{Timestamp, TxnId};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use tempfile::tempdir;
+
+    fn commit_rec(txn: u64, ts: Timestamp) -> LogRecord {
+        LogRecord::Commit {
+            txn: TxnId(txn),
+            ts,
+        }
+    }
+
+    #[test]
+    fn serial_mode_syncs_every_record() {
+        let dir = tempdir().unwrap();
+        let log = RedoLog::open(&dir.path().join("redo.log")).unwrap();
+        let pipe = GroupCommit::new();
+        let cfg = CommitConfig::serial();
+        for i in 0..5u64 {
+            let ts = pipe
+                .submit(&log, &cfg, || Ok((commit_rec(i, i + 1), i + 1)))
+                .unwrap();
+            assert_eq!(ts, i + 1);
+        }
+        let s = pipe.stats();
+        assert_eq!(s.records, 5);
+        assert_eq!(s.fsyncs, 5);
+        assert_eq!(s.batches, 5);
+        assert!((s.avg_batch_len - 1.0).abs() < 1e-9);
+        assert_eq!(
+            RedoLog::read_all(&dir.path().join("redo.log"))
+                .unwrap()
+                .len(),
+            5
+        );
+    }
+
+    #[test]
+    fn group_mode_single_thread_still_durable_per_submit() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        let log = RedoLog::open(&path).unwrap();
+        let pipe = GroupCommit::new();
+        let cfg = CommitConfig::default().with_max_wait_us(0);
+        for i in 0..4u64 {
+            pipe.submit(&log, &cfg, || Ok((commit_rec(i, i + 1), ())))
+                .unwrap();
+            // Every submit returns with its record already on disk.
+            assert_eq!(RedoLog::read_all(&path).unwrap().len() as u64, i + 1);
+        }
+        let s = pipe.stats();
+        assert_eq!(s.records, 4);
+        assert_eq!(s.fsyncs, 4); // no concurrency ⇒ no sharing
+    }
+
+    #[test]
+    fn concurrent_submits_share_fsyncs() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        let log = Arc::new(RedoLog::open(&path).unwrap());
+        let pipe = Arc::new(GroupCommit::new());
+        let cfg = CommitConfig::default().with_max_wait_us(200);
+        let clock = Arc::new(AtomicU64::new(0));
+        const THREADS: u64 = 8;
+        const PER: u64 = 25;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let (log, pipe, clock) = (Arc::clone(&log), Arc::clone(&pipe), Arc::clone(&clock));
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        pipe.submit(&log, &cfg, || {
+                            let ts = clock.fetch_add(1, Ordering::SeqCst) + 1;
+                            Ok((commit_rec(ts, ts), ()))
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let s = pipe.stats();
+        assert_eq!(s.records, THREADS * PER);
+        assert!(
+            s.fsyncs < s.records,
+            "batching should engage under concurrency: {s:?}"
+        );
+        assert!(s.avg_batch_len > 1.0, "{s:?}");
+        // Every record made it to disk, in sequencing order.
+        let recs = RedoLog::read_all(&path).unwrap();
+        assert_eq!(recs.len() as u64, THREADS * PER);
+        let mut prev = 0;
+        for r in recs {
+            let LogRecord::Commit { ts, .. } = r else {
+                panic!("unexpected record");
+            };
+            assert!(ts > prev, "log order must match timestamp order");
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn failed_sequencer_appends_nothing() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        let log = RedoLog::open(&path).unwrap();
+        let pipe = GroupCommit::new();
+        let err: Result<()> = pipe.submit(&log, &CommitConfig::default(), || {
+            Err(hana_common::HanaError::Txn("already finished".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(pipe.stats().records, 0);
+        assert!(RedoLog::read_all(&path).unwrap().is_empty());
+    }
+}

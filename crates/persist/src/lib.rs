@@ -23,6 +23,7 @@
 //! a transaction that never committed and is treated as aborted.
 
 pub mod codec;
+pub mod group;
 pub mod image;
 pub mod log;
 pub mod page;
@@ -30,6 +31,7 @@ pub mod store;
 pub mod vfile;
 
 pub use codec::{crc32, Decoder, Encoder};
+pub use group::{GroupCommit, LogStats};
 pub use image::{DeltaImage, PartImage, RowImage, TableImage, ZoneImage};
 pub use log::{LogRecord, RedoLog};
 pub use page::{PageId, PageStore, DEFAULT_PAGE_SIZE};

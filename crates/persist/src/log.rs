@@ -6,6 +6,20 @@
 //! first-appearance data records, commit/abort records, and the data-free
 //! merge *event* record. Records are framed `[len][crc][payload]`; replay
 //! stops cleanly at a torn tail.
+//!
+//! ## Durability protocol
+//!
+//! Data records are *buffered* at first appearance; only transaction
+//! outcomes force them to disk. Both **commit and abort** records are
+//! retired through the group-commit pipeline ([`crate::group`]): the call
+//! returns only once the record — and, because the log is strictly
+//! append-ordered, every record sequenced before it — is fsynced. Aborts
+//! flush for the same reason commits do: once `abort()` returns, a restart
+//! must keep resolving that transaction's marks as rolled back instead of
+//! re-deciding its fate from a log that ends mid-transaction. Recovery
+//! treats transactions with neither outcome record as aborted, so a torn
+//! tail can only ever *shrink* the committed set, never tear one
+//! transaction's effects apart.
 
 use crate::codec::{crc32, Decoder, Encoder};
 use crate::image::{decode_config, decode_schema, encode_config, encode_schema};

@@ -11,11 +11,12 @@
 //! * `redo.log` — the REDO log since the last savepoint.
 
 use crate::codec::{crc32, Decoder, Encoder};
+use crate::group::{GroupCommit, LogStats};
 use crate::image::TableImage;
 use crate::log::{LogRecord, RedoLog};
 use crate::page::{PageId, PageStore, DEFAULT_PAGE_SIZE};
 use crate::vfile::VirtualFile;
-use hana_common::{HanaError, Result, Timestamp};
+use hana_common::{CommitConfig, HanaError, Result, Timestamp};
 use parking_lot::Mutex;
 use std::path::Path;
 
@@ -30,11 +31,15 @@ pub struct RecoveredState {
     pub images: Vec<TableImage>,
     /// Intact log records since that savepoint.
     pub log_records: Vec<LogRecord>,
+    /// Commit-pipeline configuration persisted by the savepoint (defaults
+    /// when no savepoint existed).
+    pub commit_config: CommitConfig,
 }
 
 struct Manifest {
     version: u64,
     clock: Timestamp,
+    commit_config: CommitConfig,
     files: Vec<VirtualFile>,
 }
 
@@ -42,6 +47,7 @@ struct Manifest {
 pub struct Persistence {
     pages: PageStore,
     log: RedoLog,
+    group: GroupCommit,
     /// Version counter + the previous savepoint's virtual files (released
     /// after the next successful savepoint).
     state: Mutex<(u64, Vec<VirtualFile>)>,
@@ -67,6 +73,7 @@ impl Persistence {
         Ok(Persistence {
             pages,
             log,
+            group: GroupCommit::new(),
             state: Mutex::new(state),
         })
     }
@@ -76,14 +83,38 @@ impl Persistence {
         &self.log
     }
 
+    /// Sequence one commit/abort record through the group-commit pipeline
+    /// and return only once it is durable (see [`crate::group`]). `seq`
+    /// runs under the pipeline's sequencing lock, so the order it
+    /// establishes (commit-clock order) is the on-disk record order.
+    pub fn commit_record<T>(
+        &self,
+        cfg: &CommitConfig,
+        seq: impl FnOnce() -> Result<(LogRecord, T)>,
+    ) -> Result<T> {
+        self.group.submit(&self.log, cfg, seq)
+    }
+
+    /// Counters of the group-commit pipeline.
+    pub fn log_stats(&self) -> LogStats {
+        self.group.stats()
+    }
+
     /// The page store (exposed for introspection/benches).
     pub fn pages(&self) -> &PageStore {
         &self.pages
     }
 
     /// Write a savepoint: persist `images`, flip the superblock, truncate
-    /// the log. Returns the new savepoint version.
-    pub fn savepoint(&self, clock: Timestamp, images: &[TableImage]) -> Result<u64> {
+    /// the log. The database-wide `commit_config` rides along in the
+    /// manifest (like the per-table merge/scan knobs ride in each table's
+    /// image). Returns the new savepoint version.
+    pub fn savepoint(
+        &self,
+        clock: Timestamp,
+        commit_config: &CommitConfig,
+        images: &[TableImage],
+    ) -> Result<u64> {
         let mut state = self.state.lock();
         let (prev_version, prev_files) = (&state.0, state.1.clone());
         let version = *prev_version + 1;
@@ -101,6 +132,7 @@ impl Persistence {
         let mut m = Encoder::new();
         m.u64(version);
         m.u64(clock);
+        encode_commit_config(&mut m, commit_config);
         m.u32(files.len() as u32);
         for f in &files {
             f.encode(&mut m);
@@ -130,7 +162,7 @@ impl Persistence {
     /// Recover with an explicit page size.
     pub fn recover_with_page_size(dir: &Path, page_size: usize) -> Result<RecoveredState> {
         let pages_path = dir.join("data.pages");
-        let (clock, savepoint_version, images) = if pages_path.exists() {
+        let (clock, savepoint_version, commit_config, images) = if pages_path.exists() {
             let pages = PageStore::open(&pages_path, page_size)?;
             match read_best_manifest(&pages) {
                 Some(m) => {
@@ -139,12 +171,12 @@ impl Persistence {
                         let blob = f.read(&pages)?;
                         images.push(TableImage::decode(&mut Decoder::new(&blob))?);
                     }
-                    (m.clock, m.version, images)
+                    (m.clock, m.version, m.commit_config, images)
                 }
-                None => (0, 0, Vec::new()),
+                None => (0, 0, CommitConfig::default(), Vec::new()),
             }
         } else {
-            (0, 0, Vec::new())
+            (0, 0, CommitConfig::default(), Vec::new())
         };
         let log_records = RedoLog::read_all(&dir.join("redo.log"))?;
         Ok(RecoveredState {
@@ -152,8 +184,23 @@ impl Persistence {
             savepoint_version,
             images,
             log_records,
+            commit_config,
         })
     }
+}
+
+fn encode_commit_config(e: &mut Encoder, c: &CommitConfig) {
+    e.bool(c.group_commit);
+    e.u64(c.max_batch as u64);
+    e.u64(c.max_wait_us);
+}
+
+fn decode_commit_config(d: &mut Decoder<'_>) -> Result<CommitConfig> {
+    Ok(CommitConfig {
+        group_commit: d.bool()?,
+        max_batch: d.u64()? as usize,
+        max_wait_us: d.u64()?,
+    })
 }
 
 fn read_manifest_slot(pages: &PageStore, slot: u64) -> Option<Manifest> {
@@ -167,6 +214,7 @@ fn read_manifest_slot(pages: &PageStore, slot: u64) -> Option<Manifest> {
     let mut d = Decoder::new(payload);
     let version = d.u64().ok()?;
     let clock = d.u64().ok()?;
+    let commit_config = decode_commit_config(&mut d).ok()?;
     let n = d.u32().ok()? as usize;
     let mut files = Vec::with_capacity(n);
     for _ in 0..n {
@@ -175,6 +223,7 @@ fn read_manifest_slot(pages: &PageStore, slot: u64) -> Option<Manifest> {
     Some(Manifest {
         version,
         clock,
+        commit_config,
         files,
     })
 }
@@ -254,7 +303,9 @@ mod tests {
             })
             .unwrap();
         p.log().flush().unwrap();
-        let v = p.savepoint(10, &[image("t", 100)]).unwrap();
+        let v = p
+            .savepoint(10, &CommitConfig::default(), &[image("t", 100)])
+            .unwrap();
         assert_eq!(v, 1);
         // Log truncated by the savepoint.
         assert_eq!(p.log().len_bytes().unwrap(), 0);
@@ -278,6 +329,23 @@ mod tests {
     }
 
     #[test]
+    fn commit_config_round_trips_through_manifest() {
+        let dir = tempdir().unwrap();
+        let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
+        let cfg = CommitConfig::serial()
+            .with_max_batch(17)
+            .with_max_wait_us(250);
+        p.savepoint(3, &cfg, &[image("t", 1)]).unwrap();
+        drop(p);
+        let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
+        assert_eq!(rec.commit_config, cfg);
+        // No savepoint ⇒ defaults.
+        let dir2 = tempdir().unwrap();
+        let rec2 = Persistence::recover_with_page_size(dir2.path(), 256).unwrap();
+        assert_eq!(rec2.commit_config, CommitConfig::default());
+    }
+
+    #[test]
     fn recover_empty_directory() {
         let dir = tempdir().unwrap();
         let rec = Persistence::recover(dir.path()).unwrap();
@@ -290,9 +358,13 @@ mod tests {
     fn successive_savepoints_alternate_and_supersede() {
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &[image("t", 10)]).unwrap();
-        p.savepoint(8, &[image("t", 20)]).unwrap();
-        let v3 = p.savepoint(12, &[image("t", 30)]).unwrap();
+        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
+            .unwrap();
+        p.savepoint(8, &CommitConfig::default(), &[image("t", 20)])
+            .unwrap();
+        let v3 = p
+            .savepoint(12, &CommitConfig::default(), &[image("t", 30)])
+            .unwrap();
         assert_eq!(v3, 3);
         drop(p);
         let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
@@ -307,7 +379,8 @@ mod tests {
         // but the superblock never flips (crash). Recovery must see v1.
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &[image("t", 10)]).unwrap();
+        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
+            .unwrap();
         // Write orphan pages (as an interrupted savepoint would).
         let orphan = VirtualFile::write(p.pages(), &vec![9u8; 600]).unwrap();
         let _ = orphan;
@@ -321,8 +394,10 @@ mod tests {
     fn corrupt_newest_superblock_falls_back() {
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &[image("t", 10)]).unwrap(); // slot 1
-        p.savepoint(8, &[image("t", 20)]).unwrap(); // slot 0 (v2)
+        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
+            .unwrap(); // slot 1
+        p.savepoint(8, &CommitConfig::default(), &[image("t", 20)])
+            .unwrap(); // slot 0 (v2)
         drop(p);
         // Corrupt slot 0 (the newest, version 2).
         let path = dir.path().join("data.pages");
@@ -341,7 +416,8 @@ mod tests {
     fn multiple_tables_per_savepoint() {
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &[image("a", 3), image("b", 7)]).unwrap();
+        p.savepoint(5, &CommitConfig::default(), &[image("a", 3), image("b", 7)])
+            .unwrap();
         drop(p);
         let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
         assert_eq!(rec.images.len(), 2);

@@ -1,7 +1,7 @@
 //! The central transaction manager.
 
 use crate::snapshot::{IsolationLevel, Snapshot};
-use hana_common::{HanaError, Result, Timestamp, TxnId};
+use hana_common::{HanaError, Result, TableId, Timestamp, TxnId};
 use parking_lot::Mutex;
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeMap;
@@ -93,6 +93,7 @@ impl TxnManager {
             begin_ts,
             level,
             finished: false,
+            touched: Mutex::new(Vec::new()),
         }
     }
 
@@ -199,6 +200,10 @@ pub struct Transaction {
     begin_ts: Timestamp,
     level: IsolationLevel,
     finished: bool,
+    /// Tables this transaction wrote (or locked rows in), recorded by the
+    /// storage layer so commit/abort visit only these instead of the whole
+    /// catalog. Interior mutability: write paths hold `&Transaction`.
+    touched: Mutex<Vec<TableId>>,
 }
 
 impl Transaction {
@@ -233,6 +238,22 @@ impl Transaction {
             IsolationLevel::Statement => self.mgr.now(),
         };
         Snapshot::for_txn(ts, self.id)
+    }
+
+    /// Record that this transaction touched `table` (wrote a row or
+    /// acquired a row lock there). Idempotent; the set stays tiny for OLTP
+    /// transactions, so a linear dedup beats hashing.
+    pub fn note_table(&self, table: TableId) {
+        let mut touched = self.touched.lock();
+        if !touched.contains(&table) {
+            touched.push(table);
+        }
+    }
+
+    /// The tables recorded by [`note_table`](Self::note_table), in first-
+    /// touch order.
+    pub fn touched_tables(&self) -> Vec<TableId> {
+        self.touched.lock().clone()
     }
 
     /// Commit via the owning manager.
@@ -343,6 +364,17 @@ mod tests {
         drop(old);
         // With nothing active, watermark follows the clock.
         assert_eq!(mgr.watermark(), mgr.now());
+    }
+
+    #[test]
+    fn touched_tables_dedup_in_touch_order() {
+        let mgr = TxnManager::new();
+        let txn = mgr.begin(IsolationLevel::Transaction);
+        assert!(txn.touched_tables().is_empty());
+        txn.note_table(TableId(3));
+        txn.note_table(TableId(1));
+        txn.note_table(TableId(3));
+        assert_eq!(txn.touched_tables(), vec![TableId(3), TableId(1)]);
     }
 
     #[test]
