@@ -5,7 +5,9 @@ use hana_common::{
     CommitConfig, HanaError, Result, RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
 };
 use hana_merge::{MergeDaemon, MergeTarget};
-use hana_persist::{LogRecord, LogStats, Persistence};
+use hana_persist::{
+    FaultInjector, HealthStats, LogRecord, LogStats, Persistence, DEFAULT_PAGE_SIZE,
+};
 use hana_txn::{IsolationLevel, Transaction, TxnManager};
 use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
@@ -65,8 +67,20 @@ impl Database {
     /// Open a durable database in `dir`, running recovery if durable state
     /// exists: load the newest savepoint, then replay the REDO log.
     pub fn open(dir: &Path) -> Result<Arc<Self>> {
+        Self::open_with_injector(dir, FaultInjector::new())
+    }
+
+    /// Open a durable database whose physical I/O runs through the given
+    /// [`FaultInjector`] (the crash-everywhere harness arms it to kill the
+    /// instance at an exact I/O operation). Recovery itself reads without
+    /// injection; only the reopened instance's writes are subject to it.
+    pub fn open_with_injector(dir: &Path, injector: Arc<FaultInjector>) -> Result<Arc<Self>> {
         let recovered = Persistence::recover(dir)?;
-        let persist = Arc::new(Persistence::open(dir)?);
+        let persist = Arc::new(Persistence::open_with_injector(
+            dir,
+            DEFAULT_PAGE_SIZE,
+            injector,
+        )?);
         let mgr = TxnManager::new();
         mgr.advance_clock_to(recovered.clock);
 
@@ -195,6 +209,11 @@ impl Database {
         schema: Schema,
         config: TableConfig,
     ) -> Result<Arc<UnifiedTable>> {
+        // Lock order: fence before the catalog lock, matching every other
+        // writer — and holding it keeps a concurrent savepoint from
+        // rotating the CreateTable record out of the log before the table
+        // is imaged in the catalog.
+        let _fence = self.fence.read();
         let mut tables = self.tables.write();
         if tables.by_name.contains_key(&schema.name) {
             return Err(HanaError::Schema(format!(
@@ -204,12 +223,12 @@ impl Database {
         }
         let id = TableId(self.next_table_id.fetch_add(1, Ordering::SeqCst));
         if let Some(p) = &self.persist {
-            p.log().append(&LogRecord::CreateTable {
+            p.append_record(&LogRecord::CreateTable {
                 table: id,
                 schema: schema.clone(),
                 config: config.clone(),
             })?;
-            p.log().flush()?;
+            p.flush_records()?;
         }
         let t = UnifiedTable::create(
             id,
@@ -314,6 +333,36 @@ impl Database {
     /// Group-commit pipeline statistics (`None` for in-memory databases).
     pub fn log_stats(&self) -> Option<LogStats> {
         self.persist.as_ref().map(|p| p.log_stats())
+    }
+
+    /// Persistence health: I/O failure counters and whether repeated
+    /// failures have flipped the instance into read-only degraded mode
+    /// (`None` for in-memory databases, which have no I/O to fail).
+    pub fn health_stats(&self) -> Option<HealthStats> {
+        self.persist.as_ref().map(|p| p.health_stats())
+    }
+
+    /// Leave degraded mode after the operator has resolved the underlying
+    /// device problem; subsequent writes are accepted again. No-op when
+    /// the database is in-memory or not degraded.
+    pub fn clear_degraded(&self) {
+        if let Some(p) = &self.persist {
+            p.clear_degraded();
+        }
+    }
+
+    /// The fault injector wired through this database's physical I/O
+    /// (`None` for in-memory databases). Test harnesses arm it; production
+    /// code leaves it disarmed, where its overhead is one atomic load per
+    /// I/O operation.
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.persist.as_ref().map(|p| p.injector())
+    }
+
+    /// The persistence layer itself, for introspection (page accounting,
+    /// log statistics) by tests and tools. `None` for in-memory databases.
+    pub fn persistence(&self) -> Option<&Arc<Persistence>> {
+        self.persist.as_ref()
     }
 
     /// Write a savepoint: image every table under the exclusive fence, then

@@ -89,11 +89,15 @@ impl UnifiedTable {
         let gen = state.l2.generation();
         drop(state);
         if moved > 0 {
-            self.redo(&LogRecord::MergeEvent {
+            // Best-effort: the rows have already moved, recovery replays
+            // them from their first-appearance records and ignores merge
+            // events, and a degraded log must not block in-memory memory
+            // management.
+            let _ = self.redo(&LogRecord::MergeEvent {
                 table: self.id,
                 kind: 0,
                 l2_generation: gen,
-            })?;
+            });
         }
         Ok(moved)
     }
@@ -204,11 +208,15 @@ impl UnifiedTable {
             *self.last_merge_metrics.lock() = Some(metrics);
             self.delta_merge_running.store(false, Ordering::SeqCst);
         }
-        self.redo(&LogRecord::MergeEvent {
+        // Best-effort, after publication: the new main is already visible
+        // and correct without this record (recovery ignores merge events),
+        // so a log failure here must not turn a succeeded merge into an
+        // error.
+        let _ = self.redo(&LogRecord::MergeEvent {
             table: self.id,
             kind: 1,
             l2_generation: frozen.generation(),
-        })?;
+        });
         Ok(())
     }
 

@@ -296,10 +296,13 @@ impl UnifiedTable {
         out
     }
 
-    /// Log a REDO record if the table is durable.
+    /// Log a REDO record if the table is durable. Routed through
+    /// [`Persistence::append_record`] so repeated device failures feed the
+    /// health tracker and degraded (read-only) mode rejects the write
+    /// before it mutates in-memory state.
     pub(crate) fn redo(&self, rec: &hana_persist::LogRecord) -> Result<()> {
         if let Some(p) = &self.persist {
-            p.log().append(rec)?;
+            p.append_record(rec)?;
         }
         Ok(())
     }

@@ -10,13 +10,24 @@
 //! Each target carries a claim flag: a worker must win the flag before
 //! driving that target, so two workers never stack up behind the same
 //! table's merge locks while other tables wait.
+//!
+//! A target whose `maybe_merge` *errors* (as opposed to declining) is put
+//! on per-target exponential backoff: consecutive failures double the
+//! cool-down (capped), so a table stuck on a failing device does not have
+//! the pool hammering it every tick while healthy tables wait. The first
+//! success resets the streak.
 
 use crate::classic::MergeMetrics;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Longest per-target cool-down between failed merge attempts.
+const MAX_BACKOFF: Duration = Duration::from_secs(30);
+/// Cap on the doubling exponent (2^6 = 64× the poll interval).
+const MAX_BACKOFF_SHIFT: u32 = 6;
 
 /// Something the daemon can drive — typically a unified table.
 pub trait MergeTarget: Send + Sync {
@@ -42,6 +53,8 @@ enum Msg {
 struct DaemonCounters {
     merges_done: AtomicU64,
     attempts: AtomicU64,
+    failures: AtomicU64,
+    backoff_skips: AtomicU64,
     merge_nanos: AtomicU64,
     rows_in: AtomicU64,
     rows_out: AtomicU64,
@@ -55,6 +68,10 @@ pub struct DaemonStats {
     pub merges_done: u64,
     /// `maybe_merge` calls issued (including no-ops and retryable fails).
     pub attempts: u64,
+    /// `maybe_merge` calls that returned an error (these arm the backoff).
+    pub failures: u64,
+    /// Attempts skipped because the target was cooling down after failures.
+    pub backoff_skips: u64,
     /// Total wall-clock time spent inside successful merges.
     pub merge_time: Duration,
     /// Rows that entered those merges.
@@ -70,6 +87,20 @@ pub struct DaemonStats {
 struct Slot {
     target: Arc<dyn MergeTarget>,
     claimed: AtomicBool,
+    /// Consecutive `maybe_merge` errors; doubles the cool-down.
+    fail_streak: AtomicU32,
+    /// Nanos since daemon start before which this target is skipped.
+    backoff_until_ns: AtomicU64,
+}
+
+impl Slot {
+    /// Cool-down after the `streak`-th consecutive failure: the poll
+    /// interval doubled per failure, capped at [`MAX_BACKOFF`].
+    fn backoff_after(interval: Duration, streak: u32) -> Duration {
+        let base = interval.max(Duration::from_millis(1));
+        let shift = streak.saturating_sub(1).min(MAX_BACKOFF_SHIFT);
+        base.saturating_mul(1 << shift).min(MAX_BACKOFF)
+    }
 }
 
 /// Handle to the background merge pool; dropping it shuts the pool down.
@@ -104,10 +135,13 @@ impl MergeDaemon {
                 .map(|target| Slot {
                     target,
                     claimed: AtomicBool::new(false),
+                    fail_streak: AtomicU32::new(0),
+                    backoff_until_ns: AtomicU64::new(0),
                 })
                 .collect(),
         );
 
+        let t0 = Instant::now();
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let rx = rx.clone();
@@ -115,7 +149,7 @@ impl MergeDaemon {
             let slots = Arc::clone(&slots);
             let spawned = std::thread::Builder::new()
                 .name(format!("hana-merge-{w}"))
-                .spawn(move || worker_loop(&rx, &slots, &counters, interval));
+                .spawn(move || worker_loop(&rx, &slots, &counters, interval, t0));
             match spawned {
                 Ok(h) => handles.push(h),
                 Err(_) if w > 0 => break, // degraded pool: fewer workers
@@ -147,6 +181,8 @@ impl MergeDaemon {
         DaemonStats {
             merges_done: c.merges_done.load(Ordering::SeqCst),
             attempts: c.attempts.load(Ordering::SeqCst),
+            failures: c.failures.load(Ordering::SeqCst),
+            backoff_skips: c.backoff_skips.load(Ordering::SeqCst),
             merge_time: Duration::from_nanos(c.merge_nanos.load(Ordering::SeqCst)),
             rows_in: c.rows_in.load(Ordering::SeqCst),
             rows_out: c.rows_out.load(Ordering::SeqCst),
@@ -156,7 +192,13 @@ impl MergeDaemon {
     }
 }
 
-fn worker_loop(rx: &Receiver<Msg>, slots: &[Slot], counters: &DaemonCounters, interval: Duration) {
+fn worker_loop(
+    rx: &Receiver<Msg>,
+    slots: &[Slot],
+    counters: &DaemonCounters,
+    interval: Duration,
+    t0: Instant,
+) {
     loop {
         match rx.recv_timeout(interval) {
             Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
@@ -171,25 +213,46 @@ fn worker_loop(rx: &Receiver<Msg>, slots: &[Slot], counters: &DaemonCounters, in
                     {
                         continue;
                     }
+                    let now_ns = t0.elapsed().as_nanos() as u64;
+                    if now_ns < slot.backoff_until_ns.load(Ordering::Acquire) {
+                        counters.backoff_skips.fetch_add(1, Ordering::Relaxed);
+                        slot.claimed.store(false, Ordering::Release);
+                        continue;
+                    }
                     counters.attempts.fetch_add(1, Ordering::Relaxed);
-                    // Retryable failures are silently retried later.
-                    if let Ok(true) = slot.target.maybe_merge() {
-                        counters.merges_done.fetch_add(1, Ordering::SeqCst);
-                        if let Some(m) = slot.target.last_merge_metrics() {
-                            counters
-                                .merge_nanos
-                                .fetch_add(m.duration.as_nanos() as u64, Ordering::Relaxed);
-                            counters
-                                .rows_in
-                                .fetch_add(m.rows_in as u64, Ordering::Relaxed);
-                            counters
-                                .rows_out
-                                .fetch_add(m.rows_out as u64, Ordering::Relaxed);
-                            if m.parallel_workers > 1 {
-                                counters
-                                    .parallel_columns
-                                    .fetch_add(m.columns as u64, Ordering::Relaxed);
+                    match slot.target.maybe_merge() {
+                        Ok(did) => {
+                            slot.fail_streak.store(0, Ordering::Relaxed);
+                            slot.backoff_until_ns.store(0, Ordering::Release);
+                            if did {
+                                counters.merges_done.fetch_add(1, Ordering::SeqCst);
+                                if let Some(m) = slot.target.last_merge_metrics() {
+                                    counters
+                                        .merge_nanos
+                                        .fetch_add(m.duration.as_nanos() as u64, Ordering::Relaxed);
+                                    counters
+                                        .rows_in
+                                        .fetch_add(m.rows_in as u64, Ordering::Relaxed);
+                                    counters
+                                        .rows_out
+                                        .fetch_add(m.rows_out as u64, Ordering::Relaxed);
+                                    if m.parallel_workers > 1 {
+                                        counters
+                                            .parallel_columns
+                                            .fetch_add(m.columns as u64, Ordering::Relaxed);
+                                    }
+                                }
                             }
+                        }
+                        Err(_) => {
+                            // Arm/extend the exponential cool-down; the
+                            // merge itself left a retryable state (a frozen
+                            // L2 is retried on a later tick).
+                            counters.failures.fetch_add(1, Ordering::Relaxed);
+                            let streak = slot.fail_streak.fetch_add(1, Ordering::Relaxed) + 1;
+                            let wait = Slot::backoff_after(interval, streak);
+                            slot.backoff_until_ns
+                                .store(now_ns + wait.as_nanos() as u64, Ordering::Release);
                         }
                     }
                     slot.claimed.store(false, Ordering::Release);
@@ -325,6 +388,54 @@ mod tests {
         assert_eq!(stats.rows_out, 48);
         assert_eq!(stats.parallel_columns, 24);
         assert!(stats.merge_time >= Duration::from_nanos(600));
+    }
+
+    struct AlwaysFails {
+        calls: AtomicUsize,
+    }
+
+    impl MergeTarget for AlwaysFails {
+        fn maybe_merge(&self) -> hana_common::Result<bool> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Err(hana_common::HanaError::Io(std::io::Error::other(
+                "device gone",
+            )))
+        }
+    }
+
+    #[test]
+    fn failing_target_backs_off_exponentially() {
+        let target = Arc::new(AlwaysFails {
+            calls: AtomicUsize::new(0),
+        });
+        let interval = Duration::from_millis(2);
+        let daemon =
+            MergeDaemon::spawn(vec![Arc::clone(&target) as Arc<dyn MergeTarget>], interval);
+        std::thread::sleep(Duration::from_millis(120));
+        let stats = daemon.stats();
+        drop(daemon);
+        // Without backoff ~60 ticks would all attempt; the doubling
+        // cool-down must swallow most of them.
+        let calls = target.calls.load(Ordering::SeqCst);
+        assert!(stats.failures >= 2, "failures recorded: {stats:?}");
+        assert_eq!(stats.failures, calls as u64);
+        assert!(
+            calls < 20,
+            "backoff should throttle a persistently failing target, got {calls} attempts"
+        );
+        assert!(stats.backoff_skips > 0, "skips counted: {stats:?}");
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        let i = Duration::from_millis(10);
+        assert_eq!(Slot::backoff_after(i, 1), Duration::from_millis(10));
+        assert_eq!(Slot::backoff_after(i, 2), Duration::from_millis(20));
+        assert_eq!(Slot::backoff_after(i, 4), Duration::from_millis(80));
+        // Exponent caps at 2^6…
+        assert_eq!(Slot::backoff_after(i, 40), Duration::from_millis(640));
+        // …and the absolute cap clamps long intervals.
+        assert_eq!(Slot::backoff_after(Duration::from_secs(10), 9), MAX_BACKOFF);
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Fault injection and health tracking for the persistence layer.
+//!
+//! Recovery correctness (§V of the paper's durability story: REDO only at
+//! first appearance, savepoints, merge *event* records) is only worth
+//! anything if it holds under *arbitrary* failure points. This module makes
+//! that provable by brute force:
+//!
+//! * A [`FaultInjector`] sits in front of every physical I/O operation the
+//!   layer performs — page writes/reads/syncs, log appends/fsyncs, log
+//!   rotations — and counts them. A [`FaultPolicy`] armed on the injector
+//!   makes the nth matching operation fail with EIO/ENOSPC, write only a
+//!   torn prefix, or simulate a process crash (this and every later
+//!   operation fails, so nothing past the crash point reaches disk).
+//! * [`Health`] tracks I/O failures the *running* system observes. Repeated
+//!   consecutive failures flip the database into an explicit **read-only
+//!   degraded mode** (writes are rejected with a clear error, reads keep
+//!   working) surfaced through [`HealthStats`].
+//!
+//! The crash-everywhere harness (`tests/crash_matrix.rs`) enumerates every
+//! operation of a scripted workload, kills the run at each one, reopens,
+//! and asserts the recovery invariants.
+
+use hana_common::{HanaError, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The physical I/O operations of the persistence layer (fault sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// One page written to the page store (image pages, superblock slots).
+    PageWrite,
+    /// One page read and verified from the page store.
+    PageRead,
+    /// `fsync` of the page store's data file.
+    PageSync,
+    /// One record framed into the REDO log buffer.
+    LogAppend,
+    /// Buffered log bytes written and `fsync`ed.
+    LogSync,
+    /// The log rotated to a new epoch (savepoint truncation).
+    LogRotate,
+}
+
+impl IoOp {
+    pub(crate) const COUNT: usize = 6;
+
+    fn index(self) -> usize {
+        match self {
+            IoOp::PageWrite => 0,
+            IoOp::PageRead => 1,
+            IoOp::PageSync => 2,
+            IoOp::LogAppend => 3,
+            IoOp::LogSync => 4,
+            IoOp::LogRotate => 5,
+        }
+    }
+}
+
+/// Error class an injected fault reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultErrorKind {
+    /// Generic I/O error.
+    Eio,
+    /// Device out of space.
+    Enospc,
+}
+
+impl FaultErrorKind {
+    fn to_error(self) -> HanaError {
+        match self {
+            FaultErrorKind::Eio => {
+                HanaError::Io(std::io::Error::other("injected EIO (fault injection)"))
+            }
+            FaultErrorKind::Enospc => HanaError::Io(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "injected ENOSPC (fault injection)",
+            )),
+        }
+    }
+}
+
+/// What happens when an armed fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with an I/O error; nothing is written.
+    Error(FaultErrorKind),
+    /// Write only the first `keep` bytes of the operation's payload, then
+    /// fail. A torn write implies the run is over (it models power loss
+    /// mid-write), so the injector also enters the crashed state.
+    Torn {
+        /// Bytes that reach the file before the "power loss".
+        keep: usize,
+    },
+    /// Simulated process crash: this operation and every later one fails,
+    /// so nothing past the crash point reaches disk.
+    Crash,
+}
+
+/// When and how a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Restrict the fault to one operation kind (`None` = any operation).
+    pub only: Option<IoOp>,
+    /// Number of matching operations allowed through before firing (0 =
+    /// fire on the first matching operation).
+    pub after: u64,
+    /// The failure behaviour.
+    pub action: FaultAction,
+    /// `true`: keep firing on every subsequent matching operation
+    /// (a persistent device fault). `false`: fire once, then disarm
+    /// (a transient glitch).
+    pub persistent: bool,
+}
+
+impl FaultPolicy {
+    /// Simulated crash at global operation `n` (0-based).
+    pub fn crash_at(n: u64) -> Self {
+        FaultPolicy {
+            only: None,
+            after: n,
+            action: FaultAction::Crash,
+            persistent: true,
+        }
+    }
+
+    /// Fail the nth (0-based) operation of kind `op` with `kind`, once.
+    pub fn fail_nth(op: IoOp, n: u64, kind: FaultErrorKind) -> Self {
+        FaultPolicy {
+            only: Some(op),
+            after: n,
+            action: FaultAction::Error(kind),
+            persistent: false,
+        }
+    }
+
+    /// Torn write: the nth operation of kind `op` writes only `keep` bytes.
+    pub fn torn(op: IoOp, n: u64, keep: usize) -> Self {
+        FaultPolicy {
+            only: Some(op),
+            after: n,
+            action: FaultAction::Torn { keep },
+            persistent: false,
+        }
+    }
+
+    /// Make the fault persistent (fires on every subsequent match).
+    pub fn persistent(mut self) -> Self {
+        self.persistent = true;
+        self
+    }
+}
+
+/// Outcome of a fault check for an operation that is about to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Perform the operation normally.
+    Proceed,
+    /// Write only the first `keep` payload bytes, then report
+    /// [`torn_error`] to the caller.
+    Torn {
+        /// Bytes to write before failing.
+        keep: usize,
+    },
+}
+
+/// The error a torn write reports after writing its prefix.
+pub fn torn_error() -> HanaError {
+    HanaError::Io(std::io::Error::other(
+        "injected torn write (fault injection)",
+    ))
+}
+
+fn crash_error() -> HanaError {
+    HanaError::Io(std::io::Error::other(
+        "simulated crash (fault injection): I/O unavailable",
+    ))
+}
+
+#[derive(Default)]
+struct InjectorInner {
+    policy: Option<FaultPolicy>,
+    /// Operations that matched the armed policy's filter so far.
+    matched: u64,
+}
+
+/// Deterministic fault injector shared by every I/O site of one
+/// [`Persistence`](crate::Persistence) instance.
+///
+/// With no policy armed the hot path is two relaxed atomic loads plus a
+/// counter increment, so production code can keep the injector threaded
+/// through unconditionally.
+#[derive(Default)]
+pub struct FaultInjector {
+    inner: Mutex<InjectorInner>,
+    armed: AtomicBool,
+    crashed: AtomicBool,
+    ops: AtomicU64,
+    ops_by_kind: [AtomicU64; IoOp::COUNT],
+    fired: AtomicU64,
+}
+
+impl FaultInjector {
+    /// A fresh injector with no policy armed.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arm `policy`; replaces any previous policy and clears the crashed
+    /// state and match counter (operation counters keep running).
+    pub fn arm(&self, policy: FaultPolicy) {
+        let mut inner = self.inner.lock();
+        inner.policy = Some(policy);
+        inner.matched = 0;
+        self.crashed.store(false, Ordering::SeqCst);
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm any policy and clear the crashed state.
+    pub fn disarm(&self) {
+        let mut inner = self.inner.lock();
+        inner.policy = None;
+        self.crashed.store(false, Ordering::SeqCst);
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Total operations observed (armed or not) — the enumeration axis of
+    /// the crash-everywhere harness.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Operations of one kind observed.
+    pub fn ops_of(&self, op: IoOp) -> u64 {
+        self.ops_by_kind[op.index()].load(Ordering::SeqCst)
+    }
+
+    /// Faults fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// True once a crash (or torn write) fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Consult the injector before performing `op`. Returns
+    /// [`FaultOutcome::Proceed`] to run normally, [`FaultOutcome::Torn`]
+    /// to write a prefix and then return [`torn_error`], or an error to
+    /// fail without touching the file.
+    pub fn check(&self, op: IoOp) -> Result<FaultOutcome> {
+        self.ops.fetch_add(1, Ordering::SeqCst);
+        self.ops_by_kind[op.index()].fetch_add(1, Ordering::SeqCst);
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(crash_error());
+        }
+        if !self.armed.load(Ordering::SeqCst) {
+            return Ok(FaultOutcome::Proceed);
+        }
+        let mut inner = self.inner.lock();
+        let Some(policy) = inner.policy else {
+            return Ok(FaultOutcome::Proceed);
+        };
+        if policy.only.is_some_and(|o| o != op) {
+            return Ok(FaultOutcome::Proceed);
+        }
+        let seq = inner.matched;
+        inner.matched += 1;
+        if seq < policy.after {
+            return Ok(FaultOutcome::Proceed);
+        }
+        // Fire.
+        self.fired.fetch_add(1, Ordering::SeqCst);
+        if !policy.persistent {
+            inner.policy = None;
+            self.armed.store(false, Ordering::SeqCst);
+        }
+        match policy.action {
+            FaultAction::Error(kind) => Err(kind.to_error()),
+            FaultAction::Torn { keep } => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Ok(FaultOutcome::Torn { keep })
+            }
+            FaultAction::Crash => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(crash_error())
+            }
+        }
+    }
+}
+
+/// Point-in-time health report of one persistence instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthStats {
+    /// True when the database has degraded to read-only operation.
+    pub read_only: bool,
+    /// Total I/O failures observed (log + savepoint).
+    pub io_failures: u64,
+    /// Consecutive I/O failures without an intervening success.
+    pub consecutive_failures: u64,
+    /// Failures on the commit/log path.
+    pub log_failures: u64,
+    /// Failed savepoint attempts.
+    pub savepoint_failures: u64,
+    /// Consecutive-failure count at which the database flips read-only
+    /// (0 = never flips automatically).
+    pub degraded_threshold: u64,
+    /// Most recent I/O error message, if any.
+    pub last_error: Option<String>,
+}
+
+/// Default consecutive-failure threshold before degrading to read-only.
+pub const DEFAULT_DEGRADED_THRESHOLD: u64 = 3;
+
+/// Failure/degradation tracker owned by a
+/// [`Persistence`](crate::Persistence) instance.
+pub struct Health {
+    io_failures: AtomicU64,
+    consecutive: AtomicU64,
+    log_failures: AtomicU64,
+    savepoint_failures: AtomicU64,
+    threshold: AtomicU64,
+    read_only: AtomicBool,
+    last_error: Mutex<Option<String>>,
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Health {
+            io_failures: AtomicU64::new(0),
+            consecutive: AtomicU64::new(0),
+            log_failures: AtomicU64::new(0),
+            savepoint_failures: AtomicU64::new(0),
+            threshold: AtomicU64::new(DEFAULT_DEGRADED_THRESHOLD),
+            read_only: AtomicBool::new(false),
+            last_error: Mutex::new(None),
+        }
+    }
+}
+
+/// Which subsystem observed an I/O failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureSite {
+    /// Commit pipeline / REDO appends.
+    Log,
+    /// Savepoint writing.
+    Savepoint,
+}
+
+impl Health {
+    /// True when the instance has degraded to read-only.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// The error writes are rejected with while degraded.
+    pub fn read_only_error() -> HanaError {
+        HanaError::Persist(
+            "database is in read-only degraded mode after repeated I/O failures \
+             (see HealthStats; clear_degraded() re-enables writes)"
+                .into(),
+        )
+    }
+
+    /// Record one I/O failure at `site`; flips read-only once the
+    /// consecutive count reaches the threshold. Only genuine I/O class
+    /// errors count — callers filter.
+    pub fn record_failure(&self, site: FailureSite, e: &HanaError) {
+        self.io_failures.fetch_add(1, Ordering::SeqCst);
+        match site {
+            FailureSite::Log => self.log_failures.fetch_add(1, Ordering::SeqCst),
+            FailureSite::Savepoint => self.savepoint_failures.fetch_add(1, Ordering::SeqCst),
+        };
+        let consec = self.consecutive.fetch_add(1, Ordering::SeqCst) + 1;
+        *self.last_error.lock() = Some(e.to_string());
+        let threshold = self.threshold.load(Ordering::SeqCst);
+        if threshold > 0 && consec >= threshold {
+            self.read_only.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Record a successful durability operation (resets the consecutive
+    /// failure count; does not clear an established degraded state).
+    pub fn record_success(&self) {
+        self.consecutive.store(0, Ordering::SeqCst);
+    }
+
+    /// Leave degraded mode (operator action after the device recovered).
+    pub fn clear_degraded(&self) {
+        self.consecutive.store(0, Ordering::SeqCst);
+        self.read_only.store(false, Ordering::SeqCst);
+    }
+
+    /// Set the consecutive-failure threshold (0 = never auto-degrade).
+    pub fn set_degraded_threshold(&self, n: u64) {
+        self.threshold.store(n, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> HealthStats {
+        HealthStats {
+            read_only: self.read_only.load(Ordering::SeqCst),
+            io_failures: self.io_failures.load(Ordering::SeqCst),
+            consecutive_failures: self.consecutive.load(Ordering::SeqCst),
+            log_failures: self.log_failures.load(Ordering::SeqCst),
+            savepoint_failures: self.savepoint_failures.load(Ordering::SeqCst),
+            degraded_threshold: self.threshold.load(Ordering::SeqCst),
+            last_error: self.last_error.lock().clone(),
+        }
+    }
+
+    /// True for errors that represent I/O trouble (as opposed to semantic
+    /// failures like write conflicts, which must not degrade the database).
+    pub fn counts_as_io_failure(e: &HanaError) -> bool {
+        matches!(e, HanaError::Io(_) | HanaError::Persist(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_injector_counts_but_never_fires() {
+        let f = FaultInjector::new();
+        for _ in 0..5 {
+            assert_eq!(f.check(IoOp::PageWrite).unwrap(), FaultOutcome::Proceed);
+        }
+        assert_eq!(f.ops(), 5);
+        assert_eq!(f.ops_of(IoOp::PageWrite), 5);
+        assert_eq!(f.ops_of(IoOp::LogSync), 0);
+        assert_eq!(f.faults_fired(), 0);
+    }
+
+    #[test]
+    fn transient_error_fires_once() {
+        let f = FaultInjector::new();
+        f.arm(FaultPolicy::fail_nth(IoOp::LogSync, 1, FaultErrorKind::Eio));
+        assert!(f.check(IoOp::LogSync).is_ok()); // 0th
+        assert!(f.check(IoOp::PageWrite).is_ok()); // filtered out
+        assert!(f.check(IoOp::LogSync).is_err()); // 1st fires
+        assert!(f.check(IoOp::LogSync).is_ok()); // disarmed
+        assert_eq!(f.faults_fired(), 1);
+        assert!(!f.crashed());
+    }
+
+    #[test]
+    fn persistent_enospc_keeps_firing() {
+        let f = FaultInjector::new();
+        f.arm(FaultPolicy::fail_nth(IoOp::PageWrite, 0, FaultErrorKind::Enospc).persistent());
+        for _ in 0..3 {
+            let err = f.check(IoOp::PageWrite).unwrap_err();
+            assert!(err.to_string().contains("ENOSPC"), "{err}");
+        }
+        assert_eq!(f.faults_fired(), 3);
+    }
+
+    #[test]
+    fn crash_blocks_everything_after() {
+        let f = FaultInjector::new();
+        f.arm(FaultPolicy::crash_at(2));
+        assert!(f.check(IoOp::LogAppend).is_ok());
+        assert!(f.check(IoOp::LogAppend).is_ok());
+        assert!(f.check(IoOp::LogSync).is_err()); // crash fires
+        assert!(f.crashed());
+        // Every later op of any kind fails too.
+        assert!(f.check(IoOp::PageRead).is_err());
+        assert!(f.check(IoOp::PageWrite).is_err());
+        // Disarm clears the crashed state (harness reuse).
+        f.disarm();
+        assert!(f.check(IoOp::PageWrite).is_ok());
+    }
+
+    #[test]
+    fn torn_write_reports_prefix_then_crashes() {
+        let f = FaultInjector::new();
+        f.arm(FaultPolicy::torn(IoOp::PageWrite, 0, 7));
+        assert_eq!(
+            f.check(IoOp::PageWrite).unwrap(),
+            FaultOutcome::Torn { keep: 7 }
+        );
+        assert!(f.crashed());
+        assert!(f.check(IoOp::PageWrite).is_err());
+    }
+
+    #[test]
+    fn health_degrades_after_threshold_and_clears() {
+        let h = Health::default();
+        assert!(!h.is_read_only());
+        let e = HanaError::Io(std::io::Error::other("boom"));
+        h.record_failure(FailureSite::Log, &e);
+        h.record_failure(FailureSite::Log, &e);
+        assert!(!h.is_read_only(), "below threshold");
+        h.record_success();
+        h.record_failure(FailureSite::Savepoint, &e);
+        h.record_failure(FailureSite::Log, &e);
+        assert!(!h.is_read_only(), "success reset the consecutive count");
+        h.record_failure(FailureSite::Log, &e);
+        assert!(h.is_read_only(), "three consecutive failures degrade");
+        let s = h.stats();
+        assert_eq!(s.io_failures, 5);
+        assert_eq!(s.log_failures, 4);
+        assert_eq!(s.savepoint_failures, 1);
+        assert_eq!(s.consecutive_failures, 3);
+        assert!(s.last_error.unwrap().contains("boom"));
+        h.clear_degraded();
+        assert!(!h.is_read_only());
+    }
+
+    #[test]
+    fn semantic_errors_do_not_count() {
+        assert!(!Health::counts_as_io_failure(&HanaError::WriteConflict(
+            "x".into()
+        )));
+        assert!(!Health::counts_as_io_failure(&HanaError::Txn("x".into())));
+        assert!(Health::counts_as_io_failure(&HanaError::Io(
+            std::io::Error::other("y")
+        )));
+        assert!(Health::counts_as_io_failure(&HanaError::Persist(
+            "z".into()
+        )));
+    }
+}

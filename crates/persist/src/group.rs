@@ -21,11 +21,24 @@
 //!
 //! The durability contract is unchanged: a committer returns only once its
 //! own record is durable. Only the *sharing* of the fsync is new.
+//!
+//! ## Failure propagation
+//!
+//! When the leader's flush fails, *every* waiter whose record was in the
+//! failed batch is woken and handed the error — nobody hangs, and nobody
+//! silently retries an fsync whose coverage is unknowable. The sequence
+//! range of the failed batch is recorded (`failed_upto`); waiters below it
+//! return the flush error, committers sequencing after it start clean. A
+//! transaction whose commit returns this error is **in doubt**: its record
+//! may still sit in the log buffer and become durable if a later healthy
+//! flush retires it (injected transient faults preserve the buffer), or be
+//! gone for good (wedged log, real device failure). Recovery resolves it
+//! like any other: commit record replayed ⇒ committed, else aborted.
 
 use crate::log::{LogRecord, RedoLog};
-use hana_common::{CommitConfig, Result};
+use hana_common::{CommitConfig, HanaError, Result};
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Counters of the commit pipeline (cumulative since open).
@@ -39,6 +52,8 @@ pub struct LogStats {
     pub fsyncs: u64,
     /// Mean records per batch (`records / batches`).
     pub avg_batch_len: f64,
+    /// Leader flushes that failed (each one fails its whole batch).
+    pub flush_failures: u64,
 }
 
 #[derive(Default)]
@@ -49,19 +64,25 @@ struct PipeState {
     durable: u64,
     /// A leader currently owns the flush.
     flushing: bool,
+    /// Highest sequence covered by a failed flush: waiters at or below it
+    /// (and not yet durable) get the error instead of waiting forever.
+    failed_upto: u64,
+    /// Message of the most recent failed flush.
+    fail_msg: String,
 }
 
 /// Leader-based commit batcher over one [`RedoLog`].
 #[derive(Default)]
 pub struct GroupCommit {
     state: Mutex<PipeState>,
-    /// Signals `durable` advanced (or the leader slot freed).
+    /// Signals `durable` advanced, a flush failed, or the leader slot freed.
     retired: Condvar,
     /// Signals a new record joined while a leader gathers.
     joined: Condvar,
     batches: AtomicU64,
     records: AtomicU64,
     fsyncs: AtomicU64,
+    flush_failures: AtomicU64,
     /// Committers currently inside [`GroupCommit::submit`]. The leader uses
     /// this to bound its gather wait: once every in-flight committer has
     /// sequenced there is nobody worth waiting for.
@@ -75,6 +96,10 @@ impl Drop for InFlight<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+fn batch_error(msg: &str) -> HanaError {
+    HanaError::Persist(format!("group commit flush failed: {msg}"))
 }
 
 impl GroupCommit {
@@ -97,7 +122,7 @@ impl GroupCommit {
     ) -> Result<T> {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         let _guard = InFlight(&self.in_flight);
-        let mut st = self.state.lock().expect("commit pipeline poisoned");
+        let mut st = self.state.lock();
         let (rec, out) = seq()?;
         log.append(&rec)?;
         st.appended += 1;
@@ -112,70 +137,93 @@ impl GroupCommit {
             // so their waiters don't sync again for nothing.
             let target = st.appended;
             drop(st);
-            log.flush()?;
-            let mut st = self.state.lock().expect("commit pipeline poisoned");
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
-            if st.durable < target {
-                self.batches.fetch_add(1, Ordering::Relaxed);
-                st.durable = target;
-            }
-            self.retired.notify_all();
-            return Ok(out);
-        }
-
-        loop {
-            if st.durable >= my_seq {
-                return Ok(out);
-            }
-            if st.flushing {
-                // Follower: a leader will retire this record.
-                st = self.retired.wait(st).expect("commit pipeline poisoned");
-                continue;
-            }
-            // Become the leader. Gather followers until the batch fills,
-            // the window elapses, or every committer currently in the
-            // pipeline has sequenced — a solo committer never waits, so
-            // group mode costs nothing on an idle system.
-            st.flushing = true;
-            if cfg.max_wait_us > 0 {
-                let deadline = Duration::from_micros(cfg.max_wait_us);
-                let mut waited = Duration::ZERO;
-                loop {
-                    let pending = st.appended - st.durable;
-                    if pending >= cfg.max_batch as u64
-                        || pending >= self.in_flight.load(Ordering::SeqCst)
-                        || waited >= deadline
-                    {
-                        break;
-                    }
-                    let t0 = std::time::Instant::now();
-                    let (g, timeout) = self
-                        .joined
-                        .wait_timeout(st, deadline - waited)
-                        .expect("commit pipeline poisoned");
-                    st = g;
-                    if timeout.timed_out() {
-                        break;
-                    }
-                    waited += t0.elapsed();
-                }
-            }
-            let target = st.appended;
-            drop(st);
             let flushed = log.flush();
-            st = self.state.lock().expect("commit pipeline poisoned");
-            st.flushing = false;
-            if flushed.is_ok() {
-                self.fsyncs.fetch_add(1, Ordering::Relaxed);
-                if st.durable < target {
-                    self.batches.fetch_add(1, Ordering::Relaxed);
-                    st.durable = target;
+            let mut st = self.state.lock();
+            match flushed {
+                Ok(()) => {
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    if st.durable < target {
+                        self.batches.fetch_add(1, Ordering::Relaxed);
+                        st.durable = target;
+                    }
+                    self.retired.notify_all();
+                    Ok(out)
+                }
+                Err(e) => {
+                    // Anything buffered up to `target` shares this failure.
+                    self.flush_failures.fetch_add(1, Ordering::Relaxed);
+                    st.failed_upto = st.failed_upto.max(target);
+                    st.fail_msg = e.to_string();
+                    self.retired.notify_all();
+                    Err(e)
                 }
             }
-            // Wake followers either way: on error each retries as leader
-            // and surfaces the failure itself.
-            self.retired.notify_all();
-            flushed?;
+        } else {
+            loop {
+                if st.durable >= my_seq {
+                    return Ok(out);
+                }
+                if st.failed_upto >= my_seq {
+                    // The flush that covered this record failed; the
+                    // transaction is in doubt (see module docs).
+                    return Err(batch_error(&st.fail_msg));
+                }
+                if st.flushing {
+                    // Follower: a leader will retire (or fail) this record.
+                    self.retired.wait(&mut st);
+                    continue;
+                }
+                // Become the leader. Gather followers until the batch fills,
+                // the window elapses, or every committer currently in the
+                // pipeline has sequenced — a solo committer never waits, so
+                // group mode costs nothing on an idle system.
+                st.flushing = true;
+                if cfg.max_wait_us > 0 {
+                    let deadline = Duration::from_micros(cfg.max_wait_us);
+                    let mut waited = Duration::ZERO;
+                    loop {
+                        let pending = st.appended - st.durable;
+                        if pending >= cfg.max_batch as u64
+                            || pending >= self.in_flight.load(Ordering::SeqCst)
+                            || waited >= deadline
+                        {
+                            break;
+                        }
+                        let t0 = std::time::Instant::now();
+                        let timeout = self.joined.wait_for(&mut st, deadline - waited);
+                        if timeout.timed_out() {
+                            break;
+                        }
+                        waited += t0.elapsed();
+                    }
+                }
+                let target = st.appended;
+                drop(st);
+                let flushed = log.flush();
+                st = self.state.lock();
+                st.flushing = false;
+                match flushed {
+                    Ok(()) => {
+                        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        if st.durable < target {
+                            self.batches.fetch_add(1, Ordering::Relaxed);
+                            st.durable = target;
+                        }
+                        self.retired.notify_all();
+                        // Loop back: `durable >= my_seq` now holds.
+                    }
+                    Err(e) => {
+                        // Fail the whole batch: every waiter at or below
+                        // `target` is woken and returns the error. The
+                        // leader's own record is in that range too.
+                        self.flush_failures.fetch_add(1, Ordering::Relaxed);
+                        st.failed_upto = st.failed_upto.max(target);
+                        st.fail_msg = e.to_string();
+                        self.retired.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
         }
     }
 
@@ -192,6 +240,7 @@ impl GroupCommit {
             } else {
                 records as f64 / batches as f64
             },
+            flush_failures: self.flush_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -199,6 +248,7 @@ impl GroupCommit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultErrorKind, FaultPolicy, IoOp};
     use hana_common::{Timestamp, TxnId};
     use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
@@ -228,6 +278,7 @@ mod tests {
         assert_eq!(s.fsyncs, 5);
         assert_eq!(s.batches, 5);
         assert!((s.avg_batch_len - 1.0).abs() < 1e-9);
+        assert_eq!(s.flush_failures, 0);
         assert_eq!(
             RedoLog::read_all(&dir.path().join("redo.log"))
                 .unwrap()
@@ -310,5 +361,44 @@ mod tests {
         assert!(err.is_err());
         assert_eq!(pipe.stats().records, 0);
         assert!(RedoLog::read_all(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_fsync_failure_fails_submit_then_recovers() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        let log = RedoLog::open(&path).unwrap();
+        let pipe = GroupCommit::new();
+        let cfg = CommitConfig::default().with_max_wait_us(0);
+        log.injector()
+            .arm(FaultPolicy::fail_nth(IoOp::LogSync, 0, FaultErrorKind::Eio));
+        let r: Result<()> = pipe.submit(&log, &cfg, || Ok((commit_rec(1, 1), ())));
+        assert!(r.is_err());
+        assert_eq!(pipe.stats().flush_failures, 1);
+        // The pipeline is not stuck: a later commit succeeds, and the
+        // retried flush also lands the in-doubt record (buffer preserved).
+        pipe.submit(&log, &cfg, || Ok((commit_rec(2, 2), ())))
+            .unwrap();
+        assert_eq!(RedoLog::read_all(&path).unwrap().len(), 2);
+        assert_eq!(pipe.stats().flush_failures, 1);
+    }
+
+    #[test]
+    fn serial_mode_flush_failure_reports_error() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        let log = RedoLog::open(&path).unwrap();
+        let pipe = GroupCommit::new();
+        let cfg = CommitConfig::serial();
+        log.injector().arm(FaultPolicy::fail_nth(
+            IoOp::LogSync,
+            0,
+            FaultErrorKind::Enospc,
+        ));
+        let r: Result<()> = pipe.submit(&log, &cfg, || Ok((commit_rec(1, 1), ())));
+        assert!(r.unwrap_err().to_string().contains("ENOSPC"));
+        pipe.submit(&log, &cfg, || Ok((commit_rec(2, 2), ())))
+            .unwrap();
+        assert_eq!(RedoLog::read_all(&path).unwrap().len(), 2);
     }
 }

@@ -21,8 +21,20 @@
 //! raw marks; the post-savepoint log contains their commit/abort records, so
 //! replay resolves them — anything still unresolved after replay belongs to
 //! a transaction that never committed and is treated as aborted.
+//!
+//! Failure behaviour is first-class: every physical I/O site consults a
+//! [`FaultInjector`] (see [`fault`]), failures feed a [`Health`] tracker
+//! that can flip the instance into read-only degraded mode, and the
+//! crash-everywhere harness (`tests/crash_matrix.rs` at the workspace root)
+//! brute-forces recovery correctness by killing a scripted workload at every
+//! single I/O operation.
+
+// A panic on the durability path is a crash a user sees; every fallible I/O
+// site must propagate a HanaError instead. Test code may unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codec;
+pub mod fault;
 pub mod group;
 pub mod image;
 pub mod log;
@@ -31,9 +43,13 @@ pub mod store;
 pub mod vfile;
 
 pub use codec::{crc32, Decoder, Encoder};
+pub use fault::{
+    FailureSite, FaultAction, FaultErrorKind, FaultInjector, FaultOutcome, FaultPolicy, Health,
+    HealthStats, IoOp, DEFAULT_DEGRADED_THRESHOLD,
+};
 pub use group::{GroupCommit, LogStats};
 pub use image::{DeltaImage, PartImage, RowImage, TableImage, ZoneImage};
-pub use log::{LogRecord, RedoLog};
+pub use log::{LogRecord, RedoLog, NO_EPOCH};
 pub use page::{PageId, PageStore, DEFAULT_PAGE_SIZE};
-pub use store::{Persistence, RecoveredState};
+pub use store::{PageAccounting, Persistence, RecoveredState};
 pub use vfile::VirtualFile;

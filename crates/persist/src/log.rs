@@ -20,16 +20,52 @@
 //! treats transactions with neither outcome record as aborted, so a torn
 //! tail can only ever *shrink* the committed set, never tear one
 //! transaction's effects apart.
+//!
+//! ## Epochs
+//!
+//! The file starts with a 16-byte header: magic plus the **epoch** — the
+//! savepoint version the log's records apply on top of. A savepoint doesn't
+//! truncate the log in place; it *rotates* it ([`RedoLog::rotate`]): a fresh
+//! header with the new epoch is written to a side file, fsynced, and
+//! atomically renamed over the old log. Recovery replays records only when
+//! the log's epoch matches the recovered manifest's version. This closes a
+//! real crash window the in-place truncate had: dying between the superblock
+//! flip and the truncate used to leave the *old* log paired with the *new*
+//! manifest, and replay would re-apply rows already captured in the images.
+//!
+//! ## Failure containment
+//!
+//! An injected fault on [`flush`](Self::flush) fires *before* any byte
+//! reaches the file, so the buffer survives and a later healthy flush
+//! retires the same records — transient device hiccups are retryable. A
+//! genuine partial write or fsync failure leaves the on-disk suffix
+//! unknowable, so the log **wedges**: every later append/flush fails until a
+//! successful [`rotate`](Self::rotate) re-establishes a known-good file.
+//! Wedging is deliberate — retrying an fsync after it failed once silently
+//! drops writes on most kernels, and appending after a partial frame would
+//! bury every later record behind garbage.
 
 use crate::codec::{crc32, Decoder, Encoder};
+use crate::fault::{torn_error, FaultInjector, FaultOutcome, IoOp};
 use crate::image::{decode_config, decode_schema, encode_config, encode_schema};
 use hana_common::{
     HanaError, Result, RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
 };
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Log file magic (8 bytes) preceding the epoch.
+const LOG_MAGIC: [u8; 8] = *b"HANALOG1";
+
+/// Header bytes: magic + epoch (u64 LE).
+const LOG_HEADER: u64 = 16;
+
+/// Epoch reported for a log whose header is unreadable — never matches a
+/// manifest version, so no record of such a file is ever replayed.
+pub const NO_EPOCH: u64 = u64::MAX;
 
 /// One REDO record.
 #[derive(Debug, Clone, PartialEq)]
@@ -240,95 +276,293 @@ impl LogRecord {
     }
 }
 
-/// Append-only, checksummed REDO log file.
+fn header_bytes(epoch: u64) -> [u8; LOG_HEADER as usize] {
+    let mut h = [0u8; LOG_HEADER as usize];
+    h[..8].copy_from_slice(&LOG_MAGIC);
+    h[8..].copy_from_slice(&epoch.to_le_bytes());
+    h
+}
+
+/// Parse the record region of a log file: returns the intact records and the
+/// byte length of the valid prefix (relative to the region start).
+fn scan_records(data: &[u8]) -> (Vec<LogRecord>, usize) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= data.len() {
+        let len =
+            u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]) as usize;
+        let crc = u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
+        if pos + 8 + len > data.len() {
+            break; // torn tail
+        }
+        let payload = &data[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // corrupt tail
+        }
+        match LogRecord::decode(&mut Decoder::new(payload)) {
+            Ok(rec) => out.push(rec),
+            Err(_) => break,
+        }
+        pos += 8 + len;
+    }
+    (out, pos)
+}
+
+struct LogInner {
+    file: File,
+    /// Records framed but not yet flushed. The log owns its buffer (no
+    /// `BufWriter`) so that nothing can reach the file outside an explicit
+    /// [`RedoLog::flush`] — the fault injector sees every byte.
+    buf: Vec<u8>,
+    epoch: u64,
+    /// Set after a genuine partial write / failed fsync: the on-disk suffix
+    /// is unknowable, so appends and flushes fail until the next rotation.
+    wedged: Option<String>,
+}
+
+/// Append-only, checksummed, epoch-headered REDO log file.
 pub struct RedoLog {
     path: PathBuf,
-    writer: Mutex<BufWriter<File>>,
+    inner: Mutex<LogInner>,
+    injector: Arc<FaultInjector>,
 }
 
 impl RedoLog {
-    /// Open (append mode) or create the log at `path`.
+    /// Open (or create) the log at `path`.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Self::open_with_injector(path, FaultInjector::new())
+    }
+
+    /// Open with an explicit fault injector (shared with the rest of the
+    /// persistence instance).
+    ///
+    /// A torn tail left by a crash is truncated away here, so post-recovery
+    /// appends land after the last intact record instead of behind garbage.
+    pub fn open_with_injector(path: &Path, injector: Arc<FaultInjector>) -> Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let epoch = if len < LOG_HEADER {
+            // New (or torn-at-birth) file: stamp epoch 0. Durable with the
+            // first flush; a crash before that reads back as an empty
+            // epoch-0 log either way.
+            file.set_len(0)?;
+            file.write_all(&header_bytes(0))?;
+            0
+        } else {
+            let mut hdr = [0u8; LOG_HEADER as usize];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut hdr)?;
+            if hdr[..8] != LOG_MAGIC {
+                return Err(HanaError::Persist(format!(
+                    "{} is not a REDO log (bad magic)",
+                    path.display()
+                )));
+            }
+            let epoch = u64::from_le_bytes([
+                hdr[8], hdr[9], hdr[10], hdr[11], hdr[12], hdr[13], hdr[14], hdr[15],
+            ]);
+            // Drop any torn/corrupt tail before appending.
+            let mut data = Vec::with_capacity((len - LOG_HEADER) as usize);
+            file.read_to_end(&mut data)?;
+            let (_, valid) = scan_records(&data);
+            if (valid as u64) < len - LOG_HEADER {
+                file.set_len(LOG_HEADER + valid as u64)?;
+            }
+            file.seek(SeekFrom::End(0))?;
+            epoch
+        };
         Ok(RedoLog {
             path: path.to_path_buf(),
-            writer: Mutex::new(BufWriter::new(file)),
+            inner: Mutex::new(LogInner {
+                file,
+                buf: Vec::new(),
+                epoch,
+                wedged: None,
+            }),
+            injector,
         })
+    }
+
+    /// The fault injector every log operation consults.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// The epoch in the current file's header (the savepoint version its
+    /// records apply on top of).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// True when a partial write / failed fsync has wedged the log (see
+    /// module docs); only [`rotate`](Self::rotate) clears it.
+    pub fn is_wedged(&self) -> bool {
+        self.inner.lock().wedged.is_some()
+    }
+
+    /// Explicitly wedge the log. The savepoint uses this when the new
+    /// manifest may already be durable but the log rotation failed: any
+    /// record appended to the stale-epoch file would be silently ignored by
+    /// recovery, so failing loudly until a rotation succeeds is the only
+    /// honest behaviour.
+    pub fn wedge(&self, reason: &str) {
+        self.inner.lock().wedged = Some(reason.into());
+    }
+
+    fn wedged_error(msg: &str) -> HanaError {
+        HanaError::Persist(format!(
+            "REDO log is wedged after an earlier I/O failure ({msg}); \
+             a successful savepoint (log rotation) is required to resume"
+        ))
     }
 
     /// Append one record (buffered; call [`flush`](Self::flush) to force it
     /// to the OS, as commit does).
     pub fn append(&self, rec: &LogRecord) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(msg) = &inner.wedged {
+            return Err(Self::wedged_error(msg));
+        }
+        let outcome = self.injector.check(IoOp::LogAppend)?;
         let mut e = Encoder::new();
         rec.encode(&mut e);
         let payload = e.into_bytes();
-        let mut w = self.writer.lock();
-        w.write_all(&(payload.len() as u32).to_le_bytes())?;
-        w.write_all(&crc32(&payload).to_le_bytes())?;
-        w.write_all(&payload)?;
-        Ok(())
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        match outcome {
+            FaultOutcome::Proceed => {
+                inner.buf.extend_from_slice(&frame);
+                Ok(())
+            }
+            FaultOutcome::Torn { keep } => {
+                // Power loss mid-append: only a frame prefix is buffered.
+                // The injector is now in the crashed state, so this prefix
+                // can never be flushed by this instance.
+                let keep = keep.min(frame.len());
+                inner.buf.extend_from_slice(&frame[..keep]);
+                Err(torn_error())
+            }
+        }
     }
 
     /// Flush buffered records and fsync.
+    ///
+    /// On an injected error nothing reaches the file and the buffer
+    /// survives — a later flush retries the same records. On a genuine
+    /// partial write or fsync failure the log wedges (see module docs).
     pub fn flush(&self) -> Result<()> {
-        let mut w = self.writer.lock();
-        w.flush()?;
-        w.get_ref().sync_data()?;
+        let mut inner = self.inner.lock();
+        if let Some(msg) = &inner.wedged {
+            return Err(Self::wedged_error(msg));
+        }
+        match self.injector.check(IoOp::LogSync) {
+            Ok(FaultOutcome::Proceed) => {}
+            Ok(FaultOutcome::Torn { keep }) => {
+                // Power loss mid-flush: a prefix of the buffered bytes
+                // reaches the file. The instance is dead (crashed injector);
+                // wedge so no late caller trusts this handle again.
+                let keep = keep.min(inner.buf.len());
+                let torn: Vec<u8> = inner.buf[..keep].to_vec();
+                let _ = inner.file.write_all(&torn);
+                inner.buf.clear();
+                inner.wedged = Some("torn flush".into());
+                return Err(torn_error());
+            }
+            Err(e) => return Err(e),
+        }
+        if !inner.buf.is_empty() {
+            let buf = std::mem::take(&mut inner.buf);
+            if let Err(e) = inner.file.write_all(&buf) {
+                inner.wedged = Some(format!("partial log write: {e}"));
+                return Err(e.into());
+            }
+        }
+        if let Err(e) = inner.file.sync_data() {
+            inner.wedged = Some(format!("log fsync failed: {e}"));
+            return Err(e.into());
+        }
         Ok(())
     }
 
-    /// Bytes currently in the log file (after a flush).
+    /// Record bytes durable in the log file (header excluded; call after a
+    /// flush).
     pub fn len_bytes(&self) -> Result<u64> {
-        Ok(std::fs::metadata(&self.path)?.len())
+        Ok(std::fs::metadata(&self.path)?
+            .len()
+            .saturating_sub(LOG_HEADER))
     }
 
-    /// Truncate the log (after a completed savepoint).
-    pub fn truncate(&self) -> Result<()> {
-        let mut w = self.writer.lock();
-        w.flush()?;
-        let file = OpenOptions::new().write(true).open(&self.path)?;
-        file.set_len(0)?;
-        file.sync_data()?;
-        *w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+    /// Rotate to a fresh, empty log with `epoch` in its header (after a
+    /// completed savepoint). The new file is written beside the old one,
+    /// fsynced, then atomically renamed into place — at no instant does the
+    /// path hold a half-truncated log. Buffered-but-unflushed records are
+    /// discarded (their data is covered by the savepoint images; their
+    /// transactions never got a durable outcome). A successful rotation
+    /// also clears the wedged state.
+    pub fn rotate(&self, epoch: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let FaultOutcome::Torn { .. } = self.injector.check(IoOp::LogRotate)? {
+            return Err(torn_error());
+        }
+        let tmp = self.path.with_extension("log.new");
+        let mut f = File::create(&tmp)?;
+        f.write_all(&header_bytes(epoch))?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        inner.file = file;
+        inner.buf.clear();
+        inner.epoch = epoch;
+        inner.wedged = None;
         Ok(())
     }
 
     /// Read all intact records from a log file, stopping silently at a torn
-    /// or corrupt tail (the crash-recovery contract).
+    /// or corrupt tail (the crash-recovery contract). Epoch-blind — see
+    /// [`read_all_with_epoch`](Self::read_all_with_epoch) for recovery.
     pub fn read_all(path: &Path) -> Result<Vec<LogRecord>> {
+        Ok(Self::read_all_with_epoch(path)?.1)
+    }
+
+    /// Read a log file's epoch and intact records. A missing or shorter-
+    /// than-header file reads as an empty epoch-0 log (the state a freshly
+    /// created log crashes into); a wrong magic reads as [`NO_EPOCH`] so
+    /// its bytes are never replayed.
+    pub fn read_all_with_epoch(path: &Path) -> Result<(u64, Vec<LogRecord>)> {
         let mut data = Vec::new();
         match File::open(path) {
             Ok(mut f) => {
                 f.read_to_end(&mut data)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, Vec::new())),
             Err(e) => return Err(e.into()),
         }
-        let mut out = Vec::new();
-        let mut pos = 0usize;
-        while pos + 8 <= data.len() {
-            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
-            if pos + 8 + len > data.len() {
-                break; // torn tail
-            }
-            let payload = &data[pos + 8..pos + 8 + len];
-            if crc32(payload) != crc {
-                break; // corrupt tail
-            }
-            match LogRecord::decode(&mut Decoder::new(payload)) {
-                Ok(rec) => out.push(rec),
-                Err(_) => break,
-            }
-            pos += 8 + len;
+        if (data.len() as u64) < LOG_HEADER {
+            return Ok((0, Vec::new()));
         }
-        Ok(out)
+        if data[..8] != LOG_MAGIC {
+            return Ok((NO_EPOCH, Vec::new()));
+        }
+        let epoch = u64::from_le_bytes([
+            data[8], data[9], data[10], data[11], data[12], data[13], data[14], data[15],
+        ]);
+        let (records, _) = scan_records(&data[LOG_HEADER as usize..]);
+        Ok((epoch, records))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultErrorKind, FaultPolicy};
     use tempfile::tempdir;
 
     fn sample_records() -> Vec<LogRecord> {
@@ -383,6 +617,7 @@ mod tests {
         log.flush().unwrap();
         let got = RedoLog::read_all(&path).unwrap();
         assert_eq!(got, sample_records());
+        assert_eq!(log.epoch(), 0);
     }
 
     #[test]
@@ -411,6 +646,30 @@ mod tests {
     }
 
     #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        let log = RedoLog::open(&path).unwrap();
+        log.append(&sample_records()[3]).unwrap();
+        log.flush().unwrap();
+        drop(log);
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[200, 0, 0, 0, 1, 2]).unwrap(); // torn frame
+        }
+        // Reopen and keep writing: the new record must be readable (i.e. it
+        // landed after the last intact record, not after the garbage).
+        let log = RedoLog::open(&path).unwrap();
+        log.append(&sample_records()[4]).unwrap();
+        log.flush().unwrap();
+        let got = RedoLog::read_all(&path).unwrap();
+        assert_eq!(
+            got,
+            vec![sample_records()[3].clone(), sample_records()[4].clone()]
+        );
+    }
+
+    #[test]
     fn corrupt_record_stops_replay() {
         let dir = tempdir().unwrap();
         let path = dir.path().join("redo.log");
@@ -429,19 +688,78 @@ mod tests {
     }
 
     #[test]
-    fn truncate_clears_and_log_stays_usable() {
+    fn rotate_clears_and_log_stays_usable() {
         let dir = tempdir().unwrap();
         let path = dir.path().join("redo.log");
         let log = RedoLog::open(&path).unwrap();
         log.append(&sample_records()[0]).unwrap();
         log.flush().unwrap();
         assert!(log.len_bytes().unwrap() > 0);
-        log.truncate().unwrap();
+        log.rotate(1).unwrap();
         assert_eq!(log.len_bytes().unwrap(), 0);
+        assert_eq!(log.epoch(), 1);
         log.append(&sample_records()[3]).unwrap();
         log.flush().unwrap();
-        let got = RedoLog::read_all(&path).unwrap();
+        let (epoch, got) = RedoLog::read_all_with_epoch(&path).unwrap();
+        assert_eq!(epoch, 1);
         assert_eq!(got, vec![sample_records()[3].clone()]);
+        // Reopen picks the rotated epoch back up.
+        drop(log);
+        let log = RedoLog::open(&path).unwrap();
+        assert_eq!(log.epoch(), 1);
+    }
+
+    #[test]
+    fn bad_magic_reads_as_no_epoch() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        std::fs::write(&path, vec![0xABu8; 64]).unwrap();
+        let (epoch, recs) = RedoLog::read_all_with_epoch(&path).unwrap();
+        assert_eq!(epoch, NO_EPOCH);
+        assert!(recs.is_empty());
+        assert!(RedoLog::open(&path).is_err(), "refuses to append to it");
+    }
+
+    #[test]
+    fn injected_flush_failure_is_retryable() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        let log = RedoLog::open(&path).unwrap();
+        log.append(&sample_records()[3]).unwrap();
+        log.injector()
+            .arm(FaultPolicy::fail_nth(IoOp::LogSync, 0, FaultErrorKind::Eio));
+        assert!(log.flush().is_err());
+        assert!(!log.is_wedged(), "injected faults fire before any byte");
+        // The buffer survived: a healthy retry lands the same record.
+        log.flush().unwrap();
+        assert_eq!(
+            RedoLog::read_all(&path).unwrap(),
+            vec![sample_records()[3].clone()]
+        );
+    }
+
+    #[test]
+    fn torn_flush_wedges_until_rotation() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("redo.log");
+        let log = RedoLog::open(&path).unwrap();
+        for r in sample_records() {
+            log.append(&r).unwrap();
+        }
+        log.injector().arm(FaultPolicy::torn(IoOp::LogSync, 0, 5));
+        assert!(log.flush().is_err());
+        assert!(log.is_wedged());
+        log.injector().disarm();
+        assert!(log.append(&sample_records()[3]).is_err());
+        assert!(log.flush().is_err());
+        // The torn prefix parses as an empty log (frame incomplete).
+        assert!(RedoLog::read_all(&path).unwrap().is_empty());
+        // Rotation re-establishes a usable log.
+        log.rotate(1).unwrap();
+        assert!(!log.is_wedged());
+        log.append(&sample_records()[3]).unwrap();
+        log.flush().unwrap();
+        assert_eq!(RedoLog::read_all(&path).unwrap().len(), 1);
     }
 
     #[test]

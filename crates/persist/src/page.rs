@@ -5,14 +5,24 @@
 //! substrate: allocate, write (with CRC and length header), read, free. The
 //! first two pages are reserved as the alternating superblock slots used by
 //! the savepoint manifest.
+//!
+//! Every physical operation consults the store's [`FaultInjector`] first, so
+//! the crash-everywhere harness can fail or tear any page write, read, or
+//! fsync deterministically. The free list guards against double-frees and is
+//! reconstructible from a manifest via [`PageStore::reset_free_list`], which
+//! is how reopening a database reclaims pages orphaned by a crashed
+//! savepoint.
 
 use crate::codec::crc32;
+use crate::fault::{torn_error, FaultInjector, FaultOutcome, IoOp};
 use hana_common::{HanaError, Result};
 use parking_lot::Mutex;
+use rustc_hash::FxHashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Default page size in bytes.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -24,17 +34,53 @@ const PAGE_HEADER: usize = 8;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u64);
 
+#[derive(Default)]
+struct FreeList {
+    /// Allocation order (LIFO reuse).
+    list: Vec<PageId>,
+    /// Membership set: the double-free guard.
+    members: FxHashSet<u64>,
+}
+
+impl FreeList {
+    fn push(&mut self, page: PageId) -> bool {
+        if !self.members.insert(page.0) {
+            return false; // already free: double-free attempt
+        }
+        self.list.push(page);
+        true
+    }
+
+    fn pop(&mut self) -> Option<PageId> {
+        let p = self.list.pop()?;
+        self.members.remove(&p.0);
+        Some(p)
+    }
+}
+
 /// A file of fixed-size, checksummed pages with a free list.
 pub struct PageStore {
     file: Mutex<File>,
     page_size: usize,
     next_page: AtomicU64,
-    free: Mutex<Vec<PageId>>,
+    free: Mutex<FreeList>,
+    injector: Arc<FaultInjector>,
+    double_frees: AtomicU64,
 }
 
 impl PageStore {
     /// Open (or create) the page file at `path`.
     pub fn open(path: &Path, page_size: usize) -> Result<Self> {
+        Self::open_with_injector(path, page_size, FaultInjector::new())
+    }
+
+    /// Open with an explicit fault injector (shared with the rest of the
+    /// persistence instance).
+    pub fn open_with_injector(
+        path: &Path,
+        page_size: usize,
+        injector: Arc<FaultInjector>,
+    ) -> Result<Self> {
         assert!(page_size > PAGE_HEADER + 16, "page size too small");
         let file = OpenOptions::new()
             .read(true)
@@ -49,8 +95,15 @@ impl PageStore {
             page_size,
             // Pages 0 and 1 are superblock slots.
             next_page: AtomicU64::new(existing_pages.max(2)),
-            free: Mutex::new(Vec::new()),
+            free: Mutex::new(FreeList::default()),
+            injector,
+            double_frees: AtomicU64::new(0),
         })
+    }
+
+    /// The fault injector every physical operation consults.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
     }
 
     /// The configured page size.
@@ -68,6 +121,17 @@ impl PageStore {
         self.next_page.load(Ordering::SeqCst)
     }
 
+    /// Pages currently on the free list.
+    pub fn free_pages(&self) -> u64 {
+        self.free.lock().list.len() as u64
+    }
+
+    /// Double-free attempts caught (each one a bug in the caller; the page
+    /// stays free exactly once).
+    pub fn double_frees(&self) -> u64 {
+        self.double_frees.load(Ordering::SeqCst)
+    }
+
     /// Allocate a page (reusing freed pages first).
     pub fn alloc(&self) -> PageId {
         if let Some(p) = self.free.lock().pop() {
@@ -76,10 +140,28 @@ impl PageStore {
         PageId(self.next_page.fetch_add(1, Ordering::SeqCst))
     }
 
-    /// Return a page to the free list.
+    /// Return a page to the free list. Double-frees and superblock pages are
+    /// rejected and counted — a page can be handed out again at most once,
+    /// so a buggy caller can corrupt its own bookkeeping but never cause two
+    /// live blobs to share a page.
     pub fn free(&self, page: PageId) {
-        debug_assert!(page.0 >= 2, "superblock pages are never freed");
-        self.free.lock().push(page);
+        if page.0 < 2 || !self.free.lock().push(page) {
+            self.double_frees.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Replace the free list wholesale. Used at open time to reclaim every
+    /// page the recovered manifest does not reference (pages orphaned by a
+    /// savepoint that crashed mid-write would otherwise leak forever).
+    pub fn reset_free_list(&self, pages: Vec<PageId>) {
+        let mut free = self.free.lock();
+        free.list.clear();
+        free.members.clear();
+        for p in pages {
+            if p.0 >= 2 {
+                free.push(p);
+            }
+        }
     }
 
     /// Write `payload` (≤ [`payload_size`](Self::payload_size)) to `page`.
@@ -91,6 +173,7 @@ impl PageStore {
                 self.payload_size()
             )));
         }
+        let outcome = self.injector.check(IoOp::PageWrite)?;
         let mut buf = Vec::with_capacity(self.page_size);
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -98,20 +181,33 @@ impl PageStore {
         buf.resize(self.page_size, 0);
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
-        f.write_all(&buf)?;
-        Ok(())
+        match outcome {
+            FaultOutcome::Proceed => {
+                f.write_all(&buf)?;
+                Ok(())
+            }
+            FaultOutcome::Torn { keep } => {
+                // Power loss mid-write: only a prefix reaches the file.
+                let keep = keep.min(buf.len());
+                f.write_all(&buf[..keep])?;
+                Err(torn_error())
+            }
+        }
     }
 
     /// Read and verify the payload of `page`.
     pub fn read_page(&self, page: PageId) -> Result<Vec<u8>> {
+        if let FaultOutcome::Torn { .. } = self.injector.check(IoOp::PageRead)? {
+            return Err(torn_error()); // torn "reads" just fail
+        }
         let mut buf = vec![0u8; self.page_size];
         {
             let mut f = self.file.lock();
             f.seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
             f.read_exact(&mut buf)?;
         }
-        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-        let stored_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        let stored_crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
         if len > self.payload_size() {
             return Err(HanaError::Persist(format!(
                 "corrupt page {}: bad length",
@@ -130,6 +226,9 @@ impl PageStore {
 
     /// Flush all dirty pages to stable storage.
     pub fn sync(&self) -> Result<()> {
+        if let FaultOutcome::Torn { .. } = self.injector.check(IoOp::PageSync)? {
+            return Err(torn_error());
+        }
         self.file.lock().sync_data()?;
         Ok(())
     }
@@ -138,6 +237,7 @@ impl PageStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultErrorKind, FaultPolicy};
     use tempfile::tempdir;
 
     fn store() -> (tempfile::TempDir, PageStore) {
@@ -174,7 +274,62 @@ mod tests {
         let b = s.alloc();
         assert_ne!(a, b);
         s.free(a);
+        assert_eq!(s.free_pages(), 1);
         assert_eq!(s.alloc(), a);
+        assert_eq!(s.free_pages(), 0);
+    }
+
+    #[test]
+    fn double_free_is_caught() {
+        let (_d, s) = store();
+        let a = s.alloc();
+        s.free(a);
+        s.free(a); // counted + ignored: the page stays free exactly once
+        assert_eq!(s.double_frees(), 1);
+        assert_eq!(s.free_pages(), 1);
+        assert_eq!(s.alloc(), a);
+        assert_ne!(s.alloc(), a, "page must not be handed out twice");
+    }
+
+    #[test]
+    fn reset_free_list_reclaims_orphans() {
+        let (_d, s) = store();
+        let a = s.alloc();
+        let b = s.alloc();
+        s.write_page(a, b"a").unwrap();
+        s.write_page(b, b"b").unwrap();
+        // Pretend only `b` is referenced by the manifest: `a` is orphaned.
+        s.reset_free_list(vec![a, PageId(0)]); // superblock filtered out
+        assert_eq!(s.free_pages(), 1);
+        assert_eq!(s.alloc(), a);
+    }
+
+    #[test]
+    fn injected_write_fault_fails_cleanly() {
+        let (_d, s) = store();
+        let p = s.alloc();
+        s.injector().arm(FaultPolicy::fail_nth(
+            IoOp::PageWrite,
+            0,
+            FaultErrorKind::Eio,
+        ));
+        assert!(s.write_page(p, b"x").is_err());
+        // Transient: next write succeeds and the page is intact.
+        s.write_page(p, b"x").unwrap();
+        assert_eq!(s.read_page(p).unwrap(), b"x");
+    }
+
+    #[test]
+    fn torn_page_write_fails_crc_on_read() {
+        let (_d, s) = store();
+        let p = s.alloc();
+        s.write_page(p, b"old-contents").unwrap();
+        s.injector().arm(FaultPolicy::torn(IoOp::PageWrite, 0, 10));
+        assert!(s.write_page(p, b"new-contents").is_err());
+        s.injector().disarm();
+        // The torn page is detected as corrupt, not silently half-read.
+        let err = s.read_page(p).unwrap_err();
+        assert!(err.to_string().contains("corrupt page"), "{err}");
     }
 
     #[test]

@@ -5,12 +5,22 @@
 //! * `data.pages` — the page store. Pages 0 and 1 are the two alternating
 //!   superblock slots holding the savepoint manifest (version counter,
 //!   clock, virtual-file list, CRC-protected). A savepoint writes all table
-//!   images as virtual files, then flips the superblock, then truncates the
-//!   REDO log — crash-safe at every step: until the new superblock is
-//!   synced, recovery still sees the previous savepoint plus the old log.
-//! * `redo.log` — the REDO log since the last savepoint.
+//!   images as virtual files, then flips the superblock, then rotates the
+//!   REDO log to the new epoch — crash-safe at every step: until the new
+//!   superblock is synced, recovery still sees the previous savepoint plus
+//!   the old log; after the flip, a stale-epoch log is ignored rather than
+//!   replayed onto images that already contain its rows.
+//! * `redo.log` — the REDO log since the last savepoint, headered with the
+//!   epoch (savepoint version) its records apply on top of.
+//!
+//! Every physical operation flows through one shared [`FaultInjector`], and
+//! every failure is scored by a [`Health`] tracker: repeated consecutive
+//! I/O failures flip the instance into **read-only degraded mode** — writes
+//! and savepoints are rejected with a clear error while reads keep working —
+//! until [`Persistence::clear_degraded`] is called.
 
 use crate::codec::{crc32, Decoder, Encoder};
+use crate::fault::{FailureSite, FaultInjector, Health, HealthStats};
 use crate::group::{GroupCommit, LogStats};
 use crate::image::TableImage;
 use crate::log::{LogRecord, RedoLog};
@@ -18,7 +28,9 @@ use crate::page::{PageId, PageStore, DEFAULT_PAGE_SIZE};
 use crate::vfile::VirtualFile;
 use hana_common::{CommitConfig, HanaError, Result, Timestamp};
 use parking_lot::Mutex;
+use rustc_hash::FxHashSet;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Everything recovery reconstructs.
 pub struct RecoveredState {
@@ -29,7 +41,9 @@ pub struct RecoveredState {
     pub savepoint_version: u64,
     /// Per-table images from the savepoint.
     pub images: Vec<TableImage>,
-    /// Intact log records since that savepoint.
+    /// Intact log records since that savepoint. Empty when the log's epoch
+    /// doesn't match the manifest version (a stale log must not be replayed
+    /// onto images that already contain its rows).
     pub log_records: Vec<LogRecord>,
     /// Commit-pipeline configuration persisted by the savepoint (defaults
     /// when no savepoint existed).
@@ -43,11 +57,25 @@ struct Manifest {
     files: Vec<VirtualFile>,
 }
 
+/// Page bookkeeping snapshot: on a freshly opened store,
+/// `allocated == 2 + free + live` (the crash harness's no-leak invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageAccounting {
+    /// Pages ever allocated, including the two superblock slots.
+    pub allocated: u64,
+    /// Pages on the free list.
+    pub free: u64,
+    /// Pages referenced by the live savepoint's virtual files.
+    pub live: u64,
+}
+
 /// The durable side of a database instance.
 pub struct Persistence {
     pages: PageStore,
     log: RedoLog,
     group: GroupCommit,
+    health: Health,
+    injector: Arc<FaultInjector>,
     /// Version counter + the previous savepoint's virtual files (released
     /// after the next successful savepoint).
     state: Mutex<(u64, Vec<VirtualFile>)>,
@@ -62,18 +90,55 @@ impl Persistence {
     /// Open with an explicit page size ("visible page limits of configurable
     /// size").
     pub fn open_with_page_size(dir: &Path, page_size: usize) -> Result<Self> {
+        Self::open_with_injector(dir, page_size, FaultInjector::new())
+    }
+
+    /// Open with an explicit fault injector shared by every physical I/O
+    /// site of this instance (the crash-everywhere harness's entry point).
+    pub fn open_with_injector(
+        dir: &Path,
+        page_size: usize,
+        injector: Arc<FaultInjector>,
+    ) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let pages = PageStore::open(&dir.join("data.pages"), page_size)?;
-        let log = RedoLog::open(&dir.join("redo.log"))?;
+        let pages = PageStore::open_with_injector(
+            &dir.join("data.pages"),
+            page_size,
+            Arc::clone(&injector),
+        )?;
+        let log = RedoLog::open_with_injector(&dir.join("redo.log"), Arc::clone(&injector))?;
         let current = read_best_manifest(&pages);
         let state = match current {
             Some(m) => (m.version, m.files),
             None => (0, Vec::new()),
         };
+        // Reconcile the log epoch with the recovered manifest. A crash
+        // between the superblock flip and the log rotation leaves a
+        // stale-epoch log whose rows the images already contain; rotating
+        // here discards it before any new record could land behind them.
+        if log.epoch() != state.0 {
+            log.rotate(state.0)?;
+        }
+        // Reconstruct the free list: every allocated page the live manifest
+        // does not reference is reclaimable. This is what un-leaks pages a
+        // crashed savepoint had allocated for images it never published.
+        let mut live: FxHashSet<u64> = FxHashSet::default();
+        for f in &state.1 {
+            for p in &f.pages {
+                live.insert(p.0);
+            }
+        }
+        let free: Vec<PageId> = (2..pages.allocated_pages())
+            .filter(|p| !live.contains(p))
+            .map(PageId)
+            .collect();
+        pages.reset_free_list(free);
         Ok(Persistence {
             pages,
             log,
             group: GroupCommit::new(),
+            health: Health::default(),
+            injector,
             state: Mutex::new(state),
         })
     }
@@ -81,6 +146,62 @@ impl Persistence {
     /// The REDO log handle.
     pub fn log(&self) -> &RedoLog {
         &self.log
+    }
+
+    /// The fault injector shared by this instance's I/O sites.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// The health/degradation tracker.
+    pub fn health(&self) -> &Health {
+        &self.health
+    }
+
+    /// Snapshot of the health counters.
+    pub fn health_stats(&self) -> HealthStats {
+        self.health.stats()
+    }
+
+    /// Leave read-only degraded mode (operator action after the underlying
+    /// device recovered).
+    pub fn clear_degraded(&self) {
+        self.health.clear_degraded();
+    }
+
+    /// Buffer one data record (first-appearance insert/bulk-load/delete,
+    /// DDL, merge event). Rejected in degraded mode: accepting a write the
+    /// instance already knows it cannot make durable would be a lie.
+    pub fn append_record(&self, rec: &LogRecord) -> Result<()> {
+        if self.health.is_read_only() {
+            return Err(Health::read_only_error());
+        }
+        match self.log.append(rec) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if Health::counts_as_io_failure(&e) {
+                    self.health.record_failure(FailureSite::Log, &e);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Flush buffered data records to disk. DDL uses this: the record must
+    /// be durable before the new object becomes visible to other sessions.
+    pub fn flush_records(&self) -> Result<()> {
+        match self.log.flush() {
+            Ok(()) => {
+                self.health.record_success();
+                Ok(())
+            }
+            Err(e) => {
+                if Health::counts_as_io_failure(&e) {
+                    self.health.record_failure(FailureSite::Log, &e);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Sequence one commit/abort record through the group-commit pipeline
@@ -92,7 +213,23 @@ impl Persistence {
         cfg: &CommitConfig,
         seq: impl FnOnce() -> Result<(LogRecord, T)>,
     ) -> Result<T> {
-        self.group.submit(&self.log, cfg, seq)
+        if self.health.is_read_only() {
+            return Err(Health::read_only_error());
+        }
+        match self.group.submit(&self.log, cfg, seq) {
+            Ok(v) => {
+                self.health.record_success();
+                Ok(v)
+            }
+            Err(e) => {
+                // Semantic sequencing failures (write conflict, finished
+                // txn) say nothing about the device and don't count.
+                if Health::counts_as_io_failure(&e) {
+                    self.health.record_failure(FailureSite::Log, &e);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Counters of the group-commit pipeline.
@@ -105,28 +242,81 @@ impl Persistence {
         &self.pages
     }
 
-    /// Write a savepoint: persist `images`, flip the superblock, truncate
-    /// the log. The database-wide `commit_config` rides along in the
-    /// manifest (like the per-table merge/scan knobs ride in each table's
-    /// image). Returns the new savepoint version.
+    /// Page bookkeeping snapshot (see [`PageAccounting`]).
+    pub fn page_accounting(&self) -> PageAccounting {
+        let state = self.state.lock();
+        let live = state.1.iter().map(|f| f.pages.len() as u64).sum();
+        PageAccounting {
+            allocated: self.pages.allocated_pages(),
+            free: self.pages.free_pages(),
+            live,
+        }
+    }
+
+    /// Write a savepoint: persist `images`, flip the superblock, rotate the
+    /// log to the new epoch. The database-wide `commit_config` rides along
+    /// in the manifest (like the per-table merge/scan knobs ride in each
+    /// table's image). Returns the new savepoint version.
+    ///
+    /// Failure-atomic: on any error before the superblock flip, every page
+    /// written for the new images is released and the previous savepoint
+    /// stays the recovery target. Once the flip may have reached disk the
+    /// pages stay allocated (reclaimed by free-list reconstruction at the
+    /// next open) and the log is wedged until a retry rotates it — a record
+    /// appended to a stale-epoch log would be silently ignored by recovery.
     pub fn savepoint(
         &self,
         clock: Timestamp,
         commit_config: &CommitConfig,
         images: &[TableImage],
     ) -> Result<u64> {
+        if self.health.is_read_only() {
+            return Err(Health::read_only_error());
+        }
+        let r = self.savepoint_inner(clock, commit_config, images);
+        match &r {
+            Ok(_) => self.health.record_success(),
+            Err(e) if Health::counts_as_io_failure(e) => {
+                self.health.record_failure(FailureSite::Savepoint, e)
+            }
+            Err(_) => {}
+        }
+        r
+    }
+
+    fn savepoint_inner(
+        &self,
+        clock: Timestamp,
+        commit_config: &CommitConfig,
+        images: &[TableImage],
+    ) -> Result<u64> {
         let mut state = self.state.lock();
-        let (prev_version, prev_files) = (&state.0, state.1.clone());
-        let version = *prev_version + 1;
+        let version = state.0 + 1;
+        let release_all = |files: &[VirtualFile]| {
+            for f in files {
+                f.release(&self.pages);
+            }
+        };
 
         // 1. Write each table image as a virtual file.
         let mut files = Vec::with_capacity(images.len());
         for img in images {
             let mut e = Encoder::new();
             img.encode(&mut e);
-            files.push(VirtualFile::write(&self.pages, &e.into_bytes())?);
+            match VirtualFile::write(&self.pages, &e.into_bytes()) {
+                Ok(f) => files.push(f),
+                Err(e) => {
+                    // The failed file released its own pages; drop the
+                    // completed ones too.
+                    release_all(&files);
+                    return Err(e);
+                }
+            }
         }
-        self.pages.sync()?;
+        if let Err(e) = self.pages.sync() {
+            release_all(&files);
+            return Err(e);
+        }
 
         // 2. Flip the superblock (slot = version % 2).
         let mut m = Encoder::new();
@@ -141,16 +331,38 @@ impl Persistence {
         let mut framed = Encoder::new();
         framed.u32(crc32(&payload));
         framed.bytes(&payload);
-        self.pages
-            .write_page(PageId(version % 2), &framed.into_bytes())?;
-        self.pages.sync()?;
-
-        // 3. Truncate the log and release the previous savepoint's pages.
-        self.log.truncate()?;
-        for f in &prev_files {
-            f.release(&self.pages);
+        if let Err(e) = self
+            .pages
+            .write_page(PageId(version % 2), &framed.into_bytes())
+        {
+            // Nothing durable changed (a torn slot fails its CRC and falls
+            // back): the old savepoint still wins. Reclaim the new pages.
+            release_all(&files);
+            return Err(e);
         }
-        *state = (version, files);
+        if let Err(e) = self.pages.sync() {
+            // The flip is *indeterminate*: the superblock sits in the page
+            // cache and may reach disk despite the failed fsync. Keep both
+            // generations' pages allocated (reopen reconstructs the free
+            // list from whichever manifest survived) and wedge the log —
+            // its epoch may no longer match the manifest on disk.
+            self.log
+                .wedge("savepoint superblock sync failed; manifest state indeterminate");
+            return Err(e);
+        }
+
+        // 3. Rotate the log to the new epoch and release the previous
+        //    savepoint's pages.
+        if let Err(e) = self.log.rotate(version) {
+            // The new manifest IS durable but the log still carries the old
+            // epoch: recovery would ignore anything appended to it. Fail
+            // loudly until a retry (same version, same slot) rotates it.
+            self.log
+                .wedge("savepoint manifest flipped but log rotation failed");
+            return Err(e);
+        }
+        let prev_files = std::mem::replace(&mut *state, (version, files)).1;
+        release_all(&prev_files);
         Ok(version)
     }
 
@@ -178,7 +390,13 @@ impl Persistence {
         } else {
             (0, 0, CommitConfig::default(), Vec::new())
         };
-        let log_records = RedoLog::read_all(&dir.join("redo.log"))?;
+        let (epoch, records) = RedoLog::read_all_with_epoch(&dir.join("redo.log"))?;
+        // Replay only a log whose epoch matches the manifest it extends.
+        let log_records = if epoch == savepoint_version {
+            records
+        } else {
+            Vec::new()
+        };
         Ok(RecoveredState {
             clock,
             savepoint_version,
@@ -257,6 +475,7 @@ pub fn check_recovered(state: &RecoveredState) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultErrorKind, FaultPolicy, IoOp};
     use crate::image::{DeltaImage, RowImage};
     use hana_common::TableId;
     use hana_common::{ColumnDef, DataType, RowId, Schema, TableConfig, TxnId, Value};
@@ -307,8 +526,9 @@ mod tests {
             .savepoint(10, &CommitConfig::default(), &[image("t", 100)])
             .unwrap();
         assert_eq!(v, 1);
-        // Log truncated by the savepoint.
+        // Log rotated (emptied) by the savepoint, onto the new epoch.
         assert_eq!(p.log().len_bytes().unwrap(), 0);
+        assert_eq!(p.log().epoch(), 1);
         // Post-savepoint activity lands in the log.
         p.log()
             .append(&LogRecord::Delete {
@@ -388,6 +608,144 @@ mod tests {
         let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
         assert_eq!(rec.savepoint_version, 1);
         assert_eq!(rec.images[0].l1_rows.len(), 10);
+    }
+
+    #[test]
+    fn reopen_reclaims_orphaned_pages() {
+        // Pages a crashed savepoint allocated but never published must be
+        // reusable after reopen: allocated == 2 + free + live.
+        let dir = tempdir().unwrap();
+        let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
+        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
+            .unwrap();
+        let _orphan = VirtualFile::write(p.pages(), &vec![9u8; 2000]).unwrap();
+        drop(p);
+        let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
+        let acc = p.page_accounting();
+        assert_eq!(
+            acc.allocated,
+            2 + acc.free + acc.live,
+            "every non-superblock page is either live or free: {acc:?}"
+        );
+        assert!(acc.free > 0, "the orphaned pages are on the free list");
+    }
+
+    #[test]
+    fn failed_savepoint_releases_pages_and_keeps_old_manifest() {
+        let dir = tempdir().unwrap();
+        let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
+        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
+            .unwrap();
+        let before = p.page_accounting();
+        // Fail the 3rd image-page write of the next savepoint.
+        p.injector().arm(FaultPolicy::fail_nth(
+            IoOp::PageWrite,
+            2,
+            FaultErrorKind::Enospc,
+        ));
+        let err = p
+            .savepoint(8, &CommitConfig::default(), &[image("t", 50)])
+            .unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        let after = p.page_accounting();
+        assert_eq!(
+            after.allocated - 2 - after.live,
+            after.free,
+            "partial savepoint must not leak pages: {after:?}"
+        );
+        assert_eq!(after.live, before.live, "old savepoint still live");
+        // A healthy retry succeeds and recovery sees it.
+        let v = p
+            .savepoint(8, &CommitConfig::default(), &[image("t", 50)])
+            .unwrap();
+        assert_eq!(v, 2);
+        drop(p);
+        let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
+        assert_eq!(rec.savepoint_version, 2);
+        assert_eq!(rec.images[0].l1_rows.len(), 50);
+    }
+
+    #[test]
+    fn crash_between_flip_and_rotation_does_not_replay_stale_log() {
+        // The window the epoch header closes: manifest v1 is durable but the
+        // old log (epoch 0) still holds records whose rows v1's images
+        // already contain. Replaying them would duplicate the rows.
+        let dir = tempdir().unwrap();
+        let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
+        p.log()
+            .append(&LogRecord::Commit {
+                txn: TxnId(1),
+                ts: 9,
+            })
+            .unwrap();
+        p.log().flush().unwrap();
+        // Savepoint whose rotation "crashes".
+        p.injector().arm(FaultPolicy::fail_nth(
+            IoOp::LogRotate,
+            0,
+            FaultErrorKind::Eio,
+        ));
+        assert!(p
+            .savepoint(10, &CommitConfig::default(), &[image("t", 10)])
+            .is_err());
+        // The log is wedged: appending to the stale epoch would lose data.
+        assert!(p.log().is_wedged());
+        assert!(p
+            .append_record(&LogRecord::Abort { txn: TxnId(9) })
+            .is_err());
+        drop(p);
+        let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
+        assert_eq!(rec.savepoint_version, 1, "manifest v1 is durable");
+        assert!(
+            rec.log_records.is_empty(),
+            "stale epoch-0 records must not replay onto v1 images"
+        );
+        // Reopening reconciles: the log is rotated to the manifest's epoch.
+        let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
+        assert_eq!(p.log().epoch(), 1);
+        assert!(!p.log().is_wedged());
+    }
+
+    #[test]
+    fn repeated_io_failures_flip_read_only_degraded_mode() {
+        let dir = tempdir().unwrap();
+        let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
+        p.injector()
+            .arm(FaultPolicy::fail_nth(IoOp::PageWrite, 0, FaultErrorKind::Eio).persistent());
+        for i in 0..3 {
+            assert!(p
+                .savepoint(i, &CommitConfig::default(), &[image("t", 5)])
+                .is_err());
+        }
+        let hs = p.health_stats();
+        assert!(hs.read_only, "{hs:?}");
+        assert_eq!(hs.savepoint_failures, 3);
+        assert_eq!(hs.consecutive_failures, 3);
+        // Degraded: writes rejected even though the device is now healthy…
+        p.injector().disarm();
+        let err = p
+            .append_record(&LogRecord::Abort { txn: TxnId(1) })
+            .unwrap_err();
+        assert!(err.to_string().contains("read-only"), "{err}");
+        assert!(p
+            .commit_record(&CommitConfig::default(), || {
+                Ok((
+                    LogRecord::Commit {
+                        txn: TxnId(1),
+                        ts: 1,
+                    },
+                    (),
+                ))
+            })
+            .is_err());
+        assert!(p
+            .savepoint(9, &CommitConfig::default(), &[image("t", 5)])
+            .is_err());
+        // …until the operator clears it.
+        p.clear_degraded();
+        assert!(!p.health_stats().read_only);
+        p.savepoint(9, &CommitConfig::default(), &[image("t", 5)])
+            .unwrap();
     }
 
     #[test]

@@ -19,13 +19,21 @@ pub struct VirtualFile {
 }
 
 impl VirtualFile {
-    /// Write `blob` across freshly allocated pages.
+    /// Write `blob` across freshly allocated pages. All-or-nothing: if any
+    /// page write fails, every page allocated so far (including the one that
+    /// failed) is returned to the free list before the error propagates.
     pub fn write(store: &PageStore, blob: &[u8]) -> Result<VirtualFile> {
         let cap = store.payload_size();
         let mut pages = Vec::with_capacity(blob.len().div_ceil(cap));
         for chunk in blob.chunks(cap.max(1)) {
             let p = store.alloc();
-            store.write_page(p, chunk)?;
+            if let Err(e) = store.write_page(p, chunk) {
+                store.free(p);
+                for &q in &pages {
+                    store.free(q);
+                }
+                return Err(e);
+            }
             pages.push(p);
         }
         Ok(VirtualFile {
@@ -113,6 +121,33 @@ mod tests {
         let bytes = e.into_bytes();
         let got = VirtualFile::decode(&mut Decoder::new(&bytes)).unwrap();
         assert_eq!(got, vf);
+    }
+
+    #[test]
+    fn failed_write_releases_every_allocated_page() {
+        use crate::fault::{FaultErrorKind, FaultPolicy, IoOp};
+        let dir = tempdir().unwrap();
+        let store = PageStore::open(&dir.path().join("p"), 128).unwrap();
+        let blob = vec![5u8; 1000]; // spans several pages
+                                    // Fail the 4th page write of the blob.
+        store.injector().arm(FaultPolicy::fail_nth(
+            IoOp::PageWrite,
+            3,
+            FaultErrorKind::Enospc,
+        ));
+        let before = store.allocated_pages();
+        assert!(VirtualFile::write(&store, &blob).is_err());
+        // Everything allocated during the failed write is free again.
+        assert_eq!(
+            store.allocated_pages() - before,
+            store.free_pages(),
+            "mid-blob failure must not leak pages"
+        );
+        assert_eq!(store.double_frees(), 0);
+        // The store remains fully usable.
+        store.injector().disarm();
+        let vf = VirtualFile::write(&store, &blob).unwrap();
+        assert_eq!(vf.read(&store).unwrap(), blob);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use hana_common::{ColumnDef, CommitConfig, DataType, Schema, TableConfig, TxnId, Value};
 use hana_core::Database;
-use hana_persist::{LogRecord, RedoLog};
+use hana_persist::{FaultErrorKind, FaultPolicy, IoOp, LogRecord, RedoLog};
 use hana_txn::IsolationLevel;
 use rand::{Rng, SeedableRng};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -179,6 +179,78 @@ fn concurrent_commits_share_fsyncs() {
         "no batching engaged: {stats:?}"
     );
     assert!(stats.avg_batch_len > 1.0, "{stats:?}");
+}
+
+/// The fsync-failure contract of the pipeline: when the batch leader's
+/// flush fails, EVERY committer sequenced into that batch gets the error —
+/// followers must not hang on a durability notification that will never
+/// come — and once the device recovers, commits succeed again.
+#[test]
+fn injected_fsync_failure_fails_every_waiter_and_none_hang() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = Database::open(dir.path()).unwrap();
+    // A wide gather window forces real leader/follower batching.
+    db.set_commit_config(CommitConfig::default().with_max_wait_us(5_000));
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+
+    // Every LogSync fails until the injector is disarmed; commits observe
+    // the failure (directly or via the degraded-mode gate that repeated
+    // failures arm) instead of hanging.
+    let injector = Arc::clone(db.injector().unwrap());
+    injector.arm(FaultPolicy::fail_nth(IoOp::LogSync, 0, FaultErrorKind::Eio).persistent());
+
+    let threads = 8;
+    let errors = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let (db, t, errors) = (Arc::clone(&db), Arc::clone(&t), &errors);
+            s.spawn(move || {
+                let mut txn = db.begin(IsolationLevel::Transaction);
+                // The insert itself may already be rejected once the
+                // instance degrades to read-only; that counts as a clean
+                // failure, not a hang.
+                let res = t
+                    .insert(&txn, vec![Value::Int(w as i64), Value::str("x")])
+                    .and_then(|_| db.commit(&mut txn).map(|_| ()));
+                if res.is_err() {
+                    errors.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        errors.load(std::sync::atomic::Ordering::SeqCst),
+        threads,
+        "every committer must observe the fsync failure"
+    );
+    let health = db.health_stats().unwrap();
+    assert!(health.io_failures > 0, "{health:?}");
+
+    // Device recovered: disarm, leave degraded mode, commit cleanly.
+    injector.disarm();
+    db.clear_degraded();
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    t.insert(&txn, vec![Value::Int(1000), Value::str("after")])
+        .unwrap();
+    db.commit(&mut txn).unwrap();
+    drop(db);
+
+    // The post-recovery transaction is durable. The failed commits are
+    // in-doubt: their records sat in the retained buffer and may have
+    // ridden the later successful flush to disk (commit acknowledged as
+    // failed, yet durable — the classic lost-ack window). Either way each
+    // transaction must be atomic: exactly one row or none, never garbage.
+    let db = Database::open(dir.path()).unwrap();
+    let t = db.table("t").unwrap();
+    let r = db.begin(IsolationLevel::Transaction);
+    let read = t.read(&r);
+    assert_eq!(read.point(0, &Value::Int(1000)).unwrap().len(), 1);
+    for w in 0..threads {
+        assert!(
+            read.point(0, &Value::Int(w as i64)).unwrap().len() <= 1,
+            "in-doubt commit {w} must be atomic"
+        );
+    }
 }
 
 /// The commit configuration rides the savepoint manifest across restarts;

@@ -3,8 +3,10 @@
 
 use hana_common::{ColumnDef, ColumnId, DataType, Schema, TableConfig, Value};
 use hana_core::Database;
+use hana_persist::{FaultErrorKind, FaultPolicy, IoOp};
 use hana_txn::IsolationLevel;
 use std::io::Write;
+use std::sync::Arc;
 
 fn schema() -> Schema {
     Schema::new(
@@ -181,6 +183,54 @@ fn corrupt_page_store_superblock_falls_back_or_fails_loud() {
         n == 20 || n == 25,
         "fell back to a consistent state, got {n}"
     );
+}
+
+/// Degraded-mode operation end to end: a persistently failing device flips
+/// the database read-only after the consecutive-failure threshold; reads
+/// keep working, writes and savepoints are rejected with a clear error;
+/// clearing the degradation restores full service and nothing was lost.
+#[test]
+fn persistent_device_failure_degrades_to_read_only_and_recovers() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = Database::open(dir.path()).unwrap();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    insert(&db, &t, 0, 10);
+
+    // Savepoints now hit a dead device: every page write fails.
+    let injector = Arc::clone(db.injector().unwrap());
+    injector.arm(FaultPolicy::fail_nth(IoOp::PageWrite, 0, FaultErrorKind::Eio).persistent());
+    let threshold = db.health_stats().unwrap().degraded_threshold;
+    for i in 0..threshold {
+        assert!(db.savepoint().is_err(), "attempt {i} must fail");
+    }
+
+    let health = db.health_stats().unwrap();
+    assert!(health.read_only, "threshold reached: {health:?}");
+    assert_eq!(health.savepoint_failures, threshold);
+    assert!(health.last_error.as_deref().unwrap().contains("EIO"));
+
+    // Writes are rejected up front (even though inserts only touch the
+    // log, which still works — a database that cannot savepoint must not
+    // keep promising durability)…
+    let txn = db.begin(IsolationLevel::Transaction);
+    let err = t
+        .insert(&txn, vec![Value::Int(100), Value::str("x")])
+        .unwrap_err();
+    assert!(err.to_string().contains("read-only"), "{err}");
+    assert!(db.savepoint().is_err());
+    // …while reads keep serving.
+    assert_eq!(count(&db), 10);
+
+    // Operator replaces the device and clears the degradation.
+    injector.disarm();
+    db.clear_degraded();
+    assert!(!db.health_stats().unwrap().read_only);
+    insert(&db, &t, 10, 15);
+    db.savepoint().unwrap();
+    drop(db);
+
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(count(&db), 15, "no committed data lost across degradation");
 }
 
 #[test]

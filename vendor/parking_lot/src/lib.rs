@@ -48,6 +48,74 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Runs `f` on the guard behind `&mut`, replacing it in place — the dance
+/// needed to express parking_lot's `wait(&mut guard)` over `std`'s
+/// by-value `Condvar::wait`. Aborts if `f` panics: at that point the old
+/// guard has been moved out and unwinding would double-drop it.
+fn replace_with<'a, T>(
+    guard: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    unsafe {
+        let old = std::ptr::read(guard);
+        let new = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(old)))
+            .unwrap_or_else(|_| std::process::abort());
+        std::ptr::write(guard, new);
+    }
+}
+
+/// Result of a timed wait: whether the timeout elapsed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with parking_lot's in-place-guard API (`wait` takes
+/// `&mut MutexGuard` instead of consuming it).
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_with(guard, |g| {
+            self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed = false;
+        replace_with(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed)
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// A readers-writer lock that never poisons, mirroring
 /// `parking_lot::RwLock`'s guard-returning API.
 #[derive(Debug, Default)]
@@ -107,6 +175,38 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut started = m.lock();
+            while !*started {
+                cv.wait(&mut started);
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
     }
 
     #[test]
