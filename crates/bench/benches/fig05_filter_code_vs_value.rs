@@ -4,9 +4,12 @@
 //! evaluating it inside the encoded code vectors (with zone-map pruning at
 //! the part and 16Ki-chunk level) beats decompressing every row and
 //! filtering on values — dramatically so at low selectivity, where whole
-//! chunks are skipped without touching a single code.
+//! chunks are skipped without touching a single code. The second group
+//! isolates the scan kernel itself: the scalar per-row reference loop vs
+//! the word-parallel (SWAR / `std::arch`) filter on raw bit-packed codes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hana_column::{BitPackedVec, Bitmap, CodeFilter, CodeMatcher};
 use hana_common::{TableConfig, Value};
 use hana_core::{ColumnPredicate, Database, UnifiedTable};
 use hana_merge::MergeDecision;
@@ -79,5 +82,40 @@ fn bench_code_vs_value(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_code_vs_value);
+fn bench_scan_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_scan_kernel_scalar_vs_word_parallel");
+    g.sample_size(20);
+    let n = 1_000_000usize;
+    for bits in [8u8, 13, 16, 32] {
+        let max = if bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
+        let codes: Vec<u32> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32 & max)
+            .collect();
+        let v = BitPackedVec::from_codes_with_bits(&codes, bits);
+        let quarter = (max as u64 / 4) as u32;
+        let m = CodeMatcher::new(CodeFilter::range(quarter..quarter.saturating_mul(2)), max);
+        let id = format!("{bits}bit");
+        g.bench_function(BenchmarkId::new("scalar", &id), |b| {
+            b.iter(|| {
+                let mut hits = Bitmap::zeros(n);
+                v.filter_range_scalar(0, n, &m, &mut hits);
+                std::hint::black_box(hits.count_ones());
+            })
+        });
+        g.bench_function(BenchmarkId::new("word_parallel", &id), |b| {
+            b.iter(|| {
+                let mut hits = Bitmap::zeros(n);
+                v.filter_range(0, n, &m, &mut hits);
+                std::hint::black_box(hits.count_ones());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_code_vs_value, bench_scan_kernels);
 criterion_main!(benches);

@@ -143,7 +143,88 @@ fn fig04() -> hana_common::Result<()> {
     );
 
     fig04_parallel()?;
+    fig04_kernels();
     Ok(())
+}
+
+/// F4c: the scan kernel itself — scalar per-row reference vs the
+/// word-parallel (SWAR / `std::arch`) filter over bit-packed codes, per
+/// code width and predicate shape. This is the ≥2x acceptance metric for
+/// the word-parallel kernels; both paths produce bit-identical hit bitmaps
+/// (asserted here and property-tested in `tests/prop_kernels.rs`).
+fn fig04_kernels() {
+    use hana_column::{BitPackedVec, Bitmap, CodeFilter, CodeMatcher};
+    let n = scale(2_000_000) as usize;
+    // Keep total decoded work roughly constant so quick mode still times
+    // something measurable.
+    let iters = (8_000_000 / n).max(1);
+    println!("\n## F4c — scan kernels: scalar vs word-parallel ({n} rows × {iters} iters)\n");
+    let mut rows = Vec::new();
+    for bits in [8u8, 13, 16, 32] {
+        let max = if bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
+        let codes: Vec<u32> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32 & max)
+            .collect();
+        let v = BitPackedVec::from_codes_with_bits(&codes, bits);
+        let null = max; // in-domain sentinel, exercised like a real column
+        let quarter = (max as u64 / 4) as u32;
+        for (pred, m) in [
+            ("eq", CodeMatcher::new(CodeFilter::eq(quarter), null)),
+            (
+                "range 25%",
+                CodeMatcher::new(CodeFilter::range(quarter..quarter.saturating_mul(2)), null),
+            ),
+        ] {
+            // Best of three so a background hiccup doesn't skew a ratio.
+            let run = |scalar: bool| {
+                let mut best = f64::INFINITY;
+                let mut ones = 0usize;
+                for _ in 0..3 {
+                    let (t, o) = time(|| {
+                        let mut o = 0usize;
+                        for _ in 0..iters {
+                            let mut hits = Bitmap::zeros(n);
+                            if scalar {
+                                v.filter_range_scalar(0, n, &m, &mut hits);
+                            } else {
+                                v.filter_range(0, n, &m, &mut hits);
+                            }
+                            o += hits.count_ones();
+                        }
+                        o
+                    });
+                    best = best.min(t.as_secs_f64() * 1e3 / iters as f64);
+                    ones = o;
+                }
+                (best, ones)
+            };
+            let (t_scalar, ones_scalar) = run(true);
+            let (t_word, ones_word) = run(false);
+            assert_eq!(ones_scalar, ones_word, "kernel mismatch at {bits} bits");
+            rows.push(vec![
+                bits.to_string(),
+                pred.into(),
+                format!("{t_scalar:.3}"),
+                format!("{t_word:.3}"),
+                format!("{:.2}x", t_scalar / t_word),
+            ]);
+        }
+    }
+    report::emit(
+        "F4c scan kernels",
+        &[
+            "code bits",
+            "predicate",
+            "scalar (ms)",
+            "word-parallel (ms)",
+            "speedup",
+        ],
+        &rows,
+    );
 }
 
 /// F4b: the same main-resident column scan, serial vs the chunk-parallel

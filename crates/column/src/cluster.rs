@@ -145,10 +145,12 @@ impl Cluster {
 
     /// Compressed-domain filter kernel over positions `[start, end)`:
     /// single-valued blocks are evaluated **once** and set wholesale, packed
-    /// blocks per element. Bit `k` of `out` is position `start + k`.
+    /// blocks run through the word-parallel
+    /// [`BitPackedVec::filter_range_at`] kernel at the block's bitmap
+    /// offset. Bit `k` of `out` is position `start + k`.
     pub fn filter_range(&self, start: usize, end: usize, m: &CodeMatcher, out: &mut Bitmap) {
         debug_assert!(end <= self.len);
-        if start >= end {
+        if start >= end || m.never_matches() {
             return;
         }
         for bi in start / self.block_size..=(end - 1) / self.block_size {
@@ -162,11 +164,7 @@ impl Cluster {
                     }
                 }
                 Block::Packed(v) => {
-                    for i in lo..hi {
-                        if m.matches(v.get(i - block_start)) {
-                            out.set(i - start);
-                        }
-                    }
+                    v.filter_range_at(lo - block_start, hi - block_start, m, out, lo - start);
                 }
             }
         }

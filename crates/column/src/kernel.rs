@@ -164,6 +164,55 @@ impl CodeMatcher {
     pub fn never_matches(&self) -> bool {
         self.filter.is_empty() && !self.match_null
     }
+
+    /// Lower this matcher to the word-parallel kernels' broadcast-compare
+    /// form, if it is a single-interval shape (`Eq`/`Between`/`IsNull`):
+    /// one half-open code interval plus the NULL sentinel rule. Multi-range
+    /// and set filters return `None` and take the per-code block path.
+    pub fn block_plan(&self) -> Option<BlockPlan> {
+        let (lo, hi) = match &self.filter {
+            CodeFilter::Empty => (0, 0),
+            CodeFilter::Range(r) => (r.start as u64, r.end as u64),
+            CodeFilter::Ranges(_) | CodeFilter::Set(_) => return None,
+        };
+        Some(BlockPlan {
+            lo,
+            hi,
+            null: self.null_code as u64,
+            add_null: self.match_null,
+        })
+    }
+}
+
+/// A [`CodeMatcher`] lowered for the block kernels: codes in `[lo, hi)`
+/// match unless equal to `null`; `null` itself matches iff `add_null`.
+///
+/// Bounds are `u64` so "no lower bound" (`lo == 0`), "no upper bound"
+/// (`hi > Code::MAX`) and "no reachable NULL" (`null > Code::MAX`) all stay
+/// representable without branches in the kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockPlan {
+    /// Inclusive lower code bound.
+    pub lo: u64,
+    /// Exclusive upper code bound.
+    pub hi: u64,
+    /// The NULL sentinel (`> Code::MAX` when unreachable).
+    pub null: u64,
+    /// Whether the NULL sentinel itself matches (`IS NULL`).
+    pub add_null: bool,
+}
+
+impl BlockPlan {
+    /// Scalar evaluation of the plan — the reference the word-parallel
+    /// paths must agree with.
+    #[inline]
+    pub fn matches(&self, code: u64) -> bool {
+        if code == self.null {
+            self.add_null
+        } else {
+            self.lo <= code && code < self.hi
+        }
+    }
 }
 
 /// Intersect `bitmap` (bits are positions `start..start+bitmap.len()` of the
@@ -175,13 +224,7 @@ pub fn refine_bitmap(
     matcher: &CodeMatcher,
     bitmap: &mut Bitmap,
 ) {
-    let survivors: Vec<usize> = bitmap
-        .iter_ones()
-        .filter(|&k| !matcher.matches(get(start + k)))
-        .collect();
-    for k in survivors {
-        bitmap.clear(k);
-    }
+    bitmap.retain_ones(|k| matcher.matches(get(start + k)));
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ pub use bitpack::BitPackedVec;
 pub use cluster::Cluster;
 pub use encoding::{CodeVector, Encoding};
 pub use invidx::{GrowableInvertedIndex, InvertedIndex};
-pub use kernel::{CodeFilter, CodeMatcher};
+pub use kernel::{BlockPlan, CodeFilter, CodeMatcher};
 pub use rle::Rle;
 pub use sparse::Sparse;
 pub use stats::CodeStats;

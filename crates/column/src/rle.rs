@@ -105,22 +105,28 @@ impl Rle {
     /// position `start + k`.
     pub fn filter_range(&self, start: usize, end: usize, m: &CodeMatcher, out: &mut Bitmap) {
         debug_assert!(end <= self.len);
+        if start >= end || m.never_matches() {
+            return;
+        }
         // First run overlapping `start`: runs are sorted by exclusive end.
-        let mut k = self.runs.partition_point(|&(_, e)| e as usize <= start);
+        let k = self.runs.partition_point(|&(_, e)| e as usize <= start);
         let mut run_start = if k == 0 {
             0
         } else {
             self.runs[k - 1].1 as usize
         };
-        while k < self.runs.len() && run_start < end {
-            let (c, run_end) = self.runs[k];
+        // Slice iteration from `k`: no per-run index bounds check, and the
+        // only per-run branch left is the matcher verdict itself.
+        for &(c, run_end) in &self.runs[k..] {
+            if run_start >= end {
+                break;
+            }
             if m.matches(c) {
                 let lo = run_start.max(start);
                 let hi = (run_end as usize).min(end);
                 out.set_range(lo - start, hi - start);
             }
             run_start = run_end as usize;
-            k += 1;
         }
     }
 

@@ -492,15 +492,16 @@ impl TableRead {
                         &mut hits,
                     );
                 }
-                let mut rows = Vec::new();
+                // Visibility-AND: fold the snapshot bitmap into the hit
+                // bitmap word-wise instead of branching per hit.
+                vis[ch.part].mask_hits(&mut hits, ch.start);
+                let mut rows = Vec::with_capacity(hits.count_ones());
                 for k in hits.iter_ones() {
                     let pos = ch.start + k as Pos;
-                    if vis[ch.part].is_visible(pos) {
-                        rows.push(VisibleRow {
-                            row_id: part.row_id(pos),
-                            values: self.main_row(PartHit { part: ch.part, pos }, proj, false),
-                        });
-                    }
+                    rows.push(VisibleRow {
+                        row_id: part.row_id(pos),
+                        values: self.main_row(PartHit { part: ch.part, pos }, proj, false),
+                    });
                 }
                 rows
             });

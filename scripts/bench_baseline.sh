@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the quick repro harness and gate its headline metrics against the
+# committed bench/baseline.json.
+#
+#   scripts/bench_baseline.sh                        # check (exit 1 on regression)
+#   REPRO_UPDATE_BASELINE=1 scripts/bench_baseline.sh  # refresh the baseline
+#
+# Tunables: BENCH_GATE_THRESHOLD (default 1.5), REPRO_JSON (report path).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+json="${REPRO_JSON:-target/repro.json}"
+REPRO_QUICK=1 REPRO_JSON="$json" cargo run --release -p hana-bench --bin repro
+cargo run --release -p hana-bench --bin bench_gate -- "$json" bench/baseline.json

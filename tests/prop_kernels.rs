@@ -1,0 +1,229 @@
+//! Property tests pinning the word-parallel scan kernels to the scalar
+//! reference.
+//!
+//! The SWAR / `std::arch` paths in `hana_column::bitpack` are only allowed
+//! to be *faster* than the per-row loop, never different: every property
+//! here generates random widths (1..=32 bits, covering the packed-SWAR
+//! divisor widths and the straddling unpack widths), random code data with
+//! an in-domain NULL sentinel, random predicate shapes (Eq / Range / In /
+//! IsNull / multi-range), and non-word-aligned windows, then demands
+//! bit-identical hit bitmaps. The bitmap word-wise combinators used by the
+//! visibility-AND step are pinned to per-bit references the same way.
+
+use hana_column::{bits_for, BitPackedVec, Bitmap, Cluster, CodeFilter, CodeMatcher};
+use proptest::prelude::*;
+
+/// Mask raw u32s down to a `bits`-wide code domain.
+fn codes_for_width(raw: &[u32], bits: u8) -> Vec<u32> {
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
+    raw.iter().map(|&r| r & mask).collect()
+}
+
+fn lane_max(bits: u8) -> u32 {
+    if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+/// Build a matcher of the given shape from three random seeds, keeping all
+/// codes inside the width's domain.
+fn matcher_for(shape: u8, a: u32, b: u32, null: u32, bits: u8) -> CodeMatcher {
+    let max = lane_max(bits);
+    let (a, b) = (a & max, b & max);
+    let (lo, hi) = (a.min(b), a.max(b));
+    let filter = match shape % 5 {
+        0 => CodeFilter::eq(lo),
+        1 => CodeFilter::range(lo..hi.max(lo) + 1),
+        2 => CodeFilter::set(vec![lo, hi, (lo ^ hi) & max]),
+        3 => return CodeMatcher::is_null(null),
+        _ => CodeFilter::ranges(vec![0..lo.max(1), hi..max.max(hi)]),
+    };
+    CodeMatcher::new(filter, null)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Word-parallel `filter_range` ≡ scalar reference, across widths,
+    /// predicate shapes, null sentinels and unaligned windows.
+    #[test]
+    fn packed_filter_kernels_match_scalar(
+        bits in 1u8..33,
+        raw in prop::collection::vec(any::<u32>(), 1..700),
+        a in any::<u32>(),
+        b in any::<u32>(),
+        null_seed in any::<u32>(),
+        shape in 0u8..5,
+        win in (any::<u32>(), any::<u32>()),
+    ) {
+        let codes = codes_for_width(&raw, bits);
+        let v = BitPackedVec::from_codes_with_bits(&codes, bits);
+        let null = null_seed & lane_max(bits);
+        let m = matcher_for(shape, a, b, null, bits);
+        let n = codes.len();
+        let start = win.0 as usize % (n + 1);
+        let end = start + win.1 as usize % (n - start + 1);
+
+        let mut want = Bitmap::zeros(end - start);
+        v.filter_range_scalar(start, end, &m, &mut want);
+        let mut got = Bitmap::zeros(end - start);
+        v.filter_range(start, end, &m, &mut got);
+
+        prop_assert_eq!(got.count_ones(), want.count_ones());
+        for k in 0..end - start {
+            prop_assert_eq!(got.get(k), want.get(k), "bit {} of [{},{}) bits={}", k, start, end, bits);
+        }
+    }
+
+    /// Streaming `unpack_block` ≡ per-row `get` on arbitrary windows.
+    #[test]
+    fn unpack_block_matches_get(
+        bits in 1u8..33,
+        raw in prop::collection::vec(any::<u32>(), 1..600),
+        win in (any::<u32>(), any::<u32>()),
+    ) {
+        let codes = codes_for_width(&raw, bits);
+        let v = BitPackedVec::from_codes_with_bits(&codes, bits);
+        let n = codes.len();
+        let start = win.0 as usize % (n + 1);
+        let len = win.1 as usize % (n - start + 1);
+        let mut out = vec![0u32; len];
+        v.unpack_block(start, &mut out);
+        for (k, &c) in out.iter().enumerate() {
+            prop_assert_eq!(c, v.get(start + k), "row {} of [{};{}) bits={}", k, start, len, bits);
+        }
+    }
+
+    /// Bulk packing (`extend_from_codes`) ≡ per-row `push`.
+    #[test]
+    fn bulk_pack_matches_push(
+        bits in 1u8..33,
+        raw in prop::collection::vec(any::<u32>(), 0..400),
+        split_seed in any::<u32>(),
+    ) {
+        let codes = codes_for_width(&raw, bits);
+        let split = split_seed as usize % (codes.len() + 1);
+        let mut bulk = BitPackedVec::new(bits);
+        for &c in &codes[..split] {
+            bulk.push(c);
+        }
+        bulk.extend_from_codes(&codes[split..]);
+        prop_assert_eq!(bulk.len(), codes.len());
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(bulk.get(i), c, "row {}", i);
+        }
+    }
+
+    /// Cluster blocks route through the same kernels: cluster `filter_range`
+    /// ≡ the bit-packed scalar reference on identical data.
+    #[test]
+    fn cluster_filter_matches_scalar(
+        bits in 1u8..17,
+        raw in prop::collection::vec(any::<u32>(), 1..600),
+        a in any::<u32>(),
+        b in any::<u32>(),
+        null_seed in any::<u32>(),
+        shape in 0u8..5,
+        block_size in 2usize..100,
+    ) {
+        // Local clustering so some blocks collapse to single-valued.
+        let codes: Vec<u32> = codes_for_width(&raw, bits)
+            .chunks(7)
+            .flat_map(|ch| std::iter::repeat_n(ch[0], ch.len()))
+            .collect();
+        let packed = BitPackedVec::from_codes_with_bits(&codes, bits);
+        let cluster = Cluster::from_codes(&codes, block_size);
+        let null = null_seed & lane_max(bits);
+        let m = matcher_for(shape, a, b, null, bits);
+        let n = codes.len();
+
+        let mut want = Bitmap::zeros(n);
+        packed.filter_range_scalar(0, n, &m, &mut want);
+        let mut got = Bitmap::zeros(n);
+        cluster.filter_range(0, n, &m, &mut got);
+        prop_assert_eq!(got.count_ones(), want.count_ones());
+        for k in 0..n {
+            prop_assert_eq!(got.get(k), want.get(k), "bit {}", k);
+        }
+    }
+
+    /// Word-wise bitmap AND (with window offset) ≡ per-bit reference, and
+    /// the cached popcount stays exact.
+    #[test]
+    fn bitmap_and_offset_matches_per_bit(
+        hit_bits in prop::collection::vec(any::<bool>(), 1..300),
+        vis_bits in prop::collection::vec(any::<bool>(), 1..500),
+        offset in 0usize..520,
+    ) {
+        let mut hits = Bitmap::new();
+        for &b in &hit_bits {
+            hits.push(b);
+        }
+        let mut vis = Bitmap::new();
+        for &b in &vis_bits {
+            vis.push(b);
+        }
+        let mut want = hits.clone();
+        for k in 0..hit_bits.len() {
+            if !vis.get(offset + k) {
+                want.clear(k);
+            }
+        }
+        hits.and_offset(&vis, offset);
+        prop_assert_eq!(hits.count_ones(), want.count_ones());
+        let popcount = (0..hit_bits.len()).filter(|&k| hits.get(k)).count();
+        prop_assert_eq!(hits.count_ones(), popcount, "cached ones != popcount");
+        for k in 0..hit_bits.len() {
+            prop_assert_eq!(hits.get(k), want.get(k), "bit {} offset {}", k, offset);
+        }
+    }
+
+    /// `or_word` emission ≡ per-bit sets, including double-set overlap.
+    #[test]
+    fn bitmap_or_word_matches_per_bit(
+        pre in prop::collection::vec(any::<bool>(), 1..200),
+        word in any::<u64>(),
+        start in 0usize..150,
+        nbits in 1usize..65,
+    ) {
+        let mut a = Bitmap::new();
+        for &b in &pre {
+            a.push(b);
+        }
+        let mut want = a.clone();
+        for k in 0..nbits {
+            if word >> k & 1 == 1 {
+                want.set(start + k);
+            }
+        }
+        a.or_word(start, word, nbits);
+        prop_assert_eq!(a.count_ones(), want.count_ones());
+        for k in 0..start + nbits + 4 {
+            prop_assert_eq!(a.get(k), want.get(k), "bit {}", k);
+        }
+    }
+
+    /// `from_codes` width choice stays minimal and lossless under repack.
+    #[test]
+    fn repack_after_widening_is_lossless(
+        raw in prop::collection::vec(any::<u32>(), 1..300),
+        extra in 1u32..1000,
+    ) {
+        let codes = codes_for_width(&raw, 10);
+        let v = BitPackedVec::from_codes(&codes);
+        let top = codes.iter().copied().max().unwrap_or(0);
+        // Shift every code up by `extra` — forces a wider repack.
+        let map: Vec<u32> = (0..=top).map(|c| c + extra).collect();
+        let w = v.repack(&map, bits_for(top + extra));
+        prop_assert_eq!(w.len(), v.len());
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(w.get(i), c + extra, "row {}", i);
+        }
+    }
+}

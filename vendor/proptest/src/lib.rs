@@ -19,15 +19,28 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
+    /// Like upstream proptest, the `PROPTEST_CASES` environment variable
+    /// raises the case count: explicit `with_cases` values act as a floor,
+    /// so a nightly `PROPTEST_CASES=4096` deepens every suite without
+    /// touching per-test configs (it never *lowers* an explicit count).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: cases.max(env_cases().unwrap_or(0)),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
+}
+
+/// `PROPTEST_CASES` from the environment, if set and parseable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
 }
 
 /// Deterministic xoshiro256++ generator used for case generation.
