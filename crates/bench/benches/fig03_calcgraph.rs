@@ -26,7 +26,7 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
     };
     if shared {
         let s = g.add(CalcNode::TableSource {
-            table: Arc::clone(table),
+            table: Arc::clone(table).into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -40,7 +40,7 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
     } else {
         // The same logical plan with the subtree duplicated.
         let s1 = g.add(CalcNode::TableSource {
-            table: Arc::clone(table),
+            table: Arc::clone(table).into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -49,7 +49,7 @@ fn diamond(table: &Arc<hana_core::UnifiedTable>, shared: bool) -> CalcGraph {
             pred: pred.clone(),
         });
         let s2 = g.add(CalcNode::TableSource {
-            table: Arc::clone(table),
+            table: Arc::clone(table).into(),
             fused_filter: Predicate::True,
             projection: None,
         });

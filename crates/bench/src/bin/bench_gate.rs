@@ -123,6 +123,30 @@ const METRICS: &[MetricSpec] = &[
         better: Better::Higher,
         slack: 1.5,
     },
+    MetricSpec {
+        id: "f11p_write_scaling_8w8p",
+        section: "F11p partition write scaling",
+        row: &[("writers", "8"), ("partitions", "8")],
+        col: "vs 1 part",
+        better: Better::Higher,
+        slack: 2.0,
+    },
+    MetricSpec {
+        id: "f11p_commits_per_s_8w8p",
+        section: "F11p partition write scaling",
+        row: &[("writers", "8"), ("partitions", "8")],
+        col: "commits/s",
+        better: Better::Higher,
+        slack: 2.0,
+    },
+    MetricSpec {
+        id: "f11p_scan_speedup_8p",
+        section: "F11p partition scan",
+        row: &[("partitions", "8")],
+        col: "speedup",
+        better: Better::Higher,
+        slack: 2.0,
+    },
 ];
 
 fn main() -> ExitCode {

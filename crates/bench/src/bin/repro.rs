@@ -72,6 +72,9 @@ fn main() -> hana_common::Result<()> {
     if run("fig11") {
         fig11()?;
     }
+    if run("fig11p") {
+        fig11p()?;
+    }
     if run("myth") {
         myth()?;
     }
@@ -830,6 +833,138 @@ fn fig11() -> hana_common::Result<()> {
             "bytes/row",
         ],
         &rows,
+    );
+    Ok(())
+}
+
+/// F11p: hash partitioning — the sharded write path and partition scans.
+///
+/// OLTP throughput at 1/2/4/8 hash-routed writers against the same logical
+/// table held as 1 vs 8 partitions. The logical delta budget is divided
+/// across the shards (`l1_max_rows / N`), so the O(L1) uniqueness probe on
+/// every insert/update walks 1/Nth of the delta; on a multi-core box the
+/// shards additionally merge and scan in parallel. The second table times a
+/// partition-parallel filtered scan of the settled main stores.
+fn fig11p() -> hana_common::Result<()> {
+    use hana_common::PartitionConfig;
+    use hana_core::ColumnPredicate;
+    use hana_workload::oltp::PartitionedOltp;
+    use std::ops::Bound;
+
+    let per_thread = (scale(8_000) / 8).max(100) as usize;
+    println!(
+        "\n## F11p — partition scaling ({per_thread} ops/thread, insert-heavy mix, best of 3)\n"
+    );
+    let mut rows = Vec::new();
+    let mut base = 1.0f64; // 1-partition commits/s at the current writer count
+    for &threads in &[1usize, 2, 4, 8] {
+        for &parts in &[1usize, 8] {
+            let mut best = 0.0f64;
+            for round in 0..3u64 {
+                let db = Database::in_memory();
+                // One logical delta budget; `create_partitioned_table`
+                // divides it across the shards.
+                let tcfg = TableConfig {
+                    l1_max_rows: 8_192,
+                    l2_max_rows: 1_000_000,
+                    ..TableConfig::default()
+                };
+                let table = db.create_partitioned_table(
+                    SalesSchema::fact(),
+                    tcfg,
+                    PartitionConfig::new(parts, fact_cols::ORDER_ID),
+                )?;
+                db.start_merge_daemon(Duration::from_millis(1));
+                let engine = PartitionedOltp {
+                    db: Arc::clone(&db),
+                    table,
+                };
+                // Insert-heavy, conflict-free mix (as F10b): measures the
+                // sharded write path, not hot-key contention.
+                let driver = OltpDriver::new(0, CUSTOMERS, PRODUCTS, 0.9).with_mix((85, 0, 15, 0));
+                let (t, rep) = time(|| {
+                    driver.run_concurrent_partitioned(&engine, threads, per_thread, 99 + round)
+                });
+                let rep = rep?;
+                db.stop_merge_daemon();
+                best = best.max(rep.total.committed as f64 / t.as_secs_f64());
+            }
+            if parts == 1 {
+                base = best;
+            }
+            rows.push(vec![
+                format!("{threads}"),
+                format!("{parts}"),
+                format!("{best:.0}"),
+                format!("{:.2}", best / base),
+            ]);
+        }
+    }
+    report::emit(
+        "F11p partition write scaling",
+        &["writers", "partitions", "commits/s", "vs 1 part"],
+        &rows,
+    );
+
+    // Partition-parallel analytical scan over settled main stores.
+    let n = scale(120_000);
+    println!("\n## F11p — partition-parallel filtered scan ({n} rows in main)\n");
+    let mut scan_rows = Vec::new();
+    let mut scan_base = 1.0f64;
+    for &parts in &[1usize, 8] {
+        let db = Database::in_memory();
+        let table = db.create_partitioned_table(
+            SalesSchema::fact(),
+            TableConfig::default(),
+            PartitionConfig::new(parts, fact_cols::ORDER_ID),
+        )?;
+        let mut gen = DataGen::new(7);
+        let mut id = 0i64;
+        while id < n {
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            for _ in 0..1_000.min(n - id) {
+                table.insert(
+                    &txn,
+                    SalesSchema::fact_row(&mut gen, id, CUSTOMERS, PRODUCTS),
+                )?;
+                id += 1;
+            }
+            db.commit(&mut txn)?;
+            for p in table.partitions() {
+                p.drain_l1()?;
+            }
+        }
+        for p in table.partitions() {
+            p.force_full_merge()?;
+        }
+        let preds = vec![ColumnPredicate::Range(
+            fact_cols::ORDER_ID,
+            Bound::Included(Value::Int(0)),
+            Bound::Excluded(Value::Int(n / 10)),
+        )];
+        let snap = Snapshot::at(db.txn_manager().now());
+        let mut best = Duration::MAX;
+        let mut matched = 0usize;
+        for _ in 0..3 {
+            let read = table.read_at(snap);
+            let (t, (hits, _stats)) = time(|| read.scan_filtered(&preds, None).unwrap());
+            matched = hits.len();
+            best = best.min(t);
+        }
+        if parts == 1 {
+            scan_base = best.as_secs_f64();
+        }
+        scan_rows.push(vec![
+            format!("{parts}"),
+            matched.to_string(),
+            ms(best),
+            format!("{:.2}", scan_base / best.as_secs_f64()),
+        ]);
+    }
+    report::emit(
+        "F11p partition scan",
+        &["partitions", "matched", "scan (ms)", "speedup"],
+        &scan_rows,
     );
     Ok(())
 }

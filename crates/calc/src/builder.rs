@@ -7,13 +7,13 @@
 //! produces the [`CalcGraph`].
 
 use crate::expr::{AggFunc, Expr, Predicate};
-use crate::graph::{CalcGraph, CalcNode, CustomFn, NodeId, PipeOp};
-use hana_core::UnifiedTable;
+use crate::graph::{CalcGraph, CalcNode, CustomFn, NodeId, PipeOp, ScanSource};
+use hana_core::PartitionedTable;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
 enum Step {
-    Scan(Arc<UnifiedTable>),
+    Scan(ScanSource),
     Filter(Predicate),
     Project(Vec<(String, Expr)>),
     Aggregate {
@@ -48,11 +48,19 @@ pub struct Query {
 }
 
 impl Query {
-    /// Start from a table scan.
-    pub fn scan(table: Arc<UnifiedTable>) -> Self {
+    /// Start from a table scan (a plain table or a partitioned group —
+    /// anything convertible into a [`ScanSource`]).
+    pub fn scan(table: impl Into<ScanSource>) -> Self {
         Query {
-            steps: vec![Step::Scan(table)],
+            steps: vec![Step::Scan(table.into())],
         }
+    }
+
+    /// Start from a scan over a hash-partitioned table group. The plan is
+    /// identical to a single-table scan; the executor fans out per
+    /// partition and merges results and statistics.
+    pub fn scan_partitioned(table: Arc<PartitionedTable>) -> Self {
+        Self::scan(table)
     }
 
     /// Add a filter.
@@ -210,6 +218,7 @@ impl Query {
 mod tests {
     use super::*;
     use hana_common::{ColumnDef, DataType, Schema, TableConfig, Value};
+    use hana_core::UnifiedTable;
     use hana_txn::TxnManager;
 
     fn table() -> Arc<UnifiedTable> {

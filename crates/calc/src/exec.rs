@@ -14,9 +14,9 @@
 //! [`TableRead`]: hana_core::TableRead
 
 use crate::expr::{AggState, Predicate};
-use crate::graph::{CalcGraph, CalcNode, NodeId, PipeOp};
+use crate::graph::{CalcGraph, CalcNode, NodeId, PipeOp, ScanSource};
 use hana_common::{HanaError, Result, Value};
-use hana_core::{ColumnPredicate, ScanStats};
+use hana_core::{ColumnPredicate, PartitionedRead, ScanStats, TableRead, VisibleRow};
 use hana_txn::Snapshot;
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
@@ -70,6 +70,70 @@ pub struct ExecStats {
     /// Rows evaluated row-wise on materialized values: L1-delta rows inside
     /// the scan plus rows tested by the engine-level residue predicate.
     pub residue_rows: u64,
+}
+
+/// A pinned read view over a [`ScanSource`]: one table's [`TableRead`] or
+/// the fan-out [`PartitionedRead`] over every shard of a group. The two
+/// expose the same surface, so scans and columnar aggregates run the same
+/// code path regardless of partitioning.
+enum SourceRead {
+    Single(TableRead),
+    Partitioned(PartitionedRead),
+}
+
+impl SourceRead {
+    fn at(source: &ScanSource, snap: Snapshot) -> SourceRead {
+        match source {
+            ScanSource::Single(t) => SourceRead::Single(t.read_at(snap)),
+            ScanSource::Partitioned(p) => SourceRead::Partitioned(p.read_at(snap)),
+        }
+    }
+
+    fn collect_rows_projected(&self, proj: Option<&[usize]>) -> Vec<VisibleRow> {
+        match self {
+            SourceRead::Single(r) => r.collect_rows_projected(proj),
+            SourceRead::Partitioned(r) => r.collect_rows_projected(proj),
+        }
+    }
+
+    fn scan_filtered(
+        &self,
+        preds: &[ColumnPredicate],
+        proj: Option<&[usize]>,
+    ) -> Result<(Vec<VisibleRow>, ScanStats)> {
+        match self {
+            SourceRead::Single(r) => r.scan_filtered(preds, proj),
+            SourceRead::Partitioned(r) => r.scan_filtered(preds, proj),
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            SourceRead::Single(r) => r.count(),
+            SourceRead::Partitioned(r) => r.count(),
+        }
+    }
+
+    fn aggregate_numeric(&self, col: usize) -> Result<(u64, f64)> {
+        match self {
+            SourceRead::Single(r) => r.aggregate_numeric(col),
+            SourceRead::Partitioned(r) => r.aggregate_numeric(col),
+        }
+    }
+
+    fn group_aggregate(&self, group_col: usize, agg_col: usize) -> Result<Vec<(Value, u64, f64)>> {
+        match self {
+            SourceRead::Single(r) => r.group_aggregate(group_col, agg_col),
+            SourceRead::Partitioned(r) => r.group_aggregate(group_col, agg_col),
+        }
+    }
+
+    fn vis_cache_stats(&self) -> (u64, u64) {
+        match self {
+            SourceRead::Single(r) => r.vis_cache_stats(),
+            SourceRead::Partitioned(r) => r.vis_cache_stats(),
+        }
+    }
 }
 
 /// Executes calc graphs under one snapshot.
@@ -266,11 +330,11 @@ impl Executor {
     /// decoded, the rest come back as `Null` placeholders.
     fn scan(
         &mut self,
-        table: &std::sync::Arc<hana_core::UnifiedTable>,
+        table: &ScanSource,
         fused: &Predicate,
         projection: Option<&[usize]>,
     ) -> Result<ResultSet> {
-        let read = table.read_at(self.snapshot);
+        let read = SourceRead::at(table, self.snapshot);
         let columns = table
             .schema()
             .columns()
@@ -298,7 +362,7 @@ impl Executor {
 
     /// Fold one read view's visibility-bitmap cache counters into the
     /// statement statistics.
-    fn absorb_cache_stats(&mut self, read: &hana_core::TableRead) {
+    fn absorb_cache_stats(&mut self, read: &SourceRead) {
         let (hits, misses) = read.vis_cache_stats();
         self.stats.bitmap_cache_hits += hits;
         self.stats.bitmap_cache_misses += misses;
@@ -351,7 +415,7 @@ impl Executor {
         {
             return Ok(None);
         }
-        let read = table.read_at(self.snapshot);
+        let read = SourceRead::at(table, self.snapshot);
         let agg_col = sum_col.into_iter().next().unwrap_or(0);
         let columns: Vec<String> = group_by
             .iter()
@@ -799,7 +863,7 @@ mod tests {
         // Build a diamond: one filtered scan feeding two projections + union.
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: t,
+            table: t.into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -985,6 +1049,99 @@ mod tests {
         assert_eq!(ex.stats().parts_pruned, 1);
         assert!(ex.stats().zone_pruned_rows > 0);
         assert_eq!(ex.stats().code_filtered_rows, 0);
+    }
+
+    /// The same 30 sales rows as [`sales_table`], loaded into a 4-way
+    /// hash-partitioned group.
+    fn partitioned_sales() -> (Arc<TxnManager>, Arc<hana_core::PartitionedTable>) {
+        let mgr = TxnManager::new();
+        let schema = Schema::new(
+            "sales",
+            vec![
+                ColumnDef::new("id", DataType::Int).unique(),
+                ColumnDef::new("city", DataType::Str),
+                ColumnDef::new("amount", DataType::Int),
+                ColumnDef::new("currency", DataType::Str),
+            ],
+        )
+        .unwrap();
+        let pt = Arc::new(
+            hana_core::PartitionedTable::new(
+                schema,
+                hana_common::ColumnId(0),
+                4,
+                TableConfig::small(),
+                Arc::clone(&mgr),
+            )
+            .unwrap(),
+        );
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        let cities = ["Campbell", "Los Gatos", "Saratoga"];
+        let currencies = ["USD", "EUR"];
+        for i in 0..30i64 {
+            pt.insert(
+                &txn,
+                vec![
+                    Value::Int(i),
+                    Value::str(cities[(i % 3) as usize]),
+                    Value::Int(i),
+                    Value::str(currencies[(i % 2) as usize]),
+                ],
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        for p in pt.partitions() {
+            p.drain_l1().unwrap();
+        }
+        (mgr, pt)
+    }
+
+    #[test]
+    fn partitioned_scan_matches_single_table_plan() {
+        let (mgr_s, single) = sales_table();
+        let (mgr_p, parted) = partitioned_sales();
+        let build_single = Query::scan(single)
+            .filter(Predicate::Eq(1, Value::str("Campbell")))
+            .project(vec![("id", Expr::col(0))]);
+        let build_parted = Query::scan_partitioned(parted)
+            .filter(Predicate::Eq(1, Value::str("Campbell")))
+            .project(vec![("id", Expr::col(0))]);
+        let mut gs = build_single.compile();
+        let mut gp = build_parted.compile();
+        optimize(&mut gs);
+        optimize(&mut gp);
+        let a = Executor::new(snap(&mgr_s)).run(&gs).unwrap();
+        let mut ex = Executor::new(snap(&mgr_p));
+        let b = ex.run(&gp).unwrap();
+        let sorted = |rs: &ResultSet| {
+            let mut rows = rs.rows.clone();
+            rows.sort();
+            rows
+        };
+        assert_eq!(sorted(&a), sorted(&b));
+        // The fused Eq went down the compressed-domain path on every shard.
+        assert_eq!(ex.stats().indexed_scans, 1);
+        assert_eq!(ex.stats().full_scans, 0);
+    }
+
+    #[test]
+    fn partitioned_columnar_aggregate_matches_single_table() {
+        let (mgr_s, single) = sales_table();
+        let (mgr_p, parted) = partitioned_sales();
+        let q = |src: crate::graph::ScanSource| {
+            Query::scan(src)
+                .aggregate(vec![1], vec![(AggFunc::Count, 0), (AggFunc::Sum, 2)])
+                .compile()
+        };
+        let a = Executor::new(snap(&mgr_s)).run(&q(single.into())).unwrap();
+        let mut ex = Executor::new(snap(&mgr_p));
+        let b = ex.run(&q(parted.into())).unwrap();
+        assert_eq!(a.rows, b.rows);
+        // The aggregate was answered by the columnar kernels fanned over
+        // the partitions — no scan materialization.
+        assert_eq!(ex.stats().indexed_scans, 1);
+        assert_eq!(ex.stats().full_scans, 0);
     }
 
     #[test]

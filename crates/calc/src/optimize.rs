@@ -298,7 +298,7 @@ mod tests {
     fn filter_fuses_into_scan() {
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -325,7 +325,7 @@ mod tests {
     fn stacked_filters_merge_then_fuse() {
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -352,7 +352,7 @@ mod tests {
     fn projections_collapse() {
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -388,7 +388,7 @@ mod tests {
         // scan(a, b) -> project(b) needs only column 1.
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -408,7 +408,7 @@ mod tests {
         // no strict subset exists and the projection stays None.
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -431,7 +431,7 @@ mod tests {
     fn aggregate_inputs_push_into_scan() {
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -449,7 +449,7 @@ mod tests {
     fn root_scan_keeps_all_columns() {
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -463,7 +463,7 @@ mod tests {
         // Two projections over one scan: col 0 and col 1 → both needed.
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });
@@ -487,7 +487,7 @@ mod tests {
     fn shared_subexpressions_not_rewritten() {
         let mut g = CalcGraph::new();
         let s = g.add(CalcNode::TableSource {
-            table: table(),
+            table: table().into(),
             fused_filter: Predicate::True,
             projection: None,
         });

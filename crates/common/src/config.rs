@@ -146,6 +146,50 @@ impl CommitConfig {
     }
 }
 
+/// User-facing partitioning request for
+/// `Database::create_partitioned_table`: split a logical table into
+/// `partitions` hash partitions on the value of `hash_column`.
+///
+/// The `TableConfig` passed alongside keeps describing the *logical*
+/// table: its delta thresholds (`l1_max_rows`, `l2_max_rows`) are the
+/// table-wide budget and get divided across partitions, so partitioning
+/// shards the delta instead of multiplying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Number of hash partitions (must be ≥ 1).
+    pub partitions: usize,
+    /// Index of the column whose value routes a row to its partition.
+    pub hash_column: usize,
+}
+
+impl PartitionConfig {
+    /// Partition `partitions` ways on `hash_column`.
+    pub fn new(partitions: usize, hash_column: usize) -> Self {
+        PartitionConfig {
+            partitions,
+            hash_column,
+        }
+    }
+}
+
+/// Persisted identity of one partition inside a partitioned table.
+///
+/// Stamped on each partition's `TableConfig`, so it rides the existing
+/// config codec into `CreateTable` log records and savepoint images;
+/// recovery groups partitions back into their logical table by `group`
+/// and orders them by `index`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Name of the logical (partitioned) table this shard belongs to.
+    pub group: String,
+    /// Index of the hash/routing column.
+    pub hash_column: u32,
+    /// This partition's position within the group (0-based).
+    pub index: u32,
+    /// Total number of partitions in the group.
+    pub of: u32,
+}
+
 /// Per-table configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableConfig {
@@ -170,6 +214,9 @@ pub struct TableConfig {
     pub merge: MergeConfig,
     /// Parallelism knobs for the scan engine.
     pub scan: ScanConfig,
+    /// Set iff this table is one partition of a hash-partitioned logical
+    /// table; carries the metadata recovery needs to regroup the shards.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl Default for TableConfig {
@@ -183,6 +230,7 @@ impl Default for TableConfig {
             historic: false,
             merge: MergeConfig::default(),
             scan: ScanConfig::default(),
+            partition: None,
         }
     }
 }

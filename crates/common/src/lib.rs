@@ -16,7 +16,10 @@ pub mod schema;
 pub mod timestamp;
 pub mod value;
 
-pub use config::{CommitConfig, MergeConfig, MergeStrategy, ScanConfig, TableConfig};
+pub use config::{
+    CommitConfig, MergeConfig, MergeStrategy, PartitionConfig, PartitionSpec, ScanConfig,
+    TableConfig,
+};
 pub use error::{HanaError, Result};
 pub use rowid::{RowId, RowLocation, StoreKind};
 pub use schema::{ColumnDef, ColumnId, Schema, TableId};

@@ -1,8 +1,10 @@
 //! The database façade: catalog, transactions, durability, recovery.
 
+use crate::partition::{partition_name, shard_config, PartitionedTable};
 use crate::table::UnifiedTable;
 use hana_common::{
-    CommitConfig, HanaError, Result, RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
+    ColumnId, CommitConfig, HanaError, PartitionConfig, Result, RowId, Schema, TableConfig,
+    TableId, Timestamp, TxnId, Value,
 };
 use hana_merge::{MergeDaemon, MergeTarget};
 use hana_persist::{
@@ -45,6 +47,9 @@ pub struct Database {
     persist: Option<Arc<Persistence>>,
     fence: Arc<RwLock<()>>,
     tables: RwLock<Catalog>,
+    /// Hash-partitioned logical tables by logical name; the partitions
+    /// themselves live in `tables` as first-class catalog citizens.
+    partitioned: RwLock<FxHashMap<String, Arc<PartitionedTable>>>,
     next_table_id: AtomicU32,
     daemon: Mutex<Option<MergeDaemon>>,
     commit_cfg: RwLock<CommitConfig>,
@@ -58,6 +63,7 @@ impl Database {
             persist: None,
             fence: Arc::new(RwLock::new(())),
             tables: RwLock::new(Catalog::default()),
+            partitioned: RwLock::new(FxHashMap::default()),
             next_table_id: AtomicU32::new(0),
             daemon: Mutex::new(None),
             commit_cfg: RwLock::new(CommitConfig::default()),
@@ -89,6 +95,7 @@ impl Database {
             persist: Some(persist),
             fence: Arc::new(RwLock::new(())),
             tables: RwLock::new(Catalog::default()),
+            partitioned: RwLock::new(FxHashMap::default()),
             next_table_id: AtomicU32::new(0),
             daemon: Mutex::new(None),
             commit_cfg: RwLock::new(recovered.commit_config),
@@ -190,7 +197,51 @@ impl Database {
             }
         }
         db.next_table_id.store(max_table_id, Ordering::SeqCst);
+        db.regroup_partitions()?;
         Ok(db)
+    }
+
+    /// Regroup recovered partition shards into their logical
+    /// [`PartitionedTable`]s: shards carry a [`hana_common::PartitionSpec`]
+    /// in their persisted config, so grouping by `group` and ordering by
+    /// `index` reconstructs the partitioned catalog exactly. An incomplete
+    /// group (a create torn by a crash before every shard's CreateTable
+    /// record became durable) is left out of the registry; its shards stay
+    /// plain catalog tables and hold no committed data.
+    fn regroup_partitions(&self) -> Result<()> {
+        let mut groups: FxHashMap<String, Vec<Arc<UnifiedTable>>> = FxHashMap::default();
+        for t in &self.tables.read().list {
+            if let Some(spec) = &t.config().partition {
+                groups
+                    .entry(spec.group.clone())
+                    .or_default()
+                    .push(Arc::clone(t));
+            }
+        }
+        let mut registry = self.partitioned.write();
+        for (group, mut parts) in groups {
+            parts.sort_by_key(|t| {
+                t.config()
+                    .partition
+                    .as_ref()
+                    .expect("grouped by spec")
+                    .index
+            });
+            let spec = parts[0]
+                .config()
+                .partition
+                .clone()
+                .expect("grouped by spec");
+            if parts.len() != spec.of as usize {
+                continue; // torn create: shards recovered, group unusable
+            }
+            let mut schema = parts[0].schema().clone();
+            schema.name = group.clone();
+            let pt =
+                PartitionedTable::from_parts(schema, ColumnId(spec.hash_column as u16), parts)?;
+            registry.insert(group, Arc::new(pt));
+        }
+        Ok(())
     }
 
     /// The shared transaction manager.
@@ -239,7 +290,114 @@ impl Database {
             Arc::clone(&self.fence),
         );
         tables.push(Arc::clone(&t));
+        drop(tables);
+        if let Some(d) = &*self.daemon.lock() {
+            d.add_target(Arc::clone(&t) as Arc<dyn MergeTarget>);
+        }
         Ok(t)
+    }
+
+    /// Create a hash-partitioned table: `pcfg.partitions` unified tables,
+    /// each a first-class catalog citizen with its own id, L1/L2/main, row
+    /// locks, merge policy state and zone maps, named
+    /// `"{name}::p{i}"`. The `config` describes the *logical* table — its
+    /// delta thresholds are divided across the partitions (see
+    /// [`shard_config`]). Every shard's CreateTable record carries its
+    /// [`hana_common::PartitionSpec`], so savepoints and recovery rebuild
+    /// the partitioned table transparently. A running merge daemon picks
+    /// the new partitions up immediately.
+    pub fn create_partitioned_table(
+        self: &Arc<Self>,
+        schema: Schema,
+        config: TableConfig,
+        pcfg: PartitionConfig,
+    ) -> Result<Arc<PartitionedTable>> {
+        if pcfg.partitions == 0 {
+            return Err(HanaError::Schema("at least one partition required".into()));
+        }
+        if pcfg.hash_column >= schema.arity() {
+            return Err(HanaError::Schema(format!(
+                "hash column {} out of range for {}",
+                pcfg.hash_column, schema.name
+            )));
+        }
+        let n = pcfg.partitions as u32;
+        let key_col = ColumnId(pcfg.hash_column as u16);
+        let _fence = self.fence.read();
+        let mut tables = self.tables.write();
+        let mut registry = self.partitioned.write();
+        if tables.by_name.contains_key(&schema.name) || registry.contains_key(&schema.name) {
+            return Err(HanaError::Schema(format!(
+                "table {} already exists",
+                schema.name
+            )));
+        }
+        for i in 0..n {
+            if tables
+                .by_name
+                .contains_key(&partition_name(&schema.name, i))
+            {
+                return Err(HanaError::Schema(format!(
+                    "table {} already exists",
+                    partition_name(&schema.name, i)
+                )));
+            }
+        }
+        let mut parts = Vec::with_capacity(pcfg.partitions);
+        for i in 0..n {
+            let mut shard_schema = schema.clone();
+            shard_schema.name = partition_name(&schema.name, i);
+            let cfg = shard_config(&config, &schema.name, key_col, i, n);
+            let id = TableId(self.next_table_id.fetch_add(1, Ordering::SeqCst));
+            if let Some(p) = &self.persist {
+                p.append_record(&LogRecord::CreateTable {
+                    table: id,
+                    schema: shard_schema.clone(),
+                    config: cfg.clone(),
+                })?;
+            }
+            let t = UnifiedTable::create(
+                id,
+                shard_schema,
+                cfg,
+                Arc::clone(&self.mgr),
+                self.persist.clone(),
+                Arc::clone(&self.fence),
+            );
+            tables.push(Arc::clone(&t));
+            parts.push(t);
+        }
+        if let Some(p) = &self.persist {
+            p.flush_records()?;
+        }
+        let pt = Arc::new(PartitionedTable::from_parts(
+            schema.clone(),
+            key_col,
+            parts.clone(),
+        )?);
+        registry.insert(schema.name.clone(), Arc::clone(&pt));
+        drop(registry);
+        drop(tables);
+        if let Some(d) = &*self.daemon.lock() {
+            for t in &parts {
+                d.add_target(Arc::clone(t) as Arc<dyn MergeTarget>);
+            }
+        }
+        Ok(pt)
+    }
+
+    /// Look up a partitioned table by its logical name.
+    pub fn partitioned_table(&self, name: &str) -> Result<Arc<PartitionedTable>> {
+        self.partitioned
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| HanaError::NotFound(format!("partitioned table {name}")))
+    }
+
+    /// All partitioned tables.
+    pub fn partitioned_tables(&self) -> Vec<Arc<PartitionedTable>> {
+        self.partitioned.read().values().cloned().collect()
     }
 
     /// Look up a table by name (O(1) via the catalog index).
@@ -611,6 +769,146 @@ mod tests {
         db.abort(&mut txn).unwrap();
         let r = db.begin(IsolationLevel::Transaction);
         assert_eq!(t.read(&r).count(), 0);
+    }
+
+    #[test]
+    fn partitioned_table_end_to_end() {
+        let db = Database::in_memory();
+        let pt = db
+            .create_partitioned_table(
+                schema(),
+                TableConfig::small(),
+                hana_common::PartitionConfig::new(4, 0),
+            )
+            .unwrap();
+        assert_eq!(pt.partition_count(), 4);
+        // Shards are first-class catalog citizens; the logical name is not
+        // a plain table.
+        assert!(db.table("accounts::p0").is_ok());
+        assert!(db.table("accounts").is_err());
+        assert!(db.partitioned_table("accounts").is_ok());
+        // Duplicate logical or shard names rejected.
+        assert!(db
+            .create_partitioned_table(
+                schema(),
+                TableConfig::small(),
+                hana_common::PartitionConfig::new(2, 0)
+            )
+            .is_err());
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for i in 0..40 {
+            pt.insert(&txn, acct(i, "x", i)).unwrap();
+        }
+        db.commit(&mut txn).unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        assert_eq!(pt.read(&r).count(), 40);
+        // Commit released locks only on touched partitions — an immediate
+        // second writer succeeds everywhere.
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for i in 0..40 {
+            pt.update_where(
+                &txn,
+                &Value::Int(i),
+                &[(hana_common::ColumnId(2), Value::Int(0))],
+            )
+            .unwrap();
+        }
+        db.commit(&mut txn).unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        let (c, s) = pt.read(&r).aggregate_numeric(2).unwrap();
+        assert_eq!(c, 40);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn partitioned_table_survives_savepoint_and_recovery() {
+        let dir = tempdir().unwrap();
+        {
+            let db = Database::open(dir.path()).unwrap();
+            let pt = db
+                .create_partitioned_table(
+                    schema(),
+                    TableConfig::small(),
+                    hana_common::PartitionConfig::new(3, 0),
+                )
+                .unwrap();
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            for i in 0..30 {
+                pt.insert(&txn, acct(i, "x", i * 10)).unwrap();
+            }
+            db.commit(&mut txn).unwrap();
+            // Push one partition's lifecycle forward, then savepoint.
+            pt.partitions()[0].drain_l1().unwrap();
+            db.savepoint().unwrap();
+            // Post-savepoint tail replayed from the log.
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            pt.insert(&txn, acct(100, "tail", 1)).unwrap();
+            db.commit(&mut txn).unwrap();
+            // An uncommitted straggler must not survive.
+            let open = db.begin(IsolationLevel::Transaction);
+            pt.insert(&open, acct(200, "zombie", 1)).unwrap();
+            std::mem::forget(open);
+        }
+        let db = Database::open(dir.path()).unwrap();
+        let pt = db.partitioned_table("accounts").unwrap();
+        assert_eq!(pt.partition_count(), 3);
+        let snap = hana_txn::Snapshot::at(db.txn_manager().now());
+        for i in 0..30 {
+            let rows = pt.point(snap, &Value::Int(i)).unwrap();
+            assert_eq!(rows.len(), 1, "committed row {i} lost");
+            assert_eq!(rows[0][2], Value::Int(i * 10));
+        }
+        assert_eq!(pt.point(snap, &Value::Int(100)).unwrap().len(), 1);
+        assert!(pt.point(snap, &Value::Int(200)).unwrap().is_empty());
+        assert_eq!(pt.read_at(snap).count(), 31);
+        // The partition spec round-tripped through the image codec.
+        let spec = pt.partitions()[1].config().partition.clone().unwrap();
+        assert_eq!(spec.group, "accounts");
+        assert_eq!(spec.index, 1);
+        assert_eq!(spec.of, 3);
+        // The recovered partitioned table keeps accepting writes.
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        pt.insert(&txn, acct(300, "fresh", 5)).unwrap();
+        db.commit(&mut txn).unwrap();
+    }
+
+    #[test]
+    fn merge_daemon_picks_up_tables_created_after_start() {
+        let db = Database::in_memory();
+        db.start_merge_daemon(std::time::Duration::from_millis(2));
+        let pt = db
+            .create_partitioned_table(
+                schema(),
+                TableConfig {
+                    l1_max_rows: 8,
+                    l2_max_rows: 16,
+                    ..TableConfig::default()
+                },
+                hana_common::PartitionConfig::new(2, 0),
+            )
+            .unwrap();
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for i in 0..200 {
+            pt.insert(&txn, acct(i, "x", i)).unwrap();
+        }
+        db.commit(&mut txn).unwrap();
+        for _ in 0..500 {
+            let settled = pt
+                .partitions()
+                .iter()
+                .all(|p| p.stage_stats().main_rows > 0);
+            if settled {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        db.stop_merge_daemon();
+        for p in pt.partitions() {
+            assert!(
+                p.stage_stats().main_rows > 0,
+                "daemon must drive partitions registered after spawn"
+            );
+        }
     }
 
     #[test]

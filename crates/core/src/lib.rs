@@ -57,5 +57,6 @@ pub use database::Database;
 pub use filter::{ColumnPredicate, ScanStats};
 pub use lifecycle::StageStats;
 pub use loc::Loc;
-pub use read::TableRead;
+pub use partition::{PartitionedRead, PartitionedTable};
+pub use read::{TableRead, VisibleRow};
 pub use table::UnifiedTable;

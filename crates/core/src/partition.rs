@@ -1,14 +1,30 @@
-//! Hash-partitioned tables.
+//! Hash-partitioned tables with a fully sharded lifecycle.
 //!
 //! §4.3: "the partitioning concept can be used to separate recent data sets
 //! from more stable data sets" — and the engine layer's split/combine
 //! operators distribute work across partitions. [`PartitionedTable`] routes
-//! rows by a hash of the partition key to N unified tables, each with its
-//! own independent record life cycle, and fans scans out across them.
+//! rows by a hash of the partition key to N unified tables. Each partition
+//! is a complete unified table — its own L1/L2/main, row locks, merge
+//! policy state, zone maps and inverted indexes — so N writers on N
+//! partitions share nothing on the hot path except commit sequencing
+//! (which stays on the database's group-commit pipeline). Because every
+//! partition carries its own `TableId` and writes note it on the
+//! transaction, commit/abort visit exactly the (table, partition) pairs a
+//! transaction actually wrote.
+//!
+//! Reads fan out through [`PartitionedRead`]: one pinned [`TableRead`] per
+//! partition under one shared snapshot, executed over the bounded
+//! [`map_indexed`] pool and combined in partition-index order — each
+//! partition's result is bit-identical to its serial scan, so the combined
+//! output is deterministic regardless of worker count.
 
-use crate::read::VisibleRow;
+use crate::filter::{ColumnPredicate, ScanStats};
+use crate::read::{TableRead, VisibleRow};
 use crate::table::UnifiedTable;
-use hana_common::{ColumnId, HanaError, Result, RowId, Schema, TableConfig, TableId, Value};
+use hana_common::{
+    ColumnId, HanaError, PartitionSpec, Result, RowId, Schema, TableConfig, TableId, Value,
+};
+use hana_merge::{effective_workers, map_indexed};
 use hana_txn::{Snapshot, Transaction, TxnManager};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -26,8 +42,39 @@ fn hash_value(v: &Value) -> u64 {
     h.finish()
 }
 
+/// Derive one partition's `TableConfig` from the logical table's: the
+/// delta thresholds are the *logical* budget, divided across partitions so
+/// partitioning shards the delta instead of multiplying it, and the
+/// [`PartitionSpec`] is stamped so the config codec persists the
+/// partition's identity into log records and savepoint images.
+pub fn shard_config(
+    config: &TableConfig,
+    group: &str,
+    key_col: ColumnId,
+    i: u32,
+    n: u32,
+) -> TableConfig {
+    let mut c = config.clone();
+    c.l1_max_rows = (config.l1_max_rows / n as usize).max(1);
+    c.l2_max_rows = (config.l2_max_rows / n as usize).max(1);
+    c.partition = Some(PartitionSpec {
+        group: group.to_string(),
+        hash_column: key_col.idx() as u32,
+        index: i,
+        of: n,
+    });
+    c
+}
+
+/// The catalog name of partition `i` of logical table `group`.
+pub fn partition_name(group: &str, i: u32) -> String {
+    format!("{group}::p{i}")
+}
+
 impl PartitionedTable {
-    /// Create `n` partitions keyed by `key_col`.
+    /// Create `n` standalone partitions keyed by `key_col` (demo/test
+    /// constructor — catalog-registered partitioned tables are created via
+    /// `Database::create_partitioned_table`).
     pub fn new(
         schema: Schema,
         key_col: ColumnId,
@@ -40,10 +87,12 @@ impl PartitionedTable {
         }
         let partitions = (0..n)
             .map(|i| {
+                let mut shard_schema = schema.clone();
+                shard_schema.name = partition_name(&schema.name, i as u32);
                 UnifiedTable::create(
                     TableId(i as u32),
-                    schema.clone(),
-                    config.clone(),
+                    shard_schema,
+                    shard_config(&config, &schema.name, key_col, i as u32, n as u32),
                     Arc::clone(&mgr),
                     None,
                     Arc::new(parking_lot::RwLock::new(())),
@@ -57,15 +106,47 @@ impl PartitionedTable {
         })
     }
 
+    /// Assemble a partitioned table from already-built partitions (the
+    /// database's create and recovery paths; `partitions` must be in
+    /// partition-index order).
+    pub fn from_parts(
+        schema: Schema,
+        key_col: ColumnId,
+        partitions: Vec<Arc<UnifiedTable>>,
+    ) -> Result<Self> {
+        if partitions.is_empty() {
+            return Err(HanaError::Schema("at least one partition required".into()));
+        }
+        Ok(PartitionedTable {
+            schema,
+            key_col,
+            partitions,
+        })
+    }
+
+    /// The logical schema (carries the logical table name).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The hash/routing column.
+    pub fn key_col(&self) -> ColumnId {
+        self.key_col
+    }
+
     /// Number of partitions.
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
     }
 
+    /// The partition index a key routes to.
+    pub fn route_index(&self, key: &Value) -> usize {
+        (hash_value(key) % self.partitions.len() as u64) as usize
+    }
+
     /// The partition a key routes to.
     pub fn route(&self, key: &Value) -> &Arc<UnifiedTable> {
-        let i = (hash_value(key) % self.partitions.len() as u64) as usize;
-        &self.partitions[i]
+        &self.partitions[self.route_index(key)]
     }
 
     /// All partitions.
@@ -101,50 +182,41 @@ impl PartitionedTable {
         self.route(key).delete_where(txn, self.key_col, key)
     }
 
-    /// Parallel full scan: the split/combine pattern — one thread per
-    /// partition, results combined.
-    pub fn parallel_scan(&self, snap: Snapshot) -> Vec<VisibleRow> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .partitions
-                .iter()
-                .map(|p| {
-                    let p = Arc::clone(p);
-                    scope.spawn(move || p.read_at(snap).collect_rows())
-                })
-                .collect();
-            let mut out = Vec::new();
-            for h in handles {
-                out.extend(h.join().expect("partition scan panicked"));
-            }
-            out
-        })
+    /// Open a partition-fanned read view for one statement of `txn`.
+    pub fn read(&self, txn: &Transaction) -> PartitionedRead {
+        self.read_at(txn.read_snapshot())
     }
 
-    /// Parallel numeric aggregate `(count, sum)` across partitions.
-    pub fn parallel_aggregate(&self, snap: Snapshot, col: usize) -> Result<(u64, f64)> {
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .partitions
-                .iter()
-                .map(|p| {
-                    let p = Arc::clone(p);
-                    scope.spawn(move || p.read_at(snap).aggregate_numeric(col))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("partition aggregate panicked"))
-                .collect::<Vec<_>>()
-        });
-        let mut count = 0;
-        let mut sum = 0.0;
-        for r in results {
-            let (c, s) = r?;
-            count += c;
-            sum += s;
+    /// Open a partition-fanned read view under an explicit snapshot.
+    pub fn read_at(&self, snap: Snapshot) -> PartitionedRead {
+        PartitionedRead {
+            reads: self.partitions.iter().map(|p| p.read_at(snap)).collect(),
+            scan_parallelism: self.partitions[0].config().scan.scan_parallelism,
         }
-        Ok((count, sum))
+    }
+
+    /// Parallel full scan across partitions (delegates to the read view's
+    /// compressed-domain machinery: per-partition visibility summaries and
+    /// cached bitmaps, combined in partition order).
+    pub fn parallel_scan(&self, snap: Snapshot) -> Vec<VisibleRow> {
+        self.read_at(snap).collect_rows()
+    }
+
+    /// Parallel filtered scan: per-partition `scan_filtered` with zone-map
+    /// pruning, per-partition `ScanStats` summed into one block.
+    pub fn parallel_scan_filtered(
+        &self,
+        snap: Snapshot,
+        preds: &[ColumnPredicate],
+        proj: Option<&[usize]>,
+    ) -> Result<(Vec<VisibleRow>, ScanStats)> {
+        self.read_at(snap).scan_filtered(preds, proj)
+    }
+
+    /// Parallel numeric aggregate `(count, sum)` across partitions, through
+    /// each partition's columnar code-domain aggregation path.
+    pub fn parallel_aggregate(&self, snap: Snapshot, col: usize) -> Result<(u64, f64)> {
+        self.read_at(snap).aggregate_numeric(col)
     }
 
     /// Run the lifecycle policy on every partition.
@@ -154,6 +226,155 @@ impl PartitionedTable {
             did |= p.maybe_merge_once()?;
         }
         Ok(did)
+    }
+}
+
+/// A consistent read view over every partition of a [`PartitionedTable`]
+/// under one shared snapshot: one pinned [`TableRead`] per partition.
+///
+/// Every operation fans out over [`map_indexed`] and combines results in
+/// partition-index order, each partition in its canonical scan order — the
+/// combined result is deterministic and bit-identical to executing the
+/// partitions serially.
+pub struct PartitionedRead {
+    reads: Vec<TableRead>,
+    scan_parallelism: usize,
+}
+
+impl PartitionedRead {
+    /// The per-partition read views (partition-index order).
+    pub fn partition_reads(&self) -> &[TableRead] {
+        &self.reads
+    }
+
+    /// Fan-out degree for `n` partition jobs, honoring the table's scan
+    /// parallelism knob (`1` forces serial, `0` auto-sizes from the CPUs).
+    fn workers(&self) -> usize {
+        let n = self.reads.len();
+        if n <= 1 || self.scan_parallelism == 1 {
+            return 1;
+        }
+        effective_workers(self.scan_parallelism).min(n)
+    }
+
+    fn fan_out<T: Send>(&self, f: impl Fn(&TableRead) -> T + Send + Sync) -> Vec<T> {
+        map_indexed(self.reads.len(), self.workers(), |i| f(&self.reads[i]))
+    }
+
+    /// All visible rows, partitions combined in partition-index order.
+    pub fn collect_rows(&self) -> Vec<VisibleRow> {
+        self.fan_out(|r| r.collect_rows())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// [`collect_rows`](Self::collect_rows) with a projection pushed into
+    /// materialization.
+    pub fn collect_rows_projected(&self, proj: Option<&[usize]>) -> Vec<VisibleRow> {
+        self.fan_out(|r| r.collect_rows_projected(proj))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Partition-parallel filtered scan: each partition runs the full
+    /// compressed-domain path (zone maps, code-domain kernels, visibility
+    /// bitmaps); per-partition [`ScanStats`] are summed so pruning and
+    /// cache observability survive sharding.
+    pub fn scan_filtered(
+        &self,
+        preds: &[ColumnPredicate],
+        proj: Option<&[usize]>,
+    ) -> Result<(Vec<VisibleRow>, ScanStats)> {
+        let per = self.fan_out(|r| r.scan_filtered(preds, proj));
+        let mut out = Vec::new();
+        let mut stats = ScanStats::default();
+        for res in per {
+            let (rows, st) = res?;
+            out.extend(rows);
+            stats.merge(&st);
+        }
+        Ok((out, stats))
+    }
+
+    /// Count visible rows across all partitions.
+    pub fn count(&self) -> usize {
+        self.fan_out(|r| r.count()).into_iter().sum()
+    }
+
+    /// Point query: routes through each partition's dictionaries and
+    /// inverted indexes (all partitions are consulted — use
+    /// [`PartitionedTable::point`] for key-column lookups, which touch
+    /// exactly one).
+    pub fn point(&self, col: usize, v: &Value) -> Result<Vec<Vec<Value>>> {
+        let per = self.fan_out(|r| r.point(col, v));
+        let mut out = Vec::new();
+        for res in per {
+            out.extend(res?);
+        }
+        Ok(out)
+    }
+
+    /// Columnar `(count, sum)` aggregate over one numeric column. Partials
+    /// combine in partition-index order, so the float sum is independent of
+    /// the worker count.
+    pub fn aggregate_numeric(&self, col: usize) -> Result<(u64, f64)> {
+        let per = self.fan_out(|r| r.aggregate_numeric(col));
+        let (mut count, mut sum) = (0u64, 0.0f64);
+        for res in per {
+            let (c, s) = res?;
+            count += c;
+            sum += s;
+        }
+        Ok((count, sum))
+    }
+
+    /// Group-by aggregation across all partitions: per-partition columnar
+    /// group-by, group keys merged in partition-index order, output sorted
+    /// by key (the same contract as the single-table path).
+    pub fn group_aggregate(
+        &self,
+        group_col: usize,
+        agg_col: usize,
+    ) -> Result<Vec<(Value, u64, f64)>> {
+        let per = self.fan_out(|r| r.group_aggregate(group_col, agg_col));
+        let mut groups: rustc_hash::FxHashMap<Value, (u64, f64)> = Default::default();
+        for res in per {
+            for (key, c, s) in res? {
+                let e = groups.entry(key).or_insert((0, 0.0));
+                e.0 += c;
+                e.1 += s;
+            }
+        }
+        let mut out: Vec<(Value, u64, f64)> =
+            groups.into_iter().map(|(k, (c, s))| (k, c, s)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// `(hits, misses)` of the visibility-bitmap caches summed over every
+    /// partition's read view.
+    pub fn vis_cache_stats(&self) -> (u64, u64) {
+        let (mut h, mut m) = (0u64, 0u64);
+        for r in &self.reads {
+            let (rh, rm) = r.vis_cache_stats();
+            h += rh;
+            m += rm;
+        }
+        (h, m)
+    }
+
+    /// Rows per stage `(L1, L2, main)` summed over partitions.
+    pub fn stage_row_counts(&self) -> (usize, usize, usize) {
+        let (mut a, mut b, mut c) = (0, 0, 0);
+        for r in &self.reads {
+            let (x, y, z) = r.stage_row_counts();
+            a += x;
+            b += y;
+            c += z;
+        }
+        (a, b, c)
     }
 }
 
@@ -200,6 +421,20 @@ mod tests {
     }
 
     #[test]
+    fn shards_carry_partition_specs_and_divided_budgets() {
+        let (_mgr, pt) = setup(4);
+        for (i, p) in pt.partitions().iter().enumerate() {
+            let spec = p.config().partition.clone().expect("spec stamped");
+            assert_eq!(spec.group, "orders");
+            assert_eq!(spec.index, i as u32);
+            assert_eq!(spec.of, 4);
+            assert_eq!(spec.hash_column, 0);
+            assert_eq!(p.config().l1_max_rows, 4); // 16 / 4
+            assert_eq!(p.schema().name, format!("orders::p{i}"));
+        }
+    }
+
+    #[test]
     fn insert_point_update_delete_through_partitions() {
         let (mgr, pt) = setup(3);
         let mut txn = mgr.begin(IsolationLevel::Transaction);
@@ -243,11 +478,60 @@ mod tests {
     }
 
     #[test]
+    fn filtered_scan_merges_stats_and_matches_per_partition_results() {
+        let (mgr, pt) = setup(4);
+        let mut txn = mgr.begin(IsolationLevel::Transaction);
+        for i in 0..200 {
+            pt.insert(&txn, vec![Value::Int(i), Value::Int(i % 10)])
+                .unwrap();
+        }
+        txn.commit().unwrap();
+        // Settle everything into the main so zone maps exist.
+        for p in pt.partitions() {
+            p.force_full_merge().unwrap();
+        }
+        let snap = hana_txn::Snapshot::at(mgr.now());
+        let preds = [ColumnPredicate::Range(
+            0,
+            std::ops::Bound::Included(Value::Int(20)),
+            std::ops::Bound::Included(Value::Int(39)),
+        )];
+        let (rows, stats) = pt.parallel_scan_filtered(snap, &preds, None).unwrap();
+        assert_eq!(rows.len(), 20);
+        // The merged stats must equal the sum of per-partition runs.
+        let mut expect = ScanStats::default();
+        let mut expect_rows = 0;
+        for p in pt.partitions() {
+            let (r, st) = p.read_at(snap).scan_filtered(&preds, None).unwrap();
+            expect_rows += r.len();
+            expect.merge(&st);
+        }
+        assert_eq!(rows.len(), expect_rows);
+        assert_eq!(stats.code_filtered_rows, expect.code_filtered_rows);
+        assert_eq!(stats.parts_pruned, expect.parts_pruned);
+        // Aggregates and group-bys agree with a full scan.
+        let read = pt.read_at(snap);
+        assert_eq!(read.count(), 200);
+        let (c, s) = read.aggregate_numeric(1).unwrap();
+        assert_eq!(c, 200);
+        assert_eq!(s, (0..200).map(|i| (i % 10) as f64).sum::<f64>());
+        let groups = read.group_aggregate(1, 0).unwrap();
+        assert_eq!(groups.len(), 10);
+        assert!(groups.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
     fn zero_partitions_rejected() {
         let mgr = TxnManager::new();
         let schema = Schema::new("t", vec![ColumnDef::new("x", DataType::Int).unique()]).unwrap();
         assert!(
             PartitionedTable::new(schema, ColumnId(0), 0, TableConfig::default(), mgr).is_err()
         );
+        assert!(PartitionedTable::from_parts(
+            Schema::new("t", vec![ColumnDef::new("x", DataType::Int)]).unwrap(),
+            ColumnId(0),
+            vec![]
+        )
+        .is_err());
     }
 }

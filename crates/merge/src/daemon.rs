@@ -93,6 +93,20 @@ struct Slot {
     backoff_until_ns: AtomicU64,
 }
 
+/// The growable target list: tables (and partitions) registered after the
+/// pool spawned still get driven. Workers snapshot it per tick, so a claim
+/// flag/backoff state is per-target and never rebuilt.
+type SlotList = parking_lot::RwLock<Vec<Arc<Slot>>>;
+
+fn new_slot(target: Arc<dyn MergeTarget>) -> Arc<Slot> {
+    Arc::new(Slot {
+        target,
+        claimed: AtomicBool::new(false),
+        fail_streak: AtomicU32::new(0),
+        backoff_until_ns: AtomicU64::new(0),
+    })
+}
+
 impl Slot {
     /// Cool-down after the `streak`-th consecutive failure: the poll
     /// interval doubled per failure, capped at [`MAX_BACKOFF`].
@@ -108,6 +122,7 @@ pub struct MergeDaemon {
     tx: Sender<Msg>,
     handles: Vec<JoinHandle<()>>,
     counters: Arc<DaemonCounters>,
+    slots: Arc<SlotList>,
     workers: usize,
 }
 
@@ -129,17 +144,8 @@ impl MergeDaemon {
         let workers = crate::parallel::effective_workers(workers).min(targets.len().max(1));
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(16 * workers.max(1));
         let counters = Arc::new(DaemonCounters::default());
-        let slots: Arc<Vec<Slot>> = Arc::new(
-            targets
-                .into_iter()
-                .map(|target| Slot {
-                    target,
-                    claimed: AtomicBool::new(false),
-                    fail_streak: AtomicU32::new(0),
-                    backoff_until_ns: AtomicU64::new(0),
-                })
-                .collect(),
-        );
+        let slots: Arc<SlotList> =
+            Arc::new(SlotList::new(targets.into_iter().map(new_slot).collect()));
 
         let t0 = Instant::now();
         let mut handles = Vec::with_capacity(workers);
@@ -161,8 +167,22 @@ impl MergeDaemon {
             tx,
             handles,
             counters,
+            slots,
             workers,
         }
+    }
+
+    /// Register another target with the running pool (tables or partitions
+    /// created after spawn). The new target gets its own claim flag and
+    /// backoff state and is picked up from the next tick on.
+    pub fn add_target(&self, target: Arc<dyn MergeTarget>) {
+        self.slots.write().push(new_slot(target));
+        self.nudge();
+    }
+
+    /// Number of registered targets.
+    pub fn target_count(&self) -> usize {
+        self.slots.read().len()
     }
 
     /// Ask the daemon to check its targets now.
@@ -194,7 +214,7 @@ impl MergeDaemon {
 
 fn worker_loop(
     rx: &Receiver<Msg>,
-    slots: &[Slot],
+    slots: &SlotList,
     counters: &DaemonCounters,
     interval: Duration,
     t0: Instant,
@@ -203,7 +223,10 @@ fn worker_loop(
         match rx.recv_timeout(interval) {
             Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
             Ok(Msg::Nudge) | Err(RecvTimeoutError::Timeout) => {
-                for slot in slots {
+                // Snapshot the list so added targets join on the next tick
+                // without workers holding the lock across merges.
+                let tick: Vec<Arc<Slot>> = slots.read().clone();
+                for slot in &tick {
                     // Win the claim or leave the target to the worker
                     // already on it.
                     if slot
@@ -436,6 +459,22 @@ mod tests {
         assert_eq!(Slot::backoff_after(i, 40), Duration::from_millis(640));
         // …and the absolute cap clamps long intervals.
         assert_eq!(Slot::backoff_after(Duration::from_secs(10), 9), MAX_BACKOFF);
+    }
+
+    #[test]
+    fn add_target_joins_running_pool() {
+        let daemon = MergeDaemon::spawn(vec![], Duration::from_millis(2));
+        assert_eq!(daemon.target_count(), 0);
+        let target = counter(1);
+        daemon.add_target(Arc::clone(&target) as Arc<dyn MergeTarget>);
+        assert_eq!(daemon.target_count(), 1);
+        for _ in 0..400 {
+            if daemon.merges_done() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(daemon.merges_done(), 1, "late-registered target merged");
     }
 
     #[test]

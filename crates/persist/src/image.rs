@@ -187,28 +187,57 @@ pub fn encode_config(e: &mut Encoder, c: &TableConfig) {
     e.u64(c.merge.column_parallelism as u64);
     e.u64(c.merge.daemon_workers as u64);
     e.u64(c.scan.scan_parallelism as u64);
+    match &c.partition {
+        None => e.bool(false),
+        Some(p) => {
+            e.bool(true);
+            e.str(&p.group);
+            e.u32(p.hash_column);
+            e.u32(p.index);
+            e.u32(p.of);
+        }
+    }
 }
 
 pub fn decode_config(d: &mut Decoder<'_>) -> Result<TableConfig> {
+    let l1_max_rows = d.u64()? as usize;
+    let l2_max_rows = d.u64()? as usize;
+    let merge_strategy = match d.u8()? {
+        0 => MergeStrategy::Classic,
+        1 => MergeStrategy::ReSorting,
+        2 => MergeStrategy::Partial,
+        _ => MergeStrategy::Auto,
+    };
+    let active_main_max_fraction = d.f64()?;
+    let block_size = d.u64()? as usize;
+    let historic = d.bool()?;
+    let merge = hana_common::MergeConfig {
+        column_parallelism: d.u64()? as usize,
+        daemon_workers: d.u64()? as usize,
+    };
+    let scan = hana_common::ScanConfig {
+        scan_parallelism: d.u64()? as usize,
+    };
+    let partition = if d.bool()? {
+        Some(hana_common::PartitionSpec {
+            group: d.str()?,
+            hash_column: d.u32()?,
+            index: d.u32()?,
+            of: d.u32()?,
+        })
+    } else {
+        None
+    };
     Ok(TableConfig {
-        l1_max_rows: d.u64()? as usize,
-        l2_max_rows: d.u64()? as usize,
-        merge_strategy: match d.u8()? {
-            0 => MergeStrategy::Classic,
-            1 => MergeStrategy::ReSorting,
-            2 => MergeStrategy::Partial,
-            _ => MergeStrategy::Auto,
-        },
-        active_main_max_fraction: d.f64()?,
-        block_size: d.u64()? as usize,
-        historic: d.bool()?,
-        merge: hana_common::MergeConfig {
-            column_parallelism: d.u64()? as usize,
-            daemon_workers: d.u64()? as usize,
-        },
-        scan: hana_common::ScanConfig {
-            scan_parallelism: d.u64()? as usize,
-        },
+        l1_max_rows,
+        l2_max_rows,
+        merge_strategy,
+        active_main_max_fraction,
+        block_size,
+        historic,
+        merge,
+        scan,
+        partition,
     })
 }
 
@@ -438,6 +467,23 @@ mod tests {
         img.encode(&mut e);
         let bytes = e.into_bytes();
         assert_eq!(TableImage::decode(&mut Decoder::new(&bytes)).unwrap(), img);
+    }
+
+    #[test]
+    fn partition_spec_rides_the_config_codec() {
+        let mut img = sample();
+        img.config.partition = Some(hana_common::PartitionSpec {
+            group: "sales".into(),
+            hash_column: 0,
+            index: 3,
+            of: 8,
+        });
+        let mut e = Encoder::new();
+        img.encode(&mut e);
+        let bytes = e.into_bytes();
+        let got = TableImage::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(got, img);
+        assert_eq!(got.config.partition.unwrap().of, 8);
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub mod zipf;
 pub use datagen::DataGen;
 pub use mixed::{MixedReport, MixedWorkload};
 pub use olap::{OlapQuery, OlapRunner};
-pub use oltp::{DurableOltp, OltpDriver, OltpEngine, OltpOp, OltpReport, RowOltp, UnifiedOltp};
+pub use oltp::{
+    DurableOltp, OltpDriver, OltpEngine, OltpOp, OltpReport, PartitionedOltp,
+    PartitionedOltpReport, RowOltp, UnifiedOltp,
+};
 pub use sales::{SalesDataset, SalesSchema};
 pub use zipf::Zipf;

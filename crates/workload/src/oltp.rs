@@ -11,7 +11,7 @@ use crate::datagen::DataGen;
 use crate::sales::{fact_cols, SalesSchema};
 use crate::zipf::Zipf;
 use hana_common::{ColumnId, HanaError, Result, Value};
-use hana_core::{Database, UnifiedTable};
+use hana_core::{Database, PartitionedTable, UnifiedTable};
 use hana_rowstore::RowTable;
 use hana_txn::{IsolationLevel, TxnManager};
 use rand::Rng;
@@ -164,6 +164,64 @@ impl OltpEngine for DurableOltp {
             OltpOp::Cancel(id) => self
                 .table
                 .delete_where(&txn, key_col, &Value::Int(*id))
+                .map(|_| true),
+        };
+        match out {
+            Ok(found) => {
+                self.db.commit(&mut txn)?;
+                Ok(found)
+            }
+            Err(e) => {
+                let _ = self.db.abort(&mut txn);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Hash-partitioned unified-table implementation: every op routes through
+/// the [`PartitionedTable`], touching only the shard its order id hashes
+/// to, and commits through the database façade (group-commit pipeline).
+/// This is the engine the fig-11 partition-scaling experiment drives.
+pub struct PartitionedOltp {
+    /// The database owning the partition group.
+    pub db: Arc<Database>,
+    /// The partitioned fact table.
+    pub table: Arc<PartitionedTable>,
+}
+
+impl OltpEngine for PartitionedOltp {
+    fn execute(&self, op: &OltpOp) -> Result<bool> {
+        let mut txn = self.db.begin(IsolationLevel::Transaction);
+        let out = match op {
+            OltpOp::NewOrder(row) => self.table.insert(&txn, row.clone()).map(|_| true),
+            OltpOp::Payment { order_id, delta } => {
+                let key = Value::Int(*order_id);
+                let rows = self.table.point(txn.read_snapshot(), &key)?;
+                match rows.first() {
+                    None => Err(HanaError::NotFound(format!("order {order_id}"))),
+                    Some(row) => {
+                        let amount = row[fact_cols::AMOUNT].as_int().unwrap_or(0) + delta;
+                        self.table
+                            .update_where(
+                                &txn,
+                                &key,
+                                &[
+                                    (ColumnId(fact_cols::AMOUNT as u16), Value::Int(amount)),
+                                    (ColumnId(fact_cols::STATUS as u16), Value::Int(1)),
+                                ],
+                            )
+                            .map(|_| true)
+                    }
+                }
+            }
+            OltpOp::Lookup(id) => Ok(!self
+                .table
+                .point(txn.read_snapshot(), &Value::Int(*id))?
+                .is_empty()),
+            OltpOp::Cancel(id) => self
+                .table
+                .delete_where(&txn, &Value::Int(*id))
                 .map(|_| true),
         };
         match out {
@@ -359,6 +417,116 @@ impl OltpDriver {
         }
         Ok(total)
     }
+
+    /// Partitioned writer mode: thread `k` is pinned to partition
+    /// `k % partitions` and claims order ids from the shared counter until
+    /// one hashes to its partition, so every writer works a disjoint key
+    /// block and its transactions touch exactly one shard. Payments,
+    /// lookups and cancels target ids the thread itself inserted, keeping
+    /// the streams conflict-free across partitions. Returns per-partition
+    /// outcome counters alongside the aggregate, so benchmarks can report
+    /// per-partition throughput.
+    pub fn run_concurrent_partitioned(
+        &self,
+        engine: &PartitionedOltp,
+        threads: usize,
+        ops_per_thread: usize,
+        seed: u64,
+    ) -> Result<PartitionedOltpReport> {
+        let nparts = engine.table.partition_count();
+        let reports = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|k| {
+                    s.spawn(move || {
+                        let part = k % nparts;
+                        let mut gen = DataGen::new(seed + k as u64);
+                        let mut my_ids: Vec<i64> = Vec::new();
+                        let mut report = OltpReport::default();
+                        for _ in 0..ops_per_thread {
+                            let roll = gen.rng().gen_range(0..100u32);
+                            let (i, p, l, _) = self.mix;
+                            let op = if roll < i || my_ids.is_empty() {
+                                // Claim ids until one routes to our shard.
+                                let id = loop {
+                                    let id = self.next_order.fetch_add(1, Ordering::SeqCst);
+                                    if engine.table.route_index(&Value::Int(id)) == part {
+                                        break id;
+                                    }
+                                };
+                                my_ids.push(id);
+                                OltpOp::NewOrder(SalesSchema::fact_row(
+                                    &mut gen,
+                                    id,
+                                    self.n_customers,
+                                    self.n_products,
+                                ))
+                            } else {
+                                let id = my_ids[gen.rng().gen_range(0..my_ids.len())];
+                                if roll < i + p {
+                                    OltpOp::Payment {
+                                        order_id: id,
+                                        delta: gen.amount(100),
+                                    }
+                                } else if roll < i + p + l {
+                                    OltpOp::Lookup(id)
+                                } else {
+                                    OltpOp::Cancel(id)
+                                }
+                            };
+                            match engine.execute(&op) {
+                                Ok(found) => {
+                                    report.committed += 1;
+                                    if matches!(op, OltpOp::Lookup(_)) {
+                                        if found {
+                                            report.hits += 1;
+                                        } else {
+                                            report.misses += 1;
+                                        }
+                                    }
+                                }
+                                Err(HanaError::WriteConflict(_)) => report.conflicts += 1,
+                                Err(HanaError::NotFound(_)) => report.misses += 1,
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Ok((part, report))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("oltp worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut out = PartitionedOltpReport {
+            total: OltpReport::default(),
+            per_partition: vec![OltpReport::default(); nparts],
+        };
+        for r in reports {
+            let (part, r) = r?;
+            out.total.committed += r.committed;
+            out.total.conflicts += r.conflicts;
+            out.total.hits += r.hits;
+            out.total.misses += r.misses;
+            let slot = &mut out.per_partition[part];
+            slot.committed += r.committed;
+            slot.conflicts += r.conflicts;
+            slot.hits += r.hits;
+            slot.misses += r.misses;
+        }
+        Ok(out)
+    }
+}
+
+/// Outcome of a partitioned concurrent run: the aggregate plus one
+/// [`OltpReport`] per partition (threads pinned to the same partition are
+/// summed into its slot).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionedOltpReport {
+    /// Aggregate over all writers.
+    pub total: OltpReport,
+    /// Outcome counters per partition index.
+    pub per_partition: Vec<OltpReport>,
 }
 
 #[cfg(test)]
@@ -434,6 +602,46 @@ mod tests {
         assert!(stats.records >= report.committed, "{stats:?}");
         // Group commit must have amortized fsyncs across the 4 writers.
         assert!(stats.fsyncs < stats.records, "{stats:?}");
+    }
+
+    #[test]
+    fn partitioned_engine_reports_per_partition_and_routes_disjoint_blocks() {
+        let db = Database::in_memory();
+        let pt = db
+            .create_partitioned_table(
+                SalesSchema::fact(),
+                TableConfig::small(),
+                hana_common::PartitionConfig::new(4, fact_cols::ORDER_ID),
+            )
+            .unwrap();
+        let engine = PartitionedOltp {
+            db: Arc::clone(&db),
+            table: Arc::clone(&pt),
+        };
+        let driver = OltpDriver::new(0, 50, 20, 0.9).with_mix((50, 30, 15, 5));
+        let report = driver
+            .run_concurrent_partitioned(&engine, 4, 80, 9)
+            .unwrap();
+        assert_eq!(report.per_partition.len(), 4);
+        assert_eq!(
+            report
+                .per_partition
+                .iter()
+                .map(|r| r.committed)
+                .sum::<u64>(),
+            report.total.committed
+        );
+        assert!(report.total.committed > 200, "{report:?}");
+        // Each writer was pinned to one partition, so every partition
+        // committed work and each shard holds only ids that hash to it.
+        let r = db.begin(IsolationLevel::Transaction);
+        let snap = r.read_snapshot();
+        for (i, part) in pt.partitions().iter().enumerate() {
+            assert!(report.per_partition[i].committed > 0, "{report:?}");
+            for row in part.read_at(snap).collect_rows() {
+                assert_eq!(pt.route_index(&row.values[fact_cols::ORDER_ID]), i);
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn main() -> hana_common::Result<()> {
     // --- The Fig-3 shape: one filtered scan, two consumers, conv, script.
     let mut g = CalcGraph::new();
     let scan = g.add(CalcNode::TableSource {
-        table: Arc::clone(&ds.sales),
+        table: Arc::clone(&ds.sales).into(),
         fused_filter: Predicate::True,
         projection: None,
     });

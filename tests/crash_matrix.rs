@@ -203,6 +203,239 @@ fn assert_recovery_contract(dir: &std::path::Path, progress: &Progress, point: u
     );
 }
 
+// ---------------------------------------------------------------------------
+// Partitioned-table crash matrix: the same crash-everywhere discipline
+// against a hash-partitioned table. Recovery must regroup every shard
+// (committed rows visible through routed point lookups, uncommitted rows
+// invisible in every partition) and keep the global page free list
+// balanced.
+// ---------------------------------------------------------------------------
+
+/// Sampling cap for the partitioned matrix (its workload issues more I/O
+/// per run — three shards' images per savepoint).
+const P_MAX_POINTS: u64 = 32;
+
+fn pschema() -> Schema {
+    Schema::new(
+        "p",
+        vec![
+            ColumnDef::new("id", DataType::Int).unique(),
+            ColumnDef::new("v", DataType::Str),
+        ],
+    )
+    .unwrap()
+}
+
+fn commit_pbatch(
+    db: &Arc<Database>,
+    pt: &Arc<hana_core::PartitionedTable>,
+    lo: i64,
+    hi: i64,
+) -> Result<()> {
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    for id in lo..hi {
+        pt.insert(&txn, row(id))?;
+    }
+    db.commit(&mut txn)?;
+    Ok(())
+}
+
+/// The deterministic partitioned workload: batches across all shards,
+/// per-partition merges, savepoints, an abort and an uncommitted
+/// straggler.
+fn run_partitioned_workload(db: &Arc<Database>, progress: &mut Progress) -> Result<()> {
+    db.set_commit_config(hana_common::CommitConfig::serial());
+    let pt = db.create_partitioned_table(
+        pschema(),
+        TableConfig::small(),
+        hana_common::PartitionConfig::new(3, 0),
+    )?;
+    progress.table_created = true;
+
+    commit_pbatch(db, &pt, 0, 8)?;
+    progress.committed.push((0, 8));
+    // Merge only partition 0: shards advance through the lifecycle
+    // independently, so recovery sees mixed per-partition stages.
+    pt.partitions()[0].drain_l1()?;
+
+    commit_pbatch(db, &pt, 8, 16)?;
+    progress.committed.push((8, 16));
+    pt.partitions()[1].drain_l1()?;
+    pt.partitions()[1].merge_delta_as(MergeDecision::Classic)?;
+
+    db.savepoint()?;
+    progress.savepoints += 1;
+
+    commit_pbatch(db, &pt, 16, 24)?;
+    progress.committed.push((16, 24));
+    for p in pt.partitions() {
+        p.drain_l1()?;
+    }
+
+    // An aborted transaction: must be invisible in every partition.
+    let mut ab = db.begin(IsolationLevel::Transaction);
+    pt.insert(&ab, row(2000))?;
+    db.abort(&mut ab)?;
+
+    db.savepoint()?;
+    progress.savepoints += 1;
+
+    commit_pbatch(db, &pt, 24, 32)?;
+    progress.committed.push((24, 32));
+
+    // Uncommitted stragglers, spread over the shards by hash.
+    let zombie = db.begin(IsolationLevel::Transaction);
+    for id in 1000..1003 {
+        pt.insert(&zombie, row(id))?;
+    }
+    std::mem::forget(zombie);
+    Ok(())
+}
+
+/// Reopen after the crash and check the partitioned recovery contract.
+fn assert_partitioned_recovery(dir: &std::path::Path, progress: &Progress, point: u64) {
+    let db = Database::open(dir).unwrap_or_else(|e| {
+        panic!("crash point {point}: recovery must always succeed: {e} ({progress:?})")
+    });
+
+    match db.partitioned_table("p") {
+        Ok(pt) => {
+            assert_eq!(
+                pt.partition_count(),
+                3,
+                "crash point {point}: recovery lost a partition"
+            );
+            let r = db.begin(IsolationLevel::Transaction);
+            let snap = r.read_snapshot();
+            let read = pt.read_at(snap);
+            let mut expected = 0usize;
+            for &(lo, hi) in &progress.committed {
+                expected += (hi - lo) as usize;
+                for id in lo..hi {
+                    let hits = pt.point(snap, &Value::Int(id)).unwrap();
+                    assert_eq!(
+                        hits.len(),
+                        1,
+                        "crash point {point}: committed row {id} lost ({progress:?})"
+                    );
+                    assert_eq!(hits[0][1], Value::str(format!("v{id}")));
+                }
+            }
+            assert_eq!(
+                read.count(),
+                expected,
+                "crash point {point}: phantom rows beyond the committed set ({progress:?})"
+            );
+            for id in [1000i64, 1001, 1002, 2000] {
+                assert!(
+                    pt.point(snap, &Value::Int(id)).unwrap().is_empty(),
+                    "crash point {point}: non-committed row {id} visible"
+                );
+            }
+            // Every shard holds only rows that hash to it.
+            for (i, part) in pt.partitions().iter().enumerate() {
+                for vrow in part.read_at(snap).collect_rows() {
+                    assert_eq!(
+                        pt.route_index(&vrow.values[0]),
+                        i,
+                        "crash point {point}: row in the wrong partition"
+                    );
+                }
+            }
+            // The recovered group keeps accepting routed writes.
+            let mut txn = db.begin(IsolationLevel::Transaction);
+            pt.insert(&txn, row(5000)).unwrap();
+            db.commit(&mut txn).unwrap_or_else(|e| {
+                panic!("crash point {point}: post-recovery commit failed: {e}")
+            });
+        }
+        Err(_) => {
+            // A torn create: never acknowledged, never committed into.
+            assert!(
+                !progress.table_created,
+                "crash point {point}: create acknowledged but group lost"
+            );
+            assert!(
+                progress.committed.is_empty(),
+                "crash point {point}: commits acknowledged without a group"
+            );
+        }
+    }
+
+    // Page accounting balances across all shards' structures.
+    let p = db.persistence().expect("durable database");
+    let acct = p.page_accounting();
+    assert_eq!(
+        acct.allocated,
+        2 + acct.free + acct.live,
+        "crash point {point}: page accounting out of balance {acct:?}"
+    );
+    assert_eq!(p.pages().double_frees(), 0, "crash point {point}");
+
+    db.savepoint()
+        .unwrap_or_else(|e| panic!("crash point {point}: post-recovery savepoint failed: {e}"));
+    drop(db);
+
+    // Second reopen: the group and the post-recovery write both survive.
+    let db = Database::open(dir).unwrap();
+    if progress.table_created {
+        let pt = db.partitioned_table("p").unwrap();
+        let r = db.begin(IsolationLevel::Transaction);
+        assert_eq!(
+            pt.point(r.read_snapshot(), &Value::Int(5000))
+                .unwrap()
+                .len(),
+            1,
+            "crash point {point}: post-recovery write lost on second reopen"
+        );
+    }
+}
+
+#[test]
+fn partitioned_crash_matrix_recovers_every_partition() {
+    let dry = tempfile::tempdir().unwrap();
+    let injector = FaultInjector::new();
+    {
+        let db = Database::open_with_injector(dry.path(), Arc::clone(&injector)).unwrap();
+        let mut progress = Progress::default();
+        run_partitioned_workload(&db, &mut progress).expect("dry run must not fail");
+        assert_eq!(progress.committed.len(), 4);
+        assert_eq!(progress.savepoints, 2);
+    }
+    let total_ops = injector.ops();
+    assert!(
+        total_ops > 40,
+        "workload too small to be a meaningful matrix: {total_ops} ops"
+    );
+
+    let full = std::env::var("CRASH_MATRIX_FULL").is_ok_and(|v| v == "1");
+    let stride = if full {
+        1
+    } else {
+        (total_ops / P_MAX_POINTS).max(1)
+    };
+    let mut points: Vec<u64> = (0..total_ops).step_by(stride as usize).collect();
+    if points.last() != Some(&(total_ops - 1)) {
+        points.push(total_ops - 1);
+    }
+
+    for &point in &points {
+        let dir = tempfile::tempdir().unwrap();
+        let injector = FaultInjector::new();
+        injector.arm(FaultPolicy::crash_at(point));
+        let mut progress = Progress::default();
+        if let Ok(db) = Database::open_with_injector(dir.path(), Arc::clone(&injector)) {
+            let res = run_partitioned_workload(&db, &mut progress);
+            assert!(
+                res.is_err(),
+                "crash point {point}: injector must have killed the workload"
+            );
+        }
+        assert!(injector.crashed(), "crash point {point}: crash never fired");
+        assert_partitioned_recovery(dir.path(), &progress, point);
+    }
+}
+
 #[test]
 fn crash_everywhere_recovery_holds_at_every_io_operation() {
     // Dry run: count the I/O operations of one full workload.
