@@ -108,6 +108,25 @@ const METRICS: &[MetricSpec] = &[
         slack: 2.0,
     },
     MetricSpec {
+        id: "f7c_stall_reduction",
+        section: "F7c merge stall",
+        row: &[("publication", "non-blocking")],
+        col: "stall reduction",
+        better: Better::Higher,
+        // A ratio of two short exclusive holds: quick mode's small working
+        // set leaves the blocking arm's hold close to scheduler noise on
+        // shared CPUs, so run-to-run swing is wide.
+        slack: 3.0,
+    },
+    MetricSpec {
+        id: "f7c_mean_publication_lock_us",
+        section: "F7c merge stall",
+        row: &[("publication", "non-blocking")],
+        col: "mean publication lock (µs)",
+        better: Better::Lower,
+        slack: 2.0,
+    },
+    MetricSpec {
         id: "f10_single_main_point_us",
         section: "F10 passive+active main",
         row: &[("main layout", "single main")],

@@ -1,5 +1,6 @@
 //! The database façade: catalog, transactions, durability, recovery.
 
+use crate::gc::{GcShared, GcStats, TableGc};
 use crate::partition::{partition_name, shard_config, PartitionedTable};
 use crate::table::UnifiedTable;
 use hana_common::{
@@ -52,6 +53,8 @@ pub struct Database {
     partitioned: RwLock<FxHashMap<String, Arc<PartitionedTable>>>,
     next_table_id: AtomicU32,
     daemon: Mutex<Option<MergeDaemon>>,
+    /// Background MVCC GC state; `Some` once [`Database::enable_gc`] ran.
+    gc: Mutex<Option<Arc<GcShared>>>,
     commit_cfg: RwLock<CommitConfig>,
 }
 
@@ -66,6 +69,7 @@ impl Database {
             partitioned: RwLock::new(FxHashMap::default()),
             next_table_id: AtomicU32::new(0),
             daemon: Mutex::new(None),
+            gc: Mutex::new(None),
             commit_cfg: RwLock::new(CommitConfig::default()),
         })
     }
@@ -98,6 +102,7 @@ impl Database {
             partitioned: RwLock::new(FxHashMap::default()),
             next_table_id: AtomicU32::new(0),
             daemon: Mutex::new(None),
+            gc: Mutex::new(None),
             commit_cfg: RwLock::new(recovered.commit_config),
         });
 
@@ -291,8 +296,17 @@ impl Database {
         );
         tables.push(Arc::clone(&t));
         drop(tables);
+        let gc = self.gc.lock().clone();
+        if let Some(g) = &gc {
+            // Register before handing the target to the daemon so the
+            // cross-table trim gate counts this table from the first cycle.
+            g.register_table(t.id().0);
+        }
         if let Some(d) = &*self.daemon.lock() {
             d.add_target(Arc::clone(&t) as Arc<dyn MergeTarget>);
+            if let Some(g) = &gc {
+                d.add_target(TableGc::new(Arc::clone(&t), Arc::clone(g)) as Arc<dyn MergeTarget>);
+            }
         }
         Ok(t)
     }
@@ -378,9 +392,20 @@ impl Database {
         registry.insert(schema.name.clone(), Arc::clone(&pt));
         drop(registry);
         drop(tables);
+        let gc = self.gc.lock().clone();
+        if let Some(g) = &gc {
+            for t in &parts {
+                g.register_table(t.id().0);
+            }
+        }
         if let Some(d) = &*self.daemon.lock() {
             for t in &parts {
                 d.add_target(Arc::clone(t) as Arc<dyn MergeTarget>);
+                if let Some(g) = &gc {
+                    // One GC target per shard: collecting one partition
+                    // never stalls a sibling (per-target claim/backoff).
+                    d.add_target(TableGc::new(Arc::clone(t), Arc::clone(g)) as Arc<dyn MergeTarget>);
+                }
             }
         }
         Ok(pt)
@@ -547,13 +572,19 @@ impl Database {
     /// Start the background merge daemon with an explicit pool size
     /// (`0` = auto), so several tables can merge concurrently.
     pub fn start_merge_daemon_pool(&self, interval: std::time::Duration, workers: usize) {
-        let targets: Vec<Arc<dyn MergeTarget>> = self
+        let gc = self.gc.lock().clone();
+        let mut targets: Vec<Arc<dyn MergeTarget>> = self
             .tables
             .read()
             .list
             .iter()
             .map(|t| Arc::clone(t) as Arc<dyn MergeTarget>)
             .collect();
+        if let Some(g) = &gc {
+            for t in self.tables.read().list.iter() {
+                targets.push(TableGc::new(Arc::clone(t), Arc::clone(g)) as Arc<dyn MergeTarget>);
+            }
+        }
         *self.daemon.lock() = Some(MergeDaemon::spawn_pool(targets, interval, workers));
     }
 
@@ -572,6 +603,33 @@ impl Database {
         if let Some(d) = &*self.daemon.lock() {
             d.nudge();
         }
+    }
+
+    /// Enable background MVCC garbage collection: every catalog table (and
+    /// every table or partition shard created afterwards) gets a
+    /// [`TableGc`] target driven by the merge daemon. Idempotent in effect
+    /// but each call resets the counters; call once, before or after
+    /// [`Database::start_merge_daemon`].
+    pub fn enable_gc(&self) {
+        let shared = GcShared::new();
+        *self.gc.lock() = Some(Arc::clone(&shared));
+        let tables = self.tables.read().list.clone();
+        for t in &tables {
+            shared.register_table(t.id().0);
+        }
+        if let Some(d) = &*self.daemon.lock() {
+            for t in &tables {
+                d.add_target(
+                    TableGc::new(Arc::clone(t), Arc::clone(&shared)) as Arc<dyn MergeTarget>
+                );
+            }
+        }
+    }
+
+    /// Snapshot of the garbage collector's aggregate statistics, if GC is
+    /// enabled (mirrors [`Database::merge_daemon_stats`]).
+    pub fn gc_stats(&self) -> Option<GcStats> {
+        self.gc.lock().as_ref().map(|g| g.stats())
     }
 }
 

@@ -44,6 +44,7 @@
 
 pub mod database;
 pub mod filter;
+pub mod gc;
 pub mod lifecycle;
 pub mod loc;
 pub mod partition;
@@ -55,6 +56,7 @@ pub mod write;
 
 pub use database::Database;
 pub use filter::{ColumnPredicate, ScanStats};
+pub use gc::{GcShared, GcStats, TableGc};
 pub use lifecycle::StageStats;
 pub use loc::Loc;
 pub use partition::{PartitionedRead, PartitionedTable};

@@ -1,26 +1,37 @@
 //! Record-lifecycle orchestration on the unified table.
 //!
-//! * [`UnifiedTable::merge_l1`] — the incremental L1→L2 merge, run entirely
-//!   under the exclusive state lock (it is short: at most `l1_max_rows`
-//!   appends), so the copy + L2 publication + L1 truncation are atomic for
-//!   every reader.
+//! * [`UnifiedTable::merge_l1`] — the incremental L1→L2 merge. The copy
+//!   stream runs **without any lock** against an L1 snapshot, appending into
+//!   the open L2's unpublished tail; publication (advance the L2 fence,
+//!   truncate the L1 prefix, reconcile raced end stamps) is a brief
+//!   exclusive section bounded by `l1_max_rows`, never by the stream length.
+//!   If the open L2 was frozen by a delta merge while the copy ran, the run
+//!   *abandons*: its unpublished appends stay invisible and die with the
+//!   frozen L2, and the rows remain in L1 for a retry into the new open L2
+//!   (the generation handoff that lets both merge kinds overlap).
 //! * [`UnifiedTable::merge_delta`] — the delta-to-main merge: freeze the
 //!   open L2 and open a fresh one (brief exclusive lock), build the new main
-//!   **without any lock**, then publish under a brief exclusive lock,
-//!   re-applying end stamps that raced the build. A failed merge keeps the
-//!   frozen L2 and is retried later ("the system still operates with the new
-//!   L2-delta and retries the merge").
+//!   **without any lock**, drain raced end stamps off-line against the
+//!   finished build, then publish with a constant-time swap that re-applies
+//!   only the residue. A failed merge keeps the frozen L2 and is retried
+//!   later ("the system still operates with the new L2-delta and retries
+//!   the merge").
 //! * [`UnifiedTable::maybe_merge`] — the policy-driven entry point the
 //!   [`MergeDaemon`](hana_merge::MergeDaemon) calls.
+//!
+//! `MergeConfig::legacy_blocking_publication` re-enables the old protocol
+//! (stream + reconciliation inside the exclusive section) as the baseline
+//! arm of the F7c writer-stall experiment.
 
 use crate::table::UnifiedTable;
-use hana_common::{HanaError, Result};
+use hana_column::Pos;
+use hana_common::{HanaError, Result, RowId, Timestamp};
 use hana_merge::{
     classic_merge, decide_delta_merge, decide_l1_merge, l1_to_l2_merge, partial_merge,
     resort_merge, MergeDecision, MergeInput, MergeTarget,
 };
 use hana_persist::LogRecord;
-use hana_store::L2Delta;
+use hana_store::{L2Delta, MainStore};
 use rustc_hash::FxHashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -73,26 +84,142 @@ impl UnifiedTable {
     /// number of rows moved.
     pub fn merge_l1(&self) -> Result<usize> {
         let _m = self.l1_merge_lock.lock();
+        if self.config.merge.legacy_blocking_publication {
+            return self.merge_l1_blocking();
+        }
+
+        // Step 1 (brief shared lock): pin the open L2 and remember its
+        // generation for the publication-time handoff check.
+        let (l2, gen) = {
+            let state = self.state.read();
+            (Arc::clone(&state.l2), state.l2.generation())
+        };
+        // L1 positions are never reused, so stale queue entries from an
+        // earlier run are harmless — but start clean anyway. The flag must
+        // be up before the copy reads any stamp.
+        self.pending_l1_ends.lock().clear();
+        self.l1_merge_running.store(true, Ordering::SeqCst);
+
+        // Step 2 (no lock): copy the settled L1 prefix into the open L2's
+        // unpublished tail. A racing freeze may close `l2` under us; the
+        // append then fails retryably and the next run targets the new L2.
+        let outcome = match l1_to_l2_merge(
+            &self.l1,
+            &l2,
+            &self.mgr,
+            self.history.is_some(),
+            self.config.l1_max_rows.max(1),
+        ) {
+            Ok(o) => o,
+            Err(e) => {
+                self.l1_merge_running.store(false, Ordering::SeqCst);
+                return Err(e);
+            }
+        };
+        let moved = outcome.moved.len();
+        if moved == 0 && outcome.dropped.is_empty() {
+            self.l1_merge_running.store(false, Ordering::SeqCst);
+            return Ok(0);
+        }
+
+        // Step 3 (no lock): drain end stamps that raced the copy, applying
+        // them to the L2 copies while still unpublished. This is the fast
+        // path that keeps the exclusive section's residue small.
+        let pos_map: FxHashMap<u64, Pos> = outcome
+            .moved
+            .iter()
+            .map(|&(_, l1_pos, l2_pos)| (l1_pos, l2_pos))
+            .collect();
+        let apply = |queued: Vec<(u64, Timestamp)>| {
+            for (l1_pos, ts) in queued {
+                if let Some(&l2_pos) = pos_map.get(&l1_pos) {
+                    l2.store_end(l2_pos, ts);
+                }
+            }
+        };
+        apply(std::mem::take(&mut *self.pending_l1_ends.lock()));
+
+        // Step 4 (brief exclusive lock): publish — or abandon if the open
+        // L2 changed generation (a delta merge froze it mid-copy).
+        let published = {
+            let state = self.state.write();
+            let held = std::time::Instant::now();
+            let published = if state.l2.generation() != gen {
+                false
+            } else {
+                apply(std::mem::take(&mut *self.pending_l1_ends.lock()));
+                // Correctness anchor (the queue alone has a store-ordering
+                // race): every moved slot's end stamp is re-read here.
+                // Writers only stamp ends inside `state.read()` sections,
+                // all of which happened-before this `state.write()`.
+                for &(_, l1_pos, l2_pos) in &outcome.moved {
+                    if let Some(end) = self.l1.with_slot(l1_pos, |s| s.end()) {
+                        if end != l2.end(l2_pos) {
+                            l2.store_end(l2_pos, end);
+                        }
+                    }
+                }
+                l2.publish_all();
+                self.l1.truncate_prefix(outcome.truncate_upto);
+                if let Some(h) = &self.history {
+                    for v in outcome.historic {
+                        h.push(v);
+                    }
+                }
+                true
+            };
+            drop(state);
+            self.note_publication_stall(held.elapsed());
+            published
+        };
+        self.l1_merge_running.store(false, Ordering::SeqCst);
+        if !published {
+            // Unpublished appends die with the frozen L2; the rows are
+            // still in L1 and the next run re-merges them into the new L2.
+            return Err(HanaError::Merge(
+                "open L2 frozen during L1→L2 copy; retry against the new L2".into(),
+            ));
+        }
+        if moved > 0 {
+            // Best-effort: the rows have already moved, recovery replays
+            // them from their first-appearance records and ignores merge
+            // events, and a degraded log must not block in-memory memory
+            // management.
+            let _ = self.redo(&LogRecord::MergeEvent {
+                table: self.id,
+                kind: 0,
+                l2_generation: gen,
+            });
+        }
+        Ok(moved)
+    }
+
+    /// The pre-non-blocking L1→L2 protocol: stream + publication both under
+    /// the exclusive state lock. Baseline arm of the F7c experiment.
+    fn merge_l1_blocking(&self) -> Result<usize> {
         let state = self.state.write();
+        let held = std::time::Instant::now();
         let outcome = l1_to_l2_merge(
             &self.l1,
             &state.l2,
             &self.mgr,
-            self.history.as_ref(),
+            self.history.is_some(),
             self.config.l1_max_rows.max(1),
         )?;
         let moved = outcome.moved.len();
         if moved > 0 || !outcome.dropped.is_empty() {
             state.l2.publish_all();
             self.l1.truncate_prefix(outcome.truncate_upto);
+            if let Some(h) = &self.history {
+                for v in outcome.historic {
+                    h.push(v);
+                }
+            }
         }
         let gen = state.l2.generation();
         drop(state);
+        self.note_publication_stall(held.elapsed());
         if moved > 0 {
-            // Best-effort: the rows have already moved, recovery replays
-            // them from their first-appearance records and ignores merge
-            // events, and a degraded log must not block in-memory memory
-            // management.
             let _ = self.redo(&LogRecord::MergeEvent {
                 table: self.id,
                 kind: 0,
@@ -128,22 +255,30 @@ impl UnifiedTable {
         let _m = self.delta_merge_lock.lock();
 
         // Phase 1 (brief exclusive lock): freeze the open L2-delta unless a
-        // previous failed merge left one frozen, and open a fresh L2.
+        // previous failed merge left one frozen, and open a fresh L2. The
+        // frozen L2 is *not* blindly published: an L1→L2 copy racing this
+        // freeze may have appended unreconciled rows past the fence, and
+        // those must stay invisible (that run abandons on the generation
+        // change). Everything legitimately in the L2 is already published —
+        // both producers publish inside their own critical sections.
         let (frozen, main) = {
             let mut state = self.state.write();
+            let held = std::time::Instant::now();
             if state.l2_frozen.is_none() {
                 let fresh = Arc::new(L2Delta::new(self.schema.clone(), self.alloc_generation()));
                 let old = std::mem::replace(&mut state.l2, fresh);
                 old.close();
-                old.publish_all();
                 state.l2_frozen = Some(old);
             }
             self.pending_ends.lock().clear();
             self.delta_merge_running.store(true, Ordering::SeqCst);
-            (
+            let pinned = (
                 Arc::clone(state.l2_frozen.as_ref().unwrap()),
                 Arc::clone(&state.main),
-            )
+            );
+            drop(state);
+            self.note_publication_stall(held.elapsed());
+            pinned
         };
 
         // Phase 2 (no lock): build the new main. The per-column work fans
@@ -178,13 +313,13 @@ impl UnifiedTable {
             }
         };
 
-        // Phase 3 (brief exclusive lock): re-apply raced end stamps to the
-        // freshly built part(s), then swap.
-        {
+        if self.config.merge.legacy_blocking_publication {
+            // Legacy protocol: index building + full pending replay inside
+            // the exclusive section (work proportional to the new main).
             let mut state = self.state.write();
+            let held = std::time::Instant::now();
             let pending = std::mem::take(&mut *self.pending_ends.lock());
             if !pending.is_empty() {
-                // Rows built by this merge live in parts with `generation`.
                 for part in new_main
                     .parts()
                     .iter()
@@ -207,6 +342,48 @@ impl UnifiedTable {
             state.l2_frozen = None;
             *self.last_merge_metrics.lock() = Some(metrics);
             self.delta_merge_running.store(false, Ordering::SeqCst);
+            drop(state);
+            self.note_publication_stall(held.elapsed());
+        } else {
+            // Phase 2b (no lock): index the freshly built part(s) — rows of
+            // this merge live in parts stamped `generation`; passive parts
+            // of a partial merge are shared `Arc`s whose end stamps writers
+            // hit directly — and drain the bulk of the raced end stamps
+            // against the still-unpublished build.
+            let index: FxHashMap<RowId, (usize, u32)> = new_main
+                .parts()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.generation() == generation)
+                .flat_map(|(pi, p)| {
+                    p.row_ids()
+                        .iter()
+                        .enumerate()
+                        .map(move |(pos, id)| (*id, (pi, pos as u32)))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let apply = |new_main: &MainStore, queued: Vec<(RowId, Timestamp)>| {
+                for (row_id, ts) in queued {
+                    if let Some(&(pi, pos)) = index.get(&row_id) {
+                        new_main.parts()[pi].store_end(pos, ts);
+                    }
+                }
+            };
+            apply(&new_main, std::mem::take(&mut *self.pending_ends.lock()));
+
+            // Phase 3 (brief exclusive lock): drain the residue through the
+            // prebuilt index — bounded by the end stamps that raced the one
+            // off-line drain above, not by table size — then swap.
+            let mut state = self.state.write();
+            let held = std::time::Instant::now();
+            apply(&new_main, std::mem::take(&mut *self.pending_ends.lock()));
+            state.main = Arc::new(new_main);
+            state.l2_frozen = None;
+            *self.last_merge_metrics.lock() = Some(metrics);
+            self.delta_merge_running.store(false, Ordering::SeqCst);
+            drop(state);
+            self.note_publication_stall(held.elapsed());
         }
         // Best-effort, after publication: the new main is already visible
         // and correct without this record (recovery ignores merge events),

@@ -76,7 +76,7 @@ impl UnifiedTable {
             l2_frozen: state
                 .l2_frozen
                 .as_ref()
-                .map(|f| (Arc::clone(f), f.len() as Pos)),
+                .map(|f| (Arc::clone(f), f.published_len())),
             main: Arc::clone(&state.main),
             table: Arc::clone(self),
             cache_hits: AtomicU64::new(0),

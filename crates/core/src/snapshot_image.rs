@@ -56,10 +56,14 @@ impl UnifiedTable {
             });
         }
         // Frozen rows (if a merge is mid-build) fold into the open delta's
-        // image; recovery rebuilds one open L2 and re-merges later.
+        // image; recovery rebuilds one open L2 and re-merges later. Only
+        // *published* rows enter the image: an in-flight L1→L2 copy's
+        // unpublished tail is still represented by its L1 slots above
+        // (truncation and publication are atomic under `state.write()`,
+        // which this shared hold excludes).
         let mut l2_rows = Vec::new();
         let mut dump_l2 = |l2: &L2Delta| {
-            for pos in 0..l2.len() as u32 {
+            for pos in 0..l2.published_len() {
                 let Some(begin) = self.image_stamp(l2.begin(pos), true) else {
                     continue;
                 };

@@ -9,16 +9,30 @@
 //! * `fence` (database-wide): writers shared, savepoint exclusive — the
 //!   savepoint must see no write between image building and log truncation.
 //! * `state`: writers and readers take it shared for the duration of one
-//!   operation / view capture; merge *publications* (and the whole short
-//!   L1→L2 merge) take it exclusively. The long delta-to-main build runs
-//!   without any lock against a frozen L2 + immutable main.
+//!   operation / view capture; merge *publications* take it exclusively for
+//!   a constant-time window (pointer swap + bounded reconciliation — never
+//!   per-column or per-row-set work). Both the delta-to-main build and the
+//!   L1→L2 copy stream run without any lock: the former against a frozen
+//!   L2 + immutable main, the latter against an L1 snapshot and the open
+//!   L2's unpublished tail.
 //! * End-stamp writes that land in the frozen L2 or the main while a
-//!   delta-to-main merge is building are recorded in `pending_ends` and
-//!   re-applied to the new main at publication, under the exclusive state
-//!   lock — no deletion can be lost to the structure swap.
+//!   delta-to-main merge is building are recorded in `pending_ends`; the
+//!   merge drains them off-line against the finished build and re-applies
+//!   only the residue at publication — no deletion can be lost to the
+//!   structure swap. End stamps landing in L1 slots while an L1→L2 copy
+//!   runs are likewise queued in `pending_l1_ends` and, as the correctness
+//!   anchor, every moved slot's end stamp is re-read under the exclusive
+//!   lock before the publication (writers stamp ends inside `state.read()`
+//!   sections, so those stores happen-before our `state.write()`).
+//! * `l1_merge_lock` serializes L1→L2 merges against each other and against
+//!   bulk loads (the only two producers of open-L2 rows); it is *not* held
+//!   across the delta-to-main merge, which instead hands the open L2 off by
+//!   generation: freezing swaps in a new open L2, and an in-flight L1→L2
+//!   run detects the generation change at publication time and abandons
+//!   (its unpublished appends die with the frozen L2 once merged away).
 //!
-//! Lock order: `fence` → `merge locks` → `state` → store internals. Never
-//! acquire `state` twice on one call path.
+//! Lock order: `fence` → `l1_merge_lock`/`delta_merge_lock` → `state` →
+//! store internals. Never acquire `state` twice on one call path.
 
 use crate::loc::Loc;
 use hana_common::{Result, RowId, Schema, TableConfig, TableId, Timestamp, Value};
@@ -62,8 +76,26 @@ pub struct UnifiedTable {
     pub(crate) delta_merge_running: AtomicBool,
     /// End-stamp writes raced against the running merge (see module docs).
     pub(crate) pending_ends: Mutex<Vec<(RowId, Timestamp)>>,
+    /// True while an L1→L2 merge is copying its snapshot off-lock.
+    pub(crate) l1_merge_running: AtomicBool,
+    /// `(L1 logical position, end stamp)` writes raced against the running
+    /// L1→L2 copy (fast-path queue; see module docs).
+    pub(crate) pending_l1_ends: Mutex<Vec<(u64, Timestamp)>>,
     /// Metrics of the most recent delta-to-main merge.
     pub(crate) last_merge_metrics: Mutex<Option<hana_merge::MergeMetrics>>,
+    /// Longest time any merge held the writers' `state` lock exclusively
+    /// (ns) — the F7c "writer-observed stall" instrument: on the
+    /// non-blocking protocol this stays constant-time regardless of table
+    /// size.
+    pub(crate) publication_stall_ns: AtomicU64,
+    /// Sum + count of those exclusive holds, for a preemption-robust mean
+    /// (a single mid-hold descheduling inflates the max by a scheduler
+    /// quantum on small machines).
+    pub(crate) publication_stall_total_ns: AtomicU64,
+    pub(crate) publication_stall_events: AtomicU64,
+    /// Background-GC bookkeeping (watermark of the last cycle, per-part
+    /// end-version highwater) — see [`crate::gc`].
+    pub(crate) gc_state: Mutex<crate::gc::TableGcState>,
 }
 
 impl UnifiedTable {
@@ -99,7 +131,13 @@ impl UnifiedTable {
             delta_merge_lock: Mutex::new(()),
             delta_merge_running: AtomicBool::new(false),
             pending_ends: Mutex::new(Vec::new()),
+            l1_merge_running: AtomicBool::new(false),
+            pending_l1_ends: Mutex::new(Vec::new()),
             last_merge_metrics: Mutex::new(None),
+            publication_stall_ns: AtomicU64::new(0),
+            publication_stall_total_ns: AtomicU64::new(0),
+            publication_stall_events: AtomicU64::new(0),
+            gc_state: Mutex::new(crate::gc::TableGcState::default()),
         })
     }
 
@@ -139,6 +177,44 @@ impl UnifiedTable {
     /// The history store, for historic tables.
     pub fn history(&self) -> Option<&HistoryStore> {
         self.history.as_ref()
+    }
+
+    /// Longest observed exclusive hold of the writers' lock by any merge
+    /// publication, in nanoseconds (0 if no merge ran yet).
+    pub fn max_publication_stall_ns(&self) -> u64 {
+        self.publication_stall_ns.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all exclusive holds across merge publications, in nanoseconds.
+    pub fn total_publication_stall_ns(&self) -> u64 {
+        self.publication_stall_total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean exclusive hold across all merge publications, in nanoseconds.
+    pub fn mean_publication_stall_ns(&self) -> u64 {
+        let n = self.publication_stall_events.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0;
+        }
+        self.publication_stall_total_ns.load(Ordering::Relaxed) / n
+    }
+
+    /// Zero the stall instruments — benchmarks call this to scope the
+    /// measurement to a quiesced window.
+    pub fn reset_publication_stall(&self) {
+        self.publication_stall_ns.store(0, Ordering::Relaxed);
+        self.publication_stall_total_ns.store(0, Ordering::Relaxed);
+        self.publication_stall_events.store(0, Ordering::Relaxed);
+    }
+
+    /// Record one exclusive-section duration (called by the merge paths).
+    pub(crate) fn note_publication_stall(&self, held_for: std::time::Duration) {
+        let ns = held_for.as_nanos() as u64;
+        self.publication_stall_ns.fetch_max(ns, Ordering::Relaxed);
+        self.publication_stall_total_ns
+            .fetch_add(ns, Ordering::Relaxed);
+        self.publication_stall_events
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Release this transaction's row locks (called by
@@ -226,6 +302,9 @@ impl UnifiedTable {
         match loc {
             Loc::L1(pos) => {
                 self.l1.with_slot(pos, |s| s.store_end(ts));
+                if self.l1_merge_running.load(Ordering::Acquire) {
+                    self.pending_l1_ends.lock().push((pos, ts));
+                }
             }
             Loc::L2 { gen, pos } => {
                 let frozen = state
@@ -270,7 +349,9 @@ impl UnifiedTable {
             }
         }
         if let Some(f) = &state.l2_frozen {
-            let fence = f.len() as u32;
+            // Published fence, not physical length: an abandoned L1→L2 run
+            // may have appended unpublished rows past it.
+            let fence = f.published_len();
             for pos in f.positions_eq(col, v, fence) {
                 out.push(Loc::L2 {
                     gen: f.generation(),

@@ -46,6 +46,10 @@ impl UnifiedTable {
         }
         let _f = self.fence.read();
         txn.note_table(self.id);
+        // Bulk loads and L1→L2 merges are the only producers of open-L2
+        // rows; taking `l1_merge_lock` first (lock order: fence →
+        // l1_merge_lock → state) keeps `publish_all` exact for both.
+        let _l1m = self.l1_merge_lock.lock();
         let state = self.state.read();
         let snap = txn.read_snapshot();
         // Uniqueness: against existing data and within the batch.

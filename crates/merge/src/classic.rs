@@ -140,7 +140,7 @@ fn merge_one_column_fast(
 
     // Liveness flags per dictionary code.
     let mut main_used = vec![false; main_dict.len()];
-    let fence = input.l2.len() as u32;
+    let fence = input.l2.published_len();
     let (l2_used, l2_row_codes) = input.l2.with_column(col, fence, |dict, l2_codes| {
         (vec![false; dict.len()], l2_codes.to_vec())
     });
@@ -260,7 +260,7 @@ pub fn classic_merge(
 ) -> Result<DeltaMergeOutcome> {
     debug_assert!(input.l2.is_closed(), "merge consumes a closed L2-delta");
     let started = Instant::now();
-    let rows_in = input.main.total_rows() + input.l2.len();
+    let rows_in = input.main.total_rows() + input.l2.published_len() as usize;
     let survivors = collect_survivors(input, mgr, history, input.main.iter_hits())?;
     let merged = build_merged_columns(input, &survivors);
     let paths = merged.paths.clone();
@@ -489,6 +489,7 @@ mod tests {
             COMMIT_TS_MAX,
         )
         .unwrap();
+        l2.publish_all();
         l2.close();
         let err = classic_merge(&input(&main, &l2), &mgr, None).unwrap_err();
         assert!(err.is_retryable());
@@ -507,6 +508,7 @@ mod tests {
             COMMIT_TS_MAX,
         )
         .unwrap();
+        l2.publish_all();
         txn.abort().unwrap();
         l2.close();
         let out = classic_merge(&input(&main, &l2), &mgr, None).unwrap();
@@ -528,6 +530,7 @@ mod tests {
             COMMIT_TS_MAX,
         )
         .unwrap();
+        l2.publish_all();
         l2.close();
         let out = classic_merge(&input(&main, &l2), &mgr, None).unwrap();
         let m = &out.new_main;

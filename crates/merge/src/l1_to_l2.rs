@@ -10,12 +10,16 @@
 //! This function performs the copy (phases 1+2) and reports what the caller
 //! must publish atomically (phase 3): advance the L2 reader fence and
 //! truncate the L1 prefix under the table lock, so every reader sees each
-//! row in exactly one stage.
+//! row in exactly one stage. Side effects that must not happen twice — in
+//! particular history archival for historic tables — are *deferred* into the
+//! outcome: a run may be abandoned (e.g. the target L2 got frozen while the
+//! copy ran off-lock), and only the caller knows whether publication
+//! actually happened.
 
 use hana_column::Pos;
 use hana_common::{Result, RowId, Timestamp, TxnId, COMMIT_TS_MAX};
 use hana_rowstore::L1Delta;
-use hana_store::{HistoricVersion, HistoryStore, L2Delta};
+use hana_store::{HistoricVersion, L2Delta};
 use hana_txn::{Resolution, TxnManager};
 
 /// Report of one L1→L2 merge run.
@@ -29,6 +33,9 @@ pub struct L1MergeOutcome {
     pub truncate_upto: u64,
     /// True if the run stopped early at an unsettled slot.
     pub blocked: bool,
+    /// Garbage versions of a historic table, to be archived by the caller
+    /// *iff* this run publishes (never on an abandoned run).
+    pub historic: Vec<HistoricVersion>,
 }
 
 fn resolve(mgr: &TxnManager, ts: Timestamp, is_begin: bool) -> Option<Option<Timestamp>> {
@@ -51,7 +58,7 @@ pub fn l1_to_l2_merge(
     l1: &L1Delta,
     l2: &L2Delta,
     mgr: &TxnManager,
-    history: Option<&HistoryStore>,
+    collect_history: bool,
     max_rows: usize,
 ) -> Result<L1MergeOutcome> {
     let snap = l1.snapshot();
@@ -92,8 +99,8 @@ pub fn l1_to_l2_merge(
         };
         if end <= watermark {
             // Dead to every live and future snapshot.
-            if let Some(h) = history {
-                h.push(HistoricVersion {
+            if collect_history {
+                outcome.historic.push(HistoricVersion {
                     row_id: slot.row_id,
                     begin,
                     end,
@@ -124,6 +131,7 @@ pub fn l1_to_l2_merge(
 mod tests {
     use super::*;
     use hana_common::{ColumnDef, DataType, Schema, Value};
+    use hana_store::HistoryStore;
     use hana_txn::IsolationLevel;
 
     fn schema() -> Schema {
@@ -155,7 +163,7 @@ mod tests {
         let l1 = L1Delta::new();
         let l2 = L2Delta::new(schema(), 0);
         fill_l1(&l1, &mgr, 10);
-        let out = l1_to_l2_merge(&l1, &l2, &mgr, None, usize::MAX).unwrap();
+        let out = l1_to_l2_merge(&l1, &l2, &mgr, false, usize::MAX).unwrap();
         assert_eq!(out.moved.len(), 10);
         assert_eq!(out.truncate_upto, 10);
         assert!(!out.blocked);
@@ -188,7 +196,7 @@ mod tests {
             open.id().mark(),
         );
         fill_l1(&l1, &mgr, 2); // settled rows behind it
-        let out = l1_to_l2_merge(&l1, &l2, &mgr, None, usize::MAX).unwrap();
+        let out = l1_to_l2_merge(&l1, &l2, &mgr, false, usize::MAX).unwrap();
         assert!(out.blocked);
         assert_eq!(out.moved.len(), 3);
         assert_eq!(out.truncate_upto, 3);
@@ -196,7 +204,7 @@ mod tests {
         l1.truncate_prefix(out.truncate_upto);
         // After the blocker resolves, the rest moves.
         drop(open); // abort it instead
-        let out2 = l1_to_l2_merge(&l1, &l2, &mgr, None, usize::MAX).unwrap();
+        let out2 = l1_to_l2_merge(&l1, &l2, &mgr, false, usize::MAX).unwrap();
         assert!(!out2.blocked);
         assert_eq!(out2.moved.len(), 2);
         // The aborted insert was dropped.
@@ -210,7 +218,7 @@ mod tests {
         let l1 = L1Delta::new();
         let l2 = L2Delta::new(schema(), 0);
         fill_l1(&l1, &mgr, 10);
-        let out = l1_to_l2_merge(&l1, &l2, &mgr, None, 4).unwrap();
+        let out = l1_to_l2_merge(&l1, &l2, &mgr, false, 4).unwrap();
         assert_eq!(out.moved.len(), 4);
         assert_eq!(out.truncate_upto, 4);
     }
@@ -233,10 +241,15 @@ mod tests {
         l1.with_slot(0, |s| s.store_end(t2.id().mark())).unwrap();
         t2.commit().unwrap();
         // No active snapshots ⇒ watermark is current ⇒ the version is garbage.
-        let out = l1_to_l2_merge(&l1, &l2, &mgr, Some(&history), usize::MAX).unwrap();
+        let out = l1_to_l2_merge(&l1, &l2, &mgr, true, usize::MAX).unwrap();
         assert_eq!(out.moved.len(), 0);
         assert_eq!(out.dropped.len(), 1);
-        assert_eq!(history.len(), 1);
+        // Archival is deferred to the caller's publication step.
+        assert_eq!(history.len(), 0);
+        assert_eq!(out.historic.len(), 1);
+        for v in out.historic {
+            history.push(v);
+        }
         let v = &history.history_of(RowId(0))[0];
         assert_eq!(v.values[1], Value::str("old"));
     }
@@ -258,7 +271,7 @@ mod tests {
         let mut t2 = mgr.begin(IsolationLevel::Transaction);
         l1.with_slot(0, |s| s.store_end(t2.id().mark())).unwrap();
         let del_ts = t2.commit().unwrap();
-        let out = l1_to_l2_merge(&l1, &l2, &mgr, None, usize::MAX).unwrap();
+        let out = l1_to_l2_merge(&l1, &l2, &mgr, false, usize::MAX).unwrap();
         assert_eq!(out.moved.len(), 1);
         assert_eq!(l2.end(0), del_ts);
         drop(pin);
@@ -273,11 +286,11 @@ mod tests {
         let l1 = L1Delta::new();
         let l2 = L2Delta::new(schema(), 0);
         fill_l1(&l1, &mgr, 1000);
-        l1_to_l2_merge(&l1, &l2, &mgr, None, usize::MAX).unwrap();
+        l1_to_l2_merge(&l1, &l2, &mgr, false, usize::MAX).unwrap();
         l1.truncate_prefix(1000);
         let dict_before = l2.with_column(1, 1000, |d, _| d.len());
         fill_l1(&l1, &mgr, 10);
-        let out = l1_to_l2_merge(&l1, &l2, &mgr, None, usize::MAX).unwrap();
+        let out = l1_to_l2_merge(&l1, &l2, &mgr, false, usize::MAX).unwrap();
         assert_eq!(out.moved.len(), 10);
         assert_eq!(l2.len(), 1010);
         // Dictionary unchanged (same 3 cities), no reorganization.

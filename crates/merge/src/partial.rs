@@ -33,7 +33,8 @@ pub fn partial_merge(
     let started = Instant::now();
     let passive: Vec<Arc<MainPart>> = input.main.passive_parts().to_vec();
     let passive_count = passive.len();
-    let rows_in = input.main.active_part().map_or(0, |p| p.len()) + input.l2.len();
+    let rows_in =
+        input.main.active_part().map_or(0, |p| p.len()) + input.l2.published_len() as usize;
 
     // Only the active part's rows re-enter the merge.
     let active_hits = input

@@ -53,7 +53,7 @@ pub fn resort_merge(
 ) -> Result<ResortOutcome> {
     debug_assert!(input.l2.is_closed(), "merge consumes a closed L2-delta");
     let started = Instant::now();
-    let rows_in = input.main.total_rows() + input.l2.len();
+    let rows_in = input.main.total_rows() + input.l2.published_len() as usize;
     let survivors = collect_survivors(input, mgr, history, input.main.iter_hits())?;
     let mut merged = build_merged_columns(input, &survivors);
     let sort_columns = choose_sort_order(&merged);

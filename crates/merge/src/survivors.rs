@@ -143,7 +143,10 @@ pub(crate) fn collect_survivors(
             from_main += 1;
         }
     }
-    let fence = input.l2.len() as Pos;
+    // Only *published* L2 rows enter the merge: an abandoned L1→L2 run may
+    // leave physical appends past the publication fence, and those must
+    // never leak into a main build.
+    let fence = input.l2.published_len();
     let stamps = input.l2.stamps(fence);
     for (pos, (row_id, begin_raw, end_raw)) in stamps.into_iter().enumerate() {
         let pos = pos as Pos;

@@ -58,6 +58,24 @@ impl Slot {
     pub fn store_begin(&self, ts: Timestamp) {
         self.begin.store(ts, Ordering::Release);
     }
+
+    /// Resolve a begin-stamp mark to its committed value (GC sweep); a
+    /// racing rewrite wins via compare-exchange.
+    #[inline]
+    pub fn resolve_begin(&self, old_mark: Timestamp, resolved: Timestamp) -> bool {
+        self.begin
+            .compare_exchange(old_mark, resolved, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Resolve an end-stamp mark to its settled value (GC sweep); a racing
+    /// deleter always wins via compare-exchange.
+    #[inline]
+    pub fn resolve_end(&self, old_mark: Timestamp, resolved: Timestamp) -> bool {
+        self.end
+            .compare_exchange(old_mark, resolved, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
 }
 
 /// A fixed-capacity run of slots. `len` only grows; published slots are

@@ -226,6 +226,22 @@ impl L2Delta {
         self.inner.read().begins[pos as usize].store(ts, Ordering::Release);
     }
 
+    /// Resolve a begin-stamp mark to its committed value (GC). Races the
+    /// (recovery-only) begin writers via compare-exchange.
+    pub fn resolve_begin(&self, pos: Pos, old_mark: Timestamp, resolved: Timestamp) -> bool {
+        self.inner.read().begins[pos as usize]
+            .compare_exchange(old_mark, resolved, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Resolve an end-stamp mark to its settled value (GC). Only lands if
+    /// the stamp still holds `old_mark`, so a racing deleter always wins.
+    pub fn resolve_end(&self, pos: Pos, old_mark: Timestamp, resolved: Timestamp) -> bool {
+        self.inner.read().ends[pos as usize]
+            .compare_exchange(old_mark, resolved, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
     /// The value at `(pos, col)`.
     pub fn value(&self, pos: Pos, col: usize) -> Value {
         let inner = self.inner.read();

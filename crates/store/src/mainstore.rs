@@ -245,6 +245,35 @@ impl MainPart {
         self.end_writes.fetch_add(1, Ordering::Release);
     }
 
+    /// Resolve an end-stamp *mark* to its settled value without bumping the
+    /// write counter (GC mark resolution). The rewrite races real deleters,
+    /// so it only lands if the stamp still holds `old_mark`; a settled value
+    /// is semantically identical to the mark it replaces (readers resolved
+    /// the mark to the same timestamp via the commit table), which is why
+    /// cached visibility bitmaps stay valid and no bump is needed.
+    ///
+    /// Returns true if the rewrite landed.
+    pub fn resolve_end(&self, pos: Pos, old_mark: Timestamp, resolved: Timestamp) -> bool {
+        self.ends[pos as usize]
+            .compare_exchange(old_mark, resolved, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Evict cached visibility bitmaps for snapshots older than the MVCC
+    /// watermark (no live or future reader can use them). Returns the
+    /// number of entries dropped.
+    pub fn evict_visibility_below(&self, watermark: Timestamp) -> usize {
+        let mut cache = self.vis_cache.lock();
+        let before = cache.len();
+        cache.retain(|e| e.ts >= watermark);
+        before - cache.len()
+    }
+
+    /// Number of cached visibility bitmaps (GC accounting).
+    pub fn vis_cache_len(&self) -> usize {
+        self.vis_cache.lock().len()
+    }
+
     /// True when every row of this part is visible to *any* snapshot at
     /// commit timestamp `ts`: all begin stamps are committed and ≤ `ts`,
     /// and no row has ever carried a deletion stamp. Such parts need no
@@ -254,6 +283,14 @@ impl MainPart {
             && !self.initial_ends
             && self.end_writes.load(Ordering::Acquire) == 0
             && self.max_begin <= ts
+    }
+
+    /// True if any begin stamp was still an uncommitted-writer mark at
+    /// build time. Begin stamps are immutable (plain `Vec`), so the GC must
+    /// keep such marks' transactions resolvable until a merge rebuilds the
+    /// part.
+    pub fn begins_marked(&self) -> bool {
+        self.begins_marked
     }
 
     /// Version tag of the end-stamp array. Capture it *before* scanning

@@ -189,6 +189,55 @@ impl TxnManager {
     pub fn active_count(&self) -> usize {
         self.inner.lock().active.len()
     }
+
+    /// `(commit-table entries, aborted-set entries)` — the finished-txn
+    /// bookkeeping that [`trim_finished`](Self::trim_finished) bounds.
+    pub fn finished_counts(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        (inner.commits.len(), inner.aborted.len())
+    }
+
+    /// Drop finished-transaction bookkeeping that no stamp can need anymore.
+    ///
+    /// The GC calls this after a mark-resolution sweep:
+    ///
+    /// * `referenced` — txn ids still carried by *some* unresolved mark in
+    ///   any store; their entries must survive.
+    /// * `committed_before` — only commit entries with `cts <=
+    ///   committed_before` are candidates. The caller passes a timestamp
+    ///   captured *before* its sweep started, so any transaction that
+    ///   committed mid-sweep (and whose fresh marks the sweep may have
+    ///   missed) stays resolvable.
+    /// * `approved` — the candidate set the *previous* cycle returned.
+    ///   An entry is removed only when it was already a candidate last
+    ///   cycle and still is (two-cycle deferral: a reader that loaded a
+    ///   mark just before last cycle's sweep rewrote it has long finished
+    ///   resolving by the time the entry is actually dropped).
+    ///
+    /// Unreferenced *aborted* ids are removed immediately: an unknown id
+    /// resolves to `Aborted` anyway, so dropping the entry never changes a
+    /// resolution. Returns `(entries removed, candidates for next cycle)`.
+    pub fn trim_finished(
+        &self,
+        referenced: &FxHashSet<u64>,
+        committed_before: Timestamp,
+        approved: &FxHashSet<u64>,
+    ) -> (usize, FxHashSet<u64>) {
+        let mut inner = self.inner.lock();
+        let before = inner.commits.len() + inner.aborted.len();
+        inner.aborted.retain(|id| referenced.contains(id));
+        let candidates: FxHashSet<u64> = inner
+            .commits
+            .iter()
+            .filter(|(id, &cts)| cts <= committed_before && !referenced.contains(*id))
+            .map(|(&id, _)| id)
+            .collect();
+        inner
+            .commits
+            .retain(|id, _| !(candidates.contains(id) && approved.contains(id)));
+        let removed = before - (inner.commits.len() + inner.aborted.len());
+        (removed, candidates)
+    }
 }
 
 /// A client transaction handle.

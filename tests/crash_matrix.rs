@@ -436,6 +436,94 @@ fn partitioned_crash_matrix_recovers_every_partition() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Publication-window crashes: the non-blocking merge pipeline builds the
+// new main / the L2 tail fully off to the side and publishes with a pure
+// in-memory swap (`Arc` store / `publish_all`) that performs NO I/O. The
+// only durable trace of a merge is its best-effort `MergeEvent` record,
+// which recovery ignores: rows are replayed from their first-appearance
+// records into the stage the savepoint image last captured. A crash
+// anywhere between "off-side build complete" and "publication swap" is
+// therefore durable-state-identical to a crash at the surrounding I/O
+// operations — so a matrix over a merge-dense workload (below) covers the
+// window exhaustively for both merge kinds. The recovery contract then
+// proves the half-built structures are invisible (row counts exact) and
+// their pages freed (page accounting balances).
+// ---------------------------------------------------------------------------
+
+/// Merge-dense workload: both merge kinds fire between every batch, so the
+/// sampled crash points bracket each off-side build and publication.
+fn run_merge_window_workload(db: &Arc<Database>, progress: &mut Progress) -> Result<()> {
+    db.set_commit_config(hana_common::CommitConfig::serial());
+    let t = db.create_table(schema(), TableConfig::small())?;
+    progress.table_created = true;
+
+    commit_batch(db, 0, 8)?;
+    progress.committed.push((0, 8));
+    t.drain_l1()?; // L1→L2: off-side copy, constant-time publish
+
+    commit_batch(db, 8, 16)?;
+    progress.committed.push((8, 16));
+    t.drain_l1()?;
+    t.merge_delta_as(MergeDecision::Classic)?; // delta→main: off-side build, swap
+
+    db.savepoint()?;
+    progress.savepoints += 1;
+
+    commit_batch(db, 16, 24)?;
+    progress.committed.push((16, 24));
+    t.drain_l1()?;
+    t.merge_delta_as(MergeDecision::Classic)?;
+
+    commit_batch(db, 24, 32)?;
+    progress.committed.push((24, 32));
+    Ok(())
+}
+
+#[test]
+fn merge_publication_window_crashes_recover() {
+    let dry = tempfile::tempdir().unwrap();
+    let injector = FaultInjector::new();
+    {
+        let db = Database::open_with_injector(dry.path(), Arc::clone(&injector)).unwrap();
+        let mut progress = Progress::default();
+        run_merge_window_workload(&db, &mut progress).expect("dry run must not fail");
+        assert_eq!(progress.committed.len(), 4);
+    }
+    let total_ops = injector.ops();
+    assert!(total_ops > 40, "workload too small: {total_ops} ops");
+
+    let full = std::env::var("CRASH_MATRIX_FULL").is_ok_and(|v| v == "1");
+    let stride = if full {
+        1
+    } else {
+        (total_ops / MAX_POINTS).max(1)
+    };
+    let mut points: Vec<u64> = (0..total_ops).step_by(stride as usize).collect();
+    if points.last() != Some(&(total_ops - 1)) {
+        points.push(total_ops - 1);
+    }
+
+    for &point in &points {
+        let dir = tempfile::tempdir().unwrap();
+        let injector = FaultInjector::new();
+        injector.arm(FaultPolicy::crash_at(point));
+        let mut progress = Progress::default();
+        if let Ok(db) = Database::open_with_injector(dir.path(), Arc::clone(&injector)) {
+            // Merge events are best-effort (errors swallowed), so the
+            // workload may survive a few ops past the crash point — but it
+            // always ends on durable commits, which must fail.
+            let res = run_merge_window_workload(&db, &mut progress);
+            assert!(
+                res.is_err(),
+                "crash point {point}: injector must have killed the workload"
+            );
+        }
+        assert!(injector.crashed(), "crash point {point}: crash never fired");
+        assert_recovery_contract(dir.path(), &progress, point);
+    }
+}
+
 #[test]
 fn crash_everywhere_recovery_holds_at_every_io_operation() {
     // Dry run: count the I/O operations of one full workload.

@@ -81,6 +81,17 @@ impl Bencher {
         }
     }
 
+    /// Caller-measured timing: `routine(iters)` runs `iters` iterations and
+    /// returns their total elapsed time (real-criterion-compatible; used
+    /// when the measured quantity is an instrument reading rather than the
+    /// closure's own wall clock).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        black_box(routine(1)); // warmup
+        for _ in 0..self.sample_size {
+            self.samples.push(routine(1));
+        }
+    }
+
     /// Time `routine` on fresh input from `setup`; setup time is excluded.
     pub fn iter_batched<I, O>(
         &mut self,
