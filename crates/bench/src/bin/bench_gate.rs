@@ -166,6 +166,24 @@ const METRICS: &[MetricSpec] = &[
         better: Better::Higher,
         slack: 2.0,
     },
+    MetricSpec {
+        id: "f12_oltp_p99_degradation_governor_on",
+        section: "F12 summary",
+        // Single-row summary section; an empty match picks it up.
+        row: &[],
+        col: "oltp p99 degradation (on)",
+        better: Better::Lower,
+        // Tail-latency ratio under contention on shared CI runners.
+        slack: 2.0,
+    },
+    MetricSpec {
+        id: "f12_olap_throughput_retained",
+        section: "F12 summary",
+        row: &[],
+        col: "olap throughput retained",
+        better: Better::Higher,
+        slack: 2.0,
+    },
 ];
 
 fn main() -> ExitCode {

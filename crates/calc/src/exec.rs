@@ -70,6 +70,12 @@ pub struct ExecStats {
     /// Rows evaluated row-wise on materialized values: L1-delta rows inside
     /// the scan plus rows tested by the engine-level residue predicate.
     pub residue_rows: u64,
+    /// Time (ns) this statement spent waiting for governor scan admission
+    /// (token-bucket queueing under concurrent OLAP load).
+    pub governor_wait_ns: u64,
+    /// Largest worker fan-out a storage scan actually used after the
+    /// governor's clamp (0 when no chunked scan ran).
+    pub effective_parallelism: usize,
 }
 
 /// A pinned read view over a [`ScanSource`]: one table's [`TableRead`] or
@@ -132,6 +138,13 @@ impl SourceRead {
         match self {
             SourceRead::Single(r) => r.vis_cache_stats(),
             SourceRead::Partitioned(r) => r.vis_cache_stats(),
+        }
+    }
+
+    fn governor(&self) -> &std::sync::Arc<hana_core::ResourceGovernor> {
+        match self {
+            SourceRead::Single(r) => r.governor(),
+            SourceRead::Partitioned(r) => r.governor(),
         }
     }
 }
@@ -335,6 +348,11 @@ impl Executor {
         projection: Option<&[usize]>,
     ) -> Result<ResultSet> {
         let read = SourceRead::at(table, self.snapshot);
+        // Scan admission: analytical statements take a token for the
+        // duration of the storage scan (point/commit paths never do). The
+        // token is held until this node finishes materializing.
+        let (_permit, wait_ns) = read.governor().admit_scan()?;
+        self.stats.governor_wait_ns += wait_ns;
         let columns = table
             .schema()
             .columns()
@@ -376,6 +394,11 @@ impl Executor {
         self.stats.zone_pruned_rows += st.zone_pruned_rows;
         self.stats.code_filtered_rows += st.code_filtered_rows;
         self.stats.residue_rows += st.rowwise_rows;
+        self.stats.governor_wait_ns += st.governor_wait_ns;
+        self.stats.effective_parallelism = self
+            .stats
+            .effective_parallelism
+            .max(st.effective_parallelism);
     }
 }
 
@@ -416,6 +439,9 @@ impl Executor {
             return Ok(None);
         }
         let read = SourceRead::at(table, self.snapshot);
+        // Columnar aggregates are analytical scans too: same admission.
+        let (_permit, wait_ns) = read.governor().admit_scan()?;
+        self.stats.governor_wait_ns += wait_ns;
         let agg_col = sum_col.into_iter().next().unwrap_or(0);
         let columns: Vec<String> = group_by
             .iter()

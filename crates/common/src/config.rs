@@ -160,6 +160,108 @@ impl CommitConfig {
     }
 }
 
+/// Tuning knobs for the interference-aware resource governor.
+///
+/// The governor sits between the calc/scan layer and the shared thread
+/// pools and protects OLTP tail latency under concurrent OLAP load: it
+/// admits at most `max_concurrent_scans` analytical scans at a time
+/// (FIFO, with a queue timeout), shrinks the per-scan chunk fan-out
+/// toward `min_scan_parallelism` while the observed commit rate says the
+/// OLTP side is hot, and defers background merges/GC during those hot
+/// phases. Admission and clamping never change *results* — only
+/// scheduling — so a query returns bit-identical rows with the governor
+/// on, off, or queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Master switch; `false` restores the ungoverned scheduler.
+    pub enabled: bool,
+    /// Analytical scans admitted concurrently; further scans queue FIFO.
+    /// `0` means "no admission limit" (clamping still applies).
+    pub max_concurrent_scans: usize,
+    /// How long (ms) a queued scan waits for admission before failing
+    /// with a retryable error. `0` waits indefinitely.
+    pub scan_queue_timeout_ms: u64,
+    /// OLTP p99 latency budget (µs). Commits arriving more often than
+    /// once per budget mark the write side *hot*: scan fan-out clamps and
+    /// merges defer until the pressure decays.
+    pub oltp_p99_budget_us: u64,
+    /// Floor the hot-phase clamp shrinks a scan's fan-out to (`1` =
+    /// serial).
+    pub min_scan_parallelism: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            enabled: true,
+            max_concurrent_scans: 2,
+            scan_queue_timeout_ms: 1_000,
+            oltp_p99_budget_us: 5_000,
+            min_scan_parallelism: 1,
+        }
+    }
+}
+
+impl GovernorConfig {
+    /// The ungoverned scheduler (baseline arm of the F12 interference
+    /// experiment): no admission, no clamping, no merge deferral.
+    pub fn disabled() -> Self {
+        GovernorConfig {
+            enabled: false,
+            ..GovernorConfig::default()
+        }
+    }
+
+    /// Builder-style master switch.
+    pub fn with_enabled(mut self, on: bool) -> Self {
+        self.enabled = on;
+        self
+    }
+
+    /// Builder-style override of the scan admission limit.
+    pub fn with_max_concurrent_scans(mut self, n: usize) -> Self {
+        self.max_concurrent_scans = n;
+        self
+    }
+
+    /// Builder-style override of the admission queue timeout (ms).
+    pub fn with_scan_queue_timeout_ms(mut self, ms: u64) -> Self {
+        self.scan_queue_timeout_ms = ms;
+        self
+    }
+
+    /// Builder-style override of the OLTP p99 budget (µs).
+    pub fn with_oltp_p99_budget_us(mut self, us: u64) -> Self {
+        self.oltp_p99_budget_us = us;
+        self
+    }
+
+    /// Builder-style override of the hot-phase fan-out floor.
+    pub fn with_min_scan_parallelism(mut self, n: usize) -> Self {
+        self.min_scan_parallelism = n;
+        self
+    }
+}
+
+/// Cumulative counters of the resource governor (since database open).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Scans that received an admission token (immediately or after
+    /// queueing).
+    pub scans_admitted: u64,
+    /// Scans that had to queue behind the token bucket.
+    pub scans_queued: u64,
+    /// Queued scans that hit the admission timeout (surfaced to the
+    /// caller as a retryable error).
+    pub scans_timed_out: u64,
+    /// Scans whose chunk fan-out was shrunk below the requested degree
+    /// because the OLTP signal was hot.
+    pub parallelism_downshifts: u64,
+    /// Background merge/GC attempts pushed back while the OLTP signal
+    /// was hot.
+    pub merge_deferrals: u64,
+}
+
 /// User-facing partitioning request for
 /// `Database::create_partitioned_table`: split a logical table into
 /// `partitions` hash partitions on the value of `hash_column`.

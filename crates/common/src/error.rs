@@ -26,6 +26,10 @@ pub enum HanaError {
     Persist(String),
     /// Query compilation/execution errors in the calc-graph layer.
     Query(String),
+    /// Resource-governor admission failures (queue timeout under OLAP
+    /// saturation). Retryable: the scan was never started, so the caller
+    /// can simply resubmit once the write burst passes.
+    Governor(String),
     /// Wrapped I/O error from the page store or log.
     Io(io::Error),
 }
@@ -41,6 +45,7 @@ impl fmt::Display for HanaError {
             HanaError::Merge(m) => write!(f, "merge error: {m}"),
             HanaError::Persist(m) => write!(f, "persistence error: {m}"),
             HanaError::Query(m) => write!(f, "query error: {m}"),
+            HanaError::Governor(m) => write!(f, "governor admission error: {m}"),
             HanaError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -63,9 +68,12 @@ impl From<io::Error> for HanaError {
 
 impl HanaError {
     /// True for errors a client may retry after re-reading (conflicts,
-    /// transient merge failures).
+    /// transient merge failures, governor admission timeouts).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, HanaError::WriteConflict(_) | HanaError::Merge(_))
+        matches!(
+            self,
+            HanaError::WriteConflict(_) | HanaError::Merge(_) | HanaError::Governor(_)
+        )
     }
 }
 
@@ -90,6 +98,7 @@ mod tests {
     fn retryability() {
         assert!(HanaError::WriteConflict("x".into()).is_retryable());
         assert!(HanaError::Merge("x".into()).is_retryable());
+        assert!(HanaError::Governor("x".into()).is_retryable());
         assert!(!HanaError::Schema("x".into()).is_retryable());
     }
 }

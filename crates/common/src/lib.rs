@@ -17,8 +17,8 @@ pub mod timestamp;
 pub mod value;
 
 pub use config::{
-    CommitConfig, MergeConfig, MergeStrategy, PartitionConfig, PartitionSpec, ScanConfig,
-    TableConfig,
+    CommitConfig, GovernorConfig, GovernorStats, MergeConfig, MergeStrategy, PartitionConfig,
+    PartitionSpec, ScanConfig, TableConfig,
 };
 pub use error::{HanaError, Result};
 pub use rowid::{RowId, RowLocation, StoreKind};

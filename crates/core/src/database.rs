@@ -1,13 +1,14 @@
 //! The database façade: catalog, transactions, durability, recovery.
 
 use crate::gc::{GcShared, GcStats, TableGc};
+use crate::governor::ResourceGovernor;
 use crate::partition::{partition_name, shard_config, PartitionedTable};
 use crate::table::UnifiedTable;
 use hana_common::{
-    ColumnId, CommitConfig, HanaError, PartitionConfig, Result, RowId, Schema, TableConfig,
-    TableId, Timestamp, TxnId, Value,
+    ColumnId, CommitConfig, GovernorConfig, GovernorStats, HanaError, PartitionConfig, Result,
+    RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
 };
-use hana_merge::{MergeDaemon, MergeTarget};
+use hana_merge::{MergeDaemon, MergeMetrics, MergeTarget};
 use hana_persist::{
     FaultInjector, HealthStats, LogRecord, LogStats, Persistence, DEFAULT_PAGE_SIZE,
 };
@@ -15,7 +16,7 @@ use hana_txn::{IsolationLevel, Transaction, TxnManager};
 use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The table catalog: the tables plus id/name indexes so per-record
@@ -56,6 +57,54 @@ pub struct Database {
     /// Background MVCC GC state; `Some` once [`Database::enable_gc`] ran.
     gc: Mutex<Option<Arc<GcShared>>>,
     commit_cfg: RwLock<CommitConfig>,
+    /// Database-wide resource governor: OLAP scan admission, dynamic
+    /// parallelism clamping and merge/GC deferral while OLTP is hot.
+    governor: Arc<ResourceGovernor>,
+}
+
+/// Wraps a merge/GC target so the daemon consults the governor before
+/// running a pass: while OLTP is hot at most one pass per deferral window
+/// runs; a deferred pass returns `Ok(false)` ("nothing due"), so the
+/// daemon simply retries on its next tick — bounded backoff, never
+/// starvation.
+struct GovernedMerge {
+    inner: Arc<dyn MergeTarget>,
+    governor: Arc<ResourceGovernor>,
+    /// Per-target hot-window slot: each governed target gets its own
+    /// one-pass-per-window budget, so a busy shard merge can't starve the
+    /// GC sweep (or vice versa) while writers stay hot.
+    last_hot_pass_ns: AtomicU64,
+}
+
+impl MergeTarget for GovernedMerge {
+    fn maybe_merge(&self) -> Result<bool> {
+        if !self.governor.admit_merge_at(&self.last_hot_pass_ns) {
+            return Ok(false);
+        }
+        self.inner.maybe_merge()
+    }
+
+    fn last_merge_metrics(&self) -> Option<MergeMetrics> {
+        self.inner.last_merge_metrics()
+    }
+}
+
+/// RAII marker for an in-flight commit: bumps the governor's committer
+/// gauge (scans yield at chunk boundaries while it is non-zero) and
+/// guarantees the exit on every return path.
+struct CommitterGuard<'a>(&'a ResourceGovernor);
+
+impl<'a> CommitterGuard<'a> {
+    fn enter(g: &'a ResourceGovernor) -> Self {
+        g.committer_enter();
+        CommitterGuard(g)
+    }
+}
+
+impl Drop for CommitterGuard<'_> {
+    fn drop(&mut self) {
+        self.0.committer_exit();
+    }
 }
 
 impl Database {
@@ -71,6 +120,7 @@ impl Database {
             daemon: Mutex::new(None),
             gc: Mutex::new(None),
             commit_cfg: RwLock::new(CommitConfig::default()),
+            governor: ResourceGovernor::new(GovernorConfig::default()),
         })
     }
 
@@ -104,6 +154,7 @@ impl Database {
             daemon: Mutex::new(None),
             gc: Mutex::new(None),
             commit_cfg: RwLock::new(recovered.commit_config),
+            governor: ResourceGovernor::new(recovered.governor_config),
         });
 
         // Pass 1 over the log: commit outcomes.
@@ -129,6 +180,7 @@ impl Database {
                 Arc::clone(&db.mgr),
                 db.persist.clone(),
                 Arc::clone(&db.fence),
+                Arc::clone(&db.governor),
             );
             t.load_image(img, &resolve)?;
             db.tables.write().push(t);
@@ -155,6 +207,7 @@ impl Database {
                             Arc::clone(&db.mgr),
                             db.persist.clone(),
                             Arc::clone(&db.fence),
+                            Arc::clone(&db.governor),
                         );
                         db.tables.write().push(t);
                     }
@@ -293,6 +346,7 @@ impl Database {
             Arc::clone(&self.mgr),
             self.persist.clone(),
             Arc::clone(&self.fence),
+            Arc::clone(&self.governor),
         );
         tables.push(Arc::clone(&t));
         drop(tables);
@@ -303,9 +357,13 @@ impl Database {
             g.register_table(t.id().0);
         }
         if let Some(d) = &*self.daemon.lock() {
-            d.add_target(Arc::clone(&t) as Arc<dyn MergeTarget>);
+            d.add_target(self.governed(Arc::clone(&t) as Arc<dyn MergeTarget>));
             if let Some(g) = &gc {
-                d.add_target(TableGc::new(Arc::clone(&t), Arc::clone(g)) as Arc<dyn MergeTarget>);
+                d.add_target(
+                    self.governed(
+                        TableGc::new(Arc::clone(&t), Arc::clone(g)) as Arc<dyn MergeTarget>
+                    ),
+                );
             }
         }
         Ok(t)
@@ -377,6 +435,7 @@ impl Database {
                 Arc::clone(&self.mgr),
                 self.persist.clone(),
                 Arc::clone(&self.fence),
+                Arc::clone(&self.governor),
             );
             tables.push(Arc::clone(&t));
             parts.push(t);
@@ -400,11 +459,13 @@ impl Database {
         }
         if let Some(d) = &*self.daemon.lock() {
             for t in &parts {
-                d.add_target(Arc::clone(t) as Arc<dyn MergeTarget>);
+                d.add_target(self.governed(Arc::clone(t) as Arc<dyn MergeTarget>));
                 if let Some(g) = &gc {
                     // One GC target per shard: collecting one partition
                     // never stalls a sibling (per-target claim/backoff).
-                    d.add_target(TableGc::new(Arc::clone(t), Arc::clone(g)) as Arc<dyn MergeTarget>);
+                    d.add_target(self.governed(
+                        TableGc::new(Arc::clone(t), Arc::clone(g)) as Arc<dyn MergeTarget>
+                    ));
                 }
             }
         }
@@ -459,6 +520,9 @@ impl Database {
     /// batch leader on another thread).
     pub fn commit(&self, txn: &mut Transaction) -> Result<Timestamp> {
         let id = txn.id();
+        // Priority marker: while this is alive, admitted scans yield at
+        // chunk boundaries and the governor's hot signal is raised.
+        let _prio = CommitterGuard::enter(&self.governor);
         let ts = if let Some(p) = &self.persist {
             // Hold the savepoint fence so a concurrent savepoint cannot
             // truncate the commit record out of the log before the batch
@@ -472,6 +536,7 @@ impl Database {
         } else {
             self.mgr.commit(txn)?
         };
+        self.governor.note_commit();
         self.finish_touched(txn, id);
         Ok(ts)
     }
@@ -489,6 +554,16 @@ impl Database {
         }
         self.finish_touched(txn, id);
         Ok(())
+    }
+
+    /// Wrap a merge/GC target in the governor's admission check before
+    /// handing it to the daemon.
+    fn governed(&self, inner: Arc<dyn MergeTarget>) -> Arc<dyn MergeTarget> {
+        Arc::new(GovernedMerge {
+            inner,
+            governor: Arc::clone(&self.governor),
+            last_hot_pass_ns: AtomicU64::new(0),
+        })
     }
 
     /// Release row locks on the tables the transaction actually wrote
@@ -511,6 +586,29 @@ impl Database {
     /// commits and is persisted with the next savepoint.
     pub fn set_commit_config(&self, cfg: CommitConfig) {
         *self.commit_cfg.write() = cfg;
+    }
+
+    /// The database-wide resource governor.
+    pub fn governor(&self) -> &Arc<ResourceGovernor> {
+        &self.governor
+    }
+
+    /// Current workload-isolation configuration.
+    pub fn governor_config(&self) -> GovernorConfig {
+        self.governor.config()
+    }
+
+    /// Replace the workload-isolation configuration. Takes effect for
+    /// subsequent admissions (queued scans re-read it) and is persisted
+    /// with the next savepoint.
+    pub fn set_governor_config(&self, cfg: GovernorConfig) {
+        self.governor.set_config(cfg);
+    }
+
+    /// Monotonic governor counters (admissions, queueing, timeouts,
+    /// parallelism downshifts, merge deferrals).
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.governor.stats()
     }
 
     /// Group-commit pipeline statistics (`None` for in-memory databases).
@@ -559,7 +657,12 @@ impl Database {
         let _fence = self.fence.write();
         let tables = self.tables.read().list.clone();
         let images: Vec<_> = tables.iter().map(|t| t.to_image()).collect();
-        p.savepoint(self.mgr.now(), &self.commit_cfg.read(), &images)
+        p.savepoint(
+            self.mgr.now(),
+            &self.commit_cfg.read(),
+            &self.governor.config(),
+            &images,
+        )
     }
 
     /// Start the background merge daemon over all current tables with an
@@ -578,11 +681,15 @@ impl Database {
             .read()
             .list
             .iter()
-            .map(|t| Arc::clone(t) as Arc<dyn MergeTarget>)
+            .map(|t| self.governed(Arc::clone(t) as Arc<dyn MergeTarget>))
             .collect();
         if let Some(g) = &gc {
             for t in self.tables.read().list.iter() {
-                targets.push(TableGc::new(Arc::clone(t), Arc::clone(g)) as Arc<dyn MergeTarget>);
+                targets.push(
+                    self.governed(
+                        TableGc::new(Arc::clone(t), Arc::clone(g)) as Arc<dyn MergeTarget>
+                    ),
+                );
             }
         }
         *self.daemon.lock() = Some(MergeDaemon::spawn_pool(targets, interval, workers));
@@ -619,9 +726,9 @@ impl Database {
         }
         if let Some(d) = &*self.daemon.lock() {
             for t in &tables {
-                d.add_target(
+                d.add_target(self.governed(
                     TableGc::new(Arc::clone(t), Arc::clone(&shared)) as Arc<dyn MergeTarget>
-                );
+                ));
             }
         }
     }

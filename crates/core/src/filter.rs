@@ -187,6 +187,12 @@ pub struct ScanStats {
     pub rowwise_rows: u64,
     /// Inverted-index probes used to route a selective `Eq` conjunct.
     pub index_probes: usize,
+    /// Time (ns) this scan spent waiting for a governor admission token —
+    /// attributes interference per query.
+    pub governor_wait_ns: u64,
+    /// Worker threads the scan actually fanned out over after the
+    /// governor's clamp (vs the configured `scan_parallelism`).
+    pub effective_parallelism: usize,
 }
 
 impl ScanStats {
@@ -198,6 +204,8 @@ impl ScanStats {
         self.code_filtered_rows += o.code_filtered_rows;
         self.rowwise_rows += o.rowwise_rows;
         self.index_probes += o.index_probes;
+        self.governor_wait_ns += o.governor_wait_ns;
+        self.effective_parallelism = self.effective_parallelism.max(o.effective_parallelism);
     }
 }
 

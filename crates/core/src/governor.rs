@@ -1,0 +1,624 @@
+//! The interference-aware resource governor (HTAP workload isolation).
+//!
+//! The paper's central claim — one column engine serving transactional and
+//! analytical load *simultaneously* — only holds operationally if a burst
+//! of analytical scans cannot flatten OLTP tail latency. This module is
+//! the scheduling layer that defends that property. One database-wide
+//! [`ResourceGovernor`] sits between the calc/scan layer and the shared
+//! thread pools and applies three mechanisms, none of which ever changes a
+//! query's *result* (chunk boundaries stay fixed; only scheduling moves):
+//!
+//! 1. **Token-bucket admission for OLAP scans.** At most
+//!    `max_concurrent_scans` analytical queries hold a scan token at a
+//!    time; further arrivals queue FIFO and time out with a *retryable*
+//!    [`HanaError::Governor`] after `scan_queue_timeout_ms`. Queued scans
+//!    are parked on a condvar, so they consume no CPU while OLTP runs.
+//! 2. **Write-pressure-driven fan-out clamping.** Every commit feeds a
+//!    commit-rate EWMA. While commits arrive more often than once per
+//!    `oltp_p99_budget_us` (i.e. a core-hogging scan *would* push some
+//!    commit past its budget), [`ResourceGovernor::effective_parallelism`]
+//!    shrinks scan fan-out toward `min_scan_parallelism`; it also never
+//!    grants more workers than logical CPUs, which is what un-breaks the
+//!    oversubscribed partition fan-out on low-core hosts (f11p).
+//! 3. **Commit priority.** Committers never take scan tokens, and each one
+//!    bumps an epoch + a waiting gauge on entry; scan chunk loops poll
+//!    [`ResourceGovernor::chunk_yield`] at chunk boundaries and cede the
+//!    CPU (a short sleep) while a committer is in flight, so a long scan
+//!    cannot monopolize the pool while the group-commit leader queues —
+//!    and the core is free the instant the leader's fsync completes.
+//!    Background
+//!    merges/GC consult [`ResourceGovernor::admit_merge`] and back off
+//!    (bounded, never starved) while the OLTP signal is hot.
+//!
+//! The governor is deliberately cheap on the fast paths: point lookups
+//! never touch it, scans pay one atomic load per chunk and one lock-free
+//! config read per fan-out decision, and the EWMA resamples at most every
+//! few milliseconds under a `try_lock`.
+
+use hana_common::{GovernorConfig, GovernorStats, HanaError, Result};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// EWMA time constant of the commit-rate signal: pressure decays to ~37%
+/// in this window once writers stop.
+const EWMA_TAU_SECS: f64 = 0.1;
+/// Resample the commit-rate EWMA at most this often.
+const EWMA_SAMPLE_NS: u64 = 2_000_000;
+/// While hot, allow at least one merge attempt through per this window so
+/// backpressure can never starve the lifecycle (L1 would grow unbounded).
+const MERGE_DEFER_WINDOW_MS: u64 = 50;
+/// How long a scan cedes the CPU at a chunk boundary while a committer is
+/// in flight (see [`ResourceGovernor::chunk_yield`]).
+const COMMIT_CEDE_US: u64 = 50;
+
+/// FIFO admission queue + active-token count.
+#[derive(Default)]
+struct AdmitState {
+    /// Scans currently holding a token.
+    active: usize,
+    /// Tickets of queued scans, front = next to admit.
+    queue: VecDeque<u64>,
+    /// Next ticket to hand out.
+    next_ticket: u64,
+}
+
+/// Commit-rate EWMA accumulator (guarded by a `try_lock`; the folded rate
+/// is mirrored into an atomic for lock-free readers).
+struct Pressure {
+    /// `started.elapsed()` at the last resample, in ns.
+    last_ns: u64,
+    /// Commit counter at the last resample.
+    last_commits: u64,
+    /// Folded commit rate (commits/s).
+    ewma: f64,
+}
+
+/// Database-wide interference governor. Shared (via `Arc`) by the
+/// database, every unified table, and the merge/GC daemons.
+pub struct ResourceGovernor {
+    cfg: RwLock<GovernorConfig>,
+    admit: Mutex<AdmitState>,
+    admit_cv: Condvar,
+    /// Commits observed (fed by the database commit path).
+    commits: AtomicU64,
+    /// Committers currently inside the commit pipeline.
+    committers_waiting: AtomicU64,
+    /// Bumped once per committer entry; scans poll it at chunk boundaries.
+    epoch: AtomicU64,
+    /// `started.elapsed()` ns of the most recent commit.
+    last_commit_ns: AtomicU64,
+    pressure: Mutex<Pressure>,
+    /// Bit-cast `f64` mirror of `pressure.ewma` for lock-free reads.
+    ewma_bits: AtomicU64,
+    /// Last time a merge was allowed through while hot (ns).
+    last_hot_merge_ns: AtomicU64,
+    started: Instant,
+    // Stats counters.
+    scans_admitted: AtomicU64,
+    scans_queued: AtomicU64,
+    scans_timed_out: AtomicU64,
+    parallelism_downshifts: AtomicU64,
+    merge_deferrals: AtomicU64,
+}
+
+impl std::fmt::Debug for ResourceGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceGovernor")
+            .field("config", &self.config())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// RAII admission token: dropping it returns the token and wakes the next
+/// queued scan.
+pub struct ScanPermit {
+    gov: Arc<ResourceGovernor>,
+}
+
+impl std::fmt::Debug for ScanPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanPermit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for ScanPermit {
+    fn drop(&mut self) {
+        let mut st = self.gov.admit.lock();
+        st.active = st.active.saturating_sub(1);
+        drop(st);
+        self.gov.admit_cv.notify_all();
+    }
+}
+
+impl ResourceGovernor {
+    /// A governor with the given initial configuration.
+    pub fn new(cfg: GovernorConfig) -> Arc<Self> {
+        Arc::new(ResourceGovernor {
+            cfg: RwLock::new(cfg),
+            admit: Mutex::new(AdmitState::default()),
+            admit_cv: Condvar::new(),
+            commits: AtomicU64::new(0),
+            committers_waiting: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            last_commit_ns: AtomicU64::new(0),
+            pressure: Mutex::new(Pressure {
+                last_ns: 0,
+                last_commits: 0,
+                ewma: 0.0,
+            }),
+            ewma_bits: AtomicU64::new(0f64.to_bits()),
+            last_hot_merge_ns: AtomicU64::new(0),
+            started: Instant::now(),
+            scans_admitted: AtomicU64::new(0),
+            scans_queued: AtomicU64::new(0),
+            scans_timed_out: AtomicU64::new(0),
+            parallelism_downshifts: AtomicU64::new(0),
+            merge_deferrals: AtomicU64::new(0),
+        })
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> GovernorConfig {
+        *self.cfg.read()
+    }
+
+    /// Swap the configuration; takes effect for subsequent admissions and
+    /// fan-out decisions (already-admitted scans keep their tokens).
+    pub fn set_config(&self, cfg: GovernorConfig) {
+        *self.cfg.write() = cfg;
+        // A shrunk/disabled bucket may unblock queued waiters.
+        self.admit_cv.notify_all();
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> GovernorStats {
+        GovernorStats {
+            scans_admitted: self.scans_admitted.load(Ordering::Relaxed),
+            scans_queued: self.scans_queued.load(Ordering::Relaxed),
+            scans_timed_out: self.scans_timed_out.load(Ordering::Relaxed),
+            parallelism_downshifts: self.parallelism_downshifts.load(Ordering::Relaxed),
+            merge_deferrals: self.merge_deferrals.load(Ordering::Relaxed),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Write-pressure signal (fed by the commit path)
+    // ------------------------------------------------------------------
+
+    /// Record one committed transaction (fed by `Database::commit`).
+    pub fn note_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.last_commit_ns.store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    /// A committer entered the commit pipeline: bump the epoch so running
+    /// scans yield at their next chunk boundary, and raise the gauge the
+    /// merge daemons consult.
+    pub fn committer_enter(&self) {
+        self.committers_waiting.fetch_add(1, Ordering::SeqCst);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The committer left the pipeline (durable or failed).
+    pub fn committer_exit(&self) {
+        self.committers_waiting.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Folded commit rate (commits/s), resampled lazily at most every
+    /// [`EWMA_SAMPLE_NS`]; lock-free when another thread is resampling.
+    pub fn write_pressure(&self) -> f64 {
+        if let Some(mut p) = self.pressure.try_lock() {
+            let now = self.now_ns();
+            let dt_ns = now.saturating_sub(p.last_ns);
+            if dt_ns >= EWMA_SAMPLE_NS {
+                let commits = self.commits.load(Ordering::Relaxed);
+                let dt = dt_ns as f64 / 1e9;
+                let inst = (commits.saturating_sub(p.last_commits)) as f64 / dt;
+                let alpha = dt / (dt + EWMA_TAU_SECS);
+                p.ewma += alpha * (inst - p.ewma);
+                p.last_ns = now;
+                p.last_commits = commits;
+                self.ewma_bits.store(p.ewma.to_bits(), Ordering::Relaxed);
+            }
+        }
+        f64::from_bits(self.ewma_bits.load(Ordering::Relaxed))
+    }
+
+    /// Is the OLTP side hot right now? True while a committer is in
+    /// flight, or while commits arrive more often than once per
+    /// `oltp_p99_budget_us` (per the EWMA), with the latter only counting
+    /// if a commit actually happened within the last budget window (so
+    /// the signal drops promptly once writers stop).
+    pub fn oltp_hot(&self) -> bool {
+        let cfg = *self.cfg.read();
+        if !cfg.enabled {
+            return false;
+        }
+        if self.committers_waiting.load(Ordering::SeqCst) > 0 {
+            return true;
+        }
+        let budget_ns = cfg.oltp_p99_budget_us.saturating_mul(1_000).max(1);
+        let since_commit = self
+            .now_ns()
+            .saturating_sub(self.last_commit_ns.load(Ordering::Relaxed));
+        // Floor the quiet window at 10 ms so a tiny budget cannot make the
+        // signal flap between individual commits.
+        if since_commit > budget_ns.max(10_000_000) {
+            // No commit for a while: cold regardless of the stale EWMA.
+            return false;
+        }
+        let hot_rate = 1e6 / cfg.oltp_p99_budget_us.max(1) as f64;
+        self.write_pressure() > hot_rate
+    }
+
+    // ------------------------------------------------------------------
+    // Scan-side mechanisms
+    // ------------------------------------------------------------------
+
+    /// Clamp a scan's requested worker count. Never more workers than
+    /// logical CPUs (oversubscribing a fan-out only adds context-switch
+    /// cost), and while the OLTP signal is hot, no more than
+    /// `min_scan_parallelism`.
+    pub fn effective_parallelism(&self, requested: usize) -> usize {
+        let requested = requested.max(1);
+        let cfg = *self.cfg.read();
+        if !cfg.enabled {
+            return requested;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let capped = requested.min(cores);
+        if self.oltp_hot() {
+            let clamped = capped.min(cfg.min_scan_parallelism.max(1));
+            if clamped < capped {
+                self.parallelism_downshifts.fetch_add(1, Ordering::Relaxed);
+            }
+            clamped
+        } else {
+            capped
+        }
+    }
+
+    /// Current committer epoch (scans capture it at start and poll
+    /// [`ResourceGovernor::chunk_yield`] per chunk).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Chunk-boundary cooperation point: if a committer entered the
+    /// pipeline since `seen` (or is in flight right now), surrender the
+    /// timeslice so the commit path gets scheduled ahead of the scan.
+    /// Updates `seen` to the current epoch.
+    ///
+    /// While a committer is *currently* in the pipeline the scan sleeps a
+    /// short beat instead of merely yielding: `yield_now` is a no-op when
+    /// the committer is still blocked in its log fsync (nothing else is
+    /// runnable), whereas a real sleep leaves the CPU free for the exact
+    /// moment the fsync completes and the committer wakes. The beat is two
+    /// orders of magnitude below a chunk's scan time, so it costs the scan
+    /// a few percent while cutting the committer's wakeup-to-run latency.
+    pub fn chunk_yield(&self, seen: &mut u64) {
+        let now = self.epoch.load(Ordering::Relaxed);
+        let in_flight = self.committers_waiting.load(Ordering::Relaxed) > 0;
+        if now != *seen || in_flight {
+            *seen = now;
+            if in_flight {
+                std::thread::sleep(Duration::from_micros(COMMIT_CEDE_US));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// The bucket size in force right now: the configured limit, clamped
+    /// to the host's logical CPUs while the OLTP signal is hot — scans
+    /// oversubscribing the cores is exactly what erodes commit tail
+    /// latency, so under write pressure admission tightens along with
+    /// fan-out.
+    fn bucket_capacity(&self, cfg: &GovernorConfig) -> usize {
+        if self.oltp_hot() {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            cfg.max_concurrent_scans.min(cores)
+        } else {
+            cfg.max_concurrent_scans
+        }
+    }
+
+    /// Acquire a scan admission token, queueing FIFO behind the bucket.
+    ///
+    /// Returns `(permit, wait_ns)`; the permit is `None` when the
+    /// governor is disabled or unlimited (`max_concurrent_scans == 0`).
+    /// Fails with a retryable [`HanaError::Governor`] if the queue wait
+    /// exceeds `scan_queue_timeout_ms` (0 = wait forever).
+    pub fn admit_scan(self: &Arc<Self>) -> Result<(Option<ScanPermit>, u64)> {
+        let cfg = *self.cfg.read();
+        if !cfg.enabled || cfg.max_concurrent_scans == 0 {
+            return Ok((None, 0));
+        }
+        let t0 = Instant::now();
+        let mut st = self.admit.lock();
+        if st.queue.is_empty() && st.active < self.bucket_capacity(&cfg) {
+            st.active += 1;
+            self.scans_admitted.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                Some(ScanPermit {
+                    gov: Arc::clone(self),
+                }),
+                t0.elapsed().as_nanos() as u64,
+            ));
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        self.scans_queued.fetch_add(1, Ordering::Relaxed);
+        loop {
+            // Re-read the config each round: `set_config` may have grown
+            // or disabled the bucket while we waited.
+            let cfg = *self.cfg.read();
+            if !cfg.enabled || cfg.max_concurrent_scans == 0 {
+                st.queue.retain(|&t| t != ticket);
+                drop(st);
+                self.admit_cv.notify_all();
+                return Ok((None, t0.elapsed().as_nanos() as u64));
+            }
+            if st.queue.front() == Some(&ticket) && st.active < self.bucket_capacity(&cfg) {
+                st.queue.pop_front();
+                st.active += 1;
+                self.scans_admitted.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                // More tokens may be free (e.g. the bucket grew): let the
+                // next queued scan re-check instead of waiting for a drop.
+                self.admit_cv.notify_all();
+                return Ok((
+                    Some(ScanPermit {
+                        gov: Arc::clone(self),
+                    }),
+                    t0.elapsed().as_nanos() as u64,
+                ));
+            }
+            // Wait in bounded slices: the effective capacity grows back
+            // when the hot signal decays, and no event fires for that —
+            // a periodic re-check keeps queued scans from waiting on a
+            // stale clamp.
+            const RECHECK: Duration = Duration::from_millis(10);
+            if cfg.scan_queue_timeout_ms > 0 {
+                let timeout = Duration::from_millis(cfg.scan_queue_timeout_ms);
+                let elapsed = t0.elapsed();
+                if elapsed >= timeout {
+                    st.queue.retain(|&t| t != ticket);
+                    drop(st);
+                    self.scans_timed_out.fetch_add(1, Ordering::Relaxed);
+                    // Our departure may unblock the scan queued behind us.
+                    self.admit_cv.notify_all();
+                    return Err(HanaError::Governor(format!(
+                        "scan admission timed out after {} ms ({} scans active, retryable)",
+                        cfg.scan_queue_timeout_ms, cfg.max_concurrent_scans
+                    )));
+                }
+                self.admit_cv
+                    .wait_for(&mut st, (timeout - elapsed).min(RECHECK));
+            } else {
+                self.admit_cv.wait_for(&mut st, RECHECK);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Background-work admission
+    // ------------------------------------------------------------------
+
+    /// Should a background merge/GC attempt proceed right now? While the
+    /// OLTP signal is hot, attempts are pushed back — but at least one is
+    /// allowed through per [`MERGE_DEFER_WINDOW_MS`], so backpressure can
+    /// delay the lifecycle, never starve it.
+    pub fn admit_merge(&self) -> bool {
+        self.admit_merge_at(&self.last_hot_merge_ns)
+    }
+
+    /// [`admit_merge`](Self::admit_merge) against a caller-owned window
+    /// slot. Each daemon target (every shard's merge, the GC sweep) keeps
+    /// its own slot, so one busy target's hot-window pass can't consume
+    /// the whole database's merge budget and starve its siblings.
+    pub fn admit_merge_at(&self, last_hot_pass_ns: &AtomicU64) -> bool {
+        let cfg = *self.cfg.read();
+        if !cfg.enabled || !self.oltp_hot() {
+            return true;
+        }
+        let now = self.now_ns();
+        let last = last_hot_pass_ns.load(Ordering::Relaxed);
+        // `0` = no merge has ever passed while hot (the stored stamp is
+        // floored to 1 so the sentinel stays unambiguous).
+        if (last == 0 || now.saturating_sub(last) >= MERGE_DEFER_WINDOW_MS * 1_000_000)
+            && last_hot_pass_ns
+                .compare_exchange(last, now.max(1), Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            return true;
+        }
+        self.merge_deferrals.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_governor_is_transparent() {
+        let g = ResourceGovernor::new(GovernorConfig::disabled());
+        let (permit, wait) = g.admit_scan().unwrap();
+        assert!(permit.is_none());
+        assert_eq!(wait, 0);
+        assert_eq!(g.effective_parallelism(64), 64);
+        assert!(g.admit_merge());
+        assert!(!g.oltp_hot());
+        assert_eq!(g.stats(), GovernorStats::default());
+    }
+
+    #[test]
+    fn tokens_are_bounded_and_released() {
+        let g = ResourceGovernor::new(
+            GovernorConfig::default()
+                .with_max_concurrent_scans(2)
+                .with_scan_queue_timeout_ms(50),
+        );
+        let (p1, _) = g.admit_scan().unwrap();
+        let (p2, _) = g.admit_scan().unwrap();
+        assert!(p1.is_some() && p2.is_some());
+        // Third scan times out while both tokens are held…
+        let err = g.admit_scan().unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        assert!(matches!(err, HanaError::Governor(_)));
+        // …and is admitted promptly once a token frees.
+        drop(p1);
+        let (p3, _) = g.admit_scan().unwrap();
+        assert!(p3.is_some());
+        let s = g.stats();
+        assert_eq!(s.scans_admitted, 3);
+        assert_eq!(s.scans_timed_out, 1);
+        // Only the third scan ever had to queue (the post-release admit
+        // found the queue empty and a token free).
+        assert_eq!(s.scans_queued, 1);
+    }
+
+    #[test]
+    fn hot_admission_clamps_to_cores() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let g = ResourceGovernor::new(
+            GovernorConfig::default()
+                .with_max_concurrent_scans(cores + 1)
+                .with_scan_queue_timeout_ms(40),
+        );
+        // Idle: the full configured bucket admits.
+        let idle: Vec<_> = (0..cores + 1)
+            .map(|_| g.admit_scan().unwrap().0.unwrap())
+            .collect();
+        drop(idle);
+        // Hot (committer in flight): capacity tightens to the core count,
+        // so the `cores + 1`-th scan queues and times out.
+        g.committer_enter();
+        let held: Vec<_> = (0..cores)
+            .map(|_| g.admit_scan().unwrap().0.unwrap())
+            .collect();
+        let err = g.admit_scan().unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        g.committer_exit();
+        // Pressure gone: the queued slot is usable again.
+        let (p, _) = g.admit_scan().unwrap();
+        assert!(p.is_some());
+        drop(held);
+    }
+
+    #[test]
+    fn unlimited_bucket_never_queues() {
+        let g = ResourceGovernor::new(GovernorConfig::default().with_max_concurrent_scans(0));
+        for _ in 0..32 {
+            let (p, _) = g.admit_scan().unwrap();
+            assert!(p.is_none());
+        }
+        assert_eq!(g.stats().scans_queued, 0);
+    }
+
+    #[test]
+    fn fan_out_never_exceeds_cores() {
+        let g = ResourceGovernor::new(GovernorConfig::default());
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(g.effective_parallelism(cores * 8), cores);
+        assert_eq!(g.effective_parallelism(1), 1);
+        assert_eq!(g.effective_parallelism(0), 1);
+    }
+
+    #[test]
+    fn committer_in_flight_clamps_to_floor() {
+        let g = ResourceGovernor::new(GovernorConfig::default().with_min_scan_parallelism(1));
+        g.committer_enter();
+        assert!(g.oltp_hot());
+        assert_eq!(g.effective_parallelism(8), 1);
+        assert!(g.stats().parallelism_downshifts <= 1); // 1 only on multi-core hosts
+        g.committer_exit();
+    }
+
+    #[test]
+    fn commit_burst_heats_then_decays() {
+        let g = ResourceGovernor::new(GovernorConfig::default().with_oltp_p99_budget_us(5_000));
+        // Feed a burst well above 200 commits/s (1e6 / 5000µs).
+        for _ in 0..50 {
+            g.note_commit();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(g.write_pressure() > 200.0, "{}", g.write_pressure());
+        assert!(g.oltp_hot());
+        // Once the writers stop, the budget window passes and the signal
+        // drops even though the EWMA itself decays more slowly.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!g.oltp_hot());
+    }
+
+    #[test]
+    fn hot_merges_defer_but_never_starve() {
+        let g = ResourceGovernor::new(GovernorConfig::default());
+        g.committer_enter(); // pin the hot state
+        let first = g.admit_merge(); // opens the hot window
+        let second = g.admit_merge(); // same window: deferred
+        assert!(first);
+        assert!(!second);
+        assert!(g.stats().merge_deferrals >= 1);
+        std::thread::sleep(Duration::from_millis(MERGE_DEFER_WINDOW_MS + 10));
+        assert!(g.admit_merge(), "one merge per window must pass while hot");
+        g.committer_exit();
+    }
+
+    #[test]
+    fn epoch_advances_per_committer() {
+        let g = ResourceGovernor::new(GovernorConfig::default());
+        let mut seen = g.epoch();
+        g.committer_enter();
+        g.committer_exit();
+        assert_ne!(g.epoch(), seen);
+        g.chunk_yield(&mut seen);
+        assert_eq!(seen, g.epoch());
+    }
+
+    #[test]
+    fn queue_drains_fifo() {
+        let g = ResourceGovernor::new(
+            GovernorConfig::default()
+                .with_max_concurrent_scans(1)
+                .with_scan_queue_timeout_ms(5_000),
+        );
+        let (gate, _) = g.admit_scan().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for k in 0..4usize {
+                let (gk, ord) = (Arc::clone(&g), Arc::clone(&order));
+                s.spawn(move || {
+                    let _p = gk.admit_scan().unwrap(); // parks until its turn
+                    ord.lock().push(k);
+                });
+                // Wait until thread k's ticket is enqueued before spawning
+                // k+1, so arrival order is deterministic.
+                while g.stats().scans_queued < (k + 1) as u64 {
+                    std::thread::yield_now();
+                }
+            }
+            drop(gate); // open the flood: one at a time, FIFO
+        });
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3]);
+    }
+}

@@ -45,6 +45,7 @@
 pub mod database;
 pub mod filter;
 pub mod gc;
+pub mod governor;
 pub mod lifecycle;
 pub mod loc;
 pub mod partition;
@@ -57,6 +58,7 @@ pub mod write;
 pub use database::Database;
 pub use filter::{ColumnPredicate, ScanStats};
 pub use gc::{GcShared, GcStats, TableGc};
+pub use governor::{ResourceGovernor, ScanPermit};
 pub use lifecycle::StageStats;
 pub use loc::Loc;
 pub use partition::{PartitionedRead, PartitionedTable};

@@ -85,6 +85,11 @@ impl PartitionedTable {
         if n == 0 {
             return Err(HanaError::Schema("at least one partition required".into()));
         }
+        // Standalone partitions share one private governor so the fan-out
+        // clamp sees the whole logical table (database-registered shards
+        // share the database-wide governor instead).
+        let governor =
+            crate::governor::ResourceGovernor::new(hana_common::GovernorConfig::default());
         let partitions = (0..n)
             .map(|i| {
                 let mut shard_schema = schema.clone();
@@ -96,6 +101,7 @@ impl PartitionedTable {
                     Arc::clone(&mgr),
                     None,
                     Arc::new(parking_lot::RwLock::new(())),
+                    Arc::clone(&governor),
                 )
             })
             .collect();
@@ -187,11 +193,23 @@ impl PartitionedTable {
         self.read_at(txn.read_snapshot())
     }
 
-    /// Open a partition-fanned read view under an explicit snapshot.
+    /// Open a partition-fanned read view under an explicit snapshot. Shard
+    /// views are marked serial so only the partition level fans out — the
+    /// pool is sized once here instead of once per shard (nested fan-out
+    /// oversubscribed small hosts badly; see `ResourceGovernor`).
     pub fn read_at(&self, snap: Snapshot) -> PartitionedRead {
         PartitionedRead {
-            reads: self.partitions.iter().map(|p| p.read_at(snap)).collect(),
+            reads: self
+                .partitions
+                .iter()
+                .map(|p| {
+                    let mut r = p.read_at(snap);
+                    r.set_serial_shard();
+                    r
+                })
+                .collect(),
             scan_parallelism: self.partitions[0].config().scan.scan_parallelism,
+            governor: Arc::clone(self.partitions[0].governor()),
         }
     }
 
@@ -239,6 +257,7 @@ impl PartitionedTable {
 pub struct PartitionedRead {
     reads: Vec<TableRead>,
     scan_parallelism: usize,
+    governor: Arc<crate::governor::ResourceGovernor>,
 }
 
 impl PartitionedRead {
@@ -247,14 +266,23 @@ impl PartitionedRead {
         &self.reads
     }
 
+    /// The governor shared by every partition of this view.
+    pub fn governor(&self) -> &Arc<crate::governor::ResourceGovernor> {
+        &self.governor
+    }
+
     /// Fan-out degree for `n` partition jobs, honoring the table's scan
-    /// parallelism knob (`1` forces serial, `0` auto-sizes from the CPUs).
+    /// parallelism knob (`1` forces serial, `0` auto-sizes from the CPUs)
+    /// and the governor's clamp: never more shard scans than cores, and
+    /// down to `min_scan_parallelism` while OLTP is hot.
     fn workers(&self) -> usize {
         let n = self.reads.len();
         if n <= 1 || self.scan_parallelism == 1 {
             return 1;
         }
-        effective_workers(self.scan_parallelism).min(n)
+        self.governor
+            .effective_parallelism(effective_workers(self.scan_parallelism))
+            .min(n)
     }
 
     fn fan_out<T: Send>(&self, f: impl Fn(&TableRead) -> T + Send + Sync) -> Vec<T> {

@@ -47,6 +47,10 @@ pub struct TableRead {
     cache_hits: AtomicU64,
     /// Visibility bitmaps this view had to compute from raw stamps.
     cache_misses: AtomicU64,
+    /// Set when this view is one shard of a partition fan-out: chunk-level
+    /// parallelism is suppressed so the partition-level fan-out alone
+    /// sizes the thread pool (see `PartitionedRead`).
+    serial_shard: bool,
 }
 
 /// A visible row surfaced by a scan.
@@ -81,6 +85,7 @@ impl UnifiedTable {
             table: Arc::clone(self),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            serial_shard: false,
         }
     }
 }
@@ -130,6 +135,18 @@ impl TableRead {
         &self.snap
     }
 
+    /// Mark this view as one shard of a partition fan-out: chunk-level
+    /// parallelism is suppressed so only the partition level fans out.
+    pub(crate) fn set_serial_shard(&mut self) {
+        self.serial_shard = true;
+    }
+
+    /// The table's (database-wide) resource governor — the engine layer
+    /// takes scan admission tokens through this.
+    pub fn governor(&self) -> &Arc<crate::governor::ResourceGovernor> {
+        self.table.governor()
+    }
+
     /// The pinned main chain (exposed for engine-layer operators).
     pub fn main(&self) -> &MainStore {
         &self.main
@@ -170,16 +187,24 @@ impl TableRead {
         Ok(())
     }
 
-    /// Resolve the scan fan-out degree for `jobs` chunks of work.
+    /// Resolve the scan fan-out degree for `jobs` chunks of work: the
+    /// configured `scan_parallelism`, clamped by the governor (never more
+    /// workers than cores; down to `min_scan_parallelism` while the OLTP
+    /// signal is hot) and additionally forced serial when this read is one
+    /// shard of a partition fan-out (the parallelism then lives at the
+    /// partition level — nesting both fan-outs oversubscribes the pool).
     fn scan_workers(&self, jobs: usize) -> usize {
-        if jobs <= 1 {
+        if jobs <= 1 || self.serial_shard {
             return 1;
         }
         let requested = self.table.config.scan.scan_parallelism;
         if requested == 1 {
             1
         } else {
-            effective_workers(requested).min(jobs)
+            self.table
+                .governor
+                .effective_parallelism(effective_workers(requested))
+                .min(jobs)
         }
     }
 
@@ -264,7 +289,10 @@ impl TableRead {
             .collect();
         let chunks = plan_chunks(parts);
         let workers = self.scan_workers(chunks.len());
+        let scan_epoch = self.table.governor.epoch();
         let produced = map_indexed(chunks.len(), workers, |ci| {
+            let mut seen = scan_epoch;
+            self.table.governor.chunk_yield(&mut seen);
             let ch = chunks[ci];
             let part = &parts[ch.part];
             let mut rows = Vec::new();
@@ -469,7 +497,14 @@ impl TableRead {
                 })
                 .collect();
             let workers = self.scan_workers(chunks.len());
+            stats.effective_parallelism = workers;
+            let scan_epoch = self.table.governor.epoch();
             let produced = map_indexed(chunks.len(), workers, |ci| {
+                // Chunk-boundary cooperation: surrender the timeslice when
+                // a committer entered the pipeline, so a long scan never
+                // monopolizes the pool while the commit path queues.
+                let mut seen = scan_epoch;
+                self.table.governor.chunk_yield(&mut seen);
                 let ch = chunks[ci];
                 let part = &parts[ch.part];
                 let n = (ch.end - ch.start) as usize;
@@ -770,7 +805,10 @@ impl TableRead {
             .collect();
         let chunks = plan_chunks(parts);
         let workers = self.scan_workers(chunks.len());
+        let scan_epoch = self.table.governor.epoch();
         let partials = map_indexed(chunks.len(), workers, |ci| {
+            let mut seen = scan_epoch;
+            self.table.governor.chunk_yield(&mut seen);
             let ch = chunks[ci];
             let part = &parts[ch.part];
             let null_code = part.null_code(col);
@@ -863,7 +901,10 @@ impl TableRead {
             .collect();
         let chunks = plan_chunks(parts);
         let workers = self.scan_workers(chunks.len());
+        let scan_epoch = self.table.governor.epoch();
         let partials: Vec<Vec<(Value, u64, f64)>> = map_indexed(chunks.len(), workers, |ci| {
+            let mut seen = scan_epoch;
+            self.table.governor.chunk_yield(&mut seen);
             let ch = chunks[ci];
             let part = &parts[ch.part];
             let g_null = part.null_code(group_col);

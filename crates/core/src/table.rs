@@ -96,6 +96,10 @@ pub struct UnifiedTable {
     /// Background-GC bookkeeping (watermark of the last cycle, per-part
     /// end-version highwater) — see [`crate::gc`].
     pub(crate) gc_state: Mutex<crate::gc::TableGcState>,
+    /// Database-wide interference governor (admission, fan-out clamping,
+    /// commit priority) — see [`crate::governor`]. Standalone tables get
+    /// a private governor with the default configuration.
+    pub(crate) governor: Arc<crate::governor::ResourceGovernor>,
 }
 
 impl UnifiedTable {
@@ -108,6 +112,7 @@ impl UnifiedTable {
         mgr: Arc<TxnManager>,
         persist: Option<Arc<Persistence>>,
         fence: Arc<RwLock<()>>,
+        governor: Arc<crate::governor::ResourceGovernor>,
     ) -> Arc<Self> {
         let l2 = Arc::new(L2Delta::new(schema.clone(), 0));
         Arc::new(UnifiedTable {
@@ -138,11 +143,12 @@ impl UnifiedTable {
             publication_stall_total_ns: AtomicU64::new(0),
             publication_stall_events: AtomicU64::new(0),
             gc_state: Mutex::new(crate::gc::TableGcState::default()),
+            governor,
         })
     }
 
-    /// A standalone in-memory table with its own fence (convenience for
-    /// tests and benches).
+    /// A standalone in-memory table with its own fence and a private
+    /// default-configured governor (convenience for tests and benches).
     pub fn standalone(schema: Schema, config: TableConfig, mgr: Arc<TxnManager>) -> Arc<Self> {
         Self::create(
             TableId(0),
@@ -151,7 +157,13 @@ impl UnifiedTable {
             mgr,
             None,
             Arc::new(RwLock::new(())),
+            crate::governor::ResourceGovernor::new(hana_common::GovernorConfig::default()),
         )
+    }
+
+    /// The interference governor this table schedules its scans through.
+    pub fn governor(&self) -> &Arc<crate::governor::ResourceGovernor> {
+        &self.governor
     }
 
     /// The table's catalog id.

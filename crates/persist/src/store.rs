@@ -26,7 +26,7 @@ use crate::image::TableImage;
 use crate::log::{LogRecord, RedoLog};
 use crate::page::{PageId, PageStore, DEFAULT_PAGE_SIZE};
 use crate::vfile::VirtualFile;
-use hana_common::{CommitConfig, HanaError, Result, Timestamp};
+use hana_common::{CommitConfig, GovernorConfig, HanaError, Result, Timestamp};
 use parking_lot::Mutex;
 use rustc_hash::FxHashSet;
 use std::path::Path;
@@ -48,12 +48,16 @@ pub struct RecoveredState {
     /// Commit-pipeline configuration persisted by the savepoint (defaults
     /// when no savepoint existed).
     pub commit_config: CommitConfig,
+    /// Workload-isolation (resource governor) configuration persisted by
+    /// the savepoint (defaults when no savepoint existed).
+    pub governor_config: GovernorConfig,
 }
 
 struct Manifest {
     version: u64,
     clock: Timestamp,
     commit_config: CommitConfig,
+    governor_config: GovernorConfig,
     files: Vec<VirtualFile>,
 }
 
@@ -268,12 +272,13 @@ impl Persistence {
         &self,
         clock: Timestamp,
         commit_config: &CommitConfig,
+        governor_config: &GovernorConfig,
         images: &[TableImage],
     ) -> Result<u64> {
         if self.health.is_read_only() {
             return Err(Health::read_only_error());
         }
-        let r = self.savepoint_inner(clock, commit_config, images);
+        let r = self.savepoint_inner(clock, commit_config, governor_config, images);
         match &r {
             Ok(_) => self.health.record_success(),
             Err(e) if Health::counts_as_io_failure(e) => {
@@ -288,6 +293,7 @@ impl Persistence {
         &self,
         clock: Timestamp,
         commit_config: &CommitConfig,
+        governor_config: &GovernorConfig,
         images: &[TableImage],
     ) -> Result<u64> {
         let mut state = self.state.lock();
@@ -323,6 +329,7 @@ impl Persistence {
         m.u64(version);
         m.u64(clock);
         encode_commit_config(&mut m, commit_config);
+        encode_governor_config(&mut m, governor_config);
         m.u32(files.len() as u32);
         for f in &files {
             f.encode(&mut m);
@@ -374,22 +381,41 @@ impl Persistence {
     /// Recover with an explicit page size.
     pub fn recover_with_page_size(dir: &Path, page_size: usize) -> Result<RecoveredState> {
         let pages_path = dir.join("data.pages");
-        let (clock, savepoint_version, commit_config, images) = if pages_path.exists() {
-            let pages = PageStore::open(&pages_path, page_size)?;
-            match read_best_manifest(&pages) {
-                Some(m) => {
-                    let mut images = Vec::with_capacity(m.files.len());
-                    for f in &m.files {
-                        let blob = f.read(&pages)?;
-                        images.push(TableImage::decode(&mut Decoder::new(&blob))?);
+        let (clock, savepoint_version, commit_config, governor_config, images) =
+            if pages_path.exists() {
+                let pages = PageStore::open(&pages_path, page_size)?;
+                match read_best_manifest(&pages) {
+                    Some(m) => {
+                        let mut images = Vec::with_capacity(m.files.len());
+                        for f in &m.files {
+                            let blob = f.read(&pages)?;
+                            images.push(TableImage::decode(&mut Decoder::new(&blob))?);
+                        }
+                        (
+                            m.clock,
+                            m.version,
+                            m.commit_config,
+                            m.governor_config,
+                            images,
+                        )
                     }
-                    (m.clock, m.version, m.commit_config, images)
+                    None => (
+                        0,
+                        0,
+                        CommitConfig::default(),
+                        GovernorConfig::default(),
+                        Vec::new(),
+                    ),
                 }
-                None => (0, 0, CommitConfig::default(), Vec::new()),
-            }
-        } else {
-            (0, 0, CommitConfig::default(), Vec::new())
-        };
+            } else {
+                (
+                    0,
+                    0,
+                    CommitConfig::default(),
+                    GovernorConfig::default(),
+                    Vec::new(),
+                )
+            };
         let (epoch, records) = RedoLog::read_all_with_epoch(&dir.join("redo.log"))?;
         // Replay only a log whose epoch matches the manifest it extends.
         let log_records = if epoch == savepoint_version {
@@ -403,6 +429,7 @@ impl Persistence {
             images,
             log_records,
             commit_config,
+            governor_config,
         })
     }
 }
@@ -421,6 +448,24 @@ fn decode_commit_config(d: &mut Decoder<'_>) -> Result<CommitConfig> {
     })
 }
 
+fn encode_governor_config(e: &mut Encoder, c: &GovernorConfig) {
+    e.bool(c.enabled);
+    e.u64(c.max_concurrent_scans as u64);
+    e.u64(c.scan_queue_timeout_ms);
+    e.u64(c.oltp_p99_budget_us);
+    e.u64(c.min_scan_parallelism as u64);
+}
+
+fn decode_governor_config(d: &mut Decoder<'_>) -> Result<GovernorConfig> {
+    Ok(GovernorConfig {
+        enabled: d.bool()?,
+        max_concurrent_scans: d.u64()? as usize,
+        scan_queue_timeout_ms: d.u64()?,
+        oltp_p99_budget_us: d.u64()?,
+        min_scan_parallelism: d.u64()? as usize,
+    })
+}
+
 fn read_manifest_slot(pages: &PageStore, slot: u64) -> Option<Manifest> {
     let framed = pages.read_page(PageId(slot)).ok()?;
     let mut d = Decoder::new(&framed);
@@ -433,6 +478,7 @@ fn read_manifest_slot(pages: &PageStore, slot: u64) -> Option<Manifest> {
     let version = d.u64().ok()?;
     let clock = d.u64().ok()?;
     let commit_config = decode_commit_config(&mut d).ok()?;
+    let governor_config = decode_governor_config(&mut d).ok()?;
     let n = d.u32().ok()? as usize;
     let mut files = Vec::with_capacity(n);
     for _ in 0..n {
@@ -442,6 +488,7 @@ fn read_manifest_slot(pages: &PageStore, slot: u64) -> Option<Manifest> {
         version,
         clock,
         commit_config,
+        governor_config,
         files,
     })
 }
@@ -523,7 +570,12 @@ mod tests {
             .unwrap();
         p.log().flush().unwrap();
         let v = p
-            .savepoint(10, &CommitConfig::default(), &[image("t", 100)])
+            .savepoint(
+                10,
+                &CommitConfig::default(),
+                &GovernorConfig::default(),
+                &[image("t", 100)],
+            )
             .unwrap();
         assert_eq!(v, 1);
         // Log rotated (emptied) by the savepoint, onto the new epoch.
@@ -555,7 +607,8 @@ mod tests {
         let cfg = CommitConfig::serial()
             .with_max_batch(17)
             .with_max_wait_us(250);
-        p.savepoint(3, &cfg, &[image("t", 1)]).unwrap();
+        p.savepoint(3, &cfg, &GovernorConfig::default(), &[image("t", 1)])
+            .unwrap();
         drop(p);
         let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
         assert_eq!(rec.commit_config, cfg);
@@ -563,6 +616,39 @@ mod tests {
         let dir2 = tempdir().unwrap();
         let rec2 = Persistence::recover_with_page_size(dir2.path(), 256).unwrap();
         assert_eq!(rec2.commit_config, CommitConfig::default());
+    }
+
+    #[test]
+    fn governor_config_round_trips_through_manifest() {
+        let dir = tempdir().unwrap();
+        let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
+        let gov = GovernorConfig::default()
+            .with_max_concurrent_scans(7)
+            .with_scan_queue_timeout_ms(321)
+            .with_oltp_p99_budget_us(1234)
+            .with_min_scan_parallelism(2);
+        p.savepoint(3, &CommitConfig::default(), &gov, &[image("t", 1)])
+            .unwrap();
+        drop(p);
+        let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
+        assert_eq!(rec.governor_config, gov);
+        // A disabled governor survives the round trip too.
+        let dir2 = tempdir().unwrap();
+        let p2 = Persistence::open_with_page_size(dir2.path(), 256).unwrap();
+        p2.savepoint(
+            1,
+            &CommitConfig::default(),
+            &GovernorConfig::disabled(),
+            &[image("t", 1)],
+        )
+        .unwrap();
+        drop(p2);
+        let rec2 = Persistence::recover_with_page_size(dir2.path(), 256).unwrap();
+        assert_eq!(rec2.governor_config, GovernorConfig::disabled());
+        // No savepoint ⇒ defaults.
+        let dir3 = tempdir().unwrap();
+        let rec3 = Persistence::recover_with_page_size(dir3.path(), 256).unwrap();
+        assert_eq!(rec3.governor_config, GovernorConfig::default());
     }
 
     #[test]
@@ -578,12 +664,27 @@ mod tests {
     fn successive_savepoints_alternate_and_supersede() {
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
-            .unwrap();
-        p.savepoint(8, &CommitConfig::default(), &[image("t", 20)])
-            .unwrap();
+        p.savepoint(
+            5,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("t", 10)],
+        )
+        .unwrap();
+        p.savepoint(
+            8,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("t", 20)],
+        )
+        .unwrap();
         let v3 = p
-            .savepoint(12, &CommitConfig::default(), &[image("t", 30)])
+            .savepoint(
+                12,
+                &CommitConfig::default(),
+                &GovernorConfig::default(),
+                &[image("t", 30)],
+            )
             .unwrap();
         assert_eq!(v3, 3);
         drop(p);
@@ -599,8 +700,13 @@ mod tests {
         // but the superblock never flips (crash). Recovery must see v1.
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
-            .unwrap();
+        p.savepoint(
+            5,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("t", 10)],
+        )
+        .unwrap();
         // Write orphan pages (as an interrupted savepoint would).
         let orphan = VirtualFile::write(p.pages(), &vec![9u8; 600]).unwrap();
         let _ = orphan;
@@ -616,8 +722,13 @@ mod tests {
         // reusable after reopen: allocated == 2 + free + live.
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
-            .unwrap();
+        p.savepoint(
+            5,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("t", 10)],
+        )
+        .unwrap();
         let _orphan = VirtualFile::write(p.pages(), &vec![9u8; 2000]).unwrap();
         drop(p);
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
@@ -634,8 +745,13 @@ mod tests {
     fn failed_savepoint_releases_pages_and_keeps_old_manifest() {
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
-            .unwrap();
+        p.savepoint(
+            5,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("t", 10)],
+        )
+        .unwrap();
         let before = p.page_accounting();
         // Fail the 3rd image-page write of the next savepoint.
         p.injector().arm(FaultPolicy::fail_nth(
@@ -644,7 +760,12 @@ mod tests {
             FaultErrorKind::Enospc,
         ));
         let err = p
-            .savepoint(8, &CommitConfig::default(), &[image("t", 50)])
+            .savepoint(
+                8,
+                &CommitConfig::default(),
+                &GovernorConfig::default(),
+                &[image("t", 50)],
+            )
             .unwrap_err();
         assert!(err.to_string().contains("ENOSPC"), "{err}");
         let after = p.page_accounting();
@@ -656,7 +777,12 @@ mod tests {
         assert_eq!(after.live, before.live, "old savepoint still live");
         // A healthy retry succeeds and recovery sees it.
         let v = p
-            .savepoint(8, &CommitConfig::default(), &[image("t", 50)])
+            .savepoint(
+                8,
+                &CommitConfig::default(),
+                &GovernorConfig::default(),
+                &[image("t", 50)],
+            )
             .unwrap();
         assert_eq!(v, 2);
         drop(p);
@@ -686,7 +812,12 @@ mod tests {
             FaultErrorKind::Eio,
         ));
         assert!(p
-            .savepoint(10, &CommitConfig::default(), &[image("t", 10)])
+            .savepoint(
+                10,
+                &CommitConfig::default(),
+                &GovernorConfig::default(),
+                &[image("t", 10)]
+            )
             .is_err());
         // The log is wedged: appending to the stale epoch would lose data.
         assert!(p.log().is_wedged());
@@ -714,7 +845,12 @@ mod tests {
             .arm(FaultPolicy::fail_nth(IoOp::PageWrite, 0, FaultErrorKind::Eio).persistent());
         for i in 0..3 {
             assert!(p
-                .savepoint(i, &CommitConfig::default(), &[image("t", 5)])
+                .savepoint(
+                    i,
+                    &CommitConfig::default(),
+                    &GovernorConfig::default(),
+                    &[image("t", 5)]
+                )
                 .is_err());
         }
         let hs = p.health_stats();
@@ -739,23 +875,43 @@ mod tests {
             })
             .is_err());
         assert!(p
-            .savepoint(9, &CommitConfig::default(), &[image("t", 5)])
+            .savepoint(
+                9,
+                &CommitConfig::default(),
+                &GovernorConfig::default(),
+                &[image("t", 5)]
+            )
             .is_err());
         // …until the operator clears it.
         p.clear_degraded();
         assert!(!p.health_stats().read_only);
-        p.savepoint(9, &CommitConfig::default(), &[image("t", 5)])
-            .unwrap();
+        p.savepoint(
+            9,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("t", 5)],
+        )
+        .unwrap();
     }
 
     #[test]
     fn corrupt_newest_superblock_falls_back() {
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &CommitConfig::default(), &[image("t", 10)])
-            .unwrap(); // slot 1
-        p.savepoint(8, &CommitConfig::default(), &[image("t", 20)])
-            .unwrap(); // slot 0 (v2)
+        p.savepoint(
+            5,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("t", 10)],
+        )
+        .unwrap(); // slot 1
+        p.savepoint(
+            8,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("t", 20)],
+        )
+        .unwrap(); // slot 0 (v2)
         drop(p);
         // Corrupt slot 0 (the newest, version 2).
         let path = dir.path().join("data.pages");
@@ -774,8 +930,13 @@ mod tests {
     fn multiple_tables_per_savepoint() {
         let dir = tempdir().unwrap();
         let p = Persistence::open_with_page_size(dir.path(), 256).unwrap();
-        p.savepoint(5, &CommitConfig::default(), &[image("a", 3), image("b", 7)])
-            .unwrap();
+        p.savepoint(
+            5,
+            &CommitConfig::default(),
+            &GovernorConfig::default(),
+            &[image("a", 3), image("b", 7)],
+        )
+        .unwrap();
         drop(p);
         let rec = Persistence::recover_with_page_size(dir.path(), 256).unwrap();
         assert_eq!(rec.images.len(), 2);

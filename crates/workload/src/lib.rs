@@ -16,7 +16,7 @@ pub mod sales;
 pub mod zipf;
 
 pub use datagen::DataGen;
-pub use mixed::{MixedReport, MixedWorkload};
+pub use mixed::{LatencyStats, MixedReport, MixedWorkload};
 pub use olap::{OlapQuery, OlapRunner};
 pub use oltp::{
     DurableOltp, OltpDriver, OltpEngine, OltpOp, OltpReport, PartitionedOltp,
