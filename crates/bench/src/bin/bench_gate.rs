@@ -184,6 +184,36 @@ const METRICS: &[MetricSpec] = &[
         better: Better::Higher,
         slack: 2.0,
     },
+    MetricSpec {
+        id: "f13_envelope_verify_gbps",
+        section: "F13 envelope kernels",
+        row: &[("op", "verify (open_envelope)")],
+        col: "GB/s",
+        better: Better::Higher,
+        slack: 2.0,
+    },
+    MetricSpec {
+        id: "f13_commit_crc_share_pct",
+        section: "F13 commit checksum share",
+        // The acceptance bar is ≤5% checksum overhead on the durable
+        // commit path; the share is normally well under 1%, so even with
+        // slack a pass cannot drift past the bar unnoticed.
+        row: &[],
+        col: "checksum share (%)",
+        better: Better::Lower,
+        slack: 2.0,
+    },
+    MetricSpec {
+        id: "f13_scan_verified_vs_mem",
+        section: "F13 verified scan",
+        // Scan cost of a verified-from-disk main vs the identical
+        // in-memory build: envelope verification is load-time work, so
+        // this ratio sits at ~1.0 and going past ~5% overhead regresses.
+        row: &[],
+        col: "verified/in-memory",
+        better: Better::Lower,
+        slack: 2.0,
+    },
 ];
 
 fn main() -> ExitCode {

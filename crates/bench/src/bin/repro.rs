@@ -84,6 +84,9 @@ fn main() -> hana_common::Result<()> {
     if run("fig12") {
         fig12()?;
     }
+    if run("fig13") {
+        fig13()?;
+    }
     if run("myth") {
         myth()?;
     }
@@ -1444,6 +1447,178 @@ fn fig12_soak() -> hana_common::Result<()> {
         "soak p99 drifted: first window {first} µs, last window {last} µs"
     );
     println!("soak p99 flat: first {first} µs, last {last} µs");
+    Ok(())
+}
+
+/// Fig 13 (extension): what the on-disk integrity envelope costs. Three
+/// views: the raw seal/verify kernel throughput on page-sized payloads,
+/// the checksum's share of the durable commit path (every REDO record is
+/// sealed before the fsync), and a main-store scan over a table recovered
+/// — and therefore fully verified — from disk vs the identical in-memory
+/// build. Verification is load-time work; the scan hot path reads the same
+/// decoded columns either way, so the ratio must stay ~1 (the ≤5% overhead
+/// acceptance bar, gated in CI as `f13_scan_verified_vs_mem`).
+fn fig13() -> hana_common::Result<()> {
+    use hana_persist::{crc32c, open_envelope, seal, ArtifactKind, DEFAULT_PAGE_SIZE};
+
+    // (a) Kernel throughput: seal + verify page-sized payloads, the unit
+    // every page write / page read pays.
+    let n_pages = scale(40_000) as usize;
+    println!("\n## F13 — integrity envelope overhead ({n_pages} pages)\n");
+    let payload = vec![0xA5u8; DEFAULT_PAGE_SIZE - hana_persist::ENVELOPE_HEADER];
+    let (t_seal, sealed) = time(|| {
+        let mut last = Vec::new();
+        for i in 0..n_pages {
+            last = seal(ArtifactKind::Page, i as u64, &payload);
+        }
+        last
+    });
+    let salt = (n_pages - 1) as u64;
+    let (t_verify, _) = time(|| {
+        for _ in 0..n_pages {
+            open_envelope(ArtifactKind::Page, salt, &sealed).unwrap();
+        }
+    });
+    let gb = (n_pages * DEFAULT_PAGE_SIZE) as f64 / 1e9;
+    report::emit(
+        "F13 envelope kernels",
+        &["op", "GB/s"],
+        &[
+            vec![
+                "seal (checksum + frame)".into(),
+                format!("{:.2}", gb / t_seal.as_secs_f64()),
+            ],
+            vec![
+                "verify (open_envelope)".into(),
+                format!("{:.2}", gb / t_verify.as_secs_f64()),
+            ],
+        ],
+    );
+
+    // (b) The commit path (F10b's subject): run an insert-per-commit loop,
+    // then re-checksum the exact log byte volume it produced and compare
+    // wall clocks. The CRC is the only work the envelope added to this
+    // path, so the share bounds the logging overhead from above.
+    let commits = scale(4_000);
+    let dir = tempfile::tempdir()
+        .map_err(|e| hana_common::HanaError::Persist(format!("tempdir: {e}")))?;
+    let t_commit = {
+        let db = Database::open(dir.path())?;
+        let table = db.create_table(SalesSchema::fact(), TableConfig::default())?;
+        let mut gen = DataGen::new(7);
+        let (t, r) = time(|| -> hana_common::Result<()> {
+            for i in 0..commits {
+                let mut txn = db.begin(IsolationLevel::Transaction);
+                table.insert(
+                    &txn,
+                    SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS),
+                )?;
+                db.commit(&mut txn)?;
+            }
+            Ok(())
+        });
+        r?;
+        t
+    };
+    let log_bytes = std::fs::read(dir.path().join("redo.log"))
+        .map_err(|e| hana_common::HanaError::Persist(format!("read redo.log: {e}")))?;
+    let passes = 9u32;
+    let (t_crc_all, _) = time(|| {
+        let mut acc = 0u32;
+        for _ in 0..passes {
+            acc ^= crc32c(&log_bytes);
+        }
+        acc
+    });
+    let t_crc = t_crc_all / passes;
+    let share = 100.0 * t_crc.as_secs_f64() / t_commit.as_secs_f64();
+    report::emit(
+        "F13 commit checksum share",
+        &[
+            "commits",
+            "log bytes",
+            "commit wall (ms)",
+            "crc32c over log (ms)",
+            "checksum share (%)",
+        ],
+        &[vec![
+            commits.to_string(),
+            log_bytes.len().to_string(),
+            ms(t_commit),
+            ms(t_crc),
+            format!("{share:.2}"),
+        ]],
+    );
+
+    // (c) The scan path (F4's subject): identical main-resident table, one
+    // built in memory, one recovered from disk through full envelope
+    // verification of every page and image blob.
+    let n = scale(200_000);
+    let build_batch = || -> Vec<Vec<Value>> {
+        let mut gen = DataGen::new(7);
+        (0..n)
+            .map(|i| SalesSchema::fact_row(&mut gen, i, CUSTOMERS, PRODUCTS))
+            .collect()
+    };
+    let big = TableConfig {
+        l1_max_rows: usize::MAX / 2,
+        l2_max_rows: usize::MAX / 2,
+        ..TableConfig::default()
+    };
+    let best_scan = |db: &Arc<Database>, table: &Arc<hana_core::UnifiedTable>| {
+        let snap = Snapshot::at(db.txn_manager().now());
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            let read = table.read_at(snap);
+            let (t, _) = time(|| read.aggregate_numeric(fact_cols::AMOUNT).unwrap());
+            best = best.min(t);
+        }
+        best
+    };
+
+    let mem_db = Database::in_memory();
+    let mem_table = mem_db.create_table(SalesSchema::fact(), big.clone())?;
+    let mut txn = mem_db.begin(IsolationLevel::Transaction);
+    mem_table.bulk_load(&txn, build_batch())?;
+    mem_db.commit(&mut txn)?;
+    mem_table.merge_delta_as(MergeDecision::Classic)?;
+    let t_mem = best_scan(&mem_db, &mem_table);
+
+    let dir = tempfile::tempdir()
+        .map_err(|e| hana_common::HanaError::Persist(format!("tempdir: {e}")))?;
+    {
+        let db = Database::open(dir.path())?;
+        let table = db.create_table(SalesSchema::fact(), big)?;
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        table.bulk_load(&txn, build_batch())?;
+        db.commit(&mut txn)?;
+        table.merge_delta_as(MergeDecision::Classic)?;
+        db.savepoint()?;
+    }
+    let (t_open, db) = time(|| Database::open(dir.path()).unwrap());
+    let table = db.table("sales")?;
+    let t_disk = best_scan(&db, &table);
+    let stats = db.integrity_stats().unwrap_or_default();
+    assert_eq!(stats.total_corruptions(), 0, "pristine files: {stats:?}");
+    report::emit(
+        "F13 verified scan",
+        &[
+            "rows",
+            "open+verify (ms)",
+            "pages verified",
+            "in-memory scan (ms)",
+            "verified scan (ms)",
+            "verified/in-memory",
+        ],
+        &[vec![
+            n.to_string(),
+            ms(t_open),
+            stats.pages_verified.to_string(),
+            ms(t_mem),
+            ms(t_disk),
+            format!("{:.2}", t_disk.as_secs_f64() / t_mem.as_secs_f64()),
+        ]],
+    );
     Ok(())
 }
 

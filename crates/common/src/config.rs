@@ -262,6 +262,35 @@ pub struct GovernorStats {
     pub merge_deferrals: u64,
 }
 
+/// Tuning knobs for the background integrity scrub.
+///
+/// The scrub rides the merge-daemon infrastructure: each daemon tick it
+/// re-verifies the checksums of up to `batch_pages` on-disk pages (the
+/// superblock slots plus every page the live savepoint references),
+/// wrapping around, and re-verifies one whole table-image blob per
+/// completed pass. It is governor-aware — under a hot OLTP signal the
+/// batch is deferred like any other background work — so rot is found
+/// early without stealing the write path's I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubConfig {
+    /// Pages verified per daemon tick. `0` disables the scrub.
+    pub batch_pages: usize,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig { batch_pages: 128 }
+    }
+}
+
+impl ScrubConfig {
+    /// Builder-style override of the per-tick page budget.
+    pub fn with_batch_pages(mut self, n: usize) -> Self {
+        self.batch_pages = n;
+        self
+    }
+}
+
 /// User-facing partitioning request for
 /// `Database::create_partitioned_table`: split a logical table into
 /// `partitions` hash partitions on the value of `hash_column`.

@@ -22,8 +22,13 @@ pub enum HanaError {
     /// Merge machinery errors (retryable, cf. paper §3.1: a failed merge
     /// leaves the system operating on the new L2-delta).
     Merge(String),
-    /// Persistence-layer failures: log corruption, bad checksums, page faults.
+    /// Persistence-layer failures: wedged log, page faults, format errors.
     Persist(String),
+    /// Detected on-disk corruption: a checksum envelope failed to verify on
+    /// a page, log record, savepoint manifest or table image. Never
+    /// retryable — the bytes on the device are wrong and the engine fails
+    /// closed (or falls back to older redundancy) rather than serve them.
+    Corruption(String),
     /// Query compilation/execution errors in the calc-graph layer.
     Query(String),
     /// Resource-governor admission failures (queue timeout under OLAP
@@ -44,6 +49,7 @@ impl fmt::Display for HanaError {
             HanaError::NotFound(m) => write!(f, "not found: {m}"),
             HanaError::Merge(m) => write!(f, "merge error: {m}"),
             HanaError::Persist(m) => write!(f, "persistence error: {m}"),
+            HanaError::Corruption(m) => write!(f, "corruption detected: {m}"),
             HanaError::Query(m) => write!(f, "query error: {m}"),
             HanaError::Governor(m) => write!(f, "governor admission error: {m}"),
             HanaError::Io(e) => write!(f, "io error: {e}"),
@@ -100,5 +106,12 @@ mod tests {
         assert!(HanaError::Merge("x".into()).is_retryable());
         assert!(HanaError::Governor("x".into()).is_retryable());
         assert!(!HanaError::Schema("x".into()).is_retryable());
+        assert!(!HanaError::Corruption("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn corruption_is_named() {
+        let e = HanaError::Corruption("page 7: checksum mismatch".into());
+        assert!(e.to_string().contains("corruption detected"));
     }
 }

@@ -18,7 +18,7 @@ pub mod value;
 
 pub use config::{
     CommitConfig, GovernorConfig, GovernorStats, MergeConfig, MergeStrategy, PartitionConfig,
-    PartitionSpec, ScanConfig, TableConfig,
+    PartitionSpec, ScanConfig, ScrubConfig, TableConfig,
 };
 pub use error::{HanaError, Result};
 pub use rowid::{RowId, RowLocation, StoreKind};

@@ -3,14 +3,15 @@
 use crate::gc::{GcShared, GcStats, TableGc};
 use crate::governor::ResourceGovernor;
 use crate::partition::{partition_name, shard_config, PartitionedTable};
+use crate::scrub::Scrubber;
 use crate::table::UnifiedTable;
 use hana_common::{
     ColumnId, CommitConfig, GovernorConfig, GovernorStats, HanaError, PartitionConfig, Result,
-    RowId, Schema, TableConfig, TableId, Timestamp, TxnId, Value,
+    RowId, Schema, ScrubConfig, TableConfig, TableId, Timestamp, TxnId, Value,
 };
 use hana_merge::{MergeDaemon, MergeMetrics, MergeTarget};
 use hana_persist::{
-    FaultInjector, HealthStats, LogRecord, LogStats, Persistence, DEFAULT_PAGE_SIZE,
+    FaultInjector, HealthStats, IntegrityStats, LogRecord, LogStats, Persistence, DEFAULT_PAGE_SIZE,
 };
 use hana_txn::{IsolationLevel, Transaction, TxnManager};
 use parking_lot::{Mutex, RwLock};
@@ -56,6 +57,9 @@ pub struct Database {
     daemon: Mutex<Option<MergeDaemon>>,
     /// Background MVCC GC state; `Some` once [`Database::enable_gc`] ran.
     gc: Mutex<Option<Arc<GcShared>>>,
+    /// Background integrity-scrub config; `Some` once
+    /// [`Database::enable_scrub`] ran.
+    scrub: Mutex<Option<ScrubConfig>>,
     commit_cfg: RwLock<CommitConfig>,
     /// Database-wide resource governor: OLAP scan admission, dynamic
     /// parallelism clamping and merge/GC deferral while OLTP is hot.
@@ -119,6 +123,7 @@ impl Database {
             next_table_id: AtomicU32::new(0),
             daemon: Mutex::new(None),
             gc: Mutex::new(None),
+            scrub: Mutex::new(None),
             commit_cfg: RwLock::new(CommitConfig::default()),
             governor: ResourceGovernor::new(GovernorConfig::default()),
         })
@@ -153,6 +158,7 @@ impl Database {
             next_table_id: AtomicU32::new(0),
             daemon: Mutex::new(None),
             gc: Mutex::new(None),
+            scrub: Mutex::new(None),
             commit_cfg: RwLock::new(recovered.commit_config),
             governor: ResourceGovernor::new(recovered.governor_config),
         });
@@ -692,6 +698,9 @@ impl Database {
                 );
             }
         }
+        if let (Some(cfg), Some(p)) = (*self.scrub.lock(), &self.persist) {
+            targets.push(self.governed(Scrubber::new(Arc::clone(p), cfg) as Arc<dyn MergeTarget>));
+        }
         *self.daemon.lock() = Some(MergeDaemon::spawn_pool(targets, interval, workers));
     }
 
@@ -737,6 +746,28 @@ impl Database {
     /// enabled (mirrors [`Database::merge_daemon_stats`]).
     pub fn gc_stats(&self) -> Option<GcStats> {
         self.gc.lock().as_ref().map(|g| g.stats())
+    }
+
+    /// Enable the background integrity scrub: the merge daemon gets a
+    /// [`Scrubber`] target that re-verifies [`ScrubConfig::batch_pages`]
+    /// on-disk pages per admitted tick (governor deferral applies, like
+    /// merges and GC). No-op for in-memory databases. Call once, before or
+    /// after [`Database::start_merge_daemon`].
+    pub fn enable_scrub(&self, cfg: ScrubConfig) {
+        if self.persist.is_none() {
+            return;
+        }
+        *self.scrub.lock() = Some(cfg);
+        if let (Some(d), Some(p)) = (&*self.daemon.lock(), &self.persist) {
+            d.add_target(self.governed(Scrubber::new(Arc::clone(p), cfg) as Arc<dyn MergeTarget>));
+        }
+    }
+
+    /// On-disk integrity counters: envelope verifications, detected
+    /// corruptions, quarantined pages and scrub progress (`None` for
+    /// in-memory databases, which have no disk to rot).
+    pub fn integrity_stats(&self) -> Option<IntegrityStats> {
+        self.persist.as_ref().map(|p| p.integrity_stats())
     }
 }
 

@@ -51,6 +51,7 @@ pub mod loc;
 pub mod partition;
 pub mod read;
 pub(crate) mod scan;
+pub mod scrub;
 pub mod snapshot_image;
 pub mod table;
 pub mod write;
@@ -63,4 +64,5 @@ pub use lifecycle::StageStats;
 pub use loc::Loc;
 pub use partition::{PartitionedRead, PartitionedTable};
 pub use read::{TableRead, VisibleRow};
+pub use scrub::Scrubber;
 pub use table::UnifiedTable;

@@ -95,6 +95,18 @@ pub enum FaultAction {
     /// Simulated process crash: this operation and every later one fails,
     /// so nothing past the crash point reaches disk.
     Crash,
+    /// Silent single-bit corruption: the operation *succeeds* but one bit
+    /// of its payload is flipped (in the buffer about to be written, or in
+    /// the bytes just read). Models bit rot / a misbehaving device; only
+    /// checksum verification can catch it later.
+    FlipBit {
+        /// Bit offset within the operation's payload (wraps modulo size).
+        bit: u64,
+    },
+    /// Stale read: a page read silently returns the contents of a
+    /// *different* (valid, checksummed) page — a misdirected or cached-
+    /// stale read. Only the envelope's page-id salt can catch this.
+    StaleRead,
 }
 
 /// When and how a fault fires.
@@ -144,6 +156,27 @@ impl FaultPolicy {
         }
     }
 
+    /// Silent bit flip: the nth operation of kind `op` succeeds but flips
+    /// payload bit `bit` (see [`FaultAction::FlipBit`]).
+    pub fn flip_bit(op: IoOp, n: u64, bit: u64) -> Self {
+        FaultPolicy {
+            only: Some(op),
+            after: n,
+            action: FaultAction::FlipBit { bit },
+            persistent: false,
+        }
+    }
+
+    /// Stale read: the nth page read silently returns another page's bytes.
+    pub fn stale_read(n: u64) -> Self {
+        FaultPolicy {
+            only: Some(IoOp::PageRead),
+            after: n,
+            action: FaultAction::StaleRead,
+            persistent: false,
+        }
+    }
+
     /// Make the fault persistent (fires on every subsequent match).
     pub fn persistent(mut self) -> Self {
         self.persistent = true;
@@ -162,6 +195,15 @@ pub enum FaultOutcome {
         /// Bytes to write before failing.
         keep: usize,
     },
+    /// Perform the operation but flip one payload bit — the operation
+    /// reports success (silent corruption).
+    FlipBit {
+        /// Bit offset within the payload (wraps modulo size).
+        bit: u64,
+    },
+    /// Read a different page's bytes instead (silent stale read). Sites
+    /// where a stale read is meaningless treat this as `Proceed`.
+    Stale,
 }
 
 /// The error a torn write reports after writing its prefix.
@@ -286,6 +328,11 @@ impl FaultInjector {
                 self.crashed.store(true, Ordering::SeqCst);
                 Err(crash_error())
             }
+            // Silent corruptions: the operation proceeds (and "succeeds"),
+            // with the payload damaged. No crashed state — the process
+            // keeps running, which is the whole point of bit rot.
+            FaultAction::FlipBit { bit } => Ok(FaultOutcome::FlipBit { bit }),
+            FaultAction::StaleRead => Ok(FaultOutcome::Stale),
         }
     }
 }
@@ -303,6 +350,15 @@ pub struct HealthStats {
     pub log_failures: u64,
     /// Failed savepoint attempts.
     pub savepoint_failures: u64,
+    /// Failures observed on read/recovery paths (page or image reads).
+    pub read_failures: u64,
+    /// Failures observed by the background scrub daemon.
+    pub scrub_failures: u64,
+    /// Detected on-disk corruptions ([`HanaError::Corruption`]) among the
+    /// failures — these count toward degraded mode exactly like I/O
+    /// errors: a device returning wrong bytes is no healthier than one
+    /// returning errors.
+    pub corruptions: u64,
     /// Consecutive-failure count at which the database flips read-only
     /// (0 = never flips automatically).
     pub degraded_threshold: u64,
@@ -320,6 +376,9 @@ pub struct Health {
     consecutive: AtomicU64,
     log_failures: AtomicU64,
     savepoint_failures: AtomicU64,
+    read_failures: AtomicU64,
+    scrub_failures: AtomicU64,
+    corruptions: AtomicU64,
     threshold: AtomicU64,
     read_only: AtomicBool,
     last_error: Mutex<Option<String>>,
@@ -332,6 +391,9 @@ impl Default for Health {
             consecutive: AtomicU64::new(0),
             log_failures: AtomicU64::new(0),
             savepoint_failures: AtomicU64::new(0),
+            read_failures: AtomicU64::new(0),
+            scrub_failures: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
             threshold: AtomicU64::new(DEFAULT_DEGRADED_THRESHOLD),
             read_only: AtomicBool::new(false),
             last_error: Mutex::new(None),
@@ -346,6 +408,10 @@ pub enum FailureSite {
     Log,
     /// Savepoint writing.
     Savepoint,
+    /// Page/image read paths (including recovery-time loads).
+    Read,
+    /// The background scrub daemon's re-verification passes.
+    Scrub,
 }
 
 impl Health {
@@ -371,7 +437,12 @@ impl Health {
         match site {
             FailureSite::Log => self.log_failures.fetch_add(1, Ordering::SeqCst),
             FailureSite::Savepoint => self.savepoint_failures.fetch_add(1, Ordering::SeqCst),
+            FailureSite::Read => self.read_failures.fetch_add(1, Ordering::SeqCst),
+            FailureSite::Scrub => self.scrub_failures.fetch_add(1, Ordering::SeqCst),
         };
+        if matches!(e, HanaError::Corruption(_)) {
+            self.corruptions.fetch_add(1, Ordering::SeqCst);
+        }
         let consec = self.consecutive.fetch_add(1, Ordering::SeqCst) + 1;
         *self.last_error.lock() = Some(e.to_string());
         let threshold = self.threshold.load(Ordering::SeqCst);
@@ -405,15 +476,23 @@ impl Health {
             consecutive_failures: self.consecutive.load(Ordering::SeqCst),
             log_failures: self.log_failures.load(Ordering::SeqCst),
             savepoint_failures: self.savepoint_failures.load(Ordering::SeqCst),
+            read_failures: self.read_failures.load(Ordering::SeqCst),
+            scrub_failures: self.scrub_failures.load(Ordering::SeqCst),
+            corruptions: self.corruptions.load(Ordering::SeqCst),
             degraded_threshold: self.threshold.load(Ordering::SeqCst),
             last_error: self.last_error.lock().clone(),
         }
     }
 
-    /// True for errors that represent I/O trouble (as opposed to semantic
-    /// failures like write conflicts, which must not degrade the database).
+    /// True for errors that represent device trouble (as opposed to
+    /// semantic failures like write conflicts, which must not degrade the
+    /// database). Detected corruption counts: a device serving wrong bytes
+    /// is failing just as surely as one serving errors.
     pub fn counts_as_io_failure(e: &HanaError) -> bool {
-        matches!(e, HanaError::Io(_) | HanaError::Persist(_))
+        matches!(
+            e,
+            HanaError::Io(_) | HanaError::Persist(_) | HanaError::Corruption(_)
+        )
     }
 }
 
@@ -514,11 +593,64 @@ mod tests {
             "x".into()
         )));
         assert!(!Health::counts_as_io_failure(&HanaError::Txn("x".into())));
+        assert!(!Health::counts_as_io_failure(&HanaError::Constraint(
+            "x".into()
+        )));
         assert!(Health::counts_as_io_failure(&HanaError::Io(
             std::io::Error::other("y")
         )));
         assert!(Health::counts_as_io_failure(&HanaError::Persist(
             "z".into()
         )));
+    }
+
+    /// Regression (PR 10): corruption detections count toward degraded mode
+    /// exactly like I/O errors — while semantic errors still never do.
+    #[test]
+    fn corruption_counts_toward_degraded_but_semantic_does_not() {
+        assert!(Health::counts_as_io_failure(&HanaError::Corruption(
+            "bad page".into()
+        )));
+        assert!(!Health::counts_as_io_failure(&HanaError::WriteConflict(
+            "row 3".into()
+        )));
+
+        let h = Health::default();
+        let e = HanaError::Corruption("page 9: checksum mismatch".into());
+        h.record_failure(FailureSite::Read, &e);
+        h.record_failure(FailureSite::Scrub, &e);
+        assert!(!h.is_read_only(), "below threshold");
+        h.record_failure(FailureSite::Scrub, &e);
+        assert!(
+            h.is_read_only(),
+            "three consecutive corruption detections degrade to read-only"
+        );
+        let s = h.stats();
+        assert_eq!(s.corruptions, 3);
+        assert_eq!(s.read_failures, 1);
+        assert_eq!(s.scrub_failures, 2);
+        assert!(s.last_error.unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn flip_bit_fires_silently_and_once() {
+        let f = FaultInjector::new();
+        f.arm(FaultPolicy::flip_bit(IoOp::PageWrite, 0, 17));
+        assert_eq!(
+            f.check(IoOp::PageWrite).unwrap(),
+            FaultOutcome::FlipBit { bit: 17 }
+        );
+        assert!(!f.crashed(), "bit rot is silent: the process keeps running");
+        assert_eq!(f.check(IoOp::PageWrite).unwrap(), FaultOutcome::Proceed);
+        assert_eq!(f.faults_fired(), 1);
+    }
+
+    #[test]
+    fn stale_read_fires_on_page_reads_only() {
+        let f = FaultInjector::new();
+        f.arm(FaultPolicy::stale_read(0));
+        assert_eq!(f.check(IoOp::LogSync).unwrap(), FaultOutcome::Proceed);
+        assert_eq!(f.check(IoOp::PageRead).unwrap(), FaultOutcome::Stale);
+        assert!(!f.crashed());
     }
 }

@@ -2,19 +2,29 @@
 //!
 //! The persistence layer "is based on a virtual file concept with visible
 //! page limits of configurable size" (§2.2). [`PageStore`] provides the page
-//! substrate: allocate, write (with CRC and length header), read, free. The
-//! first two pages are reserved as the alternating superblock slots used by
-//! the savepoint manifest.
+//! substrate: allocate, write, read, free. The first two pages are reserved
+//! as the alternating superblock slots used by the savepoint manifest.
+//!
+//! Every page is wrapped in the checksummed [`integrity`](crate::integrity)
+//! envelope with the **page id as salt**, so a read verifies not only that
+//! the bytes are undamaged (CRC32C) but that they belong to *this* page — a
+//! stale or misdirected read of some other valid page fails too. Pages
+//! written by pre-envelope builds (`[len u32][crc32 u32][payload]`) are
+//! still readable through a legacy fallback keyed off the envelope's magic
+//! byte. A page that fails both formats is **quarantined**: later reads
+//! fast-fail with [`HanaError::Corruption`] until the page is rewritten.
 //!
 //! Every physical operation consults the store's [`FaultInjector`] first, so
 //! the crash-everywhere harness can fail or tear any page write, read, or
-//! fsync deterministically. The free list guards against double-frees and is
-//! reconstructible from a manifest via [`PageStore::reset_free_list`], which
-//! is how reopening a database reclaims pages orphaned by a crashed
+//! fsync deterministically — and the corruption matrix can flip single bits
+//! or serve stale reads silently. The free list guards against double-frees
+//! and is reconstructible from a manifest via [`PageStore::reset_free_list`],
+//! which is how reopening a database reclaims pages orphaned by a crashed
 //! savepoint.
 
 use crate::codec::crc32;
 use crate::fault::{torn_error, FaultInjector, FaultOutcome, IoOp};
+use crate::integrity::{self, ArtifactKind, EnvelopeError, IntegrityState, ENVELOPE_HEADER};
 use hana_common::{HanaError, Result};
 use parking_lot::Mutex;
 use rustc_hash::FxHashSet;
@@ -27,12 +37,24 @@ use std::sync::Arc;
 /// Default page size in bytes.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
 
-/// Per-page header: payload length (u32) + CRC32 (u32).
-const PAGE_HEADER: usize = 8;
+/// Pre-envelope per-page header: payload length (u32) + CRC32 (u32). Only
+/// consulted on the legacy read fallback.
+const LEGACY_PAGE_HEADER: usize = 8;
 
 /// Identifier of one page within the store's data file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u64);
+
+/// Which on-disk format a page read verified against. Callers that persist
+/// format-sensitive payloads in a page (the savepoint manifest) use this to
+/// pick the matching payload parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFormat {
+    /// The current checksummed envelope (CRC32C, page-id salt).
+    Envelope,
+    /// The pre-envelope `[len u32][crc32 u32][payload]` format.
+    Legacy,
+}
 
 #[derive(Default)]
 struct FreeList {
@@ -65,6 +87,7 @@ pub struct PageStore {
     next_page: AtomicU64,
     free: Mutex<FreeList>,
     injector: Arc<FaultInjector>,
+    integrity: Arc<IntegrityState>,
     double_frees: AtomicU64,
 }
 
@@ -81,7 +104,18 @@ impl PageStore {
         page_size: usize,
         injector: Arc<FaultInjector>,
     ) -> Result<Self> {
-        assert!(page_size > PAGE_HEADER + 16, "page size too small");
+        Self::open_full(path, page_size, injector, Arc::new(IntegrityState::new()))
+    }
+
+    /// Open with explicit fault-injection *and* integrity accounting
+    /// (both shared with the rest of the persistence instance).
+    pub fn open_full(
+        path: &Path,
+        page_size: usize,
+        injector: Arc<FaultInjector>,
+        integrity: Arc<IntegrityState>,
+    ) -> Result<Self> {
+        assert!(page_size > ENVELOPE_HEADER + 16, "page size too small");
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -97,6 +131,7 @@ impl PageStore {
             next_page: AtomicU64::new(existing_pages.max(2)),
             free: Mutex::new(FreeList::default()),
             injector,
+            integrity,
             double_frees: AtomicU64::new(0),
         })
     }
@@ -106,14 +141,19 @@ impl PageStore {
         &self.injector
     }
 
+    /// The integrity accounting every read-side verification lands in.
+    pub fn integrity(&self) -> &Arc<IntegrityState> {
+        &self.integrity
+    }
+
     /// The configured page size.
     pub fn page_size(&self) -> usize {
         self.page_size
     }
 
-    /// Usable payload bytes per page.
+    /// Usable payload bytes per page (envelope header excluded).
     pub fn payload_size(&self) -> usize {
-        self.page_size - PAGE_HEADER
+        self.page_size - ENVELOPE_HEADER
     }
 
     /// Number of pages ever allocated (including the superblock slots).
@@ -174,54 +214,105 @@ impl PageStore {
             )));
         }
         let outcome = self.injector.check(IoOp::PageWrite)?;
-        let mut buf = Vec::with_capacity(self.page_size);
-        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&crc32(payload).to_le_bytes());
-        buf.extend_from_slice(payload);
+        let mut buf = integrity::seal(ArtifactKind::Page, page.0, payload);
+        let sealed_len = buf.len();
         buf.resize(self.page_size, 0);
+        if let FaultOutcome::FlipBit { bit } = outcome {
+            // Silent bit rot on the write path: flip one bit of the sealed
+            // bytes (header or payload — padding would go undetected).
+            let byte = (bit as usize / 8) % sealed_len;
+            buf[byte] ^= 1 << (bit % 8);
+        }
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
         match outcome {
-            FaultOutcome::Proceed => {
-                f.write_all(&buf)?;
-                Ok(())
-            }
             FaultOutcome::Torn { keep } => {
                 // Power loss mid-write: only a prefix reaches the file.
                 let keep = keep.min(buf.len());
                 f.write_all(&buf[..keep])?;
                 Err(torn_error())
             }
+            // Proceed — and FlipBit/Stale, which *succeed* silently; the
+            // damage (if any) is already in `buf`.
+            _ => {
+                f.write_all(&buf)?;
+                // Fresh contents lift any quarantine from earlier damage.
+                self.integrity.clear_quarantine(page.0);
+                Ok(())
+            }
         }
     }
 
-    /// Read and verify the payload of `page`.
+    /// Read and verify the payload of `page`. Verification tries the
+    /// checksummed envelope first (salted with the page id), then the
+    /// legacy pre-envelope format; a page valid under neither is
+    /// quarantined and reported as [`HanaError::Corruption`].
     pub fn read_page(&self, page: PageId) -> Result<Vec<u8>> {
-        if let FaultOutcome::Torn { .. } = self.injector.check(IoOp::PageRead)? {
+        Ok(self.read_page_with_format(page)?.0)
+    }
+
+    /// [`read_page`](Self::read_page), additionally reporting which format
+    /// the page verified against.
+    pub fn read_page_with_format(&self, page: PageId) -> Result<(Vec<u8>, PageFormat)> {
+        if self.integrity.is_quarantined(page.0) {
+            return Err(HanaError::Corruption(format!(
+                "corrupt page {}: quarantined after an earlier checksum failure \
+                 (a rewrite clears it)",
+                page.0
+            )));
+        }
+        let outcome = self.injector.check(IoOp::PageRead)?;
+        if let FaultOutcome::Torn { .. } = outcome {
             return Err(torn_error()); // torn "reads" just fail
         }
+        // A stale read silently serves another (valid!) page's bytes; only
+        // the page-id salt in the envelope CRC can catch it.
+        let physical = match outcome {
+            FaultOutcome::Stale => PageId(if page.0 == 2 { 3 } else { 2 }),
+            _ => page,
+        };
         let mut buf = vec![0u8; self.page_size];
         {
             let mut f = self.file.lock();
-            f.seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
+            f.seek(SeekFrom::Start(physical.0 * self.page_size as u64))?;
             f.read_exact(&mut buf)?;
         }
+        if let FaultOutcome::FlipBit { bit } = outcome {
+            let byte = (bit as usize / 8) % buf.len();
+            buf[byte] ^= 1 << (bit % 8);
+        }
+        match integrity::open_envelope(ArtifactKind::Page, page.0, &buf) {
+            Ok(payload) => {
+                self.integrity.note_page_verified();
+                Ok((payload.to_vec(), PageFormat::Envelope))
+            }
+            Err(EnvelopeError::NotEnvelope) => self.read_legacy(page, &buf),
+            Err(EnvelopeError::Corrupt(detail)) => self.fail_corrupt(page, &detail),
+        }
+    }
+
+    /// Legacy fallback: `[len u32][crc32 u32][payload]` as written by
+    /// pre-envelope builds (the migration path for old databases).
+    fn read_legacy(&self, page: PageId, buf: &[u8]) -> Result<(Vec<u8>, PageFormat)> {
         let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
         let stored_crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
-        if len > self.payload_size() {
-            return Err(HanaError::Persist(format!(
-                "corrupt page {}: bad length",
-                page.0
-            )));
+        if len > self.page_size - LEGACY_PAGE_HEADER {
+            return self.fail_corrupt(page, "bad length (neither envelope nor legacy format)");
         }
-        let payload = &buf[PAGE_HEADER..PAGE_HEADER + len];
+        let payload = &buf[LEGACY_PAGE_HEADER..LEGACY_PAGE_HEADER + len];
         if crc32(payload) != stored_crc {
-            return Err(HanaError::Persist(format!(
-                "corrupt page {}: checksum mismatch",
-                page.0
-            )));
+            return self.fail_corrupt(page, "checksum mismatch (legacy format)");
         }
-        Ok(payload.to_vec())
+        self.integrity.note_page_legacy();
+        Ok((payload.to_vec(), PageFormat::Legacy))
+    }
+
+    fn fail_corrupt(&self, page: PageId, detail: &str) -> Result<(Vec<u8>, PageFormat)> {
+        self.integrity.note_page_corrupt(page.0);
+        Err(HanaError::Corruption(format!(
+            "corrupt page {}: {detail}",
+            page.0
+        )))
     }
 
     /// Flush all dirty pages to stable storage.
@@ -343,12 +434,83 @@ mod tests {
         drop(s);
         // Flip a payload byte on disk.
         let mut raw = std::fs::read(&path).unwrap();
-        let off = p.0 as usize * 256 + PAGE_HEADER + 2;
+        let off = p.0 as usize * 256 + ENVELOPE_HEADER + 2;
         raw[off] ^= 0xFF;
         std::fs::write(&path, &raw).unwrap();
         let s = PageStore::open(&path, 256).unwrap();
         let err = s.read_page(p).unwrap_err();
         assert!(err.to_string().contains("checksum"));
+        assert!(matches!(err, HanaError::Corruption(_)), "{err}");
+        // The page is quarantined: the next read fast-fails the same way,
+        // and the corruption is counted once.
+        let err2 = s.read_page(p).unwrap_err();
+        assert!(err2.to_string().contains("quarantined"), "{err2}");
+        assert_eq!(s.integrity().stats().pages_corrupt, 1);
+        // A rewrite clears the quarantine.
+        s.write_page(p, b"fresh data").unwrap();
+        assert_eq!(s.read_page(p).unwrap(), b"fresh data");
+    }
+
+    #[test]
+    fn injected_bit_flip_on_write_is_detected_on_read() {
+        let (_d, s) = store();
+        let p = s.alloc();
+        s.injector()
+            .arm(FaultPolicy::flip_bit(IoOp::PageWrite, 0, 100));
+        s.write_page(p, b"silently damaged").unwrap(); // write "succeeds"
+        s.injector().disarm();
+        let err = s.read_page(p).unwrap_err();
+        assert!(matches!(err, HanaError::Corruption(_)), "{err}");
+    }
+
+    #[test]
+    fn injected_bit_flip_on_read_is_detected_and_transient() {
+        let (_d, s) = store();
+        let p = s.alloc();
+        s.write_page(p, b"good bytes").unwrap();
+        s.injector()
+            .arm(FaultPolicy::flip_bit(IoOp::PageRead, 0, 40));
+        let err = s.read_page(p).unwrap_err();
+        assert!(matches!(err, HanaError::Corruption(_)), "{err}");
+        // The *disk* is fine — but the page was quarantined by the detected
+        // read; a rewrite (or explicit clear) restores service.
+        s.integrity().clear_quarantine(p.0);
+        assert_eq!(s.read_page(p).unwrap(), b"good bytes");
+    }
+
+    #[test]
+    fn stale_read_caught_by_page_id_salt() {
+        let (_d, s) = store();
+        let a = s.alloc();
+        let b = s.alloc();
+        s.write_page(a, b"page a").unwrap();
+        s.write_page(b, b"page b").unwrap();
+        // The next read of `b` silently serves page `a`'s (valid!) bytes.
+        s.injector().arm(FaultPolicy::stale_read(0));
+        let err = s.read_page(b).unwrap_err();
+        assert!(
+            matches!(err, HanaError::Corruption(_)),
+            "a stale read of another valid page must not verify: {err}"
+        );
+    }
+
+    #[test]
+    fn legacy_format_page_reads_through_fallback() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("data.pages");
+        let page_size = 256usize;
+        // Hand-write a legacy-format page at index 2.
+        let payload = b"written by a pre-envelope build";
+        let mut raw = vec![0u8; page_size * 3];
+        let off = page_size * 2;
+        raw[off..off + 4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        raw[off + 4..off + 8].copy_from_slice(&crc32(payload).to_le_bytes());
+        raw[off + 8..off + 8 + payload.len()].copy_from_slice(payload);
+        std::fs::write(&path, &raw).unwrap();
+        let s = PageStore::open(&path, page_size).unwrap();
+        assert_eq!(s.read_page(PageId(2)).unwrap(), payload);
+        assert_eq!(s.integrity().stats().pages_legacy, 1);
+        assert_eq!(s.integrity().stats().pages_verified, 0);
     }
 
     #[test]

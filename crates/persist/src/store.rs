@@ -13,18 +13,35 @@
 //! * `redo.log` — the REDO log since the last savepoint, headered with the
 //!   epoch (savepoint version) its records apply on top of.
 //!
+//! ## Integrity
+//!
+//! Every persisted artifact — page, log record, manifest, table image — is
+//! wrapped in the checksummed [`integrity`](crate::integrity) envelope and
+//! verified on every read. A savepoint is *recoverable* only when its
+//! manifest page verifies, the manifest parses, and every image blob it
+//! references verifies and decodes; recovery picks the newest recoverable
+//! manifest, falling back to the previous savepoint when the newest one is
+//! damaged. When **no** recoverable manifest exists but the log's epoch
+//! proves a savepoint once did, the open fails closed with
+//! [`HanaError::Corruption`] — silently restarting as an empty database
+//! would be data loss dressed up as recovery. [`Persistence::scrub_tick`]
+//! walks the live pages in the background so bit rot is found while the
+//! redundancy to recover from it still exists.
+//!
 //! Every physical operation flows through one shared [`FaultInjector`], and
 //! every failure is scored by a [`Health`] tracker: repeated consecutive
-//! I/O failures flip the instance into **read-only degraded mode** — writes
-//! and savepoints are rejected with a clear error while reads keep working —
-//! until [`Persistence::clear_degraded`] is called.
+//! I/O failures — including detected corruption — flip the instance into
+//! **read-only degraded mode** — writes and savepoints are rejected with a
+//! clear error while reads keep working — until
+//! [`Persistence::clear_degraded`] is called.
 
 use crate::codec::{crc32, Decoder, Encoder};
 use crate::fault::{FailureSite, FaultInjector, Health, HealthStats};
 use crate::group::{GroupCommit, LogStats};
 use crate::image::TableImage;
-use crate::log::{LogRecord, RedoLog};
-use crate::page::{PageId, PageStore, DEFAULT_PAGE_SIZE};
+use crate::integrity::{self, ArtifactKind, EnvelopeError, IntegrityState, IntegrityStats};
+use crate::log::{LogRecord, RedoLog, NO_EPOCH};
+use crate::page::{PageFormat, PageId, PageStore, DEFAULT_PAGE_SIZE};
 use crate::vfile::VirtualFile;
 use hana_common::{CommitConfig, GovernorConfig, HanaError, Result, Timestamp};
 use parking_lot::Mutex;
@@ -73,6 +90,27 @@ pub struct PageAccounting {
     pub live: u64,
 }
 
+/// Result of one background-scrub batch (see [`Persistence::scrub_tick`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubTick {
+    /// Pages whose checksums were verified (or legacy-verified) this batch.
+    pub scanned: u64,
+    /// Newly detected corrupt artifacts (pages quarantined / blobs failed).
+    pub corrupt: u64,
+    /// True when this batch wrapped: one full pass over every live page
+    /// completed (and one table-image blob was re-verified end-to-end).
+    pub completed_pass: bool,
+}
+
+/// Round-robin position of the background scrub.
+#[derive(Default)]
+struct ScrubCursor {
+    /// Index into the conceptual `[superblocks… live pages…]` list.
+    pos: usize,
+    /// Which live image blob the next completed pass re-verifies.
+    blob_rr: usize,
+}
+
 /// The durable side of a database instance.
 pub struct Persistence {
     pages: PageStore,
@@ -80,6 +118,10 @@ pub struct Persistence {
     group: GroupCommit,
     health: Health,
     injector: Arc<FaultInjector>,
+    /// Integrity accounting shared by the page store, the log, and the
+    /// manifest/scrub paths of this instance.
+    integrity: Arc<IntegrityState>,
+    scrub: Mutex<ScrubCursor>,
     /// Version counter + the previous savepoint's virtual files (released
     /// after the next successful savepoint).
     state: Mutex<(u64, Vec<VirtualFile>)>,
@@ -105,16 +147,42 @@ impl Persistence {
         injector: Arc<FaultInjector>,
     ) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let pages = PageStore::open_with_injector(
+        let integrity = Arc::new(IntegrityState::new());
+        let pages = PageStore::open_full(
             &dir.join("data.pages"),
             page_size,
             Arc::clone(&injector),
+            Arc::clone(&integrity),
         )?;
-        let log = RedoLog::open_with_injector(&dir.join("redo.log"), Arc::clone(&injector))?;
-        let current = read_best_manifest(&pages);
-        let state = match current {
-            Some(m) => (m.version, m.files),
-            None => (0, Vec::new()),
+        let log = RedoLog::open_full(
+            &dir.join("redo.log"),
+            Arc::clone(&injector),
+            Arc::clone(&integrity),
+        )?;
+        let (best, saw_corruption) = read_best_valid_manifest(&pages);
+        let state = match best {
+            Some(l) => (l.manifest.version, l.manifest.files),
+            None => {
+                // A log rotated past epoch 0 proves a savepoint once
+                // published a manifest. If no slot is recoverable now, the
+                // authoritative state is gone: opening as a fresh database
+                // (and rotating the log to epoch 0) would silently discard
+                // every row it ever held. Fail closed instead.
+                if log.epoch() != 0 {
+                    return Err(HanaError::Corruption(format!(
+                        "no recoverable savepoint manifest{} but the REDO log is at \
+                         epoch {} — a savepoint was once published, so the durable \
+                         state is lost; refusing to reinitialize as empty",
+                        if saw_corruption {
+                            " (superblock or table-image checksum failures)"
+                        } else {
+                            ""
+                        },
+                        log.epoch()
+                    )));
+                }
+                (0, Vec::new())
+            }
         };
         // Reconcile the log epoch with the recovered manifest. A crash
         // between the superblock flip and the log rotation leaves a
@@ -143,6 +211,8 @@ impl Persistence {
             group: GroupCommit::new(),
             health: Health::default(),
             injector,
+            integrity,
+            scrub: Mutex::new(ScrubCursor::default()),
             state: Mutex::new(state),
         })
     }
@@ -171,6 +241,104 @@ impl Persistence {
     /// device recovered).
     pub fn clear_degraded(&self) {
         self.health.clear_degraded();
+    }
+
+    /// Integrity accounting shared by every verification site of this
+    /// instance (page reads, log replay, manifests, scrubbing).
+    pub fn integrity(&self) -> &Arc<IntegrityState> {
+        &self.integrity
+    }
+
+    /// Snapshot of the integrity counters.
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity.stats()
+    }
+
+    /// Page ids referenced by the live savepoint's virtual files, sorted
+    /// (superblock slots excluded). The corruption-injection surface.
+    pub fn live_page_ids(&self) -> Vec<u64> {
+        let state = self.state.lock();
+        let mut v: Vec<u64> = state
+            .1
+            .iter()
+            .flat_map(|f| f.pages.iter().map(|p| p.0))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// One batch of background scrubbing: verify up to `max_pages` on-disk
+    /// checksums, walking the superblock slots plus every page the live
+    /// savepoint references, wrapping around. Newly detected corruption is
+    /// quarantined by the read path and scored against the [`Health`]
+    /// tracker (site [`FailureSite::Scrub`]) so persistent rot degrades the
+    /// instance to read-only instead of going unnoticed; already-quarantined
+    /// pages are skipped so one bad page is scored once, not every pass.
+    /// Each completed pass additionally re-verifies one live table-image
+    /// blob end-to-end (round-robin). Transient I/O errors are not the
+    /// scrub's business and are ignored here.
+    pub fn scrub_tick(&self, max_pages: usize) -> ScrubTick {
+        let (version, targets, files) = {
+            let state = self.state.lock();
+            let mut v = vec![PageId(0), PageId(1)];
+            for f in &state.1 {
+                v.extend(f.pages.iter().copied());
+            }
+            (state.0, v, state.1.clone())
+        };
+        let mut tick = ScrubTick::default();
+        let mut cursor = self.scrub.lock();
+        for _ in 0..max_pages {
+            if cursor.pos >= targets.len() {
+                // Wrapped: end the batch at the pass boundary.
+                cursor.pos = 0;
+                tick.completed_pass = true;
+                break;
+            }
+            let p = targets[cursor.pos];
+            cursor.pos += 1;
+            if self.integrity.is_quarantined(p.0) {
+                continue; // known-bad: counted when first detected
+            }
+            tick.scanned += 1;
+            match self.pages.read_page(p) {
+                Ok(_) => {}
+                Err(e @ HanaError::Corruption(_)) => {
+                    tick.corrupt += 1;
+                    self.health.record_failure(FailureSite::Scrub, &e);
+                }
+                Err(_) => {}
+            }
+        }
+        if tick.completed_pass && !files.is_empty() {
+            let i = cursor.blob_rr % files.len();
+            cursor.blob_rr = cursor.blob_rr.wrapping_add(1);
+            let intact = match files[i].read(&self.pages) {
+                Ok(blob) => {
+                    match integrity::open_envelope(ArtifactKind::TableImage, version, &blob) {
+                        Ok(_) => true,
+                        // A legacy (pre-checksum) blob has no envelope to
+                        // check; its pages were still verified above.
+                        Err(EnvelopeError::NotEnvelope) => true,
+                        Err(EnvelopeError::Corrupt(_)) => false,
+                    }
+                }
+                Err(HanaError::Corruption(_)) => false,
+                Err(_) => true,
+            };
+            if !intact {
+                tick.corrupt += 1;
+                self.integrity.note_image_corrupt();
+                let e = HanaError::Corruption(format!(
+                    "table image blob {i} of savepoint v{version} failed verification \
+                     during scrub"
+                ));
+                self.health.record_failure(FailureSite::Scrub, &e);
+            }
+        }
+        self.integrity
+            .note_scrub_batch(tick.scanned, tick.corrupt, tick.completed_pass);
+        tick
     }
 
     /// Buffer one data record (first-appearance insert/bulk-load/delete,
@@ -304,12 +472,16 @@ impl Persistence {
             }
         };
 
-        // 1. Write each table image as a virtual file.
+        // 1. Write each table image as a virtual file. The blob carries its
+        //    own envelope (salted with the savepoint version) on top of the
+        //    per-page checksums, so a whole image can be re-verified without
+        //    trusting the page layer — the scrub's end-to-end check.
         let mut files = Vec::with_capacity(images.len());
         for img in images {
             let mut e = Encoder::new();
             img.encode(&mut e);
-            match VirtualFile::write(&self.pages, &e.into_bytes()) {
+            let blob = integrity::seal(ArtifactKind::TableImage, version, &e.into_bytes());
+            match VirtualFile::write(&self.pages, &blob) {
                 Ok(f) => files.push(f),
                 Err(e) => {
                     // The failed file released its own pages; drop the
@@ -334,14 +506,11 @@ impl Persistence {
         for f in &files {
             f.encode(&mut m);
         }
+        // The manifest rides its page's envelope: the superblock slot *is*
+        // the page id, so the page checksum (salted with it) already binds
+        // and verifies the manifest end-to-end.
         let payload = m.into_bytes();
-        let mut framed = Encoder::new();
-        framed.u32(crc32(&payload));
-        framed.bytes(&payload);
-        if let Err(e) = self
-            .pages
-            .write_page(PageId(version % 2), &framed.into_bytes())
-        {
+        if let Err(e) = self.pages.write_page(PageId(version % 2), &payload) {
             // Nothing durable changed (a torn slot fails its CRC and falls
             // back): the old savepoint still wins. Reclaim the new pages.
             release_all(&files);
@@ -379,58 +548,68 @@ impl Persistence {
     }
 
     /// Recover with an explicit page size.
+    ///
+    /// Picks the newest *recoverable* manifest (manifest page, parse, and
+    /// every image blob all verify), so a damaged newest savepoint falls
+    /// back to the previous one. A corrupt log (a complete frame failing
+    /// its checksum) and a lost manifest chain both surface as
+    /// [`HanaError::Corruption`] — recovery never serves damaged state.
     pub fn recover_with_page_size(dir: &Path, page_size: usize) -> Result<RecoveredState> {
         let pages_path = dir.join("data.pages");
-        let (clock, savepoint_version, commit_config, governor_config, images) =
-            if pages_path.exists() {
-                let pages = PageStore::open(&pages_path, page_size)?;
-                match read_best_manifest(&pages) {
-                    Some(m) => {
-                        let mut images = Vec::with_capacity(m.files.len());
-                        for f in &m.files {
-                            let blob = f.read(&pages)?;
-                            images.push(TableImage::decode(&mut Decoder::new(&blob))?);
-                        }
-                        (
-                            m.clock,
-                            m.version,
-                            m.commit_config,
-                            m.governor_config,
-                            images,
-                        )
-                    }
-                    None => (
-                        0,
-                        0,
-                        CommitConfig::default(),
-                        GovernorConfig::default(),
-                        Vec::new(),
-                    ),
-                }
-            } else {
-                (
-                    0,
-                    0,
-                    CommitConfig::default(),
-                    GovernorConfig::default(),
-                    Vec::new(),
-                )
-            };
-        let (epoch, records) = RedoLog::read_all_with_epoch(&dir.join("redo.log"))?;
-        // Replay only a log whose epoch matches the manifest it extends.
-        let log_records = if epoch == savepoint_version {
-            records
+        let (best, saw_corruption) = if pages_path.exists() {
+            let pages = PageStore::open(&pages_path, page_size)?;
+            read_best_valid_manifest(&pages)
         } else {
-            Vec::new()
+            (None, false)
         };
-        Ok(RecoveredState {
-            clock,
-            savepoint_version,
-            images,
-            log_records,
-            commit_config,
-            governor_config,
-        })
+        let (epoch, records) = RedoLog::read_all_with_epoch(&dir.join("redo.log"))?;
+        match best {
+            Some(l) => {
+                // Replay only a log whose epoch matches the manifest it
+                // extends (a stale or newer-epoch log must not be replayed
+                // onto images that don't pair with it).
+                let log_records = if epoch == l.manifest.version {
+                    records
+                } else {
+                    Vec::new()
+                };
+                Ok(RecoveredState {
+                    clock: l.manifest.clock,
+                    savepoint_version: l.manifest.version,
+                    images: l.images,
+                    log_records,
+                    commit_config: l.manifest.commit_config,
+                    governor_config: l.manifest.governor_config,
+                })
+            }
+            None => {
+                // See `open_with_injector`: an epoch past 0 proves a
+                // savepoint once published; with every slot unrecoverable
+                // the authoritative state is lost. (NO_EPOCH — a garbage
+                // header — keeps its long-standing "ignore the file"
+                // semantics.)
+                if epoch != 0 && epoch != NO_EPOCH {
+                    return Err(HanaError::Corruption(format!(
+                        "no recoverable savepoint manifest{} but the REDO log is at \
+                         epoch {epoch} — refusing to recover as an empty database",
+                        if saw_corruption {
+                            " (superblock or table-image checksum failures)"
+                        } else {
+                            ""
+                        }
+                    )));
+                }
+                let log_records = if epoch == 0 { records } else { Vec::new() };
+                Ok(RecoveredState {
+                    clock: 0,
+                    savepoint_version: 0,
+                    images: Vec::new(),
+                    log_records,
+                    commit_config: CommitConfig::default(),
+                    governor_config: GovernorConfig::default(),
+                })
+            }
+        }
     }
 }
 
@@ -466,14 +645,24 @@ fn decode_governor_config(d: &mut Decoder<'_>) -> Result<GovernorConfig> {
     })
 }
 
-fn read_manifest_slot(pages: &PageStore, slot: u64) -> Option<Manifest> {
-    let framed = pages.read_page(PageId(slot)).ok()?;
-    let mut d = Decoder::new(&framed);
-    let stored_crc = d.u32().ok()?;
-    let payload = d.bytes().ok()?;
-    if crc32(payload) != stored_crc {
-        return None;
-    }
+/// A manifest that proved fully recoverable: its page verified, it parsed,
+/// and every image blob it references verified and decoded.
+struct LoadedManifest {
+    manifest: Manifest,
+    images: Vec<TableImage>,
+}
+
+/// What one superblock slot holds.
+enum Slot {
+    Valid(Box<LoadedManifest>),
+    /// Never written, or a torn write that never became a manifest — the
+    /// normal state of the inactive slot.
+    Absent,
+    /// Checksummed bytes that no longer verify: bit rot, not a tear.
+    Corrupt,
+}
+
+fn parse_manifest(payload: &[u8]) -> Option<Manifest> {
     let mut d = Decoder::new(payload);
     let version = d.u64().ok()?;
     let clock = d.u64().ok()?;
@@ -493,15 +682,110 @@ fn read_manifest_slot(pages: &PageStore, slot: u64) -> Option<Manifest> {
     })
 }
 
-fn read_best_manifest(pages: &PageStore) -> Option<Manifest> {
-    let a = read_manifest_slot(pages, 0);
-    let b = read_manifest_slot(pages, 1);
-    match (a, b) {
-        (Some(x), Some(y)) => Some(if x.version >= y.version { x } else { y }),
-        (Some(x), None) => Some(x),
-        (None, Some(y)) => Some(y),
-        (None, None) => None,
+/// Read one superblock slot end-to-end, distinguishing *absent* (never a
+/// manifest) from *corrupt* (was one, no longer verifies) — the distinction
+/// the fail-closed rule and the fallback both hinge on.
+fn load_manifest_slot(pages: &PageStore, slot: u64) -> Slot {
+    let integrity = pages.integrity();
+    let (payload, format) = match pages.read_page_with_format(PageId(slot)) {
+        Ok(p) => p,
+        Err(HanaError::Corruption(_)) => {
+            integrity.note_manifest_corrupt();
+            return Slot::Corrupt;
+        }
+        // Short file / transient I/O: the slot was never written.
+        Err(_) => return Slot::Absent,
+    };
+    let manifest = match format {
+        // A verified envelope page holds the manifest bytes directly (the
+        // slot is the page id, so the page checksum already binds them).
+        PageFormat::Envelope => match parse_manifest(&payload) {
+            Some(m) => m,
+            None => {
+                // Verified bytes that don't parse: the damage predates the
+                // checksum, i.e. the writer's bytes were already wrong.
+                integrity.note_manifest_corrupt();
+                return Slot::Corrupt;
+            }
+        },
+        // A legacy page wraps the manifest in the pre-envelope
+        // `[crc32][payload]` framing. That format cannot distinguish rot
+        // from a tear, so any failure stays Absent — exactly the
+        // pre-checksum behaviour.
+        PageFormat::Legacy => {
+            let parsed = (|| {
+                let mut d = Decoder::new(&payload);
+                let stored_crc = d.u32().ok()?;
+                let inner = d.bytes().ok()?;
+                if crc32(inner) != stored_crc {
+                    return None;
+                }
+                parse_manifest(inner)
+            })();
+            match parsed {
+                Some(m) => m,
+                None => return Slot::Absent,
+            }
+        }
+    };
+    // A manifest is only as good as the images it points at: the savepoint
+    // is recoverable iff every blob verifies and decodes.
+    let mut images = Vec::with_capacity(manifest.files.len());
+    for f in &manifest.files {
+        let blob = match f.read(pages) {
+            Ok(b) => b,
+            Err(_) => return Slot::Corrupt,
+        };
+        let img = match integrity::open_envelope(ArtifactKind::TableImage, manifest.version, &blob)
+        {
+            Ok(payload) => match TableImage::decode(&mut Decoder::new(payload)) {
+                Ok(img) => {
+                    integrity.note_image_verified();
+                    img
+                }
+                Err(_) => {
+                    integrity.note_image_corrupt();
+                    return Slot::Corrupt;
+                }
+            },
+            // Legacy raw blob from a pre-checksum savepoint.
+            Err(EnvelopeError::NotEnvelope) => match TableImage::decode(&mut Decoder::new(&blob)) {
+                Ok(img) => {
+                    integrity.note_image_legacy();
+                    img
+                }
+                Err(_) => {
+                    integrity.note_image_corrupt();
+                    return Slot::Corrupt;
+                }
+            },
+            Err(EnvelopeError::Corrupt(_)) => {
+                integrity.note_image_corrupt();
+                return Slot::Corrupt;
+            }
+        };
+        images.push(img);
     }
+    Slot::Valid(Box::new(LoadedManifest { manifest, images }))
+}
+
+/// The newest fully recoverable manifest, plus whether any slot showed
+/// checksum-level corruption (reported in fail-closed error messages).
+fn read_best_valid_manifest(pages: &PageStore) -> (Option<LoadedManifest>, bool) {
+    let a = load_manifest_slot(pages, 0);
+    let b = load_manifest_slot(pages, 1);
+    let saw_corruption = matches!(a, Slot::Corrupt) || matches!(b, Slot::Corrupt);
+    let best = match (a, b) {
+        (Slot::Valid(x), Slot::Valid(y)) => Some(if x.manifest.version >= y.manifest.version {
+            *x
+        } else {
+            *y
+        }),
+        (Slot::Valid(x), _) => Some(*x),
+        (_, Slot::Valid(y)) => Some(*y),
+        _ => None,
+    };
+    (best, saw_corruption)
 }
 
 /// Validate a recovered manifest chain invariant (used by tests/tools).

@@ -7,7 +7,44 @@
 
 use crate::codec::{Decoder, Encoder};
 use crate::page::{PageId, PageStore};
-use hana_common::Result;
+use hana_common::{HanaError, Result};
+
+/// Count sentinel marking the delta-varint page-list encoding. A manifest
+/// written before it carries an explicit `u32` page count here, and no
+/// real file ever has `u32::MAX` pages, so decode disambiguates on sight.
+const DELTA_LIST: u32 = u32::MAX;
+
+fn put_varint(e: &mut Encoder, mut v: u64) {
+    while v >= 0x80 {
+        e.u8((v as u8) | 0x80);
+        v >>= 7;
+    }
+    e.u8(v as u8);
+}
+
+fn get_varint(d: &mut Decoder<'_>) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = d.u8()?;
+        if shift >= 64 {
+            return Err(HanaError::Persist("varint overflows u64".into()));
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
 
 /// An ordered chain of pages holding one blob.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -65,24 +102,51 @@ impl VirtualFile {
         }
     }
 
-    /// Encode the page list (for manifests).
+    /// Encode the page list (for manifests) as zigzag-varint deltas
+    /// between consecutive page ids. The manifest must fit one superblock
+    /// page, so the explicit 8-bytes-per-page list capped a savepoint's
+    /// image size; consecutive allocations (ascending fresh pages, or a
+    /// LIFO free-list run descending) delta to ±1 and cost one byte each,
+    /// lifting that cap by ~8x even for fully fragmented page sets.
     pub fn encode(&self, e: &mut Encoder) {
         e.u64(self.len);
-        e.u32(self.pages.len() as u32);
+        e.u32(DELTA_LIST);
+        put_varint(e, self.pages.len() as u64);
+        let mut prev = 0i64;
         for p in &self.pages {
-            e.u64(p.0);
+            let id = p.0 as i64;
+            put_varint(e, zigzag(id.wrapping_sub(prev)));
+            prev = id;
         }
     }
 
-    /// Decode a page list.
+    /// Decode a page list — the delta-varint form above, or the explicit
+    /// `u32 count + u64 ids` list that pre-delta manifests carry.
     pub fn decode(d: &mut Decoder<'_>) -> Result<VirtualFile> {
         let len = d.u64()?;
-        let n = d.u32()? as usize;
-        let mut pages = Vec::with_capacity(n);
-        for _ in 0..n {
-            pages.push(PageId(d.u64()?));
+        let n = d.u32()?;
+        if n == DELTA_LIST {
+            let n = get_varint(d)? as usize;
+            let mut pages = Vec::with_capacity(n.min(d.remaining()));
+            let mut prev = 0i64;
+            for _ in 0..n {
+                prev = prev.wrapping_add(unzigzag(get_varint(d)?));
+                if prev < 0 {
+                    return Err(HanaError::Persist(format!(
+                        "virtual file delta list decodes to negative page id {prev}"
+                    )));
+                }
+                pages.push(PageId(prev as u64));
+            }
+            Ok(VirtualFile { pages, len })
+        } else {
+            let n = n as usize;
+            let mut pages = Vec::with_capacity(n.min(d.remaining() / 8 + 1));
+            for _ in 0..n {
+                pages.push(PageId(d.u64()?));
+            }
+            Ok(VirtualFile { pages, len })
         }
-        Ok(VirtualFile { pages, len })
     }
 }
 
@@ -121,6 +185,65 @@ mod tests {
         let bytes = e.into_bytes();
         let got = VirtualFile::decode(&mut Decoder::new(&bytes)).unwrap();
         assert_eq!(got, vf);
+    }
+
+    #[test]
+    fn delta_list_round_trips_hostile_shapes() {
+        let shapes: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            (0..4000).collect(),      // ascending fresh allocations
+            (0..500).rev().collect(), // descending LIFO reuse
+            vec![7, 3, 900_000_000_000, 1, 2, 4096], // scattered with a huge jump
+        ];
+        for ids in shapes {
+            let vf = VirtualFile {
+                pages: ids.iter().copied().map(PageId).collect(),
+                len: ids.len() as u64 * 17,
+            };
+            let mut e = Encoder::new();
+            vf.encode(&mut e);
+            let bytes = e.into_bytes();
+            let got = VirtualFile::decode(&mut Decoder::new(&bytes)).unwrap();
+            assert_eq!(got, vf);
+        }
+    }
+
+    #[test]
+    fn delta_list_is_compact_for_contiguous_pages() {
+        let vf = VirtualFile {
+            pages: (100..1100).map(PageId).collect(),
+            len: 4_000_000,
+        };
+        let mut e = Encoder::new();
+        vf.encode(&mut e);
+        // 1000 contiguous ids delta to +1 each (1 byte); the explicit list
+        // would need 8000 bytes and overflow a 4 KiB manifest page.
+        assert!(
+            e.len() < 1100,
+            "contiguous page list must stay near 1 byte/page, got {}",
+            e.len()
+        );
+    }
+
+    #[test]
+    fn decodes_legacy_explicit_page_list() {
+        // Hand-encode the pre-delta format: u64 len, u32 count, n x u64 ids.
+        let mut e = Encoder::new();
+        e.u64(300);
+        e.u32(3);
+        for id in [5u64, 9, 2] {
+            e.u64(id);
+        }
+        let bytes = e.into_bytes();
+        let got = VirtualFile::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(
+            got,
+            VirtualFile {
+                pages: vec![PageId(5), PageId(9), PageId(2)],
+                len: 300,
+            }
+        );
     }
 
     #[test]

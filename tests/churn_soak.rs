@@ -219,6 +219,145 @@ fn churn_fixed_working_set_flat_memory() {
     assert_eq!(s.main_rows as i64, WORKING_SET, "full merge settles: {s:?}");
 }
 
+/// The background integrity scrub rides the merge daemon under durable
+/// write churn: it must complete verification passes over the live pages
+/// without stalling writers (the governor defers its ticks while OLTP is
+/// hot, exactly like merges), must raise zero false corruption alarms on a
+/// healthy store, and the database must still recover cleanly afterwards.
+#[test]
+fn scrub_under_durable_churn_never_stalls_writers() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = Database::open(dir.path()).unwrap();
+    let cfg = TableConfig {
+        l1_max_rows: 256,
+        l2_max_rows: 4_096,
+        ..TableConfig::default()
+    };
+    let table = db.create_table(schema(), cfg).unwrap();
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    let rows: Vec<Vec<Value>> = (0..WORKING_SET)
+        .map(|i| vec![Value::Int(i), Value::Int(0)])
+        .collect();
+    table.bulk_load(&txn, rows).unwrap();
+    db.commit(&mut txn).unwrap();
+    // A savepoint gives the scrub a live on-disk surface to verify.
+    db.savepoint().unwrap();
+
+    db.enable_gc();
+    db.enable_scrub(hana_common::ScrubConfig::default());
+    db.start_merge_daemon(Duration::from_millis(1));
+
+    let committed = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS as u64 {
+            let db = Arc::clone(&db);
+            let table = Arc::clone(&table);
+            let committed = Arc::clone(&committed);
+            let stop = Arc::clone(&stop);
+            let latencies = Arc::clone(&latencies);
+            scope.spawn(move || {
+                let mut seed = w.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+                let mut next = || {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    seed
+                };
+                let mut local = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let key = (next() % WORKING_SET as u64) as i64;
+                    let start = Instant::now();
+                    let mut txn = db.begin(IsolationLevel::Transaction);
+                    let result = (|| -> hana_common::Result<()> {
+                        let read = table.read(&txn);
+                        let row = read.point(0, &Value::Int(key))?;
+                        let hits = row[0][1].as_int().unwrap();
+                        table.update_where(
+                            &txn,
+                            ColumnId(0),
+                            &Value::Int(key),
+                            &[(ColumnId(1), Value::Int(hits + 1))],
+                        )?;
+                        Ok(())
+                    })();
+                    match result {
+                        Ok(()) => {
+                            db.commit(&mut txn).unwrap();
+                            local.push(start.elapsed().as_micros() as u64);
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            let _ = db.abort(&mut txn);
+                        }
+                    }
+                }
+                latencies.lock().extend(local);
+            });
+        }
+        // Churn the on-disk pages under the scrub's feet: each savepoint
+        // releases the previous generation's pages and writes new ones.
+        let deadline = Instant::now() + Duration::from_secs(3);
+        let mut savepoints = 0;
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(300));
+            db.savepoint().unwrap();
+            savepoints += 1;
+        }
+        assert!(savepoints >= 3, "soak too short to churn pages");
+        stop.store(true, Ordering::Relaxed);
+    });
+    db.stop_merge_daemon();
+
+    let commits = committed.load(Ordering::Relaxed);
+    assert!(
+        commits > 200,
+        "writers starved under scrub: {commits} commits"
+    );
+    let p99 = p99_micros(&mut latencies.lock());
+    assert!(p99 < 2_000_000, "p99 write latency under scrub: {p99}us");
+
+    // The scrub made progress and found nothing wrong with a healthy disk.
+    let stats = db.integrity_stats().expect("durable database");
+    assert!(
+        stats.scrub_passes >= 1,
+        "scrub never completed a pass: {stats:?}"
+    );
+    assert!(stats.scrub_pages_scanned > 0, "{stats:?}");
+    assert_eq!(
+        stats.scrub_corruptions, 0,
+        "false corruption alarm: {stats:?}"
+    );
+    let health = db.health_stats().expect("durable database");
+    assert!(!health.read_only, "healthy store degraded: {health:?}");
+    assert_eq!(health.corruptions, 0, "{health:?}");
+
+    // The governor treated scrub ticks like any background pass while the
+    // writers kept it hot: deferrals must have advanced.
+    let gov = db.governor_stats();
+    assert!(
+        gov.merge_deferrals > 0,
+        "no background pass was ever deferred while OLTP was hot: {gov:?}"
+    );
+
+    // And the churned+scrubbed database still recovers to exact state.
+    let expected = {
+        let r = db.begin(IsolationLevel::Transaction);
+        let (count, sum) = table.read(&r).aggregate_numeric(1).unwrap();
+        (count, sum)
+    };
+    db.savepoint().unwrap();
+    drop(table);
+    drop(db);
+    let db = Database::open(dir.path()).unwrap();
+    let table = db.table("churn").unwrap();
+    let r = db.begin(IsolationLevel::Transaction);
+    let (count, sum) = table.read(&r).aggregate_numeric(1).unwrap();
+    assert_eq!((count, sum), expected, "recovery drifted after scrub soak");
+}
+
 /// GC runs per partition shard (one daemon target each): hammering one
 /// shard's sweep never stalls writes routed to its siblings.
 #[test]

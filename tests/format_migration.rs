@@ -1,0 +1,217 @@
+//! Format migration: a database written by the pre-checksum on-disk format
+//! must open cleanly, replay its legacy log, and convert to the enveloped
+//! format on its next savepoint.
+//!
+//! The fixture is built byte-by-byte in the legacy layout this repo used
+//! before the integrity envelope landed:
+//!
+//! * pages: `[len u32][crc32 u32][payload]`, zero-padded to the page size;
+//! * superblock slot: the manifest wrapped in `[crc32][bytes]` framing
+//!   inside a legacy page;
+//! * table-image blobs: raw encoded bytes (no envelope) chunked across
+//!   pages;
+//! * REDO log: `HANALOG1` magic, per-record CRC over the payload alone.
+//!
+//! Opening it exercises every legacy fallback path (page, manifest, image,
+//! log); appending exercises legacy-frame writes; the savepoint + reopen
+//! round trip proves the upgrade is transparent and checksummed.
+
+use hana_common::{ColumnDef, CommitConfig, DataType, GovernorConfig, Schema, TableConfig, Value};
+use hana_core::Database;
+use hana_persist::{crc32, Encoder, DEFAULT_PAGE_SIZE};
+use hana_txn::IsolationLevel;
+use std::sync::Arc;
+
+const LEGACY_PAGE_HEADER: usize = 8;
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Int).unique(),
+            ColumnDef::new("v", DataType::Str),
+        ],
+    )
+    .unwrap()
+}
+
+/// One page in the pre-envelope format: `[len][crc32(payload)][payload]`.
+fn legacy_page(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= DEFAULT_PAGE_SIZE - LEGACY_PAGE_HEADER);
+    let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+    buf[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf[4..8].copy_from_slice(&crc32(payload).to_le_bytes());
+    buf[8..8 + payload.len()].copy_from_slice(payload);
+    buf
+}
+
+/// Write a complete legacy-format database into `dir`: savepoint version 1
+/// holding one table image, an empty `HANALOG1` log at epoch 1.
+fn build_legacy_fixture(dir: &std::path::Path, rows: i64) {
+    // Produce the image bytes with current code (the encoding of
+    // TableImage itself is unchanged; only the wrapping moved from raw
+    // bytes to an envelope).
+    let src = Database::in_memory();
+    let t = src.create_table(schema(), TableConfig::small()).unwrap();
+    let mut txn = src.begin(IsolationLevel::Transaction);
+    for i in 0..rows {
+        t.insert(&txn, vec![Value::Int(i), Value::str(format!("v{i}"))])
+            .unwrap();
+    }
+    src.commit(&mut txn).unwrap();
+    let mut e = Encoder::new();
+    t.to_image().encode(&mut e);
+    let blob = e.into_bytes(); // raw: pre-checksum images had no envelope
+
+    // Chunk the blob across pages 2.. at the legacy payload capacity.
+    let cap = DEFAULT_PAGE_SIZE - LEGACY_PAGE_HEADER;
+    let mut image_pages = Vec::new();
+    let mut page_ids = Vec::new();
+    for (i, chunk) in blob.chunks(cap).enumerate() {
+        image_pages.push(legacy_page(chunk));
+        page_ids.push(2 + i as u64);
+    }
+
+    // The manifest: version 1, a clock safely above every imaged commit
+    // timestamp, default configs, one virtual file.
+    let version: u64 = 1;
+    let mut m = Encoder::new();
+    m.u64(version);
+    m.u64(1_000); // clock
+    let cc = CommitConfig::default();
+    m.bool(cc.group_commit);
+    m.u64(cc.max_batch as u64);
+    m.u64(cc.max_wait_us);
+    let gc = GovernorConfig::default();
+    m.bool(gc.enabled);
+    m.u64(gc.max_concurrent_scans as u64);
+    m.u64(gc.scan_queue_timeout_ms);
+    m.u64(gc.oltp_p99_budget_us);
+    m.u64(gc.min_scan_parallelism as u64);
+    m.u32(1); // one virtual file
+    m.u64(blob.len() as u64);
+    m.u32(page_ids.len() as u32);
+    for p in &page_ids {
+        m.u64(*p);
+    }
+    let manifest = m.into_bytes();
+
+    // Legacy manifests ride `[crc32][bytes]` framing inside their page.
+    let mut f = Encoder::new();
+    f.u32(crc32(&manifest));
+    f.bytes(&manifest);
+    let slot_payload = f.into_bytes();
+
+    // Slot = version % 2 = 1; slot 0 stays unwritten (all zeroes).
+    let mut pages_file = vec![0u8; DEFAULT_PAGE_SIZE];
+    pages_file.extend_from_slice(&legacy_page(&slot_payload));
+    for p in &image_pages {
+        pages_file.extend_from_slice(p);
+    }
+    std::fs::write(dir.join("data.pages"), &pages_file).unwrap();
+
+    // An empty legacy log whose epoch matches the manifest version.
+    let mut log = Vec::with_capacity(16);
+    log.extend_from_slice(b"HANALOG1");
+    log.extend_from_slice(&version.to_le_bytes());
+    std::fs::write(dir.join("redo.log"), &log).unwrap();
+}
+
+fn count(db: &Arc<Database>) -> usize {
+    let t = db.table("t").unwrap();
+    let r = db.begin(IsolationLevel::Transaction);
+    t.read(&r).count()
+}
+
+#[test]
+fn legacy_image_opens_and_upgrades_through_a_savepoint() {
+    let dir = tempfile::tempdir().unwrap();
+    build_legacy_fixture(dir.path(), 30);
+
+    // 1. The pre-checksum database opens cleanly and serves its rows;
+    //    every artifact it read was detected as legacy, none as corrupt.
+    {
+        let db = Database::open(dir.path()).unwrap();
+        assert_eq!(count(&db), 30);
+        let stats = db.integrity_stats().unwrap();
+        assert!(
+            stats.pages_legacy >= 2,
+            "manifest + image pages should count as legacy reads: {stats:?}"
+        );
+        assert_eq!(stats.images_legacy, 1, "{stats:?}");
+        assert_eq!(stats.total_corruptions(), 0, "{stats:?}");
+        assert!(!db.health_stats().unwrap().read_only);
+
+        // 2. The opened instance keeps appending to the legacy log…
+        let t = db.table("t").unwrap();
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        for i in 30..40 {
+            t.insert(&txn, vec![Value::Int(i), Value::str(format!("v{i}"))])
+                .unwrap();
+        }
+        db.commit(&mut txn).unwrap();
+    }
+    // …and those legacy-format records replay on the next open.
+    {
+        let db = Database::open(dir.path()).unwrap();
+        assert_eq!(count(&db), 40);
+
+        // 3. The first savepoint rewrites everything in the enveloped
+        //    format (version 2 → slot 0) and rotates to a HANALOG2 log.
+        assert_eq!(db.savepoint().unwrap(), 2);
+    }
+    let log = std::fs::read(dir.path().join("redo.log")).unwrap();
+    assert_eq!(&log[..8], b"HANALOG2", "savepoint must upgrade the log");
+
+    // 4. The upgraded database round-trips. The newest generation is
+    //    enveloped; the *previous* (legacy v1) slot legitimately remains
+    //    readable as the fallback until the next savepoint overwrites it.
+    {
+        let db = Database::open(dir.path()).unwrap();
+        assert_eq!(count(&db), 40);
+        let stats = db.integrity_stats().unwrap();
+        assert!(stats.pages_verified > 0, "{stats:?}");
+        assert!(stats.images_verified >= 1, "{stats:?}");
+        // Still writable after the upgrade.
+        let t = db.table("t").unwrap();
+        let mut txn = db.begin(IsolationLevel::Transaction);
+        t.insert(&txn, vec![Value::Int(99), Value::str("post")])
+            .unwrap();
+        db.commit(&mut txn).unwrap();
+        assert_eq!(count(&db), 41);
+        // A second savepoint (version 3 → slot 1) retires the last legacy
+        // artifact…
+        assert_eq!(db.savepoint().unwrap(), 3);
+    }
+    // …after which an open touches nothing legacy at all.
+    {
+        let db = Database::open(dir.path()).unwrap();
+        assert_eq!(count(&db), 41);
+        let stats = db.integrity_stats().unwrap();
+        assert_eq!(stats.pages_legacy, 0, "{stats:?}");
+        assert_eq!(stats.images_legacy, 0, "{stats:?}");
+        assert_eq!(stats.total_corruptions(), 0, "{stats:?}");
+    }
+}
+
+/// A damaged legacy fixture must not open as an empty database: with the
+/// only manifest unreadable but a log epoch proving a savepoint was once
+/// published, the open fails closed rather than serving a half-loaded
+/// table.
+#[test]
+fn damaged_legacy_manifest_fails_closed_not_garbage() {
+    let dir = tempfile::tempdir().unwrap();
+    build_legacy_fixture(dir.path(), 10);
+    let mut pages = std::fs::read(dir.path().join("data.pages")).unwrap();
+    // Zap the legacy manifest's framing CRC inside slot 1.
+    pages[DEFAULT_PAGE_SIZE + LEGACY_PAGE_HEADER] ^= 0xFF;
+    std::fs::write(dir.path().join("data.pages"), &pages).unwrap();
+    let err = match Database::open(dir.path()) {
+        Ok(_) => panic!("a damaged legacy database must not open"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, hana_common::HanaError::Corruption(_)),
+        "expected fail-closed corruption error, got: {err}"
+    );
+}

@@ -1,0 +1,112 @@
+//! Property tests for the on-disk integrity envelope.
+//!
+//! The envelope's whole job is a yes/no question — "are these the bytes
+//! that were sealed, under this kind and salt?" — so the properties are
+//! exhaustive answers to it: an undamaged envelope always verifies and
+//! returns the exact payload; any single flipped bit, any truncation, any
+//! wrong kind and any wrong salt is always detected. Runs at the default
+//! case count per push and at `PROPTEST_CASES=4096` in the nightly deep
+//! suite.
+
+use hana_persist::{open_envelope, seal, ArtifactKind, EnvelopeError, ENVELOPE_HEADER};
+use proptest::prelude::*;
+
+fn kind_for(tag: u8) -> ArtifactKind {
+    ArtifactKind::ALL[tag as usize % ArtifactKind::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip: seal then open returns the payload verbatim, for every
+    /// artifact kind, payload and salt — including with trailing padding,
+    /// which a page-sized buffer always has.
+    #[test]
+    fn undamaged_envelope_verifies(
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+        kind_tag in any::<u8>(),
+        salt in any::<u64>(),
+        pad in 0usize..32,
+    ) {
+        let kind = kind_for(kind_tag);
+        let mut sealed = seal(kind, salt, &payload);
+        sealed.resize(sealed.len() + pad, 0);
+        let got = open_envelope(kind, salt, &sealed).expect("pristine envelope must verify");
+        prop_assert_eq!(got, &payload[..]);
+    }
+
+    /// Detection: flipping any single bit anywhere in the sealed region
+    /// (header, length, CRC or payload) is always detected — the open
+    /// either refuses the bytes as not-an-envelope or reports corruption,
+    /// but never returns a payload.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+        kind_tag in any::<u8>(),
+        salt in any::<u64>(),
+        flip_seed in any::<u64>(),
+    ) {
+        let kind = kind_for(kind_tag);
+        let mut sealed = seal(kind, salt, &payload);
+        let bit = (flip_seed % (sealed.len() as u64 * 8)) as usize;
+        sealed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            open_envelope(kind, salt, &sealed).is_err(),
+            "flipped bit {} of {} sealed bytes went undetected",
+            bit,
+            sealed.len()
+        );
+    }
+
+    /// Truncation anywhere inside the sealed bytes is detected (short
+    /// header reads as not-an-envelope; short payload as corruption).
+    #[test]
+    fn truncation_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 1..600),
+        kind_tag in any::<u8>(),
+        salt in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let kind = kind_for(kind_tag);
+        let sealed = seal(kind, salt, &payload);
+        let keep = (cut_seed % sealed.len() as u64) as usize;
+        prop_assert!(open_envelope(kind, salt, &sealed[..keep]).is_err());
+    }
+
+    /// Kind and salt are part of the seal: bytes sealed for one artifact
+    /// kind or salt never verify under another (a stale or misdirected
+    /// read cannot masquerade as the requested artifact).
+    #[test]
+    fn wrong_kind_or_salt_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+        kind_tag in any::<u8>(),
+        salt in any::<u64>(),
+        other_salt in any::<u64>(),
+    ) {
+        let kind = kind_for(kind_tag);
+        let other_kind = ArtifactKind::ALL[(kind_tag as usize + 1) % ArtifactKind::ALL.len()];
+        let sealed = seal(kind, salt, &payload);
+        prop_assert!(matches!(
+            open_envelope(other_kind, salt, &sealed),
+            Err(EnvelopeError::Corrupt(_))
+        ));
+        if other_salt != salt {
+            prop_assert!(matches!(
+                open_envelope(kind, other_salt, &sealed),
+                Err(EnvelopeError::Corrupt(_))
+            ));
+        }
+    }
+
+    /// The header overhead is constant: a sealed artifact is exactly
+    /// `ENVELOPE_HEADER` bytes larger than its payload.
+    #[test]
+    fn overhead_is_exactly_one_header(
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+        kind_tag in any::<u8>(),
+        salt in any::<u64>(),
+    ) {
+        let kind = kind_for(kind_tag);
+        prop_assert_eq!(seal(kind, salt, &payload).len(), payload.len() + ENVELOPE_HEADER);
+    }
+}

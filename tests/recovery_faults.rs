@@ -261,3 +261,121 @@ fn historic_table_archive_survives_restart() {
     assert_eq!(h.len(), 1);
     assert_eq!(h.all_versions()[0].values[1], Value::str("v2"));
 }
+
+/// Satellite of the integrity work: a *clean torn tail* (incomplete final
+/// record — a crash) and *mid-log rot* (complete record, wrong checksum —
+/// a device problem) are different conditions with different handling.
+/// The tear truncates silently and the database opens writable; the rot
+/// refuses to open, naming the corruption.
+#[test]
+fn torn_tail_truncates_but_log_rot_fails_closed() {
+    let build = || {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let db = Database::open(dir.path()).unwrap();
+            let t = db.create_table(schema(), TableConfig::small()).unwrap();
+            insert(&db, &t, 0, 20);
+        }
+        dir
+    };
+
+    // Tear: an incomplete record appended at the tail.
+    let torn = build();
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(torn.path().join("redo.log"))
+            .unwrap();
+        f.write_all(&[0x55, 0x02, 0, 0, 9, 9]).unwrap();
+    }
+    let db = Database::open(torn.path()).unwrap();
+    assert_eq!(count(&db), 20, "tear truncates, committed data stays");
+    let stats = db.integrity_stats().unwrap();
+    assert_eq!(
+        stats.log_corruptions, 0,
+        "a tear is not corruption: {stats:?}"
+    );
+    assert!(stats.log_records_verified > 0, "{stats:?}");
+    drop(db);
+
+    // Rot: one flipped bit inside a complete, already-durable record.
+    let rotted = build();
+    {
+        let path = rotted.path().join("redo.log");
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = 16 + (raw.len() - 16) / 2;
+        raw[mid] ^= 0x04;
+        std::fs::write(&path, &raw).unwrap();
+    }
+    match Database::open(rotted.path()) {
+        Ok(_) => panic!("mid-log rot must fail closed"),
+        Err(hana_common::HanaError::Corruption(m)) => {
+            assert!(
+                m.contains("checksum") || m.contains("corrupt"),
+                "error must name the cause: {m}"
+            );
+        }
+        Err(e) => panic!("expected HanaError::Corruption, got {e}"),
+    }
+}
+
+/// Corruption detections count toward degraded mode exactly like I/O
+/// errors: a background scrub over a store whose reads flip bits scores
+/// enough failures to flip the database read-only; the operator clears it
+/// after replacing the device and no committed data is lost.
+#[test]
+fn scrub_detected_corruption_degrades_to_read_only() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = Database::open(dir.path()).unwrap();
+    let t = db.create_table(schema(), TableConfig::small()).unwrap();
+    insert(&db, &t, 0, 30);
+    db.savepoint().unwrap();
+
+    // Every page read now silently returns damaged bytes.
+    let injector = std::sync::Arc::clone(db.injector().unwrap());
+    injector.arm(FaultPolicy::flip_bit(IoOp::PageRead, 0, 21).persistent());
+
+    // Drive the scrub directly (the daemon path is covered by the churn
+    // soak): one generous batch walks both superblocks and every live
+    // page, each detection scoring the health tracker.
+    let p = std::sync::Arc::clone(db.persistence().unwrap());
+    let tick = p.scrub_tick(1_024);
+    assert!(tick.corrupt >= 3, "scrub missed the rot: {tick:?}");
+
+    let health = db.health_stats().unwrap();
+    assert!(health.read_only, "corruption must degrade: {health:?}");
+    assert!(health.corruptions >= 3, "{health:?}");
+    assert!(health.scrub_failures >= 3, "{health:?}");
+    let stats = db.integrity_stats().unwrap();
+    assert!(stats.scrub_corruptions >= 3, "{stats:?}");
+    assert!(stats.pages_quarantined >= 3, "{stats:?}");
+
+    // Degraded = writes rejected (at REDO entry or commit), reads still
+    // served from memory.
+    let mut txn = db.begin(IsolationLevel::Transaction);
+    let rejected = t
+        .insert(&txn, vec![Value::Int(100), Value::str("x")])
+        .and_then(|_| db.commit(&mut txn));
+    assert!(rejected.is_err(), "degraded mode must reject writes");
+    let _ = db.abort(&mut txn);
+    assert_eq!(count(&db), 30);
+
+    // Operator swaps the device; fresh savepoints rewrite pages, and every
+    // rewrite lifts that page's quarantine. Dead quarantined pages are
+    // harmless (nothing reads them) and clear when the allocator reuses
+    // them, so the contract is "shrinks", not "empties instantly".
+    let quarantined_before = db.integrity_stats().unwrap().pages_quarantined;
+    injector.disarm();
+    db.clear_degraded();
+    insert(&db, &t, 30, 35);
+    db.savepoint().unwrap();
+    db.savepoint().unwrap(); // second savepoint rewrites the other slot
+    let quarantined_after = db.integrity_stats().unwrap().pages_quarantined;
+    assert!(
+        quarantined_after < quarantined_before,
+        "rewrites must lift quarantine: {quarantined_before} -> {quarantined_after}"
+    );
+    drop(db);
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(count(&db), 35, "no committed data lost across the episode");
+}
